@@ -1,0 +1,55 @@
+// Corollary 5.6: "testing a graph for violation of the restriction may be
+// done in time linear in the number of edges of the graph."
+//
+// Sweeps AuditBishopRestriction over hierarchies of growing edge count and
+// reports complexity vs E.
+
+#include <benchmark/benchmark.h>
+
+#include "src/take_grant.h"
+
+namespace {
+
+tg_sim::GeneratedHierarchy MakeHierarchy(size_t levels, size_t width) {
+  tg_util::Prng prng(11);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = levels;
+  options.subjects_per_level = width;
+  options.objects_per_level = width;
+  options.intra_rw = 0.8;
+  options.read_down = 0.8;
+  options.planted_channels = 2;
+  return tg_sim::RandomHierarchy(options, prng);
+}
+
+void BM_AuditLinearInEdges(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  tg_sim::GeneratedHierarchy h = MakeHierarchy(4, width);
+  const size_t edges = h.graph.ExplicitEdgeCount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_hier::AuditBishopRestriction(h.graph, h.levels));
+  }
+  state.SetComplexityN(static_cast<int64_t>(edges));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * edges);
+  state.counters["edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_AuditLinearInEdges)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity(benchmark::oN);
+
+void BM_BlpAudit(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  tg_sim::GeneratedHierarchy h = MakeHierarchy(4, width);
+  const size_t edges = h.graph.ExplicitEdgeCount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_hier::BlpSecure(h.graph, h.levels));
+  }
+  state.SetComplexityN(static_cast<int64_t>(edges));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * edges);
+}
+BENCHMARK(BM_BlpAudit)->RangeMultiplier(2)->Range(2, 64)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Serialization throughput: .tgg print/parse, DOT export, graph copy,
+// equality, and diff — the I/O surface an audit pipeline exercises.
+
+#include <benchmark/benchmark.h>
+
+#include "src/take_grant.h"
+
+namespace {
+
+tg::ProtectionGraph MakeGraph(size_t width) {
+  tg_util::Prng prng(77);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = 4;
+  options.subjects_per_level = width;
+  options.objects_per_level = width;
+  options.intra_rw = 0.7;
+  return tg_sim::RandomHierarchy(options, prng).graph;
+}
+
+void BM_PrintGraph(benchmark::State& state) {
+  tg::ProtectionGraph g = MakeGraph(static_cast<size_t>(state.range(0)));
+  size_t bytes = tg::PrintGraph(g).size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg::PrintGraph(g).size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  state.SetComplexityN(static_cast<int64_t>(g.ExplicitEdgeCount()));
+}
+BENCHMARK(BM_PrintGraph)->RangeMultiplier(4)->Range(2, 128)->Complexity(benchmark::oN);
+
+void BM_ParseGraph(benchmark::State& state) {
+  tg::ProtectionGraph g = MakeGraph(static_cast<size_t>(state.range(0)));
+  std::string text = tg::PrintGraph(g);
+  for (auto _ : state) {
+    auto parsed = tg::ParseGraph(text);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+  state.SetComplexityN(static_cast<int64_t>(g.ExplicitEdgeCount()));
+}
+BENCHMARK(BM_ParseGraph)->RangeMultiplier(4)->Range(2, 128)->Complexity(benchmark::oN);
+
+void BM_DotExport(benchmark::State& state) {
+  tg::ProtectionGraph g = MakeGraph(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg::ToDot(g).size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(g.ExplicitEdgeCount()));
+}
+BENCHMARK(BM_DotExport)->RangeMultiplier(4)->Range(2, 128);
+
+void BM_GraphCopy(benchmark::State& state) {
+  tg::ProtectionGraph g = MakeGraph(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    tg::ProtectionGraph copy = g;
+    benchmark::DoNotOptimize(copy.VertexCount());
+  }
+  state.SetComplexityN(static_cast<int64_t>(g.ExplicitEdgeCount()));
+}
+BENCHMARK(BM_GraphCopy)->RangeMultiplier(4)->Range(2, 128);
+
+void BM_GraphEquality(benchmark::State& state) {
+  tg::ProtectionGraph g = MakeGraph(static_cast<size_t>(state.range(0)));
+  tg::ProtectionGraph h = g;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g == h);
+  }
+  state.SetComplexityN(static_cast<int64_t>(g.ExplicitEdgeCount()));
+}
+BENCHMARK(BM_GraphEquality)->RangeMultiplier(4)->Range(2, 128);
+
+void BM_GraphDiff(benchmark::State& state) {
+  tg::ProtectionGraph before = MakeGraph(static_cast<size_t>(state.range(0)));
+  tg::ProtectionGraph after = tg_analysis::SaturateDeFacto(before);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiffGraphs(before, after).ChangeCount());
+  }
+  state.SetComplexityN(static_cast<int64_t>(after.ExplicitEdgeCount() +
+                                            after.ImplicitEdgeCount()));
+}
+BENCHMARK(BM_GraphDiff)->RangeMultiplier(4)->Range(2, 32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Scaling of the level machinery: know-step digraph construction, SCC
+// decomposition, rw-level and rwtg-level computation, and island finding.
+
+#include <benchmark/benchmark.h>
+
+#include "src/take_grant.h"
+
+namespace {
+
+tg_sim::GeneratedHierarchy Make(size_t levels, size_t width) {
+  tg_util::Prng prng(41);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = levels;
+  options.subjects_per_level = width;
+  options.objects_per_level = width / 2 + 1;
+  return tg_sim::RandomHierarchy(options, prng);
+}
+
+void BM_KnowStepDigraph(benchmark::State& state) {
+  tg_sim::GeneratedHierarchy h = Make(4, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_hier::KnowStepDigraph(h.graph).size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.ExplicitEdgeCount()));
+}
+BENCHMARK(BM_KnowStepDigraph)->RangeMultiplier(2)->Range(2, 64)->Complexity(benchmark::oN);
+
+void BM_ComputeRwLevels(benchmark::State& state) {
+  tg_sim::GeneratedHierarchy h = Make(4, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_hier::ComputeRwLevels(h.graph).LevelCount());
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.VertexCount()));
+}
+BENCHMARK(BM_ComputeRwLevels)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_ComputeRwtgLevels(benchmark::State& state) {
+  tg_sim::GeneratedHierarchy h = Make(3, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_hier::ComputeRwtgLevels(h.graph).LevelCount());
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.VertexCount()));
+}
+BENCHMARK(BM_ComputeRwtgLevels)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_Islands(benchmark::State& state) {
+  tg_sim::GeneratedHierarchy h = Make(4, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    tg_analysis::Islands islands(h.graph);
+    benchmark::DoNotOptimize(islands.Count());
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.ExplicitEdgeCount()));
+}
+BENCHMARK(BM_Islands)->RangeMultiplier(2)->Range(2, 64)->Complexity(benchmark::oN);
+
+void BM_SccOnRandomDigraph(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  tg_util::Prng prng(43);
+  std::vector<std::vector<tg::VertexId>> adj(n);
+  for (size_t e = 0; e < n * 3; ++e) {
+    adj[prng.NextBelow(n)].push_back(static_cast<tg::VertexId>(prng.NextBelow(n)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_hier::StronglyConnectedComponents(adj).size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SccOnRandomDigraph)
+    ->RangeMultiplier(4)
+    ->Range(64, 16384)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

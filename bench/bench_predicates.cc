@@ -1,0 +1,93 @@
+// Scaling of the decision procedures (the linear-time claim of the
+// Jones-Lipton-Snyder / Lipton-Snyder algorithms that Theorem 2.3 builds
+// on): can_share, can_know_f, can_know, and the whole-audit KnowableFrom
+// over growing chains and hierarchies.
+
+#include <benchmark/benchmark.h>
+
+#include "src/take_grant.h"
+
+namespace {
+
+void BM_CanShareChain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  tg::ProtectionGraph g = tg_sim::ChainGraph(n);
+  tg::VertexId head = g.FindVertex("head");
+  tg::VertexId target = g.FindVertex("target");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_analysis::CanShare(g, tg::Right::kRead, head, target));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_CanShareChain)->RangeMultiplier(4)->Range(16, 16 << 8)->Complexity(benchmark::oN);
+
+void BM_CanKnowFHierarchy(benchmark::State& state) {
+  const size_t levels = static_cast<size_t>(state.range(0));
+  tg_util::Prng prng(1);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = levels;
+  options.subjects_per_level = 4;
+  options.objects_per_level = 2;
+  tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+  tg::VertexId top = h.level_subjects.back()[0];
+  tg::VertexId bottom = h.level_subjects.front()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_analysis::CanKnowF(h.graph, top, bottom));
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.VertexCount()));
+}
+BENCHMARK(BM_CanKnowFHierarchy)->RangeMultiplier(2)->Range(2, 64)->Complexity(benchmark::oN);
+
+void BM_CanKnowHierarchy(benchmark::State& state) {
+  const size_t levels = static_cast<size_t>(state.range(0));
+  tg_util::Prng prng(2);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = levels;
+  options.subjects_per_level = 4;
+  options.objects_per_level = 2;
+  options.planted_channels = 2;
+  tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+  tg::VertexId top = h.level_subjects.back()[0];
+  tg::VertexId bottom = h.level_subjects.front()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_analysis::CanKnow(h.graph, bottom, top));
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.VertexCount()));
+}
+BENCHMARK(BM_CanKnowHierarchy)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_KnowableFrom(benchmark::State& state) {
+  const size_t levels = static_cast<size_t>(state.range(0));
+  tg_util::Prng prng(3);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = levels;
+  options.subjects_per_level = 4;
+  options.objects_per_level = 2;
+  tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+  tg::VertexId top = h.level_subjects.back()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_analysis::KnowableFrom(h.graph, top));
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.VertexCount()));
+}
+BENCHMARK(BM_KnowableFrom)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_SecurityCheckFullGraph(benchmark::State& state) {
+  const size_t levels = static_cast<size_t>(state.range(0));
+  tg_util::Prng prng(4);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = levels;
+  options.subjects_per_level = 3;
+  options.objects_per_level = 1;
+  tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_hier::CheckSecure(h.graph, h.levels, 1).secure);
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.VertexCount()));
+}
+BENCHMARK(BM_SecurityCheckFullGraph)->RangeMultiplier(2)->Range(2, 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

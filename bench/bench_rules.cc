@@ -1,0 +1,92 @@
+// Rewrite-engine throughput: raw rule application, policy-mediated
+// application, de facto saturation, and witness replay.
+
+#include <benchmark/benchmark.h>
+
+#include "src/take_grant.h"
+
+namespace {
+
+void BM_TakeRuleApplication(benchmark::State& state) {
+  tg::ProtectionGraph base;
+  tg::VertexId x = base.AddSubject("x");
+  tg::VertexId y = base.AddObject("y");
+  tg::VertexId z = base.AddObject("z");
+  (void)base.AddExplicit(x, y, tg::kTake);
+  (void)base.AddExplicit(y, z, tg::kReadWrite);
+  tg::RuleApplication rule = tg::RuleApplication::Take(x, y, z, tg::kRead);
+  for (auto _ : state) {
+    tg::ProtectionGraph g = base;
+    tg::RuleApplication r = rule;
+    benchmark::DoNotOptimize(ApplyRule(g, r).ok());
+  }
+}
+BENCHMARK(BM_TakeRuleApplication);
+
+void BM_EngineWithBishopPolicy(benchmark::State& state) {
+  tg::ProtectionGraph base;
+  tg::VertexId x = base.AddSubject("x");
+  tg::VertexId y = base.AddObject("y");
+  tg::VertexId z = base.AddObject("z");
+  (void)base.AddExplicit(x, y, tg::kTake);
+  (void)base.AddExplicit(y, z, tg::kReadWrite);
+  tg_hier::LevelAssignment levels(base.VertexCount(), 1);
+  levels.Assign(x, 0);
+  levels.Assign(y, 0);
+  levels.Assign(z, 0);
+  (void)levels.Finalize();
+  tg::RuleApplication rule = tg::RuleApplication::Take(x, y, z, tg::kRead);
+  for (auto _ : state) {
+    tg::RuleEngine engine(base, std::make_shared<tg_hier::BishopRestrictionPolicy>(levels));
+    benchmark::DoNotOptimize(engine.Apply(rule).ok());
+  }
+}
+BENCHMARK(BM_EngineWithBishopPolicy);
+
+void BM_DeFactoSaturation(benchmark::State& state) {
+  const size_t levels = static_cast<size_t>(state.range(0));
+  tg_util::Prng prng(31);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = levels;
+  options.subjects_per_level = 3;
+  options.objects_per_level = 2;
+  tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg_analysis::SaturateDeFacto(h.graph).ImplicitEdgeCount());
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.VertexCount()));
+}
+BENCHMARK(BM_DeFactoSaturation)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_EnumerateDeJure(benchmark::State& state) {
+  const size_t levels = static_cast<size_t>(state.range(0));
+  tg_util::Prng prng(37);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = levels;
+  options.subjects_per_level = 3;
+  options.objects_per_level = 2;
+  options.intra_tg = 0.6;
+  tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EnumerateDeJure(h.graph).size());
+  }
+  state.SetComplexityN(static_cast<int64_t>(h.graph.VertexCount()));
+}
+BENCHMARK(BM_EnumerateDeJure)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_WitnessConstructionAndReplay(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  tg::ProtectionGraph g = tg_sim::ChainGraph(n);
+  tg::VertexId head = g.FindVertex("head");
+  tg::VertexId target = g.FindVertex("target");
+  for (auto _ : state) {
+    auto witness = tg_analysis::BuildCanShareWitness(g, tg::Right::kRead, head, target);
+    benchmark::DoNotOptimize(witness->VerifyAddsExplicit(g, head, target, tg::Right::kRead));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_WitnessConstructionAndReplay)->RangeMultiplier(4)->Range(8, 512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

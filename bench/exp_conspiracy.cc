@@ -1,0 +1,118 @@
+// Conspiracy ablation: breach rate of greedy and random conspiracies
+// against hierarchies with a growing number of planted cross-level
+// channels, under each of the four policies.
+//
+// This is the operational counterpart of section 5: the combined (Bishop)
+// restriction should hold the breach rate at zero regardless of how many
+// bridges exist, while the unrestricted rules leak as soon as any channel
+// is planted.
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+
+namespace {
+
+using tg_hier::LevelAssignment;
+
+struct PolicyRow {
+  const char* name;
+  std::function<std::shared_ptr<tg::RulePolicy>(const LevelAssignment&)> make;
+};
+
+double BreachRate(const PolicyRow& row, size_t planted, tg_sim::AdversaryStrategy strategy,
+                  int trials, uint64_t seed) {
+  tg_util::Prng prng(seed);
+  int breaches = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 2;
+    options.subjects_per_level = 3;
+    options.objects_per_level = 1;
+    options.planted_channels = planted;
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    tg_sim::ReferenceMonitor monitor(h.graph, row.make(h.levels));
+    tg_sim::AttackOptions attack;
+    attack.strategy = strategy;
+    attack.max_steps = 120;
+    tg_util::Prng attack_prng(prng.Next());
+    tg_sim::AttackOutcome outcome =
+        tg_sim::RunConspiracy(monitor, h.levels, h.level_subjects[0][0],
+                              h.level_subjects[1][0], attack, attack_prng);
+    breaches += outcome.breached ? 1 : 0;
+  }
+  return static_cast<double>(breaches) / trials;
+}
+
+}  // namespace
+
+int main() {
+  exp::Reporter report("conspiracy ablation");
+  constexpr int kTrials = 12;
+
+  PolicyRow rows[] = {
+      {"unrestricted",
+       [](const LevelAssignment&) { return std::make_shared<tg::AllowAllPolicy>(); }},
+      {"direction",
+       [](const LevelAssignment& l) {
+         return std::make_shared<tg_hier::DirectionRestrictionPolicy>(l);
+       }},
+      {"application",
+       [](const LevelAssignment& l) {
+         return std::make_shared<tg_hier::ApplicationRestrictionPolicy>(l);
+       }},
+      {"bishop",
+       [](const LevelAssignment& l) {
+         return std::make_shared<tg_hier::BishopRestrictionPolicy>(l);
+       }},
+  };
+
+  struct Cell {
+    const char* policy;
+    size_t planted;
+    tg_sim::AdversaryStrategy strategy;
+    double rate;
+  };
+  std::vector<Cell> cells;
+
+  for (tg_sim::AdversaryStrategy strategy :
+       {tg_sim::AdversaryStrategy::kGreedy, tg_sim::AdversaryStrategy::kRandom}) {
+    std::printf("\nstrategy: %s  (breach rate over %d trials)\n",
+                strategy == tg_sim::AdversaryStrategy::kGreedy ? "greedy" : "random", kTrials);
+    std::printf("%-14s", "policy");
+    for (size_t planted : {0, 1, 2, 4}) {
+      std::printf("  channels=%zu", planted);
+    }
+    std::printf("\n");
+    for (const PolicyRow& row : rows) {
+      std::printf("%-14s", row.name);
+      for (size_t planted : {0, 1, 2, 4}) {
+        double rate = BreachRate(
+            row, planted, strategy, kTrials,
+            1000 + planted * 17 +
+                (strategy == tg_sim::AdversaryStrategy::kGreedy ? 0 : 7));
+        std::printf("  %10.2f", rate);
+        cells.push_back(Cell{row.name, planted, strategy, rate});
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+
+  // The paper-aligned claims, enforced on the collected table.
+  for (const Cell& cell : cells) {
+    if (std::string(cell.policy) == "bishop") {
+      report.Check("T5.5",
+                   "bishop breach rate 0 at channels=" + std::to_string(cell.planted),
+                   true, cell.rate == 0.0);
+    }
+    if (std::string(cell.policy) == "unrestricted" && cell.planted >= 2 &&
+        cell.strategy == tg_sim::AdversaryStrategy::kGreedy) {
+      report.Check("base",
+                   "unrestricted greedy leaks at channels=" + std::to_string(cell.planted),
+                   true, cell.rate > 0.5);
+    }
+  }
+  return report.Finish();
+}

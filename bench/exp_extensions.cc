@@ -1,0 +1,220 @@
+// Extension experiments (beyond the paper's own claims):
+//
+//   STEAL   can_steal — theft of authority under the strong reading (no
+//           initial owner ever grants); fast necessary filter vs the
+//           bounded exhaustive certificate
+//   RULES   de facto rule-set ablation (section 6: "merely one possible
+//           set"): flow coverage of each rule subset on random graphs
+//   DECL    reclassification analysis (section 6's open question): what
+//           blocks lowering/raising a document's level, and what the
+//           revocation protocol can and cannot fix
+
+#include <cstdio>
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+
+int main() {
+  exp::Reporter report("extensions");
+  using tg::Right;
+  using tg::RuleKind;
+  using tg::VertexId;
+
+  // ---- can_steal ----
+  {
+    tg_util::Prng prng(1001);
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 3;
+    options.objects = 2;
+    options.edge_factor = 1.2;
+    tg_analysis::OracleOptions oracle;
+    oracle.max_creates = 1;
+    oracle.max_states = 25000;
+    int pairs = 0;
+    int thefts = 0;
+    int shares = 0;
+    int filter_misses = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+      tg::ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+      for (VertexId x = 0; x < g.VertexCount(); ++x) {
+        for (VertexId y = 0; y < g.VertexCount(); ++y) {
+          if (x == y) {
+            continue;
+          }
+          ++pairs;
+          bool steal = tg_analysis::OracleCanSteal(g, Right::kRead, x, y, oracle);
+          thefts += steal ? 1 : 0;
+          shares += tg_analysis::CanShare(g, Right::kRead, x, y) ? 1 : 0;
+          if (steal && !tg_analysis::CanStealNecessary(g, Right::kRead, x, y)) {
+            ++filter_misses;
+          }
+        }
+      }
+    }
+    report.Note("STEAL", "pairs=" + std::to_string(pairs) + " shareable=" +
+                             std::to_string(shares) + " stealable=" + std::to_string(thefts) +
+                             " (theft is strictly rarer than sharing)");
+    report.Check("STEAL", "the fast necessary filter rejects no real theft", true,
+                 filter_misses == 0);
+    report.Check("STEAL", "some rights are shareable yet not stealable", true,
+                 thefts < shares);
+  }
+
+  // ---- de facto rule-set ablation ----
+  {
+    tg_util::Prng prng(1002);
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 5;
+    options.objects = 4;
+    options.edge_factor = 1.6;
+    constexpr int kTrials = 20;
+    struct Row {
+      const char* name;
+      tg_analysis::DeFactoMask mask;
+      size_t pairs = 0;
+    };
+    tg_analysis::DeFactoMask spy_post = tg_analysis::DeFactoMask::None();
+    spy_post.spy = true;
+    spy_post.post = true;
+    Row rows[] = {
+        {"none", tg_analysis::DeFactoMask::None()},
+        {"spy", tg_analysis::DeFactoMask::Only(RuleKind::kSpy)},
+        {"post", tg_analysis::DeFactoMask::Only(RuleKind::kPost)},
+        {"pass", tg_analysis::DeFactoMask::Only(RuleKind::kPass)},
+        {"find", tg_analysis::DeFactoMask::Only(RuleKind::kFind)},
+        {"spy+post", spy_post},
+        {"all", tg_analysis::DeFactoMask::All()},
+    };
+    for (int trial = 0; trial < kTrials; ++trial) {
+      tg::ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+      for (Row& row : rows) {
+        row.pairs += tg_analysis::KnowablePairCount(g, row.mask);
+      }
+    }
+    std::printf("RULES      knowable pairs over %d random graphs:\n", kTrials);
+    for (const Row& row : rows) {
+      std::printf("RULES        %-10s %zu\n", row.name, row.pairs);
+    }
+    size_t all_pairs = rows[6].pairs;
+    report.Check("RULES", "every proper subset loses flows vs the full set", true,
+                 rows[1].pairs < all_pairs && rows[2].pairs < all_pairs &&
+                     rows[3].pairs < all_pairs && rows[4].pairs < all_pairs &&
+                     rows[5].pairs < all_pairs);
+    report.Check("RULES", "even 'none' has flows (direct r/w edges)", true,
+                 rows[0].pairs > 0 && rows[0].pairs < rows[1].pairs);
+  }
+
+  // ---- conspirator counting ----
+  {
+    // How many subjects must actively participate?  The canonical ladder:
+    // direct take (1), duality-lemma reversal (2), grant relay (3).
+    tg::ProtectionGraph g1;
+    VertexId x1 = g1.AddSubject("x");
+    VertexId s1 = g1.AddObject("s");
+    VertexId y1 = g1.AddObject("y");
+    (void)g1.AddExplicit(x1, s1, tg::kTake);
+    (void)g1.AddExplicit(s1, y1, tg::kRead);
+    auto c1 = tg_analysis::MinConspirators(g1, Right::kRead, x1, y1);
+
+    tg::ProtectionGraph g2;
+    VertexId x2 = g2.AddSubject("x");
+    VertexId s2 = g2.AddSubject("s");
+    VertexId y2 = g2.AddObject("y");
+    (void)g2.AddExplicit(s2, x2, tg::kTake);
+    (void)g2.AddExplicit(s2, y2, tg::kRead);
+    auto c2 = tg_analysis::MinConspirators(g2, Right::kRead, x2, y2);
+
+    tg::ProtectionGraph g3;
+    VertexId x3 = g3.AddSubject("x");
+    VertexId a3 = g3.AddObject("a");
+    VertexId m3 = g3.AddSubject("m");
+    VertexId s3 = g3.AddSubject("s");
+    VertexId y3 = g3.AddObject("y");
+    (void)g3.AddExplicit(s3, m3, tg::kGrant);
+    (void)g3.AddExplicit(m3, a3, tg::kGrant);
+    (void)g3.AddExplicit(x3, a3, tg::kTake);
+    (void)g3.AddExplicit(s3, y3, tg::kRead);
+    auto c3 = tg_analysis::MinConspirators(g3, Right::kRead, x3, y3);
+
+    report.Check("CONSP", "direct take needs exactly 1 active conspirator", true,
+                 c1.has_value() && *c1 == 1);
+    report.Check("CONSP", "duality-lemma reversal needs exactly 2", true,
+                 c2.has_value() && *c2 == 2);
+    report.Check("CONSP", "a three-island grant relay needs exactly 3", true,
+                 c3.has_value() && *c3 == 3);
+
+    // Operational cross-check: the simulator with a conspirator budget of
+    // k-1 fails where the analysis says k are needed, and succeeds with k.
+    auto attack = [&](const tg::ProtectionGraph& graph,
+                      std::vector<VertexId> corrupt, VertexId from, VertexId to) {
+      tg_hier::LevelAssignment flat(graph.VertexCount(), 1);
+      (void)flat.Finalize();
+      tg_sim::ReferenceMonitor monitor(graph, std::make_shared<tg::AllowAllPolicy>());
+      tg_sim::AttackOptions attack_options;
+      attack_options.strategy = tg_sim::AdversaryStrategy::kGreedy;
+      attack_options.corrupt = std::move(corrupt);
+      attack_options.max_steps = 80;
+      tg_util::Prng prng(9);
+      return tg_sim::RunConspiracy(monitor, flat, from, to, attack_options, prng).breached;
+    };
+    report.Check("CONSP", "simulator: duality graph, 1 corrupt subject fails", false,
+                 attack(g2, {x2}, x2, y2));
+    report.Check("CONSP", "simulator: duality graph, both corrupt succeeds", true,
+                 attack(g2, {x2, s2}, x2, y2));
+    report.Check("CONSP", "simulator: relay graph, 2 corrupt fail", false,
+                 attack(g3, {x3, s3}, x3, y3));
+    report.Check("CONSP", "simulator: relay graph, all 3 succeed", true,
+                 attack(g3, {x3, m3, s3}, x3, y3));
+  }
+
+  // ---- reclassification ----
+  {
+    tg_hier::LinearOptions options;
+    options.levels = 3;
+    options.subjects_per_level = 2;
+    tg_hier::ClassifiedSystem sys = tg_hier::LinearClassification(options);
+    VertexId doc = sys.level_documents[1];
+    auto lower = tg_hier::AnalyzeReclassification(sys.graph, sys.levels, doc, 0);
+    report.Check("DECL", "lowering a written document is unsafe (write-down writers)",
+                 false, lower.safe);
+    report.Note("DECL", "lowering blockers: " + std::to_string(lower.violating_edges.size()) +
+                            " edges, " + std::to_string(lower.revocable_writes.size()) +
+                            " revocable");
+    auto raise = tg_hier::AnalyzeReclassification(sys.graph, sys.levels, doc, 2);
+    report.Check("DECL", "raising is unsafe (prior readers hold private copies)", false,
+                 raise.safe);
+    report.Note("DECL",
+                "raising blockers: " + std::to_string(raise.irrevocable_knowers.size()) +
+                    " irrevocable knowers");
+    tg::ProtectionGraph mutated = sys.graph;
+    auto after = tg_hier::RevokeAndReanalyze(mutated, sys.levels, doc, 0);
+    report.Check("DECL", "the revocation protocol makes *lowering* safe here", true,
+                 after.safe);
+    // But raising can never be fixed by revocation: knowledge is not an edge.
+    auto raise_after = tg_hier::AnalyzeReclassification(mutated, sys.levels, doc, 2);
+    report.Check("DECL", "no revocation repairs a *raise* (knowledge is irrevocable)", false,
+                 raise_after.irrevocable_knowers.empty());
+  }
+
+  // ---- tree (organizational) hierarchies ----
+  {
+    tg_hier::TreeOptions options;
+    options.depth = 3;
+    options.fanout = 2;
+    tg_hier::ClassifiedSystem sys = tg_hier::TreeClassification(options);
+    report.Check("TREE", "a 15-node reporting tree is a secure structure", true,
+                 sys.levels.LevelCount() == 15 &&
+                     tg_hier::CheckSecure(sys.graph, sys.levels, 1).secure);
+    VertexId root = sys.graph.FindVertex("ns0");
+    VertexId leaf = sys.graph.FindVertex("n011s0");
+    VertexId cousin = sys.graph.FindVertex("n100s0");
+    bool up = tg_analysis::CanKnowF(sys.graph, root, leaf);
+    bool down = tg_analysis::CanKnow(sys.graph, leaf, root);
+    bool sideways = tg_analysis::CanKnow(sys.graph, leaf, cousin) ||
+                    tg_analysis::CanKnow(sys.graph, cousin, leaf);
+    report.Check("TREE", "the root learns every leaf through the reporting chain", true, up);
+    report.Check("TREE", "no leaf learns an ancestor or a cousin", false, down || sideways);
+  }
+
+  return report.Finish();
+}

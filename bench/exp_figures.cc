@@ -1,0 +1,145 @@
+// Reproduces every figure of the paper as an executable claim.
+//
+//   F2.1  Wu's hierarchical model falls to a two-subject conspiracy
+//   F2.2  islands / bridges / initial / terminal spans of the term figure
+//   F3.1  rw-path word association and admissibility
+//   F4.1  the linear classification modelled as a structure
+//   F4.2  the military classification (partial order, incomparable levels)
+//   F5.1  the execute right crosses levels; w does not, under restriction
+//   F6.1  a graph breached by de jure rules alone
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+
+int main() {
+  exp::Reporter report("paper figures");
+  using tg::Right;
+
+  // ---- Figure 2.1 ----
+  {
+    tg_sim::Fig21 fig = tg_sim::MakeFig21();
+    report.Check("F2.1", "conspirators reverse the t edge: lo can acquire r over secret",
+                 true, tg_analysis::CanShare(fig.graph, Right::kRead, fig.lo, fig.secret));
+    auto witness =
+        tg_analysis::BuildCanShareWitness(fig.graph, Right::kRead, fig.lo, fig.secret);
+    report.Check("F2.1", "the conspiracy has a replayable rule witness", true,
+                 witness.has_value() &&
+                     witness->VerifyAddsExplicit(fig.graph, fig.lo, fig.secret, Right::kRead)
+                         .ok());
+    report.Check("F2.1", "hence Wu's hierarchy is insecure under can_know", false,
+                 tg_hier::CheckSecure(fig.graph, fig.levels, 1).secure);
+  }
+
+  // ---- Figure 2.2 ----
+  {
+    tg_sim::Fig22 fig = tg_sim::MakeFig22();
+    tg_analysis::Islands islands(fig.graph);
+    report.Check("F2.2", "three islands: {p,u}, {w}, {y,s2}", true,
+                 islands.Count() == 3 && islands.SameIsland(fig.p, fig.u) &&
+                     islands.SameIsland(fig.y, fig.s2) && !islands.SameIsland(fig.u, fig.w));
+    auto b1 = tg_analysis::FindBridge(fig.graph, fig.u, fig.w);
+    auto b2 = tg_analysis::FindBridge(fig.graph, fig.w, fig.y);
+    report.Check("F2.2", "bridges u~w and w~y exist", true,
+                 b1.has_value() && b2.has_value());
+    if (b1 && b2) {
+      report.Note("F2.2", "bridge u~w: " + b1->ToString(fig.graph));
+      report.Note("F2.2", "bridge w~y: " + b2->ToString(fig.graph));
+    }
+    report.Check("F2.2", "p initially spans to q", true,
+                 tg_analysis::InitiallySpansTo(fig.graph, fig.p, fig.q));
+    report.Check("F2.2", "s2 terminally spans to s", true,
+                 tg_analysis::TerminallySpansTo(fig.graph, fig.s2, fig.s));
+    report.Check("F2.2", "Theorem 2.3 composes: can_share(r, p, q)", true,
+                 tg_analysis::CanShare(fig.graph, Right::kRead, fig.p, fig.q));
+  }
+
+  // ---- Figure 3.1 ----
+  {
+    tg_sim::Fig31 fig = tg_sim::MakeFig31();
+    auto path = tg_analysis::FindAdmissibleRwPath(fig.graph, fig.a, fig.c);
+    report.Check("F3.1", "path a,b,c has admissible word r> w<", true,
+                 path.has_value() && tg::WordToString(path->word()) == "r> w<");
+    report.Check("F3.1", "can_know_f(a, c) via the admissible path", true,
+                 tg_analysis::CanKnowF(fig.graph, fig.a, fig.c));
+    report.Check("F3.1", "no flow the other way (c cannot learn a)", false,
+                 tg_analysis::CanKnowF(fig.graph, fig.c, fig.a));
+  }
+
+  // ---- Figure 4.1 ----
+  {
+    tg_hier::LinearOptions options;
+    options.levels = 4;
+    options.subjects_per_level = 2;
+    tg_hier::ClassifiedSystem sys = tg_hier::LinearClassification(options);
+    report.Check("F4.1", "4-level linear classification is a secure structure", true,
+                 tg_hier::CheckSecure(sys.graph, sys.levels, 1).secure);
+    bool up_ok = true;
+    bool down_blocked = true;
+    for (size_t hi = 1; hi < 4; ++hi) {
+      for (tg::VertexId h : sys.level_subjects[hi]) {
+        for (tg::VertexId l : sys.level_subjects[hi - 1]) {
+          up_ok &= tg_analysis::CanKnowF(sys.graph, h, l);
+          down_blocked &= !tg_analysis::CanKnowF(sys.graph, l, h);
+        }
+      }
+    }
+    report.Check("F4.1", "every L(k) subject knows every L(k-1) subject", true, up_ok);
+    report.Check("F4.1", "no lower subject knows a higher one", true, down_blocked);
+  }
+
+  // ---- Figure 4.2 ----
+  {
+    tg_hier::MilitaryOptions options;
+    options.authority_levels = 4;
+    options.categories = 2;
+    tg_hier::ClassifiedSystem sys = tg_hier::MilitaryClassification(options);
+    report.Check("F4.2", "military lattice is a secure structure", true,
+                 tg_hier::CheckSecure(sys.graph, sys.levels, 1).secure);
+    tg::VertexId a2 = sys.graph.FindVertex("A2s0");
+    tg::VertexId b2 = sys.graph.FindVertex("B2s0");
+    report.Check("F4.2", "same-authority different-category levels incomparable", false,
+                 sys.levels.Comparable(sys.levels.LevelOf(a2), sys.levels.LevelOf(b2)));
+    report.Check("F4.2", "no information flows between categories", false,
+                 tg_analysis::CanKnow(sys.graph, a2, b2) ||
+                     tg_analysis::CanKnow(sys.graph, b2, a2));
+  }
+
+  // ---- Figure 5.1 ----
+  {
+    tg_sim::Fig51 fig = tg_sim::MakeFig51();
+    tg::RuleEngine unrestricted(fig.graph, nullptr);
+    bool leak = unrestricted
+                    .Apply(tg::RuleApplication::Take(fig.x, fig.z, fig.y, tg::kWrite))
+                    .ok();
+    report.Check("F5.1", "unrestricted: x obtains w over lower-level y", true, leak);
+    auto policy = std::make_shared<tg_hier::BishopRestrictionPolicy>(fig.levels);
+    tg::RuleEngine restricted(fig.graph, policy);
+    bool w_blocked =
+        !restricted.Apply(tg::RuleApplication::Take(fig.x, fig.z, fig.y, tg::kWrite)).ok();
+    bool e_allowed = restricted
+                         .Apply(tg::RuleApplication::Take(fig.x, fig.z, fig.y,
+                                                          tg::RightSet(Right::kExecute)))
+                         .ok();
+    report.Check("F5.1", "restricted: the w take is vetoed (restriction b)", true, w_blocked);
+    report.Check("F5.1", "restricted: x still obtains the execute right", true, e_allowed);
+  }
+
+  // ---- Figure 6.1 ----
+  {
+    tg_sim::Fig61 fig = tg_sim::MakeFig61();
+    report.Check("F6.1", "no de facto flow exists from lo to secret", false,
+                 tg_analysis::CanKnowF(fig.graph, fig.lo, fig.secret));
+    tg::RuleEngine engine(fig.graph, nullptr);
+    (void)engine.Apply(tg::RuleApplication::Take(fig.lo, fig.hi, fig.secret, tg::kRead));
+    report.Check("F6.1", "one de jure take completes the breach", true,
+                 tg_analysis::CanKnowF(engine.graph(), fig.lo, fig.secret));
+    auto policy = std::make_shared<tg_hier::BishopRestrictionPolicy>(fig.levels);
+    tg::RuleEngine restricted(fig.graph, policy);
+    report.Check("F6.1", "the de jure restriction vetoes that take", false,
+                 restricted.Apply(tg::RuleApplication::Take(fig.lo, fig.hi, fig.secret,
+                                                            tg::kRead))
+                     .ok());
+  }
+
+  return report.Finish();
+}

@@ -1,0 +1,119 @@
+// Reproduces the paper's lemmas:
+//
+//   L2.1/2.2  take/grant duality: rights transfer backwards over subject-
+//             subject t/g edges (with cooperation)
+//   L3.3      within an island, can_know holds both ways
+//   L4.2      a two-level structure: higher knows lower, never the reverse
+//   L5.1      every island lies inside exactly one rwtg-level
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+
+int main() {
+  exp::Reporter report("paper lemmas");
+  using tg::Right;
+  using tg::VertexId;
+
+  // ---- Lemmas 2.1 / 2.2 ----
+  {
+    const struct {
+      const char* id;
+      tg::RightSet link;
+      bool forward;
+      const char* desc;
+    } cases[] = {
+        {"L2.1", tg::kTake, true, "a -t-> b: a pulls b's right directly"},
+        {"L2.1", tg::kTake, false, "b -t-> a: right still crosses (depot)"},
+        {"L2.2", tg::kGrant, true, "a -g-> b: right crosses via depot"},
+        {"L2.2", tg::kGrant, false, "b -g-> a: b pushes the right directly"},
+    };
+    for (const auto& c : cases) {
+      tg::ProtectionGraph g;
+      VertexId a = g.AddSubject("a");
+      VertexId b = g.AddSubject("b");
+      VertexId y = g.AddObject("y");
+      (void)(c.forward ? g.AddExplicit(a, b, c.link) : g.AddExplicit(b, a, c.link));
+      (void)g.AddExplicit(b, y, tg::kRead);
+      auto witness = tg_analysis::BuildCanShareWitness(g, Right::kRead, a, y);
+      bool ok = witness.has_value() &&
+                witness->VerifyAddsExplicit(g, a, y, Right::kRead).ok();
+      report.Check(c.id, c.desc, true, ok);
+      if (ok) {
+        report.Note(c.id, "  witness: " + std::to_string(witness->size()) + " rule(s)");
+      }
+    }
+  }
+
+  // ---- Lemma 3.3 ----
+  {
+    tg_util::Prng prng(333);
+    bool all_mutual = true;
+    int pairs = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      tg_sim::RandomGraphOptions options;
+      options.subjects = 5;
+      options.objects = 2;
+      options.edge_factor = 1.3;
+      tg::ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+      tg_analysis::Islands islands(g);
+      for (VertexId x = 0; x < g.VertexCount(); ++x) {
+        for (VertexId y = 0; y < g.VertexCount(); ++y) {
+          if (x != y && islands.SameIsland(x, y)) {
+            ++pairs;
+            all_mutual &= tg_analysis::CanKnow(g, x, y);
+          }
+        }
+      }
+    }
+    report.Check("L3.3",
+                 "island members mutually can_know (" + std::to_string(pairs) + " pairs)",
+                 true, all_mutual);
+  }
+
+  // ---- Lemma 4.2 ----
+  {
+    tg_hier::LinearOptions options;
+    options.levels = 2;
+    options.subjects_per_level = 3;
+    tg_hier::ClassifiedSystem sys = tg_hier::LinearClassification(options);
+    bool up = true;
+    bool down = false;
+    for (VertexId h : sys.level_subjects[1]) {
+      for (VertexId l : sys.level_subjects[0]) {
+        up &= tg_analysis::CanKnowF(sys.graph, h, l);
+        down |= tg_analysis::CanKnowF(sys.graph, l, h);
+      }
+    }
+    report.Check("L4.2", "two-level structure: every l2 knows every l1", true, up);
+    report.Check("L4.2", "no l1 knows any l2", false, down);
+  }
+
+  // ---- Lemma 5.1 ----
+  {
+    tg_util::Prng prng(511);
+    bool contained = true;
+    int islands_checked = 0;
+    for (int trial = 0; trial < 15; ++trial) {
+      tg_sim::RandomGraphOptions options;
+      options.subjects = 6;
+      options.objects = 2;
+      options.edge_factor = 1.2;
+      tg::ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+      tg_analysis::Islands islands(g);
+      tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(g);
+      for (size_t i = 0; i < islands.Count(); ++i) {
+        ++islands_checked;
+        const auto& members = islands.Members(static_cast<uint32_t>(i));
+        for (VertexId v : members) {
+          contained &= levels.LevelOf(v) == levels.LevelOf(members[0]);
+        }
+      }
+    }
+    report.Check("L5.1",
+                 "every island inside one rwtg-level (" + std::to_string(islands_checked) +
+                     " islands)",
+                 true, contained);
+  }
+
+  return report.Finish();
+}

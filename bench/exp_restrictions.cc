@@ -1,0 +1,309 @@
+// Reproduces section 5's restriction results and section 6's BLP mapping:
+//
+//   L5.3  restriction of direction: sound, but incomplete (cannot pass an
+//         inert right down through an upward-pointing enabling edge)
+//   L5.4  restriction of application: sound, but incomplete (blocks the
+//         legal read-down)
+//   T5.5  the combined Bishop restriction: sound (no adversarial sequence
+//         ever leaks) and complete (legal transfers still replay)
+//   BLP   restriction (a)/(b) == simple security + *-property
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+
+namespace {
+
+using tg::Right;
+using tg::VertexId;
+
+// Soundness probe: run `trials` greedy conspiracies against hierarchies
+// under `make_policy`; count breaches.
+template <typename MakePolicy>
+int BreachCount(MakePolicy make_policy, int trials, size_t planted, uint64_t seed) {
+  tg_util::Prng prng(seed);
+  int breaches = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 2;
+    options.subjects_per_level = 2;
+    options.objects_per_level = 1;
+    options.planted_channels = planted;
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    tg_sim::ReferenceMonitor monitor(h.graph, make_policy(h.levels));
+    tg_sim::AttackOptions attack;
+    attack.strategy = tg_sim::AdversaryStrategy::kGreedy;
+    attack.max_steps = 120;
+    tg_util::Prng attack_prng(prng.Next());
+    tg_sim::AttackOutcome outcome =
+        tg_sim::RunConspiracy(monitor, h.levels, h.level_subjects[0][0],
+                              h.level_subjects[1][0], attack, attack_prng);
+    breaches += outcome.breached ? 1 : 0;
+  }
+  return breaches;
+}
+
+}  // namespace
+
+int main() {
+  exp::Reporter report("restrictions (section 5) and BLP mapping (section 6)");
+
+  constexpr int kTrials = 10;
+
+  // ---- Soundness of all three restrictions vs the unrestricted baseline.
+  int unrestricted = BreachCount(
+      [](const tg_hier::LevelAssignment&) { return std::make_shared<tg::AllowAllPolicy>(); },
+      kTrials, /*planted=*/2, /*seed=*/1);
+  int bishop = BreachCount(
+      [](const tg_hier::LevelAssignment& levels) {
+        return std::make_shared<tg_hier::BishopRestrictionPolicy>(levels);
+      },
+      kTrials, 2, 1);
+  report.Note("base", "unrestricted breaches: " + std::to_string(unrestricted) + "/" +
+                          std::to_string(kTrials) + " on 2-channel hierarchies");
+  report.Check("T5.5", "Bishop restriction: zero breaches on the same graphs", true,
+               bishop == 0);
+  report.Check("base", "unrestricted rules do breach bridged hierarchies", true,
+               unrestricted > 0);
+
+  // Lemma-premise soundness (bridge-free graphs): all three restrictions
+  // keep clean hierarchies clean.
+  int dir_clean = BreachCount(
+      [](const tg_hier::LevelAssignment& levels) {
+        return std::make_shared<tg_hier::DirectionRestrictionPolicy>(levels);
+      },
+      kTrials, /*planted=*/0, 2);
+  int app_clean = BreachCount(
+      [](const tg_hier::LevelAssignment& levels) {
+        return std::make_shared<tg_hier::ApplicationRestrictionPolicy>(levels);
+      },
+      kTrials, 0, 2);
+  report.Check("L5.3", "direction restriction sound on bridge-free graphs", true,
+               dir_clean == 0);
+  report.Check("L5.4", "application restriction sound on bridge-free graphs", true,
+               app_clean == 0);
+
+  // ---- Incompleteness demos ----
+  {
+    // L5.3: an inert (execute) right must travel from hi down to losub, but
+    // the only enabling edge points upward.
+    tg::ProtectionGraph g;
+    VertexId hi = g.AddSubject("hi");
+    VertexId losub = g.AddSubject("losub");
+    VertexId tool = g.AddObject("tool");
+    (void)g.AddExplicit(losub, hi, tg::kTake);
+    (void)g.AddExplicit(hi, tool, tg::RightSet(Right::kExecute));
+    tg_hier::LevelAssignment levels(g.VertexCount(), 2);
+    levels.Assign(hi, 1);
+    levels.Assign(tool, 1);
+    levels.Assign(losub, 0);
+    levels.DeclareHigher(1, 0);
+    (void)levels.Finalize();
+    tg::RuleApplication rule =
+        tg::RuleApplication::Take(losub, hi, tool, tg::RightSet(Right::kExecute));
+    tg_hier::DirectionRestrictionPolicy direction(levels);
+    tg_hier::BishopRestrictionPolicy bishop_policy(levels);
+    report.Check("L5.3", "direction restriction blocks the legal inert transfer", false,
+                 direction.Vet(g, rule).ok());
+    report.Check("L5.3", "Bishop restriction permits it (completeness)", true,
+                 bishop_policy.Vet(g, rule).ok());
+  }
+  {
+    // L5.4: the higher subject takes read rights to a lower vertex -- legal,
+    // but the application restriction forbids manipulating r.
+    tg::ProtectionGraph g;
+    VertexId hi = g.AddSubject("hi");
+    VertexId mid = g.AddSubject("mid");
+    VertexId lodoc = g.AddObject("lodoc");
+    (void)g.AddExplicit(hi, mid, tg::kTake);
+    (void)g.AddExplicit(mid, lodoc, tg::kRead);
+    tg_hier::LevelAssignment levels(g.VertexCount(), 2);
+    levels.Assign(hi, 1);
+    levels.Assign(mid, 0);
+    levels.Assign(lodoc, 0);
+    levels.DeclareHigher(1, 0);
+    (void)levels.Finalize();
+    tg::RuleApplication rule = tg::RuleApplication::Take(hi, mid, lodoc, tg::kRead);
+    tg_hier::ApplicationRestrictionPolicy application(levels);
+    tg_hier::BishopRestrictionPolicy bishop_policy(levels);
+    report.Check("L5.4", "application restriction blocks the legal read-down", false,
+                 application.Vet(g, rule).ok());
+    report.Check("L5.4", "Bishop restriction permits it (completeness)", true,
+                 bishop_policy.Vet(g, rule).ok());
+  }
+
+  // ---- T5.5 completeness sweep: inert-right witnesses replay under the
+  // Bishop policy.
+  {
+    tg_util::Prng prng(55);
+    int attempted = 0;
+    int replayed = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      tg_sim::RandomHierarchyOptions options;
+      options.levels = 2;
+      options.subjects_per_level = 2;
+      options.planted_channels = 1;
+      tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+      tg::ProtectionGraph g = h.graph;
+      VertexId hi = h.level_subjects[1][0];
+      VertexId lo = h.level_subjects[0][0];
+      VertexId tool = g.AddObject("tool");
+      (void)g.AddExplicit(hi, tool, tg::RightSet(Right::kExecute));
+      tg_hier::LevelAssignment levels = h.levels;
+      levels.Assign(tool, levels.LevelOf(hi));
+      if (!tg_analysis::CanShare(g, Right::kExecute, lo, tool)) {
+        continue;
+      }
+      auto witness = tg_analysis::BuildCanShareWitness(g, Right::kExecute, lo, tool);
+      if (!witness.has_value()) {
+        continue;
+      }
+      ++attempted;
+      auto policy = std::make_shared<tg_hier::BishopRestrictionPolicy>(levels);
+      tg::RuleEngine engine(g, policy);
+      bool ok = true;
+      for (const tg::RuleApplication& rule : witness->rules()) {
+        if (!engine.Apply(rule).ok()) {
+          ok = false;
+          break;
+        }
+      }
+      replayed += (ok && engine.graph().HasExplicit(lo, tool, Right::kExecute)) ? 1 : 0;
+    }
+    report.Check("T5.5",
+                 "inert transfers replay under restriction (" + std::to_string(replayed) +
+                     "/" + std::to_string(attempted) + ")",
+                 true, attempted > 0 && replayed == attempted);
+  }
+
+  // ---- T5.5 completeness via derivation surgery (the paper's proof
+  // technique): an unrestricted derivation between two *secure* graphs may
+  // transiently complete a forbidden connection, but deleting the offending
+  // rule and everything that depended on it yields a restricted derivation
+  // with the same final graph.
+  {
+    tg::ProtectionGraph g;
+    VertexId hi = g.AddSubject("hi");
+    VertexId mid = g.AddSubject("mid");
+    VertexId lodoc = g.AddObject("lodoc");
+    VertexId losub = g.AddSubject("losub");
+    (void)g.AddExplicit(hi, mid, tg::kTake);
+    (void)g.AddExplicit(
+        mid, lodoc, tg::RightSet::Of({Right::kWrite, Right::kExecute}));
+    (void)g.AddExplicit(mid, losub, tg::kRead);
+    tg_hier::LevelAssignment levels(g.VertexCount(), 2);
+    levels.Assign(hi, 1);
+    levels.Assign(mid, 0);
+    levels.Assign(lodoc, 0);
+    levels.Assign(losub, 0);
+    levels.DeclareHigher(1, 0);
+    (void)levels.Finalize();
+
+    // The unrestricted derivation: hi pulls w over lodoc (forbidden
+    // write-down, transient), pulls e (legal), then removes the w again.
+    tg::Witness unrestricted;
+    unrestricted.Append(tg::RuleApplication::Take(hi, mid, lodoc, tg::kWrite));
+    unrestricted.Append(
+        tg::RuleApplication::Take(hi, mid, lodoc, tg::RightSet(Right::kExecute)));
+    unrestricted.Append(tg::RuleApplication::Remove(hi, lodoc, tg::kWrite));
+    auto unrestricted_final = unrestricted.Replay(g);
+    bool initial_secure = tg_hier::AuditBishopRestriction(g, levels).empty();
+    bool final_secure = unrestricted_final.ok() &&
+                        tg_hier::AuditBishopRestriction(*unrestricted_final, levels).empty();
+    report.Check("T5.5", "surgery setup: initial and final graphs are clean", true,
+                 initial_secure && final_secure);
+
+    // Surgery: MinimizeWitness against "same final graph" drops the
+    // forbidden take and its compensating remove.
+    tg::Witness surgered = MinimizeWitness(
+        unrestricted, g,
+        [&](const tg::ProtectionGraph& end) { return end == *unrestricted_final; });
+    bool dropped = surgered.size() < unrestricted.size();
+    // The surgered derivation replays under the restricted engine.
+    auto policy = std::make_shared<tg_hier::BishopRestrictionPolicy>(levels);
+    tg::RuleEngine engine(g, policy);
+    bool replay_ok = true;
+    for (const tg::RuleApplication& rule : surgered.rules()) {
+      if (!engine.Apply(rule).ok()) {
+        replay_ok = false;
+        break;
+      }
+    }
+    report.Check("T5.5", "surgery drops the transient forbidden step(s)", true, dropped);
+    report.Check("T5.5", "surgered derivation replays under the restriction", true,
+                 replay_ok && engine.graph() == *unrestricted_final);
+  }
+
+  // ---- Lattice relay (extension): the literal restriction (a)/(b) only
+  // constrains comparable levels, so on a lattice an incomparable middle
+  // level can relay information downward without any single edge being a
+  // "lower reads higher" edge.  The strict (dominance) variant closes it.
+  {
+    // Levels: A2 > A1 > U, B1 > U, A* and B* incomparable.
+    tg::ProtectionGraph g;
+    VertexId y = g.AddSubject("y");        // victim at A2
+    VertexId x = g.AddSubject("x");        // attacker at A1 (below y)
+    VertexId m = g.AddSubject("m");        // relay at B1 (incomparable)
+    VertexId h = g.AddSubject("h");        // helper at A2
+    VertexId h2 = g.AddSubject("h2");      // helper at B1
+    (void)g.AddExplicit(h, m, tg::kGrant);   // h can grant to the relay
+    (void)g.AddExplicit(h, y, tg::kRead);    // h reads its peer y
+    (void)g.AddExplicit(h2, x, tg::kGrant);  // h2 can grant to the attacker
+    (void)g.AddExplicit(h2, m, tg::kRead);   // h2 reads its peer m
+    tg_hier::LevelAssignment levels(g.VertexCount(), 4);
+    enum { kU = 0, kA1 = 1, kA2 = 2, kB1 = 3 };
+    levels.Assign(y, kA2);
+    levels.Assign(h, kA2);
+    levels.Assign(x, kA1);
+    levels.Assign(m, kB1);
+    levels.Assign(h2, kB1);
+    levels.DeclareHigher(kA2, kA1);
+    levels.DeclareHigher(kA2, kU);
+    levels.DeclareHigher(kA1, kU);
+    levels.DeclareHigher(kB1, kU);
+    (void)levels.Finalize();
+
+    auto run = [&](tg_hier::RestrictionStrictness strictness) {
+      auto policy = std::make_shared<tg_hier::BishopRestrictionPolicy>(levels, strictness);
+      tg::RuleEngine engine(g, policy);
+      // The relay attack: h hands its r-over-y to m; h2 hands its r-over-m
+      // to x; then de facto spying flows y's information to x.
+      (void)engine.Apply(tg::RuleApplication::Grant(h, m, y, tg::kRead));
+      (void)engine.Apply(tg::RuleApplication::Grant(h2, x, m, tg::kRead));
+      tg::ProtectionGraph saturated = tg_analysis::SaturateDeFacto(engine.graph());
+      return tg_analysis::KnowEdgePresent(saturated, x, y);
+    };
+    bool paper_leaks = run(tg_hier::RestrictionStrictness::kPaper);
+    bool strict_leaks = run(tg_hier::RestrictionStrictness::kStrict);
+    report.Check("latt", "literal (a)/(b) leaves the incomparable relay open", true,
+                 paper_leaks);
+    report.Check("latt", "strict dominance variant closes the relay", false, strict_leaks);
+  }
+
+  // ---- BLP equivalence ----
+  {
+    tg_util::Prng prng(66);
+    int graphs = 0;
+    int agree = 0;
+    for (int trial = 0; trial < 15; ++trial) {
+      tg_sim::RandomHierarchyOptions options;
+      options.levels = 3;
+      options.subjects_per_level = 2;
+      options.planted_channels = trial % 2;
+      tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+      if (trial % 3 == 0) {
+        (void)h.graph.AddExplicit(h.level_subjects[0][0], h.level_subjects[2][0], tg::kRead);
+      }
+      size_t audit = tg_hier::AuditBishopRestriction(h.graph, h.levels).size();
+      size_t blp = tg_hier::SimpleSecurityViolations(h.graph, h.levels).size() +
+                   tg_hier::StarPropertyViolations(h.graph, h.levels).size();
+      ++graphs;
+      agree += (audit == blp) ? 1 : 0;
+    }
+    report.Check("BLP",
+                 "restriction audit == simple-security + *-property (" +
+                     std::to_string(agree) + "/" + std::to_string(graphs) + " graphs)",
+                 true, agree == graphs);
+  }
+
+  return report.Finish();
+}

@@ -1,0 +1,227 @@
+// Reproduces the paper's theorems:
+//
+//   T2.3  can_share decision procedure == exhaustive de jure search
+//   T3.1  can_know_f == de facto saturation (exact oracle)
+//   T3.2  can_know == bounded exhaustive search over both rule families
+//   T4.3  structures confine information flow to the upward direction
+//   T4.5  objects at their lowest accessor's level leak nothing downward
+//   T5.2  secure <=> no bridges/connections between rwtg-levels
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+
+namespace {
+
+struct AgreementStats {
+  int pairs = 0;
+  int positive = 0;
+  int disagreements = 0;
+};
+
+template <typename Fast, typename Slow>
+AgreementStats Compare(const tg::ProtectionGraph& g, Fast fast, Slow slow) {
+  AgreementStats stats;
+  for (tg::VertexId x = 0; x < g.VertexCount(); ++x) {
+    for (tg::VertexId y = 0; y < g.VertexCount(); ++y) {
+      if (x == y) {
+        continue;
+      }
+      bool f = fast(g, x, y);
+      bool s = slow(g, x, y);
+      ++stats.pairs;
+      stats.positive += f ? 1 : 0;
+      stats.disagreements += (f != s) ? 1 : 0;
+    }
+  }
+  return stats;
+}
+
+std::string StatLine(const AgreementStats& s) {
+  return std::to_string(s.pairs) + " pairs, " + std::to_string(s.positive) + " positive, " +
+         std::to_string(s.disagreements) + " disagreements";
+}
+
+}  // namespace
+
+int main() {
+  exp::Reporter report("paper theorems");
+  using tg::Right;
+  using tg::VertexId;
+
+  // ---- Theorem 2.3 ----
+  {
+    tg_util::Prng prng(23);
+    AgreementStats total;
+    int witnesses_checked = 0;
+    int witnesses_replayed = 0;
+    for (int trial = 0; trial < 12; ++trial) {
+      tg_sim::RandomGraphOptions options;
+      options.subjects = 3;
+      options.objects = 2;
+      options.edge_factor = 1.0 + 0.1 * (trial % 4);
+      tg::ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+      AgreementStats stats = Compare(
+          g,
+          [](const tg::ProtectionGraph& gg, VertexId x, VertexId y) {
+            return tg_analysis::CanShare(gg, Right::kRead, x, y);
+          },
+          [](const tg::ProtectionGraph& gg, VertexId x, VertexId y) {
+            tg_analysis::OracleOptions oracle;
+            oracle.max_creates = 1;
+            oracle.max_states = 40000;
+            return tg_analysis::OracleCanShare(gg, Right::kRead, x, y, oracle);
+          });
+      total.pairs += stats.pairs;
+      total.positive += stats.positive;
+      total.disagreements += stats.disagreements;
+      // Every positive answer must come with a replayable rule witness.
+      for (VertexId x = 0; x < g.VertexCount(); ++x) {
+        for (VertexId y = 0; y < g.VertexCount(); ++y) {
+          if (x == y || !tg_analysis::CanShare(g, Right::kRead, x, y)) {
+            continue;
+          }
+          ++witnesses_checked;
+          auto witness = tg_analysis::BuildCanShareWitness(g, Right::kRead, x, y);
+          if (witness.has_value() &&
+              witness->VerifyAddsExplicit(g, x, y, Right::kRead).ok()) {
+            ++witnesses_replayed;
+          }
+        }
+      }
+    }
+    report.Check("T2.3", "can_share == exhaustive search (" + StatLine(total) + ")", true,
+                 total.disagreements == 0 && total.positive > 0);
+    report.Check("T2.3",
+                 "every positive answer has a replayable witness (" +
+                     std::to_string(witnesses_replayed) + "/" +
+                     std::to_string(witnesses_checked) + ")",
+                 true, witnesses_checked > 0 && witnesses_replayed == witnesses_checked);
+  }
+
+  // ---- Theorem 3.1 ----
+  {
+    tg_util::Prng prng(31);
+    AgreementStats total;
+    for (int trial = 0; trial < 30; ++trial) {
+      tg_sim::RandomGraphOptions options;
+      options.subjects = 4;
+      options.objects = 3;
+      options.edge_factor = 1.5;
+      tg::ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+      AgreementStats stats =
+          Compare(g, tg_analysis::CanKnowF,
+                  [](const tg::ProtectionGraph& gg, VertexId x, VertexId y) {
+                    return tg_analysis::OracleCanKnowF(gg, x, y);
+                  });
+      total.pairs += stats.pairs;
+      total.positive += stats.positive;
+      total.disagreements += stats.disagreements;
+    }
+    report.Check("T3.1", "can_know_f == de facto saturation (" + StatLine(total) + ")", true,
+                 total.disagreements == 0 && total.positive > 0);
+  }
+
+  // ---- Theorem 3.2 ----
+  {
+    tg_util::Prng prng(32);
+    AgreementStats total;
+    for (int trial = 0; trial < 8; ++trial) {
+      tg_sim::RandomGraphOptions options;
+      options.subjects = 3;
+      options.objects = 2;
+      options.edge_factor = 1.1;
+      tg::ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+      AgreementStats stats =
+          Compare(g, tg_analysis::CanKnow,
+                  [](const tg::ProtectionGraph& gg, VertexId x, VertexId y) {
+                    tg_analysis::OracleOptions oracle;
+                    oracle.max_creates = 1;
+                    oracle.max_states = 25000;
+                    return tg_analysis::OracleCanKnow(gg, x, y, oracle);
+                  });
+      total.pairs += stats.pairs;
+      total.positive += stats.positive;
+      total.disagreements += stats.disagreements;
+    }
+    report.Check("T3.2", "can_know == bounded exhaustive search (" + StatLine(total) + ")",
+                 true, total.disagreements == 0 && total.positive > 0);
+  }
+
+  // ---- Theorem 4.3 ----
+  {
+    tg_util::Prng prng(43);
+    bool up_total = true;
+    bool down_none = true;
+    int pairs = 0;
+    for (int trial = 0; trial < 6; ++trial) {
+      tg_sim::RandomHierarchyOptions options;
+      options.levels = 4;
+      options.subjects_per_level = 2;
+      options.read_down = 1.0;
+      tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+      for (size_t k = 0; k < 4; ++k) {
+        for (size_t j = 0; j < k; ++j) {
+          for (VertexId a : h.level_subjects[k]) {
+            for (VertexId b : h.level_subjects[j]) {
+              ++pairs;
+              up_total &= tg_analysis::CanKnowF(h.graph, a, b);
+              down_none &= !tg_analysis::CanKnowF(h.graph, b, a);
+            }
+          }
+        }
+      }
+    }
+    report.Check("T4.3", "l_k knows l_j for k>j (" + std::to_string(pairs) + " pairs)", true,
+                 up_total);
+    report.Check("T4.3", "l_j never knows l_k for k>j", true, down_none);
+  }
+
+  // ---- Theorem 4.5 ----
+  {
+    tg_hier::LinearOptions options;
+    options.levels = 4;
+    options.subjects_per_level = 2;
+    tg_hier::ClassifiedSystem sys = tg_hier::LinearClassification(options);
+    bool contained = true;
+    int pairs = 0;
+    for (size_t doc_level = 1; doc_level < 4; ++doc_level) {
+      VertexId doc = sys.level_documents[doc_level];
+      for (size_t sub_level = 0; sub_level < doc_level; ++sub_level) {
+        for (VertexId s : sys.level_subjects[sub_level]) {
+          ++pairs;
+          contained &= !tg_analysis::CanKnowF(sys.graph, s, doc);
+        }
+      }
+    }
+    report.Check("T4.5",
+                 "no lower subject learns a higher document (" + std::to_string(pairs) +
+                     " pairs)",
+                 true, contained);
+  }
+
+  // ---- Theorem 5.2 ----
+  {
+    tg_util::Prng prng(52);
+    int graphs = 0;
+    int agreements = 0;
+    int insecure_seen = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      tg_sim::RandomHierarchyOptions options;
+      options.levels = 2 + trial % 3;
+      options.subjects_per_level = 2;
+      options.planted_channels = trial % 3;
+      tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+      bool by_definition = tg_hier::CheckSecure(h.graph, h.levels, 1).secure;
+      bool by_structure = tg_hier::SecureByTheorem52(h.graph, h.levels);
+      ++graphs;
+      agreements += (by_definition == by_structure) ? 1 : 0;
+      insecure_seen += by_definition ? 0 : 1;
+    }
+    report.Check("T5.2",
+                 "secure <=> no cross-level bridges/connections (" + std::to_string(graphs) +
+                     " graphs, " + std::to_string(insecure_seen) + " insecure)",
+                 true, agreements == graphs && insecure_seen > 0);
+  }
+
+  return report.Finish();
+}

@@ -1,0 +1,98 @@
+// Document management system (section 6's discussion).
+//
+// Models a small multi-level document store behind a reference monitor:
+// authors create and share documents at their level, superiors read down,
+// and the monitor vetoes anything that would complete a read-up or
+// write-down edge.  Also demonstrates why *declassification* cannot be
+// expressed safely: moving a document's level down would hand every prior
+// writer a write-down edge, which the paper's security notion forbids.
+
+#include <cstdio>
+
+#include "src/take_grant.h"
+
+namespace {
+
+void Show(const tg_util::StatusOr<tg::RuleApplication>& result, const char* what) {
+  std::printf("  %-52s %s\n", what, result.ok() ? "OK" : result.status().ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // Three clearances: public(0) < internal(1) < secret(2).
+  tg_hier::LinearOptions options;
+  options.levels = 3;
+  options.subjects_per_level = 2;
+  options.documents = true;
+  tg_hier::ClassifiedSystem system = tg_hier::LinearClassification(options);
+  system.levels.SetLevelName(0, "public");
+  system.levels.SetLevelName(1, "internal");
+  system.levels.SetLevelName(2, "secret");
+
+  auto policy = std::make_shared<tg_hier::BishopRestrictionPolicy>(system.levels);
+  tg_sim::ReferenceMonitor monitor(system.graph, policy);
+
+  tg::VertexId analyst = system.level_subjects[1][0];   // internal
+  tg::VertexId colleague = system.level_subjects[1][1]; // internal
+  tg::VertexId intern = system.level_subjects[0][0];    // public
+  tg::VertexId director = system.level_subjects[2][0];  // secret
+
+  std::printf("document system: %s\n", monitor.graph().Summary().c_str());
+  std::printf("actors: analyst/colleague=internal, intern=public, director=secret\n\n");
+
+  // 1. The analyst drafts a report at its own level.
+  auto created = monitor.Submit(tg::RuleApplication::Create(
+      analyst, tg::VertexKind::kObject, tg::kReadWrite, "report"));
+  tg::VertexId report = created.ok() ? created->created : tg::kInvalidVertex;
+  Show(created, "analyst creates internal report");
+
+  // 2. Share with a colleague (same level): allowed.
+  (void)monitor.engine().mutable_graph().AddExplicit(analyst, colleague, tg::kGrant);
+  Show(monitor.Submit(tg::RuleApplication::Grant(analyst, colleague, report, tg::kReadWrite)),
+       "analyst grants rw on report to colleague");
+
+  // 3. Escalate to the director (read-down for the superior): the director
+  //    acquires read via its take edge over the analyst's level? No such
+  //    edge exists, so the analyst grants upward -- the new edge is
+  //    director -r-> report, a read *down* for the director: allowed.
+  (void)monitor.engine().mutable_graph().AddExplicit(analyst, director, tg::kGrant);
+  Show(monitor.Submit(tg::RuleApplication::Grant(analyst, director, report, tg::kRead)),
+       "analyst grants r on report to director (read-down)");
+
+  // 4. Leak to the intern: vetoed (read-up edge for the intern).
+  (void)monitor.engine().mutable_graph().AddExplicit(analyst, intern, tg::kGrant);
+  Show(monitor.Submit(tg::RuleApplication::Grant(analyst, intern, report, tg::kRead)),
+       "analyst grants r on report to intern (LEAK)");
+
+  // 5. The intern may still receive inert capabilities, e.g. execute.
+  (void)monitor.engine().mutable_graph().AddExplicit(analyst, report, tg::RightSet(
+      tg::Right::kExecute));
+  Show(monitor.Submit(tg::RuleApplication::Grant(analyst, intern, report,
+                                                 tg::RightSet(tg::Right::kExecute))),
+       "analyst grants e (execute) on report to intern");
+
+  // 6. Declassification attempt: pretend the report becomes public by
+  //    re-assigning its level, then audit.  Every internal writer now holds
+  //    a write-down edge: the system is no longer secure, which is exactly
+  //    the paper's argument that declassification breaks the model.
+  tg_hier::LevelAssignment declassified = policy->assignment();
+  declassified.Assign(report, 0);
+  auto offending = tg_hier::AuditBishopRestriction(monitor.graph(), declassified);
+  std::printf("\ndeclassification audit: %zu forbidden edges after lowering the report\n",
+              offending.size());
+  for (const tg::Edge& e : offending) {
+    std::printf("  %s -> %s [%s]\n", monitor.graph().NameOf(e.src).c_str(),
+                monitor.graph().NameOf(e.dst).c_str(), e.TotalRights().ToString().c_str());
+  }
+
+  // 7. Final state of the monitored system remains clean under its real
+  //    level assignment.
+  auto clean = tg_hier::AuditBishopRestriction(
+      tg_analysis::SaturateDeFacto(monitor.graph()), policy->assignment());
+  std::printf("\nfinal audit under true levels: %zu forbidden edges\n", clean.size());
+  std::printf("monitor: %zu allowed, %zu vetoed\n", monitor.allowed_count(),
+              monitor.vetoed_count());
+  std::printf("\naudit log:\n%s", monitor.RenderAuditLog().c_str());
+  return 0;
+}

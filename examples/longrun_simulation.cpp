@@ -1,0 +1,123 @@
+// Long-running system simulation: a monitored multi-level organization
+// operating for many rounds under mixed legitimate and adversarial load.
+//
+// Each round, every subject performs plausible work (creating documents,
+// sharing at its own level, reading down); meanwhile a standing conspiracy
+// tries to move high information low.  The demo runs the same trace under
+// the unrestricted engine and under the Bishop restriction, reporting
+// veto rates, breach status, and the audit/diff of the final state.
+
+#include <cstdio>
+
+#include "src/take_grant.h"
+
+namespace {
+
+struct RoundStats {
+  size_t ops = 0;
+  size_t vetoed = 0;
+};
+
+// One round of legitimate-looking workload plus adversarial probes.
+RoundStats RunRound(tg_sim::ReferenceMonitor& monitor,
+                    const tg_sim::GeneratedHierarchy& h, tg_util::Prng& prng) {
+  RoundStats stats;
+  const tg::ProtectionGraph& g = monitor.graph();
+  auto submit = [&](tg::RuleApplication rule) {
+    ++stats.ops;
+    if (!monitor.Submit(std::move(rule)).ok()) {
+      ++stats.vetoed;
+    }
+  };
+  // Legitimate work: each level's first subject drafts a document and
+  // shares reads with a level peer.
+  for (size_t level = 0; level < h.level_subjects.size(); ++level) {
+    const auto& subjects = h.level_subjects[level];
+    if (subjects.empty()) {
+      continue;
+    }
+    tg::VertexId author = prng.Choose(subjects);
+    auto created = monitor.Submit(
+        tg::RuleApplication::Create(author, tg::VertexKind::kObject, tg::kReadWrite));
+    ++stats.ops;
+    if (created.ok() && subjects.size() > 1) {
+      tg::VertexId peer = subjects[(prng.NextBelow(subjects.size()))];
+      if (peer != author) {
+        // Ad-hoc g edge (out-of-band administrative action), then grant.
+        (void)monitor.engine().mutable_graph().AddExplicit(author, peer, tg::kGrant);
+        submit(tg::RuleApplication::Grant(author, peer, created->created, tg::kRead));
+      }
+    }
+  }
+  // Adversarial probes: random applicable de jure rules, preferring ones
+  // that move r/w around.
+  std::vector<tg::RuleApplication> moves = tg::EnumerateDeJure(g);
+  prng.Shuffle(moves);
+  size_t probes = std::min<size_t>(moves.size(), 5);
+  for (size_t i = 0; i < probes; ++i) {
+    submit(moves[i]);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRounds = 25;
+  tg_util::Prng seed_prng(20260707);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = 3;
+  options.subjects_per_level = 3;
+  options.objects_per_level = 2;
+  options.planted_channels = 2;  // the org has pre-existing cross-level tg links
+  tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, seed_prng);
+  tg::VertexId low = h.level_subjects[0][0];
+  tg::VertexId high = h.level_subjects[2][0];
+
+  std::printf("system: %s, 3 levels, 2 planted cross-level channels\n",
+              h.graph.Summary().c_str());
+  std::printf("standing conspiracy goal: %s learns %s\n\n",
+              h.graph.NameOf(low).c_str(), h.graph.NameOf(high).c_str());
+
+  std::printf("%-22s %8s %8s %10s %8s %8s\n", "policy", "ops", "vetoed", "veto-rate",
+              "breach", "audit");
+  for (int mode = 0; mode < 2; ++mode) {
+    std::shared_ptr<tg::RulePolicy> policy;
+    if (mode == 0) {
+      policy = std::make_shared<tg::AllowAllPolicy>();
+    } else {
+      // The production stack: Bishop restriction plus a blanket ban on
+      // take/grant moving the delete right (a site-specific rule).
+      policy = std::make_shared<tg_hier::CompositePolicy>(
+          std::vector<std::shared_ptr<tg::RulePolicy>>{
+              std::make_shared<tg_hier::BishopRestrictionPolicy>(h.levels),
+              std::make_shared<tg_hier::ApplicationRestrictionPolicy>(
+                  h.levels, tg::RightSet(tg::Right::kDelete))});
+    }
+    tg_sim::ReferenceMonitor monitor(h.graph, policy);
+    tg_util::Prng prng(42);
+    size_t total_ops = 0;
+    size_t total_vetoed = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      RoundStats stats = RunRound(monitor, h, prng);
+      total_ops += stats.ops;
+      total_vetoed += stats.vetoed;
+    }
+    tg::ProtectionGraph final_graph = tg_analysis::SaturateDeFacto(monitor.graph());
+    bool breached = tg_analysis::KnowEdgePresent(final_graph, low, high);
+    size_t audit = tg_hier::AuditBishopRestriction(final_graph, h.levels).size();
+    std::printf("%-22s %8zu %8zu %9.1f%% %8s %8zu\n", policy->Name().c_str(), total_ops,
+                total_vetoed, 100.0 * static_cast<double>(total_vetoed) /
+                                  static_cast<double>(total_ops),
+                breached ? "YES" : "no", audit);
+    if (mode == 1) {
+      tg::GraphDiff diff = tg::DiffGraphs(h.graph, monitor.graph());
+      std::printf("\nrestricted run: %zu changes vs day zero "
+                  "(%zu new vertices, %zu new explicit edges)\n",
+                  diff.ChangeCount(), diff.added_vertices.size(),
+                  diff.added_explicit.size());
+      std::printf("last vetoes:\n%s", monitor.RenderAuditLog(3).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Military classification demo (Figure 4.2).
+//
+// Builds the lattice of (authority, category) levels, shows that levels in
+// different categories are incomparable, and demonstrates the paper's
+// headline property: even a conspiracy between a top-secret insider and an
+// unclassified outsider cannot move information down the lattice when the
+// Bishop restriction mediates the de jure rules.
+
+#include <cstdio>
+
+#include "src/take_grant.h"
+
+int main() {
+  tg_hier::MilitaryOptions options;
+  options.authority_levels = 4;  // unclassified(0) .. top secret(3)
+  options.categories = 2;        // categories A and B
+  options.subjects_per_node = 1;
+  tg_hier::ClassifiedSystem system = tg_hier::MilitaryClassification(options);
+
+  std::printf("military lattice: %s\n", system.graph.Summary().c_str());
+  std::printf("levels (%zu):", system.levels.LevelCount());
+  for (tg_hier::LevelId l = 0; l < system.levels.LevelCount(); ++l) {
+    std::printf(" %s", system.levels.LevelName(l).c_str());
+  }
+  std::printf("\n\n");
+
+  // Incomparability: A1 vs B1.
+  tg::VertexId a1 = system.graph.FindVertex("A1s0");
+  tg::VertexId b1 = system.graph.FindVertex("B1s0");
+  std::printf("A1 comparable to B1? %s (different categories)\n",
+              system.levels.Comparable(system.levels.LevelOf(a1), system.levels.LevelOf(b1))
+                  ? "yes"
+                  : "no");
+
+  // The baseline system is secure.
+  tg_hier::SecurityReport report = tg_hier::CheckSecure(system.graph, system.levels);
+  std::printf("baseline secure: %s\n\n", report.secure ? "yes" : "no");
+
+  // Conspiracy: the top-secret category-A subject and the unclassified
+  // subject conspire to leak the A3 document down to unclassified.
+  tg::VertexId insider = system.graph.FindVertex("A3s0");
+  tg::VertexId outsider = system.graph.FindVertex("Us0");
+  tg::VertexId crown_jewels = system.graph.FindVertex("A3doc");
+
+  // Give the conspiracy a channel Wu's model would have allowed: a direct
+  // take edge between the levels.
+  tg::ProtectionGraph rigged = system.graph;
+  (void)rigged.AddExplicit(outsider, insider, tg::kTake);
+  std::printf("planted channel: %s -t-> %s\n", rigged.NameOf(outsider).c_str(),
+              rigged.NameOf(insider).c_str());
+  std::printf("unrestricted can_share(r, outsider, A3doc): %s\n",
+              tg_analysis::CanShare(rigged, tg::Right::kRead, outsider, crown_jewels)
+                  ? "true  (Wu-style hierarchy falls)"
+                  : "false");
+
+  // Run the conspiracy with and without the Bishop restriction.
+  for (bool restricted : {false, true}) {
+    std::shared_ptr<tg::RulePolicy> policy;
+    if (restricted) {
+      policy = std::make_shared<tg_hier::BishopRestrictionPolicy>(system.levels);
+    } else {
+      policy = std::make_shared<tg::AllowAllPolicy>();
+    }
+    tg_sim::ReferenceMonitor monitor(rigged, policy);
+    tg_sim::AttackOptions attack;
+    attack.strategy = tg_sim::AdversaryStrategy::kGreedy;
+    attack.max_steps = 200;
+    tg_util::Prng prng(7);
+    tg_sim::AttackOutcome outcome =
+        tg_sim::RunConspiracy(monitor, system.levels, outsider, crown_jewels, attack, prng);
+    std::printf("\n[%s] breached=%s steps=%zu vetoed=%zu\n",
+                restricted ? "bishop-restriction" : "unrestricted",
+                outcome.breached ? "YES" : "no", outcome.steps_applied, outcome.steps_vetoed);
+    if (restricted) {
+      std::printf("last audit entries:\n%s", monitor.RenderAuditLog(4).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,363 @@
+// tgsh: an interactive shell for exploring take-grant protection graphs.
+//
+//   $ ./tgsh                 # empty graph
+//   $ ./tgsh graph.tgg       # start from a file
+//   $ echo "subject a
+//   object b
+//   edge a b r
+//   know a b" | ./tgsh -     # scripted via stdin
+//
+// Commands (one per line; '#' starts a comment):
+//   subject NAME                    add a subject
+//   object NAME                     add an object
+//   edge SRC DST RIGHTS             add an explicit edge (rights like "rw")
+//   implicit SRC DST RIGHTS         add an implicit edge
+//   take X Y Z RIGHTS               X takes (RIGHTS to Z) from Y
+//   grant X Y Z RIGHTS              X grants (RIGHTS to Z) to Y
+//   create X subject|object RIGHTS [NAME]
+//   remove X Y RIGHTS
+//   post X Y Z / pass X Y Z / spy X Y Z / find X Y Z
+//   share RIGHT X Y                 can_share?   (with witness)
+//   steal RIGHT X Y                 can_steal?   (with witness)
+//   know X Y                        can_know?    knowf X Y for de facto only
+//   islands                         print the island decomposition
+//   levels                          print computed rwtg-levels
+//   saturate                        apply de facto rules to fixpoint
+//   show                            print the graph (.tgg form)
+//   dot FILE                        export Graphviz
+//   save FILE / load FILE           .tgg I/O
+//   help / quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/take_grant.h"
+#include "src/util/strings.h"
+
+namespace {
+
+struct Shell {
+  tg::ProtectionGraph graph;
+  bool done = false;
+
+  tg::VertexId Resolve(std::string_view name) {
+    tg::VertexId v = graph.FindVertex(name);
+    if (v == tg::kInvalidVertex) {
+      std::printf("error: unknown vertex '%.*s'\n", static_cast<int>(name.size()),
+                  name.data());
+    }
+    return v;
+  }
+
+  std::optional<tg::RightSet> ResolveRights(std::string_view text) {
+    auto rights = tg::RightSet::Parse(text);
+    if (!rights.has_value() || rights->empty()) {
+      std::printf("error: bad right set '%.*s'\n", static_cast<int>(text.size()), text.data());
+      return std::nullopt;
+    }
+    return rights;
+  }
+
+  std::optional<tg::Right> ResolveRight(std::string_view text) {
+    if (text.size() == 1) {
+      if (auto right = tg::RightFromChar(text[0])) {
+        return right;
+      }
+    }
+    std::printf("error: bad right '%.*s' (one of r w t g e a c d)\n",
+                static_cast<int>(text.size()), text.data());
+    return std::nullopt;
+  }
+
+  void ApplyAndReport(tg::RuleApplication rule) {
+    std::string rendered = rule.ToString(graph);
+    tg_util::Status status = ApplyRule(graph, rule);
+    if (status.ok()) {
+      std::printf("ok: %s\n", rule.ToString(graph).c_str());
+    } else {
+      std::printf("refused: %s -- %s\n", rendered.c_str(), status.ToString().c_str());
+    }
+  }
+
+  void Execute(const std::string& line);
+};
+
+void PrintHelp() {
+  std::printf(
+      "graph:    subject N | object N | edge S D R | implicit S D R | show | save F | load F\n"
+      "rules:    take X Y Z R | grant X Y Z R | create X subject|object R [N] |\n"
+      "          remove X Y R | post/pass/spy/find X Y Z | saturate\n"
+      "queries:  share R X Y | steal R X Y | know X Y | knowf X Y | islands | levels\n"
+      "output:   dot FILE\n"
+      "misc:     help | quit\n");
+}
+
+void Shell::Execute(const std::string& raw) {
+  size_t hash = raw.find('#');
+  std::string line(tg_util::StripWhitespace(hash == std::string::npos ? std::string_view(raw)
+                                                                      : std::string_view(raw).substr(0, hash)));
+  if (line.empty()) {
+    return;
+  }
+  std::vector<std::string_view> tok = tg_util::SplitWhitespace(line);
+  const std::string_view cmd = tok[0];
+  auto need = [&](size_t n) {
+    if (tok.size() != n + 1) {
+      std::printf("error: '%.*s' expects %zu argument(s); see help\n",
+                  static_cast<int>(cmd.size()), cmd.data(), n);
+      return false;
+    }
+    return true;
+  };
+
+  if (cmd == "quit" || cmd == "exit") {
+    done = true;
+  } else if (cmd == "help") {
+    PrintHelp();
+  } else if (cmd == "subject" || cmd == "object") {
+    if (!need(1)) {
+      return;
+    }
+    tg::VertexId v = graph.AddVertex(
+        cmd == "subject" ? tg::VertexKind::kSubject : tg::VertexKind::kObject, tok[1]);
+    std::printf("ok: %s %s\n", cmd == "subject" ? "subject" : "object",
+                graph.NameOf(v).c_str());
+  } else if (cmd == "edge" || cmd == "implicit") {
+    if (!need(3)) {
+      return;
+    }
+    tg::VertexId src = Resolve(tok[1]);
+    tg::VertexId dst = Resolve(tok[2]);
+    auto rights = ResolveRights(tok[3]);
+    if (src == tg::kInvalidVertex || dst == tg::kInvalidVertex || !rights) {
+      return;
+    }
+    tg_util::Status s = cmd == "edge" ? graph.AddExplicit(src, dst, *rights)
+                                      : graph.AddImplicit(src, dst, *rights);
+    std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+  } else if (cmd == "take" || cmd == "grant") {
+    if (!need(4)) {
+      return;
+    }
+    tg::VertexId x = Resolve(tok[1]);
+    tg::VertexId y = Resolve(tok[2]);
+    tg::VertexId z = Resolve(tok[3]);
+    auto rights = ResolveRights(tok[4]);
+    if (x == tg::kInvalidVertex || y == tg::kInvalidVertex || z == tg::kInvalidVertex ||
+        !rights) {
+      return;
+    }
+    ApplyAndReport(cmd == "take" ? tg::RuleApplication::Take(x, y, z, *rights)
+                                 : tg::RuleApplication::Grant(x, y, z, *rights));
+  } else if (cmd == "create") {
+    if (tok.size() != 4 && tok.size() != 5) {
+      std::printf("error: create X subject|object RIGHTS [NAME]\n");
+      return;
+    }
+    tg::VertexId x = Resolve(tok[1]);
+    if (x == tg::kInvalidVertex) {
+      return;
+    }
+    if (tok[2] != "subject" && tok[2] != "object") {
+      std::printf("error: create kind must be subject or object\n");
+      return;
+    }
+    auto rights = tg::RightSet::Parse(tok[3]);
+    if (!rights.has_value()) {
+      std::printf("error: bad right set\n");
+      return;
+    }
+    ApplyAndReport(tg::RuleApplication::Create(
+        x, tok[2] == "subject" ? tg::VertexKind::kSubject : tg::VertexKind::kObject, *rights,
+        tok.size() == 5 ? std::string(tok[4]) : ""));
+  } else if (cmd == "remove") {
+    if (!need(3)) {
+      return;
+    }
+    tg::VertexId x = Resolve(tok[1]);
+    tg::VertexId y = Resolve(tok[2]);
+    auto rights = ResolveRights(tok[3]);
+    if (x == tg::kInvalidVertex || y == tg::kInvalidVertex || !rights) {
+      return;
+    }
+    ApplyAndReport(tg::RuleApplication::Remove(x, y, *rights));
+  } else if (cmd == "post" || cmd == "pass" || cmd == "spy" || cmd == "find") {
+    if (!need(3)) {
+      return;
+    }
+    tg::VertexId x = Resolve(tok[1]);
+    tg::VertexId y = Resolve(tok[2]);
+    tg::VertexId z = Resolve(tok[3]);
+    if (x == tg::kInvalidVertex || y == tg::kInvalidVertex || z == tg::kInvalidVertex) {
+      return;
+    }
+    tg::RuleApplication rule = cmd == "post"   ? tg::RuleApplication::Post(x, y, z)
+                               : cmd == "pass" ? tg::RuleApplication::Pass(x, y, z)
+                               : cmd == "spy"  ? tg::RuleApplication::Spy(x, y, z)
+                                               : tg::RuleApplication::Find(x, y, z);
+    ApplyAndReport(rule);
+  } else if (cmd == "share" || cmd == "steal") {
+    if (!need(3)) {
+      return;
+    }
+    auto right = ResolveRight(tok[1]);
+    tg::VertexId x = Resolve(tok[2]);
+    tg::VertexId y = Resolve(tok[3]);
+    if (!right || x == tg::kInvalidVertex || y == tg::kInvalidVertex) {
+      return;
+    }
+    if (cmd == "share") {
+      bool yes = tg_analysis::CanShare(graph, *right, x, y);
+      std::printf("can_share(%c, %s, %s) = %s\n", tg::RightChar(*right),
+                  graph.NameOf(x).c_str(), graph.NameOf(y).c_str(), yes ? "true" : "false");
+      if (yes) {
+        if (auto w = tg_analysis::BuildCanShareWitness(graph, *right, x, y)) {
+          std::printf("%s", w->ToString(graph).c_str());
+        }
+      }
+    } else {
+      bool yes = tg_analysis::CanSteal(graph, *right, x, y);
+      std::printf("can_steal(%c, %s, %s) = %s\n", tg::RightChar(*right),
+                  graph.NameOf(x).c_str(), graph.NameOf(y).c_str(), yes ? "true" : "false");
+      if (yes) {
+        if (auto w = tg_analysis::BuildCanStealWitness(graph, *right, x, y)) {
+          std::printf("%s", w->ToString(graph).c_str());
+        }
+      }
+    }
+  } else if (cmd == "know" || cmd == "knowf") {
+    if (!need(2)) {
+      return;
+    }
+    tg::VertexId x = Resolve(tok[1]);
+    tg::VertexId y = Resolve(tok[2]);
+    if (x == tg::kInvalidVertex || y == tg::kInvalidVertex) {
+      return;
+    }
+    if (cmd == "know") {
+      bool yes = tg_analysis::CanKnow(graph, x, y);
+      std::printf("can_know(%s, %s) = %s\n", graph.NameOf(x).c_str(),
+                  graph.NameOf(y).c_str(), yes ? "true" : "false");
+      if (yes && x != y) {
+        if (auto w = tg_analysis::BuildCanKnowWitness(graph, x, y); w && !w->empty()) {
+          std::printf("%s", w->ToString(graph).c_str());
+        }
+      }
+    } else {
+      bool yes = tg_analysis::CanKnowF(graph, x, y);
+      std::printf("can_know_f(%s, %s) = %s\n", graph.NameOf(x).c_str(),
+                  graph.NameOf(y).c_str(), yes ? "true" : "false");
+      if (yes && x != y) {
+        if (auto path = tg_analysis::FindAdmissibleRwPath(graph, x, y)) {
+          std::printf("path: %s\n", path->ToString(graph).c_str());
+        }
+      }
+    }
+  } else if (cmd == "islands") {
+    tg_analysis::Islands islands(graph);
+    for (size_t i = 0; i < islands.Count(); ++i) {
+      std::printf("I%zu:", i + 1);
+      for (tg::VertexId v : islands.Members(static_cast<uint32_t>(i))) {
+        std::printf(" %s", graph.NameOf(v).c_str());
+      }
+      std::printf("\n");
+    }
+    if (islands.Count() == 0) {
+      std::printf("(no subjects)\n");
+    }
+  } else if (cmd == "levels") {
+    tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(graph);
+    tg_hier::AssignObjectLevels(graph, levels);
+    auto members = levels.Members();
+    for (size_t l = 0; l < members.size(); ++l) {
+      std::printf("%s:", levels.LevelName(static_cast<tg_hier::LevelId>(l)).c_str());
+      for (tg::VertexId v : members[l]) {
+        std::printf(" %s", graph.NameOf(v).c_str());
+      }
+      std::printf("\n");
+    }
+  } else if (cmd == "saturate") {
+    size_t before = graph.ImplicitEdgeCount();
+    graph = tg_analysis::SaturateDeFacto(graph);
+    std::printf("ok: %zu new implicit edge(s)\n", graph.ImplicitEdgeCount() - before);
+  } else if (cmd == "show") {
+    std::printf("%s", tg::PrintGraph(graph).c_str());
+  } else if (cmd == "dot") {
+    if (!need(1)) {
+      return;
+    }
+    std::ofstream out{std::string(tok[1])};
+    if (!out) {
+      std::printf("error: cannot write %.*s\n", static_cast<int>(tok[1].size()),
+                  tok[1].data());
+      return;
+    }
+    out << tg::ToDot(graph);
+    std::printf("ok\n");
+  } else if (cmd == "save") {
+    if (!need(1)) {
+      return;
+    }
+    std::ofstream out{std::string(tok[1])};
+    if (!out) {
+      std::printf("error: cannot write file\n");
+      return;
+    }
+    out << tg::PrintGraph(graph);
+    std::printf("ok\n");
+  } else if (cmd == "load") {
+    if (!need(1)) {
+      return;
+    }
+    auto loaded = tg::LoadGraphFile(std::string(tok[1]));
+    if (!loaded.ok()) {
+      std::printf("error: %s\n", loaded.status().ToString().c_str());
+      return;
+    }
+    graph = std::move(loaded).value();
+    std::printf("ok: %s\n", graph.Summary().c_str());
+  } else {
+    std::printf("error: unknown command '%.*s' (try help)\n", static_cast<int>(cmd.size()),
+                cmd.data());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  bool interactive = true;
+  if (argc >= 2) {
+    std::string arg = argv[1];
+    if (arg == "-") {
+      interactive = false;
+    } else {
+      auto loaded = tg::LoadGraphFile(arg);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "tgsh: %s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      shell.graph = std::move(loaded).value();
+      std::printf("loaded: %s\n", shell.graph.Summary().c_str());
+    }
+  }
+  // Interactive when stdin is a terminal; scripted otherwise.
+  if (interactive) {
+    std::printf("tgsh -- take-grant shell (help for commands)\n");
+  }
+  std::string line;
+  while (!shell.done) {
+    if (interactive) {
+      std::printf("tg> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    shell.Execute(line);
+  }
+  return 0;
+}

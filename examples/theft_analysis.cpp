@@ -1,0 +1,82 @@
+// Theft analysis: sharing vs stealing.
+//
+// Builds a small organization and contrasts can_share (owners may
+// cooperate) with can_steal (no initial owner of the coveted right ever
+// grants).  Shows a theft witness and a case where a right is shareable
+// but theft-proof.
+
+#include <cstdio>
+
+#include "src/take_grant.h"
+
+int main() {
+  using tg::Right;
+
+  tg::ProtectionGraph g;
+  tg::VertexId mallory = g.AddSubject("mallory");   // the thief
+  tg::VertexId clerk = g.AddSubject("clerk");       // careless: t-exposed
+  tg::VertexId curator = g.AddSubject("curator");   // careful: grant-only
+  tg::VertexId ledger = g.AddObject("ledger");
+  tg::VertexId vault = g.AddObject("vault");
+
+  // mallory holds take over the clerk; the clerk reads the ledger.
+  (void)g.AddExplicit(mallory, clerk, tg::kTake);
+  (void)g.AddExplicit(clerk, ledger, tg::kRead);
+  // The curator reads the vault and *can* grant (an outgoing g edge), but
+  // nobody holds take rights over the curator.
+  (void)g.AddExplicit(curator, mallory, tg::kGrant);
+  (void)g.AddExplicit(curator, vault, tg::kRead);
+
+  std::printf("graph: %s\n\n", g.Summary().c_str());
+
+  struct Target {
+    const char* name;
+    tg::VertexId object;
+  } targets[] = {{"ledger", ledger}, {"vault", vault}};
+
+  for (const Target& t : targets) {
+    bool share = tg_analysis::CanShare(g, Right::kRead, mallory, t.object);
+    bool steal = tg_analysis::CanSteal(g, Right::kRead, mallory, t.object);
+    std::printf("%s: can_share(r)=%s  can_steal(r)=%s\n", t.name, share ? "yes" : "no",
+                steal ? "yes" : "no");
+    if (steal) {
+      auto witness = tg_analysis::BuildCanStealWitness(g, Right::kRead, mallory, t.object);
+      if (witness.has_value()) {
+        std::printf("theft witness (initial owners never grant):\n%s",
+                    witness->ToString(g).c_str());
+      }
+    } else if (share) {
+      std::printf("  -> only obtainable with an owner's cooperation: the curator\n"
+                  "     must grant it; no take route reaches an owner.\n");
+    }
+    std::printf("\n");
+  }
+
+  // Quantify on random graphs: how much rarer is theft than sharing?
+  tg_util::Prng prng(99);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 4;
+  options.objects = 2;
+  options.edge_factor = 1.2;
+  int shares = 0;
+  int thefts = 0;
+  int pairs = 0;
+  tg_analysis::OracleOptions oracle;
+  oracle.max_creates = 1;
+  oracle.max_states = 15000;
+  for (int trial = 0; trial < 8; ++trial) {
+    tg::ProtectionGraph r = tg_sim::RandomGraph(options, prng);
+    for (tg::VertexId x = 0; x < r.VertexCount(); ++x) {
+      for (tg::VertexId y = 0; y < r.VertexCount(); ++y) {
+        if (x == y) {
+          continue;
+        }
+        ++pairs;
+        shares += tg_analysis::CanShare(r, Right::kRead, x, y) ? 1 : 0;
+        thefts += tg_analysis::CanSteal(r, Right::kRead, x, y, oracle) ? 1 : 0;
+      }
+    }
+  }
+  std::printf("random sweep: %d pairs, %d shareable, %d stealable\n", pairs, shares, thefts);
+  return 0;
+}

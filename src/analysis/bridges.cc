@@ -1,0 +1,91 @@
+#include "src/analysis/bridges.h"
+
+#include "src/tg/languages.h"
+
+namespace tg_analysis {
+
+using tg::GraphPath;
+using tg::PathSearchOptions;
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+namespace {
+
+PathSearchOptions BridgeOptions() {
+  PathSearchOptions options;
+  // Bridges are pure t/g machinery; connections use r/w hops that may chain
+  // on implicit edges already present in the graph.
+  options.use_implicit = true;
+  return options;
+}
+
+std::optional<GraphPath> FindSubjectPath(const ProtectionGraph& g, VertexId u, VertexId v,
+                                         const tg_util::Dfa& dfa) {
+  if (!g.IsValidVertex(u) || !g.IsValidVertex(v) || !g.IsSubject(u) || !g.IsSubject(v)) {
+    return std::nullopt;
+  }
+  return FindWordPath(g, u, v, dfa, BridgeOptions());
+}
+
+// Iterated multi-source closure: repeatedly BFS from the current subject
+// frontier and absorb every subject whose path word the DFA accepts.  Any
+// single t/g edge (in either direction) is itself a bridge word, so island
+// co-membership is subsumed by chaining: no separate island expansion is
+// needed.  Each round is one product BFS; rounds are bounded by the number
+// of subjects and are few in practice.
+std::vector<bool> SubjectClosure(const ProtectionGraph& g, const std::vector<VertexId>& seeds,
+                                 const tg_util::Dfa& dfa) {
+  std::vector<bool> in_set(g.VertexCount(), false);
+  std::vector<VertexId> frontier;
+  for (VertexId v : seeds) {
+    if (g.IsValidVertex(v) && g.IsSubject(v) && !in_set[v]) {
+      in_set[v] = true;
+      frontier.push_back(v);
+    }
+  }
+  while (!frontier.empty()) {
+    // All current members seed the BFS (accepted walks may need to start
+    // anywhere in the set), but only genuinely new subjects extend it.
+    std::vector<VertexId> sources;
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      if (in_set[v]) {
+        sources.push_back(v);
+      }
+    }
+    std::vector<bool> reached = WordReachableMulti(g, sources, dfa, BridgeOptions());
+    frontier.clear();
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      if (reached[v] && g.IsSubject(v) && !in_set[v]) {
+        in_set[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return in_set;
+}
+
+}  // namespace
+
+std::optional<GraphPath> FindBridge(const ProtectionGraph& g, VertexId u, VertexId v) {
+  return FindSubjectPath(g, u, v, tg::BridgeDfa());
+}
+
+std::optional<GraphPath> FindConnection(const ProtectionGraph& g, VertexId u, VertexId v) {
+  return FindSubjectPath(g, u, v, tg::ConnectionDfa());
+}
+
+std::optional<GraphPath> FindBridgeOrConnection(const ProtectionGraph& g, VertexId u,
+                                                VertexId v) {
+  return FindSubjectPath(g, u, v, tg::BridgeOrConnectionDfa());
+}
+
+std::vector<bool> BridgeClosure(const ProtectionGraph& g, const std::vector<VertexId>& seeds) {
+  return SubjectClosure(g, seeds, tg::BridgeDfa());
+}
+
+std::vector<bool> BridgeOrConnectionClosure(const ProtectionGraph& g,
+                                            const std::vector<VertexId>& seeds) {
+  return SubjectClosure(g, seeds, tg::BridgeOrConnectionDfa());
+}
+
+}  // namespace tg_analysis

@@ -1,0 +1,47 @@
+// Bridges and connections between subjects.
+//
+// A *bridge* is a tg-path between two subjects with word in
+// { t>*, t<*, t>* g> t<*, t>* g< t<* }: the channel over which cooperating
+// subjects move *authority* between islands.  A *connection* is an rwtg-path
+// with word in { t>* r>, w< t<*, t>* r> w< t<* }: the channel over which
+// *information* flows directly between subjects.  Theorem 5.2 characterizes
+// security as the absence of bridges and connections between rwtg-levels.
+
+#ifndef SRC_ANALYSIS_BRIDGES_H_
+#define SRC_ANALYSIS_BRIDGES_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/path.h"
+
+namespace tg_analysis {
+
+// A bridge from u to v (both subjects), or nullopt.
+std::optional<tg::GraphPath> FindBridge(const tg::ProtectionGraph& g, tg::VertexId u,
+                                        tg::VertexId v);
+
+// A connection from u to v (both subjects; information flows v -> u).
+std::optional<tg::GraphPath> FindConnection(const tg::ProtectionGraph& g, tg::VertexId u,
+                                            tg::VertexId v);
+
+// A bridge-or-connection path (condition (c) of Theorem 3.2).
+std::optional<tg::GraphPath> FindBridgeOrConnection(const tg::ProtectionGraph& g,
+                                                    tg::VertexId u, tg::VertexId v);
+
+// All subjects reachable from any seed subject by chains that alternate
+// island co-membership and bridges — the island/bridge closure used by
+// can_share's condition (iii).  Seeds must be subjects.
+std::vector<bool> BridgeClosure(const tg::ProtectionGraph& g,
+                                const std::vector<tg::VertexId>& seeds);
+
+// Same, but chaining bridge-or-connection paths and rwtg-level-style
+// co-membership is NOT applied: pure directional closure over subjects of
+// condition (c) of Theorem 3.2 (u_i -> u_{i+1} words in B U C).
+std::vector<bool> BridgeOrConnectionClosure(const tg::ProtectionGraph& g,
+                                            const std::vector<tg::VertexId>& seeds);
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_BRIDGES_H_

@@ -1,0 +1,125 @@
+#include "src/analysis/can_know.h"
+
+#include "src/analysis/bridges.h"
+#include "src/analysis/spans.h"
+#include "src/tg/languages.h"
+
+namespace tg_analysis {
+
+using tg::GraphPath;
+using tg::PathSearchOptions;
+using tg::PathSymbol;
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+namespace {
+
+// Admissibility side conditions (Theorem 3.1 (b)): an r> step is a read by
+// its origin, so the origin must be a subject; a w< step is a write by its
+// destination, so the destination must be a subject.
+PathSearchOptions AdmissibleOptions(const ProtectionGraph& g) {
+  PathSearchOptions options;
+  options.use_implicit = true;
+  options.min_steps = 1;
+  options.step_filter = [&g](VertexId from, PathSymbol symbol, VertexId to) {
+    if (symbol == PathSymbol::kReadFwd) {
+      return g.IsSubject(from);
+    }
+    if (symbol == PathSymbol::kWriteBack) {
+      return g.IsSubject(to);
+    }
+    return true;  // other symbols are rejected by the DFA anyway
+  };
+  return options;
+}
+
+}  // namespace
+
+bool CanKnowF(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
+    return false;
+  }
+  if (x == y) {
+    return true;
+  }
+  PathSearchOptions options = AdmissibleOptions(g);
+  return FindWordPath(g, x, y, tg::AdmissibleRwDfa(), options).has_value();
+}
+
+std::optional<GraphPath> FindAdmissibleRwPath(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
+    return std::nullopt;
+  }
+  PathSearchOptions options = AdmissibleOptions(g);
+  return FindWordPath(g, x, y, tg::AdmissibleRwDfa(), options);
+}
+
+bool CanKnow(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
+    return false;
+  }
+  if (x == y) {
+    return true;
+  }
+  // (a) candidate chain heads.
+  std::vector<VertexId> heads = RwInitialSpannersTo(g, x);
+  if (g.IsSubject(x)) {
+    heads.push_back(x);
+  }
+  if (heads.empty()) {
+    return false;
+  }
+  // (b) candidate chain tails.
+  std::vector<VertexId> tails = RwTerminalSpannersTo(g, y);
+  if (g.IsSubject(y)) {
+    tails.push_back(y);
+  }
+  if (tails.empty()) {
+    return false;
+  }
+  // (c) directed closure over bridge-or-connection words.
+  std::vector<bool> closure = BridgeOrConnectionClosure(g, heads);
+  for (VertexId u : tails) {
+    if (closure[u]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<bool> KnowableFrom(const ProtectionGraph& g, VertexId x) {
+  std::vector<bool> knowable(g.VertexCount(), false);
+  if (!g.IsValidVertex(x)) {
+    return knowable;
+  }
+  knowable[x] = true;
+  std::vector<VertexId> heads = RwInitialSpannersTo(g, x);
+  if (g.IsSubject(x)) {
+    heads.push_back(x);
+  }
+  if (heads.empty()) {
+    return knowable;
+  }
+  std::vector<bool> closure = BridgeOrConnectionClosure(g, heads);
+  // y is knowable when some closure subject is y itself or rw-terminally
+  // spans to y; the latter is one multi-source span search.
+  std::vector<VertexId> closure_subjects;
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (closure[v]) {
+      knowable[v] = true;
+      closure_subjects.push_back(v);
+    }
+  }
+  PathSearchOptions options;
+  options.use_implicit = true;
+  std::vector<bool> spanned =
+      WordReachableMulti(g, closure_subjects, tg::RwTerminalSpanDfa(), options);
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (spanned[v]) {
+      knowable[v] = true;
+    }
+  }
+  return knowable;
+}
+
+}  // namespace tg_analysis

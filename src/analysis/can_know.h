@@ -1,0 +1,47 @@
+// can_know_f and can_know: the information-flow predicates.
+//
+// can_know_f(x, y, G) — de facto rules only (Theorem 3.1): true iff there is
+// an *admissible rw-path* from x to y: word in (r> | w<)* where every r>
+// step is read by a subject and every w< step is written by a subject.
+//
+// can_know(x, y, G) — de jure + de facto rules (Theorem 3.2): true iff a
+// chain of subjects u1..un exists with
+//   (a) x = u1 or u1 rw-initially spans to x,
+//   (b) y = un or un rw-terminally spans to y,
+//   (c) each (u_i, u_{i+1}) linked by an rwtg-path with word in B U C
+//       (bridge or connection).
+//
+// Both predicates are reflexive by convention (a vertex knows its own
+// information); the paper only ever applies them to distinct vertices.
+
+#ifndef SRC_ANALYSIS_CAN_KNOW_H_
+#define SRC_ANALYSIS_CAN_KNOW_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/path.h"
+
+namespace tg_analysis {
+
+// Theorem 3.1 decision procedure.
+bool CanKnowF(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+// The admissible rw-path witnessing can_know_f, if any (nullopt also for
+// the trivial x == y case).
+std::optional<tg::GraphPath> FindAdmissibleRwPath(const tg::ProtectionGraph& g, tg::VertexId x,
+                                                  tg::VertexId y);
+
+// Theorem 3.2 decision procedure.
+bool CanKnow(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+// Everything x can come to know: the bitmap of all y (including x) with
+// CanKnow(g, x, y).  One closure + one multi-source span search, so
+// security audits over all pairs cost |V| closures rather than |V|^2
+// can_know queries.
+std::vector<bool> KnowableFrom(const tg::ProtectionGraph& g, tg::VertexId x);
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_CAN_KNOW_H_

@@ -1,0 +1,71 @@
+#include "src/analysis/can_share.h"
+
+#include "src/analysis/bridges.h"
+#include "src/analysis/spans.h"
+
+namespace tg_analysis {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RightSet;
+using tg::VertexId;
+
+bool CanShare(const ProtectionGraph& g, Right right, VertexId x, VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
+    return false;
+  }
+  // Base case: the edge is already there.
+  if (g.HasExplicit(x, y, right)) {
+    return true;
+  }
+  // (i) vertices already holding the right over y.
+  std::vector<VertexId> sources;
+  g.ForEachInEdge(y, [&](const tg::Edge& e) {
+    if (e.explicit_rights.Has(right)) {
+      sources.push_back(e.src);
+    }
+  });
+  if (sources.empty()) {
+    return false;
+  }
+  // (ii) subjects that can inject rights into x / extract them from a source.
+  std::vector<VertexId> acquirers = InitialSpannersTo(g, x);
+  if (acquirers.empty()) {
+    return false;
+  }
+  std::vector<VertexId> extractors = TerminalSpannersTo(g, sources);
+  if (extractors.empty()) {
+    return false;
+  }
+  // (iii) island/bridge chain between some acquirer and some extractor.
+  std::vector<bool> closure = BridgeClosure(g, acquirers);
+  for (VertexId s_prime : extractors) {
+    if (closure[s_prime]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CanShareAll(const ProtectionGraph& g, RightSet rights, VertexId x, VertexId y) {
+  for (int i = 0; i < tg::kRightCount; ++i) {
+    Right r = static_cast<Right>(i);
+    if (rights.Has(r) && !CanShare(g, r, x, y)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RightSet ShareableRights(const ProtectionGraph& g, VertexId x, VertexId y) {
+  RightSet out;
+  for (int i = 0; i < tg::kRightCount; ++i) {
+    Right r = static_cast<Right>(i);
+    if (CanShare(g, r, x, y)) {
+      out = out.Add(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace tg_analysis

@@ -1,0 +1,36 @@
+// can_share: the de jure sharing predicate (Theorem 2.3).
+//
+// can_share(a, x, y, G) is true iff some finite sequence of de jure rules
+// gives x an explicit a-edge to y.  Theorem 2.3 (Jones-Lipton-Snyder /
+// Lipton-Snyder) characterizes it: either the edge already exists, or
+//   (i)   some vertex s has an explicit a-edge to y,
+//   (ii)  some subject x' initially spans to x and some subject s'
+//         terminally spans to s,
+//   (iii) x' and s' are linked by a chain of islands and bridges.
+//
+// The decision procedure runs a constant number of language-constrained
+// BFS passes (spans) plus an iterated bridge closure — the linear-time
+// flavour of the published algorithm.
+
+#ifndef SRC_ANALYSIS_CAN_SHARE_H_
+#define SRC_ANALYSIS_CAN_SHARE_H_
+
+#include "src/tg/graph.h"
+#include "src/tg/rights.h"
+
+namespace tg_analysis {
+
+// Decision procedure for a single right.
+bool CanShare(const tg::ProtectionGraph& g, tg::Right right, tg::VertexId x, tg::VertexId y);
+
+// All rights in `rights` individually shareable (each right may travel a
+// different route).
+bool CanShareAll(const tg::ProtectionGraph& g, tg::RightSet rights, tg::VertexId x,
+                 tg::VertexId y);
+
+// The full set of rights x can come to hold over y.
+tg::RightSet ShareableRights(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_CAN_SHARE_H_

@@ -1,0 +1,205 @@
+#include "src/analysis/can_steal.h"
+
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "src/analysis/can_share.h"
+#include "src/analysis/spans.h"
+#include "src/tg/rules.h"
+
+namespace tg_analysis {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RightSet;
+using tg::RuleApplication;
+using tg::VertexId;
+using tg::VertexKind;
+using tg::Witness;
+
+bool CanStealNecessary(const ProtectionGraph& g, Right right, VertexId x, VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
+    return false;
+  }
+  // (a) nothing to steal if x already holds the right.
+  if (g.HasExplicit(x, y, right)) {
+    return false;
+  }
+  // (c) the owners.
+  std::vector<VertexId> owners;
+  g.ForEachInEdge(y, [&](const tg::Edge& e) {
+    if (e.explicit_rights.Has(right)) {
+      owners.push_back(e.src);
+    }
+  });
+  if (owners.empty()) {
+    return false;
+  }
+  // (b) a subject that can inject rights into x.
+  std::vector<VertexId> injectors = InitialSpannersTo(g, x);
+  if (injectors.empty()) {
+    return false;
+  }
+  // (d) some subject must be able to come to hold t over some owner (the
+  // first acquisition of the right by a non-owner is necessarily a take
+  // from an owner).  "Some subject can share t over s" reduces to: some
+  // subject terminally spans to a vertex holding an explicit t edge to s.
+  bool extractable = false;
+  for (VertexId s : owners) {
+    std::vector<VertexId> t_holders;
+    g.ForEachInEdge(s, [&](const tg::Edge& e) {
+      if (e.explicit_rights.Has(Right::kTake)) {
+        t_holders.push_back(e.src);
+      }
+    });
+    if (!t_holders.empty() && !TerminalSpannersTo(g, t_holders).empty()) {
+      extractable = true;
+      break;
+    }
+  }
+  if (!extractable) {
+    return false;
+  }
+  // Theft is a restricted derivation, so unrestricted sharing is necessary
+  // too (and carries the connectivity conditions of Theorem 2.3).
+  return CanShare(g, right, x, y);
+}
+
+namespace {
+
+// Canonical key over explicit structure (as in oracle.cc, kept local).
+std::string ExplicitKey(const ProtectionGraph& g) {
+  std::string key;
+  key.reserve(64);
+  key += std::to_string(g.VertexCount());
+  key += ';';
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    key += g.IsSubject(v) ? 'S' : 'O';
+  }
+  key += ';';
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    std::vector<std::pair<VertexId, uint8_t>> out;
+    g.ForEachOutEdge(v, [&](const tg::Edge& e) {
+      if (!e.explicit_rights.empty()) {
+        out.emplace_back(e.dst, e.explicit_rights.bits());
+      }
+    });
+    std::sort(out.begin(), out.end());
+    for (auto [dst, bits] : out) {
+      key += std::to_string(v);
+      key += '>';
+      key += std::to_string(dst);
+      key += ':';
+      key += std::to_string(bits);
+      key += ',';
+    }
+  }
+  return key;
+}
+
+// The strong theft ban: initial owners never grant.  Returns false when the
+// move is forbidden.
+bool SanitizeMove(RuleApplication& move, Right right, VertexId y,
+                  const std::vector<bool>& initial_owner) {
+  (void)right;
+  (void)y;
+  if (move.kind != tg::RuleKind::kGrant) {
+    return true;
+  }
+  return move.x >= initial_owner.size() || !initial_owner[move.x];
+}
+
+struct StealNode {
+  ProtectionGraph graph;
+  int creates_used = 0;
+  Witness trail;
+};
+
+std::optional<Witness> StealSearch(const ProtectionGraph& g, Right right, VertexId x,
+                                   VertexId y, const OracleOptions& options) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y || g.HasExplicit(x, y, right)) {
+    return std::nullopt;
+  }
+  std::vector<bool> initial_owner(g.VertexCount(), false);
+  g.ForEachInEdge(y, [&](const tg::Edge& e) {
+    if (e.explicit_rights.Has(right)) {
+      initial_owner[e.src] = true;
+    }
+  });
+
+  std::deque<StealNode> queue;
+  std::unordered_set<std::string> seen;
+  queue.push_back(StealNode{g, 0, Witness()});
+  seen.insert(ExplicitKey(g));
+  size_t states = 1;
+  while (!queue.empty()) {
+    StealNode node = std::move(queue.front());
+    queue.pop_front();
+    if (node.graph.HasExplicit(x, y, right)) {
+      return node.trail;
+    }
+    if (states >= options.max_states) {
+      continue;
+    }
+    std::vector<RuleApplication> moves = EnumerateDeJure(node.graph);
+    if (node.creates_used < options.max_creates) {
+      for (VertexId v = 0; v < node.graph.VertexCount(); ++v) {
+        if (node.graph.IsSubject(v)) {
+          moves.push_back(RuleApplication::Create(v, VertexKind::kSubject, RightSet::All()));
+        }
+      }
+    }
+    for (RuleApplication& move : moves) {
+      if (!SanitizeMove(move, right, y, initial_owner)) {
+        continue;
+      }
+      StealNode next;
+      next.graph = node.graph;
+      next.creates_used = node.creates_used + (move.kind == tg::RuleKind::kCreate ? 1 : 0);
+      RuleApplication applied = move;
+      if (!ApplyRule(next.graph, applied).ok()) {
+        continue;
+      }
+      if (!seen.insert(ExplicitKey(next.graph)).second) {
+        continue;
+      }
+      next.trail = node.trail;
+      next.trail.Append(move);
+      if (next.graph.HasExplicit(x, y, right)) {
+        return next.trail;
+      }
+      ++states;
+      queue.push_back(std::move(next));
+      if (states >= options.max_states) {
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool OracleCanSteal(const ProtectionGraph& g, Right right, VertexId x, VertexId y,
+                    const OracleOptions& options) {
+  return StealSearch(g, right, x, y, options).has_value();
+}
+
+bool CanSteal(const ProtectionGraph& g, Right right, VertexId x, VertexId y,
+              const OracleOptions& options) {
+  if (!CanStealNecessary(g, right, x, y)) {
+    return false;  // fast path: the necessary conditions already fail
+  }
+  return StealSearch(g, right, x, y, options).has_value();
+}
+
+std::optional<Witness> BuildCanStealWitness(const ProtectionGraph& g, Right right, VertexId x,
+                                            VertexId y, const OracleOptions& options) {
+  if (!CanStealNecessary(g, right, x, y)) {
+    return std::nullopt;
+  }
+  return StealSearch(g, right, x, y, options);
+}
+
+}  // namespace tg_analysis

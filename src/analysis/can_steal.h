@@ -1,0 +1,73 @@
+// can_steal: theft of authority (extension).
+//
+// The paper's threat model lets every subject conspire; a natural follow-up
+// question (posed by Snyder's companion work on theft, and a standard
+// feature of take-grant analyzers) is whether x can acquire a right over y
+// *without any owner of that right handing it over*:
+//
+//   can_steal(a, x, y, G) is true iff some de jure derivation gives x an
+//   explicit a-edge to y in which no vertex that owns the right *in the
+//   initial graph* ever applies a grant rule.  Owners may still take,
+//   create, and remove (the model cannot keep them from cooperating
+//   passively), and a conspirator who *acquires* the right mid-derivation
+//   may grant it along freely.
+//
+//   Formalization note: the theft literature bans owners from granting the
+//   stolen right; whether owners may grant *other* rights varies by
+//   presentation.  We adopt the strong reading (owners grant nothing):
+//   under the weak reading an owner can launder the right through a
+//   freshly created accomplice by granting it take rights, which defeats
+//   the intent of "theft" and breaks the classical characterization below.
+//
+// Deciding theft exactly is subtler than deciding sharing: the classical
+// sharing-style conditions
+//
+//     (a) a not already in explicit(x, y),
+//     (b) some subject x' = x or initially spanning to x exists,
+//     (c) some vertex s has an explicit a-edge to y, and
+//     (d) can_share(t, x'', s, G) for some subject x'',
+//
+// are *necessary* under the strong reading but not sufficient: a graph can
+// satisfy all four while every route for the stolen right runs through an
+// owner having to push it with a grant (e.g. the owner is the only subject
+// bridging the thief to the loot).  CanStealNecessary implements the fast
+// O(queries) filter; CanSteal certifies a positive answer with the bounded
+// exhaustive search.  The tests verify the filter's necessity (filter
+// false => oracle false) and CanSteal == OracleCanSteal on random sweeps.
+
+#ifndef SRC_ANALYSIS_CAN_STEAL_H_
+#define SRC_ANALYSIS_CAN_STEAL_H_
+
+#include <optional>
+
+#include "src/analysis/oracle.h"
+#include "src/tg/graph.h"
+#include "src/tg/rights.h"
+#include "src/tg/witness.h"
+
+namespace tg_analysis {
+
+// The fast necessary filter: conditions (a)-(d) above.  False means theft
+// is impossible; true means it is plausible and needs certification.
+bool CanStealNecessary(const tg::ProtectionGraph& g, tg::Right right, tg::VertexId x,
+                       tg::VertexId y);
+
+// Exact (within the oracle bounds): the fast filter, then a bounded
+// exhaustive certificate search for positives.
+bool CanSteal(const tg::ProtectionGraph& g, tg::Right right, tg::VertexId x, tg::VertexId y,
+              const OracleOptions& options = {});
+
+// Bounded-exhaustive ground truth: searches de jure derivations in which no
+// rule grants (right to y).
+bool OracleCanSteal(const tg::ProtectionGraph& g, tg::Right right, tg::VertexId x,
+                    tg::VertexId y, const OracleOptions& options = {});
+
+// A theft witness: a rule sequence that steals the right (never granting
+// it), or nullopt when can_steal is false or the bounded search gives up.
+std::optional<tg::Witness> BuildCanStealWitness(const tg::ProtectionGraph& g, tg::Right right,
+                                                tg::VertexId x, tg::VertexId y,
+                                                const OracleOptions& options = {});
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_CAN_STEAL_H_

@@ -1,0 +1,180 @@
+#include "src/analysis/conspiracy.h"
+
+#include <algorithm>
+#include <bit>
+#include <queue>
+#include <string>
+#include <unordered_set>
+
+#include "src/tg/rules.h"
+
+namespace tg_analysis {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RightSet;
+using tg::RuleApplication;
+using tg::RuleKind;
+using tg::VertexId;
+using tg::VertexKind;
+using tg::Witness;
+
+std::set<VertexId> ActiveActors(const Witness& witness) {
+  std::set<VertexId> actors;
+  for (const RuleApplication& rule : witness.rules()) {
+    switch (rule.kind) {
+      case RuleKind::kTake:
+      case RuleKind::kGrant:
+      case RuleKind::kCreate:
+      case RuleKind::kRemove:
+        actors.insert(rule.x);
+        break;
+      case RuleKind::kPost:
+        actors.insert(rule.x);
+        actors.insert(rule.z);
+        break;
+      case RuleKind::kPass:
+        actors.insert(rule.y);
+        break;
+      case RuleKind::kSpy:
+        actors.insert(rule.x);
+        actors.insert(rule.y);
+        break;
+      case RuleKind::kFind:
+        actors.insert(rule.y);
+        actors.insert(rule.z);
+        break;
+    }
+  }
+  return actors;
+}
+
+namespace {
+
+// Canonical key of explicit structure (local copy; see oracle.cc).
+std::string ExplicitKey(const ProtectionGraph& g) {
+  std::string key = std::to_string(g.VertexCount()) + ";";
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    key += g.IsSubject(v) ? 'S' : 'O';
+  }
+  key += ';';
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    std::vector<std::pair<VertexId, uint8_t>> out;
+    g.ForEachOutEdge(v, [&](const tg::Edge& e) {
+      if (!e.explicit_rights.empty()) {
+        out.emplace_back(e.dst, e.explicit_rights.bits());
+      }
+    });
+    std::sort(out.begin(), out.end());
+    for (auto [dst, bits] : out) {
+      key += std::to_string(v) + ">" + std::to_string(dst) + ":" + std::to_string(bits) + ",";
+    }
+  }
+  return key;
+}
+
+struct Node {
+  ProtectionGraph graph;
+  uint64_t actors = 0;        // bitmask over *initial* subjects
+  int creates_used = 0;
+  std::vector<VertexId> creator_root;  // per vertex: owning initial subject
+  size_t cost = 0;
+  uint64_t seq = 0;  // FIFO tiebreak
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.cost != b.cost) {
+      return a.cost > b.cost;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+std::optional<size_t> MinConspirators(const ProtectionGraph& g, Right right, VertexId x,
+                                      VertexId y, const OracleOptions& options) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
+    return std::nullopt;
+  }
+  if (g.HasExplicit(x, y, right)) {
+    return 0;  // nothing to do: nobody conspires
+  }
+  // Map initial subjects to bit positions.
+  std::vector<int> bit_of(g.VertexCount(), -1);
+  int bits = 0;
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (g.IsSubject(v)) {
+      if (bits >= 63) {
+        return std::nullopt;  // too many subjects for the mask
+      }
+      bit_of[v] = bits++;
+    }
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> queue;
+  std::unordered_set<std::string> seen;
+  uint64_t seq = 0;
+  Node start;
+  start.graph = g;
+  start.creator_root.assign(g.VertexCount(), tg::kInvalidVertex);
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (g.IsSubject(v)) {
+      start.creator_root[v] = v;  // initial subjects own themselves
+    }
+  }
+  start.seq = seq++;
+  queue.push(start);
+  size_t states = 0;
+
+  while (!queue.empty()) {
+    Node node = queue.top();
+    queue.pop();
+    std::string key = ExplicitKey(node.graph) + "|" + std::to_string(node.actors);
+    if (!seen.insert(std::move(key)).second) {
+      continue;
+    }
+    if (node.graph.HasExplicit(x, y, right)) {
+      return node.cost;
+    }
+    if (++states >= options.max_states) {
+      break;
+    }
+    std::vector<RuleApplication> moves = EnumerateDeJure(node.graph);
+    if (node.creates_used < options.max_creates) {
+      for (VertexId v = 0; v < node.graph.VertexCount(); ++v) {
+        if (node.graph.IsSubject(v)) {
+          moves.push_back(RuleApplication::Create(v, VertexKind::kSubject, RightSet::All()));
+        }
+      }
+    }
+    for (RuleApplication& move : moves) {
+      Node next;
+      next.graph = node.graph;
+      next.creates_used = node.creates_used + (move.kind == RuleKind::kCreate ? 1 : 0);
+      RuleApplication applied = move;
+      if (!ApplyRule(next.graph, applied).ok()) {
+        continue;
+      }
+      next.creator_root = node.creator_root;
+      // Charge the actor (a created vertex charges its creating subject).
+      VertexId root = move.x < next.creator_root.size() ? next.creator_root[move.x]
+                                                        : tg::kInvalidVertex;
+      next.actors = node.actors;
+      if (root != tg::kInvalidVertex && bit_of[root] >= 0) {
+        next.actors |= (1ull << bit_of[root]);
+      }
+      if (move.kind == RuleKind::kCreate && applied.created != tg::kInvalidVertex) {
+        next.creator_root.resize(next.graph.VertexCount(), tg::kInvalidVertex);
+        next.creator_root[applied.created] = root;
+      }
+      next.cost = static_cast<size_t>(std::popcount(next.actors));
+      next.seq = seq++;
+      queue.push(std::move(next));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tg_analysis

@@ -1,0 +1,44 @@
+// Conspirator analysis (extension).
+//
+// The paper's security notion assumes *every* subject may be corrupt; a
+// natural follow-up (studied by Snyder's conspiracy work) asks how many
+// subjects must *actively participate* — i.e. be the actor of at least one
+// rule — for a given transfer to happen.  A transfer needing one corrupt
+// actor is a very different risk from one needing five.
+//
+// This module provides:
+//  * ActiveActors    — the distinct rule actors of a witness (the measure).
+//  * MinConspirators — the exact minimum over all derivations, by a
+//    Dijkstra-style search over (graph state, actor set) that expands
+//    cheapest actor-sets first.  Exponential in the worst case; intended
+//    for the small graphs of tests and experiments.
+
+#ifndef SRC_ANALYSIS_CONSPIRACY_H_
+#define SRC_ANALYSIS_CONSPIRACY_H_
+
+#include <optional>
+#include <set>
+
+#include "src/analysis/oracle.h"
+#include "src/tg/graph.h"
+#include "src/tg/witness.h"
+
+namespace tg_analysis {
+
+// The subjects that act in the witness: the invoking vertex of every de
+// jure rule, and the subject participants that each de facto rule requires
+// to act (post: reader and writer; pass: the intermediary; spy: both
+// readers; find: both writers).
+std::set<tg::VertexId> ActiveActors(const tg::Witness& witness);
+
+// Exact minimum number of distinct actors over all derivations that give x
+// an explicit `right` edge to y (created subjects count as actors and are
+// attributed to their creator's conspiracy).  Nullopt when the transfer is
+// impossible or the bounded search gives up.
+std::optional<size_t> MinConspirators(const tg::ProtectionGraph& g, tg::Right right,
+                                      tg::VertexId x, tg::VertexId y,
+                                      const OracleOptions& options = {});
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_CONSPIRACY_H_

@@ -1,0 +1,111 @@
+#include "src/analysis/defacto_sets.h"
+
+#include "src/analysis/oracle.h"
+
+namespace tg_analysis {
+
+using tg::ProtectionGraph;
+using tg::RuleApplication;
+using tg::RuleKind;
+using tg::VertexId;
+
+DeFactoMask DeFactoMask::Only(RuleKind kind) {
+  DeFactoMask mask = None();
+  switch (kind) {
+    case RuleKind::kPost:
+      mask.post = true;
+      break;
+    case RuleKind::kPass:
+      mask.pass = true;
+      break;
+    case RuleKind::kSpy:
+      mask.spy = true;
+      break;
+    case RuleKind::kFind:
+      mask.find = true;
+      break;
+    default:
+      break;  // de jure kinds have no de facto mask bit
+  }
+  return mask;
+}
+
+bool DeFactoMask::Allows(RuleKind kind) const {
+  switch (kind) {
+    case RuleKind::kPost:
+      return post;
+    case RuleKind::kPass:
+      return pass;
+    case RuleKind::kSpy:
+      return spy;
+    case RuleKind::kFind:
+      return find;
+    default:
+      return false;
+  }
+}
+
+std::string DeFactoMask::ToString() const {
+  std::string out;
+  auto add = [&out](bool on, const char* name) {
+    if (on) {
+      if (!out.empty()) {
+        out += '+';
+      }
+      out += name;
+    }
+  };
+  add(post, "post");
+  add(pass, "pass");
+  add(spy, "spy");
+  add(find, "find");
+  return out.empty() ? "none" : out;
+}
+
+std::vector<RuleApplication> EnumerateDeFactoSubset(const ProtectionGraph& g,
+                                                    DeFactoMask mask) {
+  std::vector<RuleApplication> all = EnumerateDeFacto(g);
+  std::vector<RuleApplication> filtered;
+  filtered.reserve(all.size());
+  for (RuleApplication& rule : all) {
+    if (mask.Allows(rule.kind)) {
+      filtered.push_back(std::move(rule));
+    }
+  }
+  return filtered;
+}
+
+ProtectionGraph SaturateDeFactoSubset(const ProtectionGraph& g, DeFactoMask mask) {
+  ProtectionGraph current = g;
+  while (true) {
+    std::vector<RuleApplication> rules = EnumerateDeFactoSubset(current, mask);
+    if (rules.empty()) {
+      return current;
+    }
+    for (RuleApplication& rule : rules) {
+      (void)ApplyRule(current, rule);
+    }
+  }
+}
+
+bool CanKnowFSubset(const ProtectionGraph& g, VertexId x, VertexId y, DeFactoMask mask) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
+    return false;
+  }
+  return KnowEdgePresent(SaturateDeFactoSubset(g, mask), x, y);
+}
+
+size_t KnowablePairCount(const ProtectionGraph& g, DeFactoMask mask) {
+  ProtectionGraph saturated = SaturateDeFactoSubset(g, mask);
+  size_t count = 0;
+  for (VertexId x = 0; x < g.VertexCount(); ++x) {
+    for (VertexId y = 0; y < g.VertexCount(); ++y) {
+      if (x != y && KnowEdgePresent(saturated, x, y)) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace tg_analysis

@@ -1,0 +1,54 @@
+// De facto rule-set ablation (extension; section 6).
+//
+// The paper closes by noting its four de facto rules (post, pass, spy,
+// find) are "merely one possible set".  This module makes the rule set a
+// parameter so the induced information-flow relation can be compared across
+// subsets: which flows does each rule contribute, and which subsets already
+// induce the full relation on a given graph?
+//
+// All computations are exact (the de facto fragment saturates).
+
+#ifndef SRC_ANALYSIS_DEFACTO_SETS_H_
+#define SRC_ANALYSIS_DEFACTO_SETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/rules.h"
+
+namespace tg_analysis {
+
+struct DeFactoMask {
+  bool post = true;
+  bool pass = true;
+  bool spy = true;
+  bool find = true;
+
+  static DeFactoMask All() { return DeFactoMask{}; }
+  static DeFactoMask None() { return DeFactoMask{false, false, false, false}; }
+  static DeFactoMask Only(tg::RuleKind kind);
+
+  bool Allows(tg::RuleKind kind) const;
+  // e.g. "post+spy" ("none" for the empty mask).
+  std::string ToString() const;
+};
+
+// EnumerateDeFacto restricted to the mask.
+std::vector<tg::RuleApplication> EnumerateDeFactoSubset(const tg::ProtectionGraph& g,
+                                                        DeFactoMask mask);
+
+// Fixpoint of the masked rules.
+tg::ProtectionGraph SaturateDeFactoSubset(const tg::ProtectionGraph& g, DeFactoMask mask);
+
+// can_know_f under the masked rule set (exact, by saturation).
+bool CanKnowFSubset(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y,
+                    DeFactoMask mask);
+
+// Number of ordered vertex pairs (x != y) with can_know_f under the mask —
+// the "flow coverage" of a rule subset on g.
+size_t KnowablePairCount(const tg::ProtectionGraph& g, DeFactoMask mask);
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_DEFACTO_SETS_H_

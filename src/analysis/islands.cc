@@ -1,0 +1,39 @@
+#include "src/analysis/islands.h"
+
+#include "src/util/union_find.h"
+
+namespace tg_analysis {
+
+using tg::Edge;
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+Islands::Islands(const ProtectionGraph& g) {
+  const size_t n = g.VertexCount();
+  tg_util::UnionFind uf(n);
+  g.ForEachEdge([&](const Edge& e) {
+    // Only explicit t/g edges between two subjects join islands.
+    if (!e.explicit_rights.Intersects(tg::kTakeGrant)) {
+      return;
+    }
+    if (g.IsSubject(e.src) && g.IsSubject(e.dst)) {
+      uf.Union(e.src, e.dst);
+    }
+  });
+
+  island_of_.assign(n, kNoIsland);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!g.IsSubject(v)) {
+      continue;
+    }
+    size_t root = uf.Find(v);
+    if (island_of_[root] == kNoIsland) {
+      island_of_[root] = static_cast<uint32_t>(members_.size());
+      members_.emplace_back();
+    }
+    island_of_[v] = island_of_[root];
+    members_[island_of_[v]].push_back(v);
+  }
+}
+
+}  // namespace tg_analysis

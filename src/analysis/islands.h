@@ -1,0 +1,46 @@
+// Islands: maximal tg-connected subject-only subgraphs.
+//
+// "Any right that one vertex in an island has can be obtained by any other
+// vertex in that island" — an island is the unit of authority sharing among
+// mutually cooperating subjects.  Computed with a union-find over subjects
+// joined by t/g edges (either direction), O(E alpha(V)).
+
+#ifndef SRC_ANALYSIS_ISLANDS_H_
+#define SRC_ANALYSIS_ISLANDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tg/graph.h"
+
+namespace tg_analysis {
+
+inline constexpr uint32_t kNoIsland = 0xffffffffu;
+
+class Islands {
+ public:
+  // Computes the island decomposition of g.
+  explicit Islands(const tg::ProtectionGraph& g);
+
+  // Island index for a vertex, or kNoIsland for objects.
+  uint32_t IslandOf(tg::VertexId v) const { return island_of_[v]; }
+
+  bool SameIsland(tg::VertexId a, tg::VertexId b) const {
+    return island_of_[a] != kNoIsland && island_of_[a] == island_of_[b];
+  }
+
+  size_t Count() const { return members_.size(); }
+
+  // Members of island i, in increasing vertex id order.
+  const std::vector<tg::VertexId>& Members(uint32_t i) const { return members_[i]; }
+
+  const std::vector<std::vector<tg::VertexId>>& All() const { return members_; }
+
+ private:
+  std::vector<uint32_t> island_of_;
+  std::vector<std::vector<tg::VertexId>> members_;
+};
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_ISLANDS_H_

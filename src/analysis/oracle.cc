@@ -1,0 +1,240 @@
+#include "src/analysis/oracle.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/tg/witness.h"
+
+#include "src/tg/rules.h"
+
+namespace tg_analysis {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RightSet;
+using tg::RuleApplication;
+using tg::VertexId;
+using tg::VertexKind;
+
+ProtectionGraph SaturateDeFacto(const ProtectionGraph& g) {
+  ProtectionGraph current = g;
+  while (true) {
+    std::vector<RuleApplication> rules = EnumerateDeFacto(current);
+    if (rules.empty()) {
+      return current;
+    }
+    for (RuleApplication& rule : rules) {
+      // Preconditions were checked at enumeration time and de facto rules
+      // only add edges, so each application still succeeds; applying the
+      // whole batch before re-enumerating keeps rounds few.
+      (void)ApplyRule(current, rule);
+    }
+  }
+}
+
+bool KnowEdgePresent(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (x == y) {
+    return true;
+  }
+  if (g.HasImplicit(x, y, Right::kRead)) {
+    return true;
+  }
+  if (g.HasExplicit(x, y, Right::kRead) && g.IsSubject(x)) {
+    return true;
+  }
+  if (g.HasImplicit(y, x, Right::kWrite)) {
+    return true;
+  }
+  if (g.HasExplicit(y, x, Right::kWrite) && g.IsSubject(y)) {
+    return true;
+  }
+  return false;
+}
+
+bool OracleCanKnowF(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
+    return false;
+  }
+  return KnowEdgePresent(SaturateDeFacto(g), x, y);
+}
+
+namespace {
+
+// Canonical key of a graph's *explicit* structure (implicit edges are
+// recomputed by saturation where needed).  Vertex ids are stable across a
+// derivation, so the key distinguishes exactly the states the search should.
+std::string ExplicitKey(const ProtectionGraph& g) {
+  std::ostringstream os;
+  os << g.VertexCount() << ';';
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    os << (g.IsSubject(v) ? 'S' : 'O');
+  }
+  os << ';';
+  // Edges() yields deterministic per-source order; normalize per vertex.
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    std::vector<std::pair<VertexId, uint8_t>> out;
+    g.ForEachOutEdge(v, [&](const tg::Edge& e) {
+      if (!e.explicit_rights.empty()) {
+        out.emplace_back(e.dst, e.explicit_rights.bits());
+      }
+    });
+    std::sort(out.begin(), out.end());
+    for (auto [dst, bits] : out) {
+      os << v << '>' << dst << ':' << static_cast<int>(bits) << ',';
+    }
+  }
+  return os.str();
+}
+
+struct SearchState {
+  ProtectionGraph graph;
+  int creates_used = 0;
+};
+
+// Generic bounded BFS over de jure derivations.  Calls `goal` on every
+// discovered state; returns true as soon as it does.
+template <typename Goal>
+bool DeJureSearch(const ProtectionGraph& start, const OracleOptions& options, Goal goal) {
+  std::deque<SearchState> queue;
+  std::unordered_set<std::string> seen;
+  queue.push_back(SearchState{start, 0});
+  seen.insert(ExplicitKey(start));
+  size_t states = 1;
+  while (!queue.empty()) {
+    SearchState state = std::move(queue.front());
+    queue.pop_front();
+    if (goal(state.graph)) {
+      return true;
+    }
+    if (states >= options.max_states) {
+      continue;  // stop expanding, but drain remaining goal checks
+    }
+    std::vector<RuleApplication> moves = EnumerateDeJure(state.graph);
+    if (state.creates_used < options.max_creates) {
+      // The dominating create: a subject over which the creator gets every
+      // right.  Any derivation using a weaker create is simulated by this
+      // one plus removes (which never help reachability of new edges).
+      for (VertexId v = 0; v < state.graph.VertexCount(); ++v) {
+        if (state.graph.IsSubject(v)) {
+          moves.push_back(
+              RuleApplication::Create(v, VertexKind::kSubject, RightSet::All()));
+        }
+      }
+    }
+    for (RuleApplication& move : moves) {
+      SearchState next;
+      next.graph = state.graph;
+      next.creates_used = state.creates_used + (move.kind == tg::RuleKind::kCreate ? 1 : 0);
+      RuleApplication applied = move;
+      if (!ApplyRule(next.graph, applied).ok()) {
+        continue;
+      }
+      std::string key = ExplicitKey(next.graph);
+      if (!seen.insert(std::move(key)).second) {
+        continue;
+      }
+      ++states;
+      queue.push_back(std::move(next));
+      if (states >= options.max_states) {
+        // Keep goal-checking what we have; stop generating.
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool OracleCanShare(const ProtectionGraph& g, Right right, VertexId x, VertexId y,
+                    const OracleOptions& options) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
+    return false;
+  }
+  return DeJureSearch(g, options, [&](const ProtectionGraph& state) {
+    return state.HasExplicit(x, y, right);
+  });
+}
+
+std::optional<tg::Witness> OracleShareWitness(const ProtectionGraph& g, tg::Right right,
+                                              VertexId x, VertexId y,
+                                              const OracleOptions& options) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
+    return std::nullopt;
+  }
+  if (g.HasExplicit(x, y, right)) {
+    return tg::Witness();
+  }
+  struct Node {
+    ProtectionGraph graph;
+    int creates_used = 0;
+    tg::Witness trail;
+  };
+  std::deque<Node> queue;
+  std::unordered_set<std::string> seen;
+  queue.push_back(Node{g, 0, tg::Witness()});
+  seen.insert(ExplicitKey(g));
+  size_t states = 1;
+  while (!queue.empty()) {
+    Node node = std::move(queue.front());
+    queue.pop_front();
+    if (node.graph.HasExplicit(x, y, right)) {
+      return node.trail;
+    }
+    if (states >= options.max_states) {
+      continue;
+    }
+    std::vector<RuleApplication> moves = EnumerateDeJure(node.graph);
+    if (node.creates_used < options.max_creates) {
+      for (VertexId v = 0; v < node.graph.VertexCount(); ++v) {
+        if (node.graph.IsSubject(v)) {
+          moves.push_back(RuleApplication::Create(v, VertexKind::kSubject, RightSet::All()));
+        }
+      }
+    }
+    for (RuleApplication& move : moves) {
+      Node next;
+      next.graph = node.graph;
+      next.creates_used = node.creates_used + (move.kind == tg::RuleKind::kCreate ? 1 : 0);
+      RuleApplication applied = move;
+      if (!ApplyRule(next.graph, applied).ok()) {
+        continue;
+      }
+      if (!seen.insert(ExplicitKey(next.graph)).second) {
+        continue;
+      }
+      next.trail = node.trail;
+      next.trail.Append(move);
+      if (next.graph.HasExplicit(x, y, right)) {
+        return next.trail;
+      }
+      ++states;
+      queue.push_back(std::move(next));
+      if (states >= options.max_states) {
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool OracleCanKnow(const ProtectionGraph& g, VertexId x, VertexId y,
+                   const OracleOptions& options) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
+    return false;
+  }
+  if (x == y) {
+    return true;
+  }
+  return DeJureSearch(g, options, [&](const ProtectionGraph& state) {
+    // De facto saturation commutes with checking the terminal condition.
+    return KnowEdgePresent(SaturateDeFacto(state), x, y);
+  });
+}
+
+}  // namespace tg_analysis

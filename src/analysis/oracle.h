@@ -1,0 +1,67 @@
+// Brute-force model checker used as a test oracle for the decision
+// procedures.
+//
+// The predicates are defined as "there exists a finite rule derivation...";
+// this module decides them by actually searching derivations:
+//
+//  * De facto rules only add implicit edges, monotonically, over a finite
+//    pair space — so the de facto fragment *saturates* in polynomial time
+//    and OracleCanKnowF is exact.
+//  * De jure derivations with `create` reach infinitely many graphs, so the
+//    de jure search is bounded: at most `max_creates` creations (each a
+//    subject given all rights — the dominating choice) and `max_states`
+//    distinct explicit-edge structures.  Within those bounds the oracle is
+//    exact; the published constructions need at most one create per bridge
+//    crossing, so small budgets suffice for the small graphs tests use.
+//
+// The oracle assumes input graphs whose implicit edges (if any) are
+// themselves derivable flows; hand-planted implicit edges with no
+// supporting structure make can_know_f's definition and Theorem 3.1
+// diverge by design.
+
+#ifndef SRC_ANALYSIS_ORACLE_H_
+#define SRC_ANALYSIS_ORACLE_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "src/tg/graph.h"
+#include "src/tg/rights.h"
+#include "src/tg/witness.h"
+
+namespace tg_analysis {
+
+// Applies de facto rules until no new implicit edge can be added.
+tg::ProtectionGraph SaturateDeFacto(const tg::ProtectionGraph& g);
+
+// The terminal condition of can_know / can_know_f on a *fixed* graph:
+// an x->y r edge (explicit from a subject, or implicit), or a y->x w edge
+// (explicit from a subject, or implicit).
+bool KnowEdgePresent(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+struct OracleOptions {
+  int max_creates = 1;
+  size_t max_states = 50000;
+};
+
+// Exact: de facto saturation then the terminal condition.
+bool OracleCanKnowF(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+// Bounded-exhaustive search over de jure derivations.
+bool OracleCanShare(const tg::ProtectionGraph& g, tg::Right right, tg::VertexId x,
+                    tg::VertexId y, const OracleOptions& options = {});
+
+// Bounded-exhaustive de jure search with de facto saturation at each state.
+bool OracleCanKnow(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y,
+                   const OracleOptions& options = {});
+
+// Like OracleCanShare, but reconstructs the de jure rule sequence reaching
+// the goal.  Used as the fallback witness generator for degenerate cases the
+// closed-form constructions of witness_builder.cc do not cover.
+std::optional<tg::Witness> OracleShareWitness(const tg::ProtectionGraph& g, tg::Right right,
+                                              tg::VertexId x, tg::VertexId y,
+                                              const OracleOptions& options = {});
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_ORACLE_H_

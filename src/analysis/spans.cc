@@ -1,0 +1,98 @@
+#include "src/analysis/spans.h"
+
+#include "src/tg/languages.h"
+
+namespace tg_analysis {
+
+using tg::GraphPath;
+using tg::PathSearchOptions;
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+namespace {
+
+// Spans are de jure machinery: only explicit edges count.  (For the rw-span
+// languages the final r/w hop could in principle be implicit, but an
+// implicit edge is derived information flow, not part of the input graph's
+// authority structure; the de facto analyses recompute flow from scratch.)
+PathSearchOptions SpanOptions(bool use_implicit = false) {
+  PathSearchOptions options;
+  options.use_implicit = use_implicit;
+  return options;
+}
+
+bool SpanExists(const ProtectionGraph& g, VertexId v0, VertexId vk, const tg_util::Dfa& dfa,
+                bool use_implicit = false) {
+  if (!g.IsValidVertex(v0) || !g.IsValidVertex(vk) || !g.IsSubject(v0)) {
+    return false;
+  }
+  return FindWordPath(g, v0, vk, dfa, SpanOptions(use_implicit)).has_value();
+}
+
+std::vector<VertexId> SubjectsReachedReverse(const ProtectionGraph& g,
+                                             const std::vector<VertexId>& sources,
+                                             const tg_util::Dfa& reverse_dfa,
+                                             bool use_implicit = false) {
+  std::vector<bool> reached =
+      WordReachableMulti(g, sources, reverse_dfa, SpanOptions(use_implicit));
+  std::vector<VertexId> subjects;
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (reached[v] && g.IsSubject(v)) {
+      subjects.push_back(v);
+    }
+  }
+  return subjects;
+}
+
+}  // namespace
+
+bool InitiallySpansTo(const ProtectionGraph& g, VertexId v0, VertexId vk) {
+  return SpanExists(g, v0, vk, tg::InitialSpanDfa());
+}
+
+bool TerminallySpansTo(const ProtectionGraph& g, VertexId v0, VertexId vk) {
+  return SpanExists(g, v0, vk, tg::TerminalSpanDfa());
+}
+
+bool RwInitiallySpansTo(const ProtectionGraph& g, VertexId v0, VertexId vk, bool use_implicit) {
+  return SpanExists(g, v0, vk, tg::RwInitialSpanDfa(), use_implicit);
+}
+
+bool RwTerminallySpansTo(const ProtectionGraph& g, VertexId v0, VertexId vk, bool use_implicit) {
+  return SpanExists(g, v0, vk, tg::RwTerminalSpanDfa(), use_implicit);
+}
+
+std::optional<GraphPath> FindInitialSpan(const ProtectionGraph& g, VertexId v0, VertexId vk) {
+  if (!g.IsValidVertex(v0) || !g.IsSubject(v0)) {
+    return std::nullopt;
+  }
+  return FindWordPath(g, v0, vk, tg::InitialSpanDfa(), SpanOptions());
+}
+
+std::optional<GraphPath> FindTerminalSpan(const ProtectionGraph& g, VertexId v0, VertexId vk) {
+  if (!g.IsValidVertex(v0) || !g.IsSubject(v0)) {
+    return std::nullopt;
+  }
+  return FindWordPath(g, v0, vk, tg::TerminalSpanDfa(), SpanOptions());
+}
+
+std::vector<VertexId> InitialSpannersTo(const ProtectionGraph& g, VertexId v) {
+  return SubjectsReachedReverse(g, {v}, tg::ReverseInitialSpanDfa());
+}
+
+std::vector<VertexId> TerminalSpannersTo(const ProtectionGraph& g,
+                                         const std::vector<VertexId>& targets) {
+  return SubjectsReachedReverse(g, targets, tg::ReverseTerminalSpanDfa());
+}
+
+std::vector<VertexId> RwInitialSpannersTo(const ProtectionGraph& g, VertexId v,
+                                          bool use_implicit) {
+  return SubjectsReachedReverse(g, {v}, tg::ReverseRwInitialSpanDfa(), use_implicit);
+}
+
+std::vector<VertexId> RwTerminalSpannersTo(const ProtectionGraph& g, VertexId v,
+                                           bool use_implicit) {
+  return SubjectsReachedReverse(g, {v}, tg::ReverseRwTerminalSpanDfa(), use_implicit);
+}
+
+}  // namespace tg_analysis

@@ -1,0 +1,63 @@
+// Span predicates and span-set computations.
+//
+// Spans are the paths along which a subject can transmit or acquire
+// authority (initial / terminal spans, section 2) or information
+// (rw-initial / rw-terminal spans, section 3).  The *set* forms run one
+// reversed-language BFS from the far endpoint, so computing "all subjects
+// that span to v" costs the same as one path query.
+
+#ifndef SRC_ANALYSIS_SPANS_H_
+#define SRC_ANALYSIS_SPANS_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/path.h"
+
+namespace tg_analysis {
+
+// v0 initially spans to vk: v0 subject, word in t>* g> U {v}.
+bool InitiallySpansTo(const tg::ProtectionGraph& g, tg::VertexId v0, tg::VertexId vk);
+
+// v0 terminally spans to vk: v0 subject, word in t>*.
+bool TerminallySpansTo(const tg::ProtectionGraph& g, tg::VertexId v0, tg::VertexId vk);
+
+// v0 rw-initially spans to vk: v0 subject, word in t>* w>.  The rw-span
+// predicates are de facto machinery, so by default the final r/w hop may use
+// an implicit edge already present in g (de facto rules chain on implicit
+// edges); pass use_implicit = false for the purely explicit reading.
+bool RwInitiallySpansTo(const tg::ProtectionGraph& g, tg::VertexId v0, tg::VertexId vk,
+                        bool use_implicit = true);
+
+// v0 rw-terminally spans to vk: v0 subject, word in t>* r>.
+bool RwTerminallySpansTo(const tg::ProtectionGraph& g, tg::VertexId v0, tg::VertexId vk,
+                         bool use_implicit = true);
+
+// Witness paths for the above (nullopt when the span does not exist).
+std::optional<tg::GraphPath> FindInitialSpan(const tg::ProtectionGraph& g, tg::VertexId v0,
+                                             tg::VertexId vk);
+std::optional<tg::GraphPath> FindTerminalSpan(const tg::ProtectionGraph& g, tg::VertexId v0,
+                                              tg::VertexId vk);
+
+// All subjects that initially span to v (one reversed BFS from v).
+// Includes v itself when v is a subject (null word).
+std::vector<tg::VertexId> InitialSpannersTo(const tg::ProtectionGraph& g, tg::VertexId v);
+
+// All subjects that terminally span to any vertex in `targets`.
+// Includes subject targets themselves (null word).
+std::vector<tg::VertexId> TerminalSpannersTo(const tg::ProtectionGraph& g,
+                                             const std::vector<tg::VertexId>& targets);
+
+// All subjects that rw-initially span to v (v itself is NOT included:
+// the null word is not in t>* w>).
+std::vector<tg::VertexId> RwInitialSpannersTo(const tg::ProtectionGraph& g, tg::VertexId v,
+                                              bool use_implicit = true);
+
+// All subjects that rw-terminally span to v.
+std::vector<tg::VertexId> RwTerminalSpannersTo(const tg::ProtectionGraph& g, tg::VertexId v,
+                                               bool use_implicit = true);
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_SPANS_H_

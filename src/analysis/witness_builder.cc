@@ -1,0 +1,776 @@
+#include "src/analysis/witness_builder.h"
+
+#include <deque>
+#include <map>
+
+#include "src/analysis/bridges.h"
+#include "src/analysis/can_share.h"
+#include "src/analysis/oracle.h"
+#include "src/analysis/spans.h"
+#include "src/tg/languages.h"
+#include "src/tg/path.h"
+#include "src/tg/rules.h"
+
+namespace tg_analysis {
+
+using tg::GraphPath;
+using tg::PathSymbol;
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RightSet;
+using tg::RuleApplication;
+using tg::VertexId;
+using tg::VertexKind;
+using tg::Witness;
+
+namespace {
+
+// Scratch state: rules are applied to a working copy as they are recorded,
+// so every recorded rule's preconditions held at its position.
+struct Ctx {
+  ProtectionGraph w;
+  Witness wit;
+  bool failed = false;
+
+  explicit Ctx(const ProtectionGraph& g) : w(g) {}
+
+  // Applies and records; marks the context failed on error.
+  VertexId Apply(RuleApplication rule) {
+    if (failed) {
+      return tg::kInvalidVertex;
+    }
+    if (!ApplyRule(w, rule).ok()) {
+      failed = true;
+      return tg::kInvalidVertex;
+    }
+    wit.Append(rule);
+    return rule.created;
+  }
+
+  // take that tolerates the right already being held.
+  void TakeIfNeeded(VertexId taker, VertexId via, VertexId target, RightSet rights) {
+    if (failed) {
+      return;
+    }
+    RightSet missing = rights.Minus(w.ExplicitRights(taker, target));
+    if (missing.empty()) {
+      return;
+    }
+    if (taker == via || via == target || taker == target) {
+      failed = true;
+      return;
+    }
+    Apply(RuleApplication::Take(taker, via, target, missing));
+  }
+};
+
+// Walks a pure t> chain: `walker` takes t over successive vertices until it
+// holds t over the final vertex of `chain` (chain[0] must already be
+// t-adjacent from walker or be walker itself).  chain = vertices after the
+// walker on the path.
+void TakeChain(Ctx& ctx, VertexId walker, const std::vector<VertexId>& chain) {
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    ctx.TakeIfNeeded(walker, chain[i], chain[i + 1], tg::kTake);
+  }
+}
+
+// Moves the explicit right `right` over `y` from holder q to receiver p,
+// where p and q are subjects and one explicit t/g edge connects them in
+// some direction (the island-hop / bridge-end constructions of Lemmas
+// 2.1/2.2).  May create a depot vertex.
+void TransferAcrossLink(Ctx& ctx, VertexId p, VertexId q, Right right, VertexId y) {
+  if (ctx.failed) {
+    return;
+  }
+  RightSet rs = RightSet(right);
+  if (ctx.w.ExplicitRights(p, y).Has(right)) {
+    return;  // already there
+  }
+  if (p == y || q == y) {
+    ctx.failed = true;  // degenerate; callers avoid this
+    return;
+  }
+  if (ctx.w.HasExplicit(p, q, Right::kTake)) {
+    // p -t-> q: p takes directly.
+    ctx.Apply(RuleApplication::Take(p, q, y, rs));
+    return;
+  }
+  if (ctx.w.HasExplicit(q, p, Right::kGrant)) {
+    // q -g-> p: q grants directly.
+    ctx.Apply(RuleApplication::Grant(q, p, y, rs));
+    return;
+  }
+  if (ctx.w.HasExplicit(p, q, Right::kGrant)) {
+    // p -g-> q: depot construction.  p creates n{t,g}; p grants (g to n) to
+    // q; q grants (right to y) to n; p takes (right to y) from n.
+    RuleApplication create =
+        RuleApplication::Create(p, VertexKind::kObject, tg::kTakeGrant);
+    VertexId n = ctx.Apply(create);
+    if (ctx.failed) {
+      return;
+    }
+    ctx.Apply(RuleApplication::Grant(p, q, n, tg::kGrant));
+    ctx.Apply(RuleApplication::Grant(q, n, y, rs));
+    ctx.Apply(RuleApplication::Take(p, n, y, rs));
+    return;
+  }
+  if (ctx.w.HasExplicit(q, p, Right::kTake)) {
+    // q -t-> p: p creates n{t,g}; q takes (g to n) from p; q grants
+    // (right to y) to n; p takes (right to y) from n.
+    RuleApplication create =
+        RuleApplication::Create(p, VertexKind::kObject, tg::kTakeGrant);
+    VertexId n = ctx.Apply(create);
+    if (ctx.failed) {
+      return;
+    }
+    ctx.Apply(RuleApplication::Take(q, p, n, tg::kGrant));
+    ctx.Apply(RuleApplication::Grant(q, n, y, rs));
+    ctx.Apply(RuleApplication::Take(p, n, y, rs));
+    return;
+  }
+  ctx.failed = true;  // no link edge: caller passed a non-adjacent pair
+}
+
+// Splits a bridge path (word t>* [g pivot] t<*) into its segments.
+struct BridgeShape {
+  std::vector<VertexId> forward;   // vertices after p along the t> prefix
+  std::optional<PathSymbol> pivot; // g> or g<
+  VertexId pivot_from = tg::kInvalidVertex;  // vertex before the g edge
+  VertexId pivot_to = tg::kInvalidVertex;    // vertex after the g edge
+  std::vector<VertexId> backward;  // vertices from q's side toward the pivot
+};
+
+std::optional<BridgeShape> AnalyzeBridge(const GraphPath& path) {
+  BridgeShape shape;
+  VertexId prev = path.start;
+  enum { kPrefix, kSuffix } phase = kPrefix;
+  for (const tg::PathStep& step : path.steps) {
+    switch (step.symbol) {
+      case PathSymbol::kTakeFwd:
+        if (phase != kPrefix) {
+          return std::nullopt;
+        }
+        shape.forward.push_back(step.to);
+        break;
+      case PathSymbol::kGrantFwd:
+      case PathSymbol::kGrantBack:
+        if (phase != kPrefix || shape.pivot.has_value()) {
+          return std::nullopt;
+        }
+        shape.pivot = step.symbol;
+        shape.pivot_from = prev;
+        shape.pivot_to = step.to;
+        phase = kSuffix;
+        break;
+      case PathSymbol::kTakeBack:
+        // Pure-backward bridges enter the suffix immediately.
+        phase = kSuffix;
+        shape.backward.push_back(step.to);
+        break;
+      default:
+        return std::nullopt;
+    }
+    prev = step.to;
+  }
+  return shape;
+}
+
+// Moves `right` over y from holder q to receiver p across a bridge path
+// p ~> q found on the original graph.
+void TransferAcrossBridge(Ctx& ctx, VertexId p, VertexId q, const GraphPath& path, Right right,
+                          VertexId y) {
+  if (ctx.failed) {
+    return;
+  }
+  std::optional<BridgeShape> shape = AnalyzeBridge(path);
+  if (!shape.has_value()) {
+    ctx.failed = true;
+    return;
+  }
+  if (!shape->pivot.has_value() && shape->backward.empty()) {
+    // Word t>*: p pulls along the chain (TakeChain leaves p holding t over
+    // the final chain vertex, which is q) and takes the right from q.
+    TakeChain(ctx, p, shape->forward);
+    ctx.TakeIfNeeded(p, q, y, RightSet(right));
+    return;
+  }
+  if (!shape->pivot.has_value()) {
+    // Word t<*: q pulls toward p along the reversed chain, ending with an
+    // explicit q -t-> p edge; then the q -t-> p link construction applies.
+    // backward = v1..q's predecessors...: vertices after p in path order.
+    // Edges point v1->p, v2->v1, ..., q->v_{k-1}; q takes t over each from
+    // the far end inward.
+    std::vector<VertexId> rev;  // chain as seen from q: first hop target ...
+    rev.push_back(p);
+    for (VertexId v : shape->backward) {
+      rev.push_back(v);
+    }
+    // rev = [p, v1, v2, ..., q]; q holds t over rev[k-1] (edge q->v_{k-1}).
+    // Take t over rev[i] via rev[i+1], walking i from size-3 down to 0.
+    if (rev.size() >= 2) {
+      rev.pop_back();  // drop q itself
+      for (size_t i = rev.size(); i-- > 1;) {
+        // q takes (t to rev[i-1]) from rev[i].
+        ctx.TakeIfNeeded(q, rev[i], rev[i - 1], tg::kTake);
+      }
+    }
+    TransferAcrossLink(ctx, p, q, right, y);
+    return;
+  }
+  // Word t>* g? t<*: p pulls to the pivot source a, q pulls to the pivot
+  // target b (suffix), then the g edge is exploited.
+  VertexId a = shape->pivot_from;
+  VertexId b = shape->pivot_to;
+  // p acquires t over a (if the prefix is non-empty).
+  TakeChain(ctx, p, shape->forward);
+  // q acquires t over b by walking the suffix from its end.
+  {
+    std::vector<VertexId> rev;
+    rev.push_back(b);
+    for (VertexId v : shape->backward) {
+      rev.push_back(v);
+    }
+    // rev = [b, w1, ..., q]; edges point w1->b, w2->w1, ..., q->last.
+    if (rev.size() >= 2) {
+      rev.pop_back();  // drop q
+      for (size_t i = rev.size(); i-- > 1;) {
+        ctx.TakeIfNeeded(q, rev[i], rev[i - 1], tg::kTake);
+      }
+    }
+  }
+  // Degenerate walk coincidences reduce to single-link transfers:
+  if (b == p) {
+    // q holds t over p after the suffix pull.
+    TransferAcrossLink(ctx, p, q, right, y);
+    return;
+  }
+  if (a == q) {
+    // p holds t over q after the prefix pull.
+    TransferAcrossLink(ctx, p, q, right, y);
+    return;
+  }
+  if (*shape->pivot == PathSymbol::kGrantFwd) {
+    // a -g-> b.  p takes (g to b) from a (skipped when p == a, which holds
+    // the edge already), creates a depot n, grants (g to n) to b; q takes
+    // (g to n) from b, grants the right into n; p takes it out.  The depot
+    // keeps every grant/take self-edge-free even when y lies on the path.
+    if (p != a) {
+      ctx.TakeIfNeeded(p, a, b, tg::kGrant);
+    }
+    VertexId n =
+        ctx.Apply(RuleApplication::Create(p, VertexKind::kObject, tg::kTakeGrant));
+    if (ctx.failed) {
+      return;
+    }
+    ctx.Apply(RuleApplication::Grant(p, b, n, tg::kGrant));
+    if (q != b) {
+      ctx.Apply(RuleApplication::Take(q, b, n, tg::kGrant));
+    }
+    ctx.Apply(RuleApplication::Grant(q, n, y, RightSet(right)));
+    ctx.Apply(RuleApplication::Take(p, n, y, RightSet(right)));
+  } else {
+    // b -g-> a (pivot g<).  q takes (g to a) from b (skipped when q == b),
+    // then pushes the right through a depot m rather than through a itself,
+    // so that a == y cannot force a self-edge: q creates m{t,g}, grants
+    // (t to m) to a, p takes (t to m) from a, q grants the right into m,
+    // p takes it out.
+    if (q != b) {
+      ctx.TakeIfNeeded(q, b, a, tg::kGrant);
+    }
+    VertexId m =
+        ctx.Apply(RuleApplication::Create(q, VertexKind::kObject, tg::kTakeGrant));
+    if (ctx.failed) {
+      return;
+    }
+    ctx.Apply(RuleApplication::Grant(q, a, m, tg::kTake));
+    if (p != a) {
+      ctx.Apply(RuleApplication::Take(p, a, m, tg::kTake));
+    }
+    ctx.Apply(RuleApplication::Grant(q, m, y, RightSet(right)));
+    ctx.Apply(RuleApplication::Take(p, m, y, RightSet(right)));
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// The closed-form construction below covers the regular structure of
+// Theorem 2.3; a handful of degenerate coincidences (e.g. the only usable
+// extractor being y itself, which cannot hold a right over itself) fall
+// back to this bounded exhaustive search.
+std::optional<Witness> FallbackWitness(const ProtectionGraph& g, Right right, VertexId x,
+                                       VertexId y) {
+  OracleOptions options;
+  options.max_creates = 2;
+  options.max_states = 20000;
+  return OracleShareWitness(g, right, x, y, options);
+}
+
+std::optional<Witness> BuildCanShareWitnessConstructive(const ProtectionGraph& g, Right right,
+                                                        VertexId x, VertexId y);
+
+}  // namespace
+
+std::optional<Witness> BuildCanShareWitness(const ProtectionGraph& g, Right right, VertexId x,
+                                            VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
+    return std::nullopt;
+  }
+  if (g.HasExplicit(x, y, right)) {
+    return Witness();  // nothing to do
+  }
+  if (!CanShare(g, right, x, y)) {
+    return std::nullopt;  // don't burn the fallback budget on a false predicate
+  }
+  std::optional<Witness> witness = BuildCanShareWitnessConstructive(g, right, x, y);
+  if (witness.has_value()) {
+    return witness;
+  }
+  return FallbackWitness(g, right, x, y);
+}
+
+namespace {
+
+std::optional<Witness> BuildCanShareWitnessConstructive(const ProtectionGraph& g, Right right,
+                                                        VertexId x, VertexId y) {
+  // (i) sources.
+  std::vector<VertexId> sources;
+  g.ForEachInEdge(y, [&](const tg::Edge& e) {
+    if (e.explicit_rights.Has(right)) {
+      sources.push_back(e.src);
+    }
+  });
+  if (sources.empty()) {
+    return std::nullopt;
+  }
+  // (ii) endpoints of the island/bridge chain.
+  std::vector<VertexId> acquirers = InitialSpannersTo(g, x);
+  std::vector<VertexId> extractors = TerminalSpannersTo(g, sources);
+  if (acquirers.empty() || extractors.empty()) {
+    return std::nullopt;
+  }
+  std::vector<bool> is_extractor(g.VertexCount(), false);
+  for (VertexId v : extractors) {
+    is_extractor[v] = true;
+  }
+  // (iii) subject-level BFS over single-bridge hops, recording parents so
+  // the chain of bridge paths can be replayed.
+  std::map<VertexId, std::pair<VertexId, GraphPath>> parent;  // child -> (parent, bridge)
+  std::deque<VertexId> queue;
+  std::vector<bool> seen(g.VertexCount(), false);
+  for (VertexId a : acquirers) {
+    if (!seen[a]) {
+      seen[a] = true;
+      queue.push_back(a);
+    }
+  }
+  VertexId found = tg::kInvalidVertex;
+  for (VertexId a : acquirers) {
+    if (is_extractor[a] && a != y) {
+      found = a;
+      break;
+    }
+  }
+  tg::PathSearchOptions options;
+  options.use_implicit = false;
+  // Prefer an extractor other than y: y cannot hold a right over itself, so
+  // the construction cannot start from it (the fallback search covers that
+  // genuinely shareable corner).
+  while (found == tg::kInvalidVertex && !queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    std::vector<bool> reach = WordReachable(g, u, tg::BridgeDfa(), options);
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      if (!reach[v] || seen[v] || !g.IsSubject(v)) {
+        continue;
+      }
+      std::optional<GraphPath> bridge = FindBridge(g, u, v);
+      if (!bridge.has_value()) {
+        continue;
+      }
+      seen[v] = true;
+      parent.emplace(v, std::make_pair(u, *bridge));
+      queue.push_back(v);
+      if (is_extractor[v] && v != y) {
+        found = v;
+        break;
+      }
+    }
+  }
+  if (found == tg::kInvalidVertex) {
+    return std::nullopt;  // only y (or nothing) can extract: fall back
+  }
+  // Which source does `found` terminally span to?
+  VertexId s = tg::kInvalidVertex;
+  std::optional<GraphPath> terminal;
+  for (VertexId candidate : sources) {
+    terminal = FindTerminalSpan(g, found, candidate);
+    if (terminal.has_value()) {
+      s = candidate;
+      break;
+    }
+  }
+  if (s == tg::kInvalidVertex) {
+    return std::nullopt;
+  }
+
+  Ctx ctx(g);
+  // 1. found pulls the right along the terminal span: take t down the chain,
+  //    then take the right from s.
+  {
+    std::vector<VertexId> chain;
+    for (const tg::PathStep& step : terminal->steps) {
+      chain.push_back(step.to);
+    }
+    TakeChain(ctx, found, chain);
+    if (found != s) {
+      ctx.TakeIfNeeded(found, s, y, RightSet(right));
+    }
+    // found == s: s already holds the right over y.
+  }
+  // 2. Walk the bridge chain backward: found -> ... -> some acquirer.
+  VertexId holder = found;
+  while (!ctx.failed) {
+    auto it = parent.find(holder);
+    if (it == parent.end()) {
+      break;  // holder is an acquirer
+    }
+    VertexId receiver = it->second.first;
+    TransferAcrossBridge(ctx, receiver, holder, it->second.second, right, y);
+    holder = receiver;
+  }
+  // 3. holder (an acquirer) injects the right into x along its initial span.
+  if (!ctx.failed && holder != x) {
+    std::optional<GraphPath> initial = FindInitialSpan(g, holder, x);
+    if (!initial.has_value() || initial->steps.empty()) {
+      // holder != x but a zero-length initial span means holder == x; treat
+      // missing spans as failure.
+      ctx.failed = true;
+    } else {
+      // Prefix t> chain up to the grant pivot.
+      std::vector<VertexId> chain;
+      for (size_t i = 0; i + 1 < initial->steps.size(); ++i) {
+        chain.push_back(initial->steps[i].to);
+      }
+      TakeChain(ctx, holder, chain);
+      // Acquire g over x (final g> edge), unless holder holds it already.
+      VertexId pivot_from = chain.empty() ? holder : chain.back();
+      if (pivot_from != holder) {
+        ctx.TakeIfNeeded(holder, pivot_from, x, tg::kGrant);
+      }
+      if (holder == y || x == y) {
+        ctx.failed = true;
+      } else {
+        ctx.Apply(RuleApplication::Grant(holder, x, y, RightSet(right)));
+      }
+    }
+  }
+  if (ctx.failed) {
+    return std::nullopt;
+  }
+  if (!ctx.w.HasExplicit(x, y, right)) {
+    return std::nullopt;  // construction fell short (degenerate case)
+  }
+  return ctx.wit;
+}
+
+}  // namespace
+
+namespace {
+
+// Splits a connection path (word t>* r> [w< t<*] or w< t<*) and materializes
+// an information edge between its endpoints with takes only.
+// u = path.start (the reader side), v = path end (the source side).
+void MaterializeConnection(Ctx& ctx, const GraphPath& path) {
+  VertexId u = path.start;
+  VertexId v = path.end();
+  // Parse: t>* prefix, then one of r> / w<, then optional w< and t<* tail.
+  size_t i = 0;
+  std::vector<VertexId> prefix;  // vertices after u along t>*
+  VertexId cursor = u;
+  while (i < path.steps.size() && path.steps[i].symbol == PathSymbol::kTakeFwd) {
+    prefix.push_back(path.steps[i].to);
+    cursor = path.steps[i].to;
+    ++i;
+  }
+  if (i >= path.steps.size()) {
+    ctx.failed = true;
+    return;
+  }
+  if (path.steps[i].symbol == PathSymbol::kReadFwd) {
+    VertexId a = cursor;           // holder of the r edge
+    VertexId o = path.steps[i].to; // what it reads
+    ++i;
+    // u pulls r over o.
+    TakeChain(ctx, u, prefix);
+    if (u != a) {
+      ctx.TakeIfNeeded(u, a, o, tg::kRead);
+    }
+    if (i >= path.steps.size()) {
+      return;  // form t>* r>: u -r-> o == v materialized
+    }
+    // Form t>* r> w< t<*: o is a middle object; v pulls w over o.
+    if (path.steps[i].symbol != PathSymbol::kWriteBack) {
+      ctx.failed = true;
+      return;
+    }
+    VertexId b = path.steps[i].to;  // the writer of o
+    ++i;
+    std::vector<VertexId> rev;  // b, ..., v reversed-chain vertices
+    rev.push_back(b);
+    for (; i < path.steps.size(); ++i) {
+      if (path.steps[i].symbol != PathSymbol::kTakeBack) {
+        ctx.failed = true;
+        return;
+      }
+      rev.push_back(path.steps[i].to);
+    }
+    if (rev.back() != v) {
+      ctx.failed = true;
+      return;
+    }
+    // Edges point rev[k] -t-> rev[k-1]; v pulls t inward, then w over o.
+    if (rev.size() >= 2) {
+      rev.pop_back();  // drop v
+      for (size_t k = rev.size(); k-- > 1;) {
+        ctx.TakeIfNeeded(v, rev[k], rev[k - 1], tg::kTake);
+      }
+    }
+    if (v != b) {
+      ctx.TakeIfNeeded(v, b, o, tg::kWrite);
+    }
+    // Saturation will post() u <- o <- v.
+    return;
+  }
+  if (path.steps[i].symbol == PathSymbol::kWriteBack && prefix.empty()) {
+    // Form w< t<*: v pulls w over u along the reversed chain.
+    VertexId b = path.steps[i].to;
+    ++i;
+    std::vector<VertexId> rev;
+    rev.push_back(b);
+    for (; i < path.steps.size(); ++i) {
+      if (path.steps[i].symbol != PathSymbol::kTakeBack) {
+        ctx.failed = true;
+        return;
+      }
+      rev.push_back(path.steps[i].to);
+    }
+    if (rev.back() != v && !(rev.size() == 1 && rev[0] == v)) {
+      ctx.failed = true;
+      return;
+    }
+    if (rev.size() >= 2) {
+      rev.pop_back();
+      for (size_t k = rev.size(); k-- > 1;) {
+        ctx.TakeIfNeeded(v, rev[k], rev[k - 1], tg::kTake);
+      }
+    }
+    if (v != b) {
+      ctx.TakeIfNeeded(v, b, u, tg::kWrite);
+    }
+    return;  // v -w-> u materialized
+  }
+  ctx.failed = true;
+}
+
+// Crosses a bridge hop u ~> v by creating a mailbox at the far end and
+// sharing read rights over it back across the bridge; the de facto phase
+// then posts the information through the mailbox.
+void MaterializeBridgeHop(Ctx& ctx, const GraphPath& path) {
+  if (ctx.failed) {
+    return;
+  }
+  VertexId u = path.start;
+  VertexId v = path.end();
+  VertexId m =
+      ctx.Apply(RuleApplication::Create(v, VertexKind::kObject, tg::kReadWrite, ""));
+  if (ctx.failed) {
+    return;
+  }
+  TransferAcrossBridge(ctx, u, v, path, Right::kRead, m);
+  (void)u;
+}
+
+}  // namespace
+
+std::optional<Witness> BuildCanKnowWitness(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
+    return std::nullopt;
+  }
+  Witness empty;
+  ProtectionGraph probe = g;
+  if (x == y || KnowEdgePresent(probe, x, y)) {
+    return empty;
+  }
+  // Chain discovery, with parents for reconstruction (mirrors CanKnow).
+  std::vector<VertexId> heads = RwInitialSpannersTo(g, x);
+  if (g.IsSubject(x)) {
+    heads.push_back(x);
+  }
+  std::vector<VertexId> tails = RwTerminalSpannersTo(g, y);
+  if (g.IsSubject(y)) {
+    tails.push_back(y);
+  }
+  if (heads.empty() || tails.empty()) {
+    return std::nullopt;
+  }
+  std::vector<bool> is_tail(g.VertexCount(), false);
+  for (VertexId t : tails) {
+    is_tail[t] = true;
+  }
+  tg::PathSearchOptions options;
+  options.use_implicit = true;
+  std::map<VertexId, std::pair<VertexId, GraphPath>> parent;
+  std::deque<VertexId> queue;
+  std::vector<bool> seen(g.VertexCount(), false);
+  VertexId found = tg::kInvalidVertex;
+  for (VertexId h : heads) {
+    if (!seen[h]) {
+      seen[h] = true;
+      queue.push_back(h);
+      if (is_tail[h]) {
+        found = h;
+      }
+    }
+  }
+  while (found == tg::kInvalidVertex && !queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    std::vector<bool> reach = WordReachable(g, u, tg::BridgeOrConnectionDfa(), options);
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      if (!reach[v] || seen[v] || !g.IsSubject(v)) {
+        continue;
+      }
+      std::optional<GraphPath> hop =
+          FindWordPath(g, u, v, tg::BridgeOrConnectionDfa(), options);
+      if (!hop.has_value()) {
+        continue;
+      }
+      seen[v] = true;
+      parent.emplace(v, std::make_pair(u, *hop));
+      queue.push_back(v);
+      if (is_tail[v]) {
+        found = v;
+        break;
+      }
+    }
+  }
+  if (found == tg::kInvalidVertex) {
+    return std::nullopt;
+  }
+  VertexId u1 = found;
+  std::vector<std::pair<VertexId, GraphPath>> hops;  // (from, path) back to a head
+  while (true) {
+    auto it = parent.find(u1);
+    if (it == parent.end()) {
+      break;
+    }
+    hops.emplace_back(it->second.first, it->second.second);
+    u1 = it->second.first;
+  }
+  // u1 is the chain head; `found` is the tail; hops are tail-to-head order.
+
+  Ctx ctx(g);
+  // Head: u1 writes into x.
+  if (u1 != x) {
+    std::optional<GraphPath> span =
+        FindWordPath(g, u1, x, tg::RwInitialSpanDfa(), options);
+    if (!span.has_value() || span->steps.empty()) {
+      return std::nullopt;
+    }
+    std::vector<VertexId> chain;
+    for (size_t i = 0; i + 1 < span->steps.size(); ++i) {
+      chain.push_back(span->steps[i].to);
+    }
+    TakeChain(ctx, u1, chain);
+    VertexId pivot_from = chain.empty() ? u1 : chain.back();
+    if (pivot_from != u1) {
+      ctx.TakeIfNeeded(u1, pivot_from, x, tg::kWrite);
+    }
+    // pivot_from == u1: u1 already holds the w edge.
+  }
+  // Tail: `found` reads y.
+  if (found != y) {
+    std::optional<GraphPath> span =
+        FindWordPath(g, found, y, tg::RwTerminalSpanDfa(), options);
+    if (!span.has_value() || span->steps.empty()) {
+      return std::nullopt;
+    }
+    std::vector<VertexId> chain;
+    for (size_t i = 0; i + 1 < span->steps.size(); ++i) {
+      chain.push_back(span->steps[i].to);
+    }
+    TakeChain(ctx, found, chain);
+    VertexId pivot_from = chain.empty() ? found : chain.back();
+    if (pivot_from != found) {
+      ctx.TakeIfNeeded(found, pivot_from, y, tg::kRead);
+    }
+  }
+  // Hops: materialize each as an information edge.
+  for (const auto& [from, path] : hops) {
+    if (ctx.failed) {
+      break;
+    }
+    if (tg::IsConnectionWord(path.word())) {
+      MaterializeConnection(ctx, path);
+    } else {
+      MaterializeBridgeHop(ctx, path);
+    }
+  }
+  if (ctx.failed) {
+    return std::nullopt;
+  }
+  // De facto phase: saturate, recording, until the know edge appears.
+  ProtectionGraph current = ctx.w;
+  while (!KnowEdgePresent(current, x, y)) {
+    std::vector<RuleApplication> rules = EnumerateDeFacto(current);
+    if (rules.empty()) {
+      return std::nullopt;  // construction fell short
+    }
+    bool progressed = false;
+    for (RuleApplication& rule : rules) {
+      if (ApplyRule(current, rule).ok()) {
+        ctx.wit.Append(rule);
+        progressed = true;
+        if (KnowEdgePresent(current, x, y)) {
+          break;
+        }
+      }
+    }
+    if (!progressed) {
+      return std::nullopt;
+    }
+  }
+  return ctx.wit;
+}
+
+std::optional<Witness> BuildCanKnowFWitness(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
+    return std::nullopt;
+  }
+  Witness wit;
+  ProtectionGraph current = g;
+  if (KnowEdgePresent(current, x, y)) {
+    return wit;
+  }
+  // Saturate de facto rules, recording applications, until the know edge
+  // appears or saturation completes without it.
+  while (true) {
+    std::vector<RuleApplication> rules = EnumerateDeFacto(current);
+    if (rules.empty()) {
+      return std::nullopt;  // saturated without producing the edge
+    }
+    for (RuleApplication& rule : rules) {
+      if (!ApplyRule(current, rule).ok()) {
+        continue;
+      }
+      wit.Append(rule);
+      if (KnowEdgePresent(current, x, y)) {
+        return wit;
+      }
+    }
+  }
+}
+
+}  // namespace tg_analysis

@@ -1,0 +1,48 @@
+// Witness construction: turning positive predicate answers into concrete,
+// replayable rule sequences.
+//
+// * BuildCanShareWitness implements the constructive side of Theorem 2.3
+//   (the Jones-Lipton-Snyder constructions): pulls the right along the
+//   terminal span with takes, moves it across each bridge of the island
+//   chain (creating a depot vertex where the bridge runs against the grain,
+//   as in Lemmas 2.1/2.2), and finally injects it along the initial span
+//   with a grant.
+// * BuildCanKnowFWitness records the de facto saturation steps up to the
+//   first appearance of the x-knows-y edge.  Witnesses are valid but not
+//   minimal.
+//
+// can_know (de jure + de facto) witnesses are not constructed; the tests
+// validate that predicate against the exhaustive oracle instead.
+
+#ifndef SRC_ANALYSIS_WITNESS_BUILDER_H_
+#define SRC_ANALYSIS_WITNESS_BUILDER_H_
+
+#include <optional>
+
+#include "src/tg/graph.h"
+#include "src/tg/witness.h"
+
+namespace tg_analysis {
+
+// A witness for can_share(right, x, y, g), or nullopt when the predicate is
+// false (or when a degenerate vertex coincidence defeats the constructions —
+// the tests treat that as a failure, so in practice: false only).
+std::optional<tg::Witness> BuildCanShareWitness(const tg::ProtectionGraph& g, tg::Right right,
+                                                tg::VertexId x, tg::VertexId y);
+
+// A witness for can_know_f(x, y, g) made of de facto rules only.
+// For x == y or a pre-existing know edge the witness is empty.
+std::optional<tg::Witness> BuildCanKnowFWitness(const tg::ProtectionGraph& g, tg::VertexId x,
+                                                tg::VertexId y);
+
+// A witness for can_know(x, y, g): de jure rules materialize the chain of
+// Theorem 3.2 (spans pulled with takes; connections completed; bridges
+// crossed by sharing read rights over a freshly created mailbox), then de
+// facto rules exhibit the flow.  Nullopt when can_know is false (or a
+// degenerate vertex coincidence defeats the constructions).
+std::optional<tg::Witness> BuildCanKnowWitness(const tg::ProtectionGraph& g, tg::VertexId x,
+                                               tg::VertexId y);
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_WITNESS_BUILDER_H_

@@ -1,0 +1,36 @@
+#include "src/hierarchy/blp.h"
+
+namespace tg_hier {
+
+using tg::Edge;
+using tg::ProtectionGraph;
+using tg::Right;
+
+std::vector<Edge> SimpleSecurityViolations(const ProtectionGraph& g,
+                                           const LevelAssignment& assignment) {
+  std::vector<Edge> violations;
+  g.ForEachEdge([&](const Edge& e) {
+    if (e.TotalRights().Has(Right::kRead) && assignment.HigherVertex(e.dst, e.src)) {
+      violations.push_back(e);
+    }
+  });
+  return violations;
+}
+
+std::vector<Edge> StarPropertyViolations(const ProtectionGraph& g,
+                                         const LevelAssignment& assignment) {
+  std::vector<Edge> violations;
+  g.ForEachEdge([&](const Edge& e) {
+    if (e.TotalRights().Has(Right::kWrite) && assignment.HigherVertex(e.src, e.dst)) {
+      violations.push_back(e);
+    }
+  });
+  return violations;
+}
+
+bool BlpSecure(const ProtectionGraph& g, const LevelAssignment& assignment) {
+  return SimpleSecurityViolations(g, assignment).empty() &&
+         StarPropertyViolations(g, assignment).empty();
+}
+
+}  // namespace tg_hier

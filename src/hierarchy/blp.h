@@ -1,0 +1,35 @@
+// Bell-LaPadula correspondence (section 6).
+//
+// The paper closes by observing that, applied to a document system, the
+// Bishop restriction reproduces Bell & LaPadula's total view of security:
+// restriction (a) is the (refined) simple security property — no read up —
+// and restriction (b) is the *-property — no write down (Take-Grant write
+// is BLP append: not a viewing right).  This module states both properties
+// directly over a protection graph so the equivalence can be tested.
+
+#ifndef SRC_HIERARCHY_BLP_H_
+#define SRC_HIERARCHY_BLP_H_
+
+#include <vector>
+
+#include "src/hierarchy/levels.h"
+#include "src/tg/graph.h"
+
+namespace tg_hier {
+
+// Simple security property: no vertex holds (explicit or implicit) read
+// over a strictly higher vertex.  Returns offending edges.
+std::vector<tg::Edge> SimpleSecurityViolations(const tg::ProtectionGraph& g,
+                                               const LevelAssignment& assignment);
+
+// *-property (append form): no vertex holds write over a strictly lower
+// vertex.  Returns offending edges.
+std::vector<tg::Edge> StarPropertyViolations(const tg::ProtectionGraph& g,
+                                             const LevelAssignment& assignment);
+
+// Both properties hold — the Bell-LaPadula notion of a secure state.
+bool BlpSecure(const tg::ProtectionGraph& g, const LevelAssignment& assignment);
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_BLP_H_

@@ -1,0 +1,253 @@
+#include "src/hierarchy/classification.h"
+
+namespace tg_hier {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+namespace {
+
+// Adds `count` subjects named <prefix>0.., mutually rw-connected so they
+// form one rw-level, optionally tg-connected in a chain (one island).
+std::vector<VertexId> AddLevelSubjects(ProtectionGraph& g, const std::string& prefix,
+                                       size_t count, bool intra_tg) {
+  std::vector<VertexId> subjects;
+  for (size_t i = 0; i < count; ++i) {
+    subjects.push_back(g.AddSubject(prefix + std::to_string(i)));
+  }
+  for (size_t i = 0; i + 1 < subjects.size(); ++i) {
+    // Mutual read keeps the level an rw-level; a grant edge makes it an
+    // island when requested.
+    (void)g.AddExplicit(subjects[i], subjects[i + 1], tg::kRead);
+    (void)g.AddExplicit(subjects[i + 1], subjects[i], tg::kRead);
+    if (intra_tg) {
+      (void)g.AddExplicit(subjects[i], subjects[i + 1], tg::kGrant);
+    }
+  }
+  return subjects;
+}
+
+VertexId AddLevelDocument(ProtectionGraph& g, const std::string& name,
+                          const std::vector<VertexId>& writers) {
+  VertexId doc = g.AddObject(name);
+  for (VertexId s : writers) {
+    (void)g.AddExplicit(s, doc, tg::kReadWrite);
+  }
+  return doc;
+}
+
+void AddReadDown(ProtectionGraph& g, const std::vector<VertexId>& higher,
+                 const std::vector<VertexId>& lower) {
+  for (VertexId h : higher) {
+    for (VertexId l : lower) {
+      (void)g.AddExplicit(h, l, tg::kRead);
+    }
+  }
+}
+
+}  // namespace
+
+ClassifiedSystem LinearClassification(const LinearOptions& options) {
+  ClassifiedSystem system;
+  ProtectionGraph& g = system.graph;
+  system.level_subjects.resize(options.levels);
+  system.level_documents.assign(options.levels, tg::kInvalidVertex);
+
+  for (size_t level = 0; level < options.levels; ++level) {
+    std::string prefix = "L" + std::to_string(level + 1) + "s";
+    system.level_subjects[level] =
+        AddLevelSubjects(g, prefix, options.subjects_per_level, options.intra_level_tg);
+    if (options.documents) {
+      system.level_documents[level] = AddLevelDocument(
+          g, "L" + std::to_string(level + 1) + "doc", system.level_subjects[level]);
+    }
+    if (options.read_down && level > 0) {
+      AddReadDown(g, system.level_subjects[level], system.level_subjects[level - 1]);
+      if (options.documents) {
+        for (VertexId h : system.level_subjects[level]) {
+          (void)g.AddExplicit(h, system.level_documents[level - 1], tg::kRead);
+        }
+      }
+    }
+  }
+
+  system.levels = LevelAssignment(g.VertexCount(), options.levels);
+  for (size_t level = 0; level < options.levels; ++level) {
+    system.levels.SetLevelName(static_cast<LevelId>(level), "L" + std::to_string(level + 1));
+    for (VertexId v : system.level_subjects[level]) {
+      system.levels.Assign(v, static_cast<LevelId>(level));
+    }
+    if (options.documents && system.level_documents[level] != tg::kInvalidVertex) {
+      system.levels.Assign(system.level_documents[level], static_cast<LevelId>(level));
+    }
+    for (size_t below = 0; below < level; ++below) {
+      system.levels.DeclareHigher(static_cast<LevelId>(level), static_cast<LevelId>(below));
+    }
+  }
+  bool ok = system.levels.Finalize();
+  (void)ok;
+  return system;
+}
+
+ClassifiedSystem MilitaryClassification(const MilitaryOptions& options) {
+  ClassifiedSystem system;
+  ProtectionGraph& g = system.graph;
+
+  // Level nodes: one "unclassified" bottom plus, per category, a chain of
+  // classified authorities 1..A-1.  Different categories are incomparable.
+  struct Node {
+    size_t authority;
+    size_t category;  // meaningless for the bottom node
+    LevelId level;
+  };
+  std::vector<Node> nodes;
+  nodes.push_back(Node{0, 0, 0});  // bottom
+  for (size_t c = 0; c < options.categories; ++c) {
+    for (size_t a = 1; a < options.authority_levels; ++a) {
+      nodes.push_back(Node{a, c, static_cast<LevelId>(nodes.size())});
+    }
+  }
+
+  system.level_subjects.resize(nodes.size());
+  system.level_documents.assign(nodes.size(), tg::kInvalidVertex);
+
+  auto node_name = [&](const Node& node) {
+    if (node.authority == 0) {
+      return std::string("U");
+    }
+    std::string cat(1, static_cast<char>('A' + node.category));
+    return cat + std::to_string(node.authority);
+  };
+
+  for (const Node& node : nodes) {
+    std::string prefix = node_name(node) + "s";
+    system.level_subjects[node.level] =
+        AddLevelSubjects(g, prefix, options.subjects_per_node, /*intra_tg=*/true);
+    if (options.documents) {
+      system.level_documents[node.level] =
+          AddLevelDocument(g, node_name(node) + "doc", system.level_subjects[node.level]);
+    }
+  }
+  // Read-down along each category chain and from authority-1 nodes to bottom.
+  for (const Node& node : nodes) {
+    if (node.authority == 0) {
+      continue;
+    }
+    for (const Node& other : nodes) {
+      bool covers = (other.authority == 0 && node.authority == 1) ||
+                    (other.category == node.category && other.authority + 1 == node.authority &&
+                     other.authority > 0);
+      if (covers) {
+        AddReadDown(g, system.level_subjects[node.level], system.level_subjects[other.level]);
+      }
+    }
+  }
+
+  system.levels = LevelAssignment(g.VertexCount(), nodes.size());
+  for (const Node& node : nodes) {
+    system.levels.SetLevelName(node.level, node_name(node));
+    for (VertexId v : system.level_subjects[node.level]) {
+      system.levels.Assign(v, node.level);
+    }
+    if (options.documents && system.level_documents[node.level] != tg::kInvalidVertex) {
+      system.levels.Assign(system.level_documents[node.level], node.level);
+    }
+  }
+  // Dominance: same category, strictly higher authority; everything
+  // classified dominates bottom.
+  for (const Node& hi : nodes) {
+    for (const Node& lo : nodes) {
+      if (&hi == &lo) {
+        continue;
+      }
+      bool dominates = (lo.authority == 0 && hi.authority > 0) ||
+                       (hi.category == lo.category && lo.authority > 0 &&
+                        hi.authority > lo.authority);
+      if (dominates) {
+        system.levels.DeclareHigher(hi.level, lo.level);
+      }
+    }
+  }
+  bool ok = system.levels.Finalize();
+  (void)ok;
+  return system;
+}
+
+ClassifiedSystem TreeClassification(const TreeOptions& options) {
+  ClassifiedSystem system;
+  ProtectionGraph& g = system.graph;
+
+  // Enumerate tree nodes breadth-first; names encode the path ("n", "n0",
+  // "n01", ...).
+  struct Node {
+    std::string name;
+    LevelId level;
+    LevelId parent;  // kNoLevel for the root
+    size_t depth;
+  };
+  std::vector<Node> nodes;
+  nodes.push_back(Node{"n", 0, kNoLevel, 0});
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].depth + 1 >= options.depth + 1) {
+      continue;
+    }
+    if (nodes[i].depth >= options.depth) {
+      continue;
+    }
+    for (size_t c = 0; c < options.fanout; ++c) {
+      if (nodes[i].depth + 1 > options.depth) {
+        break;
+      }
+      Node child;
+      child.name = nodes[i].name + std::to_string(c);
+      child.level = static_cast<LevelId>(nodes.size());
+      child.parent = nodes[i].level;
+      child.depth = nodes[i].depth + 1;
+      if (child.depth <= options.depth) {
+        nodes.push_back(std::move(child));
+      }
+    }
+  }
+
+  system.level_subjects.resize(nodes.size());
+  system.level_documents.assign(nodes.size(), tg::kInvalidVertex);
+  for (const Node& node : nodes) {
+    system.level_subjects[node.level] =
+        AddLevelSubjects(g, node.name + "s", options.subjects_per_node, /*intra_tg=*/true);
+    if (options.documents) {
+      system.level_documents[node.level] =
+          AddLevelDocument(g, node.name + "doc", system.level_subjects[node.level]);
+    }
+  }
+  // Parents read their direct children.
+  for (const Node& node : nodes) {
+    if (node.parent == kNoLevel) {
+      continue;
+    }
+    AddReadDown(g, system.level_subjects[node.parent], system.level_subjects[node.level]);
+  }
+
+  system.levels = LevelAssignment(g.VertexCount(), nodes.size());
+  for (const Node& node : nodes) {
+    system.levels.SetLevelName(node.level, node.name);
+    for (VertexId v : system.level_subjects[node.level]) {
+      system.levels.Assign(v, node.level);
+    }
+    if (options.documents && system.level_documents[node.level] != tg::kInvalidVertex) {
+      system.levels.Assign(system.level_documents[node.level], node.level);
+    }
+  }
+  // Dominance = strict ancestry.
+  for (const Node& node : nodes) {
+    LevelId ancestor = node.parent;
+    while (ancestor != kNoLevel) {
+      system.levels.DeclareHigher(ancestor, node.level);
+      ancestor = nodes[ancestor].parent;
+    }
+  }
+  bool ok = system.levels.Finalize();
+  (void)ok;
+  return system;
+}
+
+}  // namespace tg_hier

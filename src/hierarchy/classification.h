@@ -1,0 +1,72 @@
+// Builders for hierarchical classification systems (section 4).
+//
+// * LinearClassification models Figure 4.1: a chain of levels L1 < ... < Ln
+//   where each level's subjects can exchange information among themselves
+//   and every subject can read one level down (information flows up only).
+// * MilitaryClassification models Figure 4.2: levels are (authority,
+//   category-set) pairs ordered by authority <= and category-set inclusion —
+//   a genuine partial order with incomparable levels.
+//
+// Builders return the graph plus the designer's level assignment, ready for
+// the security checker and the restriction policies.
+
+#ifndef SRC_HIERARCHY_CLASSIFICATION_H_
+#define SRC_HIERARCHY_CLASSIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hierarchy/levels.h"
+#include "src/tg/graph.h"
+
+namespace tg_hier {
+
+struct ClassifiedSystem {
+  tg::ProtectionGraph graph;
+  LevelAssignment levels;
+  // Subjects of each level, by level id (documents excluded).
+  std::vector<std::vector<tg::VertexId>> level_subjects;
+  // One document (object) per level, written by its level's subjects.
+  std::vector<tg::VertexId> level_documents;
+};
+
+struct LinearOptions {
+  size_t levels = 4;
+  size_t subjects_per_level = 2;
+  bool documents = true;        // add one document per level
+  bool read_down = true;        // higher subjects read the level below
+  bool intra_level_tg = true;   // t/g edges inside a level (islands)
+};
+
+ClassifiedSystem LinearClassification(const LinearOptions& options);
+
+// The lattice of (authority level, category set) pairs over
+// `authority_levels` linear levels and `categories` independent categories.
+// A node exists per (authority, single category) plus a bottom
+// (unclassified) node, as in Figure 4.2.  dominates: (a1,C1) > (a2,C2) iff
+// a1 >= a2, C1 superset of C2, and they differ.
+struct MilitaryOptions {
+  size_t authority_levels = 4;  // unclassified(0) .. top secret(3)
+  size_t categories = 2;        // e.g. {A, B}
+  size_t subjects_per_node = 1;
+  bool documents = true;
+};
+
+ClassifiedSystem MilitaryClassification(const MilitaryOptions& options);
+
+// A tree hierarchy (organizational chart): one root level, each level node
+// below has exactly one parent, and dominance is ancestry — a partial order
+// where siblings and cousins are incomparable.  Parents read their direct
+// children (information flows up the reporting chain only).
+struct TreeOptions {
+  size_t depth = 3;            // root is depth 0
+  size_t fanout = 2;           // children per node
+  size_t subjects_per_node = 1;
+  bool documents = true;
+};
+
+ClassifiedSystem TreeClassification(const TreeOptions& options);
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_CLASSIFICATION_H_

@@ -1,0 +1,56 @@
+// Policy composition: conjunction of rule restrictions.
+//
+// Real deployments layer restrictions (e.g. the Bishop restriction plus an
+// application restriction on a sensitive right).  CompositePolicy vetoes a
+// rule iff any member vetoes it, and fans NotifyApplied out to every
+// member so incremental policies stay current.
+
+#ifndef SRC_HIERARCHY_COMPOSITE_POLICY_H_
+#define SRC_HIERARCHY_COMPOSITE_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tg/rule_engine.h"
+
+namespace tg_hier {
+
+class CompositePolicy : public tg::RulePolicy {
+ public:
+  explicit CompositePolicy(std::vector<std::shared_ptr<tg::RulePolicy>> members)
+      : members_(std::move(members)) {}
+
+  std::string Name() const override {
+    std::string name;
+    for (const auto& member : members_) {
+      if (!name.empty()) {
+        name += "&";
+      }
+      name += member->Name();
+    }
+    return name.empty() ? "allow-all" : name;
+  }
+
+  tg_util::Status Vet(const tg::ProtectionGraph& g, const tg::RuleApplication& rule) override {
+    for (const auto& member : members_) {
+      if (tg_util::Status s = member->Vet(g, rule); !s.ok()) {
+        return s;
+      }
+    }
+    return tg_util::Status::Ok();
+  }
+
+  void NotifyApplied(const tg::ProtectionGraph& g, const tg::RuleApplication& rule) override {
+    for (const auto& member : members_) {
+      member->NotifyApplied(g, rule);
+    }
+  }
+
+ private:
+  std::vector<std::shared_ptr<tg::RulePolicy>> members_;
+};
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_COMPOSITE_POLICY_H_

@@ -1,0 +1,67 @@
+#include "src/hierarchy/declassify.h"
+
+#include "src/analysis/can_know.h"
+#include "src/hierarchy/restrictions.h"
+
+namespace tg_hier {
+
+using tg::Edge;
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+
+ReclassificationReport AnalyzeReclassification(const ProtectionGraph& g,
+                                               const LevelAssignment& assignment,
+                                               VertexId object, LevelId new_level) {
+  ReclassificationReport report;
+  if (!g.IsValidVertex(object)) {
+    return report;
+  }
+  // Simulate the move on a copy of the assignment.
+  LevelAssignment moved = assignment;
+  moved.Assign(object, new_level);
+
+  // Edge hazards: every edge incident on the object re-audited under the
+  // moved assignment (only those can change verdict).
+  auto audit_edge = [&](const Edge& e) {
+    if (ViolatesBishopRestriction(moved, e.src, e.dst, e.TotalRights())) {
+      report.violating_edges.push_back(e);
+      if (e.explicit_rights.Has(Right::kWrite) && g.IsSubject(e.src)) {
+        // An explicit write by a subject can be revoked with `remove`...
+        // by the writer itself; record it as the protocol's to-do list.
+        report.revocable_writes.push_back(e);
+      }
+    }
+  };
+  g.ForEachInEdge(object, audit_edge);
+  g.ForEachOutEdge(object, audit_edge);
+
+  // Knowledge hazards (raising): vertices that end up strictly below the
+  // object's new level but can already come to know it.
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (v == object || !moved.IsAssigned(v)) {
+      continue;
+    }
+    LevelId vl = moved.LevelOf(v);
+    if (new_level == kNoLevel || vl == kNoLevel || !moved.Higher(new_level, vl)) {
+      continue;  // not strictly below the new level
+    }
+    if (tg_analysis::CanKnow(g, v, object)) {
+      report.irrevocable_knowers.push_back(v);
+    }
+  }
+
+  report.safe = report.violating_edges.empty() && report.irrevocable_knowers.empty();
+  return report;
+}
+
+ReclassificationReport RevokeAndReanalyze(ProtectionGraph& g, const LevelAssignment& assignment,
+                                          VertexId object, LevelId new_level) {
+  ReclassificationReport before = AnalyzeReclassification(g, assignment, object, new_level);
+  for (const Edge& e : before.revocable_writes) {
+    (void)g.RemoveExplicit(e.src, e.dst, tg::kWrite);
+  }
+  return AnalyzeReclassification(g, assignment, object, new_level);
+}
+
+}  // namespace tg_hier

@@ -1,0 +1,58 @@
+// Reclassification analysis (extension; section 6's open question).
+//
+// The paper argues that changing a classification compromises security:
+// *raising* a level fails because anyone who could read the information may
+// hold a private copy at the old level, and *lowering* (declassification)
+// fails unless no higher-level subject retains write access — otherwise a
+// single write re-contaminates the downgraded object.  This module turns
+// that argument into an analysis: given a proposed level change, report
+// exactly which edges and which knowledge-holders block it, so a system
+// operator can see what would have to be revoked (and what can never be
+// revoked).
+
+#ifndef SRC_HIERARCHY_DECLASSIFY_H_
+#define SRC_HIERARCHY_DECLASSIFY_H_
+
+#include <vector>
+
+#include "src/hierarchy/levels.h"
+#include "src/tg/graph.h"
+
+namespace tg_hier {
+
+struct ReclassificationReport {
+  // The change keeps the edge-level security invariants intact.
+  bool safe = true;
+
+  // Lowering hazards: edges that would become write-down (a higher writer
+  // could re-inject classified data) or read-up under the new level.
+  std::vector<tg::Edge> violating_edges;
+
+  // Raising hazards: vertices below the object's *new* level that can
+  // already come to know the object's contents (can_know).  These hold
+  // potential private copies; no revocation can undo them.
+  std::vector<tg::VertexId> irrevocable_knowers;
+
+  // Revocable mitigations for lowering: the subset of violating_edges that
+  // are explicit write edges a `remove` rule could delete beforehand (the
+  // paper's hypothetical declassification protocol).
+  std::vector<tg::Edge> revocable_writes;
+};
+
+// Analyzes moving `object` to `new_level` under `assignment`.  The
+// assignment itself is not modified.
+ReclassificationReport AnalyzeReclassification(const tg::ProtectionGraph& g,
+                                               const LevelAssignment& assignment,
+                                               tg::VertexId object, LevelId new_level);
+
+// Applies the paper's hypothetical protocol: removes every revocable write
+// edge named in the report from g (mutating it), then re-analyzes.  Returns
+// the post-revocation report — still unsafe if irrevocable knowledge or
+// non-removable (implicit) edges remain.
+ReclassificationReport RevokeAndReanalyze(tg::ProtectionGraph& g,
+                                          const LevelAssignment& assignment,
+                                          tg::VertexId object, LevelId new_level);
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_DECLASSIFY_H_

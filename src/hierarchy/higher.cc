@@ -1,0 +1,37 @@
+#include "src/hierarchy/higher.h"
+
+#include "src/analysis/can_know.h"
+
+namespace tg_hier {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+using tg_analysis::CanKnow;
+using tg_analysis::CanKnowF;
+
+bool HigherF(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (x == y) {
+    return false;
+  }
+  return CanKnowF(g, x, y) && !CanKnowF(g, y, x);
+}
+
+bool Higher(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (x == y) {
+    return false;
+  }
+  return CanKnow(g, x, y) && !CanKnow(g, y, x);
+}
+
+bool SameRwLevel(const ProtectionGraph& g, VertexId x, VertexId y) {
+  return CanKnowF(g, x, y) && CanKnowF(g, y, x);
+}
+
+bool RwJoined(const ProtectionGraph& g, VertexId x, VertexId y) {
+  if (x == y) {
+    return false;
+  }
+  return CanKnowF(g, x, y) && !CanKnowF(g, y, x);
+}
+
+}  // namespace tg_hier

@@ -1,0 +1,29 @@
+// The `higher` relation between vertices (section 4).
+//
+// Operationally: x is higher than y when x can come to know y's information
+// but not conversely.  Proposition 4.4 shows the relation is a strict
+// partial order; the tests verify transitivity and irreflexivity directly.
+
+#ifndef SRC_HIERARCHY_HIGHER_H_
+#define SRC_HIERARCHY_HIGHER_H_
+
+#include "src/tg/graph.h"
+
+namespace tg_hier {
+
+// De facto reading (section 4): can_know_f(x, y) and not can_know_f(y, x).
+bool HigherF(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+// Full reading (section 5): can_know(x, y) and not can_know(y, x).
+bool Higher(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+// x and y mutually know each other de facto (same rw-level).
+bool SameRwLevel(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+// x and y are rw-joined: can_know_f(x, y) true but can_know_f(y, x) false.
+// (The paper's name for the asymmetric de facto relation.)
+bool RwJoined(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_HIGHER_H_

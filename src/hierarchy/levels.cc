@@ -1,0 +1,303 @@
+#include "src/hierarchy/levels.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/tg/languages.h"
+#include "src/tg/path.h"
+
+namespace tg_hier {
+
+using tg::Edge;
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+
+LevelAssignment::LevelAssignment(size_t vertex_count, size_t level_count)
+    : level_count_(level_count),
+      level_of_(vertex_count, kNoLevel),
+      higher_(level_count, std::vector<bool>(level_count, false)),
+      names_(level_count) {
+  for (size_t i = 0; i < level_count; ++i) {
+    names_[i] = "L" + std::to_string(i);
+  }
+}
+
+void LevelAssignment::Assign(VertexId v, LevelId level) {
+  assert(level < level_count_ || level == kNoLevel);
+  if (v >= level_of_.size()) {
+    level_of_.resize(v + 1, kNoLevel);
+  }
+  level_of_[v] = level;
+}
+
+void LevelAssignment::DeclareHigher(LevelId a, LevelId b) {
+  assert(a < level_count_ && b < level_count_);
+  higher_[a][b] = true;
+  finalized_ = false;
+}
+
+bool LevelAssignment::Finalize() {
+  // Floyd-Warshall closure over the boolean relation.
+  for (size_t k = 0; k < level_count_; ++k) {
+    for (size_t i = 0; i < level_count_; ++i) {
+      if (!higher_[i][k]) {
+        continue;
+      }
+      for (size_t j = 0; j < level_count_; ++j) {
+        if (higher_[k][j]) {
+          higher_[i][j] = true;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < level_count_; ++i) {
+    if (higher_[i][i]) {
+      return false;  // cycle: not a strict partial order
+    }
+  }
+  finalized_ = true;
+  return true;
+}
+
+bool LevelAssignment::Higher(LevelId a, LevelId b) const {
+  assert(finalized_ && "call Finalize() before Higher queries");
+  if (a >= level_count_ || b >= level_count_) {
+    return false;
+  }
+  return higher_[a][b];
+}
+
+bool LevelAssignment::HigherVertex(VertexId a, VertexId b) const {
+  LevelId la = LevelOf(a);
+  LevelId lb = LevelOf(b);
+  if (la == kNoLevel || lb == kNoLevel) {
+    return false;
+  }
+  return Higher(la, lb);
+}
+
+void LevelAssignment::SetLevelName(LevelId level, std::string name) {
+  assert(level < level_count_);
+  names_[level] = std::move(name);
+}
+
+const std::string& LevelAssignment::LevelName(LevelId level) const {
+  static const std::string kUnassigned = "<none>";
+  if (level >= level_count_) {
+    return kUnassigned;
+  }
+  return names_[level];
+}
+
+std::vector<std::vector<VertexId>> LevelAssignment::Members() const {
+  std::vector<std::vector<VertexId>> members(level_count_);
+  for (VertexId v = 0; v < level_of_.size(); ++v) {
+    if (level_of_[v] != kNoLevel) {
+      members[level_of_[v]].push_back(v);
+    }
+  }
+  return members;
+}
+
+std::vector<std::vector<VertexId>> KnowStepDigraph(const ProtectionGraph& g) {
+  std::vector<std::vector<VertexId>> adj(g.VertexCount());
+  g.ForEachEdge([&](const Edge& e) {
+    tg::RightSet total = e.TotalRights();
+    if (total.Has(Right::kRead) && g.IsSubject(e.src)) {
+      adj[e.src].push_back(e.dst);  // src reads dst: src knows dst
+    }
+    if (total.Has(Right::kWrite) && g.IsSubject(e.src)) {
+      adj[e.dst].push_back(e.src);  // src writes dst: dst knows src
+    }
+  });
+  return adj;
+}
+
+std::vector<std::vector<VertexId>> BocDigraph(const ProtectionGraph& g) {
+  std::vector<std::vector<VertexId>> adj(g.VertexCount());
+  tg::PathSearchOptions options;
+  options.use_implicit = true;
+  for (VertexId u = 0; u < g.VertexCount(); ++u) {
+    if (!g.IsSubject(u)) {
+      continue;
+    }
+    std::vector<bool> reach =
+        WordReachable(g, u, tg::BridgeOrConnectionDfa(), options);
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      if (v != u && reach[v] && g.IsSubject(v)) {
+        adj[u].push_back(v);
+      }
+    }
+  }
+  return adj;
+}
+
+std::vector<uint32_t> StronglyConnectedComponents(
+    const std::vector<std::vector<VertexId>>& adjacency) {
+  const size_t n = adjacency.size();
+  constexpr uint32_t kUnvisited = 0xffffffffu;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> component(n, kUnvisited);
+  std::vector<size_t> stack;
+  uint32_t next_index = 0;
+  uint32_t next_component = 0;
+
+  // Iterative Tarjan: frames of (node, child cursor).
+  struct Frame {
+    size_t node;
+    size_t child = 0;
+  };
+  std::vector<Frame> frames;
+
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) {
+      continue;
+    }
+    frames.push_back(Frame{root});
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      size_t v = frame.node;
+      if (frame.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (frame.child < adjacency[v].size()) {
+        size_t w = adjacency[v][frame.child++];
+        if (index[w] == kUnvisited) {
+          frames.push_back(Frame{w});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          size_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          component[w] = next_component;
+          if (w == v) {
+            break;
+          }
+        }
+        ++next_component;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] = std::min(lowlink[frames.back().node], lowlink[v]);
+      }
+    }
+  }
+  return component;
+}
+
+namespace {
+
+// Builds a LevelAssignment from a step digraph: SCCs become levels, and a
+// level is higher than another iff it can reach it in the condensation
+// (knowing someone's information places you above them).
+LevelAssignment LevelsFromDigraph(const std::vector<std::vector<VertexId>>& adj,
+                                  const std::vector<bool>& participates) {
+  const size_t n = adj.size();
+  std::vector<uint32_t> comp = StronglyConnectedComponents(adj);
+  // Renumber to only components containing participating vertices.
+  std::vector<uint32_t> remap(n == 0 ? 0 : *std::max_element(comp.begin(), comp.end()) + 1,
+                              kNoLevel);
+  uint32_t level_count = 0;
+  for (size_t v = 0; v < n; ++v) {
+    if (participates[v] && remap[comp[v]] == kNoLevel) {
+      remap[comp[v]] = level_count++;
+    }
+  }
+  LevelAssignment assignment(n, level_count);
+  for (size_t v = 0; v < n; ++v) {
+    if (participates[v]) {
+      assignment.Assign(static_cast<VertexId>(v), remap[comp[v]]);
+    }
+  }
+  // Condensation reachability: DFS from each component over original edges.
+  // Levels are few in practice; a simple per-level DFS suffices.
+  for (size_t v = 0; v < n; ++v) {
+    if (!participates[v]) {
+      continue;
+    }
+    for (VertexId w : adj[v]) {
+      if (participates[w] && comp[w] != comp[v]) {
+        assignment.DeclareHigher(remap[comp[v]], remap[comp[w]]);
+      }
+    }
+  }
+  bool ok = assignment.Finalize();
+  assert(ok && "condensation of an SCC decomposition cannot have cycles");
+  (void)ok;
+  return assignment;
+}
+
+}  // namespace
+
+LevelAssignment ComputeRwLevels(const ProtectionGraph& g) {
+  std::vector<bool> all(g.VertexCount(), true);
+  return LevelsFromDigraph(KnowStepDigraph(g), all);
+}
+
+LevelAssignment ComputeRwtgLevels(const ProtectionGraph& g) {
+  std::vector<bool> subjects(g.VertexCount(), false);
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    subjects[v] = g.IsSubject(v);
+  }
+  return LevelsFromDigraph(BocDigraph(g), subjects);
+}
+
+void AssignObjectLevels(const ProtectionGraph& g, LevelAssignment& assignment) {
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (!g.IsObject(v) || assignment.IsAssigned(v)) {
+      continue;
+    }
+    // Collect levels of subjects with explicit r or w access.
+    std::vector<LevelId> accessor_levels;
+    g.ForEachInEdge(v, [&](const Edge& e) {
+      if (!g.IsSubject(e.src)) {
+        return;
+      }
+      if (!e.explicit_rights.Intersects(tg::kReadWrite)) {
+        return;
+      }
+      LevelId level = assignment.LevelOf(e.src);
+      if (level != kNoLevel) {
+        accessor_levels.push_back(level);
+      }
+    });
+    if (accessor_levels.empty()) {
+      continue;
+    }
+    // The lowest accessor level, if the accessors form a chain.
+    LevelId lowest = accessor_levels[0];
+    bool comparable = true;
+    for (LevelId level : accessor_levels) {
+      if (level == lowest) {
+        continue;
+      }
+      if (assignment.Higher(lowest, level)) {
+        lowest = level;
+      } else if (!assignment.Higher(level, lowest)) {
+        comparable = false;
+        break;
+      }
+    }
+    if (comparable) {
+      assignment.Assign(v, lowest);
+    }
+  }
+}
+
+}  // namespace tg_hier

@@ -1,0 +1,156 @@
+#include "src/hierarchy/levels_io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace tg_hier {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+using tg_util::Split;
+using tg_util::SplitWhitespace;
+using tg_util::Status;
+using tg_util::StatusOr;
+using tg_util::StripWhitespace;
+
+namespace {
+
+Status LineError(size_t line_no, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line_no) + ": " + message);
+}
+
+}  // namespace
+
+StatusOr<LevelAssignment> ParseLevels(std::string_view text, const ProtectionGraph& g) {
+  // Two passes: collect level declarations first so ids are stable, then
+  // wire up higher/assign statements.
+  struct Statement {
+    size_t line_no;
+    std::vector<std::string_view> tokens;
+  };
+  std::vector<Statement> statements;
+  std::map<std::string, LevelId, std::less<>> level_ids;
+  std::vector<std::string> level_names;
+
+  size_t line_no = 0;
+  for (std::string_view raw : Split(text, '\n')) {
+    ++line_no;
+    size_t hash = raw.find('#');
+    std::string_view line =
+        StripWhitespace(hash == std::string_view::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string_view> tokens = SplitWhitespace(line);
+    if (tokens[0] == "level") {
+      if (tokens.size() != 2) {
+        return LineError(line_no, "expected 'level <name>'");
+      }
+      std::string name(tokens[1]);
+      if (level_ids.contains(name)) {
+        return LineError(line_no, "duplicate level '" + name + "'");
+      }
+      level_ids.emplace(name, static_cast<LevelId>(level_names.size()));
+      level_names.push_back(std::move(name));
+      continue;
+    }
+    statements.push_back(Statement{line_no, std::move(tokens)});
+  }
+
+  LevelAssignment assignment(g.VertexCount(), level_names.size());
+  for (size_t i = 0; i < level_names.size(); ++i) {
+    assignment.SetLevelName(static_cast<LevelId>(i), level_names[i]);
+  }
+
+  auto resolve_level = [&](std::string_view name,
+                           size_t at_line) -> StatusOr<LevelId> {
+    auto it = level_ids.find(name);
+    if (it == level_ids.end()) {
+      return LineError(at_line, "unknown level '" + std::string(name) + "'");
+    }
+    return it->second;
+  };
+
+  for (const Statement& statement : statements) {
+    const auto& tokens = statement.tokens;
+    if (tokens[0] == "higher") {
+      if (tokens.size() != 3) {
+        return LineError(statement.line_no, "expected 'higher <level> <level>'");
+      }
+      StatusOr<LevelId> a = resolve_level(tokens[1], statement.line_no);
+      if (!a.ok()) {
+        return a.status();
+      }
+      StatusOr<LevelId> b = resolve_level(tokens[2], statement.line_no);
+      if (!b.ok()) {
+        return b.status();
+      }
+      if (*a == *b) {
+        return LineError(statement.line_no, "a level cannot be higher than itself");
+      }
+      assignment.DeclareHigher(*a, *b);
+      continue;
+    }
+    if (tokens[0] == "assign") {
+      if (tokens.size() != 3) {
+        return LineError(statement.line_no, "expected 'assign <vertex> <level>'");
+      }
+      VertexId v = g.FindVertex(tokens[1]);
+      if (v == tg::kInvalidVertex) {
+        return LineError(statement.line_no,
+                         "unknown vertex '" + std::string(tokens[1]) + "'");
+      }
+      StatusOr<LevelId> level = resolve_level(tokens[2], statement.line_no);
+      if (!level.ok()) {
+        return level.status();
+      }
+      assignment.Assign(v, *level);
+      continue;
+    }
+    return LineError(statement.line_no,
+                     "unknown keyword '" + std::string(tokens[0]) + "'");
+  }
+
+  if (!assignment.Finalize()) {
+    return Status::ParseError("higher declarations form a cycle");
+  }
+  return assignment;
+}
+
+StatusOr<LevelAssignment> LoadLevelsFile(const std::string& path, const ProtectionGraph& g) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseLevels(buffer.str(), g);
+}
+
+std::string PrintLevels(const LevelAssignment& assignment, const ProtectionGraph& g) {
+  std::ostringstream os;
+  os << "# " << assignment.LevelCount() << " levels\n";
+  for (LevelId l = 0; l < assignment.LevelCount(); ++l) {
+    os << "level  " << assignment.LevelName(l) << "\n";
+  }
+  for (LevelId a = 0; a < assignment.LevelCount(); ++a) {
+    for (LevelId b = 0; b < assignment.LevelCount(); ++b) {
+      if (assignment.Higher(a, b)) {
+        os << "higher " << assignment.LevelName(a) << " " << assignment.LevelName(b) << "\n";
+      }
+    }
+  }
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    LevelId level = assignment.LevelOf(v);
+    if (level != kNoLevel) {
+      os << "assign " << g.NameOf(v) << " " << assignment.LevelName(level) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tg_hier

@@ -1,0 +1,42 @@
+// Text serialization of level assignments (the ".lvl" format).
+//
+// Line-oriented, referencing vertices of an accompanying graph by name:
+//
+//   # comment
+//   level  public            <- declares a level (ids in declaration order)
+//   level  secret
+//   higher secret public     <- strict order; transitively closed on load
+//   assign alice secret      <- vertex NAME gets level NAME
+//
+// Together with the .tgg graph format this makes a complete on-disk
+// description of a classified system for the audit tooling.
+
+#ifndef SRC_HIERARCHY_LEVELS_IO_H_
+#define SRC_HIERARCHY_LEVELS_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/hierarchy/levels.h"
+#include "src/tg/graph.h"
+#include "src/util/status.h"
+
+namespace tg_hier {
+
+// Parses a .lvl document against g (vertex names must resolve).  The
+// returned assignment is finalized; cyclic higher declarations fail.
+tg_util::StatusOr<LevelAssignment> ParseLevels(std::string_view text,
+                                               const tg::ProtectionGraph& g);
+
+// Reads and parses a .lvl file.
+tg_util::StatusOr<LevelAssignment> LoadLevelsFile(const std::string& path,
+                                                  const tg::ProtectionGraph& g);
+
+// Serializes an assignment (levels in id order; only the transitive
+// reduction is NOT computed — every higher pair is emitted, which reloads
+// identically).
+std::string PrintLevels(const LevelAssignment& assignment, const tg::ProtectionGraph& g);
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_LEVELS_IO_H_

@@ -1,0 +1,129 @@
+#include "src/hierarchy/restrictions.h"
+
+namespace tg_hier {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RightSet;
+using tg::RuleApplication;
+using tg::RuleKind;
+using tg::VertexId;
+using tg_util::Status;
+
+void LevelPolicy::NotifyApplied(const ProtectionGraph& g, const RuleApplication& rule) {
+  if (rule.kind == RuleKind::kCreate && rule.created != tg::kInvalidVertex) {
+    LevelId creator_level = assignment_.LevelOf(rule.x);
+    if (creator_level != kNoLevel) {
+      assignment_.Assign(rule.created, creator_level);
+    }
+  }
+  (void)g;
+}
+
+Status DirectionRestrictionPolicy::Vet(const ProtectionGraph& g, const RuleApplication& rule) {
+  (void)g;
+  // Only take and grant are restricted; create/remove and all de facto
+  // rules pass (de facto rules cannot be restricted at all, section 6).
+  if (rule.kind != RuleKind::kTake && rule.kind != RuleKind::kGrant) {
+    return Status::Ok();
+  }
+  // The enabling edge is x -> y (t for take, g for grant).  It must not
+  // point up the hierarchy.
+  if (assignment_.HigherVertex(rule.y, rule.x)) {
+    return Status::PolicyViolation("enabling " +
+                                   std::string(rule.kind == RuleKind::kTake ? "t" : "g") +
+                                   " edge points to a strictly higher vertex");
+  }
+  return Status::Ok();
+}
+
+Status ApplicationRestrictionPolicy::Vet(const ProtectionGraph& g,
+                                         const RuleApplication& rule) {
+  (void)g;
+  if (rule.kind != RuleKind::kTake && rule.kind != RuleKind::kGrant) {
+    return Status::Ok();
+  }
+  RightSet blocked = rule.rights.Intersect(forbidden_);
+  if (!blocked.empty()) {
+    return Status::PolicyViolation("rule manipulates restricted rights {" +
+                                   blocked.ToString() + "}");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Dominance: a's level >= b's level (same level or strictly higher).
+// Unassigned vertices dominate nothing and are dominated by nothing.
+bool Dominates(const LevelAssignment& assignment, VertexId a, VertexId b) {
+  LevelId la = assignment.LevelOf(a);
+  LevelId lb = assignment.LevelOf(b);
+  if (la == kNoLevel || lb == kNoLevel) {
+    return false;
+  }
+  return la == lb || assignment.Higher(la, lb);
+}
+
+}  // namespace
+
+bool ViolatesBishopRestriction(const LevelAssignment& assignment, VertexId src, VertexId dst,
+                               RightSet rights, RestrictionStrictness strictness) {
+  if (strictness == RestrictionStrictness::kPaper) {
+    if (rights.Has(Right::kRead) && assignment.HigherVertex(dst, src)) {
+      return true;  // (a) read edge from lower to higher: read-up
+    }
+    if (rights.Has(Right::kWrite) && assignment.HigherVertex(src, dst)) {
+      return true;  // (b) write edge from higher to lower: write-down
+    }
+    return false;
+  }
+  // Strict mode: dominance required.  Unassigned endpoints stay
+  // unconstrained (matching the paper mode's behaviour for them).
+  bool constrained = assignment.IsAssigned(src) && assignment.IsAssigned(dst);
+  if (!constrained) {
+    return false;
+  }
+  if (rights.Has(Right::kRead) && !Dominates(assignment, src, dst)) {
+    return true;  // reader must dominate what it reads
+  }
+  if (rights.Has(Right::kWrite) && !Dominates(assignment, dst, src)) {
+    return true;  // written vertex must dominate the writer
+  }
+  return false;
+}
+
+Status BishopRestrictionPolicy::Vet(const ProtectionGraph& g, const RuleApplication& rule) {
+  if (rule.kind != RuleKind::kTake && rule.kind != RuleKind::kGrant) {
+    // create adds an edge to a brand-new vertex at the creator's own level
+    // (never cross-level); remove deletes edges; de facto rules may not be
+    // restricted.  All pass.
+    return Status::Ok();
+  }
+  tg::RuleEffect effect = EffectOf(g, rule);
+  if (ViolatesBishopRestriction(assignment_, effect.src, effect.dst, effect.added_explicit,
+                                strictness_)) {
+    bool write_down = effect.added_explicit.Has(Right::kWrite) &&
+                      !Dominates(assignment_, effect.dst, effect.src);
+    return Status::PolicyViolation(
+        write_down
+            ? "would complete a write edge from a higher to a lower vertex (restriction b)"
+            : "would complete a read edge from a lower to a higher vertex (restriction a)");
+  }
+  return Status::Ok();
+}
+
+std::vector<tg::Edge> AuditBishopRestriction(const ProtectionGraph& g,
+                                             const LevelAssignment& assignment,
+                                             RestrictionStrictness strictness) {
+  std::vector<tg::Edge> offending;
+  g.ForEachEdge([&](const tg::Edge& e) {
+    // The audit covers the whole information surface: explicit authority
+    // and any implicit flow edges present.
+    if (ViolatesBishopRestriction(assignment, e.src, e.dst, e.TotalRights(), strictness)) {
+      offending.push_back(e);
+    }
+  });
+  return offending;
+}
+
+}  // namespace tg_hier

@@ -1,0 +1,130 @@
+// Restrictions on the de jure rules (section 5).
+//
+// The paper studies three ways to restrict take/grant so that a hierarchy
+// stays secure while remaining usable:
+//
+//  * Restriction of DIRECTION (Lemma 5.3): the t/g edge a rule manipulates
+//    must point in a permitted direction relative to the hierarchy (here:
+//    the actor's edge must not point to a strictly higher vertex).  Sound
+//    but not complete: even inert rights can no longer be passed downward.
+//
+//  * Restriction of APPLICATION (Lemma 5.4): take/grant may not manipulate
+//    certain rights (here, configurable; default r and w).  Sound but not
+//    complete: a higher-level subject can no longer take read rights to a
+//    lower-level vertex, which is a legal operation.
+//
+//  * The COMBINED Bishop restriction (Theorem 5.5): a de jure rule is
+//    invalid iff the explicit edge it would add completes a forbidden
+//    connection:
+//        (a) an r-edge whose source is strictly lower than its target
+//            (read-up), or
+//        (b) a w-edge whose source is strictly higher than its target
+//            (write-down).
+//    Sound AND complete: any derivation between secure graphs can be
+//    replayed under the restriction.  Checking one rule is O(1)
+//    (Corollary 5.7); auditing a whole graph is O(E) (Corollary 5.6).
+//
+// All three are RulePolicy implementations usable with tg::RuleEngine.
+// Created vertices inherit their creator's level (the natural choice for a
+// hierarchy: a subject's private objects are at its own level).
+
+#ifndef SRC_HIERARCHY_RESTRICTIONS_H_
+#define SRC_HIERARCHY_RESTRICTIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/hierarchy/levels.h"
+#include "src/tg/rule_engine.h"
+
+namespace tg_hier {
+
+// Common base: holds a level assignment that tracks created vertices.
+class LevelPolicy : public tg::RulePolicy {
+ public:
+  explicit LevelPolicy(LevelAssignment assignment) : assignment_(std::move(assignment)) {}
+
+  // Created vertices inherit the creator's level.
+  void NotifyApplied(const tg::ProtectionGraph& g, const tg::RuleApplication& rule) override;
+
+  const LevelAssignment& assignment() const { return assignment_; }
+
+ protected:
+  LevelAssignment assignment_;
+};
+
+// Lemma 5.3: vetoes a take/grant whose enabling t/g edge points from the
+// actor to a strictly higher vertex (rights may only be manipulated level-
+// down or level-sideways).
+class DirectionRestrictionPolicy : public LevelPolicy {
+ public:
+  using LevelPolicy::LevelPolicy;
+  std::string Name() const override { return "direction-restriction"; }
+  tg_util::Status Vet(const tg::ProtectionGraph& g, const tg::RuleApplication& rule) override;
+};
+
+// Lemma 5.4: vetoes a take/grant that manipulates any right in
+// `forbidden` (default {r, w}).
+class ApplicationRestrictionPolicy : public LevelPolicy {
+ public:
+  ApplicationRestrictionPolicy(LevelAssignment assignment,
+                               tg::RightSet forbidden = tg::kReadWrite)
+      : LevelPolicy(std::move(assignment)), forbidden_(forbidden) {}
+  std::string Name() const override { return "application-restriction"; }
+  tg_util::Status Vet(const tg::ProtectionGraph& g, const tg::RuleApplication& rule) override;
+
+ private:
+  tg::RightSet forbidden_;
+};
+
+// How the restriction treats *incomparable* levels.
+//
+// The paper's restriction (a)/(b) literally constrains only comparable
+// pairs ("source lower than target"), which suffices for the linear
+// hierarchies it analyses.  On a genuine lattice that literal reading
+// leaves a relay channel open: an incomparable middle level may read the
+// high level and be read by the low one, and neither edge is "lower reads
+// higher".  kStrict closes it with BLP-style dominance: a read edge is
+// legal only when its source's level dominates (>=) its target's, a write
+// edge only when the target dominates the source.  On totally ordered
+// levels the two modes coincide.
+enum class RestrictionStrictness : uint8_t {
+  kPaper,   // restriction (a)/(b) exactly as stated
+  kStrict,  // dominance required (refined simple security / *-property)
+};
+
+// Theorem 5.5: the combined restriction.  O(1) per rule (Corollary 5.7).
+class BishopRestrictionPolicy : public LevelPolicy {
+ public:
+  explicit BishopRestrictionPolicy(LevelAssignment assignment,
+                                   RestrictionStrictness strictness =
+                                       RestrictionStrictness::kPaper)
+      : LevelPolicy(std::move(assignment)), strictness_(strictness) {}
+  std::string Name() const override {
+    return strictness_ == RestrictionStrictness::kPaper ? "bishop-restriction"
+                                                        : "bishop-restriction-strict";
+  }
+  tg_util::Status Vet(const tg::ProtectionGraph& g, const tg::RuleApplication& rule) override;
+
+ private:
+  RestrictionStrictness strictness_;
+};
+
+// Would adding an explicit edge src -> dst labelled `rights` violate the
+// Bishop restriction under `assignment`?  The O(1) kernel shared by the
+// policy and the audit.
+bool ViolatesBishopRestriction(const LevelAssignment& assignment, tg::VertexId src,
+                               tg::VertexId dst, tg::RightSet rights,
+                               RestrictionStrictness strictness =
+                                   RestrictionStrictness::kPaper);
+
+// Corollary 5.6: audits every explicit edge of g against the restriction in
+// one O(E) pass.  Returns the offending edges.
+std::vector<tg::Edge> AuditBishopRestriction(const tg::ProtectionGraph& g,
+                                             const LevelAssignment& assignment,
+                                             RestrictionStrictness strictness =
+                                                 RestrictionStrictness::kPaper);
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_RESTRICTIONS_H_

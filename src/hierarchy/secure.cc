@@ -1,0 +1,88 @@
+#include "src/hierarchy/secure.h"
+
+#include "src/analysis/can_know.h"
+#include "src/tg/languages.h"
+#include "src/tg/path.h"
+
+namespace tg_hier {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
+                           size_t max_violations) {
+  SecurityReport report;
+  for (VertexId x = 0; x < g.VertexCount(); ++x) {
+    if (!assignment.IsAssigned(x)) {
+      continue;
+    }
+    // Does x's reach include anything strictly above it?
+    bool x_has_superior = false;
+    for (VertexId y = 0; y < g.VertexCount(); ++y) {
+      if (assignment.HigherVertex(y, x)) {
+        x_has_superior = true;
+        break;
+      }
+    }
+    if (!x_has_superior) {
+      continue;
+    }
+    std::vector<bool> knowable = tg_analysis::KnowableFrom(g, x);
+    for (VertexId y = 0; y < g.VertexCount(); ++y) {
+      if (!knowable[y] || !assignment.HigherVertex(y, x)) {
+        continue;
+      }
+      report.secure = false;
+      report.violations.push_back(SecurityViolation{
+          x, y,
+          g.NameOf(x) + " (level " + assignment.LevelName(assignment.LevelOf(x)) +
+              ") can come to know " + g.NameOf(y) + " (level " +
+              assignment.LevelName(assignment.LevelOf(y)) + ")"});
+      if (max_violations != 0 && report.violations.size() >= max_violations) {
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
+                                                      const LevelAssignment& assignment,
+                                                      size_t max_channels) {
+  std::vector<CrossLevelChannel> channels;
+  tg::PathSearchOptions options;
+  options.use_implicit = true;
+  for (VertexId u = 0; u < g.VertexCount(); ++u) {
+    if (!g.IsSubject(u) || !assignment.IsAssigned(u)) {
+      continue;
+    }
+    std::vector<bool> reach = WordReachable(g, u, tg::BridgeOrConnectionDfa(), options);
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      if (v == u || !reach[v] || !g.IsSubject(v)) {
+        continue;
+      }
+      // A BOC path u -> v lets u learn v's information; dangerous exactly
+      // when v is strictly higher than u.
+      if (!assignment.HigherVertex(v, u)) {
+        continue;
+      }
+      CrossLevelChannel channel;
+      channel.from = u;
+      channel.to = v;
+      std::optional<tg::GraphPath> path =
+          FindWordPath(g, u, v, tg::BridgeOrConnectionDfa(), options);
+      channel.path = path.has_value() ? path->ToString(g) : "<path elided>";
+      channels.push_back(std::move(channel));
+      if (max_channels != 0 && channels.size() >= max_channels) {
+        return channels;
+      }
+    }
+  }
+  return channels;
+}
+
+bool SecureByTheorem52(const ProtectionGraph& g, const LevelAssignment& assignment) {
+  return FindCrossLevelChannels(g, assignment, /*max_channels=*/1).empty();
+}
+
+}  // namespace tg_hier

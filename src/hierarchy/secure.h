@@ -1,0 +1,65 @@
+// Security of hierarchical protection graphs (section 5).
+//
+// A graph is *secure* for a level assignment when no vertex can come to
+// know information belonging to a strictly higher level, no matter what
+// finite rule derivation its (possibly all-corrupt) subjects perform:
+//
+//     for all x, y with level(x) < level(y):  can_know(x, y, G) is false.
+//
+// Theorem 5.2 characterizes security structurally: it holds exactly when no
+// bridge and no connection crosses from one rwtg-level toward a higher one.
+// CheckSecure decides the definition via the can_know machinery; the
+// cross-level scan (FindCrossLevelChannels) implements the structural side
+// so the two can be compared experimentally.
+
+#ifndef SRC_HIERARCHY_SECURE_H_
+#define SRC_HIERARCHY_SECURE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hierarchy/levels.h"
+#include "src/tg/graph.h"
+
+namespace tg_hier {
+
+struct SecurityViolation {
+  tg::VertexId lower = tg::kInvalidVertex;   // the vertex that learns too much
+  tg::VertexId higher = tg::kInvalidVertex;  // the vertex whose info leaks
+  std::string detail;
+};
+
+struct SecurityReport {
+  bool secure = true;
+  std::vector<SecurityViolation> violations;
+};
+
+// Decides the security definition for an explicit level assignment:
+// for every ordered pair with level(lower) < level(higher), can_know(lower,
+// higher) must be false.  Unassigned vertices are unconstrained.
+// `max_violations` bounds the report size (0 = report all).
+SecurityReport CheckSecure(const tg::ProtectionGraph& g, const LevelAssignment& assignment,
+                           size_t max_violations = 0);
+
+// One cross-level information channel (Theorem 5.2's structural witness):
+// a bridge-or-connection path from a subject in one level to a subject in a
+// different, comparable level that would let information flow downward.
+struct CrossLevelChannel {
+  tg::VertexId from = tg::kInvalidVertex;  // lower-level subject
+  tg::VertexId to = tg::kInvalidVertex;    // higher-level subject
+  std::string path;                        // rendered witness path
+};
+
+// Scans for bridge-or-connection paths from lower-level subjects to
+// higher-level subjects (the structural condition of Theorem 5.2).
+std::vector<CrossLevelChannel> FindCrossLevelChannels(const tg::ProtectionGraph& g,
+                                                      const LevelAssignment& assignment,
+                                                      size_t max_channels = 0);
+
+// Theorem 5.2, decided structurally: secure iff FindCrossLevelChannels
+// returns nothing.
+bool SecureByTheorem52(const tg::ProtectionGraph& g, const LevelAssignment& assignment);
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_SECURE_H_

@@ -1,0 +1,144 @@
+#include "src/sim/adversary.h"
+
+#include <algorithm>
+
+#include "src/analysis/oracle.h"
+#include "src/tg/rules.h"
+
+namespace tg_sim {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RuleApplication;
+using tg::VertexId;
+using tg_hier::LevelAssignment;
+using tg_util::Prng;
+
+bool LeakEstablished(const ProtectionGraph& g, VertexId low, VertexId high) {
+  return tg_analysis::OracleCanKnowF(g, low, high);
+}
+
+namespace {
+
+// Scores a candidate rule for the greedy strategy: higher is more
+// promising.  Moving r/w across levels (especially toward the low target)
+// is the attack surface; t/g movement is enabling groundwork.
+int ScoreRule(const ProtectionGraph& g, const LevelAssignment& levels,
+              const RuleApplication& rule, VertexId low, VertexId high) {
+  tg::RuleEffect effect = EffectOf(g, rule);
+  int score = 0;
+  if (effect.added_explicit.Has(Right::kRead)) {
+    score += 2;
+    // Read edge whose source sits lower than its target: the forbidden
+    // read-up shape.
+    if (levels.HigherVertex(effect.dst, effect.src)) {
+      score += 6;
+    }
+    if (effect.src == low || effect.dst == high) {
+      score += 4;
+    }
+  }
+  if (effect.added_explicit.Has(Right::kWrite)) {
+    score += 2;
+    if (levels.HigherVertex(effect.src, effect.dst)) {
+      score += 6;  // write-down shape
+    }
+    if (effect.dst == low || effect.src == high) {
+      score += 4;
+    }
+  }
+  if (effect.added_explicit.Intersects(tg::kTakeGrant)) {
+    score += 1;
+    // Cross-level authority edges are bridge material.
+    if (!levels.SameLevel(effect.src, effect.dst)) {
+      score += 2;
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+AttackOutcome RunConspiracy(ReferenceMonitor& monitor, const LevelAssignment& levels,
+                            VertexId low, VertexId high, const AttackOptions& options,
+                            Prng& prng) {
+  AttackOutcome outcome;
+  if (LeakEstablished(monitor.graph(), low, high)) {
+    outcome.breached = true;
+    return outcome;
+  }
+  // Corruption tracking: which vertices may act.  Created vertices inherit
+  // their creator's corruption.
+  const bool everyone_corrupt = options.corrupt.empty();
+  std::vector<bool> corrupt(monitor.graph().VertexCount(), everyone_corrupt);
+  for (VertexId v : options.corrupt) {
+    if (v < corrupt.size()) {
+      corrupt[v] = true;
+    }
+  }
+  auto is_corrupt = [&](VertexId v) { return v < corrupt.size() && corrupt[v]; };
+
+  size_t creates_used = 0;
+  for (size_t step = 0; step < options.max_steps; ++step) {
+    corrupt.resize(monitor.graph().VertexCount(), everyone_corrupt);
+    std::vector<RuleApplication> candidates;
+    for (RuleApplication& rule : EnumerateDeJure(monitor.graph())) {
+      if (is_corrupt(rule.x)) {
+        candidates.push_back(std::move(rule));
+      }
+    }
+    if (creates_used < options.max_creates) {
+      // Depot creates (Lemmas 2.1/2.2) open routes the plain rules cannot.
+      std::vector<VertexId> subjects;
+      for (VertexId v = 0; v < monitor.graph().VertexCount(); ++v) {
+        if (monitor.graph().IsSubject(v) && is_corrupt(v)) {
+          subjects.push_back(v);
+        }
+      }
+      if (!subjects.empty()) {
+        candidates.push_back(RuleApplication::Create(prng.Choose(subjects),
+                                                     tg::VertexKind::kObject, tg::kTakeGrant));
+      }
+    }
+    if (candidates.empty()) {
+      outcome.exhausted = true;
+      return outcome;
+    }
+    if (options.strategy == AdversaryStrategy::kRandom) {
+      prng.Shuffle(candidates);
+    } else {
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](const RuleApplication& a, const RuleApplication& b) {
+                         return ScoreRule(monitor.graph(), levels, a, low, high) >
+                                ScoreRule(monitor.graph(), levels, b, low, high);
+                       });
+    }
+    // Try candidates in order until one is admitted.
+    bool progressed = false;
+    for (RuleApplication& candidate : candidates) {
+      auto result = monitor.Submit(candidate);
+      if (result.ok()) {
+        progressed = true;
+        ++outcome.steps_applied;
+        if (result->kind == tg::RuleKind::kCreate && result->created != tg::kInvalidVertex) {
+          ++creates_used;
+          corrupt.resize(monitor.graph().VertexCount(), everyone_corrupt);
+          corrupt[result->created] = true;  // puppets of the conspiracy
+        }
+        break;
+      }
+      ++outcome.steps_vetoed;
+    }
+    if (!progressed) {
+      outcome.exhausted = true;  // everything applicable was vetoed
+      return outcome;
+    }
+    if (LeakEstablished(monitor.graph(), low, high)) {
+      outcome.breached = true;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace tg_sim

@@ -1,0 +1,69 @@
+// Conspiracy simulation: corrupt subjects trying to leak information down
+// the hierarchy.
+//
+// The paper's threat model is total: *every* subject may be corrupt.  The
+// adversary here plays that role operationally — it applies any legal rule
+// (subject to the reference monitor's policy) in pursuit of a leak: making
+// a low-level subject come to know high-level information.  Strategies:
+//
+//  * kRandom  — applies uniformly random applicable de jure rules, a
+//               blunt-force search.
+//  * kGreedy  — prefers rules whose added edge moves r/w authority across
+//               levels or toward the target pair, a directed attack.
+//
+// Outcome records whether the hierarchy was breached (a know edge from the
+// low target to the high target appears after de facto saturation), how
+// many steps were used, and how many rules the policy vetoed.
+
+#ifndef SRC_SIM_ADVERSARY_H_
+#define SRC_SIM_ADVERSARY_H_
+
+#include <memory>
+
+#include "src/hierarchy/levels.h"
+#include "src/sim/monitor.h"
+#include "src/tg/graph.h"
+#include "src/util/prng.h"
+
+namespace tg_sim {
+
+enum class AdversaryStrategy : uint8_t {
+  kRandom,
+  kGreedy,
+};
+
+struct AttackOptions {
+  AdversaryStrategy strategy = AdversaryStrategy::kGreedy;
+  size_t max_steps = 200;
+  // Creates are needed for the depot constructions of Lemmas 2.1/2.2, but
+  // unbounded creation never exhausts; cap the conspiracy's creates.
+  size_t max_creates = 8;
+  // Which subjects are corrupt.  Empty = everyone (the paper's model).
+  // When set, only these subjects (and vertices they create) act; honest
+  // subjects never apply a rule.  Lets experiments sweep conspiracy size
+  // against the MinConspirators analysis.
+  std::vector<tg::VertexId> corrupt;
+};
+
+struct AttackOutcome {
+  bool breached = false;
+  size_t steps_applied = 0;
+  size_t steps_vetoed = 0;
+  // True when the adversary ran out of distinct applicable rules.
+  bool exhausted = false;
+};
+
+// Runs a conspiracy against `monitor`'s graph: all subjects cooperate to
+// make `low` come to know `high`'s information.  Stops at breach, rule
+// exhaustion, or max_steps.
+AttackOutcome RunConspiracy(ReferenceMonitor& monitor, const tg_hier::LevelAssignment& levels,
+                            tg::VertexId low, tg::VertexId high, const AttackOptions& options,
+                            tg_util::Prng& prng);
+
+// Convenience: has the conspiracy's goal been reached on g (de facto
+// saturation then know-edge test)?
+bool LeakEstablished(const tg::ProtectionGraph& g, tg::VertexId low, tg::VertexId high);
+
+}  // namespace tg_sim
+
+#endif  // SRC_SIM_ADVERSARY_H_

@@ -1,0 +1,170 @@
+#include "src/sim/generator.h"
+
+namespace tg_sim {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RightSet;
+using tg::VertexId;
+using tg_hier::LevelAssignment;
+using tg_hier::LevelId;
+using tg_util::Prng;
+
+ProtectionGraph RandomGraph(const RandomGraphOptions& options, Prng& prng) {
+  ProtectionGraph g;
+  for (size_t i = 0; i < options.subjects; ++i) {
+    g.AddSubject();
+  }
+  for (size_t i = 0; i < options.objects; ++i) {
+    g.AddObject();
+  }
+  const size_t n = g.VertexCount();
+  if (n < 2) {
+    return g;
+  }
+  size_t edges = static_cast<size_t>(options.edge_factor * static_cast<double>(n));
+  for (size_t e = 0; e < edges; ++e) {
+    VertexId src = static_cast<VertexId>(prng.NextBelow(n));
+    VertexId dst = static_cast<VertexId>(prng.NextBelow(n));
+    if (src == dst) {
+      continue;
+    }
+    RightSet rights;
+    if (prng.NextBool(options.p_read)) {
+      rights = rights.Add(Right::kRead);
+    }
+    if (prng.NextBool(options.p_write)) {
+      rights = rights.Add(Right::kWrite);
+    }
+    if (prng.NextBool(options.p_take)) {
+      rights = rights.Add(Right::kTake);
+    }
+    if (prng.NextBool(options.p_grant)) {
+      rights = rights.Add(Right::kGrant);
+    }
+    if (rights.empty()) {
+      rights = RightSet(Right::kRead);  // keep every drawn edge non-empty
+    }
+    (void)g.AddExplicit(src, dst, rights);
+  }
+  return g;
+}
+
+GeneratedHierarchy RandomHierarchy(const RandomHierarchyOptions& options, Prng& prng) {
+  GeneratedHierarchy out;
+  ProtectionGraph& g = out.graph;
+  out.level_subjects.resize(options.levels);
+  std::vector<std::vector<VertexId>> level_objects(options.levels);
+
+  for (size_t level = 0; level < options.levels; ++level) {
+    for (size_t i = 0; i < options.subjects_per_level; ++i) {
+      out.level_subjects[level].push_back(
+          g.AddSubject("l" + std::to_string(level) + "s" + std::to_string(i)));
+    }
+    for (size_t i = 0; i < options.objects_per_level; ++i) {
+      level_objects[level].push_back(
+          g.AddObject("l" + std::to_string(level) + "o" + std::to_string(i)));
+    }
+    // Intra-level connectivity.
+    const auto& subjects = out.level_subjects[level];
+    for (size_t i = 0; i < subjects.size(); ++i) {
+      for (size_t j = 0; j < subjects.size(); ++j) {
+        if (i == j) {
+          continue;
+        }
+        if (prng.NextBool(options.intra_rw)) {
+          (void)g.AddExplicit(subjects[i], subjects[j], tg::kRead);
+        }
+        if (prng.NextBool(options.intra_tg)) {
+          (void)g.AddExplicit(subjects[i], subjects[j],
+                              prng.NextBool(0.5) ? tg::kTake : tg::kGrant);
+        }
+      }
+      // Guarantee the level is one rw-level: close the read ring.
+      if (!subjects.empty()) {
+        VertexId next = subjects[(i + 1) % subjects.size()];
+        if (next != subjects[i]) {
+          (void)g.AddExplicit(subjects[i], next, tg::kRead);
+        }
+      }
+      for (VertexId obj : level_objects[level]) {
+        (void)g.AddExplicit(subjects[i], obj, tg::kReadWrite);
+      }
+    }
+    // Read-down.
+    if (level > 0) {
+      for (VertexId h : out.level_subjects[level]) {
+        for (VertexId l : out.level_subjects[level - 1]) {
+          if (prng.NextBool(options.read_down)) {
+            (void)g.AddExplicit(h, l, tg::kRead);
+          }
+        }
+        for (VertexId obj : level_objects[level - 1]) {
+          if (prng.NextBool(options.read_down)) {
+            (void)g.AddExplicit(h, obj, tg::kRead);
+          }
+        }
+      }
+    }
+  }
+
+  // Planted cross-level channels: t or g edges between adjacent levels —
+  // exactly the bridges Theorem 5.2 forbids.
+  size_t planted = 0;
+  size_t attempts = 0;
+  while (planted < options.planted_channels && options.levels >= 2 &&
+         attempts < options.planted_channels * 20 + 20) {
+    ++attempts;
+    size_t hi = 1 + prng.NextBelow(options.levels - 1);
+    size_t lo = hi - 1;
+    const auto& hs = out.level_subjects[hi];
+    const auto& ls = out.level_subjects[lo];
+    if (hs.empty() || ls.empty()) {
+      break;
+    }
+    VertexId a = prng.Choose(hs);
+    VertexId b = prng.Choose(ls);
+    RightSet tg_right = prng.NextBool(0.5) ? tg::kTake : tg::kGrant;
+    bool downward = prng.NextBool(0.5);
+    tg_util::Status s = downward ? g.AddExplicit(a, b, tg_right) : g.AddExplicit(b, a, tg_right);
+    if (s.ok()) {
+      ++planted;
+    }
+  }
+
+  out.levels = LevelAssignment(g.VertexCount(), options.levels);
+  for (size_t level = 0; level < options.levels; ++level) {
+    out.levels.SetLevelName(static_cast<LevelId>(level), "L" + std::to_string(level));
+    for (VertexId v : out.level_subjects[level]) {
+      out.levels.Assign(v, static_cast<LevelId>(level));
+    }
+    for (VertexId v : level_objects[level]) {
+      out.levels.Assign(v, static_cast<LevelId>(level));
+    }
+    for (size_t below = 0; below < level; ++below) {
+      out.levels.DeclareHigher(static_cast<LevelId>(level), static_cast<LevelId>(below));
+    }
+  }
+  bool ok = out.levels.Finalize();
+  (void)ok;
+  return out;
+}
+
+ProtectionGraph ChainGraph(size_t length) {
+  ProtectionGraph g;
+  VertexId head = g.AddSubject("head");
+  VertexId prev = head;
+  // Total vertices = length: head, length-3 interior links, holder, target.
+  for (size_t i = 0; i + 3 < length; ++i) {
+    VertexId next = g.AddObject("c" + std::to_string(i + 1));
+    (void)g.AddExplicit(prev, next, tg::kTake);
+    prev = next;
+  }
+  VertexId holder = g.AddObject("holder");
+  (void)g.AddExplicit(prev, holder, tg::kTake);
+  VertexId target = g.AddObject("target");
+  (void)g.AddExplicit(holder, target, tg::kRead);
+  return g;
+}
+
+}  // namespace tg_sim

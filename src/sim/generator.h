@@ -1,0 +1,65 @@
+// Random protection graph generators.
+//
+// Deterministic (seeded) generators for property tests and benchmarks:
+//  * RandomGraph        — unstructured graphs for oracle-vs-procedure tests
+//  * RandomHierarchy    — layered hierarchies with optional planted
+//                         cross-level channels (tg edges between levels),
+//                         for the security and restriction experiments
+//  * ChainGraph / etc.  — shape generators for scaling benchmarks
+
+#ifndef SRC_SIM_GENERATOR_H_
+#define SRC_SIM_GENERATOR_H_
+
+#include <vector>
+
+#include "src/hierarchy/levels.h"
+#include "src/tg/graph.h"
+#include "src/util/prng.h"
+
+namespace tg_sim {
+
+struct RandomGraphOptions {
+  size_t subjects = 4;
+  size_t objects = 2;
+  // Expected number of edges as a multiple of vertex count.
+  double edge_factor = 1.5;
+  // Per-edge probability of each right appearing on its label.
+  double p_read = 0.45;
+  double p_write = 0.35;
+  double p_take = 0.45;
+  double p_grant = 0.35;
+};
+
+// A random graph; every edge gets a non-empty label.
+tg::ProtectionGraph RandomGraph(const RandomGraphOptions& options, tg_util::Prng& prng);
+
+struct RandomHierarchyOptions {
+  size_t levels = 3;
+  size_t subjects_per_level = 3;
+  size_t objects_per_level = 2;
+  // Density of intra-level r/w and t/g edges.
+  double intra_rw = 0.6;
+  double intra_tg = 0.4;
+  // Higher subjects read lower ones with this probability.
+  double read_down = 0.5;
+  // Number of *planted* cross-level t/g edges (bridges): these are the
+  // channels Theorem 5.2 declares insecure and the restrictions must tame.
+  size_t planted_channels = 0;
+};
+
+struct GeneratedHierarchy {
+  tg::ProtectionGraph graph;
+  tg_hier::LevelAssignment levels;
+  std::vector<std::vector<tg::VertexId>> level_subjects;
+};
+
+GeneratedHierarchy RandomHierarchy(const RandomHierarchyOptions& options, tg_util::Prng& prng);
+
+// A take-chain of n vertices (subject head, object tail), with a source
+// holding `right` over the final target: the canonical linear-scaling
+// workload for can_share benchmarks.
+tg::ProtectionGraph ChainGraph(size_t length);
+
+}  // namespace tg_sim
+
+#endif  // SRC_SIM_GENERATOR_H_

@@ -1,0 +1,67 @@
+#include "src/sim/monitor.h"
+
+#include <sstream>
+
+namespace tg_sim {
+
+using tg::RuleApplication;
+using tg_util::Status;
+using tg_util::StatusCode;
+using tg_util::StatusOr;
+
+const char* AuditOutcomeName(AuditOutcome outcome) {
+  switch (outcome) {
+    case AuditOutcome::kAllowed:
+      return "ALLOWED";
+    case AuditOutcome::kVetoed:
+      return "VETOED";
+    case AuditOutcome::kRejected:
+      return "REJECTED";
+  }
+  return "UNKNOWN";
+}
+
+ReferenceMonitor::ReferenceMonitor(tg::ProtectionGraph graph,
+                                   std::shared_ptr<tg::RulePolicy> policy)
+    : engine_(std::move(graph), std::move(policy)) {}
+
+StatusOr<RuleApplication> ReferenceMonitor::Submit(RuleApplication rule) {
+  std::string rendered = rule.ToString(engine_.graph());
+  StatusOr<RuleApplication> result = engine_.Apply(std::move(rule));
+  AuditRecord record;
+  record.sequence = audit_log_.size();
+  record.rule = std::move(rendered);
+  if (result.ok()) {
+    record.outcome = AuditOutcome::kAllowed;
+    ++allowed_;
+  } else if (result.status().code() == StatusCode::kPolicyViolation) {
+    record.outcome = AuditOutcome::kVetoed;
+    record.reason = result.status().message();
+    ++vetoed_;
+  } else {
+    record.outcome = AuditOutcome::kRejected;
+    record.reason = result.status().message();
+    ++rejected_;
+  }
+  audit_log_.push_back(std::move(record));
+  return result;
+}
+
+std::string ReferenceMonitor::RenderAuditLog(size_t limit) const {
+  std::ostringstream os;
+  size_t start = 0;
+  if (limit != 0 && audit_log_.size() > limit) {
+    start = audit_log_.size() - limit;
+  }
+  for (size_t i = start; i < audit_log_.size(); ++i) {
+    const AuditRecord& record = audit_log_[i];
+    os << record.sequence << " [" << AuditOutcomeName(record.outcome) << "] " << record.rule;
+    if (!record.reason.empty()) {
+      os << " -- " << record.reason;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tg_sim

@@ -1,0 +1,62 @@
+// ReferenceMonitor: a RuleEngine with an audit trail.
+//
+// Wraps every rule application with an audit record (allowed / vetoed /
+// rejected plus the reason), the way a reference monitor in a real system
+// journals mediated operations.  The conspiracy experiments read the trail
+// to report what each policy actually blocked.
+
+#ifndef SRC_SIM_MONITOR_H_
+#define SRC_SIM_MONITOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tg/rule_engine.h"
+
+namespace tg_sim {
+
+enum class AuditOutcome : uint8_t {
+  kAllowed,
+  kVetoed,    // blocked by policy
+  kRejected,  // rule preconditions unmet
+};
+
+const char* AuditOutcomeName(AuditOutcome outcome);
+
+struct AuditRecord {
+  size_t sequence = 0;
+  AuditOutcome outcome = AuditOutcome::kAllowed;
+  std::string rule;    // rendered rule
+  std::string reason;  // veto / rejection reason ("" when allowed)
+};
+
+class ReferenceMonitor {
+ public:
+  ReferenceMonitor(tg::ProtectionGraph graph, std::shared_ptr<tg::RulePolicy> policy);
+
+  // Mediates one rule.  Returns the engine's result and journals it.
+  tg_util::StatusOr<tg::RuleApplication> Submit(tg::RuleApplication rule);
+
+  const tg::ProtectionGraph& graph() const { return engine_.graph(); }
+  tg::RuleEngine& engine() { return engine_; }
+
+  const std::vector<AuditRecord>& audit_log() const { return audit_log_; }
+  size_t allowed_count() const { return allowed_; }
+  size_t vetoed_count() const { return vetoed_; }
+  size_t rejected_count() const { return rejected_; }
+
+  // Multi-line rendering of the last `limit` audit records (0 = all).
+  std::string RenderAuditLog(size_t limit = 0) const;
+
+ private:
+  tg::RuleEngine engine_;
+  std::vector<AuditRecord> audit_log_;
+  size_t allowed_ = 0;
+  size_t vetoed_ = 0;
+  size_t rejected_ = 0;
+};
+
+}  // namespace tg_sim
+
+#endif  // SRC_SIM_MONITOR_H_

@@ -1,0 +1,122 @@
+#include "src/sim/scenario.h"
+
+namespace tg_sim {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+using tg_hier::LevelAssignment;
+
+Fig21 MakeFig21() {
+  Fig21 fig;
+  ProtectionGraph& g = fig.graph;
+  fig.hi = g.AddSubject("hi");
+  fig.lo = g.AddSubject("lo");
+  fig.secret = g.AddObject("secret");
+  // Wu-style direct connection between levels: hi -t-> lo, and hi reads the
+  // high-level document.
+  (void)g.AddExplicit(fig.hi, fig.lo, tg::kTake);
+  (void)g.AddExplicit(fig.hi, fig.secret, tg::kRead);
+
+  fig.levels = LevelAssignment(g.VertexCount(), 2);
+  fig.levels.SetLevelName(0, "L1");
+  fig.levels.SetLevelName(1, "L2");
+  fig.levels.Assign(fig.lo, 0);
+  fig.levels.Assign(fig.hi, 1);
+  fig.levels.Assign(fig.secret, 1);
+  fig.levels.DeclareHigher(1, 0);
+  (void)fig.levels.Finalize();
+  return fig;
+}
+
+Fig22 MakeFig22() {
+  Fig22 fig;
+  ProtectionGraph& g = fig.graph;
+  fig.p = g.AddSubject("p");
+  fig.u = g.AddSubject("u");
+  fig.v = g.AddObject("v");
+  fig.w = g.AddSubject("w");
+  fig.x = g.AddObject("x");
+  fig.y = g.AddSubject("y");
+  fig.s2 = g.AddSubject("s2");
+  fig.s = g.AddObject("s");
+  fig.q = g.AddObject("q");
+
+  // Island {p, u}: subject-subject tg edge.
+  (void)g.AddExplicit(fig.p, fig.u, tg::kTake);
+  // Initial span p -> q: word t> g> (p -t-> u -g-> q).
+  (void)g.AddExplicit(fig.u, fig.q, tg::kGrant);
+  // Bridge u ~ w through object v: word t> t>.
+  (void)g.AddExplicit(fig.u, fig.v, tg::kTake);
+  (void)g.AddExplicit(fig.v, fig.w, tg::kTake);
+  // Bridge w ~ y through object x: word g> t< (t>^0 g> t<).
+  (void)g.AddExplicit(fig.w, fig.x, tg::kGrant);
+  (void)g.AddExplicit(fig.y, fig.x, tg::kTake);
+  // Island {y, s2}.
+  (void)g.AddExplicit(fig.y, fig.s2, tg::kGrant);
+  // Terminal span s2 -> s: word t>.
+  (void)g.AddExplicit(fig.s2, fig.s, tg::kTake);
+  // s holds a right over q so that can_share questions are interesting.
+  (void)g.AddExplicit(fig.s, fig.q, tg::kRead);
+  return fig;
+}
+
+Fig31 MakeFig31() {
+  Fig31 fig;
+  ProtectionGraph& g = fig.graph;
+  fig.a = g.AddSubject("a");
+  fig.b = g.AddSubject("b");
+  fig.c = g.AddSubject("c");
+  // a -r-> b (word r> from a) and c -w-> b is drawn as b <-w- c, so the
+  // path a, b, c carries words over {r>, w<}: a reads b, c writes b.
+  (void)g.AddExplicit(fig.a, fig.b, tg::kRead);
+  (void)g.AddExplicit(fig.c, fig.b, tg::kWrite);
+  return fig;
+}
+
+Fig51 MakeFig51() {
+  Fig51 fig;
+  ProtectionGraph& g = fig.graph;
+  fig.x = g.AddSubject("x");
+  fig.z = g.AddSubject("z");
+  fig.y = g.AddObject("y");
+  (void)g.AddExplicit(fig.x, fig.z, tg::kTake);
+  (void)g.AddExplicit(
+      fig.z, fig.y, tg::RightSet::Of({tg::Right::kWrite, tg::Right::kExecute}));
+
+  // x sits above z and y; z's write edge to y stays inside the low level,
+  // so the initial graph is clean.  The breach (and the restriction's veto)
+  // happens when x tries to pull the w right up across the boundary.
+  fig.levels = LevelAssignment(g.VertexCount(), 2);
+  fig.levels.SetLevelName(0, "low");
+  fig.levels.SetLevelName(1, "high");
+  fig.levels.Assign(fig.y, 0);
+  fig.levels.Assign(fig.z, 0);
+  fig.levels.Assign(fig.x, 1);
+  fig.levels.DeclareHigher(1, 0);
+  (void)fig.levels.Finalize();
+  return fig;
+}
+
+Fig61 MakeFig61() {
+  Fig61 fig;
+  ProtectionGraph& g = fig.graph;
+  fig.lo = g.AddSubject("lo");
+  fig.hi = g.AddSubject("hi");
+  fig.secret = g.AddObject("secret");
+  // The de jure breach: lo -t-> hi, hi -r-> secret; one take gives lo an
+  // explicit read-up edge without any de facto rule.
+  (void)g.AddExplicit(fig.lo, fig.hi, tg::kTake);
+  (void)g.AddExplicit(fig.hi, fig.secret, tg::kRead);
+
+  fig.levels = LevelAssignment(g.VertexCount(), 2);
+  fig.levels.SetLevelName(0, "low");
+  fig.levels.SetLevelName(1, "high");
+  fig.levels.Assign(fig.lo, 0);
+  fig.levels.Assign(fig.hi, 1);
+  fig.levels.Assign(fig.secret, 1);
+  fig.levels.DeclareHigher(1, 0);
+  (void)fig.levels.Finalize();
+  return fig;
+}
+
+}  // namespace tg_sim

@@ -1,0 +1,71 @@
+// Canned scenarios: executable versions of the paper's figures.
+//
+// Each builder returns the protection graph drawn in the corresponding
+// figure (plus level metadata where the figure implies a hierarchy), with
+// vertex names matching the paper where it names them.  The figure
+// experiments (bench/exp_figures.cc) and several tests assert the paper's
+// claims against these graphs.
+
+#ifndef SRC_SIM_SCENARIO_H_
+#define SRC_SIM_SCENARIO_H_
+
+#include <string>
+
+#include "src/hierarchy/levels.h"
+#include "src/tg/graph.h"
+
+namespace tg_sim {
+
+// Figure 2.1 — Wu's de-jure-only hierarchical model: a higher-level subject
+// `hi` directly t-connected to a lower-level subject `lo`, with `hi`
+// holding r over the high document `secret`.  The duality lemmas let the
+// conspirators move r over `secret` down to `lo`.
+struct Fig21 {
+  tg::ProtectionGraph graph;
+  tg_hier::LevelAssignment levels;
+  tg::VertexId hi, lo, secret;
+};
+Fig21 MakeFig21();
+
+// Figure 2.2 — the illustration of take-grant terms: islands {p,u}, {w},
+// {y,s2}; bridges u~w and w~y; p initially spans to q; s2 terminally spans
+// to s.  (s' is named s2: names are single tokens.)
+struct Fig22 {
+  tg::ProtectionGraph graph;
+  tg::VertexId p, u, v, w, x, y, s2, s, q;
+};
+Fig22 MakeFig22();
+
+// Figure 3.1 — a three-vertex rw-path whose two associated words are
+// r> w< and w< r> style forms; used to exercise word association and
+// admissibility.
+struct Fig31 {
+  tg::ProtectionGraph graph;
+  tg::VertexId a, b, c;
+};
+Fig31 MakeFig31();
+
+// Figure 5.1 — the execute-right example: high-level x holds t over
+// low-level z, which holds {w, e} over low-level y.  Unrestricted rules let
+// x take w over y (a write-down breach); the Bishop restriction blocks the
+// w but still allows x to take the e (execute) right.
+struct Fig51 {
+  tg::ProtectionGraph graph;
+  tg_hier::LevelAssignment levels;
+  tg::VertexId x, z, y;
+};
+Fig51 MakeFig51();
+
+// Figure 6.1 — a graph whose security is breached by de jure rules alone:
+// a lower subject holds t over a higher subject that holds r over a high
+// document; one take completes a read-up edge.
+struct Fig61 {
+  tg::ProtectionGraph graph;
+  tg_hier::LevelAssignment levels;
+  tg::VertexId lo, hi, secret;
+};
+Fig61 MakeFig61();
+
+}  // namespace tg_sim
+
+#endif  // SRC_SIM_SCENARIO_H_

@@ -1,0 +1,50 @@
+// Umbrella header for the hierarchical Take-Grant protection library.
+//
+// Layers (each usable on its own):
+//   tg          — protection graphs, rewrite rules, path languages, I/O
+//   tg_analysis — islands/spans/bridges, can_share / can_know_f / can_know,
+//                 witnesses, brute-force oracle
+//   tg_hier     — security levels, the secure predicate, the three de jure
+//                 restrictions of section 5, Bell-LaPadula mapping,
+//                 classification builders
+//   tg_sim      — generators, reference monitor, conspiracy adversaries,
+//                 paper-figure scenarios
+
+#ifndef SRC_TAKE_GRANT_H_
+#define SRC_TAKE_GRANT_H_
+
+#include "src/analysis/bridges.h"
+#include "src/analysis/can_know.h"
+#include "src/analysis/can_share.h"
+#include "src/analysis/can_steal.h"
+#include "src/analysis/conspiracy.h"
+#include "src/analysis/defacto_sets.h"
+#include "src/analysis/islands.h"
+#include "src/analysis/oracle.h"
+#include "src/analysis/spans.h"
+#include "src/analysis/witness_builder.h"
+#include "src/hierarchy/blp.h"
+#include "src/hierarchy/classification.h"
+#include "src/hierarchy/declassify.h"
+#include "src/hierarchy/higher.h"
+#include "src/hierarchy/levels.h"
+#include "src/hierarchy/levels_io.h"
+#include "src/hierarchy/restrictions.h"
+#include "src/hierarchy/secure.h"
+#include "src/sim/adversary.h"
+#include "src/sim/generator.h"
+#include "src/sim/monitor.h"
+#include "src/sim/scenario.h"
+#include "src/hierarchy/composite_policy.h"
+#include "src/tg/diff.h"
+#include "src/tg/dot.h"
+#include "src/tg/graph.h"
+#include "src/tg/languages.h"
+#include "src/tg/parser.h"
+#include "src/tg/path.h"
+#include "src/tg/printer.h"
+#include "src/tg/rule_engine.h"
+#include "src/tg/rules.h"
+#include "src/tg/witness.h"
+
+#endif  // SRC_TAKE_GRANT_H_

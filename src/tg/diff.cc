@@ -1,0 +1,91 @@
+#include "src/tg/diff.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tg {
+
+namespace {
+
+// Collects every ordered pair with a non-empty label in either graph.
+std::vector<std::pair<VertexId, VertexId>> LabelledPairs(const ProtectionGraph& a,
+                                                         const ProtectionGraph& b) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  auto collect = [&pairs](const ProtectionGraph& g) {
+    g.ForEachEdge([&pairs](const Edge& e) { pairs.emplace_back(e.src, e.dst); });
+  };
+  collect(a);
+  collect(b);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace
+
+GraphDiff DiffGraphs(const ProtectionGraph& before, const ProtectionGraph& after) {
+  GraphDiff diff;
+  for (VertexId v = static_cast<VertexId>(before.VertexCount());
+       v < after.VertexCount(); ++v) {
+    diff.added_vertices.push_back(v);
+  }
+  for (auto [src, dst] : LabelledPairs(before, after)) {
+    // Pairs involving vertices unknown to `before` read as empty there.
+    RightSet before_explicit;
+    RightSet before_implicit;
+    if (before.IsValidVertex(src) && before.IsValidVertex(dst)) {
+      before_explicit = before.ExplicitRights(src, dst);
+      before_implicit = before.ImplicitRights(src, dst);
+    }
+    RightSet after_explicit;
+    RightSet after_implicit;
+    if (after.IsValidVertex(src) && after.IsValidVertex(dst)) {
+      after_explicit = after.ExplicitRights(src, dst);
+      after_implicit = after.ImplicitRights(src, dst);
+    }
+    RightSet gained = after_explicit.Minus(before_explicit);
+    RightSet lost = before_explicit.Minus(after_explicit);
+    if (!gained.empty()) {
+      diff.added_explicit.push_back(EdgeDelta{src, dst, gained});
+    }
+    if (!lost.empty()) {
+      diff.removed_explicit.push_back(EdgeDelta{src, dst, lost});
+    }
+    RightSet gained_implicit = after_implicit.Minus(before_implicit);
+    RightSet lost_implicit = before_implicit.Minus(after_implicit);
+    if (!gained_implicit.empty()) {
+      diff.added_implicit.push_back(EdgeDelta{src, dst, gained_implicit});
+    }
+    if (!lost_implicit.empty()) {
+      diff.removed_implicit.push_back(EdgeDelta{src, dst, lost_implicit});
+    }
+  }
+  return diff;
+}
+
+std::string GraphDiff::ToString(const ProtectionGraph& after) const {
+  std::ostringstream os;
+  auto name = [&after](VertexId v) -> std::string {
+    return after.IsValidVertex(v) ? after.NameOf(v) : ("#" + std::to_string(v));
+  };
+  for (VertexId v : added_vertices) {
+    os << "+ " << (after.IsSubject(v) ? "subject " : "object ") << name(v) << "\n";
+  }
+  for (const EdgeDelta& d : added_explicit) {
+    os << "+ " << name(d.src) << " -> " << name(d.dst) << " [" << d.rights.ToString() << "]\n";
+  }
+  for (const EdgeDelta& d : removed_explicit) {
+    os << "- " << name(d.src) << " -> " << name(d.dst) << " [" << d.rights.ToString() << "]\n";
+  }
+  for (const EdgeDelta& d : added_implicit) {
+    os << "+ " << name(d.src) << " ~> " << name(d.dst) << " [" << d.rights.ToString()
+       << "] (implicit)\n";
+  }
+  for (const EdgeDelta& d : removed_implicit) {
+    os << "- " << name(d.src) << " ~> " << name(d.dst) << " [" << d.rights.ToString()
+       << "] (implicit)\n";
+  }
+  return os.str();
+}
+
+}  // namespace tg

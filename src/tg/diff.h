@@ -1,0 +1,57 @@
+// Structural diffs between protection graphs.
+//
+// Derivations only ever add vertices and add/remove labelled rights, so a
+// diff between two snapshots of the same system is a compact, meaningful
+// audit artifact: which authorities appeared, which were revoked, which
+// information flows became possible.  Vertex ids are stable across rule
+// application, so diffs are computed positionally.
+
+#ifndef SRC_TG_DIFF_H_
+#define SRC_TG_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tg/graph.h"
+
+namespace tg {
+
+// One labelled change on an ordered vertex pair.
+struct EdgeDelta {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  RightSet rights;
+
+  friend bool operator==(const EdgeDelta& a, const EdgeDelta& b) = default;
+};
+
+struct GraphDiff {
+  // Vertices present in `after` beyond `before` (ids from after).
+  std::vector<VertexId> added_vertices;
+  std::vector<EdgeDelta> added_explicit;
+  std::vector<EdgeDelta> removed_explicit;
+  std::vector<EdgeDelta> added_implicit;
+  std::vector<EdgeDelta> removed_implicit;
+
+  bool empty() const {
+    return added_vertices.empty() && added_explicit.empty() && removed_explicit.empty() &&
+           added_implicit.empty() && removed_implicit.empty();
+  }
+  size_t ChangeCount() const {
+    return added_vertices.size() + added_explicit.size() + removed_explicit.size() +
+           added_implicit.size() + removed_implicit.size();
+  }
+
+  // Human-readable listing ("+ alice -> doc [rw]" / "- bob -> doc [w]"),
+  // using names from `after`.
+  std::string ToString(const ProtectionGraph& after) const;
+};
+
+// Diff from before to after.  The graphs must describe the same system:
+// shared vertex ids must agree on kind (checked; mismatches are reported as
+// if the vertex were brand new, with its edges in added_*).
+GraphDiff DiffGraphs(const ProtectionGraph& before, const ProtectionGraph& after);
+
+}  // namespace tg
+
+#endif  // SRC_TG_DIFF_H_

@@ -1,0 +1,77 @@
+#include "src/tg/dot.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace tg {
+
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void EmitVertex(std::ostringstream& os, const ProtectionGraph& g, VertexId v,
+                const char* indent) {
+  os << indent << Quote(g.NameOf(v)) << " [shape=circle";
+  if (g.IsSubject(v)) {
+    os << ", style=filled, fillcolor=gray80";
+  }
+  os << "];\n";
+}
+
+}  // namespace
+
+std::string ToDot(const ProtectionGraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << Quote(options.graph_name) << " {\n";
+  os << "  rankdir=LR;\n";
+
+  // Group clustered vertices; emit the rest at top level.
+  std::map<std::string, std::vector<VertexId>> groups;
+  std::vector<VertexId> ungrouped;
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    auto it = options.clusters.find(v);
+    if (it != options.clusters.end()) {
+      groups[it->second].push_back(v);
+    } else {
+      ungrouped.push_back(v);
+    }
+  }
+  int cluster_index = 0;
+  for (const auto& [label, members] : groups) {
+    os << "  subgraph cluster_" << cluster_index++ << " {\n";
+    os << "    label=" << Quote(label) << ";\n";
+    for (VertexId v : members) {
+      EmitVertex(os, g, v, "    ");
+    }
+    os << "  }\n";
+  }
+  for (VertexId v : ungrouped) {
+    EmitVertex(os, g, v, "  ");
+  }
+
+  g.ForEachEdge([&](const Edge& e) {
+    if (!e.explicit_rights.empty()) {
+      os << "  " << Quote(g.NameOf(e.src)) << " -> " << Quote(g.NameOf(e.dst))
+         << " [label=" << Quote(e.explicit_rights.ToString()) << "];\n";
+    }
+    if (!e.implicit_rights.empty()) {
+      os << "  " << Quote(g.NameOf(e.src)) << " -> " << Quote(g.NameOf(e.dst))
+         << " [label=" << Quote(e.implicit_rights.ToString()) << ", style=dashed];\n";
+    }
+  });
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace tg

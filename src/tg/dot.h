@@ -1,0 +1,28 @@
+// Graphviz DOT export.
+//
+// Subjects render as filled circles, objects as hollow circles (matching the
+// paper's drawing convention); explicit edges are solid and labelled with
+// their rights, implicit edges are dashed.
+
+#ifndef SRC_TG_DOT_H_
+#define SRC_TG_DOT_H_
+
+#include <map>
+#include <string>
+
+#include "src/tg/graph.h"
+
+namespace tg {
+
+struct DotOptions {
+  std::string graph_name = "tg";
+  // Optional per-vertex group labels (e.g. security level names); vertices
+  // sharing a label are clustered.
+  std::map<VertexId, std::string> clusters;
+};
+
+std::string ToDot(const ProtectionGraph& g, const DotOptions& options = {});
+
+}  // namespace tg
+
+#endif  // SRC_TG_DOT_H_

@@ -1,0 +1,46 @@
+// Edge records of a protection graph.
+//
+// An edge x -> y labelled alpha means "x holds the rights alpha over y".
+// Labels come in two flavours, which the paper is careful to distinguish:
+//
+//   * explicit  -- authority recorded by the protection system; manipulated
+//                  only by the de jure rules (take/grant/create/remove);
+//   * implicit  -- a potential information-flow path exhibited by a de facto
+//                  rule (post/pass/spy/find).  Implicit edges are always
+//                  labelled with subsets of {r} in this model, cannot be
+//                  manipulated by de jure rules, and never represent
+//                  authority.
+
+#ifndef SRC_TG_EDGE_H_
+#define SRC_TG_EDGE_H_
+
+#include "src/tg/rights.h"
+#include "src/tg/vertex.h"
+
+namespace tg {
+
+enum class EdgeFlavor : uint8_t {
+  kExplicit,
+  kImplicit,
+};
+
+inline const char* EdgeFlavorName(EdgeFlavor flavor) {
+  return flavor == EdgeFlavor::kExplicit ? "explicit" : "implicit";
+}
+
+// A fully-described directed edge, as yielded by graph iteration.
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  RightSet explicit_rights;
+  RightSet implicit_rights;
+
+  RightSet TotalRights() const { return explicit_rights.Union(implicit_rights); }
+  bool empty() const { return explicit_rights.empty() && implicit_rights.empty(); }
+
+  friend bool operator==(const Edge& a, const Edge& b) = default;
+};
+
+}  // namespace tg
+
+#endif  // SRC_TG_EDGE_H_

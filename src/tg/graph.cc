@@ -1,0 +1,292 @@
+#include "src/tg/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tg {
+
+using tg_util::Status;
+
+VertexId ProtectionGraph::AddSubject(std::string_view name) {
+  return AddVertex(VertexKind::kSubject, name);
+}
+
+VertexId ProtectionGraph::AddObject(std::string_view name) {
+  return AddVertex(VertexKind::kObject, name);
+}
+
+VertexId ProtectionGraph::AddVertex(VertexKind kind, std::string_view name) {
+  VertexId id = static_cast<VertexId>(vertices_.size());
+  std::string resolved(name);
+  if (resolved.empty()) {
+    resolved = (kind == VertexKind::kSubject ? "s" : "o") + std::to_string(id);
+  }
+  // Uniquify on collision rather than failing: generated names and
+  // user-provided names share one namespace.
+  while (name_index_.contains(resolved)) {
+    resolved += "'";
+  }
+  vertices_.push_back(Vertex{id, kind, resolved});
+  name_index_.emplace(std::move(resolved), id);
+  out_adj_.emplace_back();
+  in_adj_.emplace_back();
+  if (kind == VertexKind::kSubject) {
+    ++subject_count_;
+  }
+  return id;
+}
+
+VertexId ProtectionGraph::FindVertex(std::string_view name) const {
+  auto it = name_index_.find(std::string(name));
+  return it == name_index_.end() ? kInvalidVertex : it->second;
+}
+
+Status ProtectionGraph::CheckEndpoints(VertexId src, VertexId dst) const {
+  if (!IsValidVertex(src) || !IsValidVertex(dst)) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-edges are not representable in the model");
+  }
+  return Status::Ok();
+}
+
+ProtectionGraph::Label& ProtectionGraph::LabelFor(VertexId src, VertexId dst) {
+  auto [it, inserted] = labels_.try_emplace(PairKey(src, dst));
+  if (inserted) {
+    out_adj_[src].push_back(dst);
+    in_adj_[dst].push_back(src);
+  }
+  return it->second;
+}
+
+const ProtectionGraph::Label* ProtectionGraph::FindLabel(VertexId src, VertexId dst) const {
+  auto it = labels_.find(PairKey(src, dst));
+  return it == labels_.end() ? nullptr : &it->second;
+}
+
+Status ProtectionGraph::AddExplicit(VertexId src, VertexId dst, RightSet rights) {
+  if (Status s = CheckEndpoints(src, dst); !s.ok()) {
+    return s;
+  }
+  if (rights.empty()) {
+    return Status::InvalidArgument("cannot add an empty right set");
+  }
+  Label& label = LabelFor(src, dst);
+  if (label.explicit_rights.empty() && !rights.empty()) {
+    ++explicit_edge_count_;
+  }
+  label.explicit_rights = label.explicit_rights.Union(rights);
+  return Status::Ok();
+}
+
+Status ProtectionGraph::AddImplicit(VertexId src, VertexId dst, RightSet rights) {
+  if (Status s = CheckEndpoints(src, dst); !s.ok()) {
+    return s;
+  }
+  if (rights.empty()) {
+    return Status::InvalidArgument("cannot add an empty right set");
+  }
+  if (!rights.IsSubsetOf(kReadWrite)) {
+    return Status::InvalidArgument(
+        "implicit edges carry information rights only (subsets of {r,w})");
+  }
+  Label& label = LabelFor(src, dst);
+  if (label.implicit_rights.empty()) {
+    ++implicit_edge_count_;
+  }
+  label.implicit_rights = label.implicit_rights.Union(rights);
+  return Status::Ok();
+}
+
+Status ProtectionGraph::RemoveExplicit(VertexId src, VertexId dst, RightSet rights) {
+  if (Status s = CheckEndpoints(src, dst); !s.ok()) {
+    return s;
+  }
+  auto it = labels_.find(PairKey(src, dst));
+  if (it == labels_.end() || it->second.explicit_rights.empty()) {
+    return Status::NotFound("no explicit edge between these vertices");
+  }
+  RightSet before = it->second.explicit_rights;
+  it->second.explicit_rights = before.Minus(rights);
+  if (!before.empty() && it->second.explicit_rights.empty()) {
+    --explicit_edge_count_;
+  }
+  return Status::Ok();
+}
+
+Status ProtectionGraph::RemoveImplicit(VertexId src, VertexId dst, RightSet rights) {
+  if (Status s = CheckEndpoints(src, dst); !s.ok()) {
+    return s;
+  }
+  auto it = labels_.find(PairKey(src, dst));
+  if (it == labels_.end() || it->second.implicit_rights.empty()) {
+    return Status::NotFound("no implicit edge between these vertices");
+  }
+  RightSet before = it->second.implicit_rights;
+  it->second.implicit_rights = before.Minus(rights);
+  if (!before.empty() && it->second.implicit_rights.empty()) {
+    --implicit_edge_count_;
+  }
+  return Status::Ok();
+}
+
+void ProtectionGraph::ClearImplicit() {
+  for (auto& [key, label] : labels_) {
+    label.implicit_rights = RightSet::Empty();
+  }
+  implicit_edge_count_ = 0;
+}
+
+RightSet ProtectionGraph::ExplicitRights(VertexId src, VertexId dst) const {
+  const Label* label = FindLabel(src, dst);
+  return label ? label->explicit_rights : RightSet::Empty();
+}
+
+RightSet ProtectionGraph::ImplicitRights(VertexId src, VertexId dst) const {
+  const Label* label = FindLabel(src, dst);
+  return label ? label->implicit_rights : RightSet::Empty();
+}
+
+RightSet ProtectionGraph::TotalRights(VertexId src, VertexId dst) const {
+  const Label* label = FindLabel(src, dst);
+  return label ? label->explicit_rights.Union(label->implicit_rights) : RightSet::Empty();
+}
+
+void ProtectionGraph::ForEachOutEdge(VertexId v,
+                                     const std::function<void(const Edge&)>& fn) const {
+  if (!IsValidVertex(v)) {
+    return;
+  }
+  for (VertexId dst : out_adj_[v]) {
+    const Label* label = FindLabel(v, dst);
+    if (label == nullptr || label->empty()) {
+      continue;
+    }
+    fn(Edge{v, dst, label->explicit_rights, label->implicit_rights});
+  }
+}
+
+void ProtectionGraph::ForEachInEdge(VertexId v,
+                                    const std::function<void(const Edge&)>& fn) const {
+  if (!IsValidVertex(v)) {
+    return;
+  }
+  for (VertexId src : in_adj_[v]) {
+    const Label* label = FindLabel(src, v);
+    if (label == nullptr || label->empty()) {
+      continue;
+    }
+    fn(Edge{src, v, label->explicit_rights, label->implicit_rights});
+  }
+}
+
+void ProtectionGraph::ForEachEdge(const std::function<void(const Edge&)>& fn) const {
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    ForEachOutEdge(v, fn);
+  }
+}
+
+std::vector<Edge> ProtectionGraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(labels_.size());
+  ForEachEdge([&edges](const Edge& e) { edges.push_back(e); });
+  return edges;
+}
+
+std::vector<VertexId> ProtectionGraph::Neighbors(VertexId v) const {
+  std::vector<VertexId> out;
+  ForEachOutEdge(v, [&out](const Edge& e) { out.push_back(e.dst); });
+  ForEachInEdge(v, [&out](const Edge& e) { out.push_back(e.src); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool operator==(const ProtectionGraph& a, const ProtectionGraph& b) {
+  if (a.vertices_.size() != b.vertices_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.vertices_.size(); ++i) {
+    if (a.vertices_[i].kind != b.vertices_[i].kind ||
+        a.vertices_[i].name != b.vertices_[i].name) {
+      return false;
+    }
+  }
+  if (a.ExplicitEdgeCount() != b.ExplicitEdgeCount() ||
+      a.ImplicitEdgeCount() != b.ImplicitEdgeCount()) {
+    return false;
+  }
+  // Every non-empty label in a must match b; counts being equal makes the
+  // check symmetric.
+  for (const auto& [key, label] : a.labels_) {
+    if (label.empty()) {
+      continue;
+    }
+    VertexId src = static_cast<VertexId>(key >> 32);
+    VertexId dst = static_cast<VertexId>(key & 0xffffffffu);
+    if (b.ExplicitRights(src, dst) != label.explicit_rights ||
+        b.ImplicitRights(src, dst) != label.implicit_rights) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ProtectionGraph::Validate() const {
+  size_t subjects = 0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Vertex& v = vertices_[i];
+    if (v.id != i) {
+      return Status::Internal("vertex id does not match table index");
+    }
+    if (v.name.empty()) {
+      return Status::Internal("vertex with empty name");
+    }
+    auto it = name_index_.find(v.name);
+    if (it == name_index_.end() || it->second != v.id) {
+      return Status::Internal("name index out of sync for '" + v.name + "'");
+    }
+    if (v.kind == VertexKind::kSubject) {
+      ++subjects;
+    }
+  }
+  if (subjects != subject_count_) {
+    return Status::Internal("subject count out of sync");
+  }
+  size_t explicit_edges = 0;
+  size_t implicit_edges = 0;
+  for (const auto& [key, label] : labels_) {
+    VertexId src = static_cast<VertexId>(key >> 32);
+    VertexId dst = static_cast<VertexId>(key & 0xffffffffu);
+    if (!IsValidVertex(src) || !IsValidVertex(dst) || src == dst) {
+      return Status::Internal("label on an invalid vertex pair");
+    }
+    if (!label.implicit_rights.IsSubsetOf(kReadWrite)) {
+      return Status::Internal("implicit label carries a non-information right");
+    }
+    if (!label.explicit_rights.empty()) {
+      ++explicit_edges;
+    }
+    if (!label.implicit_rights.empty()) {
+      ++implicit_edges;
+    }
+  }
+  if (explicit_edges != explicit_edge_count_ || implicit_edges != implicit_edge_count_) {
+    return Status::Internal("edge counts out of sync");
+  }
+  return Status::Ok();
+}
+
+std::string ProtectionGraph::Summary() const {
+  std::ostringstream os;
+  os << "graph(" << subject_count_ << " subjects, " << (vertices_.size() - subject_count_)
+     << " objects, " << explicit_edge_count_ << " explicit edges";
+  if (implicit_edge_count_ > 0) {
+    os << ", " << implicit_edge_count_ << " implicit edges";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tg

@@ -1,0 +1,185 @@
+// ProtectionGraph: the finite directed labelled graph at the heart of the
+// Take-Grant model.
+//
+// Design notes
+// ------------
+// * Value semantics.  Graphs copy freely (snapshots for witness replay, the
+//   brute-force oracle, and simulation rollback all rely on this).
+// * Vertices are never destroyed; VertexId is a stable dense index.  The
+//   model has no vertex-deletion rule (remove only deletes rights).
+// * Edge labels are stored per ordered vertex pair in a hash map, with
+//   per-vertex out/in adjacency lists for traversal.  All single-edge
+//   operations are O(1) expected; traversals are O(degree).
+// * Self-edges are rejected: every rewrite rule in the paper requires the
+//   vertices involved to be distinct, and none can create a self-edge.
+// * Mutations go through a tiny API so that the rule engine is the only
+//   layer that needs to reason about rule legality; the graph itself only
+//   enforces structural invariants (ids in range, no self loops, implicit
+//   labels restricted to information-carrying rights).
+
+#ifndef SRC_TG_GRAPH_H_
+#define SRC_TG_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tg/edge.h"
+#include "src/tg/rights.h"
+#include "src/tg/vertex.h"
+#include "src/util/status.h"
+
+namespace tg {
+
+class ProtectionGraph {
+ public:
+  ProtectionGraph() = default;
+
+  // ---- Vertices ----
+
+  // Adds a vertex.  Names must be unique and non-empty; pass "" to have a
+  // name generated ("s<id>" / "o<id>").
+  VertexId AddSubject(std::string_view name = "");
+  VertexId AddObject(std::string_view name = "");
+  VertexId AddVertex(VertexKind kind, std::string_view name = "");
+
+  size_t VertexCount() const { return vertices_.size(); }
+  bool IsValidVertex(VertexId v) const { return v < vertices_.size(); }
+
+  VertexKind KindOf(VertexId v) const { return vertices_[v].kind; }
+  bool IsSubject(VertexId v) const { return KindOf(v) == VertexKind::kSubject; }
+  bool IsObject(VertexId v) const { return KindOf(v) == VertexKind::kObject; }
+  const std::string& NameOf(VertexId v) const { return vertices_[v].name; }
+
+  // Vertex id for a name, or kInvalidVertex.
+  VertexId FindVertex(std::string_view name) const;
+
+  size_t SubjectCount() const { return subject_count_; }
+
+  // ---- Edges ----
+
+  // Adds rights to the explicit label of edge src -> dst (creating the edge
+  // if absent).  Errors: invalid ids, self edge, empty right set.
+  tg_util::Status AddExplicit(VertexId src, VertexId dst, RightSet rights);
+
+  // Adds rights to the implicit label.  Implicit edges may only carry
+  // information rights (r/w); the de facto rules in this model only ever
+  // produce {r}.
+  tg_util::Status AddImplicit(VertexId src, VertexId dst, RightSet rights);
+
+  // Removes rights from the explicit label (the "remove" de jure rule's
+  // mutation).  Removing rights not present is allowed (no-op for those).
+  tg_util::Status RemoveExplicit(VertexId src, VertexId dst, RightSet rights);
+
+  // Removes rights from the implicit label (used by witness replay /
+  // derivation surgery in the completeness construction of Theorem 5.5).
+  tg_util::Status RemoveImplicit(VertexId src, VertexId dst, RightSet rights);
+
+  // Clears every implicit edge (de facto edges are derived, not state; the
+  // analyses recompute them on demand).
+  void ClearImplicit();
+
+  // Label queries.  Out-of-range or self pairs yield the empty set.
+  RightSet ExplicitRights(VertexId src, VertexId dst) const;
+  RightSet ImplicitRights(VertexId src, VertexId dst) const;
+  RightSet TotalRights(VertexId src, VertexId dst) const;
+
+  bool HasExplicit(VertexId src, VertexId dst, Right right) const {
+    return ExplicitRights(src, dst).Has(right);
+  }
+  bool HasImplicit(VertexId src, VertexId dst, Right right) const {
+    return ImplicitRights(src, dst).Has(right);
+  }
+  bool HasAny(VertexId src, VertexId dst, Right right) const {
+    return TotalRights(src, dst).Has(right);
+  }
+
+  // Number of ordered pairs with a non-empty explicit (resp. implicit) label.
+  size_t ExplicitEdgeCount() const { return explicit_edge_count_; }
+  size_t ImplicitEdgeCount() const { return implicit_edge_count_; }
+
+  // ---- Traversal ----
+
+  // Neighbors reachable by a non-empty edge record from/to v.  The lists may
+  // contain vertices whose labels have since become empty (remove rule);
+  // callers filter via the yielded Edge, and ForEachOutEdge/ForEachInEdge
+  // already skip empty labels.
+  void ForEachOutEdge(VertexId v, const std::function<void(const Edge&)>& fn) const;
+  void ForEachInEdge(VertexId v, const std::function<void(const Edge&)>& fn) const;
+
+  // Every non-empty edge in the graph, in deterministic (src, dst) creation
+  // order per source vertex.
+  void ForEachEdge(const std::function<void(const Edge&)>& fn) const;
+  std::vector<Edge> Edges() const;
+
+  // All vertices adjacent to v (either direction, non-empty label).
+  std::vector<VertexId> Neighbors(VertexId v) const;
+
+  // Allocation-free adjacency visit for hot traversal loops: calls fn for
+  // every vertex with an edge record to or from v.  A mutual neighbor is
+  // visited twice (once per direction list); callers that care deduplicate
+  // with their own visited state.
+  template <typename Fn>
+  void ForEachNeighbor(VertexId v, Fn&& fn) const {
+    if (!IsValidVertex(v)) {
+      return;
+    }
+    for (VertexId u : out_adj_[v]) {
+      fn(u);
+    }
+    for (VertexId u : in_adj_[v]) {
+      fn(u);
+    }
+  }
+
+  // ---- Whole-graph operations ----
+
+  // Structural equality: same vertices (kind + name, in id order) and same
+  // labels on every pair.
+  friend bool operator==(const ProtectionGraph& a, const ProtectionGraph& b);
+
+  // Checks internal invariants; returns the first violation found.
+  // Used by tests and after deserialization.
+  tg_util::Status Validate() const;
+
+  // Short human-readable summary, e.g. "graph(5 subjects, 3 objects, 9 edges)".
+  std::string Summary() const;
+
+ private:
+  struct Label {
+    RightSet explicit_rights;
+    RightSet implicit_rights;
+    bool empty() const { return explicit_rights.empty() && implicit_rights.empty(); }
+  };
+
+  static uint64_t PairKey(VertexId src, VertexId dst) {
+    return (static_cast<uint64_t>(src) << 32) | dst;
+  }
+
+  // Returns the label record for (src, dst), creating it (and registering
+  // adjacency) if absent.
+  Label& LabelFor(VertexId src, VertexId dst);
+  const Label* FindLabel(VertexId src, VertexId dst) const;
+
+  tg_util::Status CheckEndpoints(VertexId src, VertexId dst) const;
+
+  std::vector<Vertex> vertices_;
+  std::unordered_map<std::string, VertexId> name_index_;
+  size_t subject_count_ = 0;
+
+  std::unordered_map<uint64_t, Label> labels_;
+  // Adjacency: vertices that have ever had an edge record to/from v.
+  std::vector<std::vector<VertexId>> out_adj_;
+  std::vector<std::vector<VertexId>> in_adj_;
+
+  size_t explicit_edge_count_ = 0;
+  size_t implicit_edge_count_ = 0;
+};
+
+}  // namespace tg
+
+#endif  // SRC_TG_GRAPH_H_

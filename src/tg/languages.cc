@@ -1,0 +1,230 @@
+#include "src/tg/languages.h"
+
+namespace tg {
+
+namespace {
+
+using tg_util::Dfa;
+
+constexpr int kTf = static_cast<int>(PathSymbol::kTakeFwd);
+constexpr int kTb = static_cast<int>(PathSymbol::kTakeBack);
+constexpr int kGf = static_cast<int>(PathSymbol::kGrantFwd);
+constexpr int kGb = static_cast<int>(PathSymbol::kGrantBack);
+constexpr int kRf = static_cast<int>(PathSymbol::kReadFwd);
+constexpr int kWf = static_cast<int>(PathSymbol::kWriteFwd);
+constexpr int kWb = static_cast<int>(PathSymbol::kWriteBack);
+
+// t>*
+Dfa BuildTerminalSpan() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(/*accepting=*/true);
+  dfa.AddTransition(s, kTf, s);
+  return dfa;
+}
+
+// t>* g>  U  {v}
+Dfa BuildInitialSpan() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(/*accepting=*/true);   // v (the null word)
+  Dfa::State a = dfa.AddState(/*accepting=*/false);  // t>+
+  Dfa::State f = dfa.AddState(/*accepting=*/true);   // ... g>
+  dfa.AddTransition(s, kTf, a);
+  dfa.AddTransition(s, kGf, f);
+  dfa.AddTransition(a, kTf, a);
+  dfa.AddTransition(a, kGf, f);
+  return dfa;
+}
+
+// t>* | t<* | t>* g> t<* | t>* g< t<*
+Dfa BuildBridge() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(true);  // v: prefix of all four forms
+  Dfa::State a = dfa.AddState(true);  // t>+
+  Dfa::State b = dfa.AddState(true);  // t<+ (pure backward form)
+  Dfa::State c = dfa.AddState(true);  // after the g pivot; t<* tail
+  dfa.AddTransition(s, kTf, a);
+  dfa.AddTransition(s, kTb, b);
+  dfa.AddTransition(s, kGf, c);
+  dfa.AddTransition(s, kGb, c);
+  dfa.AddTransition(a, kTf, a);
+  dfa.AddTransition(a, kGf, c);
+  dfa.AddTransition(a, kGb, c);
+  dfa.AddTransition(b, kTb, b);
+  dfa.AddTransition(c, kTb, c);
+  return dfa;
+}
+
+// t>* r>
+Dfa BuildRwTerminalSpan() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(false);
+  Dfa::State f = dfa.AddState(true);
+  dfa.AddTransition(s, kTf, s);
+  dfa.AddTransition(s, kRf, f);
+  return dfa;
+}
+
+// t>* w>
+Dfa BuildRwInitialSpan() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(false);
+  Dfa::State f = dfa.AddState(true);
+  dfa.AddTransition(s, kTf, s);
+  dfa.AddTransition(s, kWf, f);
+  return dfa;
+}
+
+// t>* r> | w< t<* | t>* r> w< t<*
+Dfa BuildConnection() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(false);  // start: may begin any of the forms
+  Dfa::State a = dfa.AddState(false);  // t>+ prefix (w< no longer allowed)
+  Dfa::State r = dfa.AddState(true);   // t>* r>
+  Dfa::State w = dfa.AddState(true);   // ... w< t<* tail
+  dfa.AddTransition(s, kTf, a);
+  dfa.AddTransition(s, kRf, r);
+  dfa.AddTransition(s, kWb, w);
+  dfa.AddTransition(a, kTf, a);
+  dfa.AddTransition(a, kRf, r);
+  dfa.AddTransition(r, kWb, w);
+  dfa.AddTransition(w, kTb, w);
+  return dfa;
+}
+
+// (r> | w<)*
+Dfa BuildAdmissibleRw() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(true);
+  dfa.AddTransition(s, kRf, s);
+  dfa.AddTransition(s, kWb, s);
+  return dfa;
+}
+
+// Union of bridge and connection (hand-determinized).
+Dfa BuildBridgeOrConnection() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(true);   // v
+  Dfa::State a = dfa.AddState(true);   // t>+ (bridge t>* form / connection prefix)
+  Dfa::State t = dfa.AddState(true);   // t<* tail (after g, w<, or pure t<)
+  Dfa::State r = dfa.AddState(true);   // t>* r>
+  dfa.AddTransition(s, kTf, a);
+  dfa.AddTransition(s, kTb, t);
+  dfa.AddTransition(s, kGf, t);
+  dfa.AddTransition(s, kGb, t);
+  dfa.AddTransition(s, kRf, r);
+  dfa.AddTransition(s, kWb, t);
+  dfa.AddTransition(a, kTf, a);
+  dfa.AddTransition(a, kGf, t);
+  dfa.AddTransition(a, kGb, t);
+  dfa.AddTransition(a, kRf, r);
+  dfa.AddTransition(t, kTb, t);
+  dfa.AddTransition(r, kWb, t);
+  return dfa;
+}
+
+// t<*
+Dfa BuildReverseTerminalSpan() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(/*accepting=*/true);
+  dfa.AddTransition(s, kTb, s);
+  return dfa;
+}
+
+// g< t<*  U  {v}
+Dfa BuildReverseInitialSpan() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(true);   // v
+  Dfa::State f = dfa.AddState(true);   // g< t<*
+  dfa.AddTransition(s, kGb, f);
+  dfa.AddTransition(f, kTb, f);
+  return dfa;
+}
+
+// r< t<*
+Dfa BuildReverseRwTerminalSpan() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(false);
+  Dfa::State f = dfa.AddState(true);
+  dfa.AddTransition(s, static_cast<int>(PathSymbol::kReadBack), f);
+  dfa.AddTransition(f, kTb, f);
+  return dfa;
+}
+
+// w< t<*
+Dfa BuildReverseRwInitialSpan() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(false);
+  Dfa::State f = dfa.AddState(true);
+  dfa.AddTransition(s, kWb, f);
+  dfa.AddTransition(f, kTb, f);
+  return dfa;
+}
+
+}  // namespace
+
+const Dfa& TerminalSpanDfa() {
+  static const Dfa dfa = BuildTerminalSpan();
+  return dfa;
+}
+const Dfa& InitialSpanDfa() {
+  static const Dfa dfa = BuildInitialSpan();
+  return dfa;
+}
+const Dfa& BridgeDfa() {
+  static const Dfa dfa = BuildBridge();
+  return dfa;
+}
+const Dfa& RwTerminalSpanDfa() {
+  static const Dfa dfa = BuildRwTerminalSpan();
+  return dfa;
+}
+const Dfa& RwInitialSpanDfa() {
+  static const Dfa dfa = BuildRwInitialSpan();
+  return dfa;
+}
+const Dfa& ConnectionDfa() {
+  static const Dfa dfa = BuildConnection();
+  return dfa;
+}
+const Dfa& AdmissibleRwDfa() {
+  static const Dfa dfa = BuildAdmissibleRw();
+  return dfa;
+}
+const Dfa& BridgeOrConnectionDfa() {
+  static const Dfa dfa = BuildBridgeOrConnection();
+  return dfa;
+}
+
+const Dfa& ReverseTerminalSpanDfa() {
+  static const Dfa dfa = BuildReverseTerminalSpan();
+  return dfa;
+}
+const Dfa& ReverseInitialSpanDfa() {
+  static const Dfa dfa = BuildReverseInitialSpan();
+  return dfa;
+}
+const Dfa& ReverseRwTerminalSpanDfa() {
+  static const Dfa dfa = BuildReverseRwTerminalSpan();
+  return dfa;
+}
+const Dfa& ReverseRwInitialSpanDfa() {
+  static const Dfa dfa = BuildReverseRwInitialSpan();
+  return dfa;
+}
+
+namespace {
+bool Accepts(const Dfa& dfa, const Word& word) {
+  std::vector<int> indices = WordToIndices(word);
+  return dfa.Accepts(indices);
+}
+}  // namespace
+
+bool IsTerminalSpanWord(const Word& word) { return Accepts(TerminalSpanDfa(), word); }
+bool IsInitialSpanWord(const Word& word) { return Accepts(InitialSpanDfa(), word); }
+bool IsBridgeWord(const Word& word) { return Accepts(BridgeDfa(), word); }
+bool IsRwTerminalSpanWord(const Word& word) { return Accepts(RwTerminalSpanDfa(), word); }
+bool IsRwInitialSpanWord(const Word& word) { return Accepts(RwInitialSpanDfa(), word); }
+bool IsConnectionWord(const Word& word) { return Accepts(ConnectionDfa(), word); }
+bool IsAdmissibleRwWord(const Word& word) { return Accepts(AdmissibleRwDfa(), word); }
+
+}  // namespace tg

@@ -1,0 +1,63 @@
+// The regular path languages of the Take-Grant model, as DFAs.
+//
+// Words are over the eight directed edge symbols of word.h; '>' marks an
+// edge traversed in its own direction, '<' against it.  The languages (from
+// sections 2 and 3 of the paper; endpoint subject-ness is a side condition
+// checked by callers, not part of the word language):
+//
+//   terminal span    t>*                 v0 acquires authority along the path
+//   initial span     t>* g>  U  {v}      v0 transmits authority along the path
+//   bridge           t>* | t<* | t>* g> t<* | t>* g< t<*
+//   rw-terminal span t>* r>              v0 acquires information
+//   rw-initial span  t>* w>              v0 transmits information
+//   connection       t>* r> | w< t<* | t>* r> w< t<*
+//   admissible rw    (r> | w<)*          plus per-step subject conditions:
+//                                        r> needs its source to be a subject,
+//                                        w< needs its writer (step target)
+//   bridge U connection                  condition (c) of Theorem 3.2
+//
+// Each accessor returns a process-lifetime singleton.
+
+#ifndef SRC_TG_LANGUAGES_H_
+#define SRC_TG_LANGUAGES_H_
+
+#include "src/tg/word.h"
+#include "src/util/dfa.h"
+
+namespace tg {
+
+const tg_util::Dfa& TerminalSpanDfa();
+const tg_util::Dfa& InitialSpanDfa();
+const tg_util::Dfa& BridgeDfa();
+const tg_util::Dfa& RwTerminalSpanDfa();
+const tg_util::Dfa& RwInitialSpanDfa();
+const tg_util::Dfa& ConnectionDfa();
+const tg_util::Dfa& AdmissibleRwDfa();
+const tg_util::Dfa& BridgeOrConnectionDfa();
+
+// Reversed span languages.  A path from a to b with word w is the same path
+// from b to a with w reversed and every symbol's direction flipped, so "find
+// all u that <span> to x" is one search *from* x with the reversed language:
+//
+//   reverse(terminal span)    = t<*
+//   reverse(initial span)     = g< t<*  U  {v}
+//   reverse(rw-terminal span) = r< t<*
+//   reverse(rw-initial span)  = w< t<*
+const tg_util::Dfa& ReverseTerminalSpanDfa();
+const tg_util::Dfa& ReverseInitialSpanDfa();
+const tg_util::Dfa& ReverseRwTerminalSpanDfa();
+const tg_util::Dfa& ReverseRwInitialSpanDfa();
+
+// Word classification conveniences (membership in the word language only;
+// they do not check subject side conditions).
+bool IsTerminalSpanWord(const Word& word);
+bool IsInitialSpanWord(const Word& word);
+bool IsBridgeWord(const Word& word);
+bool IsRwTerminalSpanWord(const Word& word);
+bool IsRwInitialSpanWord(const Word& word);
+bool IsConnectionWord(const Word& word);
+bool IsAdmissibleRwWord(const Word& word);
+
+}  // namespace tg
+
+#endif  // SRC_TG_LANGUAGES_H_

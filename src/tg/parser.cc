@@ -1,0 +1,90 @@
+#include "src/tg/parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/strings.h"
+
+namespace tg {
+
+using tg_util::Split;
+using tg_util::SplitWhitespace;
+using tg_util::Status;
+using tg_util::StatusOr;
+using tg_util::StripWhitespace;
+
+namespace {
+
+Status LineError(size_t line_no, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line_no) + ": " + message);
+}
+
+}  // namespace
+
+StatusOr<ProtectionGraph> ParseGraph(std::string_view text) {
+  ProtectionGraph g;
+  size_t line_no = 0;
+  for (std::string_view raw_line : Split(text, '\n')) {
+    ++line_no;
+    // Strip trailing comment, then whitespace.
+    size_t hash = raw_line.find('#');
+    std::string_view line = StripWhitespace(
+        hash == std::string_view::npos ? raw_line : raw_line.substr(0, hash));
+    if (line.empty()) {
+      continue;
+    }
+    std::vector<std::string_view> tokens = SplitWhitespace(line);
+    std::string_view keyword = tokens[0];
+    if (keyword == "subject" || keyword == "object") {
+      if (tokens.size() != 2) {
+        return LineError(line_no, "expected '" + std::string(keyword) + " <name>'");
+      }
+      if (g.FindVertex(tokens[1]) != kInvalidVertex) {
+        return LineError(line_no, "duplicate vertex name '" + std::string(tokens[1]) + "'");
+      }
+      g.AddVertex(keyword == "subject" ? VertexKind::kSubject : VertexKind::kObject, tokens[1]);
+      continue;
+    }
+    if (keyword == "edge" || keyword == "implicit") {
+      if (tokens.size() != 4) {
+        return LineError(line_no,
+                         "expected '" + std::string(keyword) + " <src> <dst> <rights>'");
+      }
+      VertexId src = g.FindVertex(tokens[1]);
+      if (src == kInvalidVertex) {
+        return LineError(line_no, "unknown vertex '" + std::string(tokens[1]) + "'");
+      }
+      VertexId dst = g.FindVertex(tokens[2]);
+      if (dst == kInvalidVertex) {
+        return LineError(line_no, "unknown vertex '" + std::string(tokens[2]) + "'");
+      }
+      std::optional<RightSet> rights = RightSet::Parse(tokens[3]);
+      if (!rights.has_value() || rights->empty()) {
+        return LineError(line_no, "bad right set '" + std::string(tokens[3]) + "'");
+      }
+      Status s = (keyword == "edge") ? g.AddExplicit(src, dst, *rights)
+                                     : g.AddImplicit(src, dst, *rights);
+      if (!s.ok()) {
+        return LineError(line_no, s.message());
+      }
+      continue;
+    }
+    return LineError(line_no, "unknown keyword '" + std::string(keyword) + "'");
+  }
+  if (Status s = g.Validate(); !s.ok()) {
+    return Status::ParseError("parsed graph failed validation: " + s.message());
+  }
+  return g;
+}
+
+StatusOr<ProtectionGraph> LoadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseGraph(buffer.str());
+}
+
+}  // namespace tg

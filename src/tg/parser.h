@@ -1,0 +1,21 @@
+// Parser for the .tgg text format (see printer.h for the grammar).
+
+#ifndef SRC_TG_PARSER_H_
+#define SRC_TG_PARSER_H_
+
+#include <string_view>
+
+#include "src/tg/graph.h"
+#include "src/util/status.h"
+
+namespace tg {
+
+// Parses a .tgg document.  Errors carry the 1-based line number.
+tg_util::StatusOr<ProtectionGraph> ParseGraph(std::string_view text);
+
+// Reads and parses a .tgg file from disk.
+tg_util::StatusOr<ProtectionGraph> LoadGraphFile(const std::string& path);
+
+}  // namespace tg
+
+#endif  // SRC_TG_PARSER_H_

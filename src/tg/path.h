@@ -1,0 +1,93 @@
+// Paths through a protection graph and language-constrained path search.
+//
+// Search runs a breadth-first product construction over (vertex, DFA state):
+// linear in |V| * |DFA states| + traversed edges, which is the linear-time
+// flavour of the Lipton-Snyder decision procedures.  The search finds
+// *walks*; the paper's definitions use sequences of distinct vertices, but
+// for every language here the existence of an accepted walk and of the
+// corresponding capability coincide (a revisiting walk always shortcuts into
+// rule sequences with the same effect), and the brute-force oracle tests
+// back this up empirically.
+
+#ifndef SRC_TG_PATH_H_
+#define SRC_TG_PATH_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/word.h"
+#include "src/util/dfa.h"
+
+namespace tg {
+
+// One hop of a path: the vertex stepped to and the symbol used.
+struct PathStep {
+  VertexId to = kInvalidVertex;
+  PathSymbol symbol = PathSymbol::kReadFwd;
+
+  friend bool operator==(const PathStep& a, const PathStep& b) = default;
+};
+
+// A concrete path with its chosen word (edges may carry several rights; the
+// word records the rights the path actually uses).
+struct GraphPath {
+  VertexId start = kInvalidVertex;
+  std::vector<PathStep> steps;
+
+  size_t length() const { return steps.size(); }
+  VertexId end() const { return steps.empty() ? start : steps.back().to; }
+
+  Word word() const;
+  std::vector<VertexId> vertices() const;
+
+  // "p -t>- q -g<- r (word: t> g<)" with names from g.
+  std::string ToString(const ProtectionGraph& g) const;
+};
+
+// Options controlling which edges yield which symbols during search.
+struct PathSearchOptions {
+  // Count implicit labels when deciding whether an edge offers r/w symbols.
+  // (t/g are never implicit.)  De facto analyses want true; purely de jure
+  // analyses don't care (r/w symbols unused by their languages).
+  bool use_implicit = true;
+
+  // Extra per-step admission test: called as (from, symbol, to).  Return
+  // false to forbid the step.  Used for the subject side conditions of
+  // admissible rw-paths.  Null = allow all.
+  std::function<bool(VertexId, PathSymbol, VertexId)> step_filter;
+
+  // Require at least this many steps (admissible rw-paths need >= 1).
+  size_t min_steps = 0;
+};
+
+// Shortest walk from `from` to `to` whose word the DFA accepts, or nullopt.
+// `from == to` only succeeds when min_steps == 0 and the DFA accepts v
+// (a length-0 path).
+std::optional<GraphPath> FindWordPath(const ProtectionGraph& g, VertexId from, VertexId to,
+                                      const tg_util::Dfa& dfa,
+                                      const PathSearchOptions& options = {});
+
+// All vertices reachable from `from` by an accepted walk (of >= min_steps),
+// as a bitmap indexed by vertex id.  One BFS, shared by the level and
+// security analyses so they stay near-linear.
+std::vector<bool> WordReachable(const ProtectionGraph& g, VertexId from,
+                                const tg_util::Dfa& dfa, const PathSearchOptions& options = {});
+
+// Multi-source variant: a vertex is reachable if an accepted walk from *any*
+// source reaches it.  Sources themselves are reachable when the DFA accepts
+// the null word and min_steps == 0.
+std::vector<bool> WordReachableMulti(const ProtectionGraph& g,
+                                     const std::vector<VertexId>& sources,
+                                     const tg_util::Dfa& dfa,
+                                     const PathSearchOptions& options = {});
+
+// The symbols available for a single step from u to v under the options.
+std::vector<PathSymbol> StepSymbols(const ProtectionGraph& g, VertexId u, VertexId v,
+                                    bool use_implicit);
+
+}  // namespace tg
+
+#endif  // SRC_TG_PATH_H_

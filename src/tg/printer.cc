@@ -1,0 +1,26 @@
+#include "src/tg/printer.h"
+
+#include <sstream>
+
+namespace tg {
+
+std::string PrintGraph(const ProtectionGraph& g) {
+  std::ostringstream os;
+  os << "# " << g.Summary() << "\n";
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    os << (g.IsSubject(v) ? "subject " : "object  ") << g.NameOf(v) << "\n";
+  }
+  g.ForEachEdge([&](const Edge& e) {
+    if (!e.explicit_rights.empty()) {
+      os << "edge     " << g.NameOf(e.src) << " " << g.NameOf(e.dst) << " "
+         << e.explicit_rights.ToString() << "\n";
+    }
+    if (!e.implicit_rights.empty()) {
+      os << "implicit " << g.NameOf(e.src) << " " << g.NameOf(e.dst) << " "
+         << e.implicit_rights.ToString() << "\n";
+    }
+  });
+  return os.str();
+}
+
+}  // namespace tg

@@ -1,0 +1,28 @@
+// Text serialization of protection graphs (the ".tgg" format).
+//
+// Line-oriented, human-editable, round-trips through parser.h:
+//
+//   # comment
+//   subject p
+//   object  f
+//   edge     p f rw      <- explicit edge p -> f labelled {r,w}
+//   implicit p f r       <- implicit edge
+//
+// Vertices are declared before use; names are whitespace-free tokens.
+
+#ifndef SRC_TG_PRINTER_H_
+#define SRC_TG_PRINTER_H_
+
+#include <string>
+
+#include "src/tg/graph.h"
+
+namespace tg {
+
+// Serializes g in .tgg form (vertices in id order, then edges in
+// deterministic order).
+std::string PrintGraph(const ProtectionGraph& g);
+
+}  // namespace tg
+
+#endif  // SRC_TG_PRINTER_H_

@@ -1,0 +1,115 @@
+#include "src/tg/rights.h"
+
+#include <bit>
+
+namespace tg {
+
+char RightChar(Right right) {
+  switch (right) {
+    case Right::kRead:
+      return 'r';
+    case Right::kWrite:
+      return 'w';
+    case Right::kTake:
+      return 't';
+    case Right::kGrant:
+      return 'g';
+    case Right::kExecute:
+      return 'e';
+    case Right::kAppend:
+      return 'a';
+    case Right::kCall:
+      return 'c';
+    case Right::kDelete:
+      return 'd';
+  }
+  return '?';
+}
+
+std::optional<Right> RightFromChar(char c) {
+  switch (c) {
+    case 'r':
+      return Right::kRead;
+    case 'w':
+      return Right::kWrite;
+    case 't':
+      return Right::kTake;
+    case 'g':
+      return Right::kGrant;
+    case 'e':
+      return Right::kExecute;
+    case 'a':
+      return Right::kAppend;
+    case 'c':
+      return Right::kCall;
+    case 'd':
+      return Right::kDelete;
+    default:
+      return std::nullopt;
+  }
+}
+
+const char* RightName(Right right) {
+  switch (right) {
+    case Right::kRead:
+      return "read";
+    case Right::kWrite:
+      return "write";
+    case Right::kTake:
+      return "take";
+    case Right::kGrant:
+      return "grant";
+    case Right::kExecute:
+      return "execute";
+    case Right::kAppend:
+      return "append";
+    case Right::kCall:
+      return "call";
+    case Right::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+bool IsInertRight(Right right) {
+  switch (right) {
+    case Right::kRead:
+    case Right::kWrite:
+    case Right::kTake:
+    case Right::kGrant:
+      return false;
+    default:
+      return true;
+  }
+}
+
+RightSet RightSet::All() {
+  return RightSet(static_cast<uint8_t>((1u << kRightCount) - 1));
+}
+
+std::optional<RightSet> RightSet::Parse(std::string_view label) {
+  RightSet s;
+  for (char c : label) {
+    std::optional<Right> r = RightFromChar(c);
+    if (!r.has_value()) {
+      return std::nullopt;
+    }
+    s = s.Add(*r);
+  }
+  return s;
+}
+
+int RightSet::size() const { return std::popcount(static_cast<unsigned>(bits_)); }
+
+std::string RightSet::ToString() const {
+  std::string out;
+  for (int i = 0; i < kRightCount; ++i) {
+    Right r = static_cast<Right>(i);
+    if (Has(r)) {
+      out.push_back(RightChar(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace tg

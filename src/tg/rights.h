@@ -1,0 +1,123 @@
+// Rights and right sets.
+//
+// The Take-Grant model labels edges with subsets of a finite set R of rights.
+// Four rights have semantics built into the rewrite rules:
+//
+//   r (read)   and w (write) -- carry information (de facto rules),
+//   t (take)   and g (grant) -- carry authority  (de jure rules).
+//
+// Any other right is "inert": it can be transferred by the de jure rules but
+// has no effect on information flow.  The paper's Figure 5.1 uses one such
+// inert right, e (execute), to show that the Bishop restriction still allows
+// non-r/w rights to cross level boundaries.  We provide a small fixed
+// alphabet of inert rights which is plenty for every experiment.
+
+#ifndef SRC_TG_RIGHTS_H_
+#define SRC_TG_RIGHTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tg {
+
+// The rights alphabet.  Values are bit positions in RightSet.
+enum class Right : uint8_t {
+  kRead = 0,     // r
+  kWrite = 1,    // w
+  kTake = 2,     // t
+  kGrant = 3,    // g
+  kExecute = 4,  // e   (inert; used in Figure 5.1)
+  kAppend = 5,   // a   (inert; used in the Bell-LaPadula mapping discussion)
+  kCall = 6,     // c   (inert)
+  kDelete = 7,   // d   (inert)
+};
+
+inline constexpr int kRightCount = 8;
+
+// Single-character mnemonic used in graph labels ('r', 'w', ...).
+char RightChar(Right right);
+
+// Inverse of RightChar; nullopt for unknown characters.
+std::optional<Right> RightFromChar(char c);
+
+// Full name ("read", "write", ...).
+const char* RightName(Right right);
+
+// True for rights with no built-in rule semantics (everything but r/w/t/g).
+bool IsInertRight(Right right);
+
+// An immutable-value set of rights.  Small enough to pass by value
+// everywhere; all operations are O(1) bit twiddling.
+class RightSet {
+ public:
+  constexpr RightSet() : bits_(0) {}
+  constexpr explicit RightSet(Right r) : bits_(static_cast<uint8_t>(1u << static_cast<int>(r))) {}
+
+  // Named constructors for the common labels.
+  static constexpr RightSet Empty() { return RightSet(); }
+  static RightSet Of(std::initializer_list<Right> rights) {
+    RightSet s;
+    for (Right r : rights) {
+      s = s.Add(r);
+    }
+    return s;
+  }
+  static RightSet All();
+
+  // Parses a label like "rwtg".  Empty string parses to the empty set.
+  // Returns nullopt if any character is not a right mnemonic.
+  static std::optional<RightSet> Parse(std::string_view label);
+
+  constexpr bool Has(Right r) const { return (bits_ & (1u << static_cast<int>(r))) != 0; }
+  constexpr bool empty() const { return bits_ == 0; }
+  int size() const;
+
+  constexpr RightSet Add(Right r) const {
+    return RightSet(static_cast<uint8_t>(bits_ | (1u << static_cast<int>(r))));
+  }
+  constexpr RightSet Remove(Right r) const {
+    return RightSet(static_cast<uint8_t>(bits_ & ~(1u << static_cast<int>(r))));
+  }
+
+  constexpr RightSet Union(RightSet other) const {
+    return RightSet(static_cast<uint8_t>(bits_ | other.bits_));
+  }
+  constexpr RightSet Intersect(RightSet other) const {
+    return RightSet(static_cast<uint8_t>(bits_ & other.bits_));
+  }
+  constexpr RightSet Minus(RightSet other) const {
+    return RightSet(static_cast<uint8_t>(bits_ & ~other.bits_));
+  }
+
+  // True if every right in this set is also in other (this ⊆ other).
+  constexpr bool IsSubsetOf(RightSet other) const { return (bits_ & ~other.bits_) == 0; }
+
+  constexpr bool Intersects(RightSet other) const { return (bits_ & other.bits_) != 0; }
+
+  // Label form, e.g. "rw" — rights in enum order.  Empty set prints as "".
+  std::string ToString() const;
+
+  constexpr uint8_t bits() const { return bits_; }
+  static constexpr RightSet FromBits(uint8_t bits) { return RightSet(bits); }
+
+  friend constexpr bool operator==(RightSet a, RightSet b) { return a.bits_ == b.bits_; }
+  friend constexpr bool operator!=(RightSet a, RightSet b) { return a.bits_ != b.bits_; }
+
+ private:
+  constexpr explicit RightSet(uint8_t bits) : bits_(bits) {}
+  uint8_t bits_;
+};
+
+// Frequently used sets.
+inline const RightSet kRead = RightSet(Right::kRead);
+inline const RightSet kWrite = RightSet(Right::kWrite);
+inline const RightSet kTake = RightSet(Right::kTake);
+inline const RightSet kGrant = RightSet(Right::kGrant);
+inline const RightSet kReadWrite = kRead.Union(kWrite);
+inline const RightSet kTakeGrant = kTake.Union(kGrant);
+
+}  // namespace tg
+
+#endif  // SRC_TG_RIGHTS_H_

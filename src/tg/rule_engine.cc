@@ -1,0 +1,37 @@
+#include "src/tg/rule_engine.h"
+
+namespace tg {
+
+using tg_util::Status;
+using tg_util::StatusOr;
+
+RuleEngine::RuleEngine(ProtectionGraph graph, std::shared_ptr<RulePolicy> policy)
+    : graph_(std::move(graph)),
+      policy_(policy ? std::move(policy) : std::make_shared<AllowAllPolicy>()) {}
+
+StatusOr<RuleApplication> RuleEngine::Apply(RuleApplication rule) {
+  if (Status s = CheckRule(graph_, rule); !s.ok()) {
+    ++rejected_count_;
+    return s;
+  }
+  if (Status s = policy_->Vet(graph_, rule); !s.ok()) {
+    ++vetoed_count_;
+    return Status::PolicyViolation("policy '" + policy_->Name() + "' vetoed " +
+                                   rule.ToString(graph_) + ": " + s.message());
+  }
+  if (Status s = ApplyRule(graph_, rule); !s.ok()) {
+    return s;  // unreachable if CheckRule passed; defensive
+  }
+  policy_->NotifyApplied(graph_, rule);
+  journal_.Append(rule);
+  return rule;
+}
+
+bool RuleEngine::WouldAllow(const RuleApplication& rule) {
+  if (!CheckRule(graph_, rule).ok()) {
+    return false;
+  }
+  return policy_->Vet(graph_, rule).ok();
+}
+
+}  // namespace tg

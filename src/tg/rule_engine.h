@@ -1,0 +1,84 @@
+// RuleEngine: applies rewrite rules to a graph behind an optional policy.
+//
+// The engine is the single mutation point used by the simulator and the
+// examples.  A RulePolicy models the paper's notion of a *restriction*: a
+// predicate that vetoes individual de jure rule applications ("this is an
+// invalid step in a derivation").  The hierarchy layer supplies the three
+// policies the paper studies (direction, application, and the combined
+// Bishop restriction of Theorem 5.5).
+
+#ifndef SRC_TG_RULE_ENGINE_H_
+#define SRC_TG_RULE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/tg/graph.h"
+#include "src/tg/rules.h"
+#include "src/tg/witness.h"
+#include "src/util/status.h"
+
+namespace tg {
+
+// Interface for rule restrictions.  Vet is consulted *before* the rule is
+// applied; returning a non-OK status vetoes it.  Policies may inspect the
+// current graph and the rule.  NotifyApplied lets incremental policies
+// (e.g. ones caching level assignments) update their state.
+class RulePolicy {
+ public:
+  virtual ~RulePolicy() = default;
+
+  virtual std::string Name() const = 0;
+
+  virtual tg_util::Status Vet(const ProtectionGraph& g, const RuleApplication& rule) = 0;
+
+  // Called after a vetted rule has mutated the graph.
+  virtual void NotifyApplied(const ProtectionGraph& g, const RuleApplication& rule) {
+    (void)g;
+    (void)rule;
+  }
+};
+
+// A policy that allows everything (the unrestricted rules of sections 2-3).
+class AllowAllPolicy : public RulePolicy {
+ public:
+  std::string Name() const override { return "unrestricted"; }
+  tg_util::Status Vet(const ProtectionGraph&, const RuleApplication&) override {
+    return tg_util::Status::Ok();
+  }
+};
+
+class RuleEngine {
+ public:
+  // The engine owns its graph.  Pass a policy or nullptr for unrestricted.
+  explicit RuleEngine(ProtectionGraph graph, std::shared_ptr<RulePolicy> policy = nullptr);
+
+  const ProtectionGraph& graph() const { return graph_; }
+  ProtectionGraph& mutable_graph() { return graph_; }
+
+  // Checks rule preconditions, consults the policy, applies, and journals.
+  // On success, returns the rule as applied (with created id filled in).
+  tg_util::StatusOr<RuleApplication> Apply(RuleApplication rule);
+
+  // True iff the rule would pass both preconditions and policy right now.
+  // (Non-const: policies may maintain caches while vetting.)
+  bool WouldAllow(const RuleApplication& rule);
+
+  const Witness& journal() const { return journal_; }
+  size_t applied_count() const { return journal_.size(); }
+  size_t vetoed_count() const { return vetoed_count_; }
+  size_t rejected_count() const { return rejected_count_; }
+
+  const RulePolicy& policy() const { return *policy_; }
+
+ private:
+  ProtectionGraph graph_;
+  std::shared_ptr<RulePolicy> policy_;
+  Witness journal_;
+  size_t vetoed_count_ = 0;    // blocked by policy
+  size_t rejected_count_ = 0;  // blocked by rule preconditions
+};
+
+}  // namespace tg
+
+#endif  // SRC_TG_RULE_ENGINE_H_

@@ -1,0 +1,497 @@
+#include "src/tg/rules.h"
+
+#include <sstream>
+
+namespace tg {
+
+using tg_util::Status;
+
+const char* RuleKindName(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kTake:
+      return "take";
+    case RuleKind::kGrant:
+      return "grant";
+    case RuleKind::kCreate:
+      return "create";
+    case RuleKind::kRemove:
+      return "remove";
+    case RuleKind::kPost:
+      return "post";
+    case RuleKind::kPass:
+      return "pass";
+    case RuleKind::kSpy:
+      return "spy";
+    case RuleKind::kFind:
+      return "find";
+  }
+  return "unknown";
+}
+
+bool IsDeJure(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kTake:
+    case RuleKind::kGrant:
+    case RuleKind::kCreate:
+    case RuleKind::kRemove:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsDeFacto(RuleKind kind) { return !IsDeJure(kind); }
+
+RuleApplication RuleApplication::Take(VertexId taker, VertexId via, VertexId from, RightSet d) {
+  RuleApplication r;
+  r.kind = RuleKind::kTake;
+  r.x = taker;
+  r.y = via;
+  r.z = from;
+  r.rights = d;
+  return r;
+}
+
+RuleApplication RuleApplication::Grant(VertexId grantor, VertexId to, VertexId of, RightSet d) {
+  RuleApplication r;
+  r.kind = RuleKind::kGrant;
+  r.x = grantor;
+  r.y = to;
+  r.z = of;
+  r.rights = d;
+  return r;
+}
+
+RuleApplication RuleApplication::Create(VertexId creator, VertexKind kind, RightSet d,
+                                        std::string name) {
+  RuleApplication r;
+  r.kind = RuleKind::kCreate;
+  r.x = creator;
+  r.rights = d;
+  r.create_kind = kind;
+  r.new_name = std::move(name);
+  return r;
+}
+
+RuleApplication RuleApplication::Remove(VertexId remover, VertexId target, RightSet d) {
+  RuleApplication r;
+  r.kind = RuleKind::kRemove;
+  r.x = remover;
+  r.y = target;
+  r.rights = d;
+  return r;
+}
+
+namespace {
+RuleApplication MakeDeFacto(RuleKind kind, VertexId x, VertexId y, VertexId z) {
+  RuleApplication r;
+  r.kind = kind;
+  r.x = x;
+  r.y = y;
+  r.z = z;
+  return r;
+}
+}  // namespace
+
+RuleApplication RuleApplication::Post(VertexId x, VertexId y, VertexId z) {
+  return MakeDeFacto(RuleKind::kPost, x, y, z);
+}
+RuleApplication RuleApplication::Pass(VertexId x, VertexId y, VertexId z) {
+  return MakeDeFacto(RuleKind::kPass, x, y, z);
+}
+RuleApplication RuleApplication::Spy(VertexId x, VertexId y, VertexId z) {
+  return MakeDeFacto(RuleKind::kSpy, x, y, z);
+}
+RuleApplication RuleApplication::Find(VertexId x, VertexId y, VertexId z) {
+  return MakeDeFacto(RuleKind::kFind, x, y, z);
+}
+
+bool operator==(const RuleApplication& a, const RuleApplication& b) {
+  return a.kind == b.kind && a.x == b.x && a.y == b.y && a.z == b.z && a.rights == b.rights &&
+         a.create_kind == b.create_kind && a.new_name == b.new_name;
+}
+
+std::string RuleApplication::ToString(const ProtectionGraph& g) const {
+  auto name = [&g](VertexId v) -> std::string {
+    if (v == kInvalidVertex) {
+      return "?";
+    }
+    return g.IsValidVertex(v) ? g.NameOf(v) : ("#" + std::to_string(v));
+  };
+  std::ostringstream os;
+  switch (kind) {
+    case RuleKind::kTake:
+      os << "take: " << name(x) << " takes (" << rights.ToString() << " to " << name(z)
+         << ") from " << name(y);
+      break;
+    case RuleKind::kGrant:
+      os << "grant: " << name(x) << " grants (" << rights.ToString() << " to " << name(z)
+         << ") to " << name(y);
+      break;
+    case RuleKind::kCreate:
+      os << "create: " << name(x) << " creates (" << rights.ToString() << " to) new "
+         << VertexKindName(create_kind)
+         << (created != kInvalidVertex ? " " + name(created) : "");
+      break;
+    case RuleKind::kRemove:
+      os << "remove: " << name(x) << " removes (" << rights.ToString() << " to) " << name(y);
+      break;
+    default:
+      os << RuleKindName(kind) << ": implicit r edge " << name(x) << " -> " << name(z)
+         << " via " << name(y);
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+Status RequireDistinct(VertexId a, VertexId b, VertexId c) {
+  if (a == b || b == c || a == c) {
+    return Status::FailedPrecondition("rule vertices must be distinct");
+  }
+  return Status::Ok();
+}
+
+Status RequireValid(const ProtectionGraph& g, std::initializer_list<VertexId> vs) {
+  for (VertexId v : vs) {
+    if (!g.IsValidVertex(v)) {
+      return Status::InvalidArgument("rule references vertex out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+Status RequireSubject(const ProtectionGraph& g, VertexId v, const char* role) {
+  if (!g.IsSubject(v)) {
+    return Status::FailedPrecondition(std::string(role) + " '" + g.NameOf(v) +
+                                      "' must be a subject");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CheckRule(const ProtectionGraph& g, const RuleApplication& rule) {
+  switch (rule.kind) {
+    case RuleKind::kTake: {
+      if (Status s = RequireValid(g, {rule.x, rule.y, rule.z}); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireDistinct(rule.x, rule.y, rule.z); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireSubject(g, rule.x, "taker"); !s.ok()) {
+        return s;
+      }
+      if (!g.HasExplicit(rule.x, rule.y, Right::kTake)) {
+        return Status::FailedPrecondition("taker holds no explicit t right over intermediary");
+      }
+      if (rule.rights.empty()) {
+        return Status::FailedPrecondition("take of an empty right set");
+      }
+      if (!rule.rights.IsSubsetOf(g.ExplicitRights(rule.y, rule.z))) {
+        return Status::FailedPrecondition(
+            "intermediary does not hold the requested rights over the source");
+      }
+      return Status::Ok();
+    }
+    case RuleKind::kGrant: {
+      if (Status s = RequireValid(g, {rule.x, rule.y, rule.z}); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireDistinct(rule.x, rule.y, rule.z); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireSubject(g, rule.x, "grantor"); !s.ok()) {
+        return s;
+      }
+      if (!g.HasExplicit(rule.x, rule.y, Right::kGrant)) {
+        return Status::FailedPrecondition("grantor holds no explicit g right over recipient");
+      }
+      if (rule.rights.empty()) {
+        return Status::FailedPrecondition("grant of an empty right set");
+      }
+      if (!rule.rights.IsSubsetOf(g.ExplicitRights(rule.x, rule.z))) {
+        return Status::FailedPrecondition(
+            "grantor does not hold the requested rights over the target");
+      }
+      return Status::Ok();
+    }
+    case RuleKind::kCreate: {
+      if (Status s = RequireValid(g, {rule.x}); !s.ok()) {
+        return s;
+      }
+      return RequireSubject(g, rule.x, "creator");
+    }
+    case RuleKind::kRemove: {
+      if (Status s = RequireValid(g, {rule.x, rule.y}); !s.ok()) {
+        return s;
+      }
+      if (rule.x == rule.y) {
+        return Status::FailedPrecondition("rule vertices must be distinct");
+      }
+      if (Status s = RequireSubject(g, rule.x, "remover"); !s.ok()) {
+        return s;
+      }
+      if (g.ExplicitRights(rule.x, rule.y).empty()) {
+        return Status::FailedPrecondition("no explicit edge to remove rights from");
+      }
+      return Status::Ok();
+    }
+    case RuleKind::kPost: {
+      if (Status s = RequireValid(g, {rule.x, rule.y, rule.z}); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireDistinct(rule.x, rule.y, rule.z); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireSubject(g, rule.x, "post reader x"); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireSubject(g, rule.z, "post writer z"); !s.ok()) {
+        return s;
+      }
+      if (!g.HasAny(rule.x, rule.y, Right::kRead)) {
+        return Status::FailedPrecondition("post: x cannot read y");
+      }
+      if (!g.HasAny(rule.z, rule.y, Right::kWrite)) {
+        return Status::FailedPrecondition("post: z cannot write y");
+      }
+      return Status::Ok();
+    }
+    case RuleKind::kPass: {
+      if (Status s = RequireValid(g, {rule.x, rule.y, rule.z}); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireDistinct(rule.x, rule.y, rule.z); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireSubject(g, rule.y, "pass intermediary y"); !s.ok()) {
+        return s;
+      }
+      if (!g.HasAny(rule.y, rule.x, Right::kWrite)) {
+        return Status::FailedPrecondition("pass: y cannot write x");
+      }
+      if (!g.HasAny(rule.y, rule.z, Right::kRead)) {
+        return Status::FailedPrecondition("pass: y cannot read z");
+      }
+      return Status::Ok();
+    }
+    case RuleKind::kSpy: {
+      if (Status s = RequireValid(g, {rule.x, rule.y, rule.z}); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireDistinct(rule.x, rule.y, rule.z); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireSubject(g, rule.x, "spy reader x"); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireSubject(g, rule.y, "spy intermediary y"); !s.ok()) {
+        return s;
+      }
+      if (!g.HasAny(rule.x, rule.y, Right::kRead)) {
+        return Status::FailedPrecondition("spy: x cannot read y");
+      }
+      if (!g.HasAny(rule.y, rule.z, Right::kRead)) {
+        return Status::FailedPrecondition("spy: y cannot read z");
+      }
+      return Status::Ok();
+    }
+    case RuleKind::kFind: {
+      if (Status s = RequireValid(g, {rule.x, rule.y, rule.z}); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireDistinct(rule.x, rule.y, rule.z); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireSubject(g, rule.y, "find intermediary y"); !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireSubject(g, rule.z, "find writer z"); !s.ok()) {
+        return s;
+      }
+      if (!g.HasAny(rule.y, rule.x, Right::kWrite)) {
+        return Status::FailedPrecondition("find: y cannot write x");
+      }
+      if (!g.HasAny(rule.z, rule.y, Right::kWrite)) {
+        return Status::FailedPrecondition("find: z cannot write y");
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown rule kind");
+}
+
+RuleEffect EffectOf(const ProtectionGraph& g, const RuleApplication& rule) {
+  (void)g;
+  RuleEffect effect;
+  switch (rule.kind) {
+    case RuleKind::kTake:
+      effect.src = rule.x;
+      effect.dst = rule.z;
+      effect.added_explicit = rule.rights;
+      break;
+    case RuleKind::kGrant:
+      effect.src = rule.y;
+      effect.dst = rule.z;
+      effect.added_explicit = rule.rights;
+      break;
+    case RuleKind::kCreate:
+      effect.src = rule.x;
+      effect.dst = kInvalidVertex;  // vertex does not exist yet
+      effect.added_explicit = rule.rights;
+      break;
+    case RuleKind::kRemove:
+      effect.src = rule.x;
+      effect.dst = rule.y;
+      effect.removed_explicit = rule.rights;
+      break;
+    case RuleKind::kPost:
+    case RuleKind::kPass:
+    case RuleKind::kSpy:
+    case RuleKind::kFind:
+      effect.src = rule.x;
+      effect.dst = rule.z;
+      effect.added_implicit = kRead;
+      break;
+  }
+  return effect;
+}
+
+Status ApplyRule(ProtectionGraph& g, RuleApplication& rule) {
+  if (Status s = CheckRule(g, rule); !s.ok()) {
+    return s;
+  }
+  switch (rule.kind) {
+    case RuleKind::kTake:
+      return g.AddExplicit(rule.x, rule.z, rule.rights);
+    case RuleKind::kGrant:
+      return g.AddExplicit(rule.y, rule.z, rule.rights);
+    case RuleKind::kCreate: {
+      rule.created = g.AddVertex(rule.create_kind, rule.new_name);
+      if (!rule.rights.empty()) {
+        return g.AddExplicit(rule.x, rule.created, rule.rights);
+      }
+      return Status::Ok();
+    }
+    case RuleKind::kRemove:
+      return g.RemoveExplicit(rule.x, rule.y, rule.rights);
+    case RuleKind::kPost:
+    case RuleKind::kPass:
+    case RuleKind::kSpy:
+    case RuleKind::kFind:
+      return g.AddImplicit(rule.x, rule.z, kRead);
+  }
+  return Status::Internal("unknown rule kind");
+}
+
+std::vector<RuleApplication> EnumerateDeJure(const ProtectionGraph& g) {
+  std::vector<RuleApplication> out;
+  const VertexId n = static_cast<VertexId>(g.VertexCount());
+  for (VertexId x = 0; x < n; ++x) {
+    if (!g.IsSubject(x)) {
+      continue;
+    }
+    // take: for each y with t in explicit(x,y), each z with explicit(y,z),
+    // transfer the full missing set (transferring the maximal set dominates
+    // transferring any subset for reachability purposes).
+    g.ForEachOutEdge(x, [&](const Edge& xy) {
+      if (!xy.explicit_rights.Has(Right::kTake)) {
+        return;
+      }
+      g.ForEachOutEdge(xy.dst, [&](const Edge& yz) {
+        if (yz.dst == x || yz.explicit_rights.empty()) {
+          return;
+        }
+        RightSet gain = yz.explicit_rights.Minus(g.ExplicitRights(x, yz.dst));
+        if (!gain.empty()) {
+          out.push_back(RuleApplication::Take(x, xy.dst, yz.dst, gain));
+        }
+      });
+    });
+    // grant: for each y with g in explicit(x,y), each z with explicit(x,z).
+    g.ForEachOutEdge(x, [&](const Edge& xy) {
+      if (!xy.explicit_rights.Has(Right::kGrant)) {
+        return;
+      }
+      g.ForEachOutEdge(x, [&](const Edge& xz) {
+        if (xz.dst == xy.dst || xz.explicit_rights.empty()) {
+          return;
+        }
+        RightSet gain = xz.explicit_rights.Minus(g.ExplicitRights(xy.dst, xz.dst));
+        if (!gain.empty()) {
+          out.push_back(RuleApplication::Grant(x, xy.dst, xz.dst, gain));
+        }
+      });
+    });
+  }
+  return out;
+}
+
+std::vector<RuleApplication> EnumerateDeFacto(const ProtectionGraph& g) {
+  std::vector<RuleApplication> out;
+  const VertexId n = static_cast<VertexId>(g.VertexCount());
+  auto emit = [&](RuleApplication rule) {
+    if (!g.HasImplicit(rule.x, rule.z, Right::kRead) && CheckRule(g, rule).ok()) {
+      out.push_back(rule);
+    }
+  };
+  // Drive enumeration from the middle vertex y: every de facto rule is a
+  // two-hop pattern through y, so this is O(sum over y of deg(y)^2).
+  for (VertexId y = 0; y < n; ++y) {
+    // Edges with r or w incident on y, by direction.
+    std::vector<VertexId> readers_of_y;   // x: r in total(x, y)
+    std::vector<VertexId> writers_of_y;   // z: w in total(z, y)
+    std::vector<VertexId> y_reads;        // z: r in total(y, z)
+    std::vector<VertexId> y_writes;       // x: w in total(y, x)
+    g.ForEachInEdge(y, [&](const Edge& e) {
+      if (e.TotalRights().Has(Right::kRead)) {
+        readers_of_y.push_back(e.src);
+      }
+      if (e.TotalRights().Has(Right::kWrite)) {
+        writers_of_y.push_back(e.src);
+      }
+    });
+    g.ForEachOutEdge(y, [&](const Edge& e) {
+      if (e.TotalRights().Has(Right::kRead)) {
+        y_reads.push_back(e.dst);
+      }
+      if (e.TotalRights().Has(Right::kWrite)) {
+        y_writes.push_back(e.dst);
+      }
+    });
+    for (VertexId x : readers_of_y) {
+      // post: x reads y, z writes y.
+      for (VertexId z : writers_of_y) {
+        if (x != z) {
+          emit(RuleApplication::Post(x, y, z));
+        }
+      }
+      // spy: x reads y, y reads z.
+      for (VertexId z : y_reads) {
+        if (x != z) {
+          emit(RuleApplication::Spy(x, y, z));
+        }
+      }
+    }
+    for (VertexId x : y_writes) {
+      // pass: y writes x, y reads z.
+      for (VertexId z : y_reads) {
+        if (x != z) {
+          emit(RuleApplication::Pass(x, y, z));
+        }
+      }
+      // find: y writes x, z writes y.
+      for (VertexId z : writers_of_y) {
+        if (x != z) {
+          emit(RuleApplication::Find(x, y, z));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tg

@@ -1,0 +1,124 @@
+// The graph rewriting rules of the Take-Grant Protection Model.
+//
+// De jure rules transfer *authority* (explicit edges):
+//
+//   take   x takes (d to z) from y:   t in (x->y),  d <= (y->z)   ==> x->z += d
+//   grant  x grants (d to z) to y:    g in (x->y),  d <= (x->z)   ==> y->z += d
+//   create x creates (d to) new y:                                ==> new y, x->y = d
+//   remove x removes (d to) y:        explicit x->y exists        ==> x->y -= d
+//
+// De facto rules exhibit *information flow* (implicit edges, always {r}).
+// In every diagram x learns what z knows, i.e. an implicit r edge x -> z:
+//
+//   post   x,z subjects:  r in (x->y), w in (z->y)    (z writes y; x reads y)
+//   pass   y subject:     w in (y->x), r in (y->z)    (y reads z and writes x)
+//   spy    x,y subjects:  r in (x->y), r in (y->z)    (x reads y; y reads z)
+//   find   y,z subjects:  w in (y->x), w in (z->y)    (z writes y; y writes x)
+//
+// Per the paper, a de facto rule may use implicit edges for its r/w
+// preconditions, so preconditions test the *total* (explicit + implicit)
+// label; de jure preconditions test the explicit label only, because
+// "implicit edges cannot be manipulated by the de jure rules".
+
+#ifndef SRC_TG_RULES_H_
+#define SRC_TG_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/rights.h"
+#include "src/util/status.h"
+
+namespace tg {
+
+enum class RuleKind : uint8_t {
+  // De jure.
+  kTake,
+  kGrant,
+  kCreate,
+  kRemove,
+  // De facto.
+  kPost,
+  kPass,
+  kSpy,
+  kFind,
+};
+
+const char* RuleKindName(RuleKind kind);
+bool IsDeJure(RuleKind kind);
+bool IsDeFacto(RuleKind kind);
+
+// One concrete rule application.  Field use by kind:
+//
+//   take    x=taker     y=intermediary  z=source of right   rights=d
+//   grant   x=grantor   y=recipient     z=target of right   rights=d
+//   create  x=creator   y,z unused      rights=d  create_kind/new_name set
+//   remove  x=remover   y=target        z unused            rights=d
+//   post / pass / spy / find: x, y, z as in the rule diagrams above
+//                             (rights unused; the new implicit label is {r})
+struct RuleApplication {
+  RuleKind kind = RuleKind::kTake;
+  VertexId x = kInvalidVertex;
+  VertexId y = kInvalidVertex;
+  VertexId z = kInvalidVertex;
+  RightSet rights;
+  VertexKind create_kind = VertexKind::kObject;
+  std::string new_name;  // optional; "" = auto
+
+  // Filled in by Apply for create rules: the id of the new vertex.
+  VertexId created = kInvalidVertex;
+
+  // Convenience constructors.
+  static RuleApplication Take(VertexId taker, VertexId via, VertexId from, RightSet d);
+  static RuleApplication Grant(VertexId grantor, VertexId to, VertexId of, RightSet d);
+  static RuleApplication Create(VertexId creator, VertexKind kind, RightSet d,
+                                std::string name = "");
+  static RuleApplication Remove(VertexId remover, VertexId target, RightSet d);
+  static RuleApplication Post(VertexId x, VertexId y, VertexId z);
+  static RuleApplication Pass(VertexId x, VertexId y, VertexId z);
+  static RuleApplication Spy(VertexId x, VertexId y, VertexId z);
+  static RuleApplication Find(VertexId x, VertexId y, VertexId z);
+
+  // E.g. "take: p takes (rw to q) from s" — uses graph for vertex names.
+  std::string ToString(const ProtectionGraph& g) const;
+
+  friend bool operator==(const RuleApplication& a, const RuleApplication& b);
+};
+
+// Would this application be legal on g?  OK, or the violated precondition.
+tg_util::Status CheckRule(const ProtectionGraph& g, const RuleApplication& rule);
+
+// The effect this rule would have, described as the edge it adds.
+// (remove deletes instead; create's edge targets rule.created after Apply.)
+// Used by policies to vet a rule before application.
+struct RuleEffect {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  RightSet added_explicit;   // empty for de facto rules
+  RightSet added_implicit;   // empty for de jure rules
+  RightSet removed_explicit; // non-empty only for remove
+};
+// Requires CheckRule(g, rule).ok().  For create, dst is kInvalidVertex
+// (the vertex does not exist yet).
+RuleEffect EffectOf(const ProtectionGraph& g, const RuleApplication& rule);
+
+// Applies the rule, mutating g.  On success, for create rules rule.created
+// is set.  Returns CheckRule's error unchanged when preconditions fail.
+tg_util::Status ApplyRule(ProtectionGraph& g, RuleApplication& rule);
+
+// Enumerates every legal de jure rule application on g, excluding create
+// (infinitely many) and remove (never needed to *add* capability).  For each
+// (x, y, z) and each maximal right set transferable.  Used by the
+// brute-force oracle and the adversary strategies.
+std::vector<RuleApplication> EnumerateDeJure(const ProtectionGraph& g);
+
+// Enumerates every legal de facto rule application on g that would add a new
+// implicit edge (applications whose implicit edge already exists are
+// omitted — they cannot change the graph).
+std::vector<RuleApplication> EnumerateDeFacto(const ProtectionGraph& g);
+
+}  // namespace tg
+
+#endif  // SRC_TG_RULES_H_

@@ -1,0 +1,38 @@
+// Vertices of a protection graph.
+//
+// Subjects are the active entities (users, processes): only subjects may
+// invoke rewrite rules.  Objects are completely passive (files, documents).
+// The paper draws subjects as filled circles and objects as hollow ones.
+
+#ifndef SRC_TG_VERTEX_H_
+#define SRC_TG_VERTEX_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tg {
+
+// Dense vertex identifier.  Vertices are never removed, so ids are stable
+// indices into the graph's vertex table for the life of the graph.
+using VertexId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = 0xffffffffu;
+
+enum class VertexKind : uint8_t {
+  kSubject,
+  kObject,
+};
+
+inline const char* VertexKindName(VertexKind kind) {
+  return kind == VertexKind::kSubject ? "subject" : "object";
+}
+
+struct Vertex {
+  VertexId id = kInvalidVertex;
+  VertexKind kind = VertexKind::kObject;
+  std::string name;  // human-readable label; unique within a graph
+};
+
+}  // namespace tg
+
+#endif  // SRC_TG_VERTEX_H_

@@ -1,0 +1,112 @@
+#include "src/tg/witness.h"
+
+#include <sstream>
+
+namespace tg {
+
+using tg_util::Status;
+using tg_util::StatusOr;
+
+StatusOr<ProtectionGraph> Witness::Replay(const ProtectionGraph& initial) const {
+  ProtectionGraph g = initial;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    RuleApplication rule = rules_[i];  // copy: Apply fills rule.created
+    if (Status s = ApplyRule(g, rule); !s.ok()) {
+      return Status(s.code(), "witness step " + std::to_string(i + 1) + " (" +
+                                  rule.ToString(g) + "): " + s.message());
+    }
+  }
+  return g;
+}
+
+Status Witness::VerifyAddsExplicit(const ProtectionGraph& initial, VertexId src, VertexId dst,
+                                   Right right) const {
+  StatusOr<ProtectionGraph> final_graph = Replay(initial);
+  if (!final_graph.ok()) {
+    return final_graph.status();
+  }
+  if (!final_graph->HasExplicit(src, dst, right)) {
+    return Status::Internal("witness replay did not produce the claimed explicit edge");
+  }
+  return Status::Ok();
+}
+
+Status Witness::VerifyAddsEdge(const ProtectionGraph& initial, VertexId src, VertexId dst,
+                               Right right) const {
+  StatusOr<ProtectionGraph> final_graph = Replay(initial);
+  if (!final_graph.ok()) {
+    return final_graph.status();
+  }
+  if (!final_graph->HasAny(src, dst, right)) {
+    return Status::Internal("witness replay did not produce the claimed edge");
+  }
+  return Status::Ok();
+}
+
+size_t Witness::DeJureCount() const {
+  size_t n = 0;
+  for (const RuleApplication& r : rules_) {
+    if (IsDeJure(r.kind)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t Witness::DeFactoCount() const { return rules_.size() - DeJureCount(); }
+
+Witness MinimizeWitness(const Witness& witness, const ProtectionGraph& initial,
+                        const std::function<bool(const ProtectionGraph&)>& goal) {
+  auto satisfies = [&](const std::vector<RuleApplication>& rules) {
+    ProtectionGraph g = initial;
+    for (const RuleApplication& rule : rules) {
+      RuleApplication r = rule;
+      if (!ApplyRule(g, r).ok()) {
+        return false;  // dropping earlier rules may invalidate later ones
+      }
+    }
+    return goal(g);
+  };
+
+  std::vector<RuleApplication> rules = witness.rules();
+  if (!satisfies(rules)) {
+    return witness;  // not a valid witness for this goal: leave untouched
+  }
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    // Drop from the back first: later rules are more likely redundant
+    // additions on top of an already-sufficient prefix.
+    for (size_t i = rules.size(); i-- > 0;) {
+      std::vector<RuleApplication> candidate = rules;
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+      if (satisfies(candidate)) {
+        rules = std::move(candidate);
+        shrunk = true;
+      }
+    }
+  }
+  Witness out;
+  for (RuleApplication& rule : rules) {
+    out.Append(std::move(rule));
+  }
+  return out;
+}
+
+std::string Witness::ToString(const ProtectionGraph& initial) const {
+  // Replay alongside printing so that names of created vertices resolve.
+  ProtectionGraph g = initial;
+  std::ostringstream os;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    RuleApplication rule = rules_[i];
+    Status s = ApplyRule(g, rule);
+    os << (i + 1) << ". " << rule.ToString(g);
+    if (!s.ok()) {
+      os << "   [REPLAY FAILED: " << s.ToString() << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tg

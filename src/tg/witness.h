@@ -1,0 +1,72 @@
+// Witnesses: recorded rule sequences that demonstrate a predicate.
+//
+// The predicates can_share / can_know_f / can_know are defined as "there
+// exists a finite sequence of rewriting rules such that ...".  A Witness is
+// such a sequence, produced by the analysis layer and checkable by replaying
+// it against a copy of the initial graph.  Replay is the ground truth: a
+// decision procedure's positive answer is only trusted by the tests when its
+// witness replays successfully and produces the claimed edge.
+
+#ifndef SRC_TG_WITNESS_H_
+#define SRC_TG_WITNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/rules.h"
+#include "src/util/status.h"
+
+namespace tg {
+
+class Witness {
+ public:
+  Witness() = default;
+
+  void Append(RuleApplication rule) { rules_.push_back(std::move(rule)); }
+  void AppendAll(const Witness& other) {
+    rules_.insert(rules_.end(), other.rules_.begin(), other.rules_.end());
+  }
+
+  bool empty() const { return rules_.empty(); }
+  size_t size() const { return rules_.size(); }
+  const std::vector<RuleApplication>& rules() const { return rules_; }
+  std::vector<RuleApplication>& mutable_rules() { return rules_; }
+
+  // Applies every rule in order to a copy of `initial`; returns the final
+  // graph, or the error of the first failing rule.  Created-vertex ids in
+  // later rules must refer to ids as assigned during this replay (dense
+  // order), which the witness builders guarantee.
+  tg_util::StatusOr<ProtectionGraph> Replay(const ProtectionGraph& initial) const;
+
+  // Replays and then checks that the final graph has `right` on the
+  // (explicit or total) edge src -> dst.
+  tg_util::Status VerifyAddsExplicit(const ProtectionGraph& initial, VertexId src, VertexId dst,
+                                     Right right) const;
+  tg_util::Status VerifyAddsEdge(const ProtectionGraph& initial, VertexId src, VertexId dst,
+                                 Right right) const;
+
+  // Number of de jure / de facto steps.
+  size_t DeJureCount() const;
+  size_t DeFactoCount() const;
+
+  // Multi-line listing, one rule per line, numbered.
+  std::string ToString(const ProtectionGraph& initial) const;
+
+ private:
+  std::vector<RuleApplication> rules_;
+};
+
+// Shrinks a witness while preserving a goal: repeatedly drops rules whose
+// removal keeps the witness replayable with `goal` true on the final graph.
+// Greedy (single pass per round, quadratic replay cost); the result is
+// 1-minimal — no single remaining rule can be dropped — though not
+// necessarily globally minimal.  Oracle- and saturation-produced witnesses
+// carry plenty of slack, which this removes for human consumption.
+Witness MinimizeWitness(const Witness& witness, const ProtectionGraph& initial,
+                        const std::function<bool(const ProtectionGraph&)>& goal);
+
+}  // namespace tg
+
+#endif  // SRC_TG_WITNESS_H_

@@ -1,0 +1,80 @@
+#include "src/tg/word.h"
+
+#include <cassert>
+
+namespace tg {
+
+Right SymbolRight(PathSymbol s) {
+  switch (s) {
+    case PathSymbol::kReadFwd:
+    case PathSymbol::kReadBack:
+      return Right::kRead;
+    case PathSymbol::kWriteFwd:
+    case PathSymbol::kWriteBack:
+      return Right::kWrite;
+    case PathSymbol::kTakeFwd:
+    case PathSymbol::kTakeBack:
+      return Right::kTake;
+    case PathSymbol::kGrantFwd:
+    case PathSymbol::kGrantBack:
+      return Right::kGrant;
+  }
+  assert(false && "bad symbol");
+  return Right::kRead;
+}
+
+bool SymbolIsBackward(PathSymbol s) { return (static_cast<uint8_t>(s) & 1u) != 0; }
+
+PathSymbol MakeSymbol(Right right, bool backward) {
+  int base;
+  switch (right) {
+    case Right::kRead:
+      base = 0;
+      break;
+    case Right::kWrite:
+      base = 2;
+      break;
+    case Right::kTake:
+      base = 4;
+      break;
+    case Right::kGrant:
+      base = 6;
+      break;
+    default:
+      assert(false && "only r/w/t/g participate in path words");
+      base = 0;
+      break;
+  }
+  return static_cast<PathSymbol>(base + (backward ? 1 : 0));
+}
+
+std::string SymbolToString(PathSymbol s) {
+  std::string out(1, RightChar(SymbolRight(s)));
+  out.push_back(SymbolIsBackward(s) ? '<' : '>');
+  return out;
+}
+
+std::string WordToString(const Word& word) {
+  if (word.empty()) {
+    return "v";  // the null word
+  }
+  std::string out;
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (i > 0) {
+      out.push_back(' ');
+    }
+    out += SymbolToString(word[i]);
+  }
+  return out;
+}
+
+std::vector<int> WordToIndices(const Word& word) {
+  std::vector<int> out;
+  out.reserve(word.size());
+  for (PathSymbol s : word) {
+    out.push_back(SymbolIndex(s));
+  }
+  return out;
+}
+
+}  // namespace tg

@@ -1,0 +1,58 @@
+// Path symbols and words.
+//
+// With each path v0, ..., vk in a protection graph the paper associates
+// words over an alphabet of *directed* edge symbols: for the step from v(i)
+// to v(i+1), an edge may be traversed forward (it points v(i) -> v(i+1)) or
+// backward (it points v(i+1) -> v(i)), and it contributes one symbol per
+// relevant right it carries.  We write the eight symbols tf/tb, gf/gb,
+// rf/rb, wf/wb, where f(orward) is the paper's plain letter and b(ackward)
+// is the paper's barred letter (e.g. tb is t-with-overbar... the notation in
+// the literature varies; what matters is the direction relative to the walk).
+
+#ifndef SRC_TG_WORD_H_
+#define SRC_TG_WORD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tg/rights.h"
+
+namespace tg {
+
+// Bit layout: (right index << 1) | backward.
+enum class PathSymbol : uint8_t {
+  kReadFwd = 0,
+  kReadBack = 1,
+  kWriteFwd = 2,
+  kWriteBack = 3,
+  kTakeFwd = 4,
+  kTakeBack = 5,
+  kGrantFwd = 6,
+  kGrantBack = 7,
+};
+
+inline constexpr int kPathSymbolCount = 8;
+
+// The right a symbol is about.
+Right SymbolRight(PathSymbol s);
+
+// True if the edge is traversed against its direction (the "barred" form).
+bool SymbolIsBackward(PathSymbol s);
+
+PathSymbol MakeSymbol(Right right, bool backward);
+
+// Rendering: "t>", "t<", "g>", "g<", "r>", "r<", "w>", "w<".
+std::string SymbolToString(PathSymbol s);
+
+using Word = std::vector<PathSymbol>;
+
+// E.g. "t> t> g<" — empty word renders as the paper's null word "v".
+std::string WordToString(const Word& word);
+
+// Words as dense ints for the DFA layer.
+inline int SymbolIndex(PathSymbol s) { return static_cast<int>(s); }
+std::vector<int> WordToIndices(const Word& word);
+
+}  // namespace tg
+
+#endif  // SRC_TG_WORD_H_

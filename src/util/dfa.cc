@@ -1,0 +1,48 @@
+#include "src/util/dfa.h"
+
+#include <cassert>
+
+namespace tg_util {
+
+Dfa::Dfa(int alphabet_size) : alphabet_size_(alphabet_size) {
+  assert(alphabet_size > 0);
+}
+
+Dfa::State Dfa::AddState(bool accepting) {
+  State id = static_cast<State>(accepting_.size());
+  accepting_.push_back(accepting);
+  delta_.resize(delta_.size() + static_cast<size_t>(alphabet_size_), kReject);
+  return id;
+}
+
+void Dfa::AddTransition(State from, int symbol, State to) {
+  assert(from >= 0 && from < state_count());
+  assert(to >= 0 && to < state_count());
+  assert(symbol >= 0 && symbol < alphabet_size_);
+  delta_[static_cast<size_t>(from) * alphabet_size_ + symbol] = to;
+}
+
+Dfa::State Dfa::Step(State s, int symbol) const {
+  if (s == kReject) {
+    return kReject;
+  }
+  assert(s >= 0 && s < state_count());
+  assert(symbol >= 0 && symbol < alphabet_size_);
+  return delta_[static_cast<size_t>(s) * alphabet_size_ + symbol];
+}
+
+bool Dfa::Accepts(std::span<const int> word) const {
+  State s = start();
+  if (state_count() == 0) {
+    return false;
+  }
+  for (int symbol : word) {
+    s = Step(s, symbol);
+    if (s == kReject) {
+      return false;
+    }
+  }
+  return IsAccepting(s);
+}
+
+}  // namespace tg_util

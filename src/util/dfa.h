@@ -1,0 +1,57 @@
+// A small deterministic finite automaton over a dense integer alphabet.
+//
+// The take-grant path languages (bridges, spans, connections, admissible
+// rw-paths) are all regular languages over the eight directed edge symbols;
+// each is hand-compiled into one of these DFAs in src/tg/languages.cc.
+// Keeping the acceptor explicit (rather than ad-hoc loops) makes the
+// correspondence with the paper's regular expressions auditable and lets the
+// path search run the product construction "walk the graph while walking the
+// DFA" in linear time.
+
+#ifndef SRC_UTIL_DFA_H_
+#define SRC_UTIL_DFA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tg_util {
+
+class Dfa {
+ public:
+  using State = int32_t;
+  static constexpr State kReject = -1;
+
+  // alphabet_size symbols, numbered 0..alphabet_size-1.
+  explicit Dfa(int alphabet_size);
+
+  // Adds a state; returns its id.  The first state added is the start state.
+  State AddState(bool accepting);
+
+  // delta(from, symbol) = to.  Unset transitions go to the implicit dead
+  // (rejecting, absorbing) state.
+  void AddTransition(State from, int symbol, State to);
+
+  State start() const { return 0; }
+  int alphabet_size() const { return alphabet_size_; }
+  int state_count() const { return static_cast<int>(accepting_.size()); }
+
+  bool IsAccepting(State s) const {
+    return s >= 0 && accepting_[static_cast<size_t>(s)];
+  }
+
+  // One transition step.  kReject is absorbing.
+  State Step(State s, int symbol) const;
+
+  // Runs the word from the start state.
+  bool Accepts(std::span<const int> word) const;
+
+ private:
+  int alphabet_size_;
+  std::vector<bool> accepting_;
+  std::vector<State> delta_;  // state-major: delta_[s * alphabet_size_ + sym]
+};
+
+}  // namespace tg_util
+
+#endif  // SRC_UTIL_DFA_H_

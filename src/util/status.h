@@ -1,0 +1,151 @@
+// Lightweight status / result types used across the take-grant libraries.
+//
+// The libraries do not throw across API boundaries; fallible operations
+// return Status (or StatusOr<T>) instead.  This mirrors the error-handling
+// idiom of absl::Status without pulling in a dependency.
+
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tg_util {
+
+// Error categories.  Deliberately coarse: callers branch on ok()/code, and
+// the message carries the human-readable detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad vertex id, empty right set, ...)
+  kFailedPrecondition,// rule preconditions not met on this graph
+  kNotFound,          // vertex / edge lookup failed
+  kPolicyViolation,   // a reference-monitor policy rejected the operation
+  kParseError,        // text-format parse failure
+  kInternal,          // invariant breakage (a bug in this library)
+};
+
+// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value.  Cheap to copy on the success path (no message
+// allocation), explicit about failure on the error path.
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "error status requires a non-OK code");
+  }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status PolicyViolation(std::string msg) {
+    return Status(StatusCode::kPolicyViolation, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: the detail".
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // messages are advisory
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// A value or an error.  Minimal expected<T, Status> substitute.
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
+  StatusOr(T value) : rep_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "StatusOr from OK status is a bug");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kPolicyViolation:
+      return "POLICY_VIOLATION";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace tg_util
+
+#endif  // SRC_UTIL_STATUS_H_

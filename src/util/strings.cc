@@ -1,0 +1,84 @@
+#include "src/util/strings.h"
+
+#include <cctype>
+
+namespace tg_util {
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> Split(std::string_view s, char delim) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(s.substr(start));
+      break;
+    }
+    pieces.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view s) {
+  std::vector<std::string_view> pieces;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      pieces.push_back(s.substr(start, i - start));
+    }
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) {
+      out.append(sep);
+    }
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+long long ParseNonNegativeInt(std::string_view s) {
+  if (s.empty()) {
+    return -1;
+  }
+  long long value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return -1;
+    }
+    if (value > (0x7fffffffffffffffLL - (c - '0')) / 10) {
+      return -1;  // overflow
+    }
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+}  // namespace tg_util

@@ -1,0 +1,31 @@
+// Small string helpers shared by the parsers, printers, and CLIs.
+
+#ifndef SRC_UTIL_STRINGS_H_
+#define SRC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tg_util {
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Splits on a delimiter; empty pieces are kept.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+// Splits on runs of ASCII whitespace; no empty pieces.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Parses a non-negative integer; returns -1 on any malformation or overflow.
+long long ParseNonNegativeInt(std::string_view s);
+
+}  // namespace tg_util
+
+#endif  // SRC_UTIL_STRINGS_H_

@@ -1,0 +1,61 @@
+#include "src/util/union_find.h"
+
+#include <cassert>
+#include <map>
+
+namespace tg_util {
+
+UnionFind::UnionFind(size_t n) : parent_(n), rank_(n, 0), set_count_(n) {
+  for (size_t i = 0; i < n; ++i) {
+    parent_[i] = i;
+  }
+}
+
+size_t UnionFind::Find(size_t x) {
+  assert(x < parent_.size());
+  size_t root = x;
+  while (parent_[root] != root) {
+    root = parent_[root];
+  }
+  // Path compression.
+  while (parent_[x] != root) {
+    size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) {
+    return false;
+  }
+  if (rank_[ra] < rank_[rb]) {
+    std::swap(ra, rb);
+  }
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) {
+    ++rank_[ra];
+  }
+  --set_count_;
+  return true;
+}
+
+std::vector<std::vector<size_t>> UnionFind::Groups() {
+  // Map from root -> first-seen order keeps output deterministic.
+  std::map<size_t, size_t> root_to_index;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    size_t root = Find(i);
+    auto [it, inserted] = root_to_index.try_emplace(root, groups.size());
+    if (inserted) {
+      groups.emplace_back();
+    }
+    groups[it->second].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace tg_util

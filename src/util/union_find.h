@@ -1,0 +1,46 @@
+// Disjoint-set forest with union by rank and path compression.
+//
+// Used to compute islands (maximal tg-connected subject-only subgraphs) and
+// rw-levels in near-linear time, matching the linear-time flavour of the
+// decision procedures in Lipton & Snyder and in Bishop's Corollary 5.6.
+
+#ifndef SRC_UTIL_UNION_FIND_H_
+#define SRC_UTIL_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tg_util {
+
+class UnionFind {
+ public:
+  // Creates n singleton sets, labelled 0..n-1.
+  explicit UnionFind(size_t n);
+
+  // Representative of x's set.  Amortized inverse-Ackermann.
+  size_t Find(size_t x);
+
+  // Merges the sets containing a and b.  Returns true if they were distinct.
+  bool Union(size_t a, size_t b);
+
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  // Number of distinct sets remaining.
+  size_t SetCount() const { return set_count_; }
+
+  size_t size() const { return parent_.size(); }
+
+  // Groups elements by set.  The outer vector is ordered by the smallest
+  // member of each set; members within a group are in increasing order.
+  std::vector<std::vector<size_t>> Groups();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t set_count_;
+};
+
+}  // namespace tg_util
+
+#endif  // SRC_UTIL_UNION_FIND_H_

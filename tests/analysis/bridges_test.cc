@@ -1,0 +1,152 @@
+#include "src/analysis/bridges.h"
+
+#include <gtest/gtest.h>
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+class BridgesTest : public ::testing::Test {
+ protected:
+  ProtectionGraph g_;
+};
+
+TEST_F(BridgesTest, ForwardTakeBridge) {
+  VertexId p = g_.AddSubject("p");
+  VertexId o = g_.AddObject("o");
+  VertexId q = g_.AddSubject("q");
+  ASSERT_TRUE(g_.AddExplicit(p, o, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(o, q, tg::kTake).ok());
+  auto bridge = FindBridge(g_, p, q);
+  ASSERT_TRUE(bridge.has_value());
+  EXPECT_EQ(tg::WordToString(bridge->word()), "t> t>");
+}
+
+TEST_F(BridgesTest, BackwardTakeBridge) {
+  VertexId p = g_.AddSubject("p");
+  VertexId o = g_.AddObject("o");
+  VertexId q = g_.AddSubject("q");
+  ASSERT_TRUE(g_.AddExplicit(o, p, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(q, o, tg::kTake).ok());
+  auto bridge = FindBridge(g_, p, q);
+  ASSERT_TRUE(bridge.has_value());
+  EXPECT_EQ(tg::WordToString(bridge->word()), "t< t<");
+}
+
+TEST_F(BridgesTest, GrantPivotBridges) {
+  VertexId p = g_.AddSubject("p");
+  VertexId a = g_.AddObject("a");
+  VertexId b = g_.AddObject("b");
+  VertexId q = g_.AddSubject("q");
+  ASSERT_TRUE(g_.AddExplicit(p, a, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(a, b, tg::kGrant).ok());
+  ASSERT_TRUE(g_.AddExplicit(q, b, tg::kTake).ok());
+  EXPECT_TRUE(FindBridge(g_, p, q).has_value());
+  // Reversed pivot also works.
+  ProtectionGraph g2;
+  VertexId p2 = g2.AddSubject("p");
+  VertexId a2 = g2.AddObject("a");
+  VertexId b2 = g2.AddObject("b");
+  VertexId q2 = g2.AddSubject("q");
+  ASSERT_TRUE(g2.AddExplicit(p2, a2, tg::kTake).ok());
+  ASSERT_TRUE(g2.AddExplicit(b2, a2, tg::kGrant).ok());
+  ASSERT_TRUE(g2.AddExplicit(q2, b2, tg::kTake).ok());
+  EXPECT_TRUE(FindBridge(g2, p2, q2).has_value());
+}
+
+TEST_F(BridgesTest, MixedTakeDirectionsNoBridge) {
+  VertexId p = g_.AddSubject("p");
+  VertexId o = g_.AddObject("o");
+  VertexId q = g_.AddSubject("q");
+  ASSERT_TRUE(g_.AddExplicit(p, o, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(q, o, tg::kTake).ok());  // word would be t> t<
+  EXPECT_FALSE(FindBridge(g_, p, q).has_value());
+}
+
+TEST_F(BridgesTest, BridgeEndpointsMustBeSubjects) {
+  VertexId p = g_.AddSubject("p");
+  VertexId o = g_.AddObject("o");
+  ASSERT_TRUE(g_.AddExplicit(p, o, tg::kTake).ok());
+  EXPECT_FALSE(FindBridge(g_, p, o).has_value());
+  EXPECT_FALSE(FindBridge(g_, o, p).has_value());
+}
+
+TEST_F(BridgesTest, ConnectionViaRead) {
+  VertexId u = g_.AddSubject("u");
+  VertexId o = g_.AddObject("o");
+  VertexId v = g_.AddSubject("v");
+  ASSERT_TRUE(g_.AddExplicit(u, o, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(o, v, tg::kRead).ok());
+  auto conn = FindConnection(g_, u, v);
+  ASSERT_TRUE(conn.has_value());
+  EXPECT_EQ(tg::WordToString(conn->word()), "t> r>");
+  // Connections are directional: nothing from v to u.
+  EXPECT_FALSE(FindConnection(g_, v, u).has_value());
+}
+
+TEST_F(BridgesTest, ConnectionViaWriteBack) {
+  VertexId u = g_.AddSubject("u");
+  VertexId v = g_.AddSubject("v");
+  ASSERT_TRUE(g_.AddExplicit(v, u, tg::kWrite).ok());
+  auto conn = FindConnection(g_, u, v);
+  ASSERT_TRUE(conn.has_value());
+  EXPECT_EQ(tg::WordToString(conn->word()), "w<");
+}
+
+TEST_F(BridgesTest, FullConnectionShape) {
+  // u -t>- a -r>- m <-w- b <-t- v : word t> r> w< t<.
+  VertexId u = g_.AddSubject("u");
+  VertexId a = g_.AddObject("a");
+  VertexId m = g_.AddObject("m");
+  VertexId b = g_.AddObject("b");
+  VertexId v = g_.AddSubject("v");
+  ASSERT_TRUE(g_.AddExplicit(u, a, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(a, m, tg::kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(b, m, tg::kWrite).ok());
+  ASSERT_TRUE(g_.AddExplicit(v, b, tg::kTake).ok());
+  auto conn = FindConnection(g_, u, v);
+  ASSERT_TRUE(conn.has_value());
+  EXPECT_EQ(tg::WordToString(conn->word()), "t> r> w< t<");
+}
+
+TEST_F(BridgesTest, BridgeClosureChainsIslandsAndBridges) {
+  // Island {a,b}; bridge b ~ c; island {c,d}.
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddSubject("b");
+  VertexId o = g_.AddObject("o");
+  VertexId c = g_.AddSubject("c");
+  VertexId d = g_.AddSubject("d");
+  VertexId lone = g_.AddSubject("lone");
+  ASSERT_TRUE(g_.AddExplicit(a, b, tg::kGrant).ok());
+  ASSERT_TRUE(g_.AddExplicit(b, o, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(o, c, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(d, c, tg::kTake).ok());
+  auto closure = BridgeClosure(g_, {a});
+  EXPECT_TRUE(closure[a]);
+  EXPECT_TRUE(closure[b]);
+  EXPECT_TRUE(closure[c]);
+  EXPECT_TRUE(closure[d]);
+  EXPECT_FALSE(closure[lone]);
+  EXPECT_FALSE(closure[o]);  // objects never join the closure
+}
+
+TEST_F(BridgesTest, BocClosureIsDirectional) {
+  VertexId u = g_.AddSubject("u");
+  VertexId v = g_.AddSubject("v");
+  ASSERT_TRUE(g_.AddExplicit(u, v, tg::kRead).ok());  // u -r>- v : u -> v only
+  auto from_u = BridgeOrConnectionClosure(g_, {u});
+  EXPECT_TRUE(from_u[v]);
+  auto from_v = BridgeOrConnectionClosure(g_, {v});
+  EXPECT_FALSE(from_v[u]);
+}
+
+TEST_F(BridgesTest, ClosureOfEmptySeedsIsEmpty) {
+  g_.AddSubject("a");
+  auto closure = BridgeClosure(g_, {});
+  EXPECT_FALSE(closure[0]);
+}
+
+}  // namespace
+}  // namespace tg_analysis

@@ -1,0 +1,223 @@
+#include "src/analysis/can_know.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/oracle.h"
+#include "src/sim/generator.h"
+#include "src/util/prng.h"
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+
+class CanKnowFTest : public ::testing::Test {
+ protected:
+  ProtectionGraph g_;
+};
+
+TEST_F(CanKnowFTest, ReflexiveByConvention) {
+  VertexId a = g_.AddSubject("a");
+  EXPECT_TRUE(CanKnowF(g_, a, a));
+}
+
+TEST_F(CanKnowFTest, DirectReadBySubject) {
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddObject("b");
+  ASSERT_TRUE(g_.AddExplicit(a, b, tg::kRead).ok());
+  EXPECT_TRUE(CanKnowF(g_, a, b));
+  EXPECT_FALSE(CanKnowF(g_, b, a));
+}
+
+TEST_F(CanKnowFTest, ObjectReadEdgeDoesNotCount) {
+  VertexId a = g_.AddObject("a");
+  VertexId b = g_.AddObject("b");
+  ASSERT_TRUE(g_.AddExplicit(a, b, tg::kRead).ok());
+  EXPECT_FALSE(CanKnowF(g_, a, b));
+}
+
+TEST_F(CanKnowFTest, WriteGivesReverseKnowledge) {
+  VertexId a = g_.AddObject("a");
+  VertexId b = g_.AddSubject("b");
+  ASSERT_TRUE(g_.AddExplicit(b, a, tg::kWrite).ok());
+  // b writes a, so a's holder effectively learns b (duality of r and w).
+  EXPECT_TRUE(CanKnowF(g_, a, b));
+}
+
+TEST_F(CanKnowFTest, SpyChain) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddSubject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, tg::kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, tg::kRead).ok());
+  EXPECT_TRUE(CanKnowF(g_, x, z));
+}
+
+TEST_F(CanKnowFTest, ObjectInMiddleOfReadsBlocks) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");  // object cannot spy
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, tg::kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, tg::kRead).ok());
+  EXPECT_FALSE(CanKnowF(g_, x, z));
+}
+
+TEST_F(CanKnowFTest, PostThroughSharedObject) {
+  VertexId x = g_.AddSubject("x");
+  VertexId m = g_.AddObject("m");
+  VertexId z = g_.AddSubject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, m, tg::kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(z, m, tg::kWrite).ok());
+  EXPECT_TRUE(CanKnowF(g_, x, z));
+  EXPECT_FALSE(CanKnowF(g_, z, x));
+}
+
+TEST_F(CanKnowFTest, AdmissiblePathWitness) {
+  VertexId x = g_.AddSubject("x");
+  VertexId m = g_.AddObject("m");
+  VertexId z = g_.AddSubject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, m, tg::kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(z, m, tg::kWrite).ok());
+  auto path = FindAdmissibleRwPath(g_, x, z);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(tg::WordToString(path->word()), "r> w<");
+}
+
+class CanKnowTest : public ::testing::Test {
+ protected:
+  ProtectionGraph g_;
+};
+
+TEST_F(CanKnowTest, SubsumesCanKnowF) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddSubject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, y, tg::kRead).ok());
+  EXPECT_TRUE(CanKnow(g_, x, y));
+}
+
+TEST_F(CanKnowTest, TakeThenReadChain) {
+  VertexId x = g_.AddSubject("x");
+  VertexId o = g_.AddObject("o");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, o, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(o, y, tg::kRead).ok());
+  // x can take r over y, then read: can_know but NOT can_know_f.
+  EXPECT_TRUE(CanKnow(g_, x, y));
+  EXPECT_FALSE(CanKnowF(g_, x, y));
+}
+
+TEST_F(CanKnowTest, BridgeThenSpan) {
+  VertexId x = g_.AddSubject("x");
+  VertexId o = g_.AddObject("o");
+  VertexId u = g_.AddSubject("u");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, o, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(o, u, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(u, y, tg::kRead).ok());
+  EXPECT_TRUE(CanKnow(g_, x, y));
+  EXPECT_FALSE(CanKnow(g_, y, x));
+}
+
+TEST_F(CanKnowTest, HeadSpanForObjectX) {
+  // u writes into object x after a take chain; u reads y: can_know(x, y).
+  VertexId x = g_.AddObject("x");
+  VertexId u = g_.AddSubject("u");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(u, x, tg::kWrite).ok());
+  ASSERT_TRUE(g_.AddExplicit(u, y, tg::kRead).ok());
+  EXPECT_TRUE(CanKnow(g_, x, y));
+}
+
+TEST_F(CanKnowTest, NoChannelNoKnowledge) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddSubject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, y, tg::kWrite).ok());  // x writes y: y knows x
+  EXPECT_FALSE(CanKnow(g_, x, y));
+  EXPECT_TRUE(CanKnow(g_, y, x));
+}
+
+TEST_F(CanKnowTest, KnowableFromMatchesPairwise) {
+  VertexId x = g_.AddSubject("x");
+  VertexId o = g_.AddObject("o");
+  VertexId u = g_.AddSubject("u");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, o, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(o, u, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(u, y, tg::kRead).ok());
+  std::vector<bool> knowable = KnowableFrom(g_, x);
+  for (VertexId v = 0; v < g_.VertexCount(); ++v) {
+    EXPECT_EQ(knowable[v], CanKnow(g_, x, v)) << g_.NameOf(v);
+  }
+}
+
+// ---- Theorems 3.1 / 3.2: decision procedures vs oracles ----
+
+struct KnowSweepParam {
+  uint64_t seed;
+  size_t subjects;
+  size_t objects;
+  double edge_factor;
+};
+
+class CanKnowFOracleSweep : public ::testing::TestWithParam<KnowSweepParam> {};
+
+TEST_P(CanKnowFOracleSweep, MatchesSaturation) {
+  const KnowSweepParam& param = GetParam();
+  tg_util::Prng prng(param.seed);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = param.subjects;
+  options.objects = param.objects;
+  options.edge_factor = param.edge_factor;
+  for (int trial = 0; trial < 20; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        EXPECT_EQ(CanKnowF(g, x, y), OracleCanKnowF(g, x, y))
+            << "x=" << g.NameOf(x) << " y=" << g.NameOf(y) << " trial=" << trial
+            << " seed=" << param.seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CanKnowFOracleSweep,
+                         ::testing::Values(KnowSweepParam{101, 3, 2, 1.5},
+                                           KnowSweepParam{202, 4, 2, 1.2},
+                                           KnowSweepParam{303, 5, 3, 1.0},
+                                           KnowSweepParam{404, 2, 4, 2.0},
+                                           KnowSweepParam{505, 6, 2, 0.8}));
+
+class CanKnowOracleSweep : public ::testing::TestWithParam<KnowSweepParam> {};
+
+TEST_P(CanKnowOracleSweep, MatchesBoundedSearch) {
+  const KnowSweepParam& param = GetParam();
+  tg_util::Prng prng(param.seed);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = param.subjects;
+  options.objects = param.objects;
+  options.edge_factor = param.edge_factor;
+  OracleOptions oracle_options;
+  oracle_options.max_creates = 1;
+  oracle_options.max_states = 20000;
+  for (int trial = 0; trial < 4; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        EXPECT_EQ(CanKnow(g, x, y), OracleCanKnow(g, x, y, oracle_options))
+            << "x=" << g.NameOf(x) << " y=" << g.NameOf(y) << " trial=" << trial
+            << " seed=" << param.seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CanKnowOracleSweep,
+                         ::testing::Values(KnowSweepParam{111, 2, 2, 1.0},
+                                           KnowSweepParam{222, 3, 1, 1.2},
+                                           KnowSweepParam{333, 3, 2, 0.8},
+                                           KnowSweepParam{444, 2, 3, 1.4}));
+
+}  // namespace
+}  // namespace tg_analysis

@@ -1,0 +1,178 @@
+#include "src/analysis/can_share.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/oracle.h"
+#include "src/sim/generator.h"
+#include "src/util/prng.h"
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+
+class CanShareTest : public ::testing::Test {
+ protected:
+  ProtectionGraph g_;
+};
+
+TEST_F(CanShareTest, ExistingEdgeShares) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, y, tg::kRead).ok());
+  EXPECT_TRUE(CanShare(g_, Right::kRead, x, y));
+  EXPECT_FALSE(CanShare(g_, Right::kWrite, x, y));
+}
+
+TEST_F(CanShareTest, DirectTake) {
+  VertexId x = g_.AddSubject("x");
+  VertexId s = g_.AddObject("s");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, s, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_TRUE(CanShare(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanShareTest, DirectGrant) {
+  VertexId s = g_.AddSubject("s");
+  VertexId x = g_.AddObject("x");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(s, x, tg::kGrant).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_TRUE(CanShare(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanShareTest, NoSourceNoShare) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, z, tg::kTake).ok());
+  EXPECT_FALSE(CanShare(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanShareTest, IsolatedIslandsCannotShare) {
+  VertexId x = g_.AddSubject("x");
+  VertexId s = g_.AddSubject("s");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kRead).ok());
+  // x and s have no tg connection at all.
+  EXPECT_FALSE(CanShare(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanShareTest, AcrossBridge) {
+  // x' = x subject; bridge x ~ s via object chain; s holds r over y.
+  VertexId x = g_.AddSubject("x");
+  VertexId o = g_.AddObject("o");
+  VertexId s = g_.AddSubject("s");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, o, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(o, s, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kReadWrite).ok());
+  EXPECT_TRUE(CanShare(g_, Right::kRead, x, y));
+  EXPECT_TRUE(CanShare(g_, Right::kWrite, x, y));
+}
+
+TEST_F(CanShareTest, BackwardBridgeSharesViaCooperation) {
+  // Bridge word t<: s -t-> x.  Both subjects conspire (Lemma 2.1).
+  VertexId x = g_.AddSubject("x");
+  VertexId s = g_.AddSubject("s");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(s, x, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_TRUE(CanShare(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanShareTest, TerminalAndInitialSpansCombine) {
+  // s' -t-> m -r-> ... s' extracts via terminal span; x' injects into object x.
+  VertexId sp = g_.AddSubject("sp");
+  VertexId m = g_.AddObject("m");
+  VertexId y = g_.AddObject("y");
+  VertexId xp = g_.AddSubject("xp");
+  VertexId x = g_.AddObject("x");
+  ASSERT_TRUE(g_.AddExplicit(sp, m, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(m, y, tg::kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(xp, x, tg::kGrant).ok());
+  // Bridge between xp and sp.
+  ASSERT_TRUE(g_.AddExplicit(xp, sp, tg::kTake).ok());
+  EXPECT_TRUE(CanShare(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanShareTest, ObjectTargetNeedsInitialSpanner) {
+  // Right exists, extractor exists, but nobody initially spans to x.
+  VertexId s = g_.AddSubject("s");
+  VertexId y = g_.AddObject("y");
+  VertexId x = g_.AddObject("x");
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_FALSE(CanShare(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanShareTest, SelfAndInvalid) {
+  VertexId x = g_.AddSubject("x");
+  EXPECT_FALSE(CanShare(g_, Right::kRead, x, x));
+  EXPECT_FALSE(CanShare(g_, Right::kRead, x, 99));
+}
+
+TEST_F(CanShareTest, ShareableRightsUnionsPerRight) {
+  VertexId x = g_.AddSubject("x");
+  VertexId s = g_.AddObject("s");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, s, tg::kTake).ok());
+  ASSERT_TRUE(
+      g_.AddExplicit(s, y, tg::RightSet::Of({Right::kRead, Right::kExecute})).ok());
+  tg::RightSet shareable = ShareableRights(g_, x, y);
+  EXPECT_TRUE(shareable.Has(Right::kRead));
+  EXPECT_TRUE(shareable.Has(Right::kExecute));
+  EXPECT_FALSE(shareable.Has(Right::kWrite));
+  EXPECT_TRUE(CanShareAll(g_, shareable, x, y));
+  EXPECT_FALSE(CanShareAll(g_, shareable.Add(Right::kWrite), x, y));
+}
+
+// ---- Theorem 2.3: decision procedure vs exhaustive oracle ----
+
+struct OracleSweepParam {
+  uint64_t seed;
+  size_t subjects;
+  size_t objects;
+  double edge_factor;
+};
+
+class CanShareOracleSweep : public ::testing::TestWithParam<OracleSweepParam> {};
+
+TEST_P(CanShareOracleSweep, MatchesExhaustiveSearch) {
+  const OracleSweepParam& param = GetParam();
+  tg_util::Prng prng(param.seed);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = param.subjects;
+  options.objects = param.objects;
+  options.edge_factor = param.edge_factor;
+  OracleOptions oracle_options;
+  oracle_options.max_creates = 1;
+  oracle_options.max_states = 40000;
+  for (int trial = 0; trial < 6; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (x == y) {
+          continue;
+        }
+        bool fast = CanShare(g, Right::kRead, x, y);
+        bool slow = OracleCanShare(g, Right::kRead, x, y, oracle_options);
+        EXPECT_EQ(fast, slow)
+            << "x=" << g.NameOf(x) << " y=" << g.NameOf(y) << " trial=" << trial
+            << " seed=" << param.seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CanShareOracleSweep,
+                         ::testing::Values(OracleSweepParam{11, 2, 2, 1.0},
+                                           OracleSweepParam{22, 3, 1, 1.2},
+                                           OracleSweepParam{33, 3, 2, 0.8},
+                                           OracleSweepParam{44, 4, 1, 1.0},
+                                           OracleSweepParam{55, 2, 3, 1.5}));
+
+}  // namespace
+}  // namespace tg_analysis

@@ -1,0 +1,182 @@
+#include "src/analysis/can_steal.h"
+
+#include "src/analysis/can_share.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/generator.h"
+#include "src/util/prng.h"
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+
+class CanStealTest : public ::testing::Test {
+ protected:
+  ProtectionGraph g_;
+};
+
+TEST_F(CanStealTest, DirectTakeSteals) {
+  // x -t-> s, s -r-> y: x pulls the right; s never grants anything.
+  VertexId x = g_.AddSubject("x");
+  VertexId s = g_.AddSubject("s");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, s, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_TRUE(CanSteal(g_, Right::kRead, x, y));
+  EXPECT_TRUE(OracleCanSteal(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanStealTest, AlreadyHeldIsNotTheft) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, y, tg::kRead).ok());
+  EXPECT_FALSE(CanSteal(g_, Right::kRead, x, y));
+  EXPECT_FALSE(OracleCanSteal(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanStealTest, GrantOnlyOwnerCannotBeRobbed) {
+  // The only route is the owner granting the right away, which the theft
+  // definition forbids: s -g-> x, s -r-> y, and no t edge to s exists.
+  VertexId x = g_.AddSubject("x");
+  VertexId s = g_.AddSubject("s");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(s, x, tg::kGrant).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_FALSE(CanSteal(g_, Right::kRead, x, y));
+  EXPECT_FALSE(OracleCanSteal(g_, Right::kRead, x, y));
+  // Sharing, by contrast, is possible (the owner may cooperate).
+}
+
+TEST_F(CanStealTest, AccompliceRelaysStolenRight) {
+  // z -t-> s -g-> x: z steals via take, z initially spans to x (t> g>),
+  // and z (not an initial owner) may grant the loot onward into object x.
+  VertexId x = g_.AddObject("x");
+  VertexId s = g_.AddSubject("s");
+  VertexId z = g_.AddSubject("z");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(z, s, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, x, tg::kGrant).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_TRUE(CanSteal(g_, Right::kRead, x, y));
+  EXPECT_TRUE(OracleCanSteal(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanStealTest, NoOwnersNothingToSteal) {
+  VertexId x = g_.AddSubject("x");
+  VertexId s = g_.AddSubject("s");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, s, tg::kTake).ok());
+  EXPECT_FALSE(CanSteal(g_, Right::kRead, x, y));
+}
+
+TEST_F(CanStealTest, TheftAcrossBridge) {
+  // x reaches the owner's island over a bridge, then pulls t over s.
+  VertexId x = g_.AddSubject("x");
+  VertexId o = g_.AddObject("o");
+  VertexId m = g_.AddSubject("m");
+  VertexId s = g_.AddObject("s");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, o, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(o, m, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(m, s, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kWrite).ok());
+  EXPECT_TRUE(CanSteal(g_, Right::kWrite, x, y));
+  EXPECT_TRUE(OracleCanSteal(g_, Right::kWrite, x, y));
+}
+
+TEST_F(CanStealTest, WitnessReplaysAndNeverOwnerGrants) {
+  VertexId x = g_.AddObject("x");
+  VertexId s = g_.AddSubject("s");
+  VertexId z = g_.AddSubject("z");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(z, s, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, x, tg::kGrant).ok());
+  ASSERT_TRUE(g_.AddExplicit(s, y, tg::kRead).ok());
+  auto witness = BuildCanStealWitness(g_, Right::kRead, x, y);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->VerifyAddsExplicit(g_, x, y, Right::kRead).ok());
+  // The initial owner (s) never grants anything.
+  for (const tg::RuleApplication& rule : witness->rules()) {
+    if (rule.kind == tg::RuleKind::kGrant) {
+      EXPECT_NE(rule.x, s) << "initial owner granted during the theft";
+    }
+  }
+}
+
+TEST_F(CanStealTest, StealImpliesShare) {
+  tg_util::Prng prng(171717);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 4;
+  options.objects = 2;
+  options.edge_factor = 1.3;
+  for (int trial = 0; trial < 15; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (x == y) {
+          continue;
+        }
+        if (CanSteal(g, Right::kRead, x, y)) {
+          EXPECT_TRUE(tg_analysis::CanShare(g, Right::kRead, x, y) ||
+                      g.HasExplicit(x, y, Right::kRead))
+              << g.NameOf(x) << " steals but cannot share " << g.NameOf(y);
+        }
+      }
+    }
+  }
+}
+
+struct StealSweepParam {
+  uint64_t seed;
+  size_t subjects;
+  size_t objects;
+  double edge_factor;
+};
+
+class CanStealOracleSweep : public ::testing::TestWithParam<StealSweepParam> {};
+
+TEST_P(CanStealOracleSweep, MatchesExhaustiveSearch) {
+  const StealSweepParam& param = GetParam();
+  tg_util::Prng prng(param.seed);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = param.subjects;
+  options.objects = param.objects;
+  options.edge_factor = param.edge_factor;
+  OracleOptions oracle;
+  oracle.max_creates = 1;
+  oracle.max_states = 30000;
+  for (int trial = 0; trial < 5; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (x == y) {
+          continue;
+        }
+        bool oracle_says = OracleCanSteal(g, Right::kRead, x, y, oracle);
+        // CanSteal (filter + certificate) must agree with the raw search...
+        EXPECT_EQ(CanSteal(g, Right::kRead, x, y, oracle), oracle_says)
+            << "x=" << g.NameOf(x) << " y=" << g.NameOf(y) << " trial=" << trial
+            << " seed=" << param.seed;
+        // ...and the fast filter must never reject a real theft.
+        if (oracle_says) {
+          EXPECT_TRUE(CanStealNecessary(g, Right::kRead, x, y))
+              << "filter rejected a real theft: x=" << g.NameOf(x) << " y=" << g.NameOf(y)
+              << " trial=" << trial << " seed=" << param.seed;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CanStealOracleSweep,
+                         ::testing::Values(StealSweepParam{71, 2, 2, 1.0},
+                                           StealSweepParam{72, 3, 1, 1.2},
+                                           StealSweepParam{73, 3, 2, 0.9},
+                                           StealSweepParam{74, 2, 3, 1.4}));
+
+}  // namespace
+}  // namespace tg_analysis

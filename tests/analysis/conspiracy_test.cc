@@ -1,0 +1,177 @@
+#include "src/analysis/conspiracy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/can_share.h"
+#include "src/analysis/witness_builder.h"
+#include "src/sim/generator.h"
+#include "src/util/prng.h"
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RuleApplication;
+using tg::VertexId;
+using tg::Witness;
+
+TEST(ActiveActorsTest, DeJureActorsCounted) {
+  Witness w;
+  w.Append(RuleApplication::Take(3, 1, 2, tg::kRead));
+  w.Append(RuleApplication::Grant(3, 4, 2, tg::kRead));
+  w.Append(RuleApplication::Create(5, tg::VertexKind::kObject, tg::kRead));
+  auto actors = ActiveActors(w);
+  EXPECT_EQ(actors, (std::set<VertexId>{3, 5}));
+}
+
+TEST(ActiveActorsTest, DeFactoParticipantsCounted) {
+  Witness w;
+  w.Append(RuleApplication::Post(1, 9, 2));  // reader 1, writer 2 act
+  w.Append(RuleApplication::Pass(7, 3, 8));  // only intermediary 3 acts
+  w.Append(RuleApplication::Spy(4, 5, 9));   // both readers act
+  w.Append(RuleApplication::Find(9, 6, 0));  // both writers act
+  auto actors = ActiveActors(w);
+  EXPECT_EQ(actors, (std::set<VertexId>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(MinConspiratorsTest, ZeroWhenEdgeExists) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, tg::kRead).ok());
+  EXPECT_EQ(MinConspirators(g, Right::kRead, x, y), 0u);
+}
+
+TEST(MinConspiratorsTest, SingleTakerNeedsOne) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddObject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, s, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_EQ(MinConspirators(g, Right::kRead, x, y), 1u);
+}
+
+TEST(MinConspiratorsTest, DualityLemmaNeedsBoth) {
+  // s -t-> x with s holding the right: Lemma 2.1's construction needs both
+  // subjects to act (x creates the depot, s fills it).
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(s, x, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_EQ(MinConspirators(g, Right::kRead, x, y), 2u);
+}
+
+TEST(MinConspiratorsTest, GrantOnlyNeedsTheGrantor) {
+  // s -g-> x: s alone grants the right; x stays passive.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(s, x, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_EQ(MinConspirators(g, Right::kRead, x, y), 1u);
+}
+
+TEST(MinConspiratorsTest, CreatedPuppetsChargeTheirCreator) {
+  // The depot construction creates a vertex; if a created *subject* were a
+  // free extra actor the count would be wrong.  In s -t-> x the answer must
+  // stay 2 even though the witness may create helpers.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(s, x, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  auto count = MinConspirators(g, Right::kRead, x, y);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 2u);
+}
+
+TEST(MinConspiratorsTest, ImpossibleTransfersGiveNullopt) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  g.AddSubject("s");
+  OracleOptions options;
+  options.max_states = 2000;
+  EXPECT_FALSE(MinConspirators(g, Right::kRead, x, y, options).has_value());
+}
+
+TEST(MinConspiratorsTest, PureBackwardChainCollapsesToTwo) {
+  // Reversed t edges all the way compose into a *forward* terminal span
+  // from s (takes pull through passive holders), so only the two bridge
+  // endpoints x and s need to act.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId o = g.AddObject("o");
+  VertexId m = g.AddSubject("m");
+  VertexId o2 = g.AddObject("o2");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(o, x, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(m, o, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(o2, m, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, o2, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  ASSERT_TRUE(CanShare(g, Right::kRead, x, y));
+  auto collapse_count = MinConspirators(g, Right::kRead, x, y);
+  ASSERT_TRUE(collapse_count.has_value());
+  EXPECT_EQ(*collapse_count, 2u);
+}
+
+TEST(MinConspiratorsTest, GrantRelayNeedsAllThree) {
+  // s -g-> m -g-> a <-t- x: s must push the right to m (grant), m must
+  // deposit it into a (grant), and x must pull it out (take): three actors,
+  // no creates.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId a = g.AddObject("a");
+  VertexId m = g.AddSubject("m");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(s, m, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(m, a, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(x, a, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  ASSERT_TRUE(CanShare(g, Right::kRead, x, y));
+  auto count = MinConspirators(g, Right::kRead, x, y);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(*count, 3u);
+}
+
+TEST(MinConspiratorsTest, WitnessActorsUpperBoundTheMinimum) {
+  tg_util::Prng prng(888);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 3;
+  options.objects = 2;
+  options.edge_factor = 1.1;
+  OracleOptions oracle;
+  oracle.max_states = 30000;
+  for (int trial = 0; trial < 8; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (x == y || g.HasExplicit(x, y, Right::kRead)) {
+          continue;
+        }
+        auto witness = BuildCanShareWitness(g, Right::kRead, x, y);
+        if (!witness.has_value()) {
+          continue;
+        }
+        auto min_count = MinConspirators(g, Right::kRead, x, y, oracle);
+        ASSERT_TRUE(min_count.has_value())
+            << "share witness exists but conspirator search failed";
+        EXPECT_LE(*min_count, ActiveActors(*witness).size())
+            << g.NameOf(x) << " -> " << g.NameOf(y) << " trial " << trial;
+        EXPECT_GE(*min_count, 1u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tg_analysis

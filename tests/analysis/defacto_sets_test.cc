@@ -1,0 +1,168 @@
+#include "src/analysis/defacto_sets.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/can_know.h"
+#include "src/analysis/oracle.h"
+#include "src/sim/generator.h"
+#include "src/util/prng.h"
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::RuleKind;
+using tg::VertexId;
+
+TEST(DeFactoMaskTest, ToStringForms) {
+  EXPECT_EQ(DeFactoMask::All().ToString(), "post+pass+spy+find");
+  EXPECT_EQ(DeFactoMask::None().ToString(), "none");
+  EXPECT_EQ(DeFactoMask::Only(RuleKind::kSpy).ToString(), "spy");
+  DeFactoMask two = DeFactoMask::None();
+  two.post = true;
+  two.find = true;
+  EXPECT_EQ(two.ToString(), "post+find");
+}
+
+TEST(DeFactoMaskTest, AllowsMatchesBits) {
+  DeFactoMask mask = DeFactoMask::Only(RuleKind::kPass);
+  EXPECT_TRUE(mask.Allows(RuleKind::kPass));
+  EXPECT_FALSE(mask.Allows(RuleKind::kPost));
+  EXPECT_FALSE(mask.Allows(RuleKind::kTake));  // de jure kinds never masked in
+}
+
+// Each rule is uniquely necessary on its signature pattern.
+
+TEST(RuleNecessityTest, SpyOnly) {
+  // x -r-> y -r-> z, all subjects: only spy derives x ~ z.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddSubject("y");
+  VertexId z = g.AddSubject("z");
+  ASSERT_TRUE(g.AddExplicit(x, y, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(y, z, tg::kRead).ok());
+  EXPECT_TRUE(CanKnowFSubset(g, x, z, DeFactoMask::Only(RuleKind::kSpy)));
+  DeFactoMask without = DeFactoMask::All();
+  without.spy = false;
+  EXPECT_FALSE(CanKnowFSubset(g, x, z, without));
+}
+
+TEST(RuleNecessityTest, PostOnly) {
+  // x -r-> m <-w- z (m an object): only post derives x ~ z.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId m = g.AddObject("m");
+  VertexId z = g.AddSubject("z");
+  ASSERT_TRUE(g.AddExplicit(x, m, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(z, m, tg::kWrite).ok());
+  EXPECT_TRUE(CanKnowFSubset(g, x, z, DeFactoMask::Only(RuleKind::kPost)));
+  DeFactoMask without = DeFactoMask::All();
+  without.post = false;
+  EXPECT_FALSE(CanKnowFSubset(g, x, z, without));
+}
+
+TEST(RuleNecessityTest, PassOnly) {
+  // y -w-> x, y -r-> z with x, z objects: only pass derives x ~ z.
+  ProtectionGraph g;
+  VertexId x = g.AddObject("x");
+  VertexId y = g.AddSubject("y");
+  VertexId z = g.AddObject("z");
+  ASSERT_TRUE(g.AddExplicit(y, x, tg::kWrite).ok());
+  ASSERT_TRUE(g.AddExplicit(y, z, tg::kRead).ok());
+  EXPECT_TRUE(CanKnowFSubset(g, x, z, DeFactoMask::Only(RuleKind::kPass)));
+  DeFactoMask without = DeFactoMask::All();
+  without.pass = false;
+  EXPECT_FALSE(CanKnowFSubset(g, x, z, without));
+}
+
+TEST(RuleNecessityTest, FindOnly) {
+  // y -w-> x, z -w-> y with x an object: only find derives x ~ z.
+  ProtectionGraph g;
+  VertexId x = g.AddObject("x");
+  VertexId y = g.AddSubject("y");
+  VertexId z = g.AddSubject("z");
+  ASSERT_TRUE(g.AddExplicit(y, x, tg::kWrite).ok());
+  ASSERT_TRUE(g.AddExplicit(z, y, tg::kWrite).ok());
+  EXPECT_TRUE(CanKnowFSubset(g, x, z, DeFactoMask::Only(RuleKind::kFind)));
+  DeFactoMask without = DeFactoMask::All();
+  without.find = false;
+  EXPECT_FALSE(CanKnowFSubset(g, x, z, without));
+}
+
+TEST(SubsetSaturationTest, FullMaskMatchesSaturateDeFacto) {
+  tg_util::Prng prng(777);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 5;
+  options.objects = 3;
+  options.edge_factor = 1.5;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    EXPECT_TRUE(SaturateDeFactoSubset(g, DeFactoMask::All()) == SaturateDeFacto(g));
+  }
+}
+
+TEST(SubsetSaturationTest, NoneMaskIsIdentity) {
+  tg_util::Prng prng(778);
+  tg_sim::RandomGraphOptions options;
+  ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+  EXPECT_TRUE(SaturateDeFactoSubset(g, DeFactoMask::None()) == g);
+}
+
+TEST(SubsetSaturationTest, MonotoneInMask) {
+  // Adding rules never removes knowable pairs.
+  tg_util::Prng prng(779);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 4;
+  options.objects = 3;
+  options.edge_factor = 1.6;
+  for (int trial = 0; trial < 8; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    size_t full = KnowablePairCount(g, DeFactoMask::All());
+    for (RuleKind kind :
+         {RuleKind::kPost, RuleKind::kPass, RuleKind::kSpy, RuleKind::kFind}) {
+      size_t only = KnowablePairCount(g, DeFactoMask::Only(kind));
+      DeFactoMask without = DeFactoMask::All();
+      switch (kind) {
+        case RuleKind::kPost:
+          without.post = false;
+          break;
+        case RuleKind::kPass:
+          without.pass = false;
+          break;
+        case RuleKind::kSpy:
+          without.spy = false;
+          break;
+        default:
+          without.find = false;
+          break;
+      }
+      size_t most = KnowablePairCount(g, without);
+      EXPECT_LE(only, full);
+      EXPECT_LE(most, full);
+    }
+  }
+}
+
+TEST(SubsetSaturationTest, SubsetKnowledgeContainedInFull) {
+  tg_util::Prng prng(780);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 4;
+  options.objects = 2;
+  options.edge_factor = 1.4;
+  DeFactoMask spy_post = DeFactoMask::None();
+  spy_post.spy = true;
+  spy_post.post = true;
+  for (int trial = 0; trial < 8; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (CanKnowFSubset(g, x, y, spy_post)) {
+          EXPECT_TRUE(CanKnowF(g, x, y)) << g.NameOf(x) << " -> " << g.NameOf(y);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tg_analysis

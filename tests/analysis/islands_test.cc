@@ -1,0 +1,97 @@
+#include "src/analysis/islands.h"
+
+#include <gtest/gtest.h>
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+TEST(IslandsTest, SingletonSubjects) {
+  ProtectionGraph g;
+  g.AddSubject("a");
+  g.AddSubject("b");
+  Islands islands(g);
+  EXPECT_EQ(islands.Count(), 2u);
+  EXPECT_FALSE(islands.SameIsland(0, 1));
+}
+
+TEST(IslandsTest, TgEdgeJoinsSubjects) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTake).ok());
+  Islands islands(g);
+  EXPECT_EQ(islands.Count(), 1u);
+  EXPECT_TRUE(islands.SameIsland(a, b));
+}
+
+TEST(IslandsTest, DirectionIrrelevant) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(b, a, tg::kGrant).ok());
+  Islands islands(g);
+  EXPECT_TRUE(islands.SameIsland(a, b));
+}
+
+TEST(IslandsTest, RwEdgesDoNotJoin) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kReadWrite).ok());
+  Islands islands(g);
+  EXPECT_FALSE(islands.SameIsland(a, b));
+}
+
+TEST(IslandsTest, ObjectsBreakChains) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId o = g.AddObject("o");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(a, o, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(o, b, tg::kTake).ok());
+  Islands islands(g);
+  // The t-path through the object is a bridge, not island glue.
+  EXPECT_FALSE(islands.SameIsland(a, b));
+  EXPECT_EQ(islands.IslandOf(o), kNoIsland);
+}
+
+TEST(IslandsTest, ImplicitEdgesDoNotJoin) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddImplicit(a, b, tg::kRead).ok());
+  Islands islands(g);
+  EXPECT_FALSE(islands.SameIsland(a, b));
+}
+
+TEST(IslandsTest, TransitiveChains) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId c = g.AddSubject("c");
+  VertexId d = g.AddSubject("d");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(c, b, tg::kGrant).ok());
+  Islands islands(g);
+  EXPECT_TRUE(islands.SameIsland(a, c));
+  EXPECT_FALSE(islands.SameIsland(a, d));
+  EXPECT_EQ(islands.Count(), 2u);
+}
+
+TEST(IslandsTest, MembersSortedById) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId c = g.AddSubject("c");
+  ASSERT_TRUE(g.AddExplicit(c, a, tg::kTake).ok());
+  Islands islands(g);
+  uint32_t island = islands.IslandOf(a);
+  EXPECT_EQ(islands.Members(island), (std::vector<VertexId>{a, c}));
+  EXPECT_EQ(islands.IslandOf(b), islands.IslandOf(b));
+}
+
+}  // namespace
+}  // namespace tg_analysis

@@ -1,0 +1,135 @@
+#include "src/analysis/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+
+TEST(SaturateTest, FixpointAddsAllDerivableImplicitEdges) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId c = g.AddSubject("c");
+  VertexId d = g.AddObject("d");
+  // a reads b, b reads c, c reads d: spy should cascade.
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(c, d, tg::kRead).ok());
+  ProtectionGraph saturated = SaturateDeFacto(g);
+  EXPECT_TRUE(saturated.HasImplicit(a, c, Right::kRead));
+  EXPECT_TRUE(saturated.HasImplicit(b, d, Right::kRead));
+  EXPECT_TRUE(saturated.HasImplicit(a, d, Right::kRead));
+  // Saturation never adds explicit edges.
+  EXPECT_EQ(saturated.ExplicitEdgeCount(), g.ExplicitEdgeCount());
+}
+
+TEST(SaturateTest, SaturationIsIdempotent) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId m = g.AddObject("m");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(a, m, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, m, tg::kWrite).ok());
+  ProtectionGraph once = SaturateDeFacto(g);
+  ProtectionGraph twice = SaturateDeFacto(once);
+  EXPECT_TRUE(once == twice);
+}
+
+TEST(KnowEdgeTest, ExplicitReadNeedsSubjectSource) {
+  ProtectionGraph g;
+  VertexId o = g.AddObject("o");
+  VertexId t = g.AddObject("t");
+  ASSERT_TRUE(g.AddExplicit(o, t, tg::kRead).ok());
+  EXPECT_FALSE(KnowEdgePresent(g, o, t));
+  ProtectionGraph g2;
+  VertexId s = g2.AddSubject("s");
+  VertexId t2 = g2.AddObject("t");
+  ASSERT_TRUE(g2.AddExplicit(s, t2, tg::kRead).ok());
+  EXPECT_TRUE(KnowEdgePresent(g2, s, t2));
+}
+
+TEST(KnowEdgeTest, ImplicitReadAlwaysCounts) {
+  ProtectionGraph g;
+  VertexId o = g.AddObject("o");
+  VertexId t = g.AddSubject("t");
+  ASSERT_TRUE(g.AddImplicit(o, t, tg::kRead).ok());
+  EXPECT_TRUE(KnowEdgePresent(g, o, t));
+}
+
+TEST(KnowEdgeTest, WriteBackCounts) {
+  ProtectionGraph g;
+  VertexId x = g.AddObject("x");
+  VertexId y = g.AddSubject("y");
+  ASSERT_TRUE(g.AddExplicit(y, x, tg::kWrite).ok());
+  EXPECT_TRUE(KnowEdgePresent(g, x, y));
+  EXPECT_FALSE(KnowEdgePresent(g, y, x));
+}
+
+TEST(OracleCanShareTest, FindsSimpleTake) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  VertexId z = g.AddObject("z");
+  ASSERT_TRUE(g.AddExplicit(x, y, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(y, z, tg::kRead).ok());
+  EXPECT_TRUE(OracleCanShare(g, Right::kRead, x, z));
+  EXPECT_FALSE(OracleCanShare(g, Right::kWrite, x, z));
+}
+
+TEST(OracleCanShareTest, NeedsCreateForReversedEdge) {
+  // s -t-> x with s holding r over y: x acquires it only via a created
+  // depot (Lemma 2.1's construction), so max_creates=0 fails, 1 succeeds.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(s, x, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  OracleOptions no_creates;
+  no_creates.max_creates = 0;
+  EXPECT_FALSE(OracleCanShare(g, Right::kRead, x, y, no_creates));
+  OracleOptions one_create;
+  one_create.max_creates = 1;
+  EXPECT_TRUE(OracleCanShare(g, Right::kRead, x, y, one_create));
+}
+
+TEST(OracleShareWitnessTest, WitnessReplays) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(s, x, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  auto witness = OracleShareWitness(g, Right::kRead, x, y);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->VerifyAddsExplicit(g, x, y, Right::kRead).ok());
+}
+
+TEST(OracleShareWitnessTest, ExistingEdgeGivesEmptyWitness) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, tg::kRead).ok());
+  auto witness = OracleShareWitness(g, Right::kRead, x, y);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+}
+
+TEST(OracleCanKnowTest, CombinesDeJureAndDeFacto) {
+  // x takes r over m's target, then reads: needs both rule families.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId m = g.AddObject("m");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, m, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(m, y, tg::kRead).ok());
+  EXPECT_TRUE(OracleCanKnow(g, x, y));
+  EXPECT_FALSE(OracleCanKnowF(g, x, y));
+}
+
+}  // namespace
+}  // namespace tg_analysis

@@ -1,0 +1,123 @@
+#include "src/analysis/spans.h"
+
+#include <gtest/gtest.h>
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+class SpansTest : public ::testing::Test {
+ protected:
+  ProtectionGraph g_;
+};
+
+TEST_F(SpansTest, TerminalSpanAlongTakes) {
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddObject("b");
+  VertexId c = g_.AddObject("c");
+  ASSERT_TRUE(g_.AddExplicit(a, b, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(b, c, tg::kTake).ok());
+  EXPECT_TRUE(TerminallySpansTo(g_, a, c));
+  EXPECT_TRUE(TerminallySpansTo(g_, a, a));  // null word
+  EXPECT_FALSE(TerminallySpansTo(g_, b, c));  // object cannot span
+}
+
+TEST_F(SpansTest, InitialSpanEndsWithGrant) {
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddObject("b");
+  VertexId c = g_.AddObject("c");
+  ASSERT_TRUE(g_.AddExplicit(a, b, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(b, c, tg::kGrant).ok());
+  EXPECT_TRUE(InitiallySpansTo(g_, a, c));
+  EXPECT_FALSE(InitiallySpansTo(g_, a, b));  // t> alone is not an initial span
+  EXPECT_TRUE(InitiallySpansTo(g_, a, a));   // null word case
+}
+
+TEST_F(SpansTest, RwTerminalSpanEndsWithRead) {
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddObject("b");
+  VertexId c = g_.AddObject("c");
+  ASSERT_TRUE(g_.AddExplicit(a, b, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(b, c, tg::kRead).ok());
+  EXPECT_TRUE(RwTerminallySpansTo(g_, a, c));
+  EXPECT_FALSE(RwTerminallySpansTo(g_, a, b));
+  EXPECT_FALSE(RwTerminallySpansTo(g_, a, a));  // null word not in t>* r>
+}
+
+TEST_F(SpansTest, RwInitialSpanEndsWithWrite) {
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddObject("b");
+  ASSERT_TRUE(g_.AddExplicit(a, b, tg::kWrite).ok());
+  EXPECT_TRUE(RwInitiallySpansTo(g_, a, b));
+  EXPECT_FALSE(RwInitiallySpansTo(g_, a, a));
+}
+
+TEST_F(SpansTest, RwSpansSeeImplicitByDefault) {
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddObject("b");
+  ASSERT_TRUE(g_.AddImplicit(a, b, tg::kRead).ok());
+  EXPECT_TRUE(RwTerminallySpansTo(g_, a, b));
+  EXPECT_FALSE(RwTerminallySpansTo(g_, a, b, /*use_implicit=*/false));
+}
+
+TEST_F(SpansTest, FindSpanReturnsPath) {
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddObject("b");
+  VertexId c = g_.AddObject("c");
+  ASSERT_TRUE(g_.AddExplicit(a, b, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(b, c, tg::kGrant).ok());
+  auto initial = FindInitialSpan(g_, a, c);
+  ASSERT_TRUE(initial.has_value());
+  EXPECT_EQ(tg::WordToString(initial->word()), "t> g>");
+  auto terminal = FindTerminalSpan(g_, a, b);
+  ASSERT_TRUE(terminal.has_value());
+  EXPECT_EQ(tg::WordToString(terminal->word()), "t>");
+}
+
+TEST_F(SpansTest, InitialSpannersIncludeSubjectItself) {
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddSubject("b");
+  VertexId o = g_.AddObject("o");
+  ASSERT_TRUE(g_.AddExplicit(b, o, tg::kGrant).ok());
+  auto spanners_to_o = InitialSpannersTo(g_, o);
+  EXPECT_EQ(spanners_to_o, (std::vector<VertexId>{b}));
+  auto spanners_to_a = InitialSpannersTo(g_, a);
+  EXPECT_EQ(spanners_to_a, (std::vector<VertexId>{a}));  // null word, subject
+}
+
+TEST_F(SpansTest, TerminalSpannersMultiTarget) {
+  VertexId a = g_.AddSubject("a");
+  VertexId b = g_.AddSubject("b");
+  VertexId s1 = g_.AddObject("s1");
+  VertexId s2 = g_.AddObject("s2");
+  ASSERT_TRUE(g_.AddExplicit(a, s1, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(b, s2, tg::kTake).ok());
+  auto spanners = TerminalSpannersTo(g_, {s1, s2});
+  EXPECT_EQ(spanners, (std::vector<VertexId>{a, b}));
+}
+
+TEST_F(SpansTest, RwInitialSpannersFindWriters) {
+  VertexId target = g_.AddObject("target");
+  VertexId w1 = g_.AddSubject("w1");
+  VertexId w2 = g_.AddSubject("w2");
+  VertexId far = g_.AddSubject("far");
+  ASSERT_TRUE(g_.AddExplicit(w1, target, tg::kWrite).ok());
+  ASSERT_TRUE(g_.AddExplicit(far, w2, tg::kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(w2, target, tg::kWrite).ok());
+  auto spanners = RwInitialSpannersTo(g_, target);
+  // w1 (w>), w2 (w>), far (t> w>).
+  EXPECT_EQ(spanners, (std::vector<VertexId>{w1, w2, far}));
+}
+
+TEST_F(SpansTest, ObjectsNeverSpan) {
+  VertexId o = g_.AddObject("o");
+  VertexId t = g_.AddObject("t");
+  ASSERT_TRUE(g_.AddExplicit(o, t, tg::kTake).ok());
+  EXPECT_FALSE(TerminallySpansTo(g_, o, t));
+  EXPECT_FALSE(InitiallySpansTo(g_, o, o));
+}
+
+}  // namespace
+}  // namespace tg_analysis

@@ -1,0 +1,363 @@
+#include "src/analysis/witness_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/can_know.h"
+#include "src/analysis/can_share.h"
+#include "src/analysis/oracle.h"
+#include "src/sim/generator.h"
+#include "src/util/prng.h"
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+using tg::Witness;
+
+void ExpectShareWitness(const ProtectionGraph& g, Right right, VertexId x, VertexId y) {
+  auto witness = BuildCanShareWitness(g, right, x, y);
+  ASSERT_TRUE(witness.has_value()) << "no witness for " << g.NameOf(x) << " -> " << g.NameOf(y);
+  tg_util::Status replay = witness->VerifyAddsExplicit(g, x, y, right);
+  EXPECT_TRUE(replay.ok()) << replay.ToString() << "\n" << witness->ToString(g);
+}
+
+TEST(CanShareWitnessTest, ExistingEdgeEmptyWitness) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, tg::kRead).ok());
+  auto witness = BuildCanShareWitness(g, Right::kRead, x, y);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+}
+
+TEST(CanShareWitnessTest, DirectTakeChain) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId a = g.AddObject("a");
+  VertexId b = g.AddObject("b");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, a, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, y, tg::kRead).ok());
+  ExpectShareWitness(g, Right::kRead, x, y);
+}
+
+TEST(CanShareWitnessTest, ReversedTakeLink) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(s, x, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  ExpectShareWitness(g, Right::kRead, x, y);
+}
+
+TEST(CanShareWitnessTest, GrantLinkForward) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, s, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  ExpectShareWitness(g, Right::kRead, x, y);
+}
+
+TEST(CanShareWitnessTest, GrantLinkBackward) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(s, x, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  ExpectShareWitness(g, Right::kRead, x, y);
+}
+
+TEST(CanShareWitnessTest, GrantPivotBridge) {
+  ProtectionGraph g;
+  VertexId p = g.AddSubject("p");
+  VertexId a = g.AddObject("a");
+  VertexId b = g.AddObject("b");
+  VertexId q = g.AddSubject("q");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(p, a, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(q, b, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(q, y, tg::kRead).ok());
+  ExpectShareWitness(g, Right::kRead, p, y);
+}
+
+TEST(CanShareWitnessTest, ReversedGrantPivotBridge) {
+  ProtectionGraph g;
+  VertexId p = g.AddSubject("p");
+  VertexId a = g.AddObject("a");
+  VertexId b = g.AddObject("b");
+  VertexId q = g.AddSubject("q");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(p, a, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, a, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(q, b, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(q, y, tg::kRead).ok());
+  ExpectShareWitness(g, Right::kRead, p, y);
+}
+
+TEST(CanShareWitnessTest, BackwardTakeBridge) {
+  ProtectionGraph g;
+  VertexId p = g.AddSubject("p");
+  VertexId o = g.AddObject("o");
+  VertexId q = g.AddSubject("q");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(o, p, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(q, o, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(q, y, tg::kWrite).ok());
+  ExpectShareWitness(g, Right::kWrite, p, y);
+}
+
+TEST(CanShareWitnessTest, InjectIntoObjectTarget) {
+  ProtectionGraph g;
+  VertexId holder = g.AddSubject("holder");
+  VertexId x = g.AddObject("x");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(holder, x, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(holder, y, tg::kRead).ok());
+  ExpectShareWitness(g, Right::kRead, x, y);
+}
+
+TEST(CanShareWitnessTest, TwoBridgeChain) {
+  ProtectionGraph g;
+  VertexId p = g.AddSubject("p");
+  VertexId o1 = g.AddObject("o1");
+  VertexId m = g.AddSubject("m");
+  VertexId o2 = g.AddObject("o2");
+  VertexId q = g.AddSubject("q");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(p, o1, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(o1, m, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(m, o2, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(o2, q, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(q, y, tg::kRead).ok());
+  ExpectShareWitness(g, Right::kRead, p, y);
+}
+
+TEST(CanShareWitnessTest, NoWitnessWhenNotShareable) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  VertexId s = g.AddSubject("s");
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  EXPECT_FALSE(BuildCanShareWitness(g, Right::kRead, x, y).has_value());
+}
+
+// Property: wherever the decision procedure says true, a witness exists and
+// replays; wherever it says false, no witness is produced.
+TEST(CanShareWitnessTest, RandomGraphsWitnessIffShareable) {
+  tg_util::Prng prng(2718);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 4;
+  options.objects = 2;
+  options.edge_factor = 1.2;
+  for (int trial = 0; trial < 25; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (x == y) {
+          continue;
+        }
+        bool shareable = CanShare(g, Right::kRead, x, y);
+        auto witness = BuildCanShareWitness(g, Right::kRead, x, y);
+        ASSERT_EQ(shareable, witness.has_value())
+            << "witness/decision mismatch trial=" << trial << " x=" << g.NameOf(x)
+            << " y=" << g.NameOf(y);
+        if (witness.has_value()) {
+          tg_util::Status replay = witness->VerifyAddsExplicit(g, x, y, Right::kRead);
+          ASSERT_TRUE(replay.ok()) << replay.ToString() << "\n" << witness->ToString(g);
+        }
+      }
+    }
+  }
+}
+
+TEST(CanKnowFWitnessTest, SaturationWitnessReplays) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId m = g.AddObject("m");
+  VertexId z = g.AddSubject("z");
+  VertexId w = g.AddSubject("w");
+  ASSERT_TRUE(g.AddExplicit(x, m, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(z, m, tg::kWrite).ok());
+  ASSERT_TRUE(g.AddExplicit(z, w, tg::kRead).ok());
+  auto witness = BuildCanKnowFWitness(g, x, w);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_GE(witness->size(), 1u);
+  auto replayed = witness->Replay(g);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(KnowEdgePresent(*replayed, x, w));
+}
+
+TEST(CanKnowFWitnessTest, TrivialWhenEdgeExists) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, tg::kRead).ok());
+  auto witness = BuildCanKnowFWitness(g, x, y);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+}
+
+TEST(CanKnowFWitnessTest, NulloptWhenImpossible) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddSubject("y");
+  EXPECT_FALSE(BuildCanKnowFWitness(g, x, y).has_value());
+}
+
+TEST(CanKnowWitnessTest, TakeThenReadChain) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId o = g.AddObject("o");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, o, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(o, y, tg::kRead).ok());
+  auto witness = BuildCanKnowWitness(g, x, y);
+  ASSERT_TRUE(witness.has_value());
+  auto replayed = witness->Replay(g);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(KnowEdgePresent(*replayed, x, y));
+}
+
+TEST(CanKnowWitnessTest, ForwardBridgeCollapsesToTerminalSpan) {
+  // x -t-> o -t-> u -r-> y: x itself terminally spans to y, so the witness
+  // is a pure take chain (no de facto step needed).
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId o = g.AddObject("o");
+  VertexId u = g.AddSubject("u");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, o, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(o, u, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(u, y, tg::kRead).ok());
+  auto witness = BuildCanKnowWitness(g, x, y);
+  ASSERT_TRUE(witness.has_value());
+  auto replayed = witness->Replay(g);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(KnowEdgePresent(*replayed, x, y));
+  EXPECT_EQ(witness->DeFactoCount(), 0u);
+}
+
+TEST(CanKnowWitnessTest, BackwardBridgeUsesMailbox) {
+  // Bridge word t< t< from x to u: x cannot pull anything itself; the
+  // construction must cross the bridge with a mailbox and finish de facto.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId o = g.AddObject("o");
+  VertexId u = g.AddSubject("u");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(o, x, tg::kTake).ok());  // edges point backward
+  ASSERT_TRUE(g.AddExplicit(u, o, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(u, y, tg::kRead).ok());
+  ASSERT_FALSE(tg_analysis::CanKnowF(g, x, y));
+  ASSERT_TRUE(tg_analysis::CanKnow(g, x, y));
+  auto witness = BuildCanKnowWitness(g, x, y);
+  ASSERT_TRUE(witness.has_value());
+  auto replayed = witness->Replay(g);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(KnowEdgePresent(*replayed, x, y));
+  EXPECT_GT(witness->DeFactoCount(), 0u);  // the flow itself is de facto
+}
+
+TEST(CanKnowWitnessTest, HeadSpanForObjectX) {
+  // u writes into object x and reads y: x learns y.
+  ProtectionGraph g;
+  VertexId x = g.AddObject("x");
+  VertexId u = g.AddSubject("u");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(u, x, tg::kWrite).ok());
+  ASSERT_TRUE(g.AddExplicit(u, y, tg::kRead).ok());
+  auto witness = BuildCanKnowWitness(g, x, y);
+  ASSERT_TRUE(witness.has_value());
+  auto replayed = witness->Replay(g);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(KnowEdgePresent(*replayed, x, y));
+}
+
+TEST(CanKnowWitnessTest, TrivialCases) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, tg::kRead).ok());
+  auto direct = BuildCanKnowWitness(g, x, y);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_TRUE(direct->empty());
+  auto self = BuildCanKnowWitness(g, x, x);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_TRUE(self->empty());
+}
+
+TEST(CanKnowWitnessTest, NulloptWhenUnknowable) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddSubject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, tg::kWrite).ok());  // only y learns x
+  EXPECT_FALSE(BuildCanKnowWitness(g, x, y).has_value());
+}
+
+TEST(CanKnowWitnessTest, RandomGraphsWitnessIffKnowable) {
+  tg_util::Prng prng(141421);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 4;
+  options.objects = 2;
+  options.edge_factor = 1.2;
+  for (int trial = 0; trial < 15; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (x == y) {
+          continue;
+        }
+        bool knowable = tg_analysis::CanKnow(g, x, y);
+        auto witness = BuildCanKnowWitness(g, x, y);
+        ASSERT_EQ(knowable, witness.has_value())
+            << "trial=" << trial << " x=" << g.NameOf(x) << " y=" << g.NameOf(y);
+        if (witness.has_value()) {
+          auto replayed = witness->Replay(g);
+          ASSERT_TRUE(replayed.ok())
+              << replayed.status().ToString() << "\n" << witness->ToString(g);
+          EXPECT_TRUE(KnowEdgePresent(*replayed, x, y))
+              << "trial=" << trial << " x=" << g.NameOf(x) << " y=" << g.NameOf(y);
+        }
+      }
+    }
+  }
+}
+
+TEST(CanKnowFWitnessTest, RandomGraphsWitnessIffKnowable) {
+  tg_util::Prng prng(31415);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 4;
+  options.objects = 3;
+  options.edge_factor = 1.4;
+  for (int trial = 0; trial < 15; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (x == y) {
+          continue;
+        }
+        bool knowable = CanKnowF(g, x, y);
+        auto witness = BuildCanKnowFWitness(g, x, y);
+        ASSERT_EQ(knowable, witness.has_value())
+            << "trial=" << trial << " x=" << g.NameOf(x) << " y=" << g.NameOf(y);
+        if (witness.has_value()) {
+          auto replayed = witness->Replay(g);
+          ASSERT_TRUE(replayed.ok());
+          EXPECT_TRUE(KnowEdgePresent(*replayed, x, y));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tg_analysis

@@ -1,0 +1,271 @@
+#include "src/hierarchy/classification.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/can_know.h"
+#include "src/hierarchy/secure.h"
+#include "src/hierarchy/levels.h"
+
+namespace tg_hier {
+namespace {
+
+using tg::VertexId;
+
+TEST(LinearClassificationTest, BuildsRequestedShape) {
+  LinearOptions options;
+  options.levels = 4;
+  options.subjects_per_level = 3;
+  ClassifiedSystem system = LinearClassification(options);
+  ASSERT_EQ(system.level_subjects.size(), 4u);
+  for (const auto& level : system.level_subjects) {
+    EXPECT_EQ(level.size(), 3u);
+  }
+  EXPECT_EQ(system.graph.SubjectCount(), 12u);
+  EXPECT_EQ(system.graph.VertexCount(), 16u);  // + one document per level
+}
+
+TEST(LinearClassificationTest, LevelsAreATotalOrder) {
+  ClassifiedSystem system = LinearClassification(LinearOptions{});
+  for (LevelId a = 0; a < system.levels.LevelCount(); ++a) {
+    for (LevelId b = 0; b < system.levels.LevelCount(); ++b) {
+      EXPECT_EQ(system.levels.Higher(a, b), a > b);
+    }
+  }
+}
+
+TEST(LinearClassificationTest, InformationFlowsUpOnly) {
+  // Theorem 4.3: l_k knows l_j for k > j; never the reverse.
+  LinearOptions options;
+  options.levels = 3;
+  options.subjects_per_level = 2;
+  ClassifiedSystem system = LinearClassification(options);
+  for (size_t hi = 0; hi < 3; ++hi) {
+    for (size_t lo = 0; lo < 3; ++lo) {
+      for (VertexId h : system.level_subjects[hi]) {
+        for (VertexId l : system.level_subjects[lo]) {
+          if (hi > lo) {
+            EXPECT_TRUE(tg_analysis::CanKnowF(system.graph, h, l))
+                << system.graph.NameOf(h) << " should know " << system.graph.NameOf(l);
+            EXPECT_FALSE(tg_analysis::CanKnowF(system.graph, l, h));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(LinearClassificationTest, SameLevelSubjectsMutuallyKnow) {
+  LinearOptions options;
+  options.levels = 2;
+  options.subjects_per_level = 3;
+  ClassifiedSystem system = LinearClassification(options);
+  for (const auto& level : system.level_subjects) {
+    for (VertexId a : level) {
+      for (VertexId b : level) {
+        EXPECT_TRUE(tg_analysis::CanKnowF(system.graph, a, b));
+      }
+    }
+  }
+}
+
+TEST(LinearClassificationTest, DocumentsBelongToTheirLevel) {
+  LinearOptions options;
+  options.levels = 3;
+  ClassifiedSystem system = LinearClassification(options);
+  for (size_t level = 0; level < 3; ++level) {
+    ASSERT_NE(system.level_documents[level], tg::kInvalidVertex);
+    EXPECT_EQ(system.levels.LevelOf(system.level_documents[level]),
+              static_cast<LevelId>(level));
+  }
+}
+
+TEST(LinearClassificationTest, ObjectLevelRuleAgreesWithBuilder) {
+  // Recomputing object levels from access (Theorem 4.5's rule) reproduces
+  // the builder's assignment.
+  LinearOptions options;
+  options.levels = 3;
+  ClassifiedSystem system = LinearClassification(options);
+  LevelAssignment recomputed(system.graph.VertexCount(), system.levels.LevelCount());
+  for (LevelId l = 0; l + 1 <= system.levels.LevelCount(); ++l) {
+    for (LevelId below = 0; below < l; ++below) {
+      recomputed.DeclareHigher(l, below);
+    }
+  }
+  for (size_t level = 0; level < system.level_subjects.size(); ++level) {
+    for (VertexId s : system.level_subjects[level]) {
+      recomputed.Assign(s, static_cast<LevelId>(level));
+    }
+  }
+  ASSERT_TRUE(recomputed.Finalize());
+  AssignObjectLevels(system.graph, recomputed);
+  for (size_t level = 0; level < system.level_documents.size(); ++level) {
+    EXPECT_EQ(recomputed.LevelOf(system.level_documents[level]),
+              static_cast<LevelId>(level));
+  }
+}
+
+TEST(LinearClassificationTest, ComputedRwtgLevelsRefineDesignerLevels) {
+  // Subjects sharing a designer level end up in one computed level, and the
+  // computed higher relation respects the designer's order.
+  LinearOptions options;
+  options.levels = 3;
+  options.subjects_per_level = 2;
+  ClassifiedSystem system = LinearClassification(options);
+  LevelAssignment computed = ComputeRwtgLevels(system.graph);
+  for (const auto& level : system.level_subjects) {
+    for (VertexId a : level) {
+      EXPECT_EQ(computed.LevelOf(a), computed.LevelOf(level[0]));
+    }
+  }
+  VertexId hi = system.level_subjects[2][0];
+  VertexId lo = system.level_subjects[0][0];
+  EXPECT_TRUE(computed.HigherVertex(hi, lo));
+}
+
+TEST(MilitaryClassificationTest, NodeCount) {
+  MilitaryOptions options;
+  options.authority_levels = 4;
+  options.categories = 2;
+  ClassifiedSystem system = MilitaryClassification(options);
+  // bottom + 2 categories x 3 classified authorities = 7 level nodes.
+  EXPECT_EQ(system.levels.LevelCount(), 7u);
+}
+
+TEST(MilitaryClassificationTest, CategoriesIncomparable) {
+  MilitaryOptions options;
+  options.authority_levels = 3;
+  options.categories = 2;
+  ClassifiedSystem system = MilitaryClassification(options);
+  // Find two same-authority nodes of different categories via names A1, B1.
+  LevelId a1 = kNoLevel;
+  LevelId b1 = kNoLevel;
+  for (LevelId l = 0; l < system.levels.LevelCount(); ++l) {
+    if (system.levels.LevelName(l) == "A1") {
+      a1 = l;
+    }
+    if (system.levels.LevelName(l) == "B1") {
+      b1 = l;
+    }
+  }
+  ASSERT_NE(a1, kNoLevel);
+  ASSERT_NE(b1, kNoLevel);
+  EXPECT_FALSE(system.levels.Comparable(a1, b1));
+}
+
+TEST(MilitaryClassificationTest, AuthorityChainsOrdered) {
+  MilitaryOptions options;
+  options.authority_levels = 4;
+  options.categories = 1;
+  ClassifiedSystem system = MilitaryClassification(options);
+  LevelId a1 = kNoLevel, a3 = kNoLevel, bottom = kNoLevel;
+  for (LevelId l = 0; l < system.levels.LevelCount(); ++l) {
+    if (system.levels.LevelName(l) == "A1") {
+      a1 = l;
+    }
+    if (system.levels.LevelName(l) == "A3") {
+      a3 = l;
+    }
+    if (system.levels.LevelName(l) == "U") {
+      bottom = l;
+    }
+  }
+  ASSERT_NE(a1, kNoLevel);
+  ASSERT_NE(a3, kNoLevel);
+  ASSERT_NE(bottom, kNoLevel);
+  EXPECT_TRUE(system.levels.Higher(a3, a1));
+  EXPECT_TRUE(system.levels.Higher(a1, bottom));
+  EXPECT_TRUE(system.levels.Higher(a3, bottom));  // transitive
+}
+
+TEST(MilitaryClassificationTest, NoCrossCategoryFlow) {
+  MilitaryOptions options;
+  options.authority_levels = 3;
+  options.categories = 2;
+  ClassifiedSystem system = MilitaryClassification(options);
+  // Subjects named A1s0 and B1s0 must not know each other at all.
+  VertexId a = system.graph.FindVertex("A1s0");
+  VertexId b = system.graph.FindVertex("B1s0");
+  ASSERT_NE(a, tg::kInvalidVertex);
+  ASSERT_NE(b, tg::kInvalidVertex);
+  EXPECT_FALSE(tg_analysis::CanKnow(system.graph, a, b));
+  EXPECT_FALSE(tg_analysis::CanKnow(system.graph, b, a));
+}
+
+TEST(TreeClassificationTest, NodeCountAndNames) {
+  TreeOptions options;
+  options.depth = 2;
+  options.fanout = 2;
+  ClassifiedSystem system = TreeClassification(options);
+  // 1 + 2 + 4 = 7 level nodes.
+  EXPECT_EQ(system.levels.LevelCount(), 7u);
+  EXPECT_EQ(system.levels.LevelName(0), "n");
+  EXPECT_NE(system.graph.FindVertex("n01s0"), tg::kInvalidVertex);
+}
+
+TEST(TreeClassificationTest, DominanceIsAncestry) {
+  TreeOptions options;
+  options.depth = 2;
+  options.fanout = 2;
+  ClassifiedSystem system = TreeClassification(options);
+  auto level_named = [&](const std::string& name) {
+    for (LevelId l = 0; l < system.levels.LevelCount(); ++l) {
+      if (system.levels.LevelName(l) == name) {
+        return l;
+      }
+    }
+    return kNoLevel;
+  };
+  LevelId root = level_named("n");
+  LevelId n0 = level_named("n0");
+  LevelId n1 = level_named("n1");
+  LevelId n01 = level_named("n01");
+  LevelId n10 = level_named("n10");
+  ASSERT_NE(n01, kNoLevel);
+  EXPECT_TRUE(system.levels.Higher(root, n01));  // transitive ancestry
+  EXPECT_TRUE(system.levels.Higher(n0, n01));
+  EXPECT_FALSE(system.levels.Comparable(n0, n1));    // siblings
+  EXPECT_FALSE(system.levels.Comparable(n01, n10));  // cousins
+  EXPECT_FALSE(system.levels.Higher(n01, root));
+}
+
+TEST(TreeClassificationTest, SecureAndFlowsFollowReportingChain) {
+  TreeOptions options;
+  options.depth = 2;
+  options.fanout = 2;
+  ClassifiedSystem system = TreeClassification(options);
+  EXPECT_TRUE(tg_hier::CheckSecure(system.graph, system.levels, 1).secure);
+  VertexId root = system.graph.FindVertex("ns0");
+  VertexId leaf = system.graph.FindVertex("n01s0");
+  VertexId other_leaf = system.graph.FindVertex("n10s0");
+  ASSERT_NE(root, tg::kInvalidVertex);
+  // The root learns everything below it (spy chains down the tree)...
+  EXPECT_TRUE(tg_analysis::CanKnowF(system.graph, root, leaf));
+  // ...leaves learn nothing about their ancestors or cousins.
+  EXPECT_FALSE(tg_analysis::CanKnow(system.graph, leaf, root));
+  EXPECT_FALSE(tg_analysis::CanKnow(system.graph, leaf, other_leaf));
+}
+
+TEST(TreeClassificationTest, SingleNodeDegenerateTree) {
+  TreeOptions options;
+  options.depth = 0;
+  ClassifiedSystem system = TreeClassification(options);
+  EXPECT_EQ(system.levels.LevelCount(), 1u);
+  EXPECT_TRUE(tg_hier::CheckSecure(system.graph, system.levels, 1).secure);
+}
+
+TEST(MilitaryClassificationTest, ReadDownWithinCategory) {
+  MilitaryOptions options;
+  options.authority_levels = 3;
+  options.categories = 1;
+  ClassifiedSystem system = MilitaryClassification(options);
+  VertexId a2 = system.graph.FindVertex("A2s0");
+  VertexId a1 = system.graph.FindVertex("A1s0");
+  VertexId u = system.graph.FindVertex("Us0");
+  ASSERT_NE(a2, tg::kInvalidVertex);
+  EXPECT_TRUE(tg_analysis::CanKnowF(system.graph, a2, a1));
+  EXPECT_TRUE(tg_analysis::CanKnowF(system.graph, a2, u));  // via chain
+  EXPECT_FALSE(tg_analysis::CanKnowF(system.graph, u, a2));
+}
+
+}  // namespace
+}  // namespace tg_hier

@@ -1,0 +1,84 @@
+#include "src/hierarchy/composite_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hierarchy/restrictions.h"
+
+namespace tg_hier {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RuleApplication;
+using tg::VertexId;
+
+struct CompositeFixture {
+  ProtectionGraph g;
+  LevelAssignment levels;
+  VertexId hi, lo, doc;
+
+  CompositeFixture() {
+    hi = g.AddSubject("hi");
+    lo = g.AddSubject("lo");
+    doc = g.AddObject("doc");
+    EXPECT_TRUE(g.AddExplicit(hi, lo, tg::kTake).ok());
+    EXPECT_TRUE(g.AddExplicit(
+        lo, doc, tg::RightSet::Of({Right::kWrite, Right::kRead, Right::kExecute})).ok());
+    levels = LevelAssignment(g.VertexCount(), 2);
+    levels.Assign(hi, 1);
+    levels.Assign(lo, 0);
+    levels.Assign(doc, 0);
+    levels.DeclareHigher(1, 0);
+    EXPECT_TRUE(levels.Finalize());
+  }
+};
+
+TEST(CompositePolicyTest, VetoWhenAnyMemberVetoes) {
+  CompositeFixture f;
+  CompositePolicy policy({std::make_shared<BishopRestrictionPolicy>(f.levels),
+                          std::make_shared<ApplicationRestrictionPolicy>(
+                              f.levels, tg::RightSet(Right::kExecute))});
+  // Bishop alone allows the execute take; the application member blocks it.
+  RuleApplication take_e =
+      RuleApplication::Take(f.hi, f.lo, f.doc, tg::RightSet(Right::kExecute));
+  EXPECT_FALSE(policy.Vet(f.g, take_e).ok());
+  // The application member alone allows the write take; Bishop blocks it
+  // (write-down).
+  RuleApplication take_w = RuleApplication::Take(f.hi, f.lo, f.doc, tg::kWrite);
+  EXPECT_FALSE(policy.Vet(f.g, take_w).ok());
+  // Read-down passes both.
+  RuleApplication take_r = RuleApplication::Take(f.hi, f.lo, f.doc, tg::kRead);
+  EXPECT_TRUE(policy.Vet(f.g, take_r).ok());
+}
+
+TEST(CompositePolicyTest, EmptyCompositeAllowsAll) {
+  CompositeFixture f;
+  CompositePolicy policy({});
+  EXPECT_EQ(policy.Name(), "allow-all");
+  EXPECT_TRUE(policy.Vet(f.g, RuleApplication::Take(f.hi, f.lo, f.doc, tg::kWrite)).ok());
+}
+
+TEST(CompositePolicyTest, NameJoinsMembers) {
+  CompositeFixture f;
+  CompositePolicy policy({std::make_shared<BishopRestrictionPolicy>(f.levels),
+                          std::make_shared<DirectionRestrictionPolicy>(f.levels)});
+  EXPECT_EQ(policy.Name(), "bishop-restriction&direction-restriction");
+}
+
+TEST(CompositePolicyTest, NotifyFansOutToMembers) {
+  CompositeFixture f;
+  auto bishop = std::make_shared<BishopRestrictionPolicy>(f.levels);
+  auto direction = std::make_shared<DirectionRestrictionPolicy>(f.levels);
+  auto composite = std::make_shared<CompositePolicy>(
+      std::vector<std::shared_ptr<tg::RulePolicy>>{bishop, direction});
+  tg::RuleEngine engine(f.g, composite);
+  auto created = engine.Apply(
+      RuleApplication::Create(f.hi, tg::VertexKind::kObject, tg::kReadWrite));
+  ASSERT_TRUE(created.ok());
+  // Both members learned the created vertex's level.
+  EXPECT_EQ(bishop->assignment().LevelOf(created->created), f.levels.LevelOf(f.hi));
+  EXPECT_EQ(direction->assignment().LevelOf(created->created), f.levels.LevelOf(f.hi));
+}
+
+}  // namespace
+}  // namespace tg_hier

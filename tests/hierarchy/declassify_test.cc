@@ -1,0 +1,137 @@
+#include "src/hierarchy/declassify.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hierarchy/classification.h"
+#include "src/hierarchy/restrictions.h"
+
+namespace tg_hier {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+struct DeclassFixture {
+  ClassifiedSystem system;
+  VertexId doc;      // level-1 (middle) document
+  VertexId writer;   // level-1 subject with rw on it
+  VertexId high;     // level-2 subject reading down
+
+  DeclassFixture() {
+    LinearOptions options;
+    options.levels = 3;
+    options.subjects_per_level = 2;
+    system = LinearClassification(options);
+    doc = system.level_documents[1];
+    writer = system.level_subjects[1][0];
+    high = system.level_subjects[2][0];
+  }
+};
+
+TEST(DeclassifyTest, LoweringFlagsHigherWriters) {
+  DeclassFixture f;
+  // Lower the middle doc to level 0: its level-1 writers become
+  // higher-level writers of a low object -- write-downs.
+  ReclassificationReport report =
+      AnalyzeReclassification(f.system.graph, f.system.levels, f.doc, 0);
+  EXPECT_FALSE(report.safe);
+  EXPECT_FALSE(report.violating_edges.empty());
+  // Every violating edge touches the document.
+  for (const tg::Edge& e : report.violating_edges) {
+    EXPECT_TRUE(e.src == f.doc || e.dst == f.doc);
+  }
+  // The level-1 writers' w edges are revocable.
+  EXPECT_FALSE(report.revocable_writes.empty());
+}
+
+TEST(DeclassifyTest, LoweringAlsoFlagsIrrevocableKnowledge) {
+  DeclassFixture f;
+  ReclassificationReport report =
+      AnalyzeReclassification(f.system.graph, f.system.levels, f.doc, 0);
+  // Level-1 subjects can know the doc today; after lowering they'd sit
+  // strictly above it... they are not *below* it, so the knowledge hazard
+  // list concerns level-0 only.  Level-0 subjects cannot know the doc in a
+  // clean hierarchy, so the hazards are the edges, not the knowers.
+  EXPECT_TRUE(report.irrevocable_knowers.empty());
+}
+
+TEST(DeclassifyTest, RaisingFlagsPriorReaders) {
+  DeclassFixture f;
+  // Raise the middle doc to level 2: level-1 subjects (who can know it
+  // today) end up strictly below it -- the paper's private-copy hazard.
+  ReclassificationReport report =
+      AnalyzeReclassification(f.system.graph, f.system.levels, f.doc, 2);
+  EXPECT_FALSE(report.safe);
+  EXPECT_FALSE(report.irrevocable_knowers.empty());
+  bool writer_flagged = false;
+  for (VertexId v : report.irrevocable_knowers) {
+    EXPECT_TRUE(f.system.levels.Higher(2, f.system.levels.LevelOf(v)));
+    writer_flagged |= (v == f.writer);
+  }
+  EXPECT_TRUE(writer_flagged);
+  // And the level-1 writers' rw edges become read-up/write-... the r edge
+  // from a now-lower subject is a read-up: edge hazards too.
+  EXPECT_FALSE(report.violating_edges.empty());
+}
+
+TEST(DeclassifyTest, NoOpMoveIsSafe) {
+  DeclassFixture f;
+  ReclassificationReport report =
+      AnalyzeReclassification(f.system.graph, f.system.levels, f.doc, 1);
+  EXPECT_TRUE(report.safe);
+  EXPECT_TRUE(report.violating_edges.empty());
+  EXPECT_TRUE(report.irrevocable_knowers.empty());
+}
+
+TEST(DeclassifyTest, FreshObjectLowersSafely) {
+  // A document nobody writes can be lowered: create a high read-only
+  // archive and lower it.
+  DeclassFixture f;
+  ProtectionGraph& g = f.system.graph;
+  VertexId archive = g.AddObject("archive");
+  ASSERT_TRUE(g.AddExplicit(f.high, archive, tg::kRead).ok());
+  LevelAssignment levels = f.system.levels;
+  levels.Assign(archive, 2);
+  ReclassificationReport report = AnalyzeReclassification(g, levels, archive, 0);
+  // high reading the now-low archive is read-down: fine; nobody writes it.
+  EXPECT_TRUE(report.safe) << report.violating_edges.size() << " edges, "
+                           << report.irrevocable_knowers.size() << " knowers";
+}
+
+TEST(DeclassifyTest, RevocationProtocolClearsWriteDowns) {
+  DeclassFixture f;
+  ProtectionGraph g = f.system.graph;
+  ReclassificationReport after = RevokeAndReanalyze(g, f.system.levels, f.doc, 0);
+  // After removing the writers' w edges, no write-down remains...
+  for (const tg::Edge& e : after.violating_edges) {
+    EXPECT_FALSE(e.explicit_rights.Has(tg::Right::kWrite) && g.IsSubject(e.src))
+        << "revocable write survived revocation";
+  }
+  // ...and in this clean hierarchy the move becomes entirely safe.
+  EXPECT_TRUE(after.safe);
+  // The writers really lost their w (but kept r).
+  EXPECT_FALSE(g.HasExplicit(f.writer, f.doc, tg::Right::kWrite));
+  EXPECT_TRUE(g.HasExplicit(f.writer, f.doc, tg::Right::kRead));
+}
+
+TEST(DeclassifyTest, ImplicitContaminationIsNotRevocable) {
+  // If a higher subject's write access is only implicit (derived flow), the
+  // remove rule cannot revoke it; the protocol must report failure.
+  ProtectionGraph g;
+  VertexId hi = g.AddSubject("hi");
+  VertexId doc = g.AddObject("doc");
+  ASSERT_TRUE(g.AddImplicit(hi, doc, tg::kWrite).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(hi, 1);
+  levels.Assign(doc, 1);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  ReclassificationReport after = RevokeAndReanalyze(g, levels, doc, 0);
+  EXPECT_FALSE(after.safe);
+  EXPECT_TRUE(after.revocable_writes.empty());
+  ASSERT_EQ(after.violating_edges.size(), 1u);
+  EXPECT_TRUE(after.violating_edges[0].implicit_rights.Has(tg::Right::kWrite));
+}
+
+}  // namespace
+}  // namespace tg_hier

@@ -1,0 +1,104 @@
+#include "src/hierarchy/higher.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/generator.h"
+#include "src/util/prng.h"
+
+namespace tg_hier {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+TEST(HigherTest, ReadDownMakesHigher) {
+  ProtectionGraph g;
+  VertexId hi = g.AddSubject("hi");
+  VertexId lo = g.AddSubject("lo");
+  ASSERT_TRUE(g.AddExplicit(hi, lo, tg::kRead).ok());
+  EXPECT_TRUE(HigherF(g, hi, lo));
+  EXPECT_FALSE(HigherF(g, lo, hi));
+  EXPECT_TRUE(Higher(g, hi, lo));
+}
+
+TEST(HigherTest, MutualKnowledgeIsNotHigher) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, a, tg::kRead).ok());
+  EXPECT_FALSE(HigherF(g, a, b));
+  EXPECT_FALSE(HigherF(g, b, a));
+  EXPECT_TRUE(SameRwLevel(g, a, b));
+}
+
+TEST(HigherTest, Irreflexive) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  EXPECT_FALSE(HigherF(g, a, a));
+  EXPECT_FALSE(Higher(g, a, a));
+  EXPECT_FALSE(RwJoined(g, a, a));
+}
+
+TEST(HigherTest, RwJoinedMatchesDefinition) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddSubject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, tg::kRead).ok());
+  EXPECT_TRUE(RwJoined(g, x, y));
+  EXPECT_FALSE(RwJoined(g, y, x));
+}
+
+TEST(HigherTest, DeJureChannelSeparatesHigherFromHigherF) {
+  // x can take its way to reading y: higher de jure but not de facto.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId o = g.AddObject("o");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, o, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(o, y, tg::kRead).ok());
+  EXPECT_FALSE(HigherF(g, x, y));
+  EXPECT_TRUE(Higher(g, x, y));
+}
+
+// Proposition 4.4: higher is a strict partial order.  Verify transitivity
+// and irreflexivity on random graphs.
+TEST(HigherTest, PartialOrderPropertiesOnRandomGraphs) {
+  tg_util::Prng prng(424242);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 5;
+  options.objects = 3;
+  options.edge_factor = 1.3;
+  for (int trial = 0; trial < 10; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    const VertexId n = static_cast<VertexId>(g.VertexCount());
+    // Precompute the relation.
+    std::vector<std::vector<bool>> higher(n, std::vector<bool>(n, false));
+    for (VertexId x = 0; x < n; ++x) {
+      for (VertexId y = 0; y < n; ++y) {
+        if (x != y) {
+          higher[x][y] = HigherF(g, x, y);
+        }
+      }
+    }
+    for (VertexId x = 0; x < n; ++x) {
+      EXPECT_FALSE(higher[x][x]);
+      for (VertexId y = 0; y < n; ++y) {
+        // Antisymmetry.
+        if (higher[x][y]) {
+          EXPECT_FALSE(higher[y][x]) << g.NameOf(x) << "," << g.NameOf(y);
+        }
+        for (VertexId z = 0; z < n; ++z) {
+          if (higher[x][y] && higher[y][z]) {
+            EXPECT_TRUE(higher[x][z])
+                << "transitivity fails: " << g.NameOf(x) << ">" << g.NameOf(y) << ">"
+                << g.NameOf(z) << " trial " << trial;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tg_hier

@@ -1,0 +1,114 @@
+#include "src/hierarchy/levels_io.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hierarchy/classification.h"
+
+namespace tg_hier {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+ProtectionGraph SmallGraph() {
+  ProtectionGraph g;
+  g.AddSubject("alice");
+  g.AddSubject("bob");
+  g.AddObject("doc");
+  return g;
+}
+
+TEST(LevelsIoTest, ParsesBasicDocument) {
+  ProtectionGraph g = SmallGraph();
+  auto result = ParseLevels(R"(
+# a two-level system
+level public
+level secret
+higher secret public
+assign alice secret
+assign doc public
+)",
+                            g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const LevelAssignment& levels = *result;
+  EXPECT_EQ(levels.LevelCount(), 2u);
+  EXPECT_EQ(levels.LevelName(0), "public");
+  EXPECT_EQ(levels.LevelName(1), "secret");
+  EXPECT_TRUE(levels.Higher(1, 0));
+  EXPECT_EQ(levels.LevelOf(g.FindVertex("alice")), 1u);
+  EXPECT_EQ(levels.LevelOf(g.FindVertex("doc")), 0u);
+  EXPECT_FALSE(levels.IsAssigned(g.FindVertex("bob")));
+}
+
+TEST(LevelsIoTest, TransitiveClosureOnLoad) {
+  ProtectionGraph g = SmallGraph();
+  auto result =
+      ParseLevels("level a\nlevel b\nlevel c\nhigher c b\nhigher b a\n", g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Higher(2, 0));
+}
+
+TEST(LevelsIoTest, ErrorsCarryLineNumbers) {
+  ProtectionGraph g = SmallGraph();
+  auto result = ParseLevels("level a\nassign ghost a\n", g);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(LevelsIoTest, UnknownLevelRejected) {
+  ProtectionGraph g = SmallGraph();
+  EXPECT_FALSE(ParseLevels("assign alice nowhere\n", g).ok());
+  EXPECT_FALSE(ParseLevels("level a\nhigher a nowhere\n", g).ok());
+}
+
+TEST(LevelsIoTest, CycleRejected) {
+  ProtectionGraph g = SmallGraph();
+  auto result = ParseLevels("level a\nlevel b\nhigher a b\nhigher b a\n", g);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("cycle"), std::string::npos);
+}
+
+TEST(LevelsIoTest, SelfHigherRejected) {
+  ProtectionGraph g = SmallGraph();
+  EXPECT_FALSE(ParseLevels("level a\nhigher a a\n", g).ok());
+}
+
+TEST(LevelsIoTest, DuplicateLevelRejected) {
+  ProtectionGraph g = SmallGraph();
+  EXPECT_FALSE(ParseLevels("level a\nlevel a\n", g).ok());
+}
+
+TEST(LevelsIoTest, HigherMayPrecedeLevelDeclaration) {
+  // Statements are wired after all declarations, so order is free.
+  ProtectionGraph g = SmallGraph();
+  auto result = ParseLevels("higher b a\nlevel a\nlevel b\n", g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->Higher(1, 0));
+}
+
+TEST(LevelsIoTest, RoundTripThroughPrint) {
+  ClassifiedSystem system = MilitaryClassification(MilitaryOptions{});
+  std::string text = PrintLevels(system.levels, system.graph);
+  auto reparsed = ParseLevels(text, system.graph);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->LevelCount(), system.levels.LevelCount());
+  for (VertexId v = 0; v < system.graph.VertexCount(); ++v) {
+    EXPECT_EQ(reparsed->LevelOf(v), system.levels.LevelOf(v)) << system.graph.NameOf(v);
+  }
+  for (LevelId a = 0; a < system.levels.LevelCount(); ++a) {
+    for (LevelId b = 0; b < system.levels.LevelCount(); ++b) {
+      EXPECT_EQ(reparsed->Higher(a, b), system.levels.Higher(a, b));
+    }
+  }
+}
+
+TEST(LevelsIoTest, LoadMissingFileFails) {
+  ProtectionGraph g = SmallGraph();
+  auto result = LoadLevelsFile("/no/such/file.lvl", g);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), tg_util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tg_hier

@@ -1,0 +1,253 @@
+#include "src/hierarchy/levels.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/can_know.h"
+
+namespace tg_hier {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+TEST(LevelAssignmentTest, AssignAndQuery) {
+  LevelAssignment a(3, 2);
+  a.Assign(0, 1);
+  a.Assign(1, 0);
+  EXPECT_EQ(a.LevelOf(0), 1u);
+  EXPECT_EQ(a.LevelOf(1), 0u);
+  EXPECT_FALSE(a.IsAssigned(2));
+  EXPECT_EQ(a.LevelOf(99), kNoLevel);
+}
+
+TEST(LevelAssignmentTest, HigherIsTransitivelyClosed) {
+  LevelAssignment a(0, 3);
+  a.DeclareHigher(2, 1);
+  a.DeclareHigher(1, 0);
+  ASSERT_TRUE(a.Finalize());
+  EXPECT_TRUE(a.Higher(2, 1));
+  EXPECT_TRUE(a.Higher(2, 0));  // transitivity
+  EXPECT_FALSE(a.Higher(0, 2));
+  EXPECT_FALSE(a.Higher(1, 1));  // irreflexive
+  EXPECT_TRUE(a.Comparable(2, 0));
+  EXPECT_TRUE(a.Comparable(1, 1));
+}
+
+TEST(LevelAssignmentTest, CycleDetected) {
+  LevelAssignment a(0, 2);
+  a.DeclareHigher(0, 1);
+  a.DeclareHigher(1, 0);
+  EXPECT_FALSE(a.Finalize());
+}
+
+TEST(LevelAssignmentTest, IncomparableLevels) {
+  LevelAssignment a(0, 3);
+  a.DeclareHigher(1, 0);
+  a.DeclareHigher(2, 0);
+  ASSERT_TRUE(a.Finalize());
+  EXPECT_FALSE(a.Comparable(1, 2));
+}
+
+TEST(LevelAssignmentTest, HigherVertexUsesLevels) {
+  LevelAssignment a(3, 2);
+  a.Assign(0, 1);
+  a.Assign(1, 0);
+  a.DeclareHigher(1, 0);
+  ASSERT_TRUE(a.Finalize());
+  EXPECT_TRUE(a.HigherVertex(0, 1));
+  EXPECT_FALSE(a.HigherVertex(1, 0));
+  EXPECT_FALSE(a.HigherVertex(0, 2));  // unassigned compares with nothing
+}
+
+TEST(LevelAssignmentTest, MembersGroupsByLevel) {
+  LevelAssignment a(4, 2);
+  a.Assign(0, 0);
+  a.Assign(2, 0);
+  a.Assign(3, 1);
+  auto members = a.Members();
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(members[1], (std::vector<VertexId>{3}));
+}
+
+TEST(LevelAssignmentTest, NamesDefaultAndCustom) {
+  LevelAssignment a(0, 2);
+  EXPECT_EQ(a.LevelName(0), "L0");
+  a.SetLevelName(1, "top secret");
+  EXPECT_EQ(a.LevelName(1), "top secret");
+  EXPECT_EQ(a.LevelName(77), "<none>");
+}
+
+TEST(KnowStepDigraphTest, EdgesFollowInformationFlow) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject("s");
+  VertexId o = g.AddObject("o");
+  ASSERT_TRUE(g.AddExplicit(s, o, tg::kReadWrite).ok());
+  auto adj = KnowStepDigraph(g);
+  // s reads o: s -> o.  s writes o: o -> s.
+  EXPECT_EQ(adj[s], std::vector<VertexId>{o});
+  EXPECT_EQ(adj[o], std::vector<VertexId>{s});
+}
+
+TEST(KnowStepDigraphTest, ObjectSourcesContributeNothing) {
+  ProtectionGraph g;
+  VertexId o = g.AddObject("o");
+  VertexId t = g.AddObject("t");
+  ASSERT_TRUE(g.AddExplicit(o, t, tg::kReadWrite).ok());
+  auto adj = KnowStepDigraph(g);
+  EXPECT_TRUE(adj[o].empty());
+  EXPECT_TRUE(adj[t].empty());
+}
+
+TEST(SccTest, SimpleCycleOneComponent) {
+  std::vector<std::vector<VertexId>> adj = {{1}, {2}, {0}, {}};
+  auto comp = StronglyConnectedComponents(adj);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(SccTest, DagAllSingletons) {
+  std::vector<std::vector<VertexId>> adj = {{1, 2}, {2}, {}};
+  auto comp = StronglyConnectedComponents(adj);
+  EXPECT_NE(comp[0], comp[1]);
+  EXPECT_NE(comp[1], comp[2]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(SccTest, TwoCyclesLinked) {
+  std::vector<std::vector<VertexId>> adj = {{1}, {0, 2}, {3}, {2}};
+  auto comp = StronglyConnectedComponents(adj);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(RwLevelsTest, MutualReadersShareLevel) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId c = g.AddSubject("c");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, a, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(a, c, tg::kRead).ok());  // one-way: c below
+  LevelAssignment levels = ComputeRwLevels(g);
+  EXPECT_EQ(levels.LevelOf(a), levels.LevelOf(b));
+  EXPECT_NE(levels.LevelOf(a), levels.LevelOf(c));
+  EXPECT_TRUE(levels.HigherVertex(a, c));
+  EXPECT_FALSE(levels.HigherVertex(c, a));
+}
+
+TEST(RwLevelsTest, WriterSharedObjectMerges) {
+  // a -rw-> o <-rw- b: both know each other through o.
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId o = g.AddObject("o");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(a, o, tg::kReadWrite).ok());
+  ASSERT_TRUE(g.AddExplicit(b, o, tg::kReadWrite).ok());
+  LevelAssignment levels = ComputeRwLevels(g);
+  EXPECT_EQ(levels.LevelOf(a), levels.LevelOf(b));
+  EXPECT_EQ(levels.LevelOf(a), levels.LevelOf(o));
+}
+
+TEST(RwLevelsTest, LevelsAgreeWithCanKnowF) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId c = g.AddSubject("c");
+  VertexId o = g.AddObject("o");
+  ASSERT_TRUE(g.AddExplicit(a, o, tg::kReadWrite).ok());
+  ASSERT_TRUE(g.AddExplicit(b, o, tg::kReadWrite).ok());
+  ASSERT_TRUE(g.AddExplicit(c, a, tg::kRead).ok());
+  LevelAssignment levels = ComputeRwLevels(g);
+  for (VertexId x = 0; x < g.VertexCount(); ++x) {
+    for (VertexId y = 0; y < g.VertexCount(); ++y) {
+      bool same_level = levels.LevelOf(x) == levels.LevelOf(y);
+      bool mutual = tg_analysis::CanKnowF(g, x, y) && tg_analysis::CanKnowF(g, y, x);
+      EXPECT_EQ(same_level, mutual) << g.NameOf(x) << " vs " << g.NameOf(y);
+    }
+  }
+}
+
+TEST(RwtgLevelsTest, IslandIsOneLevel) {
+  // Lemma 5.1: every island is contained in exactly one rwtg-level.
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId c = g.AddSubject("c");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, tg::kGrant).ok());
+  LevelAssignment levels = ComputeRwtgLevels(g);
+  EXPECT_EQ(levels.LevelOf(a), levels.LevelOf(b));
+  EXPECT_EQ(levels.LevelOf(b), levels.LevelOf(c));
+}
+
+TEST(RwtgLevelsTest, ObjectsUnassigned) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId o = g.AddObject("o");
+  ASSERT_TRUE(g.AddExplicit(a, o, tg::kRead).ok());
+  LevelAssignment levels = ComputeRwtgLevels(g);
+  EXPECT_TRUE(levels.IsAssigned(a));
+  EXPECT_FALSE(levels.IsAssigned(o));
+}
+
+TEST(RwtgLevelsTest, CrossLevelReadMakesHigher) {
+  ProtectionGraph g;
+  VertexId hi = g.AddSubject("hi");
+  VertexId lo = g.AddSubject("lo");
+  ASSERT_TRUE(g.AddExplicit(hi, lo, tg::kRead).ok());
+  LevelAssignment levels = ComputeRwtgLevels(g);
+  EXPECT_NE(levels.LevelOf(hi), levels.LevelOf(lo));
+  EXPECT_TRUE(levels.HigherVertex(hi, lo));
+}
+
+TEST(ObjectLevelTest, LowestAccessorWins) {
+  // Theorem 4.5 setup: document accessed rw by low, r by high.
+  ProtectionGraph g;
+  VertexId lo = g.AddSubject("lo");
+  VertexId hi = g.AddSubject("hi");
+  VertexId doc = g.AddObject("doc");
+  ASSERT_TRUE(g.AddExplicit(lo, doc, tg::kReadWrite).ok());
+  ASSERT_TRUE(g.AddExplicit(hi, doc, tg::kRead).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(lo, 0);
+  levels.Assign(hi, 1);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  AssignObjectLevels(g, levels);
+  EXPECT_EQ(levels.LevelOf(doc), 0u);
+}
+
+TEST(ObjectLevelTest, IncomparableAccessorsLeaveUnassigned) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId doc = g.AddObject("doc");
+  ASSERT_TRUE(g.AddExplicit(a, doc, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, doc, tg::kRead).ok());
+  LevelAssignment levels(g.VertexCount(), 3);
+  levels.Assign(a, 1);
+  levels.Assign(b, 2);
+  levels.DeclareHigher(1, 0);
+  levels.DeclareHigher(2, 0);  // 1 and 2 incomparable
+  ASSERT_TRUE(levels.Finalize());
+  AssignObjectLevels(g, levels);
+  EXPECT_FALSE(levels.IsAssigned(doc));
+}
+
+TEST(ObjectLevelTest, TakeEdgesDoNotAssign) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId doc = g.AddObject("doc");
+  ASSERT_TRUE(g.AddExplicit(a, doc, tg::kTake).ok());
+  LevelAssignment levels(g.VertexCount(), 1);
+  levels.Assign(a, 0);
+  ASSERT_TRUE(levels.Finalize());
+  AssignObjectLevels(g, levels);
+  EXPECT_FALSE(levels.IsAssigned(doc));
+}
+
+}  // namespace
+}  // namespace tg_hier

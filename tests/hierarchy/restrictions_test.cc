@@ -1,0 +1,410 @@
+#include "src/hierarchy/restrictions.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/oracle.h"
+#include "src/hierarchy/classification.h"
+#include "src/hierarchy/secure.h"
+#include "src/sim/generator.h"
+#include "src/tg/rule_engine.h"
+#include "src/util/prng.h"
+
+namespace tg_hier {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RuleApplication;
+using tg::VertexId;
+
+// Two-level fixture modelled on Figure 5.1: high-level hi holds t over
+// low-level mid, which holds {w, e} over the low document and r over the
+// low subject.  The initial graph is audit-clean; violations only arise
+// from rule applications that pull rights across the boundary.
+struct TwoLevel {
+  ProtectionGraph g;
+  LevelAssignment levels;
+  VertexId hi, mid, lodoc, losub;
+
+  TwoLevel() : levels() {
+    hi = g.AddSubject("hi");
+    mid = g.AddSubject("mid");
+    lodoc = g.AddObject("lodoc");
+    losub = g.AddSubject("losub");
+    EXPECT_TRUE(g.AddExplicit(hi, mid, tg::kTake).ok());
+    EXPECT_TRUE(
+        g.AddExplicit(mid, lodoc, tg::RightSet::Of({Right::kWrite, Right::kExecute})).ok());
+    EXPECT_TRUE(g.AddExplicit(mid, losub, tg::kRead).ok());
+    levels = LevelAssignment(g.VertexCount(), 2);
+    levels.Assign(hi, 1);
+    levels.Assign(mid, 0);
+    levels.Assign(lodoc, 0);
+    levels.Assign(losub, 0);
+    levels.DeclareHigher(1, 0);
+    EXPECT_TRUE(levels.Finalize());
+  }
+};
+
+TEST(BishopRestrictionTest, BlocksWriteDown) {
+  TwoLevel f;
+  BishopRestrictionPolicy policy(f.levels);
+  // hi takes (w to lodoc) from mid: adds hi -w-> lodoc, a write-down.
+  RuleApplication rule = RuleApplication::Take(f.hi, f.mid, f.lodoc, tg::kWrite);
+  ASSERT_TRUE(CheckRule(f.g, rule).ok());
+  EXPECT_FALSE(policy.Vet(f.g, rule).ok());
+}
+
+TEST(BishopRestrictionTest, AllowsInertRightsAcrossLevels) {
+  TwoLevel f;
+  BishopRestrictionPolicy policy(f.levels);
+  // Figure 5.1's point: the execute right still crosses.
+  RuleApplication rule =
+      RuleApplication::Take(f.hi, f.mid, f.lodoc, tg::RightSet(Right::kExecute));
+  ASSERT_TRUE(CheckRule(f.g, rule).ok());
+  EXPECT_TRUE(policy.Vet(f.g, rule).ok());
+}
+
+TEST(BishopRestrictionTest, AllowsReadDown) {
+  TwoLevel f;
+  BishopRestrictionPolicy policy(f.levels);
+  // Reading down is legal (the incompleteness of Lemma 5.4's restriction).
+  RuleApplication rule = RuleApplication::Take(f.hi, f.mid, f.losub, tg::kRead);
+  ASSERT_TRUE(CheckRule(f.g, rule).ok());
+  EXPECT_TRUE(policy.Vet(f.g, rule).ok());
+}
+
+TEST(BishopRestrictionTest, BlocksReadUp) {
+  // lo -t-> hi2, hi2 -r-> hidoc (both high): lo taking r would read up.
+  ProtectionGraph g;
+  VertexId lo = g.AddSubject("lo");
+  VertexId hi2 = g.AddSubject("hi2");
+  VertexId hidoc = g.AddObject("hidoc");
+  ASSERT_TRUE(g.AddExplicit(lo, hi2, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(hi2, hidoc, tg::kRead).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(lo, 0);
+  levels.Assign(hi2, 1);
+  levels.Assign(hidoc, 1);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  BishopRestrictionPolicy policy(levels);
+  RuleApplication rule = RuleApplication::Take(lo, hi2, hidoc, tg::kRead);
+  ASSERT_TRUE(CheckRule(g, rule).ok());
+  auto status = policy.Vet(g, rule);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("restriction a"), std::string::npos);
+}
+
+TEST(BishopRestrictionTest, GrantEffectChecked) {
+  // hi grants (w to lodoc) to hi2 -- fine (both high); granting to losub's
+  // level... grant's added edge originates at the recipient.
+  ProtectionGraph g;
+  VertexId hi = g.AddSubject("hi");
+  VertexId losub = g.AddSubject("losub");
+  VertexId lodoc = g.AddObject("lodoc");
+  ASSERT_TRUE(g.AddExplicit(hi, losub, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(hi, lodoc, tg::kReadWrite).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(hi, 1);
+  levels.Assign(losub, 0);
+  levels.Assign(lodoc, 0);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  BishopRestrictionPolicy policy(levels);
+  // losub -w-> lodoc: same level, fine.
+  RuleApplication grant_w = RuleApplication::Grant(hi, losub, lodoc, tg::kWrite);
+  EXPECT_TRUE(policy.Vet(g, grant_w).ok());
+}
+
+TEST(BishopRestrictionTest, RemoveAndDeFactoAlwaysPass) {
+  TwoLevel f;
+  BishopRestrictionPolicy policy(f.levels);
+  EXPECT_TRUE(policy.Vet(f.g, RuleApplication::Remove(f.mid, f.lodoc, tg::kWrite)).ok());
+  EXPECT_TRUE(policy.Vet(f.g, RuleApplication::Post(f.hi, f.lodoc, f.mid)).ok());
+}
+
+TEST(BishopRestrictionTest, CreatedVertexInheritsCreatorLevel) {
+  TwoLevel f;
+  auto policy = std::make_shared<BishopRestrictionPolicy>(f.levels);
+  tg::RuleEngine engine(f.g, policy);
+  auto created = engine.Apply(RuleApplication::Create(f.hi, tg::VertexKind::kObject,
+                                                      tg::kReadWrite));
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(policy->assignment().LevelOf(created->created), f.levels.LevelOf(f.hi));
+}
+
+TEST(ViolatesKernelTest, ExactShapes) {
+  LevelAssignment levels(2, 2);
+  levels.Assign(0, 0);  // low
+  levels.Assign(1, 1);  // high
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  // (a) read up.
+  EXPECT_TRUE(ViolatesBishopRestriction(levels, 0, 1, tg::kRead));
+  // (b) write down.
+  EXPECT_TRUE(ViolatesBishopRestriction(levels, 1, 0, tg::kWrite));
+  // Allowed shapes.
+  EXPECT_FALSE(ViolatesBishopRestriction(levels, 1, 0, tg::kRead));       // read down
+  EXPECT_FALSE(ViolatesBishopRestriction(levels, 0, 1, tg::kWrite));      // write up
+  EXPECT_FALSE(ViolatesBishopRestriction(levels, 0, 1, tg::kTakeGrant));  // authority
+  EXPECT_FALSE(ViolatesBishopRestriction(
+      levels, 1, 0, tg::RightSet(Right::kExecute)));  // inert
+}
+
+TEST(AuditTest, CleanFixturePassesAudit) {
+  TwoLevel f;
+  EXPECT_TRUE(AuditBishopRestriction(f.g, f.levels).empty());
+}
+
+TEST(AuditTest, FlagsWriteDownAndReadUp) {
+  ProtectionGraph g;
+  VertexId lo = g.AddSubject("lo");
+  VertexId hi = g.AddSubject("hi");
+  ASSERT_TRUE(g.AddExplicit(lo, hi, tg::kRead).ok());   // read up
+  ASSERT_TRUE(g.AddExplicit(hi, lo, tg::kWrite).ok());  // write down
+  ASSERT_TRUE(g.AddExplicit(hi, lo, tg::kRead).ok());   // read down: fine
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(lo, 0);
+  levels.Assign(hi, 1);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  auto offending = AuditBishopRestriction(g, levels);
+  EXPECT_EQ(offending.size(), 2u);
+}
+
+TEST(DirectionRestrictionTest, BlocksUpwardEnablingEdge) {
+  TwoLevel f;
+  // losub -t-> hi would be an upward enabling edge for losub's takes.
+  ASSERT_TRUE(f.g.AddExplicit(f.losub, f.hi, tg::kTake).ok());
+  ASSERT_TRUE(f.g.AddExplicit(f.hi, f.lodoc, tg::RightSet(Right::kExecute)).ok());
+  DirectionRestrictionPolicy policy(f.levels);
+  RuleApplication up =
+      RuleApplication::Take(f.losub, f.hi, f.lodoc, tg::RightSet(Right::kExecute));
+  ASSERT_TRUE(CheckRule(f.g, up).ok());
+  EXPECT_FALSE(policy.Vet(f.g, up).ok());
+  // Downward / same-level enabling edges pass.
+  RuleApplication down = RuleApplication::Take(f.hi, f.mid, f.lodoc, tg::kWrite);
+  EXPECT_TRUE(policy.Vet(f.g, down).ok());
+}
+
+TEST(DirectionRestrictionTest, IncompleteForDownwardInertTransfer) {
+  // Lemma 5.3 incompleteness: hi cannot grant an inert right to losub when
+  // the only enabling g edge points upward.
+  ProtectionGraph g;
+  VertexId hi = g.AddSubject("hi");
+  VertexId losub = g.AddSubject("losub");
+  VertexId tool = g.AddObject("tool");
+  ASSERT_TRUE(g.AddExplicit(losub, hi, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(hi, tool, tg::RightSet(Right::kExecute)).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(hi, 1);
+  levels.Assign(losub, 0);
+  levels.Assign(tool, 1);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  DirectionRestrictionPolicy direction(levels);
+  BishopRestrictionPolicy bishop(levels);
+  RuleApplication rule =
+      RuleApplication::Take(losub, hi, tool, tg::RightSet(Right::kExecute));
+  ASSERT_TRUE(CheckRule(g, rule).ok());
+  EXPECT_FALSE(direction.Vet(g, rule).ok());  // direction restriction blocks
+  EXPECT_TRUE(bishop.Vet(g, rule).ok());      // Bishop restriction allows
+}
+
+TEST(ApplicationRestrictionTest, BlocksForbiddenRights) {
+  TwoLevel f;
+  ApplicationRestrictionPolicy policy(f.levels);  // default {r, w}
+  RuleApplication take_w = RuleApplication::Take(f.hi, f.mid, f.lodoc, tg::kWrite);
+  EXPECT_FALSE(policy.Vet(f.g, take_w).ok());
+  RuleApplication take_e =
+      RuleApplication::Take(f.hi, f.mid, f.lodoc, tg::RightSet(Right::kExecute));
+  EXPECT_TRUE(policy.Vet(f.g, take_e).ok());
+}
+
+TEST(ApplicationRestrictionTest, IncompleteForLegalReadDown) {
+  // Lemma 5.4 incompleteness: hi taking read rights to a LOWER vertex is
+  // legal, yet the application restriction blocks it.
+  TwoLevel f;
+  ApplicationRestrictionPolicy application(f.levels);
+  BishopRestrictionPolicy bishop(f.levels);
+  RuleApplication read_down = RuleApplication::Take(f.hi, f.mid, f.losub, tg::kRead);
+  ASSERT_TRUE(CheckRule(f.g, read_down).ok());
+  EXPECT_FALSE(application.Vet(f.g, read_down).ok());
+  EXPECT_TRUE(bishop.Vet(f.g, read_down).ok());
+}
+
+TEST(ApplicationRestrictionTest, CustomForbiddenSet) {
+  TwoLevel f;
+  ApplicationRestrictionPolicy policy(f.levels, tg::RightSet(Right::kExecute));
+  RuleApplication take_e =
+      RuleApplication::Take(f.hi, f.mid, f.lodoc, tg::RightSet(Right::kExecute));
+  EXPECT_FALSE(policy.Vet(f.g, take_e).ok());
+  RuleApplication take_w = RuleApplication::Take(f.hi, f.mid, f.lodoc, tg::kWrite);
+  EXPECT_TRUE(policy.Vet(f.g, take_w).ok());
+}
+
+// ---- Strict (dominance) variant ----
+
+struct LatticeFixture {
+  ProtectionGraph g;
+  LevelAssignment levels;
+  VertexId a_high, a_low, b_side;
+
+  LatticeFixture() {
+    a_high = g.AddSubject("a_high");
+    a_low = g.AddSubject("a_low");
+    b_side = g.AddSubject("b_side");
+    levels = LevelAssignment(g.VertexCount(), 3);
+    levels.Assign(a_high, 0);
+    levels.Assign(a_low, 1);
+    levels.Assign(b_side, 2);  // incomparable with both A levels
+    levels.DeclareHigher(0, 1);
+    EXPECT_TRUE(levels.Finalize());
+  }
+};
+
+TEST(StrictRestrictionTest, ModesAgreeOnComparableLevels) {
+  LatticeFixture f;
+  for (auto strictness :
+       {RestrictionStrictness::kPaper, RestrictionStrictness::kStrict}) {
+    // read-up forbidden, read-down allowed, in both modes.
+    EXPECT_TRUE(ViolatesBishopRestriction(f.levels, f.a_low, f.a_high, tg::kRead, strictness));
+    EXPECT_FALSE(
+        ViolatesBishopRestriction(f.levels, f.a_high, f.a_low, tg::kRead, strictness));
+    // write-down forbidden, write-up allowed.
+    EXPECT_TRUE(
+        ViolatesBishopRestriction(f.levels, f.a_high, f.a_low, tg::kWrite, strictness));
+    EXPECT_FALSE(
+        ViolatesBishopRestriction(f.levels, f.a_low, f.a_high, tg::kWrite, strictness));
+    // same-level r/w always fine.
+    EXPECT_FALSE(
+        ViolatesBishopRestriction(f.levels, f.a_low, f.a_low, tg::kReadWrite, strictness));
+  }
+}
+
+TEST(StrictRestrictionTest, OnlyStrictConstrainsIncomparable) {
+  LatticeFixture f;
+  // b_side reading a_high: incomparable, so the literal restriction allows
+  // it while the strict one does not.
+  EXPECT_FALSE(ViolatesBishopRestriction(f.levels, f.b_side, f.a_high, tg::kRead,
+                                         RestrictionStrictness::kPaper));
+  EXPECT_TRUE(ViolatesBishopRestriction(f.levels, f.b_side, f.a_high, tg::kRead,
+                                        RestrictionStrictness::kStrict));
+  // Same for writes across incomparable levels.
+  EXPECT_FALSE(ViolatesBishopRestriction(f.levels, f.a_high, f.b_side, tg::kWrite,
+                                         RestrictionStrictness::kPaper));
+  EXPECT_TRUE(ViolatesBishopRestriction(f.levels, f.a_high, f.b_side, tg::kWrite,
+                                        RestrictionStrictness::kStrict));
+}
+
+TEST(StrictRestrictionTest, UnassignedVerticesUnconstrainedInBothModes) {
+  LatticeFixture f;
+  VertexId ghost = f.g.AddSubject("ghost");  // never assigned a level
+  for (auto strictness :
+       {RestrictionStrictness::kPaper, RestrictionStrictness::kStrict}) {
+    EXPECT_FALSE(
+        ViolatesBishopRestriction(f.levels, ghost, f.a_high, tg::kRead, strictness));
+    EXPECT_FALSE(
+        ViolatesBishopRestriction(f.levels, f.a_high, ghost, tg::kWrite, strictness));
+  }
+}
+
+TEST(StrictRestrictionTest, IncomparableRelayLeakClosedByStrict) {
+  // a_low reads b_side reads a_high: each edge passes the literal check but
+  // the composition leaks a_high's information down.
+  LatticeFixture f;
+  ASSERT_TRUE(f.g.AddExplicit(f.a_low, f.b_side, tg::kRead).ok());
+  ASSERT_TRUE(f.g.AddExplicit(f.b_side, f.a_high, tg::kRead).ok());
+  EXPECT_TRUE(AuditBishopRestriction(f.g, f.levels, RestrictionStrictness::kPaper).empty());
+  EXPECT_EQ(
+      AuditBishopRestriction(f.g, f.levels, RestrictionStrictness::kStrict).size(), 2u);
+  // And the leak is real: after saturation a_low knows a_high.
+  tg::ProtectionGraph saturated = tg_analysis::SaturateDeFacto(f.g);
+  EXPECT_TRUE(tg_analysis::KnowEdgePresent(saturated, f.a_low, f.a_high));
+  // The strict audit of the saturated surface flags the implicit read-up...
+  EXPECT_FALSE(
+      AuditBishopRestriction(saturated, f.levels, RestrictionStrictness::kStrict).empty());
+}
+
+TEST(StrictRestrictionTest, PolicyNameReflectsMode) {
+  LatticeFixture f;
+  BishopRestrictionPolicy paper(f.levels);
+  BishopRestrictionPolicy strict(f.levels, RestrictionStrictness::kStrict);
+  EXPECT_EQ(paper.Name(), "bishop-restriction");
+  EXPECT_EQ(strict.Name(), "bishop-restriction-strict");
+}
+
+TEST(StrictRestrictionTest, StrictVetsIncomparableGrant) {
+  LatticeFixture f;
+  // b_side holds r over a_high's document... model directly with subjects:
+  // helper at a_high grants its read over a_high to b_side.
+  VertexId helper = f.g.AddSubject("helper");
+  f.levels.Assign(helper, 0);
+  ASSERT_TRUE(f.g.AddExplicit(helper, f.b_side, tg::kGrant).ok());
+  ASSERT_TRUE(f.g.AddExplicit(helper, f.a_high, tg::kRead).ok());
+  tg::RuleApplication grant =
+      tg::RuleApplication::Grant(helper, f.b_side, f.a_high, tg::kRead);
+  BishopRestrictionPolicy paper(f.levels);
+  BishopRestrictionPolicy strict(f.levels, RestrictionStrictness::kStrict);
+  EXPECT_TRUE(paper.Vet(f.g, grant).ok());
+  EXPECT_FALSE(strict.Vet(f.g, grant).ok());
+}
+
+// Theorem 5.5 soundness, operationally: random rule derivations through the
+// Bishop policy never create a forbidden explicit or implicit edge.
+TEST(SoundnessTest, RandomDerivationsStayClean) {
+  tg_util::Prng prng(5555);
+  for (int trial = 0; trial < 6; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 3;
+    options.subjects_per_level = 2;
+    options.objects_per_level = 1;
+    options.planted_channels = 2;  // bridges exist; the policy must tame them
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    auto policy = std::make_shared<BishopRestrictionPolicy>(h.levels);
+    tg::RuleEngine engine(h.graph, policy);
+    for (int step = 0; step < 60; ++step) {
+      std::vector<RuleApplication> moves = tg::EnumerateDeJure(engine.graph());
+      if (moves.empty()) {
+        break;
+      }
+      size_t pick = static_cast<size_t>(prng.NextBelow(moves.size()));
+      (void)engine.Apply(moves[pick]);
+    }
+    // Saturate information flow and audit the full surface.
+    ProtectionGraph final_graph = tg_analysis::SaturateDeFacto(engine.graph());
+    auto offending = AuditBishopRestriction(final_graph, policy->assignment());
+    EXPECT_TRUE(offending.empty())
+        << "trial " << trial << ": " << offending.size() << " forbidden edges, first: "
+        << final_graph.NameOf(offending[0].src) << " -> "
+        << final_graph.NameOf(offending[0].dst);
+  }
+}
+
+// Contrast: without the policy the same graphs are breached.
+TEST(SoundnessTest, UnrestrictedDerivationsDoBreach) {
+  tg_util::Prng prng(7777);
+  bool any_breach = false;
+  for (int trial = 0; trial < 6 && !any_breach; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 2;
+    options.subjects_per_level = 2;
+    options.planted_channels = 3;
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    tg::RuleEngine engine(h.graph, nullptr);
+    for (int step = 0; step < 80; ++step) {
+      std::vector<RuleApplication> moves = tg::EnumerateDeJure(engine.graph());
+      if (moves.empty()) {
+        break;
+      }
+      size_t pick = static_cast<size_t>(prng.NextBelow(moves.size()));
+      (void)engine.Apply(moves[pick]);
+    }
+    ProtectionGraph final_graph = tg_analysis::SaturateDeFacto(engine.graph());
+    any_breach = !AuditBishopRestriction(final_graph, h.levels).empty();
+  }
+  EXPECT_TRUE(any_breach);
+}
+
+}  // namespace
+}  // namespace tg_hier

@@ -1,0 +1,150 @@
+#include "src/hierarchy/secure.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/can_know.h"
+#include "src/hierarchy/classification.h"
+#include "src/sim/generator.h"
+#include "src/util/prng.h"
+
+namespace tg_hier {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+TEST(SecureTest, LinearClassificationIsSecure) {
+  LinearOptions options;
+  options.levels = 4;
+  options.subjects_per_level = 2;
+  ClassifiedSystem system = LinearClassification(options);
+  SecurityReport report = CheckSecure(system.graph, system.levels);
+  EXPECT_TRUE(report.secure) << (report.violations.empty() ? "" : report.violations[0].detail);
+  EXPECT_TRUE(SecureByTheorem52(system.graph, system.levels));
+}
+
+TEST(SecureTest, MilitaryClassificationIsSecure) {
+  MilitaryOptions options;
+  ClassifiedSystem system = MilitaryClassification(options);
+  SecurityReport report = CheckSecure(system.graph, system.levels);
+  EXPECT_TRUE(report.secure) << (report.violations.empty() ? "" : report.violations[0].detail);
+  EXPECT_TRUE(SecureByTheorem52(system.graph, system.levels));
+}
+
+TEST(SecureTest, ReadUpEdgeViolates) {
+  LinearOptions options;
+  options.levels = 2;
+  options.subjects_per_level = 1;
+  ClassifiedSystem system = LinearClassification(options);
+  VertexId lo = system.level_subjects[0][0];
+  VertexId hi = system.level_subjects[1][0];
+  ASSERT_TRUE(system.graph.AddExplicit(lo, hi, tg::kRead).ok());
+  SecurityReport report = CheckSecure(system.graph, system.levels);
+  EXPECT_FALSE(report.secure);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations[0].lower, lo);
+  EXPECT_FALSE(SecureByTheorem52(system.graph, system.levels));
+}
+
+TEST(SecureTest, WriteDownEdgeViolates) {
+  LinearOptions options;
+  options.levels = 2;
+  options.subjects_per_level = 1;
+  ClassifiedSystem system = LinearClassification(options);
+  VertexId lo = system.level_subjects[0][0];
+  VertexId hi = system.level_subjects[1][0];
+  ASSERT_TRUE(system.graph.AddExplicit(hi, lo, tg::kWrite).ok());
+  SecurityReport report = CheckSecure(system.graph, system.levels);
+  EXPECT_FALSE(report.secure);
+}
+
+TEST(SecureTest, CrossLevelTakeEdgeIsABreachableChannel) {
+  // Theorem 5.2: a bridge between levels (t edge from low to high) breaks
+  // security even with no direct r/w crossing.
+  LinearOptions options;
+  options.levels = 2;
+  options.subjects_per_level = 2;
+  ClassifiedSystem system = LinearClassification(options);
+  VertexId lo = system.level_subjects[0][0];
+  VertexId hi = system.level_subjects[1][0];
+  ASSERT_TRUE(system.graph.AddExplicit(lo, hi, tg::kTake).ok());
+  SecurityReport report = CheckSecure(system.graph, system.levels);
+  EXPECT_FALSE(report.secure);
+  auto channels = FindCrossLevelChannels(system.graph, system.levels);
+  EXPECT_FALSE(channels.empty());
+}
+
+TEST(SecureTest, ChannelReportNamesPath) {
+  LinearOptions options;
+  options.levels = 2;
+  options.subjects_per_level = 1;
+  ClassifiedSystem system = LinearClassification(options);
+  VertexId lo = system.level_subjects[0][0];
+  VertexId hi = system.level_subjects[1][0];
+  ASSERT_TRUE(system.graph.AddExplicit(lo, hi, tg::kTake).ok());
+  auto channels = FindCrossLevelChannels(system.graph, system.levels);
+  ASSERT_FALSE(channels.empty());
+  EXPECT_EQ(channels[0].from, lo);
+  EXPECT_EQ(channels[0].to, hi);
+  EXPECT_NE(channels[0].path.find("t>"), std::string::npos);
+}
+
+TEST(SecureTest, PlantedChannelsDetected) {
+  tg_util::Prng prng(909);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = 3;
+  options.subjects_per_level = 3;
+  options.planted_channels = 2;
+  tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+  // A planted t/g edge between levels is exactly a cross-level bridge.
+  EXPECT_FALSE(SecureByTheorem52(h.graph, h.levels));
+}
+
+TEST(SecureTest, CleanHierarchiesSecureAcrossSeeds) {
+  tg_util::Prng prng(1234);
+  for (int trial = 0; trial < 8; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 2 + trial % 3;
+    options.subjects_per_level = 2 + trial % 2;
+    options.planted_channels = 0;
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    SecurityReport report = CheckSecure(h.graph, h.levels);
+    EXPECT_TRUE(report.secure)
+        << "trial " << trial << ": "
+        << (report.violations.empty() ? "" : report.violations[0].detail);
+  }
+}
+
+// Definition agreement: CheckSecure flags exactly the pairs where a lower
+// vertex can_know a higher one.
+TEST(SecureTest, ReportMatchesCanKnowPairs) {
+  LinearOptions options;
+  options.levels = 3;
+  options.subjects_per_level = 1;
+  ClassifiedSystem system = LinearClassification(options);
+  VertexId lo = system.level_subjects[0][0];
+  VertexId hi = system.level_subjects[2][0];
+  ASSERT_TRUE(system.graph.AddExplicit(lo, hi, tg::kTake).ok());
+  SecurityReport report = CheckSecure(system.graph, system.levels);
+  for (const SecurityViolation& v : report.violations) {
+    EXPECT_TRUE(system.levels.HigherVertex(v.higher, v.lower));
+    EXPECT_TRUE(tg_analysis::CanKnow(system.graph, v.lower, v.higher)) << v.detail;
+  }
+  EXPECT_FALSE(report.secure);
+}
+
+TEST(SecureTest, MaxViolationsBoundsReport) {
+  LinearOptions options;
+  options.levels = 3;
+  options.subjects_per_level = 2;
+  ClassifiedSystem system = LinearClassification(options);
+  VertexId lo = system.level_subjects[0][0];
+  VertexId hi = system.level_subjects[2][0];
+  ASSERT_TRUE(system.graph.AddExplicit(lo, hi, tg::kTake).ok());
+  SecurityReport report = CheckSecure(system.graph, system.levels, /*max_violations=*/1);
+  EXPECT_FALSE(report.secure);
+  EXPECT_EQ(report.violations.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tg_hier

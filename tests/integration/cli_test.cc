@@ -1,0 +1,114 @@
+// End-to-end tests of the command-line tools, driven as subprocesses.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+#ifndef TG_TGSH_PATH
+#define TG_TGSH_PATH ""
+#endif
+#ifndef TG_AUDIT_TOOL_PATH
+#define TG_AUDIT_TOOL_PATH ""
+#endif
+#ifndef TG_CORPUS_DIR
+#define TG_CORPUS_DIR "data"
+#endif
+
+// Runs a command, feeding `input` to stdin, returning captured stdout.
+std::string RunWithInput(const std::string& command, const std::string& input) {
+  std::string full = "printf '%s' \"$(cat <<'TG_EOF'\n" + input + "\nTG_EOF\n)\" | " +
+                     command + " 2>&1";
+  std::array<char, 4096> buffer;
+  std::string output;
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) {
+    return "<popen failed>";
+  }
+  while (fgets(buffer.data(), static_cast<int>(buffer.size()), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  pclose(pipe);
+  return output;
+}
+
+std::string RunCommand(const std::string& command) { return RunWithInput(command, ""); }
+
+TEST(TgshCliTest, ScriptedSessionAnswersQueries) {
+  std::string script =
+      "subject a\n"
+      "object b\n"
+      "subject c\n"
+      "edge a c t\n"
+      "edge c b r\n"
+      "share r a b\n"
+      "islands\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_NE(out.find("can_share(r, a, b) = true"), std::string::npos) << out;
+  EXPECT_NE(out.find("takes (r to b) from c"), std::string::npos) << out;
+  EXPECT_NE(out.find("I1: a c"), std::string::npos) << out;
+}
+
+TEST(TgshCliTest, RejectsBadCommandsGracefully) {
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -",
+                                 "frobnicate\nsubject a\nedge a ghost r\nquit\n");
+  EXPECT_NE(out.find("unknown command"), std::string::npos) << out;
+  EXPECT_NE(out.find("unknown vertex"), std::string::npos) << out;
+}
+
+TEST(TgshCliTest, SaturateAndKnowf) {
+  std::string script =
+      "subject x\n"
+      "object m\n"
+      "subject z\n"
+      "edge x m r\n"
+      "edge z m w\n"
+      "knowf x z\n"
+      "saturate\n"
+      "show\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_NE(out.find("can_know_f(x, z) = true"), std::string::npos) << out;
+  EXPECT_NE(out.find("new implicit edge"), std::string::npos) << out;
+  EXPECT_NE(out.find("implicit x z r"), std::string::npos) << out;
+}
+
+TEST(TgshCliTest, KnowPrintsWitness) {
+  std::string script =
+      "subject x\n"
+      "object o\n"
+      "object y\n"
+      "edge x o t\n"
+      "edge o y r\n"
+      "know x y\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_NE(out.find("can_know(x, y) = true"), std::string::npos) << out;
+  EXPECT_NE(out.find("take"), std::string::npos) << out;  // witness listed
+}
+
+TEST(AuditToolCliTest, AnalyzesCorpusGraph) {
+  std::string out = RunCommand(std::string(TG_AUDIT_TOOL_PATH) + " " + TG_CORPUS_DIR +
+                        "/fig22_terms.tgg");
+  EXPECT_NE(out.find("islands (3)"), std::string::npos) << out;
+  EXPECT_NE(out.find("p, u"), std::string::npos) << out;
+}
+
+TEST(AuditToolCliTest, DesignerLevelsSurfaceViolations) {
+  std::string out = RunCommand(std::string(TG_AUDIT_TOOL_PATH) + " " + TG_CORPUS_DIR +
+                        "/org_chart.tgg --levels " + TG_CORPUS_DIR + "/org_chart.lvl");
+  EXPECT_NE(out.find("designer levels: 3 levels"), std::string::npos) << out;
+  EXPECT_NE(out.find("forbidden edges"), std::string::npos) << out;
+  EXPECT_NE(out.find("secure against all conspiracies: NO"), std::string::npos) << out;
+}
+
+TEST(AuditToolCliTest, MissingFileFails) {
+  std::string out = RunCommand(std::string(TG_AUDIT_TOOL_PATH) + " /no/such/graph.tgg; echo rc=$?");
+  EXPECT_NE(out.find("rc=1"), std::string::npos) << out;
+}
+
+}  // namespace

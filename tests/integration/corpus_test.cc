@@ -1,0 +1,166 @@
+// Corpus tests: every .tgg file under data/ parses, validates, round-trips,
+// and supports the full analysis pipeline; plus per-file semantic checks.
+
+#include <gtest/gtest.h>
+
+#include "src/take_grant.h"
+
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+
+// The build runs tests from the build tree; the corpus lives in the source
+// tree, whose path the CMakeLists bakes in.
+#ifndef TG_CORPUS_DIR
+#define TG_CORPUS_DIR "data"
+#endif
+
+std::string CorpusPath(const std::string& name) {
+  return std::string(TG_CORPUS_DIR) + "/" + name;
+}
+
+ProtectionGraph Load(const std::string& name) {
+  auto result = tg::LoadGraphFile(CorpusPath(name));
+  EXPECT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+  return result.ok() ? std::move(result).value() : ProtectionGraph();
+}
+
+class CorpusFileTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorpusFileTest, ParsesValidatesRoundTrips) {
+  ProtectionGraph g = Load(GetParam());
+  ASSERT_GT(g.VertexCount(), 0u);
+  EXPECT_TRUE(g.Validate().ok());
+  auto reparsed = tg::ParseGraph(tg::PrintGraph(g));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*reparsed == g);
+}
+
+TEST_P(CorpusFileTest, AnalysesRunClean) {
+  ProtectionGraph g = Load(GetParam());
+  tg_analysis::Islands islands(g);
+  EXPECT_LE(islands.Count(), g.SubjectCount());
+  tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(g);
+  tg_hier::AssignObjectLevels(g, levels);
+  // Saturation terminates and keeps the graph valid.
+  ProtectionGraph saturated = tg_analysis::SaturateDeFacto(g);
+  EXPECT_TRUE(saturated.Validate().ok());
+  // DOT export renders.
+  EXPECT_FALSE(tg::ToDot(g).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFiles, CorpusFileTest,
+                         ::testing::Values("fig22_terms.tgg", "fig51_execute.tgg",
+                                           "wu_conspiracy.tgg", "org_chart.tgg"));
+
+TEST(CorpusSemanticsTest, Fig22MatchesScenarioBuilder) {
+  ProtectionGraph g = Load("fig22_terms.tgg");
+  tg_sim::Fig22 fig = tg_sim::MakeFig22();
+  EXPECT_TRUE(g == fig.graph);
+}
+
+TEST(CorpusSemanticsTest, WuConspiracyLeaks) {
+  ProtectionGraph g = Load("wu_conspiracy.tgg");
+  VertexId lo = g.FindVertex("lo");
+  VertexId secret = g.FindVertex("secret");
+  ASSERT_NE(lo, tg::kInvalidVertex);
+  EXPECT_TRUE(tg_analysis::CanShare(g, Right::kRead, lo, secret));
+}
+
+TEST(CorpusSemanticsTest, OrgChartStructure) {
+  ProtectionGraph g = Load("org_chart.tgg");
+  VertexId ceo = g.FindVertex("ceo");
+  VertexId cfo = g.FindVertex("cfo");
+  VertexId analyst = g.FindVertex("analyst1");
+  VertexId minutes = g.FindVertex("boardroom_minutes");
+  VertexId auditor = g.FindVertex("auditor");
+  ASSERT_NE(ceo, tg::kInvalidVertex);
+  // Executives share one rw-level through their mutual reads.
+  EXPECT_TRUE(tg_hier::SameRwLevel(g, ceo, cfo));
+  // Information flows up to the executives from the team wiki...
+  VertexId wiki = g.FindVertex("team_wiki");
+  EXPECT_TRUE(tg_analysis::CanKnow(g, cfo, wiki) || tg_analysis::CanKnowF(g, cfo, wiki));
+  // ...and the analyst can even learn the boardroom minutes *de facto*:
+  // analyst reads the wiki, which manager1 (a ledger reader) writes, and
+  // the cfo (a minutes reader) writes the ledger — a pure post/spy chain
+  // through shared documents.  The corpus models a leaky organization.
+  EXPECT_TRUE(tg_analysis::CanKnowF(g, analyst, minutes));
+  auto leak_path = tg_analysis::FindAdmissibleRwPath(g, analyst, minutes);
+  ASSERT_TRUE(leak_path.has_value());
+  EXPECT_GE(leak_path->length(), 4u);  // at least wiki, manager, ledger, cfo hops
+  // The auditor reads widely but nobody reads the auditor.
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (v != auditor) {
+      EXPECT_FALSE(tg_analysis::CanKnowF(g, v, auditor)) << g.NameOf(v);
+    }
+  }
+}
+
+TEST(CorpusSemanticsTest, OrgChartLevelsFileLoadsAndAudits) {
+  ProtectionGraph g = Load("org_chart.tgg");
+  auto levels = tg_hier::LoadLevelsFile(CorpusPath("org_chart.lvl"), g);
+  ASSERT_TRUE(levels.ok()) << levels.status().ToString();
+  EXPECT_EQ(levels->LevelCount(), 3u);
+  // Every vertex is assigned.
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    EXPECT_TRUE(levels->IsAssigned(v)) << g.NameOf(v);
+  }
+  // The designer levels surface real problems: the managers' ledger access
+  // is a read-up, and the analysts reach the managers' wiki.
+  auto offending = tg_hier::AuditBishopRestriction(g, *levels);
+  EXPECT_GE(offending.size(), 3u);
+  EXPECT_FALSE(tg_hier::CheckSecure(g, *levels, 1).secure);
+  // Round-trip the assignment.
+  auto reparsed = tg_hier::ParseLevels(tg_hier::PrintLevels(*levels, g), g);
+  ASSERT_TRUE(reparsed.ok());
+  for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    EXPECT_EQ(reparsed->LevelOf(v), levels->LevelOf(v));
+  }
+}
+
+TEST(CorpusSemanticsTest, OrgChartAuditFindsDeJureChannel) {
+  ProtectionGraph g = Load("org_chart.tgg");
+  // Assign designer levels: execs=2, managers+auditor=1, analysts=0.
+  tg_hier::LevelAssignment levels(g.VertexCount(), 3);
+  auto assign = [&](const char* name, tg_hier::LevelId level) {
+    VertexId v = g.FindVertex(name);
+    ASSERT_NE(v, tg::kInvalidVertex) << name;
+    levels.Assign(v, level);
+  };
+  assign("ceo", 2);
+  assign("cfo", 2);
+  assign("boardroom_minutes", 2);
+  assign("finance_ledger", 2);
+  assign("mailbox_exec", 2);
+  assign("manager1", 1);
+  assign("manager2", 1);
+  assign("auditor", 1);
+  assign("team_wiki", 1);
+  assign("mailbox_team", 1);
+  assign("analyst1", 0);
+  assign("analyst2", 0);
+  assign("public_site", 0);
+  levels.DeclareHigher(2, 1);
+  levels.DeclareHigher(2, 0);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  // Edge hazards: manager1 writes up into mailbox_exec (fine), analysts
+  // write public (fine).  manager1 -r-> finance_ledger is a read-up!
+  auto offending = tg_hier::AuditBishopRestriction(g, levels);
+  bool found_ledger_read = false;
+  for (const tg::Edge& e : offending) {
+    if (g.NameOf(e.src) == "manager1" && g.NameOf(e.dst) == "finance_ledger") {
+      found_ledger_read = true;
+    }
+    if (g.NameOf(e.src) == "auditor") {
+      found_ledger_read = found_ledger_read;  // auditor read-ups also flagged
+    }
+  }
+  EXPECT_TRUE(found_ledger_read);
+  // The ceo -t-> manager1 bridge is a cross-level channel per Theorem 5.2.
+  EXPECT_FALSE(tg_hier::SecureByTheorem52(g, levels));
+}
+
+}  // namespace

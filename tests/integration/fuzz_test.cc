@@ -1,0 +1,296 @@
+// Randomized and stress tests: invariants under arbitrary operation
+// sequences, reference-checked language acceptors, and depth stress.
+
+#include <gtest/gtest.h>
+
+#include "src/take_grant.h"
+
+namespace {
+
+using tg::PathSymbol;
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+using tg::Word;
+
+// ---- graph operation fuzz ----
+
+TEST(GraphFuzzTest, RandomOperationsKeepInvariants) {
+  tg_util::Prng prng(20240707);
+  for (int round = 0; round < 20; ++round) {
+    ProtectionGraph g;
+    size_t expected_explicit = 0;
+    for (int op = 0; op < 300; ++op) {
+      switch (prng.NextBelow(6)) {
+        case 0:
+          g.AddSubject();
+          break;
+        case 1:
+          g.AddObject();
+          break;
+        case 2: {  // add explicit
+          if (g.VertexCount() < 2) {
+            break;
+          }
+          VertexId a = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+          VertexId b = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+          tg::RightSet rights =
+              tg::RightSet::FromBits(static_cast<uint8_t>(1 + prng.NextBelow(255)));
+          bool had = !g.ExplicitRights(a, b).empty();
+          if (g.AddExplicit(a, b, rights).ok() && !had) {
+            ++expected_explicit;
+          }
+          break;
+        }
+        case 3: {  // add implicit
+          if (g.VertexCount() < 2) {
+            break;
+          }
+          VertexId a = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+          VertexId b = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+          (void)g.AddImplicit(a, b, tg::kRead);
+          break;
+        }
+        case 4: {  // remove
+          if (g.VertexCount() < 2) {
+            break;
+          }
+          VertexId a = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+          VertexId b = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+          bool had = !g.ExplicitRights(a, b).empty();
+          tg::RightSet rights =
+              tg::RightSet::FromBits(static_cast<uint8_t>(1 + prng.NextBelow(255)));
+          if (g.RemoveExplicit(a, b, rights).ok() && had &&
+              g.ExplicitRights(a, b).empty()) {
+            --expected_explicit;
+          }
+          break;
+        }
+        case 5:
+          if (prng.NextBool(0.05)) {
+            g.ClearImplicit();
+          }
+          break;
+      }
+    }
+    ASSERT_TRUE(g.Validate().ok()) << "round " << round;
+    EXPECT_EQ(g.ExplicitEdgeCount(), expected_explicit) << "round " << round;
+    // Round trip.
+    auto reparsed = tg::ParseGraph(tg::PrintGraph(g));
+    ASSERT_TRUE(reparsed.ok()) << "round " << round;
+    EXPECT_TRUE(*reparsed == g) << "round " << round;
+  }
+}
+
+TEST(RuleFuzzTest, RandomRuleSequencesKeepValidity) {
+  tg_util::Prng prng(777777);
+  for (int round = 0; round < 10; ++round) {
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 4;
+    options.objects = 3;
+    options.edge_factor = 1.5;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    tg::RuleEngine engine(g, nullptr);
+    for (int step = 0; step < 80; ++step) {
+      std::vector<tg::RuleApplication> de_jure = EnumerateDeJure(engine.graph());
+      std::vector<tg::RuleApplication> de_facto = EnumerateDeFacto(engine.graph());
+      de_jure.insert(de_jure.end(), de_facto.begin(), de_facto.end());
+      if (de_jure.empty()) {
+        break;
+      }
+      size_t pick = static_cast<size_t>(prng.NextBelow(de_jure.size()));
+      auto result = engine.Apply(de_jure[pick]);
+      EXPECT_TRUE(result.ok()) << "enumerated rule failed: "
+                               << de_jure[pick].ToString(engine.graph());
+    }
+    EXPECT_TRUE(engine.graph().Validate().ok()) << "round " << round;
+    // The journal must replay to the same graph.
+    auto replayed = engine.journal().Replay(g);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_TRUE(*replayed == engine.graph());
+  }
+}
+
+// ---- language acceptors vs reference matchers ----
+
+// Straightforward reference implementations of the word languages.
+bool RefTerminal(const Word& w) {
+  for (PathSymbol s : w) {
+    if (s != PathSymbol::kTakeFwd) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RefInitial(const Word& w) {
+  if (w.empty()) {
+    return true;
+  }
+  for (size_t i = 0; i + 1 < w.size(); ++i) {
+    if (w[i] != PathSymbol::kTakeFwd) {
+      return false;
+    }
+  }
+  return w.back() == PathSymbol::kGrantFwd;
+}
+
+bool RefBridge(const Word& w) {
+  // t>* | t<* | t>* g> t<* | t>* g< t<*
+  size_t i = 0;
+  while (i < w.size() && w[i] == PathSymbol::kTakeFwd) {
+    ++i;
+  }
+  if (i == w.size()) {
+    return true;  // t>*
+  }
+  if (i == 0 && w[i] == PathSymbol::kTakeBack) {
+    while (i < w.size() && w[i] == PathSymbol::kTakeBack) {
+      ++i;
+    }
+    return i == w.size();  // t<*
+  }
+  if (w[i] != PathSymbol::kGrantFwd && w[i] != PathSymbol::kGrantBack) {
+    return false;
+  }
+  ++i;
+  while (i < w.size() && w[i] == PathSymbol::kTakeBack) {
+    ++i;
+  }
+  return i == w.size();
+}
+
+bool RefConnection(const Word& w) {
+  // t>* r> | w< t<* | t>* r> w< t<*
+  if (w.empty()) {
+    return false;
+  }
+  size_t i = 0;
+  while (i < w.size() && w[i] == PathSymbol::kTakeFwd) {
+    ++i;
+  }
+  if (i < w.size() && w[i] == PathSymbol::kReadFwd) {
+    ++i;
+    if (i == w.size()) {
+      return true;
+    }
+    if (w[i] != PathSymbol::kWriteBack) {
+      return false;
+    }
+    ++i;
+    while (i < w.size() && w[i] == PathSymbol::kTakeBack) {
+      ++i;
+    }
+    return i == w.size();
+  }
+  if (i == 0 && w[0] == PathSymbol::kWriteBack) {
+    i = 1;
+    while (i < w.size() && w[i] == PathSymbol::kTakeBack) {
+      ++i;
+    }
+    return i == w.size();
+  }
+  return false;
+}
+
+bool RefAdmissible(const Word& w) {
+  for (PathSymbol s : w) {
+    if (s != PathSymbol::kReadFwd && s != PathSymbol::kWriteBack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(LanguageFuzzTest, DfasMatchReferenceMatchers) {
+  tg_util::Prng prng(31337);
+  for (int trial = 0; trial < 20000; ++trial) {
+    size_t len = prng.NextBelow(7);
+    Word w;
+    for (size_t i = 0; i < len; ++i) {
+      w.push_back(static_cast<PathSymbol>(prng.NextBelow(tg::kPathSymbolCount)));
+    }
+    std::string label = tg::WordToString(w);
+    EXPECT_EQ(tg::IsTerminalSpanWord(w), RefTerminal(w)) << label;
+    EXPECT_EQ(tg::IsInitialSpanWord(w), RefInitial(w)) << label;
+    EXPECT_EQ(tg::IsBridgeWord(w), RefBridge(w)) << label;
+    EXPECT_EQ(tg::IsConnectionWord(w), RefConnection(w)) << label;
+    EXPECT_EQ(tg::IsAdmissibleRwWord(w), RefAdmissible(w)) << label;
+    // The union DFA is exactly the union.
+    EXPECT_EQ(tg::BridgeOrConnectionDfa().Accepts(tg::WordToIndices(w)),
+              RefBridge(w) || RefConnection(w))
+        << label;
+  }
+}
+
+// ---- stress ----
+
+TEST(StressTest, LongChainCanShareAndWitness) {
+  ProtectionGraph g = tg_sim::ChainGraph(3000);
+  VertexId head = g.FindVertex("head");
+  VertexId target = g.FindVertex("target");
+  EXPECT_TRUE(tg_analysis::CanShare(g, Right::kRead, head, target));
+  ProtectionGraph small = tg_sim::ChainGraph(500);
+  VertexId shead = small.FindVertex("head");
+  VertexId starget = small.FindVertex("target");
+  auto witness = tg_analysis::BuildCanShareWitness(small, Right::kRead, shead, starget);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->size(), 498u);  // one take per chain hop plus the final pull
+  EXPECT_TRUE(witness->VerifyAddsExplicit(small, shead, starget, Right::kRead).ok());
+}
+
+TEST(StressTest, DeepSccRecursionSafe) {
+  // 200k-node path digraph: the iterative Tarjan must not overflow.
+  constexpr size_t kN = 200000;
+  std::vector<std::vector<VertexId>> adj(kN);
+  for (size_t i = 0; i + 1 < kN; ++i) {
+    adj[i].push_back(static_cast<VertexId>(i + 1));
+  }
+  auto comp = tg_hier::StronglyConnectedComponents(adj);
+  EXPECT_EQ(comp.size(), kN);
+  EXPECT_NE(comp[0], comp[kN - 1]);
+}
+
+TEST(StressTest, WideStarGraphAnalyses) {
+  // One hub subject with 2000 spokes; everything should stay fast & sane.
+  ProtectionGraph g;
+  VertexId hub = g.AddSubject("hub");
+  for (int i = 0; i < 2000; ++i) {
+    VertexId spoke = g.AddObject();
+    ASSERT_TRUE(g.AddExplicit(hub, spoke, tg::kReadWrite).ok());
+  }
+  EXPECT_TRUE(g.Validate().ok());
+  tg_analysis::Islands islands(g);
+  EXPECT_EQ(islands.Count(), 1u);
+  auto knowable = tg_analysis::KnowableFrom(g, hub);
+  size_t count = 0;
+  for (bool b : knowable) {
+    count += b ? 1 : 0;
+  }
+  EXPECT_EQ(count, g.VertexCount());  // hub reads every spoke
+}
+
+TEST(StressTest, SaturationOnDenseRwClique) {
+  // 14 subjects all reading each other: saturation must reach the full
+  // clique of implicit edges and terminate.
+  ProtectionGraph g;
+  std::vector<VertexId> subjects;
+  for (int i = 0; i < 14; ++i) {
+    subjects.push_back(g.AddSubject());
+  }
+  for (VertexId a : subjects) {
+    VertexId next = (a + 1) % static_cast<VertexId>(subjects.size());
+    ASSERT_TRUE(g.AddExplicit(a, next, tg::kRead).ok());
+  }
+  ProtectionGraph saturated = tg_analysis::SaturateDeFacto(g);
+  // Ring of reads among subjects: everyone ends up knowing everyone.
+  for (VertexId a : subjects) {
+    for (VertexId b : subjects) {
+      if (a != b) {
+        EXPECT_TRUE(tg_analysis::KnowEdgePresent(saturated, a, b));
+      }
+    }
+  }
+}
+
+}  // namespace

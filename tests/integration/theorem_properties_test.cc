@@ -1,0 +1,318 @@
+// Property tests for the paper's lemmas and theorems on generated graphs.
+
+#include <gtest/gtest.h>
+
+#include "src/take_grant.h"
+
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::VertexId;
+
+// Lemmas 2.1 / 2.2: over a subject-subject t or g edge (either direction),
+// rights transfer both ways with cooperation.
+TEST(DualityLemmasTest, RightsFlowBothWaysOverSubjectLinks) {
+  for (tg::RightSet link : {tg::kTake, tg::kGrant}) {
+    for (bool forward : {true, false}) {
+      ProtectionGraph g;
+      VertexId a = g.AddSubject("a");
+      VertexId b = g.AddSubject("b");
+      VertexId y = g.AddObject("y");
+      ASSERT_TRUE((forward ? g.AddExplicit(a, b, link) : g.AddExplicit(b, a, link)).ok());
+      ASSERT_TRUE(g.AddExplicit(b, y, tg::kRead).ok());
+      EXPECT_TRUE(tg_analysis::CanShare(g, Right::kRead, a, y))
+          << "link=" << link.ToString() << " forward=" << forward;
+      auto witness = tg_analysis::BuildCanShareWitness(g, Right::kRead, a, y);
+      ASSERT_TRUE(witness.has_value());
+      EXPECT_TRUE(witness->VerifyAddsExplicit(g, a, y, Right::kRead).ok());
+    }
+  }
+}
+
+// Lemma 3.3: within an island, can_know holds in both directions.
+TEST(IslandKnowledgeTest, IslandMembersMutuallyKnow) {
+  tg_util::Prng prng(8080);
+  for (int trial = 0; trial < 10; ++trial) {
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 5;
+    options.objects = 2;
+    options.edge_factor = 1.2;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    tg_analysis::Islands islands(g);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (x != y && islands.SameIsland(x, y)) {
+          EXPECT_TRUE(tg_analysis::CanKnow(g, x, y))
+              << g.NameOf(x) << " ~ " << g.NameOf(y) << " trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+// The island property: "any right that one vertex in an island has can be
+// obtained by any other vertex in that island."
+TEST(IslandPropertyTest, RightsAreCommonPropertyOfIslands) {
+  tg_util::Prng prng(24680);
+  int pairs_checked = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 5;
+    options.objects = 2;
+    options.edge_factor = 1.3;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    tg_analysis::Islands islands(g);
+    g.ForEachEdge([&](const tg::Edge& e) {
+      if (e.explicit_rights.empty() || islands.IslandOf(e.src) == tg_analysis::kNoIsland) {
+        return;
+      }
+      // e.src holds e.explicit_rights over e.dst; every island mate must be
+      // able to obtain each of those rights.
+      for (VertexId mate = 0; mate < g.VertexCount(); ++mate) {
+        if (mate == e.src || mate == e.dst || !islands.SameIsland(mate, e.src)) {
+          continue;
+        }
+        for (int r = 0; r < tg::kRightCount; ++r) {
+          Right right = static_cast<Right>(r);
+          if (e.explicit_rights.Has(right)) {
+            ++pairs_checked;
+            EXPECT_TRUE(tg_analysis::CanShare(g, right, mate, e.dst))
+                << g.NameOf(mate) << " should obtain " << tg::RightChar(right) << " over "
+                << g.NameOf(e.dst) << " (island mate " << g.NameOf(e.src) << " has it)";
+          }
+        }
+      }
+    });
+  }
+  EXPECT_GT(pairs_checked, 20);
+}
+
+// Theorem 2.3's conditions are individually necessary: graphs built to
+// violate exactly one condition are not shareable.
+TEST(Theorem23ConditionsTest, EachConditionNecessary) {
+  // (i) no source holding the right.
+  {
+    ProtectionGraph g;
+    VertexId x = g.AddSubject("x");
+    VertexId s = g.AddSubject("s");
+    VertexId y = g.AddObject("y");
+    ASSERT_TRUE(g.AddExplicit(x, s, tg::kTake).ok());
+    ASSERT_TRUE(g.AddExplicit(s, y, tg::kWrite).ok());  // w, not r
+    EXPECT_FALSE(tg_analysis::CanShare(g, Right::kRead, x, y));
+  }
+  // (ii-a) no initial spanner to x.
+  {
+    ProtectionGraph g;
+    VertexId x = g.AddObject("x");  // object with nobody granting into it
+    VertexId s = g.AddSubject("s");
+    VertexId y = g.AddObject("y");
+    ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+    ASSERT_TRUE(g.AddExplicit(s, x, tg::kTake).ok());  // t, not g: no initial span
+    EXPECT_FALSE(tg_analysis::CanShare(g, Right::kRead, x, y));
+  }
+  // (ii-b) no terminal spanner to any source.
+  {
+    ProtectionGraph g;
+    VertexId x = g.AddSubject("x");
+    VertexId s = g.AddObject("s");  // object source, nobody t-reaches it
+    VertexId y = g.AddObject("y");
+    ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+    ASSERT_TRUE(g.AddExplicit(x, s, tg::kGrant).ok());  // g, not t: no terminal span
+    EXPECT_FALSE(tg_analysis::CanShare(g, Right::kRead, x, y));
+  }
+  // (iii) spanners exist but live in unbridged components.
+  {
+    ProtectionGraph g;
+    VertexId x = g.AddSubject("x");
+    VertexId s = g.AddSubject("s");
+    VertexId y = g.AddObject("y");
+    ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+    // x and s both exist and span trivially, but share no tg connectivity.
+    ASSERT_TRUE(g.AddExplicit(x, y, tg::kWrite).ok());  // rw edges are no bridge
+    EXPECT_FALSE(tg_analysis::CanShare(g, Right::kRead, x, y));
+  }
+}
+
+// can_know_f implies can_know (the de facto rules are a subset).
+TEST(PredicateContainmentTest, CanKnowFImpliesCanKnow) {
+  tg_util::Prng prng(9090);
+  for (int trial = 0; trial < 10; ++trial) {
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 4;
+    options.objects = 3;
+    options.edge_factor = 1.4;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (tg_analysis::CanKnowF(g, x, y)) {
+          EXPECT_TRUE(tg_analysis::CanKnow(g, x, y))
+              << g.NameOf(x) << " -> " << g.NameOf(y) << " trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+// can_share(r, x, y) implies can_know(x, y) for subjects x (it can then
+// read y directly).
+TEST(PredicateContainmentTest, CanShareReadImpliesCanKnowForSubjects) {
+  tg_util::Prng prng(10101);
+  for (int trial = 0; trial < 10; ++trial) {
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 4;
+    options.objects = 2;
+    options.edge_factor = 1.2;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      if (!g.IsSubject(x)) {
+        continue;
+      }
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (x != y && tg_analysis::CanShare(g, Right::kRead, x, y)) {
+          EXPECT_TRUE(tg_analysis::CanKnow(g, x, y))
+              << g.NameOf(x) << " -> " << g.NameOf(y) << " trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+// Monotonicity: adding edges never makes a true predicate false.
+TEST(MonotonicityTest, AddingEdgesPreservesPredicates) {
+  tg_util::Prng prng(11111);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 4;
+  options.objects = 2;
+  options.edge_factor = 1.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    // Record all true pairs.
+    std::vector<std::pair<VertexId, VertexId>> know_pairs;
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        if (tg_analysis::CanKnow(g, x, y)) {
+          know_pairs.emplace_back(x, y);
+        }
+      }
+    }
+    // Add a random edge.
+    VertexId a = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+    VertexId b = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+    if (a != b) {
+      (void)g.AddExplicit(a, b, tg::kReadWrite.Union(tg::kTakeGrant));
+    }
+    for (auto [x, y] : know_pairs) {
+      EXPECT_TRUE(tg_analysis::CanKnow(g, x, y)) << "trial " << trial;
+    }
+  }
+}
+
+// Theorem 4.3 on generated structures: knowledge strictly follows the level
+// order.
+TEST(StructureTest, Theorem43OnGeneratedHierarchies) {
+  tg_util::Prng prng(12121);
+  for (int trial = 0; trial < 5; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 3;
+    options.subjects_per_level = 2;
+    options.objects_per_level = 1;
+    options.planted_channels = 0;
+    options.read_down = 1.0;  // dense read-down so knowledge reaches down
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    for (size_t hi = 0; hi < 3; ++hi) {
+      for (size_t lo = 0; lo < hi; ++lo) {
+        for (VertexId a : h.level_subjects[hi]) {
+          for (VertexId b : h.level_subjects[lo]) {
+            EXPECT_TRUE(tg_analysis::CanKnowF(h.graph, a, b))
+                << h.graph.NameOf(a) << " should know " << h.graph.NameOf(b);
+            EXPECT_FALSE(tg_analysis::CanKnowF(h.graph, b, a))
+                << h.graph.NameOf(b) << " must not know " << h.graph.NameOf(a);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Theorem 4.5: an object at its lowest accessor's level leaks nothing to
+// strictly lower subjects.
+TEST(StructureTest, Theorem45ObjectContainment) {
+  tg_hier::LinearOptions options;
+  options.levels = 3;
+  options.subjects_per_level = 2;
+  tg_hier::ClassifiedSystem system = tg_hier::LinearClassification(options);
+  for (size_t doc_level = 1; doc_level < 3; ++doc_level) {
+    VertexId doc = system.level_documents[doc_level];
+    for (size_t sub_level = 0; sub_level < doc_level; ++sub_level) {
+      for (VertexId s : system.level_subjects[sub_level]) {
+        EXPECT_FALSE(tg_analysis::CanKnowF(system.graph, s, doc))
+            << system.graph.NameOf(s) << " must not know " << system.graph.NameOf(doc);
+      }
+    }
+  }
+}
+
+// Theorem 5.2, both directions, on structures with and without planted
+// channels: CheckSecure agrees with the structural bridge/connection scan.
+TEST(StructureTest, Theorem52EquivalenceOnHierarchies) {
+  tg_util::Prng prng(13131);
+  for (int trial = 0; trial < 10; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 2 + trial % 2;
+    options.subjects_per_level = 2;
+    options.planted_channels = trial % 3;  // 0, 1, 2 channels
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    bool by_definition = tg_hier::CheckSecure(h.graph, h.levels, 1).secure;
+    bool by_structure = tg_hier::SecureByTheorem52(h.graph, h.levels);
+    EXPECT_EQ(by_definition, by_structure) << "trial " << trial;
+  }
+}
+
+// Theorem 5.5 completeness flavour: every transfer of an inert right that
+// the unrestricted rules can do between *comparable* levels, the restricted
+// rules can also do (witness replays under the Bishop policy).
+TEST(CompletenessTest, InertTransfersSurviveRestriction) {
+  tg_util::Prng prng(14141);
+  int checked = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 2;
+    options.subjects_per_level = 2;
+    options.objects_per_level = 1;
+    options.planted_channels = 1;
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    // Pick a high subject holding an execute right over something and a low
+    // subject; ask whether the execute right can reach the low subject.
+    ProtectionGraph g = h.graph;
+    VertexId hi = h.level_subjects[1][0];
+    VertexId lo = h.level_subjects[0][0];
+    VertexId tool = g.AddObject("tool");
+    ASSERT_TRUE(g.AddExplicit(hi, tool, tg::RightSet(Right::kExecute)).ok());
+    tg_hier::LevelAssignment levels = h.levels;
+    levels.Assign(tool, levels.LevelOf(hi));
+    if (!tg_analysis::CanShare(g, Right::kExecute, lo, tool)) {
+      continue;  // no unrestricted route either
+    }
+    auto witness = tg_analysis::BuildCanShareWitness(g, Right::kExecute, lo, tool);
+    ASSERT_TRUE(witness.has_value());
+    // Replay under the Bishop policy: every step must pass.
+    auto policy = std::make_shared<tg_hier::BishopRestrictionPolicy>(levels);
+    tg::RuleEngine engine(g, policy);
+    bool all_ok = true;
+    for (const tg::RuleApplication& rule : witness->rules()) {
+      if (!engine.Apply(rule).ok()) {
+        all_ok = false;
+        break;
+      }
+    }
+    EXPECT_TRUE(all_ok) << "trial " << trial;
+    if (all_ok) {
+      EXPECT_TRUE(engine.graph().HasExplicit(lo, tool, Right::kExecute));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);  // the sweep must exercise at least one transfer
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+#include "src/sim/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hierarchy/restrictions.h"
+#include "src/sim/scenario.h"
+
+namespace tg_sim {
+namespace {
+
+using tg::RuleApplication;
+
+TEST(AdversaryTest, BreachesFig21WithoutPolicy) {
+  Fig21 fig = MakeFig21();
+  ReferenceMonitor monitor(fig.graph, std::make_shared<tg::AllowAllPolicy>());
+  AttackOptions options;
+  options.strategy = AdversaryStrategy::kGreedy;
+  tg_util::Prng prng(1);
+  AttackOutcome outcome =
+      RunConspiracy(monitor, fig.levels, fig.lo, fig.secret, options, prng);
+  EXPECT_TRUE(outcome.breached);
+}
+
+TEST(AdversaryTest, BishopPolicyStopsFig21) {
+  Fig21 fig = MakeFig21();
+  ReferenceMonitor monitor(fig.graph,
+                           std::make_shared<tg_hier::BishopRestrictionPolicy>(fig.levels));
+  AttackOptions options;
+  options.strategy = AdversaryStrategy::kGreedy;
+  options.max_steps = 100;
+  tg_util::Prng prng(1);
+  AttackOutcome outcome =
+      RunConspiracy(monitor, fig.levels, fig.lo, fig.secret, options, prng);
+  EXPECT_FALSE(outcome.breached);
+  // The policy had to actually veto something (or the adversary exhausted).
+  EXPECT_TRUE(outcome.steps_vetoed > 0 || outcome.exhausted);
+}
+
+TEST(AdversaryTest, RandomStrategyAlsoBreachesEventually) {
+  Fig21 fig = MakeFig21();
+  ReferenceMonitor monitor(fig.graph, std::make_shared<tg::AllowAllPolicy>());
+  AttackOptions options;
+  options.strategy = AdversaryStrategy::kRandom;
+  options.max_steps = 500;
+  tg_util::Prng prng(12345);
+  AttackOutcome outcome =
+      RunConspiracy(monitor, fig.levels, fig.lo, fig.secret, options, prng);
+  EXPECT_TRUE(outcome.breached);
+}
+
+TEST(AdversaryTest, ImmediateWhenLeakAlreadyExists) {
+  tg::ProtectionGraph g;
+  auto lo = g.AddSubject("lo");
+  auto hi = g.AddObject("hi");
+  ASSERT_TRUE(g.AddExplicit(lo, hi, tg::kRead).ok());
+  tg_hier::LevelAssignment levels(g.VertexCount(), 1);
+  ASSERT_TRUE(levels.Finalize());
+  ReferenceMonitor monitor(g, std::make_shared<tg::AllowAllPolicy>());
+  AttackOptions options;
+  tg_util::Prng prng(5);
+  AttackOutcome outcome = RunConspiracy(monitor, levels, lo, hi, options, prng);
+  EXPECT_TRUE(outcome.breached);
+  EXPECT_EQ(outcome.steps_applied, 0u);
+}
+
+TEST(AdversaryTest, ExhaustsOnInertGraph) {
+  tg::ProtectionGraph g;
+  auto lo = g.AddSubject("lo");
+  auto hi = g.AddObject("hi");
+  tg_hier::LevelAssignment levels(g.VertexCount(), 1);
+  ASSERT_TRUE(levels.Finalize());
+  ReferenceMonitor monitor(g, std::make_shared<tg::AllowAllPolicy>());
+  AttackOptions options;
+  options.strategy = AdversaryStrategy::kGreedy;
+  options.max_creates = 0;  // depot creates alone cannot help here anyway
+  tg_util::Prng prng(5);
+  AttackOutcome outcome = RunConspiracy(monitor, levels, lo, hi, options, prng);
+  EXPECT_FALSE(outcome.breached);
+  EXPECT_TRUE(outcome.exhausted);
+}
+
+TEST(AdversaryTest, ConspiracyBudgetMatchesMinConspirators) {
+  // Fig 2.1 requires BOTH hi and lo to act (duality construction): a
+  // conspiracy of lo alone fails, hi+lo succeeds.
+  {
+    Fig21 fig = MakeFig21();
+    ReferenceMonitor monitor(fig.graph, std::make_shared<tg::AllowAllPolicy>());
+    AttackOptions options;
+    options.strategy = AdversaryStrategy::kGreedy;
+    options.corrupt = {fig.lo};  // hi stays honest
+    tg_util::Prng prng(3);
+    AttackOutcome outcome =
+        RunConspiracy(monitor, fig.levels, fig.lo, fig.secret, options, prng);
+    EXPECT_FALSE(outcome.breached);
+  }
+  {
+    Fig21 fig = MakeFig21();
+    ReferenceMonitor monitor(fig.graph, std::make_shared<tg::AllowAllPolicy>());
+    AttackOptions options;
+    options.strategy = AdversaryStrategy::kGreedy;
+    options.corrupt = {fig.lo, fig.hi};
+    tg_util::Prng prng(3);
+    AttackOutcome outcome =
+        RunConspiracy(monitor, fig.levels, fig.lo, fig.secret, options, prng);
+    EXPECT_TRUE(outcome.breached);
+  }
+}
+
+TEST(AdversaryTest, HonestSubjectsNeverAct) {
+  Fig21 fig = MakeFig21();
+  ReferenceMonitor monitor(fig.graph, std::make_shared<tg::AllowAllPolicy>());
+  AttackOptions options;
+  options.corrupt = {fig.lo};
+  tg_util::Prng prng(4);
+  (void)RunConspiracy(monitor, fig.levels, fig.lo, fig.secret, options, prng);
+  for (const AuditRecord& record : monitor.audit_log()) {
+    if (record.outcome == AuditOutcome::kAllowed) {
+      // Rendered rules name the actor right after the kind ("take: hi ...").
+      EXPECT_EQ(record.rule.find(": hi "), std::string::npos)
+          << "honest subject acted: " << record.rule;
+    }
+  }
+}
+
+TEST(LeakEstablishedTest, MatchesKnowSemantics) {
+  tg::ProtectionGraph g;
+  auto lo = g.AddSubject("lo");
+  auto mid = g.AddObject("mid");
+  auto hi = g.AddSubject("hi");
+  ASSERT_TRUE(g.AddExplicit(lo, mid, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(hi, mid, tg::kWrite).ok());
+  EXPECT_TRUE(LeakEstablished(g, lo, hi));
+  EXPECT_FALSE(LeakEstablished(g, hi, lo));
+}
+
+}  // namespace
+}  // namespace tg_sim

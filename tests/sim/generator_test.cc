@@ -1,0 +1,117 @@
+#include "src/sim/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tg/printer.h"
+
+namespace tg_sim {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+TEST(RandomGraphTest, DeterministicForSeed) {
+  RandomGraphOptions options;
+  tg_util::Prng p1(42);
+  tg_util::Prng p2(42);
+  ProtectionGraph g1 = RandomGraph(options, p1);
+  ProtectionGraph g2 = RandomGraph(options, p2);
+  EXPECT_TRUE(g1 == g2);
+}
+
+TEST(RandomGraphTest, RespectsCounts) {
+  RandomGraphOptions options;
+  options.subjects = 5;
+  options.objects = 3;
+  tg_util::Prng prng(7);
+  ProtectionGraph g = RandomGraph(options, prng);
+  EXPECT_EQ(g.SubjectCount(), 5u);
+  EXPECT_EQ(g.VertexCount(), 8u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(RandomGraphTest, EdgesNonEmpty) {
+  RandomGraphOptions options;
+  options.subjects = 6;
+  options.objects = 2;
+  options.edge_factor = 2.0;
+  tg_util::Prng prng(13);
+  ProtectionGraph g = RandomGraph(options, prng);
+  g.ForEachEdge([](const tg::Edge& e) { EXPECT_FALSE(e.empty()); });
+  EXPECT_GT(g.ExplicitEdgeCount(), 0u);
+}
+
+TEST(RandomHierarchyTest, LevelsAssignedAndOrdered) {
+  RandomHierarchyOptions options;
+  options.levels = 3;
+  options.subjects_per_level = 2;
+  tg_util::Prng prng(21);
+  GeneratedHierarchy h = RandomHierarchy(options, prng);
+  EXPECT_EQ(h.level_subjects.size(), 3u);
+  for (size_t level = 0; level < 3; ++level) {
+    for (VertexId v : h.level_subjects[level]) {
+      EXPECT_EQ(h.levels.LevelOf(v), static_cast<tg_hier::LevelId>(level));
+    }
+  }
+  EXPECT_TRUE(h.levels.Higher(2, 0));
+  EXPECT_FALSE(h.levels.Higher(0, 2));
+  EXPECT_TRUE(h.graph.Validate().ok());
+}
+
+TEST(RandomHierarchyTest, PlantedChannelsCrossLevels) {
+  RandomHierarchyOptions options;
+  options.levels = 2;
+  options.subjects_per_level = 2;
+  options.planted_channels = 3;
+  tg_util::Prng prng(99);
+  GeneratedHierarchy h = RandomHierarchy(options, prng);
+  size_t cross_tg = 0;
+  h.graph.ForEachEdge([&](const tg::Edge& e) {
+    if (e.explicit_rights.Intersects(tg::kTakeGrant) &&
+        h.levels.IsAssigned(e.src) && h.levels.IsAssigned(e.dst) &&
+        h.levels.LevelOf(e.src) != h.levels.LevelOf(e.dst)) {
+      ++cross_tg;
+    }
+  });
+  EXPECT_GE(cross_tg, 1u);
+}
+
+TEST(RandomHierarchyTest, NoChannelsWhenZeroPlanted) {
+  RandomHierarchyOptions options;
+  options.levels = 3;
+  options.planted_channels = 0;
+  tg_util::Prng prng(55);
+  GeneratedHierarchy h = RandomHierarchy(options, prng);
+  h.graph.ForEachEdge([&](const tg::Edge& e) {
+    if (e.explicit_rights.Intersects(tg::kTakeGrant)) {
+      EXPECT_EQ(h.levels.LevelOf(e.src), h.levels.LevelOf(e.dst))
+          << h.graph.NameOf(e.src) << " -> " << h.graph.NameOf(e.dst);
+    }
+  });
+}
+
+TEST(ChainGraphTest, ShapeAndLabels) {
+  ProtectionGraph g = ChainGraph(6);
+  EXPECT_EQ(g.VertexCount(), 6u);
+  EXPECT_EQ(g.SubjectCount(), 1u);
+  VertexId head = g.FindVertex("head");
+  VertexId target = g.FindVertex("target");
+  ASSERT_NE(head, tg::kInvalidVertex);
+  ASSERT_NE(target, tg::kInvalidVertex);
+  // One r edge at the end, t edges elsewhere.
+  size_t t_edges = 0;
+  size_t r_edges = 0;
+  g.ForEachEdge([&](const tg::Edge& e) {
+    if (e.explicit_rights.Has(tg::Right::kTake)) {
+      ++t_edges;
+    }
+    if (e.explicit_rights.Has(tg::Right::kRead)) {
+      ++r_edges;
+    }
+  });
+  EXPECT_EQ(r_edges, 1u);
+  EXPECT_EQ(t_edges, 4u);
+}
+
+}  // namespace
+}  // namespace tg_sim

@@ -1,0 +1,91 @@
+#include "src/sim/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hierarchy/restrictions.h"
+
+namespace tg_sim {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::RuleApplication;
+using tg::VertexId;
+
+struct MonitorFixture {
+  ProtectionGraph g;
+  tg_hier::LevelAssignment levels;
+  VertexId hi, lo, doc;
+
+  MonitorFixture() {
+    hi = g.AddSubject("hi");
+    lo = g.AddSubject("lo");
+    doc = g.AddObject("doc");
+    EXPECT_TRUE(g.AddExplicit(hi, lo, tg::kTake).ok());
+    EXPECT_TRUE(g.AddExplicit(lo, doc, tg::kReadWrite).ok());
+    levels = tg_hier::LevelAssignment(g.VertexCount(), 2);
+    levels.Assign(hi, 1);
+    levels.Assign(lo, 0);
+    levels.Assign(doc, 0);
+    levels.DeclareHigher(1, 0);
+    EXPECT_TRUE(levels.Finalize());
+  }
+};
+
+TEST(MonitorTest, RecordsAllowed) {
+  MonitorFixture f;
+  ReferenceMonitor monitor(f.g, std::make_shared<tg::AllowAllPolicy>());
+  ASSERT_TRUE(monitor.Submit(RuleApplication::Take(f.hi, f.lo, f.doc, tg::kRead)).ok());
+  EXPECT_EQ(monitor.allowed_count(), 1u);
+  ASSERT_EQ(monitor.audit_log().size(), 1u);
+  EXPECT_EQ(monitor.audit_log()[0].outcome, AuditOutcome::kAllowed);
+}
+
+TEST(MonitorTest, RecordsVetoWithReason) {
+  MonitorFixture f;
+  ReferenceMonitor monitor(f.g, std::make_shared<tg_hier::BishopRestrictionPolicy>(f.levels));
+  // hi taking w over the low doc is a write-down: vetoed.
+  auto result = monitor.Submit(RuleApplication::Take(f.hi, f.lo, f.doc, tg::kWrite));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(monitor.vetoed_count(), 1u);
+  ASSERT_EQ(monitor.audit_log().size(), 1u);
+  EXPECT_EQ(monitor.audit_log()[0].outcome, AuditOutcome::kVetoed);
+  EXPECT_FALSE(monitor.audit_log()[0].reason.empty());
+}
+
+TEST(MonitorTest, RecordsRejection) {
+  MonitorFixture f;
+  ReferenceMonitor monitor(f.g, std::make_shared<tg::AllowAllPolicy>());
+  auto result = monitor.Submit(RuleApplication::Take(f.lo, f.hi, f.doc, tg::kRead));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(monitor.rejected_count(), 1u);
+  EXPECT_EQ(monitor.audit_log()[0].outcome, AuditOutcome::kRejected);
+}
+
+TEST(MonitorTest, RenderShowsOutcomes) {
+  MonitorFixture f;
+  ReferenceMonitor monitor(f.g, std::make_shared<tg_hier::BishopRestrictionPolicy>(f.levels));
+  (void)monitor.Submit(RuleApplication::Take(f.hi, f.lo, f.doc, tg::kRead));
+  (void)monitor.Submit(RuleApplication::Take(f.hi, f.lo, f.doc, tg::kWrite));
+  std::string log = monitor.RenderAuditLog();
+  EXPECT_NE(log.find("[ALLOWED]"), std::string::npos);
+  EXPECT_NE(log.find("[VETOED]"), std::string::npos);
+}
+
+TEST(MonitorTest, RenderLimitTruncatesFront) {
+  MonitorFixture f;
+  ReferenceMonitor monitor(f.g, std::make_shared<tg::AllowAllPolicy>());
+  (void)monitor.Submit(RuleApplication::Take(f.hi, f.lo, f.doc, tg::kRead));
+  (void)monitor.Submit(RuleApplication::Take(f.hi, f.lo, f.doc, tg::kWrite));
+  std::string log = monitor.RenderAuditLog(1);
+  EXPECT_EQ(log.find("0 ["), std::string::npos);
+  EXPECT_NE(log.find("1 ["), std::string::npos);
+}
+
+TEST(MonitorTest, OutcomeNames) {
+  EXPECT_STREQ(AuditOutcomeName(AuditOutcome::kAllowed), "ALLOWED");
+  EXPECT_STREQ(AuditOutcomeName(AuditOutcome::kVetoed), "VETOED");
+  EXPECT_STREQ(AuditOutcomeName(AuditOutcome::kRejected), "REJECTED");
+}
+
+}  // namespace
+}  // namespace tg_sim

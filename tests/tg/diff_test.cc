@@ -1,0 +1,104 @@
+#include "src/tg/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/oracle.h"
+#include "src/tg/rules.h"
+
+namespace tg {
+namespace {
+
+TEST(DiffTest, IdenticalGraphsEmptyDiff) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, kRead).ok());
+  GraphDiff diff = DiffGraphs(g, g);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.ChangeCount(), 0u);
+}
+
+TEST(DiffTest, DetectsAddedRights) {
+  ProtectionGraph before;
+  VertexId a = before.AddSubject("a");
+  VertexId b = before.AddObject("b");
+  ASSERT_TRUE(before.AddExplicit(a, b, kRead).ok());
+  ProtectionGraph after = before;
+  ASSERT_TRUE(after.AddExplicit(a, b, kWrite).ok());
+  GraphDiff diff = DiffGraphs(before, after);
+  ASSERT_EQ(diff.added_explicit.size(), 1u);
+  EXPECT_EQ(diff.added_explicit[0], (EdgeDelta{a, b, kWrite}));
+  EXPECT_TRUE(diff.removed_explicit.empty());
+}
+
+TEST(DiffTest, DetectsRemovedRights) {
+  ProtectionGraph before;
+  VertexId a = before.AddSubject("a");
+  VertexId b = before.AddObject("b");
+  ASSERT_TRUE(before.AddExplicit(a, b, kReadWrite).ok());
+  ProtectionGraph after = before;
+  ASSERT_TRUE(after.RemoveExplicit(a, b, kRead).ok());
+  GraphDiff diff = DiffGraphs(before, after);
+  ASSERT_EQ(diff.removed_explicit.size(), 1u);
+  EXPECT_EQ(diff.removed_explicit[0], (EdgeDelta{a, b, kRead}));
+}
+
+TEST(DiffTest, DetectsNewVerticesAndTheirEdges) {
+  ProtectionGraph before;
+  VertexId a = before.AddSubject("a");
+  ProtectionGraph after = before;
+  RuleApplication create = RuleApplication::Create(a, VertexKind::kObject, kTakeGrant, "n");
+  ASSERT_TRUE(ApplyRule(after, create).ok());
+  GraphDiff diff = DiffGraphs(before, after);
+  ASSERT_EQ(diff.added_vertices.size(), 1u);
+  EXPECT_EQ(diff.added_vertices[0], create.created);
+  ASSERT_EQ(diff.added_explicit.size(), 1u);
+  EXPECT_EQ(diff.added_explicit[0].dst, create.created);
+}
+
+TEST(DiffTest, TracksImplicitSeparately) {
+  ProtectionGraph before;
+  VertexId a = before.AddSubject("a");
+  VertexId b = before.AddSubject("b");
+  ASSERT_TRUE(before.AddExplicit(a, b, kRead).ok());
+  ProtectionGraph after = before;
+  ASSERT_TRUE(after.AddImplicit(a, b, kRead).ok());
+  GraphDiff diff = DiffGraphs(before, after);
+  EXPECT_TRUE(diff.added_explicit.empty());
+  ASSERT_EQ(diff.added_implicit.size(), 1u);
+  // And clearing shows up as removal.
+  ProtectionGraph cleared = after;
+  cleared.ClearImplicit();
+  GraphDiff diff2 = DiffGraphs(after, cleared);
+  EXPECT_EQ(diff2.removed_implicit.size(), 1u);
+}
+
+TEST(DiffTest, SaturationDiffIsAllImplicit) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId m = g.AddObject("m");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(a, m, kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, m, kWrite).ok());
+  ProtectionGraph saturated = tg_analysis::SaturateDeFacto(g);
+  GraphDiff diff = DiffGraphs(g, saturated);
+  EXPECT_TRUE(diff.added_explicit.empty());
+  EXPECT_TRUE(diff.added_vertices.empty());
+  EXPECT_FALSE(diff.added_implicit.empty());
+}
+
+TEST(DiffTest, RenderingShowsDirectionsAndRights) {
+  ProtectionGraph before;
+  VertexId a = before.AddSubject("alice");
+  VertexId b = before.AddObject("doc");
+  ASSERT_TRUE(before.AddExplicit(a, b, kReadWrite).ok());
+  ProtectionGraph after = before;
+  ASSERT_TRUE(after.RemoveExplicit(a, b, kWrite).ok());
+  ASSERT_TRUE(after.AddImplicit(a, b, kRead).ok());
+  std::string text = DiffGraphs(before, after).ToString(after);
+  EXPECT_NE(text.find("- alice -> doc [w]"), std::string::npos);
+  EXPECT_NE(text.find("+ alice ~> doc [r] (implicit)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,66 @@
+#include "src/tg/dot.h"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+TEST(DotTest, EmitsVerticesAndEdges) {
+  ProtectionGraph g;
+  VertexId p = g.AddSubject("p");
+  VertexId f = g.AddObject("f");
+  ASSERT_TRUE(g.AddExplicit(p, f, kReadWrite).ok());
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"p\""), std::string::npos);
+  EXPECT_NE(dot.find("\"f\""), std::string::npos);
+  EXPECT_NE(dot.find("\"p\" -> \"f\" [label=\"rw\"]"), std::string::npos);
+}
+
+TEST(DotTest, SubjectsFilledObjectsHollow) {
+  ProtectionGraph g;
+  g.AddSubject("s");
+  g.AddObject("o");
+  std::string dot = ToDot(g);
+  // The subject line carries the filled style; the object line does not.
+  size_t s_pos = dot.find("\"s\" [");
+  size_t o_pos = dot.find("\"o\" [");
+  ASSERT_NE(s_pos, std::string::npos);
+  ASSERT_NE(o_pos, std::string::npos);
+  size_t s_end = dot.find('\n', s_pos);
+  size_t o_end = dot.find('\n', o_pos);
+  EXPECT_NE(dot.substr(s_pos, s_end - s_pos).find("filled"), std::string::npos);
+  EXPECT_EQ(dot.substr(o_pos, o_end - o_pos).find("filled"), std::string::npos);
+}
+
+TEST(DotTest, ImplicitEdgesDashed) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddImplicit(a, b, kRead).ok());
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotTest, ClustersGroupVertices) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  DotOptions options;
+  options.clusters[a] = "high";
+  options.clusters[b] = "low";
+  std::string dot = ToDot(g, options);
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"high\""), std::string::npos);
+}
+
+TEST(DotTest, QuotesSpecialCharacters) {
+  ProtectionGraph g;
+  g.AddSubject("we\"ird");
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tg

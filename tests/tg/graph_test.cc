@@ -1,0 +1,275 @@
+#include "src/tg/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tg {
+namespace {
+
+TEST(GraphTest, AddVertices) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject("alice");
+  VertexId o = g.AddObject("file");
+  EXPECT_EQ(g.VertexCount(), 2u);
+  EXPECT_EQ(g.SubjectCount(), 1u);
+  EXPECT_TRUE(g.IsSubject(s));
+  EXPECT_TRUE(g.IsObject(o));
+  EXPECT_EQ(g.NameOf(s), "alice");
+  EXPECT_EQ(g.FindVertex("file"), o);
+  EXPECT_EQ(g.FindVertex("nobody"), kInvalidVertex);
+}
+
+TEST(GraphTest, AutoNames) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  EXPECT_EQ(g.NameOf(s), "s0");
+  EXPECT_EQ(g.NameOf(o), "o1");
+}
+
+TEST(GraphTest, DuplicateNamesUniquified) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("p");
+  VertexId b = g.AddSubject("p");
+  EXPECT_NE(g.NameOf(a), g.NameOf(b));
+  EXPECT_EQ(g.FindVertex("p"), a);
+}
+
+TEST(GraphTest, AddExplicitEdge) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(s, o, kReadWrite).ok());
+  EXPECT_EQ(g.ExplicitRights(s, o), kReadWrite);
+  EXPECT_TRUE(g.HasExplicit(s, o, Right::kRead));
+  EXPECT_FALSE(g.HasExplicit(o, s, Right::kRead));
+  EXPECT_EQ(g.ExplicitEdgeCount(), 1u);
+}
+
+TEST(GraphTest, AddExplicitAccumulates) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(s, o, kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(s, o, kTake).ok());
+  EXPECT_EQ(g.ExplicitRights(s, o), kRead.Union(kTake));
+  EXPECT_EQ(g.ExplicitEdgeCount(), 1u);  // one edge, bigger label
+}
+
+TEST(GraphTest, SelfEdgeRejected) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  EXPECT_FALSE(g.AddExplicit(s, s, kRead).ok());
+  EXPECT_FALSE(g.AddImplicit(s, s, kRead).ok());
+}
+
+TEST(GraphTest, OutOfRangeRejected) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  EXPECT_FALSE(g.AddExplicit(s, 99, kRead).ok());
+  EXPECT_FALSE(g.AddExplicit(99, s, kRead).ok());
+}
+
+TEST(GraphTest, EmptyRightSetRejected) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  EXPECT_FALSE(g.AddExplicit(s, o, RightSet()).ok());
+}
+
+TEST(GraphTest, ImplicitRestrictedToInformationRights) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  EXPECT_TRUE(g.AddImplicit(s, o, kRead).ok());
+  EXPECT_FALSE(g.AddImplicit(s, o, kTake).ok());
+  EXPECT_EQ(g.ImplicitEdgeCount(), 1u);
+}
+
+TEST(GraphTest, ExplicitAndImplicitIndependent) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(s, o, kWrite).ok());
+  ASSERT_TRUE(g.AddImplicit(s, o, kRead).ok());
+  EXPECT_EQ(g.ExplicitRights(s, o), kWrite);
+  EXPECT_EQ(g.ImplicitRights(s, o), kRead);
+  EXPECT_EQ(g.TotalRights(s, o), kReadWrite);
+}
+
+TEST(GraphTest, RemoveExplicitRights) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(s, o, kReadWrite).ok());
+  ASSERT_TRUE(g.RemoveExplicit(s, o, kRead).ok());
+  EXPECT_EQ(g.ExplicitRights(s, o), kWrite);
+  EXPECT_EQ(g.ExplicitEdgeCount(), 1u);
+  ASSERT_TRUE(g.RemoveExplicit(s, o, kWrite).ok());
+  EXPECT_TRUE(g.ExplicitRights(s, o).empty());
+  EXPECT_EQ(g.ExplicitEdgeCount(), 0u);
+}
+
+TEST(GraphTest, RemoveFromMissingEdgeFails) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  EXPECT_FALSE(g.RemoveExplicit(s, o, kRead).ok());
+}
+
+TEST(GraphTest, RemoveSupersetAllowed) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(s, o, kRead).ok());
+  ASSERT_TRUE(g.RemoveExplicit(s, o, RightSet::All()).ok());
+  EXPECT_TRUE(g.ExplicitRights(s, o).empty());
+}
+
+TEST(GraphTest, ClearImplicit) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddImplicit(s, o, kRead).ok());
+  g.ClearImplicit();
+  EXPECT_EQ(g.ImplicitEdgeCount(), 0u);
+  EXPECT_TRUE(g.ImplicitRights(s, o).empty());
+}
+
+TEST(GraphTest, IterationSkipsEmptyLabels) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject();
+  VertexId b = g.AddObject();
+  VertexId c = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(a, b, kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(a, c, kWrite).ok());
+  ASSERT_TRUE(g.RemoveExplicit(a, b, kRead).ok());
+  size_t count = 0;
+  g.ForEachOutEdge(a, [&](const Edge& e) {
+    ++count;
+    EXPECT_EQ(e.dst, c);
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(GraphTest, InEdges) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject();
+  VertexId b = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(a, o, kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, o, kWrite).ok());
+  size_t count = 0;
+  RightSet seen;
+  g.ForEachInEdge(o, [&](const Edge& e) {
+    ++count;
+    seen = seen.Union(e.explicit_rights);
+  });
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(seen, kReadWrite);
+}
+
+TEST(GraphTest, NeighborsBothDirectionsDeduplicated) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject();
+  VertexId b = g.AddSubject();
+  ASSERT_TRUE(g.AddExplicit(a, b, kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, a, kWrite).ok());
+  EXPECT_EQ(g.Neighbors(a), std::vector<VertexId>{b});
+}
+
+TEST(GraphTest, EqualityStructural) {
+  ProtectionGraph g1;
+  ProtectionGraph g2;
+  for (auto* g : {&g1, &g2}) {
+    VertexId s = g->AddSubject("s");
+    VertexId o = g->AddObject("o");
+    ASSERT_TRUE(g->AddExplicit(s, o, kRead).ok());
+  }
+  EXPECT_TRUE(g1 == g2);
+  ASSERT_TRUE(g2.AddExplicit(g2.FindVertex("s"), g2.FindVertex("o"), kWrite).ok());
+  EXPECT_FALSE(g1 == g2);
+}
+
+TEST(GraphTest, EqualityConsidersKinds) {
+  ProtectionGraph g1;
+  g1.AddSubject("v");
+  ProtectionGraph g2;
+  g2.AddObject("v");
+  EXPECT_FALSE(g1 == g2);
+}
+
+TEST(GraphTest, CopyIsDeep) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(s, o, kRead).ok());
+  ProtectionGraph copy = g;
+  ASSERT_TRUE(copy.AddExplicit(s, o, kWrite).ok());
+  EXPECT_EQ(g.ExplicitRights(s, o), kRead);
+  EXPECT_EQ(copy.ExplicitRights(s, o), kReadWrite);
+}
+
+TEST(GraphTest, ValidatePasses) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(s, o, kReadWrite).ok());
+  ASSERT_TRUE(g.AddImplicit(s, o, kRead).ok());
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphTest, SummaryMentionsCounts) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject();
+  VertexId o = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(s, o, kRead).ok());
+  std::string summary = g.Summary();
+  EXPECT_NE(summary.find("1 subjects"), std::string::npos);
+  EXPECT_NE(summary.find("1 objects"), std::string::npos);
+  EXPECT_NE(summary.find("1 explicit edges"), std::string::npos);
+}
+
+TEST(GraphTest, ForEachNeighborCoversBothDirections) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject();
+  VertexId b = g.AddObject();
+  VertexId c = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(a, b, kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(c, a, kWrite).ok());
+  std::vector<VertexId> seen;
+  g.ForEachNeighbor(a, [&](VertexId v) { seen.push_back(v); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<VertexId>{b, c}));
+}
+
+TEST(GraphTest, ForEachNeighborMayRepeatMutualPairs) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject();
+  VertexId b = g.AddSubject();
+  ASSERT_TRUE(g.AddExplicit(a, b, kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, a, kWrite).ok());
+  size_t visits = 0;
+  g.ForEachNeighbor(a, [&](VertexId v) {
+    EXPECT_EQ(v, b);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 2u);  // once per direction list (documented contract)
+  // Neighbors() deduplicates.
+  EXPECT_EQ(g.Neighbors(a), std::vector<VertexId>{b});
+}
+
+TEST(GraphTest, EdgesSnapshot) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject();
+  VertexId b = g.AddObject();
+  VertexId c = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(a, b, kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(a, c, kTake).ok());
+  std::vector<Edge> edges = g.Edges();
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tg

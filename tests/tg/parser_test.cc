@@ -1,0 +1,114 @@
+#include "src/tg/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tg/printer.h"
+
+namespace tg {
+namespace {
+
+TEST(ParserTest, ParsesVerticesAndEdges) {
+  auto result = ParseGraph(R"(
+# a small graph
+subject p
+object  f
+edge p f rw
+)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ProtectionGraph& g = *result;
+  EXPECT_EQ(g.VertexCount(), 2u);
+  VertexId p = g.FindVertex("p");
+  VertexId f = g.FindVertex("f");
+  ASSERT_NE(p, kInvalidVertex);
+  ASSERT_NE(f, kInvalidVertex);
+  EXPECT_TRUE(g.IsSubject(p));
+  EXPECT_TRUE(g.IsObject(f));
+  EXPECT_EQ(g.ExplicitRights(p, f), kReadWrite);
+}
+
+TEST(ParserTest, ParsesImplicitEdges) {
+  auto result = ParseGraph("subject a\nsubject b\nimplicit a b r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasImplicit(0, 1, Right::kRead));
+  EXPECT_EQ(result->ExplicitEdgeCount(), 0u);
+}
+
+TEST(ParserTest, TrailingCommentsStripped) {
+  auto result = ParseGraph("subject a # the actor\nobject b\nedge a b r # read\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->HasExplicit(0, 1, Right::kRead));
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto result = ParseGraph("subject a\nbogus line here\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), tg_util::StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, UnknownVertexRejected) {
+  auto result = ParseGraph("subject a\nedge a ghost r\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(ParserTest, DuplicateVertexRejected) {
+  auto result = ParseGraph("subject a\nobject a\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, BadRightsRejected) {
+  EXPECT_FALSE(ParseGraph("subject a\nobject b\nedge a b rq\n").ok());
+  EXPECT_FALSE(ParseGraph("subject a\nobject b\nedge a b\n").ok());
+}
+
+TEST(ParserTest, SelfEdgeRejected) {
+  auto result = ParseGraph("subject a\nedge a a r\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, ImplicitNonInformationRightRejected) {
+  auto result = ParseGraph("subject a\nobject b\nimplicit a b t\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ParserTest, EmptyDocumentIsEmptyGraph) {
+  auto result = ParseGraph("  \n# only comments\n\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->VertexCount(), 0u);
+}
+
+TEST(ParserTest, PrintParseRoundTrip) {
+  ProtectionGraph g;
+  VertexId p = g.AddSubject("p");
+  VertexId q = g.AddSubject("q");
+  VertexId f = g.AddObject("f");
+  ASSERT_TRUE(g.AddExplicit(p, q, kTakeGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(q, f, kReadWrite).ok());
+  ASSERT_TRUE(g.AddImplicit(p, f, kRead).ok());
+  auto reparsed = ParseGraph(PrintGraph(g));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(*reparsed == g);
+}
+
+TEST(ParserTest, RoundTripPreservesAllRightCombos) {
+  ProtectionGraph g;
+  VertexId hub = g.AddSubject("hub");
+  for (int bits = 1; bits < (1 << kRightCount); ++bits) {
+    VertexId v = g.AddObject("o" + std::to_string(bits));
+    ASSERT_TRUE(g.AddExplicit(hub, v, RightSet::FromBits(static_cast<uint8_t>(bits))).ok());
+  }
+  auto reparsed = ParseGraph(PrintGraph(g));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*reparsed == g);
+}
+
+TEST(ParserTest, LoadMissingFileFails) {
+  auto result = LoadGraphFile("/nonexistent/path/to/graph.tgg");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), tg_util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tg

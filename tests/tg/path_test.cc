@@ -1,0 +1,170 @@
+#include "src/tg/path.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tg/languages.h"
+
+namespace tg {
+namespace {
+
+TEST(PathTest, StepSymbolsBothDirections) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject();
+  VertexId b = g.AddObject();
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, a, kRead).ok());
+  auto symbols = StepSymbols(g, a, b, /*use_implicit=*/true);
+  // Forward take, backward read.
+  ASSERT_EQ(symbols.size(), 2u);
+  EXPECT_EQ(symbols[0], PathSymbol::kReadBack);
+  EXPECT_EQ(symbols[1], PathSymbol::kTakeFwd);
+}
+
+TEST(PathTest, StepSymbolsRespectImplicitFlag) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject();
+  VertexId b = g.AddObject();
+  ASSERT_TRUE(g.AddImplicit(a, b, kRead).ok());
+  EXPECT_EQ(StepSymbols(g, a, b, true).size(), 1u);
+  EXPECT_TRUE(StepSymbols(g, a, b, false).empty());
+}
+
+TEST(PathTest, FindsTakeChain) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  VertexId c = g.AddObject("c");
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, kTake).ok());
+  auto path = FindWordPath(g, a, c, TerminalSpanDfa());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->start, a);
+  EXPECT_EQ(path->end(), c);
+  EXPECT_EQ(WordToString(path->word()), "t> t>");
+}
+
+TEST(PathTest, NoPathWhenWrongLabels) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  VertexId c = g.AddObject("c");
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, kRead).ok());  // breaks the t chain
+  EXPECT_FALSE(FindWordPath(g, a, c, TerminalSpanDfa()).has_value());
+}
+
+TEST(PathTest, ZeroLengthPathWhenDfaAcceptsNull) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  auto path = FindWordPath(g, a, a, TerminalSpanDfa());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->steps.empty());
+  EXPECT_EQ(path->end(), a);
+}
+
+TEST(PathTest, MinStepsForcesNonTrivial) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  PathSearchOptions options;
+  options.min_steps = 1;
+  EXPECT_FALSE(FindWordPath(g, a, a, TerminalSpanDfa(), options).has_value());
+}
+
+TEST(PathTest, BackwardTraversal) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(b, a, kTake).ok());  // edge points b -> a
+  auto path = FindWordPath(g, a, b, BridgeDfa());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(WordToString(path->word()), "t<");
+}
+
+TEST(PathTest, StepFilterBlocks) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  PathSearchOptions options;
+  options.step_filter = [](VertexId, PathSymbol, VertexId) { return false; };
+  EXPECT_FALSE(FindWordPath(g, a, b, TerminalSpanDfa(), options).has_value());
+}
+
+TEST(PathTest, ShortestPathPreferred) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  VertexId c = g.AddObject("c");
+  VertexId d = g.AddObject("d");
+  // Long route a-b-c-d and direct route a-d.
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(c, d, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(a, d, kTake).ok());
+  auto path = FindWordPath(g, a, d, TerminalSpanDfa());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->length(), 1u);
+}
+
+TEST(PathTest, WordReachableFlagsAcceptingVertices) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  VertexId c = g.AddObject("c");
+  VertexId d = g.AddObject("d");
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(c, d, kRead).ok());
+  auto reach = WordReachable(g, a, TerminalSpanDfa());
+  EXPECT_TRUE(reach[a]);  // null word accepted
+  EXPECT_TRUE(reach[b]);
+  EXPECT_TRUE(reach[c]);
+  EXPECT_FALSE(reach[d]);  // r edge leaves the language
+}
+
+TEST(PathTest, WordReachableMultiSeedsAll) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId c = g.AddObject("c");
+  VertexId d = g.AddObject("d");
+  ASSERT_TRUE(g.AddExplicit(a, c, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, d, kTake).ok());
+  auto reach = WordReachableMulti(g, {a, b}, TerminalSpanDfa());
+  EXPECT_TRUE(reach[c]);
+  EXPECT_TRUE(reach[d]);
+}
+
+TEST(PathTest, PathRendering) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  auto path = FindWordPath(g, a, b, TerminalSpanDfa());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->ToString(g), "a -t>- b (word: t>)");
+}
+
+TEST(PathTest, GrantPivotBridgePath) {
+  ProtectionGraph g;
+  VertexId p = g.AddSubject("p");
+  VertexId a = g.AddObject("a");
+  VertexId b = g.AddObject("b");
+  VertexId q = g.AddSubject("q");
+  ASSERT_TRUE(g.AddExplicit(p, a, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(a, b, kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(q, b, kTake).ok());
+  auto path = FindWordPath(g, p, q, BridgeDfa());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(WordToString(path->word()), "t> g> t<");
+}
+
+TEST(PathTest, InvalidVerticesYieldNothing) {
+  ProtectionGraph g;
+  g.AddSubject("a");
+  EXPECT_FALSE(FindWordPath(g, 0, 99, TerminalSpanDfa()).has_value());
+  EXPECT_FALSE(FindWordPath(g, 99, 0, TerminalSpanDfa()).has_value());
+}
+
+}  // namespace
+}  // namespace tg

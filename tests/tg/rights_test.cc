@@ -1,0 +1,109 @@
+#include "src/tg/rights.h"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+TEST(RightsTest, CharRoundTrip) {
+  for (int i = 0; i < kRightCount; ++i) {
+    Right r = static_cast<Right>(i);
+    auto back = RightFromChar(RightChar(r));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, r);
+  }
+}
+
+TEST(RightsTest, UnknownCharRejected) {
+  EXPECT_FALSE(RightFromChar('z').has_value());
+  EXPECT_FALSE(RightFromChar(' ').has_value());
+  EXPECT_FALSE(RightFromChar('R').has_value());
+}
+
+TEST(RightsTest, InertRights) {
+  EXPECT_FALSE(IsInertRight(Right::kRead));
+  EXPECT_FALSE(IsInertRight(Right::kWrite));
+  EXPECT_FALSE(IsInertRight(Right::kTake));
+  EXPECT_FALSE(IsInertRight(Right::kGrant));
+  EXPECT_TRUE(IsInertRight(Right::kExecute));
+  EXPECT_TRUE(IsInertRight(Right::kAppend));
+}
+
+TEST(RightSetTest, EmptyByDefault) {
+  RightSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.ToString(), "");
+}
+
+TEST(RightSetTest, AddRemoveHas) {
+  RightSet s;
+  s = s.Add(Right::kRead).Add(Right::kTake);
+  EXPECT_TRUE(s.Has(Right::kRead));
+  EXPECT_TRUE(s.Has(Right::kTake));
+  EXPECT_FALSE(s.Has(Right::kWrite));
+  EXPECT_EQ(s.size(), 2);
+  s = s.Remove(Right::kRead);
+  EXPECT_FALSE(s.Has(Right::kRead));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(RightSetTest, SetAlgebra) {
+  RightSet a = RightSet::Of({Right::kRead, Right::kWrite});
+  RightSet b = RightSet::Of({Right::kWrite, Right::kTake});
+  EXPECT_EQ(a.Union(b), RightSet::Of({Right::kRead, Right::kWrite, Right::kTake}));
+  EXPECT_EQ(a.Intersect(b), RightSet(Right::kWrite));
+  EXPECT_EQ(a.Minus(b), RightSet(Right::kRead));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(RightSet(Right::kRead).Intersects(RightSet(Right::kGrant)));
+}
+
+TEST(RightSetTest, SubsetRelation) {
+  RightSet rw = kReadWrite;
+  EXPECT_TRUE(RightSet(Right::kRead).IsSubsetOf(rw));
+  EXPECT_TRUE(rw.IsSubsetOf(rw));
+  EXPECT_TRUE(RightSet().IsSubsetOf(rw));
+  EXPECT_FALSE(rw.IsSubsetOf(RightSet(Right::kRead)));
+}
+
+TEST(RightSetTest, ParseValid) {
+  auto s = RightSet::Parse("rwtg");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, RightSet::Of({Right::kRead, Right::kWrite, Right::kTake, Right::kGrant}));
+}
+
+TEST(RightSetTest, ParseEmptyIsEmptySet) {
+  auto s = RightSet::Parse("");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->empty());
+}
+
+TEST(RightSetTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(RightSet::Parse("rq").has_value());
+  EXPECT_FALSE(RightSet::Parse("R").has_value());
+}
+
+TEST(RightSetTest, ToStringCanonicalOrder) {
+  RightSet s = RightSet::Of({Right::kGrant, Right::kRead, Right::kExecute});
+  EXPECT_EQ(s.ToString(), "rge");
+}
+
+TEST(RightSetTest, ParsePrintRoundTripAllSubsets) {
+  for (int bits = 0; bits < (1 << kRightCount); ++bits) {
+    RightSet s = RightSet::FromBits(static_cast<uint8_t>(bits));
+    auto parsed = RightSet::Parse(s.ToString());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(RightSetTest, AllContainsEverything) {
+  RightSet all = RightSet::All();
+  for (int i = 0; i < kRightCount; ++i) {
+    EXPECT_TRUE(all.Has(static_cast<Right>(i)));
+  }
+  EXPECT_EQ(all.size(), kRightCount);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,97 @@
+#include "src/tg/rule_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+// A policy that vetoes any rule transferring a specific right.
+class BlockRightPolicy : public RulePolicy {
+ public:
+  explicit BlockRightPolicy(Right right) : right_(right) {}
+  std::string Name() const override { return "block-right"; }
+  tg_util::Status Vet(const ProtectionGraph&, const RuleApplication& rule) override {
+    if (rule.rights.Has(right_)) {
+      return tg_util::Status::PolicyViolation("right is blocked");
+    }
+    return tg_util::Status::Ok();
+  }
+
+ private:
+  Right right_;
+};
+
+ProtectionGraph MakeTakeSetup(VertexId& x, VertexId& y, VertexId& z) {
+  ProtectionGraph g;
+  x = g.AddSubject("x");
+  y = g.AddObject("y");
+  z = g.AddObject("z");
+  EXPECT_TRUE(g.AddExplicit(x, y, kTake).ok());
+  EXPECT_TRUE(g.AddExplicit(y, z, kReadWrite).ok());
+  return g;
+}
+
+TEST(RuleEngineTest, AppliesAndJournals) {
+  VertexId x, y, z;
+  RuleEngine engine(MakeTakeSetup(x, y, z));
+  auto result = engine.Apply(RuleApplication::Take(x, y, z, kRead));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(engine.graph().HasExplicit(x, z, Right::kRead));
+  EXPECT_EQ(engine.applied_count(), 1u);
+  EXPECT_EQ(engine.journal().rules()[0].kind, RuleKind::kTake);
+}
+
+TEST(RuleEngineTest, PolicyVetoes) {
+  VertexId x, y, z;
+  RuleEngine engine(MakeTakeSetup(x, y, z), std::make_shared<BlockRightPolicy>(Right::kWrite));
+  auto blocked = engine.Apply(RuleApplication::Take(x, y, z, kWrite));
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), tg_util::StatusCode::kPolicyViolation);
+  EXPECT_FALSE(engine.graph().HasExplicit(x, z, Right::kWrite));
+  EXPECT_EQ(engine.vetoed_count(), 1u);
+  // The non-blocked right still goes through.
+  EXPECT_TRUE(engine.Apply(RuleApplication::Take(x, y, z, kRead)).ok());
+}
+
+TEST(RuleEngineTest, PreconditionRejectionCounted) {
+  VertexId x, y, z;
+  RuleEngine engine(MakeTakeSetup(x, y, z));
+  auto rejected = engine.Apply(RuleApplication::Take(x, y, z, kGrant));  // y lacks g over z
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(engine.rejected_count(), 1u);
+  EXPECT_EQ(engine.applied_count(), 0u);
+}
+
+TEST(RuleEngineTest, WouldAllowChecksBoth) {
+  VertexId x, y, z;
+  RuleEngine engine(MakeTakeSetup(x, y, z), std::make_shared<BlockRightPolicy>(Right::kWrite));
+  EXPECT_TRUE(engine.WouldAllow(RuleApplication::Take(x, y, z, kRead)));
+  EXPECT_FALSE(engine.WouldAllow(RuleApplication::Take(x, y, z, kWrite)));  // policy
+  EXPECT_FALSE(engine.WouldAllow(RuleApplication::Take(x, y, z, kGrant)));  // precondition
+  // WouldAllow must not mutate.
+  EXPECT_FALSE(engine.graph().HasExplicit(x, z, Right::kRead));
+}
+
+TEST(RuleEngineTest, CreateReturnsCreatedId) {
+  ProtectionGraph g;
+  VertexId s = g.AddSubject("s");
+  RuleEngine engine(std::move(g));
+  auto result = engine.Apply(RuleApplication::Create(s, VertexKind::kObject, kReadWrite));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->created, kInvalidVertex);
+  EXPECT_TRUE(engine.graph().IsObject(result->created));
+}
+
+TEST(RuleEngineTest, JournalReplaysToSameGraph) {
+  VertexId x, y, z;
+  ProtectionGraph initial = MakeTakeSetup(x, y, z);
+  RuleEngine engine(initial);
+  ASSERT_TRUE(engine.Apply(RuleApplication::Take(x, y, z, kRead)).ok());
+  ASSERT_TRUE(engine.Apply(RuleApplication::Create(x, VertexKind::kObject, kTakeGrant)).ok());
+  auto replayed = engine.journal().Replay(initial);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_TRUE(*replayed == engine.graph());
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,321 @@
+#include "src/tg/rules.h"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+class RulesTest : public ::testing::Test {
+ protected:
+  ProtectionGraph g_;
+};
+
+// ---- take ----
+
+TEST_F(RulesTest, TakeTransfersRights) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kReadWrite).ok());
+  RuleApplication rule = RuleApplication::Take(x, y, z, kRead);
+  ASSERT_TRUE(ApplyRule(g_, rule).ok());
+  EXPECT_TRUE(g_.HasExplicit(x, z, Right::kRead));
+  EXPECT_FALSE(g_.HasExplicit(x, z, Right::kWrite));  // only d transfers
+}
+
+TEST_F(RulesTest, TakeRequiresSubjectActor) {
+  VertexId x = g_.AddObject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  RuleApplication rule = RuleApplication::Take(x, y, z, kRead);
+  EXPECT_FALSE(CheckRule(g_, rule).ok());
+}
+
+TEST_F(RulesTest, TakeRequiresExplicitTakeEdge) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kGrant).ok());  // g, not t
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Take(x, y, z, kRead)).ok());
+}
+
+TEST_F(RulesTest, TakeRequiresSourceToHoldRights) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Take(x, y, z, kWrite)).ok());
+}
+
+TEST_F(RulesTest, TakeCannotUseImplicitEdges) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddSubject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g_.AddImplicit(y, z, kRead).ok());  // implicit only
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Take(x, y, z, kRead)).ok());
+}
+
+TEST_F(RulesTest, TakeRequiresDistinctVertices) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, x, kRead).ok());
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Take(x, y, x, kRead)).ok());
+}
+
+// ---- grant ----
+
+TEST_F(RulesTest, GrantTransfersRights) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kGrant).ok());
+  ASSERT_TRUE(g_.AddExplicit(x, z, kReadWrite).ok());
+  RuleApplication rule = RuleApplication::Grant(x, y, z, kWrite);
+  ASSERT_TRUE(ApplyRule(g_, rule).ok());
+  EXPECT_TRUE(g_.HasExplicit(y, z, Right::kWrite));
+  EXPECT_FALSE(g_.HasExplicit(y, z, Right::kRead));
+}
+
+TEST_F(RulesTest, GrantRequiresGrantEdge) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(x, z, kRead).ok());
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Grant(x, y, z, kRead)).ok());
+}
+
+TEST_F(RulesTest, GrantRequiresGrantorToHoldRights) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kGrant).ok());
+  ASSERT_TRUE(g_.AddExplicit(x, z, kRead).ok());
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Grant(x, y, z, kWrite)).ok());
+}
+
+// ---- create ----
+
+TEST_F(RulesTest, CreateAddsVertexAndEdge) {
+  VertexId x = g_.AddSubject("x");
+  RuleApplication rule = RuleApplication::Create(x, VertexKind::kObject, kReadWrite, "doc");
+  ASSERT_TRUE(ApplyRule(g_, rule).ok());
+  ASSERT_NE(rule.created, kInvalidVertex);
+  EXPECT_TRUE(g_.IsObject(rule.created));
+  EXPECT_EQ(g_.NameOf(rule.created), "doc");
+  EXPECT_EQ(g_.ExplicitRights(x, rule.created), kReadWrite);
+}
+
+TEST_F(RulesTest, CreateWithEmptyRights) {
+  VertexId x = g_.AddSubject("x");
+  RuleApplication rule = RuleApplication::Create(x, VertexKind::kSubject, RightSet());
+  ASSERT_TRUE(ApplyRule(g_, rule).ok());
+  EXPECT_TRUE(g_.IsSubject(rule.created));
+  EXPECT_TRUE(g_.ExplicitRights(x, rule.created).empty());
+}
+
+TEST_F(RulesTest, ObjectCannotCreate) {
+  VertexId x = g_.AddObject("x");
+  RuleApplication rule = RuleApplication::Create(x, VertexKind::kObject, kRead);
+  EXPECT_FALSE(CheckRule(g_, rule).ok());
+}
+
+// ---- remove ----
+
+TEST_F(RulesTest, RemoveDeletesRights) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kReadWrite).ok());
+  RuleApplication rule = RuleApplication::Remove(x, y, kRead);
+  ASSERT_TRUE(ApplyRule(g_, rule).ok());
+  EXPECT_EQ(g_.ExplicitRights(x, y), kWrite);
+}
+
+TEST_F(RulesTest, RemoveNeedsExistingEdge) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Remove(x, y, kRead)).ok());
+}
+
+TEST_F(RulesTest, ObjectCannotRemove) {
+  VertexId x = g_.AddObject("x");
+  VertexId y = g_.AddObject("y");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kRead).ok());
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Remove(x, y, kRead)).ok());
+}
+
+// ---- de facto rules ----
+
+TEST_F(RulesTest, PostAddsImplicitRead) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddSubject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(z, y, kWrite).ok());
+  RuleApplication rule = RuleApplication::Post(x, y, z);
+  ASSERT_TRUE(ApplyRule(g_, rule).ok());
+  EXPECT_TRUE(g_.HasImplicit(x, z, Right::kRead));
+  EXPECT_FALSE(g_.HasExplicit(x, z, Right::kRead));
+}
+
+TEST_F(RulesTest, PostRequiresBothSubjects) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");  // writer must be a subject
+  ASSERT_TRUE(g_.AddExplicit(x, y, kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(z, y, kWrite).ok());
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Post(x, y, z)).ok());
+}
+
+TEST_F(RulesTest, PassNeedsOnlyMiddleSubject) {
+  VertexId x = g_.AddObject("x");
+  VertexId y = g_.AddSubject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(y, x, kWrite).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  RuleApplication rule = RuleApplication::Pass(x, y, z);
+  ASSERT_TRUE(ApplyRule(g_, rule).ok());
+  EXPECT_TRUE(g_.HasImplicit(x, z, Right::kRead));
+}
+
+TEST_F(RulesTest, SpyComposesReads) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddSubject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  RuleApplication rule = RuleApplication::Spy(x, y, z);
+  ASSERT_TRUE(ApplyRule(g_, rule).ok());
+  EXPECT_TRUE(g_.HasImplicit(x, z, Right::kRead));
+}
+
+TEST_F(RulesTest, SpyRequiresReaderSubjects) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");  // middle reader must be a subject
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  EXPECT_FALSE(CheckRule(g_, RuleApplication::Spy(x, y, z)).ok());
+}
+
+TEST_F(RulesTest, FindComposesWrites) {
+  VertexId x = g_.AddObject("x");
+  VertexId y = g_.AddSubject("y");
+  VertexId z = g_.AddSubject("z");
+  ASSERT_TRUE(g_.AddExplicit(y, x, kWrite).ok());
+  ASSERT_TRUE(g_.AddExplicit(z, y, kWrite).ok());
+  RuleApplication rule = RuleApplication::Find(x, y, z);
+  ASSERT_TRUE(ApplyRule(g_, rule).ok());
+  EXPECT_TRUE(g_.HasImplicit(x, z, Right::kRead));
+}
+
+TEST_F(RulesTest, DeFactoRulesChainOnImplicitEdges) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddSubject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddImplicit(x, y, kRead).ok());   // implicit read suffices
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  RuleApplication rule = RuleApplication::Spy(x, y, z);
+  EXPECT_TRUE(CheckRule(g_, rule).ok());
+}
+
+// ---- classification and rendering ----
+
+TEST_F(RulesTest, KindClassification) {
+  EXPECT_TRUE(IsDeJure(RuleKind::kTake));
+  EXPECT_TRUE(IsDeJure(RuleKind::kGrant));
+  EXPECT_TRUE(IsDeJure(RuleKind::kCreate));
+  EXPECT_TRUE(IsDeJure(RuleKind::kRemove));
+  EXPECT_TRUE(IsDeFacto(RuleKind::kPost));
+  EXPECT_TRUE(IsDeFacto(RuleKind::kPass));
+  EXPECT_TRUE(IsDeFacto(RuleKind::kSpy));
+  EXPECT_TRUE(IsDeFacto(RuleKind::kFind));
+}
+
+TEST_F(RulesTest, ToStringMentionsNames) {
+  VertexId x = g_.AddSubject("alice");
+  VertexId y = g_.AddObject("box");
+  VertexId z = g_.AddObject("doc");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  std::string s = RuleApplication::Take(x, y, z, kRead).ToString(g_);
+  EXPECT_NE(s.find("alice"), std::string::npos);
+  EXPECT_NE(s.find("box"), std::string::npos);
+  EXPECT_NE(s.find("doc"), std::string::npos);
+  EXPECT_NE(s.find("take"), std::string::npos);
+}
+
+// ---- enumeration ----
+
+TEST_F(RulesTest, EnumerateDeJureFindsTakeAndGrant) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTakeGrant).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(x, z, kWrite).ok());
+  std::vector<RuleApplication> rules = EnumerateDeJure(g_);
+  bool found_take = false;
+  bool found_grant = false;
+  for (const RuleApplication& r : rules) {
+    EXPECT_TRUE(CheckRule(g_, r).ok()) << r.ToString(g_);
+    if (r.kind == RuleKind::kTake && r.z == z) {
+      found_take = true;
+    }
+    if (r.kind == RuleKind::kGrant && r.y == y) {
+      found_grant = true;
+    }
+  }
+  EXPECT_TRUE(found_take);
+  EXPECT_TRUE(found_grant);
+}
+
+TEST_F(RulesTest, EnumerateDeJureSkipsNoGain) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(x, z, kRead).ok());  // x already holds it
+  EXPECT_TRUE(EnumerateDeJure(g_).empty());
+}
+
+TEST_F(RulesTest, EnumerateDeFactoAllLegalAndNew) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddSubject("z");
+  VertexId w = g_.AddSubject("w");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kRead).ok());
+  ASSERT_TRUE(g_.AddExplicit(z, y, kWrite).ok());
+  ASSERT_TRUE(g_.AddExplicit(w, x, kRead).ok());
+  std::vector<RuleApplication> rules = EnumerateDeFacto(g_);
+  EXPECT_FALSE(rules.empty());
+  for (const RuleApplication& r : rules) {
+    EXPECT_TRUE(CheckRule(g_, r).ok()) << r.ToString(g_);
+    EXPECT_FALSE(g_.HasImplicit(r.x, r.z, Right::kRead));
+  }
+}
+
+TEST_F(RulesTest, EffectOfMatchesApplication) {
+  VertexId x = g_.AddSubject("x");
+  VertexId y = g_.AddObject("y");
+  VertexId z = g_.AddObject("z");
+  ASSERT_TRUE(g_.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g_.AddExplicit(y, z, kRead).ok());
+  RuleApplication rule = RuleApplication::Take(x, y, z, kRead);
+  RuleEffect effect = EffectOf(g_, rule);
+  EXPECT_EQ(effect.src, x);
+  EXPECT_EQ(effect.dst, z);
+  EXPECT_EQ(effect.added_explicit, kRead);
+  EXPECT_TRUE(effect.added_implicit.empty());
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,173 @@
+#include "src/tg/witness.h"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+TEST(WitnessTest, EmptyReplayIsIdentity) {
+  ProtectionGraph g;
+  g.AddSubject("s");
+  Witness w;
+  auto result = w.Replay(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result == g);
+}
+
+TEST(WitnessTest, ReplayAppliesInOrder) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  VertexId z = g.AddObject("z");
+  ASSERT_TRUE(g.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(y, z, kRead).ok());
+  Witness w;
+  w.Append(RuleApplication::Take(x, y, z, kRead));
+  auto result = w.Replay(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->HasExplicit(x, z, Right::kRead));
+  // Replay must not touch the input graph.
+  EXPECT_FALSE(g.HasExplicit(x, z, Right::kRead));
+}
+
+TEST(WitnessTest, ReplayFailureNamesStep) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, kRead).ok());
+  Witness w;
+  w.Append(RuleApplication::Remove(x, y, kRead));
+  w.Append(RuleApplication::Remove(x, y, kRead));  // fails: already gone
+  auto result = w.Replay(g);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("step 2"), std::string::npos);
+}
+
+TEST(WitnessTest, CreatedVertexIdsResolveOnReplay) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, kRead).ok());
+  // Witness creates a vertex and then uses its (predictable) id.
+  VertexId created = static_cast<VertexId>(g.VertexCount());
+  Witness w;
+  w.Append(RuleApplication::Create(x, VertexKind::kObject, kTakeGrant));
+  w.Append(RuleApplication::Grant(x, created, y, kRead));
+  auto result = w.Replay(g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->HasExplicit(created, y, Right::kRead));
+}
+
+TEST(WitnessTest, VerifyAddsExplicit) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  VertexId z = g.AddObject("z");
+  ASSERT_TRUE(g.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(y, z, kWrite).ok());
+  Witness w;
+  w.Append(RuleApplication::Take(x, y, z, kWrite));
+  EXPECT_TRUE(w.VerifyAddsExplicit(g, x, z, Right::kWrite).ok());
+  EXPECT_FALSE(w.VerifyAddsExplicit(g, x, z, Right::kRead).ok());
+}
+
+TEST(WitnessTest, CountsByKind) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  VertexId z = g.AddSubject("z");
+  ASSERT_TRUE(g.AddExplicit(x, y, kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(z, y, kWrite).ok());
+  Witness w;
+  w.Append(RuleApplication::Post(x, y, z));
+  w.Append(RuleApplication::Create(x, VertexKind::kObject, kRead));
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.DeJureCount(), 1u);
+  EXPECT_EQ(w.DeFactoCount(), 1u);
+}
+
+TEST(WitnessTest, ToStringListsSteps) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  VertexId z = g.AddObject("z");
+  ASSERT_TRUE(g.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(y, z, kRead).ok());
+  Witness w;
+  w.Append(RuleApplication::Take(x, y, z, kRead));
+  std::string s = w.ToString(g);
+  EXPECT_NE(s.find("1. take"), std::string::npos);
+}
+
+TEST(MinimizeWitnessTest, DropsRedundantRules) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  VertexId z = g.AddObject("z");
+  ASSERT_TRUE(g.AddExplicit(x, y, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(y, z, kReadWrite).ok());
+  Witness w;
+  w.Append(RuleApplication::Create(x, VertexKind::kObject, kTakeGrant));  // noise
+  w.Append(RuleApplication::Take(x, y, z, kRead));                        // the point
+  w.Append(RuleApplication::Take(x, y, z, kWrite));                       // noise
+  Witness minimal = MinimizeWitness(
+      w, g, [&](const ProtectionGraph& final_graph) {
+        return final_graph.HasExplicit(x, z, Right::kRead);
+      });
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal.rules()[0].kind, RuleKind::kTake);
+  EXPECT_EQ(minimal.rules()[0].rights, kRead);
+}
+
+TEST(MinimizeWitnessTest, KeepsDependentChains) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId a = g.AddObject("a");
+  VertexId b = g.AddObject("b");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, a, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, y, kRead).ok());
+  Witness w;
+  w.Append(RuleApplication::Take(x, a, b, kTake));
+  w.Append(RuleApplication::Take(x, b, y, kRead));
+  Witness minimal = MinimizeWitness(w, g, [&](const ProtectionGraph& final_graph) {
+    return final_graph.HasExplicit(x, y, Right::kRead);
+  });
+  EXPECT_EQ(minimal.size(), 2u);  // both steps are load-bearing
+}
+
+TEST(MinimizeWitnessTest, InvalidWitnessReturnedUntouched) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  Witness w;
+  w.Append(RuleApplication::Take(x, y, x, kRead));  // never applies
+  Witness out = MinimizeWitness(w, g, [](const ProtectionGraph&) { return true; });
+  EXPECT_EQ(out.size(), w.size());
+}
+
+TEST(MinimizeWitnessTest, EmptyGoalAlreadySatisfied) {
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, y, kRead).ok());
+  Witness w;
+  w.Append(RuleApplication::Create(x, VertexKind::kObject, kRead));
+  Witness minimal = MinimizeWitness(w, g, [&](const ProtectionGraph& final_graph) {
+    return final_graph.HasExplicit(x, y, Right::kRead);
+  });
+  EXPECT_TRUE(minimal.empty());
+}
+
+TEST(WitnessTest, AppendAllConcatenates) {
+  Witness a;
+  Witness b;
+  a.Append(RuleApplication::Create(0, VertexKind::kObject, kRead));
+  b.Append(RuleApplication::Create(0, VertexKind::kObject, kWrite));
+  a.AppendAll(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,50 @@
+#include "src/tg/word.h"
+
+#include <gtest/gtest.h>
+
+namespace tg {
+namespace {
+
+TEST(WordTest, SymbolRightAndDirection) {
+  EXPECT_EQ(SymbolRight(PathSymbol::kTakeFwd), Right::kTake);
+  EXPECT_EQ(SymbolRight(PathSymbol::kGrantBack), Right::kGrant);
+  EXPECT_FALSE(SymbolIsBackward(PathSymbol::kReadFwd));
+  EXPECT_TRUE(SymbolIsBackward(PathSymbol::kReadBack));
+}
+
+TEST(WordTest, MakeSymbolRoundTrip) {
+  for (Right r : {Right::kRead, Right::kWrite, Right::kTake, Right::kGrant}) {
+    for (bool back : {false, true}) {
+      PathSymbol s = MakeSymbol(r, back);
+      EXPECT_EQ(SymbolRight(s), r);
+      EXPECT_EQ(SymbolIsBackward(s), back);
+    }
+  }
+}
+
+TEST(WordTest, SymbolToString) {
+  EXPECT_EQ(SymbolToString(PathSymbol::kTakeFwd), "t>");
+  EXPECT_EQ(SymbolToString(PathSymbol::kTakeBack), "t<");
+  EXPECT_EQ(SymbolToString(PathSymbol::kGrantFwd), "g>");
+  EXPECT_EQ(SymbolToString(PathSymbol::kWriteBack), "w<");
+}
+
+TEST(WordTest, WordToStringNullWord) {
+  EXPECT_EQ(WordToString(Word{}), "v");
+}
+
+TEST(WordTest, WordToStringSpacesSymbols) {
+  Word w = {PathSymbol::kTakeFwd, PathSymbol::kGrantFwd, PathSymbol::kTakeBack};
+  EXPECT_EQ(WordToString(w), "t> g> t<");
+}
+
+TEST(WordTest, IndicesMatchEnumValues) {
+  Word w = {PathSymbol::kReadFwd, PathSymbol::kGrantBack};
+  std::vector<int> idx = WordToIndices(w);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(idx[1], 7);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,65 @@
+#include "src/util/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tg_util {
+namespace {
+
+// a* b over alphabet {0=a, 1=b}.
+Dfa MakeAStarB() {
+  Dfa dfa(2);
+  Dfa::State s = dfa.AddState(false);
+  Dfa::State f = dfa.AddState(true);
+  dfa.AddTransition(s, 0, s);
+  dfa.AddTransition(s, 1, f);
+  return dfa;
+}
+
+TEST(DfaTest, AcceptsMatchingWords) {
+  Dfa dfa = MakeAStarB();
+  EXPECT_TRUE(dfa.Accepts(std::vector<int>{1}));
+  EXPECT_TRUE(dfa.Accepts(std::vector<int>{0, 1}));
+  EXPECT_TRUE(dfa.Accepts(std::vector<int>{0, 0, 0, 1}));
+}
+
+TEST(DfaTest, RejectsNonMatchingWords) {
+  Dfa dfa = MakeAStarB();
+  EXPECT_FALSE(dfa.Accepts(std::vector<int>{}));
+  EXPECT_FALSE(dfa.Accepts(std::vector<int>{0}));
+  EXPECT_FALSE(dfa.Accepts(std::vector<int>{1, 1}));
+  EXPECT_FALSE(dfa.Accepts(std::vector<int>{1, 0}));
+}
+
+TEST(DfaTest, UnsetTransitionsReject) {
+  Dfa dfa(3);
+  dfa.AddState(true);
+  EXPECT_TRUE(dfa.Accepts(std::vector<int>{}));
+  EXPECT_FALSE(dfa.Accepts(std::vector<int>{0}));
+  EXPECT_FALSE(dfa.Accepts(std::vector<int>{2}));
+}
+
+TEST(DfaTest, StepAndRejectAbsorbing) {
+  Dfa dfa = MakeAStarB();
+  Dfa::State s = dfa.start();
+  s = dfa.Step(s, 1);
+  EXPECT_TRUE(dfa.IsAccepting(s));
+  s = dfa.Step(s, 1);
+  EXPECT_EQ(s, Dfa::kReject);
+  s = dfa.Step(s, 0);
+  EXPECT_EQ(s, Dfa::kReject);
+  EXPECT_FALSE(dfa.IsAccepting(Dfa::kReject));
+}
+
+TEST(DfaTest, StateCountTracks) {
+  Dfa dfa(2);
+  EXPECT_EQ(dfa.state_count(), 0);
+  dfa.AddState(false);
+  dfa.AddState(true);
+  EXPECT_EQ(dfa.state_count(), 2);
+  EXPECT_EQ(dfa.alphabet_size(), 2);
+}
+
+}  // namespace
+}  // namespace tg_util

@@ -1,0 +1,136 @@
+#include "src/util/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace tg_util {
+namespace {
+
+TEST(PrngTest, DeterministicForSeed) {
+  Prng a(12345);
+  Prng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(PrngTest, NextBelowRespectsBound) {
+  Prng prng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(prng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(PrngTest, NextBelowZeroIsZero) {
+  Prng prng(7);
+  EXPECT_EQ(prng.NextBelow(0), 0u);
+}
+
+TEST(PrngTest, NextBelowCoversRange) {
+  Prng prng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(prng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(PrngTest, NextInRangeInclusive) {
+  Prng prng(42);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = prng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng prng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = prng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(PrngTest, NextBoolExtremes) {
+  Prng prng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(prng.NextBool(0.0));
+    EXPECT_TRUE(prng.NextBool(1.0));
+  }
+}
+
+TEST(PrngTest, NextBoolRoughlyCalibrated) {
+  Prng prng(77);
+  int heads = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    heads += prng.NextBool(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kTrials, 0.25, 0.03);
+}
+
+TEST(PrngTest, ForkIsIndependentButDeterministic) {
+  Prng a(10);
+  Prng b(10);
+  Prng fa = a.Fork();
+  Prng fb = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fa.Next(), fb.Next());
+  }
+}
+
+TEST(PrngTest, ShufflePermutes) {
+  Prng prng(3);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  prng.Shuffle(items);
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(PrngTest, ShuffleEmptyAndSingleton) {
+  Prng prng(3);
+  std::vector<int> empty;
+  prng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  prng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(PrngTest, ChooseReturnsMember) {
+  Prng prng(8);
+  std::vector<int> items = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    int c = prng.Choose(items);
+    EXPECT_TRUE(c == 10 || c == 20 || c == 30);
+  }
+}
+
+}  // namespace
+}  // namespace tg_util

@@ -1,0 +1,64 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace tg_util {
+namespace {
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hello  "), "hello");
+  EXPECT_EQ(StripWhitespace("hello"), "hello");
+  EXPECT_EQ(StripWhitespace("\t\n x \r "), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+}
+
+TEST(StringsTest, SplitSinglePiece) {
+  auto pieces = Split("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  auto pieces = SplitWhitespace("  a \t b\nc ");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringsTest, SplitWhitespaceAllBlank) {
+  EXPECT_TRUE(SplitWhitespace("   \t\n").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("subject p", "subject"));
+  EXPECT_FALSE(StartsWith("sub", "subject"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringsTest, ParseNonNegativeInt) {
+  EXPECT_EQ(ParseNonNegativeInt("0"), 0);
+  EXPECT_EQ(ParseNonNegativeInt("1234"), 1234);
+  EXPECT_EQ(ParseNonNegativeInt(""), -1);
+  EXPECT_EQ(ParseNonNegativeInt("-3"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("12x"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("999999999999999999999999"), -1);  // overflow
+}
+
+}  // namespace
+}  // namespace tg_util

@@ -1,0 +1,85 @@
+#include "src/util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/prng.h"
+
+namespace tg_util {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.SetCount(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+  }
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.SetCount(), 3u);
+}
+
+TEST(UnionFindTest, UnionIdempotent) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.SetCount(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_FALSE(uf.Connected(0, 4));
+  EXPECT_EQ(uf.SetCount(), 3u);
+}
+
+TEST(UnionFindTest, GroupsDeterministic) {
+  UnionFind uf(6);
+  uf.Union(4, 5);
+  uf.Union(0, 2);
+  auto groups = uf.Groups();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0], (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(groups[1], (std::vector<size_t>{1}));
+  EXPECT_EQ(groups[2], (std::vector<size_t>{3}));
+  EXPECT_EQ(groups[3], (std::vector<size_t>{4, 5}));
+}
+
+TEST(UnionFindTest, RandomizedAgainstNaive) {
+  Prng prng(2024);
+  constexpr size_t kN = 60;
+  UnionFind uf(kN);
+  // Naive labelling oracle.
+  std::vector<size_t> label(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    label[i] = i;
+  }
+  for (int step = 0; step < 300; ++step) {
+    size_t a = prng.NextBelow(kN);
+    size_t b = prng.NextBelow(kN);
+    uf.Union(a, b);
+    size_t la = label[a];
+    size_t lb = label[b];
+    if (la != lb) {
+      for (auto& l : label) {
+        if (l == lb) {
+          l = la;
+        }
+      }
+    }
+    // Spot-check connectivity agreement.
+    size_t x = prng.NextBelow(kN);
+    size_t y = prng.NextBelow(kN);
+    EXPECT_EQ(uf.Connected(x, y), label[x] == label[y]);
+  }
+}
+
+}  // namespace
+}  // namespace tg_util
