@@ -1,0 +1,166 @@
+// Batch-analysis benchmark: serial vs parallel drivers and cold vs cached
+// queries, with in-binary equivalence checks (the binary exits non-zero if
+// parallel or cached results ever differ from serial).
+//
+// Emits machine-readable timings to BENCH_batch.json (one JSON object per
+// line) in the working directory, including the machine's core count --
+// the parallel speedup claim only applies on >= 4 cores, so downstream
+// tooling needs the context to interpret the numbers.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+tg::ProtectionGraph BenchGraph(size_t target_vertices) {
+  // A layered hierarchy with planted cross-level channels: dense enough
+  // that per-source closures dominate, the regime the pool targets.
+  tg_util::Prng prng(2026);
+  tg_sim::RandomHierarchyOptions options;
+  options.levels = 8;
+  options.subjects_per_level = (target_vertices / 8) * 5 / 8;
+  options.objects_per_level = (target_vertices / 8) - options.subjects_per_level;
+  options.planted_channels = 4;
+  return tg_sim::RandomHierarchy(options, prng).graph;
+}
+
+}  // namespace
+
+int main() {
+  exp::Reporter reporter("batch analysis: serial vs parallel vs cached");
+  exp::JsonlWriter jsonl("BENCH_batch.json");
+
+  const size_t cores = std::thread::hardware_concurrency();
+  const size_t threads = tg_util::ThreadPool::DefaultThreadCount();
+  tg::ProtectionGraph g = BenchGraph(512);
+  reporter.Note("env", "cores=" + std::to_string(cores) +
+                           " threads=" + std::to_string(threads) +
+                           " graph=" + g.Summary());
+  jsonl.Write(exp::JsonObject()
+                  .Set("record", "env")
+                  .Set("hardware_concurrency", static_cast<uint64_t>(cores))
+                  .Set("threads", static_cast<uint64_t>(threads))
+                  .Set("vertices", static_cast<uint64_t>(g.VertexCount()))
+                  .Set("subjects", static_cast<uint64_t>(g.SubjectCount()))
+                  .Set("edges", static_cast<uint64_t>(g.ExplicitEdgeCount())));
+
+  tg_util::ThreadPool serial(1);
+  tg_util::ThreadPool parallel;  // DefaultThreadCount-sized
+
+  // --- rwtg-levels: per-subject BOC closures over the pool. ---
+  Clock::time_point t0 = Clock::now();
+  tg_hier::LevelAssignment levels_serial = tg_hier::ComputeRwtgLevels(g, &serial);
+  double levels_serial_ms = MsSince(t0);
+  t0 = Clock::now();
+  tg_hier::LevelAssignment levels_parallel = tg_hier::ComputeRwtgLevels(g, &parallel);
+  double levels_parallel_ms = MsSince(t0);
+  bool levels_equal = levels_serial.LevelCount() == levels_parallel.LevelCount();
+  for (tg::VertexId v = 0; levels_equal && v < g.VertexCount(); ++v) {
+    levels_equal = levels_serial.LevelOf(v) == levels_parallel.LevelOf(v);
+  }
+  reporter.Check("levels", "parallel rwtg-levels identical to serial", true, levels_equal);
+  jsonl.Write(exp::JsonObject()
+                  .Set("record", "timing")
+                  .Set("bench", "rwtg_levels")
+                  .Set("serial_ms", levels_serial_ms)
+                  .Set("parallel_ms", levels_parallel_ms)
+                  .Set("speedup", levels_parallel_ms > 0 ? levels_serial_ms / levels_parallel_ms : 0.0)
+                  .Set("identical", levels_equal));
+
+  // --- all-pairs can_know matrix. ---
+  t0 = Clock::now();
+  std::vector<std::vector<bool>> matrix_serial = tg_analysis::KnowableFromAll(g, &serial);
+  double matrix_serial_ms = MsSince(t0);
+  t0 = Clock::now();
+  std::vector<std::vector<bool>> matrix_parallel = tg_analysis::KnowableFromAll(g, &parallel);
+  double matrix_parallel_ms = MsSince(t0);
+  bool matrix_equal = matrix_serial == matrix_parallel;
+  reporter.Check("matrix", "parallel can_know matrix identical to serial", true, matrix_equal);
+  jsonl.Write(exp::JsonObject()
+                  .Set("record", "timing")
+                  .Set("bench", "knowable_matrix")
+                  .Set("serial_ms", matrix_serial_ms)
+                  .Set("parallel_ms", matrix_parallel_ms)
+                  .Set("speedup", matrix_parallel_ms > 0 ? matrix_serial_ms / matrix_parallel_ms : 0.0)
+                  .Set("identical", matrix_equal));
+
+  // --- security audit sweep. ---
+  t0 = Clock::now();
+  tg_hier::SecurityReport audit_serial = tg_hier::CheckSecure(g, levels_serial, 0, &serial);
+  double audit_serial_ms = MsSince(t0);
+  t0 = Clock::now();
+  tg_hier::SecurityReport audit_parallel = tg_hier::CheckSecure(g, levels_serial, 0, &parallel);
+  double audit_parallel_ms = MsSince(t0);
+  bool audit_equal = audit_serial.secure == audit_parallel.secure &&
+                     audit_serial.violations.size() == audit_parallel.violations.size();
+  for (size_t i = 0; audit_equal && i < audit_serial.violations.size(); ++i) {
+    audit_equal = audit_serial.violations[i].detail == audit_parallel.violations[i].detail;
+  }
+  reporter.Check("audit", "parallel security audit identical to serial", true, audit_equal);
+  jsonl.Write(exp::JsonObject()
+                  .Set("record", "timing")
+                  .Set("bench", "security_audit")
+                  .Set("serial_ms", audit_serial_ms)
+                  .Set("parallel_ms", audit_parallel_ms)
+                  .Set("speedup", audit_parallel_ms > 0 ? audit_serial_ms / audit_parallel_ms : 0.0)
+                  .Set("identical", audit_equal));
+
+  // --- cold vs cached queries: every subject's knowable row, twice. ---
+  tg_analysis::AnalysisCache cache;
+  std::vector<tg::VertexId> subjects;
+  for (tg::VertexId v = 0; v < g.VertexCount(); ++v) {
+    if (g.IsSubject(v)) {
+      subjects.push_back(v);
+    }
+  }
+  t0 = Clock::now();
+  size_t cold_popcount = 0;
+  for (tg::VertexId x : subjects) {
+    const std::vector<bool>& row = cache.Knowable(g, x);
+    cold_popcount += row.size();
+  }
+  double cold_ms = MsSince(t0);
+  t0 = Clock::now();
+  size_t warm_popcount = 0;
+  for (tg::VertexId x : subjects) {
+    const std::vector<bool>& row = cache.Knowable(g, x);
+    warm_popcount += row.size();
+  }
+  double warm_ms = MsSince(t0);
+  bool cache_correct = cold_popcount == warm_popcount;
+  for (size_t i = 0; cache_correct && i < subjects.size(); i += 37) {
+    cache_correct = cache.Knowable(g, subjects[i]) == matrix_serial[subjects[i]];
+  }
+  double cached_speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+  reporter.Check("cache", "cached rows identical to serial matrix", true, cache_correct);
+  reporter.Check("cache10x", "warm pass >= 10x faster than cold pass", true,
+                 warm_ms == 0.0 || cached_speedup >= 10.0);
+  reporter.Note("cache", "cold=" + std::to_string(cold_ms) + "ms warm=" +
+                             std::to_string(warm_ms) + "ms hits=" +
+                             std::to_string(cache.hits()) + " misses=" +
+                             std::to_string(cache.misses()));
+  jsonl.Write(exp::JsonObject()
+                  .Set("record", "timing")
+                  .Set("bench", "cached_knowable")
+                  .Set("cold_ms", cold_ms)
+                  .Set("warm_ms", warm_ms)
+                  .Set("speedup", cached_speedup)
+                  .Set("hits", static_cast<uint64_t>(cache.hits()))
+                  .Set("misses", static_cast<uint64_t>(cache.misses()))
+                  .Set("identical", cache_correct));
+
+  if (!jsonl.ok()) {
+    std::fprintf(stderr, "warning: could not open BENCH_batch.json for writing\n");
+  }
+  return reporter.Finish();
+}

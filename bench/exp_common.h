@@ -1,10 +1,13 @@
 // Shared reporting for the experiment binaries: each experiment prints one
 // row per paper claim, "claim vs measured", and the binary exits non-zero
-// if any claim fails to reproduce.
+// if any claim fails to reproduce.  JsonObject/JsonlWriter add a
+// machine-readable companion format (one JSON object per line) for
+// benchmarks whose numbers downstream tooling consumes.
 
 #ifndef BENCH_EXP_COMMON_H_
 #define BENCH_EXP_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -40,6 +43,81 @@ class Reporter {
 
  private:
   int failures_ = 0;
+};
+
+// One flat JSON object, built key by key.  Insertion order is preserved;
+// keys are not deduplicated (don't Set the same key twice).
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + Escape(value) + "\"");
+  }
+  JsonObject& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  JsonObject& Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, uint64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, int value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+
+  std::string ToString() const { return "{" + body_ + "}"; }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  JsonObject& Raw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) {
+      body_ += ",";
+    }
+    body_ += "\"" + Escape(key) + "\":" + rendered;
+    return *this;
+  }
+
+  std::string body_;
+};
+
+// Writes JSON objects one per line (JSON Lines).  Benchmarks emit a
+// BENCH_<name>.json next to the binary; scripts/run_all.sh collects them.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(const std::string& path) : out_(std::fopen(path.c_str(), "w")) {}
+  ~JsonlWriter() {
+    if (out_ != nullptr) {
+      std::fclose(out_);
+    }
+  }
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  bool ok() const { return out_ != nullptr; }
+
+  void Write(const JsonObject& object) {
+    if (out_ != nullptr) {
+      std::fprintf(out_, "%s\n", object.ToString().c_str());
+    }
+  }
+
+ private:
+  std::FILE* out_;
 };
 
 }  // namespace exp

@@ -10,6 +10,7 @@
 // can_know security check) instead of the computed one.  With --dot,
 // writes a Graphviz rendering clustered by level.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -150,6 +151,20 @@ int main(int argc, char** argv) {
   }
   if (listed == 0) {
     std::printf("  (none beyond existing edges)\n");
+  }
+
+  // Knowable-set sizes, answered through the version-keyed AnalysisCache:
+  // the snapshot is built once and every row is memoized, so an interactive
+  // caller re-asking any of these questions would hit the cache.
+  tg_analysis::AnalysisCache cache;
+  std::printf("\nknowable sets (|{y : can_know(x, y)}| per subject):\n");
+  for (tg::VertexId x = 0; x < graph.VertexCount(); ++x) {
+    if (!graph.IsSubject(x)) {
+      continue;
+    }
+    const std::vector<bool>& row = cache.Knowable(graph, x);
+    size_t count = static_cast<size_t>(std::count(row.begin(), row.end(), true));
+    std::printf("  %s: %zu\n", graph.NameOf(x).c_str(), count);
   }
 
   if (!dot_path.empty()) {

@@ -41,6 +41,11 @@ namespace {
 
 struct Shell {
   tg::ProtectionGraph graph;
+  // Memoizes know queries between mutations; keyed on graph.version(), so
+  // rule applications invalidate it automatically.  Must be explicitly
+  // invalidated when `graph` is *replaced* (load, saturate), since a fresh
+  // graph restarts its version counter.
+  tg_analysis::AnalysisCache cache;
   bool done = false;
 
   tg::VertexId Resolve(std::string_view name) {
@@ -238,7 +243,7 @@ void Shell::Execute(const std::string& raw) {
       return;
     }
     if (cmd == "know") {
-      bool yes = tg_analysis::CanKnow(graph, x, y);
+      bool yes = cache.CanKnow(graph, x, y);
       std::printf("can_know(%s, %s) = %s\n", graph.NameOf(x).c_str(),
                   graph.NameOf(y).c_str(), yes ? "true" : "false");
       if (yes && x != y) {
@@ -282,6 +287,7 @@ void Shell::Execute(const std::string& raw) {
   } else if (cmd == "saturate") {
     size_t before = graph.ImplicitEdgeCount();
     graph = tg_analysis::SaturateDeFacto(graph);
+    cache.Invalidate();
     std::printf("ok: %zu new implicit edge(s)\n", graph.ImplicitEdgeCount() - before);
   } else if (cmd == "show") {
     std::printf("%s", tg::PrintGraph(graph).c_str());
@@ -318,6 +324,7 @@ void Shell::Execute(const std::string& raw) {
       return;
     }
     graph = std::move(loaded).value();
+    cache.Invalidate();
     std::printf("ok: %s\n", graph.Summary().c_str());
   } else {
     std::printf("error: unknown command '%.*s' (try help)\n", static_cast<int>(cmd.size()),

@@ -17,4 +17,8 @@ for b in build/bench/*; do
   echo "exit=$?" | tee -a bench_output.txt
 done
 
+# bench_batch also writes machine-readable timings (JSON lines) into the
+# working directory.
+[ -f BENCH_batch.json ] && echo "batch timings: BENCH_batch.json"
+
 echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,97 @@
+#include "src/analysis/batch.h"
+
+#include "src/analysis/bridges.h"
+#include "src/tg/languages.h"
+
+namespace tg_analysis {
+
+using tg::AnalysisSnapshot;
+using tg::SnapshotBfsOptions;
+using tg::VertexId;
+
+std::vector<bool> KnowableFromSnapshot(const AnalysisSnapshot& snap, VertexId x) {
+  const size_t n = snap.vertex_count();
+  std::vector<bool> knowable(n, false);
+  if (!snap.IsValidVertex(x)) {
+    return knowable;
+  }
+  knowable[x] = true;
+  SnapshotBfsOptions options;
+  options.use_implicit = true;
+  // (a) candidate chain heads: subjects that rw-initially span to x (one
+  // reversed-language BFS from x), plus x itself when x is a subject.
+  std::vector<VertexId> heads;
+  {
+    const VertexId sources[] = {x};
+    std::vector<bool> spanners =
+        SnapshotWordReachable(snap, sources, tg::ReverseRwInitialSpanDfa(), options);
+    for (VertexId v = 0; v < n; ++v) {
+      if (spanners[v] && snap.IsSubject(v)) {
+        heads.push_back(v);
+      }
+    }
+  }
+  if (snap.IsSubject(x)) {
+    heads.push_back(x);
+  }
+  if (heads.empty()) {
+    return knowable;
+  }
+  // (c) directed closure over bridge-or-connection words.
+  std::vector<bool> closure = BridgeOrConnectionClosure(snap, heads);
+  // y is knowable when some closure subject is y itself or rw-terminally
+  // spans to y; the latter is one multi-source span search.
+  std::vector<VertexId> closure_subjects;
+  for (VertexId v = 0; v < n; ++v) {
+    if (closure[v]) {
+      knowable[v] = true;
+      closure_subjects.push_back(v);
+    }
+  }
+  std::vector<bool> spanned =
+      SnapshotWordReachable(snap, closure_subjects, tg::RwTerminalSpanDfa(), options);
+  for (VertexId v = 0; v < n; ++v) {
+    if (spanned[v]) {
+      knowable[v] = true;
+    }
+  }
+  return knowable;
+}
+
+namespace {
+
+std::vector<std::vector<bool>> RowsFor(const tg::ProtectionGraph& g,
+                                       const std::vector<VertexId>& sources,
+                                       tg_util::ThreadPool* pool) {
+  AnalysisSnapshot snap(g);
+  // Pre-warm the DFA singletons so worker threads only read them.  (Their
+  // initialization is thread-safe anyway; this keeps first-use timing out
+  // of the parallel region.)
+  tg::ReverseRwInitialSpanDfa();
+  tg::BridgeOrConnectionDfa();
+  tg::RwTerminalSpanDfa();
+  std::vector<std::vector<bool>> rows(sources.size());
+  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
+  runner.ParallelFor(sources.size(),
+                     [&](size_t i) { rows[i] = KnowableFromSnapshot(snap, sources[i]); });
+  return rows;
+}
+
+}  // namespace
+
+std::vector<std::vector<bool>> KnowableFromAll(const tg::ProtectionGraph& g,
+                                               tg_util::ThreadPool* pool) {
+  std::vector<VertexId> sources(g.VertexCount());
+  for (VertexId v = 0; v < sources.size(); ++v) {
+    sources[v] = v;
+  }
+  return RowsFor(g, sources, pool);
+}
+
+std::vector<std::vector<bool>> KnowableFromMany(const tg::ProtectionGraph& g,
+                                                const std::vector<VertexId>& sources,
+                                                tg_util::ThreadPool* pool) {
+  return RowsFor(g, sources, pool);
+}
+
+}  // namespace tg_analysis

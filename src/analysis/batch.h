@@ -1,0 +1,41 @@
+// Batch (all-pairs) information-flow analysis over a thread pool.
+//
+// The can_know security analyses reduce to one independent closure per
+// source vertex; this module builds one immutable AnalysisSnapshot and fans
+// the per-source work across tg_util::ThreadPool workers.  Results are
+// deterministic — row x of every matrix is exactly what the serial
+// KnowableFrom(g, x) computes, regardless of thread count or scheduling —
+// because each worker writes only its own pre-allocated row.
+
+#ifndef SRC_ANALYSIS_BATCH_H_
+#define SRC_ANALYSIS_BATCH_H_
+
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/snapshot.h"
+#include "src/util/thread_pool.h"
+
+namespace tg_analysis {
+
+// KnowableFrom computed on a prebuilt snapshot (the shared implementation
+// behind the graph-level KnowableFrom, the batch matrix, and the cache).
+// Invalid x yields an all-false row.
+std::vector<bool> KnowableFromSnapshot(const tg::AnalysisSnapshot& snap, tg::VertexId x);
+
+// The full can_know matrix: row x is KnowableFrom(g, x) for every vertex.
+// One snapshot build + |V| parallel closures.  pool == nullptr uses
+// ThreadPool::Shared() (TG_THREADS-sized).
+std::vector<std::vector<bool>> KnowableFromAll(const tg::ProtectionGraph& g,
+                                               tg_util::ThreadPool* pool = nullptr);
+
+// Rows only for the given sources (deduplicated work is the caller's
+// concern; invalid sources get all-false rows).  Row i corresponds to
+// sources[i].
+std::vector<std::vector<bool>> KnowableFromMany(const tg::ProtectionGraph& g,
+                                                const std::vector<tg::VertexId>& sources,
+                                                tg_util::ThreadPool* pool = nullptr);
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_BATCH_H_

@@ -31,14 +31,17 @@ std::optional<GraphPath> FindSubjectPath(const ProtectionGraph& g, VertexId u, V
 // frontier and absorb every subject whose path word the DFA accepts.  Any
 // single t/g edge (in either direction) is itself a bridge word, so island
 // co-membership is subsumed by chaining: no separate island expansion is
-// needed.  Each round is one product BFS; rounds are bounded by the number
-// of subjects and are few in practice.
-std::vector<bool> SubjectClosure(const ProtectionGraph& g, const std::vector<VertexId>& seeds,
-                                 const tg_util::Dfa& dfa) {
-  std::vector<bool> in_set(g.VertexCount(), false);
+// needed.  Each round is one product BFS over the shared snapshot; rounds
+// are bounded by the number of subjects and are few in practice.
+std::vector<bool> SubjectClosure(const tg::AnalysisSnapshot& snap,
+                                 const std::vector<VertexId>& seeds, const tg_util::Dfa& dfa) {
+  const size_t n = snap.vertex_count();
+  tg::SnapshotBfsOptions options;
+  options.use_implicit = true;  // matches BridgeOptions()
+  std::vector<bool> in_set(n, false);
   std::vector<VertexId> frontier;
   for (VertexId v : seeds) {
-    if (g.IsValidVertex(v) && g.IsSubject(v) && !in_set[v]) {
+    if (snap.IsValidVertex(v) && snap.IsSubject(v) && !in_set[v]) {
       in_set[v] = true;
       frontier.push_back(v);
     }
@@ -47,15 +50,15 @@ std::vector<bool> SubjectClosure(const ProtectionGraph& g, const std::vector<Ver
     // All current members seed the BFS (accepted walks may need to start
     // anywhere in the set), but only genuinely new subjects extend it.
     std::vector<VertexId> sources;
-    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+    for (VertexId v = 0; v < n; ++v) {
       if (in_set[v]) {
         sources.push_back(v);
       }
     }
-    std::vector<bool> reached = WordReachableMulti(g, sources, dfa, BridgeOptions());
+    std::vector<bool> reached = SnapshotWordReachable(snap, sources, dfa, options);
     frontier.clear();
-    for (VertexId v = 0; v < g.VertexCount(); ++v) {
-      if (reached[v] && g.IsSubject(v) && !in_set[v]) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (reached[v] && snap.IsSubject(v) && !in_set[v]) {
         in_set[v] = true;
         frontier.push_back(v);
       }
@@ -80,12 +83,22 @@ std::optional<GraphPath> FindBridgeOrConnection(const ProtectionGraph& g, Vertex
 }
 
 std::vector<bool> BridgeClosure(const ProtectionGraph& g, const std::vector<VertexId>& seeds) {
-  return SubjectClosure(g, seeds, tg::BridgeDfa());
+  return SubjectClosure(tg::AnalysisSnapshot(g), seeds, tg::BridgeDfa());
 }
 
 std::vector<bool> BridgeOrConnectionClosure(const ProtectionGraph& g,
                                             const std::vector<VertexId>& seeds) {
-  return SubjectClosure(g, seeds, tg::BridgeOrConnectionDfa());
+  return SubjectClosure(tg::AnalysisSnapshot(g), seeds, tg::BridgeOrConnectionDfa());
+}
+
+std::vector<bool> BridgeClosure(const tg::AnalysisSnapshot& snap,
+                                const std::vector<VertexId>& seeds) {
+  return SubjectClosure(snap, seeds, tg::BridgeDfa());
+}
+
+std::vector<bool> BridgeOrConnectionClosure(const tg::AnalysisSnapshot& snap,
+                                            const std::vector<VertexId>& seeds) {
+  return SubjectClosure(snap, seeds, tg::BridgeOrConnectionDfa());
 }
 
 }  // namespace tg_analysis

@@ -15,6 +15,7 @@
 
 #include "src/tg/graph.h"
 #include "src/tg/path.h"
+#include "src/tg/snapshot.h"
 
 namespace tg_analysis {
 
@@ -40,6 +41,14 @@ std::vector<bool> BridgeClosure(const tg::ProtectionGraph& g,
 // co-membership is NOT applied: pure directional closure over subjects of
 // condition (c) of Theorem 3.2 (u_i -> u_{i+1} words in B U C).
 std::vector<bool> BridgeOrConnectionClosure(const tg::ProtectionGraph& g,
+                                            const std::vector<tg::VertexId>& seeds);
+
+// Snapshot overloads of the closures for batch drivers and caches that
+// reuse one AnalysisSnapshot across many queries (bit-identical results;
+// the graph overloads above are thin wrappers over these).
+std::vector<bool> BridgeClosure(const tg::AnalysisSnapshot& snap,
+                                const std::vector<tg::VertexId>& seeds);
+std::vector<bool> BridgeOrConnectionClosure(const tg::AnalysisSnapshot& snap,
                                             const std::vector<tg::VertexId>& seeds);
 
 }  // namespace tg_analysis

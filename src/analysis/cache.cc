@@ -1,0 +1,64 @@
+#include "src/analysis/cache.h"
+
+#include "src/analysis/batch.h"
+
+namespace tg_analysis {
+
+using tg::AnalysisSnapshot;
+using tg::VertexId;
+
+void AnalysisCache::Invalidate() {
+  snapshot_.reset();
+  reach_.clear();
+  knowable_.clear();
+}
+
+void AnalysisCache::Refresh(const tg::ProtectionGraph& g) {
+  if (snapshot_.has_value() && snapshot_->graph_version() == g.version()) {
+    return;
+  }
+  Invalidate();
+  snapshot_.emplace(g);
+}
+
+const AnalysisSnapshot& AnalysisCache::Snapshot(const tg::ProtectionGraph& g) {
+  Refresh(g);
+  return *snapshot_;
+}
+
+const std::vector<bool>& AnalysisCache::Reachable(const tg::ProtectionGraph& g,
+                                                  VertexId source, const tg_util::Dfa& dfa,
+                                                  bool use_implicit, uint32_t min_steps) {
+  Refresh(g);
+  ReachKey key{&dfa, source, use_implicit, min_steps};
+  auto it = reach_.find(key);
+  if (it != reach_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  tg::SnapshotBfsOptions options{use_implicit, min_steps};
+  const VertexId sources[] = {source};
+  return reach_.emplace(key, SnapshotWordReachable(*snapshot_, sources, dfa, options))
+      .first->second;
+}
+
+const std::vector<bool>& AnalysisCache::Knowable(const tg::ProtectionGraph& g, VertexId x) {
+  Refresh(g);
+  auto it = knowable_.find(x);
+  if (it != knowable_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  return knowable_.emplace(x, KnowableFromSnapshot(*snapshot_, x)).first->second;
+}
+
+bool AnalysisCache::CanKnow(const tg::ProtectionGraph& g, VertexId x, VertexId y) {
+  if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
+    return false;
+  }
+  return Knowable(g, x)[y];
+}
+
+}  // namespace tg_analysis

@@ -1,0 +1,99 @@
+// AnalysisCache: version-keyed memoization of reachability analyses.
+//
+// Interactive front-ends (tgsh), the simulation monitor, and audit tools
+// ask the same can_know / reachability questions over and over between
+// graph mutations.  ProtectionGraph carries a monotonic mutation version;
+// this cache keys everything on it, so repeated queries against an
+// unchanged graph are O(1) hash lookups and the first query after any
+// mutation transparently rebuilds.
+//
+// What is memoized, per graph version:
+//   * the AnalysisSnapshot itself (the CSR flattening),
+//   * per-(DFA, source, use_implicit, min_steps) WordReachable bitsets,
+//   * per-source KnowableFrom rows (the Theorem 3.2 closure).
+//
+// Keys use the *address* of the DFA as its identity.  The path-language
+// DFAs (src/tg/languages.h) are process-lifetime singletons, so their
+// addresses are stable ids; callers passing ad-hoc DFAs must keep them
+// alive for the cache's lifetime.
+//
+// Contract: one cache serves one logical graph.  Staleness detection is by
+// version only — pair a cache with a single ProtectionGraph object (or
+// call Invalidate() when rebinding it to a different graph).  The cache is
+// not thread-safe; batch work should use src/analysis/batch.h, which
+// shares one immutable snapshot across threads instead.
+
+#ifndef SRC_ANALYSIS_CACHE_H_
+#define SRC_ANALYSIS_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/snapshot.h"
+#include "src/util/dfa.h"
+
+namespace tg_analysis {
+
+class AnalysisCache {
+ public:
+  AnalysisCache() = default;
+
+  // The snapshot for g's current version (rebuilt if stale).
+  const tg::AnalysisSnapshot& Snapshot(const tg::ProtectionGraph& g);
+
+  // Memoized WordReachable(g, source, dfa, {use_implicit, min_steps}).
+  // Only filter-free searches are cacheable (step filters are arbitrary
+  // code); callers needing filters run the search directly.
+  const std::vector<bool>& Reachable(const tg::ProtectionGraph& g, tg::VertexId source,
+                                     const tg_util::Dfa& dfa, bool use_implicit = true,
+                                     uint32_t min_steps = 0);
+
+  // Memoized KnowableFrom(g, x).
+  const std::vector<bool>& Knowable(const tg::ProtectionGraph& g, tg::VertexId x);
+
+  // can_know via the memoized row (reflexive; false for invalid ids).
+  bool CanKnow(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+
+  // Drops everything, including the snapshot.  Required when rebinding the
+  // cache to a different graph object.
+  void Invalidate();
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct ReachKey {
+    const tg_util::Dfa* dfa = nullptr;
+    tg::VertexId source = tg::kInvalidVertex;
+    bool use_implicit = true;
+    uint32_t min_steps = 0;
+
+    friend bool operator==(const ReachKey& a, const ReachKey& b) = default;
+  };
+  struct ReachKeyHash {
+    size_t operator()(const ReachKey& k) const {
+      size_t h = std::hash<const void*>{}(k.dfa);
+      h ^= std::hash<uint64_t>{}((uint64_t{k.source} << 33) |
+                                 (uint64_t{k.min_steps} << 1) | (k.use_implicit ? 1 : 0)) +
+           0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  // Rebuilds the snapshot and drops derived entries when g moved past the
+  // cached version.
+  void Refresh(const tg::ProtectionGraph& g);
+
+  std::optional<tg::AnalysisSnapshot> snapshot_;
+  std::unordered_map<ReachKey, std::vector<bool>, ReachKeyHash> reach_;
+  std::unordered_map<tg::VertexId, std::vector<bool>> knowable_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_CACHE_H_

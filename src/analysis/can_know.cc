@@ -1,8 +1,10 @@
 #include "src/analysis/can_know.h"
 
+#include "src/analysis/batch.h"
 #include "src/analysis/bridges.h"
 #include "src/analysis/spans.h"
 #include "src/tg/languages.h"
+#include "src/tg/snapshot.h"
 
 namespace tg_analysis {
 
@@ -88,38 +90,10 @@ bool CanKnow(const ProtectionGraph& g, VertexId x, VertexId y) {
 }
 
 std::vector<bool> KnowableFrom(const ProtectionGraph& g, VertexId x) {
-  std::vector<bool> knowable(g.VertexCount(), false);
-  if (!g.IsValidVertex(x)) {
-    return knowable;
-  }
-  knowable[x] = true;
-  std::vector<VertexId> heads = RwInitialSpannersTo(g, x);
-  if (g.IsSubject(x)) {
-    heads.push_back(x);
-  }
-  if (heads.empty()) {
-    return knowable;
-  }
-  std::vector<bool> closure = BridgeOrConnectionClosure(g, heads);
-  // y is knowable when some closure subject is y itself or rw-terminally
-  // spans to y; the latter is one multi-source span search.
-  std::vector<VertexId> closure_subjects;
-  for (VertexId v = 0; v < g.VertexCount(); ++v) {
-    if (closure[v]) {
-      knowable[v] = true;
-      closure_subjects.push_back(v);
-    }
-  }
-  PathSearchOptions options;
-  options.use_implicit = true;
-  std::vector<bool> spanned =
-      WordReachableMulti(g, closure_subjects, tg::RwTerminalSpanDfa(), options);
-  for (VertexId v = 0; v < g.VertexCount(); ++v) {
-    if (spanned[v]) {
-      knowable[v] = true;
-    }
-  }
-  return knowable;
+  // One shared implementation with the batch drivers and the analysis
+  // cache (src/analysis/batch.cc), so serial, parallel, and cached
+  // queries are bit-identical by construction.
+  return KnowableFromSnapshot(tg::AnalysisSnapshot(g), x);
 }
 
 }  // namespace tg_analysis

@@ -5,6 +5,7 @@
 
 #include "src/tg/languages.h"
 #include "src/tg/path.h"
+#include "src/tg/snapshot.h"
 
 namespace tg_hier {
 
@@ -23,12 +24,20 @@ LevelAssignment::LevelAssignment(size_t vertex_count, size_t level_count)
   }
 }
 
-void LevelAssignment::Assign(VertexId v, LevelId level) {
-  assert(level < level_count_ || level == kNoLevel);
+bool LevelAssignment::Assign(VertexId v, LevelId level) {
+  if (v == tg::kInvalidVertex) {
+    return false;  // would otherwise grow the table to 2^32 entries
+  }
+  if (level >= level_count_ && level != kNoLevel) {
+    return false;
+  }
   if (v >= level_of_.size()) {
+    // Documented growth: vertices created after construction (create
+    // rules) join the assignment lazily; the gap stays unassigned.
     level_of_.resize(v + 1, kNoLevel);
   }
   level_of_[v] = level;
+  return true;
 }
 
 void LevelAssignment::DeclareHigher(LevelId a, LevelId b) {
@@ -102,34 +111,45 @@ std::vector<std::vector<VertexId>> LevelAssignment::Members() const {
 
 std::vector<std::vector<VertexId>> KnowStepDigraph(const ProtectionGraph& g) {
   std::vector<std::vector<VertexId>> adj(g.VertexCount());
-  g.ForEachEdge([&](const Edge& e) {
-    tg::RightSet total = e.TotalRights();
-    if (total.Has(Right::kRead) && g.IsSubject(e.src)) {
-      adj[e.src].push_back(e.dst);  // src reads dst: src knows dst
-    }
-    if (total.Has(Right::kWrite) && g.IsSubject(e.src)) {
-      adj[e.dst].push_back(e.src);  // src writes dst: dst knows src
-    }
-  });
+  // Template ForEachOutEdge: the per-edge visitor is inlined, no
+  // std::function dispatch in this O(E) sweep.
+  for (VertexId u = 0; u < g.VertexCount(); ++u) {
+    g.ForEachOutEdge(u, [&](const Edge& e) {
+      tg::RightSet total = e.TotalRights();
+      if (total.Has(Right::kRead) && g.IsSubject(e.src)) {
+        adj[e.src].push_back(e.dst);  // src reads dst: src knows dst
+      }
+      if (total.Has(Right::kWrite) && g.IsSubject(e.src)) {
+        adj[e.dst].push_back(e.src);  // src writes dst: dst knows src
+      }
+    });
+  }
   return adj;
 }
 
-std::vector<std::vector<VertexId>> BocDigraph(const ProtectionGraph& g) {
-  std::vector<std::vector<VertexId>> adj(g.VertexCount());
-  tg::PathSearchOptions options;
+std::vector<std::vector<VertexId>> BocDigraph(const ProtectionGraph& g,
+                                              tg_util::ThreadPool* pool) {
+  const size_t n = g.VertexCount();
+  std::vector<std::vector<VertexId>> adj(n);
+  tg::AnalysisSnapshot snap(g);
+  const tg_util::Dfa& dfa = tg::BridgeOrConnectionDfa();  // pre-warm singleton
+  tg::SnapshotBfsOptions options;
   options.use_implicit = true;
-  for (VertexId u = 0; u < g.VertexCount(); ++u) {
-    if (!g.IsSubject(u)) {
-      continue;
+  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
+  // One product BFS per subject, each writing only its own row: the result
+  // is identical for any thread count.
+  runner.ParallelFor(n, [&](size_t u) {
+    if (!snap.IsSubject(static_cast<VertexId>(u))) {
+      return;
     }
-    std::vector<bool> reach =
-        WordReachable(g, u, tg::BridgeOrConnectionDfa(), options);
-    for (VertexId v = 0; v < g.VertexCount(); ++v) {
-      if (v != u && reach[v] && g.IsSubject(v)) {
+    const VertexId sources[] = {static_cast<VertexId>(u)};
+    std::vector<bool> reach = SnapshotWordReachable(snap, sources, dfa, options);
+    for (VertexId v = 0; v < n; ++v) {
+      if (v != u && reach[v] && snap.IsSubject(v)) {
         adj[u].push_back(v);
       }
     }
-  }
+  });
   return adj;
 }
 
@@ -250,12 +270,12 @@ LevelAssignment ComputeRwLevels(const ProtectionGraph& g) {
   return LevelsFromDigraph(KnowStepDigraph(g), all);
 }
 
-LevelAssignment ComputeRwtgLevels(const ProtectionGraph& g) {
+LevelAssignment ComputeRwtgLevels(const ProtectionGraph& g, tg_util::ThreadPool* pool) {
   std::vector<bool> subjects(g.VertexCount(), false);
   for (VertexId v = 0; v < g.VertexCount(); ++v) {
     subjects[v] = g.IsSubject(v);
   }
-  return LevelsFromDigraph(BocDigraph(g), subjects);
+  return LevelsFromDigraph(BocDigraph(g, pool), subjects);
 }
 
 void AssignObjectLevels(const ProtectionGraph& g, LevelAssignment& assignment) {

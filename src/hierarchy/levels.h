@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/tg/graph.h"
+#include "src/util/thread_pool.h"
 
 namespace tg_hier {
 
@@ -40,7 +41,14 @@ class LevelAssignment {
 
   size_t LevelCount() const { return level_count_; }
 
-  void Assign(tg::VertexId v, LevelId level);
+  // Assigns v to `level` (kNoLevel unassigns).  Vertex ids beyond the
+  // constructed vertex count *grow* the assignment — an explicit feature:
+  // create rules add vertices after a hierarchy was designed, and the
+  // level policies assign the newcomers on the fly (LevelPolicy::
+  // NotifyApplied).  Ids in the gap stay unassigned.  Returns false and
+  // changes nothing for kInvalidVertex or a level outside
+  // [0, LevelCount()) u {kNoLevel}.
+  bool Assign(tg::VertexId v, LevelId level);
   LevelId LevelOf(tg::VertexId v) const {
     return v < level_of_.size() ? level_of_[v] : kNoLevel;
   }
@@ -89,8 +97,10 @@ std::vector<std::vector<tg::VertexId>> KnowStepDigraph(const tg::ProtectionGraph
 
 // The bridge-or-connection digraph over subjects: edge u -> v iff a single
 // rwtg-path from u to v carries a word in B U C.  Non-subjects have empty
-// adjacency.
-std::vector<std::vector<tg::VertexId>> BocDigraph(const tg::ProtectionGraph& g);
+// adjacency.  The per-subject searches run on `pool` (nullptr = the shared
+// TG_THREADS-sized pool); the result is deterministic for any pool size.
+std::vector<std::vector<tg::VertexId>> BocDigraph(const tg::ProtectionGraph& g,
+                                                  tg_util::ThreadPool* pool = nullptr);
 
 // SCC decomposition of a digraph (Tarjan).  Returns component id per node;
 // ids are in reverse topological order of the condensation (an edge u -> v
@@ -104,8 +114,11 @@ std::vector<uint32_t> StronglyConnectedComponents(
 LevelAssignment ComputeRwLevels(const tg::ProtectionGraph& g);
 
 // rwtg-levels of g: subjects grouped by mutual can_know.  Objects are left
-// unassigned (use AssignObjectLevels for the Theorem 4.5 rule).
-LevelAssignment ComputeRwtgLevels(const tg::ProtectionGraph& g);
+// unassigned (use AssignObjectLevels for the Theorem 4.5 rule).  The BOC
+// digraph construction dominates the cost and runs on `pool`; any pool
+// size yields the identical assignment.
+LevelAssignment ComputeRwtgLevels(const tg::ProtectionGraph& g,
+                                  tg_util::ThreadPool* pool = nullptr);
 
 // Applies the paper's object-level rule to `assignment`: an object belongs
 // to the *lowest* level of any subject with explicit r or w access to it

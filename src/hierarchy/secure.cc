@@ -1,8 +1,10 @@
 #include "src/hierarchy/secure.h"
 
+#include "src/analysis/batch.h"
 #include "src/analysis/can_know.h"
 #include "src/tg/languages.h"
 #include "src/tg/path.h"
+#include "src/tg/snapshot.h"
 
 namespace tg_hier {
 
@@ -10,25 +12,36 @@ using tg::ProtectionGraph;
 using tg::VertexId;
 
 SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
-                           size_t max_violations) {
+                           size_t max_violations, tg_util::ThreadPool* pool) {
   SecurityReport report;
-  for (VertexId x = 0; x < g.VertexCount(); ++x) {
+  const size_t n = g.VertexCount();
+  // Phase 1 (serial): the candidate x's — assigned vertices with at least
+  // one strictly-higher assigned vertex.  Everything else is vacuously fine.
+  std::vector<VertexId> candidates;
+  for (VertexId x = 0; x < n; ++x) {
     if (!assignment.IsAssigned(x)) {
       continue;
     }
-    // Does x's reach include anything strictly above it?
-    bool x_has_superior = false;
-    for (VertexId y = 0; y < g.VertexCount(); ++y) {
+    for (VertexId y = 0; y < n; ++y) {
       if (assignment.HigherVertex(y, x)) {
-        x_has_superior = true;
+        candidates.push_back(x);
         break;
       }
     }
-    if (!x_has_superior) {
-      continue;
-    }
-    std::vector<bool> knowable = tg_analysis::KnowableFrom(g, x);
-    for (VertexId y = 0; y < g.VertexCount(); ++y) {
+  }
+  if (candidates.empty()) {
+    return report;
+  }
+  // Phase 2 (parallel): one knowable row per candidate, each written to its
+  // own pre-allocated slot.
+  std::vector<std::vector<bool>> rows =
+      tg_analysis::KnowableFromMany(g, candidates, pool);
+  // Phase 3 (serial, in candidate order): emit violations exactly as the
+  // serial loop would, including the max_violations cutoff.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    VertexId x = candidates[i];
+    const std::vector<bool>& knowable = rows[i];
+    for (VertexId y = 0; y < n; ++y) {
       if (!knowable[y] || !assignment.HigherVertex(y, x)) {
         continue;
       }
@@ -48,16 +61,40 @@ SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assi
 
 std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
                                                       const LevelAssignment& assignment,
-                                                      size_t max_channels) {
+                                                      size_t max_channels,
+                                                      tg_util::ThreadPool* pool) {
   std::vector<CrossLevelChannel> channels;
+  const size_t n = g.VertexCount();
+  std::vector<VertexId> sources;
+  for (VertexId u = 0; u < n; ++u) {
+    if (g.IsSubject(u) && assignment.IsAssigned(u)) {
+      sources.push_back(u);
+    }
+  }
+  if (sources.empty()) {
+    return channels;
+  }
+  // Reachability for all candidate subjects fans out over the pool; each
+  // task only writes its own row.
+  tg::AnalysisSnapshot snap(g);
+  const tg_util::Dfa& dfa = tg::BridgeOrConnectionDfa();  // pre-warm singleton
+  tg::SnapshotBfsOptions snap_options;
+  snap_options.use_implicit = true;
+  std::vector<std::vector<bool>> reach_rows(sources.size());
+  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
+  runner.ParallelFor(sources.size(), [&](size_t i) {
+    const VertexId src[] = {sources[i]};
+    reach_rows[i] = SnapshotWordReachable(snap, src, dfa, snap_options);
+  });
+  // Serial scan in source order; witness reconstruction only runs for actual
+  // channels, which are rare, so it stays serial (and the channel list keeps
+  // the exact order of the old per-subject loop).
   tg::PathSearchOptions options;
   options.use_implicit = true;
-  for (VertexId u = 0; u < g.VertexCount(); ++u) {
-    if (!g.IsSubject(u) || !assignment.IsAssigned(u)) {
-      continue;
-    }
-    std::vector<bool> reach = WordReachable(g, u, tg::BridgeOrConnectionDfa(), options);
-    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+  for (size_t i = 0; i < sources.size(); ++i) {
+    VertexId u = sources[i];
+    const std::vector<bool>& reach = reach_rows[i];
+    for (VertexId v = 0; v < n; ++v) {
       if (v == u || !reach[v] || !g.IsSubject(v)) {
         continue;
       }

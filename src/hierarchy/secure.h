@@ -20,6 +20,7 @@
 
 #include "src/hierarchy/levels.h"
 #include "src/tg/graph.h"
+#include "src/util/thread_pool.h"
 
 namespace tg_hier {
 
@@ -38,8 +39,12 @@ struct SecurityReport {
 // for every ordered pair with level(lower) < level(higher), can_know(lower,
 // higher) must be false.  Unassigned vertices are unconstrained.
 // `max_violations` bounds the report size (0 = report all).
+//
+// The per-vertex knowable rows are computed on `pool` (nullptr = the shared
+// pool); the report — contents, order, and the max_violations cutoff — is
+// identical to the serial scan for any thread count.
 SecurityReport CheckSecure(const tg::ProtectionGraph& g, const LevelAssignment& assignment,
-                           size_t max_violations = 0);
+                           size_t max_violations = 0, tg_util::ThreadPool* pool = nullptr);
 
 // One cross-level information channel (Theorem 5.2's structural witness):
 // a bridge-or-connection path from a subject in one level to a subject in a
@@ -52,9 +57,12 @@ struct CrossLevelChannel {
 
 // Scans for bridge-or-connection paths from lower-level subjects to
 // higher-level subjects (the structural condition of Theorem 5.2).
+// Reachability fans out over `pool`; witness paths are rendered serially in
+// scan order, so the channel list is deterministic for any thread count.
 std::vector<CrossLevelChannel> FindCrossLevelChannels(const tg::ProtectionGraph& g,
                                                       const LevelAssignment& assignment,
-                                                      size_t max_channels = 0);
+                                                      size_t max_channels = 0,
+                                                      tg_util::ThreadPool* pool = nullptr);
 
 // Theorem 5.2, decided structurally: secure iff FindCrossLevelChannels
 // returns nothing.

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/cache.h"
 #include "src/tg/rule_engine.h"
 
 namespace tg_sim {
@@ -46,11 +47,20 @@ class ReferenceMonitor {
   size_t vetoed_count() const { return vetoed_; }
   size_t rejected_count() const { return rejected_; }
 
+  // Memoized can_know / knowable-row queries against the mediated graph.
+  // The cache keys on the graph's mutation version, so allowed rules
+  // invalidate it automatically and runs of queries between rules are
+  // answered from the cache.
+  bool CanKnow(tg::VertexId x, tg::VertexId y) { return cache_.CanKnow(graph(), x, y); }
+  const std::vector<bool>& Knowable(tg::VertexId x) { return cache_.Knowable(graph(), x); }
+  const tg_analysis::AnalysisCache& analysis_cache() const { return cache_; }
+
   // Multi-line rendering of the last `limit` audit records (0 = all).
   std::string RenderAuditLog(size_t limit = 0) const;
 
  private:
   tg::RuleEngine engine_;
+  tg_analysis::AnalysisCache cache_;
   std::vector<AuditRecord> audit_log_;
   size_t allowed_ = 0;
   size_t vetoed_ = 0;

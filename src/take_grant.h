@@ -13,7 +13,9 @@
 #ifndef SRC_TAKE_GRANT_H_
 #define SRC_TAKE_GRANT_H_
 
+#include "src/analysis/batch.h"
 #include "src/analysis/bridges.h"
+#include "src/analysis/cache.h"
 #include "src/analysis/can_know.h"
 #include "src/analysis/can_share.h"
 #include "src/analysis/can_steal.h"
@@ -45,6 +47,8 @@
 #include "src/tg/printer.h"
 #include "src/tg/rule_engine.h"
 #include "src/tg/rules.h"
+#include "src/tg/snapshot.h"
 #include "src/tg/witness.h"
+#include "src/util/thread_pool.h"
 
 #endif  // SRC_TAKE_GRANT_H_

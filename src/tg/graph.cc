@@ -33,6 +33,7 @@ VertexId ProtectionGraph::AddVertex(VertexKind kind, std::string_view name) {
   if (kind == VertexKind::kSubject) {
     ++subject_count_;
   }
+  ++version_;
   return id;
 }
 
@@ -77,6 +78,7 @@ Status ProtectionGraph::AddExplicit(VertexId src, VertexId dst, RightSet rights)
     ++explicit_edge_count_;
   }
   label.explicit_rights = label.explicit_rights.Union(rights);
+  ++version_;
   return Status::Ok();
 }
 
@@ -96,6 +98,7 @@ Status ProtectionGraph::AddImplicit(VertexId src, VertexId dst, RightSet rights)
     ++implicit_edge_count_;
   }
   label.implicit_rights = label.implicit_rights.Union(rights);
+  ++version_;
   return Status::Ok();
 }
 
@@ -112,6 +115,7 @@ Status ProtectionGraph::RemoveExplicit(VertexId src, VertexId dst, RightSet righ
   if (!before.empty() && it->second.explicit_rights.empty()) {
     --explicit_edge_count_;
   }
+  ++version_;
   return Status::Ok();
 }
 
@@ -128,6 +132,7 @@ Status ProtectionGraph::RemoveImplicit(VertexId src, VertexId dst, RightSet righ
   if (!before.empty() && it->second.implicit_rights.empty()) {
     --implicit_edge_count_;
   }
+  ++version_;
   return Status::Ok();
 }
 
@@ -136,6 +141,7 @@ void ProtectionGraph::ClearImplicit() {
     label.implicit_rights = RightSet::Empty();
   }
   implicit_edge_count_ = 0;
+  ++version_;
 }
 
 RightSet ProtectionGraph::ExplicitRights(VertexId src, VertexId dst) const {
@@ -155,30 +161,12 @@ RightSet ProtectionGraph::TotalRights(VertexId src, VertexId dst) const {
 
 void ProtectionGraph::ForEachOutEdge(VertexId v,
                                      const std::function<void(const Edge&)>& fn) const {
-  if (!IsValidVertex(v)) {
-    return;
-  }
-  for (VertexId dst : out_adj_[v]) {
-    const Label* label = FindLabel(v, dst);
-    if (label == nullptr || label->empty()) {
-      continue;
-    }
-    fn(Edge{v, dst, label->explicit_rights, label->implicit_rights});
-  }
+  ForEachOutEdge(v, [&fn](const Edge& e) { fn(e); });
 }
 
 void ProtectionGraph::ForEachInEdge(VertexId v,
                                     const std::function<void(const Edge&)>& fn) const {
-  if (!IsValidVertex(v)) {
-    return;
-  }
-  for (VertexId src : in_adj_[v]) {
-    const Label* label = FindLabel(src, v);
-    if (label == nullptr || label->empty()) {
-      continue;
-    }
-    fn(Edge{src, v, label->explicit_rights, label->implicit_rights});
-  }
+  ForEachInEdge(v, [&fn](const Edge& e) { fn(e); });
 }
 
 void ProtectionGraph::ForEachEdge(const std::function<void(const Edge&)>& fn) const {

@@ -60,6 +60,14 @@ class ProtectionGraph {
 
   size_t SubjectCount() const { return subject_count_; }
 
+  // Monotonic mutation counter: bumped by every successful mutating
+  // operation (vertex addition, label add/remove, ClearImplicit), including
+  // ones that happen to leave the labels unchanged (re-adding a present
+  // right).  Snapshots and analysis caches key on it to detect staleness
+  // without diffing the graph.  Copies carry the source's version and
+  // advance independently from there.
+  uint64_t version() const { return version_; }
+
   // ---- Edges ----
 
   // Adds rights to the explicit label of edge src -> dst (creating the edge
@@ -110,6 +118,37 @@ class ProtectionGraph {
   // already skip empty labels.
   void ForEachOutEdge(VertexId v, const std::function<void(const Edge&)>& fn) const;
   void ForEachInEdge(VertexId v, const std::function<void(const Edge&)>& fn) const;
+
+  // Non-allocating template overloads of the edge visits (like
+  // ForEachNeighbor): lambdas bind here directly, so hot loops pay no
+  // std::function dispatch per edge.  Same contract as the overloads above.
+  template <typename Fn>
+  void ForEachOutEdge(VertexId v, Fn&& fn) const {
+    if (!IsValidVertex(v)) {
+      return;
+    }
+    for (VertexId dst : out_adj_[v]) {
+      const Label* label = FindLabel(v, dst);
+      if (label == nullptr || label->empty()) {
+        continue;
+      }
+      fn(Edge{v, dst, label->explicit_rights, label->implicit_rights});
+    }
+  }
+
+  template <typename Fn>
+  void ForEachInEdge(VertexId v, Fn&& fn) const {
+    if (!IsValidVertex(v)) {
+      return;
+    }
+    for (VertexId src : in_adj_[v]) {
+      const Label* label = FindLabel(src, v);
+      if (label == nullptr || label->empty()) {
+        continue;
+      }
+      fn(Edge{src, v, label->explicit_rights, label->implicit_rights});
+    }
+  }
 
   // Every non-empty edge in the graph, in deterministic (src, dst) creation
   // order per source vertex.
@@ -178,6 +217,7 @@ class ProtectionGraph {
 
   size_t explicit_edge_count_ = 0;
   size_t implicit_edge_count_ = 0;
+  uint64_t version_ = 0;
 };
 
 }  // namespace tg

@@ -1,8 +1,8 @@
 #include "src/tg/path.h"
 
-#include <cassert>
-#include <deque>
 #include <sstream>
+
+#include "src/tg/snapshot.h"
 
 namespace tg {
 
@@ -53,120 +53,18 @@ std::vector<PathSymbol> StepSymbols(const ProtectionGraph& g, VertexId u, Vertex
 
 namespace {
 
-// Product-BFS node bookkeeping for path reconstruction.
-struct NodeInfo {
-  bool visited = false;
-  VertexId prev_vertex = kInvalidVertex;
-  int32_t prev_state = -2;  // -2 = none (start node)
-  PathSymbol via_symbol = PathSymbol::kReadFwd;
-};
-
-struct ProductBfs {
-  const ProtectionGraph& g;
-  const tg_util::Dfa& dfa;
-  const PathSearchOptions& options;
-  // node index = vertex * state_count + state
-  std::vector<NodeInfo> nodes;
-  // Depth alongside BFS to honour min_steps.
-  std::vector<size_t> depth;
-  std::deque<std::pair<VertexId, tg_util::Dfa::State>> queue;
-
-  ProductBfs(const ProtectionGraph& graph, const tg_util::Dfa& d, const PathSearchOptions& opts)
-      : g(graph), dfa(d), options(opts) {
-    nodes.resize(g.VertexCount() * static_cast<size_t>(dfa.state_count()));
-    depth.resize(nodes.size(), 0);
-  }
-
-  size_t Index(VertexId v, tg_util::Dfa::State s) const {
-    return static_cast<size_t>(v) * static_cast<size_t>(dfa.state_count()) +
-           static_cast<size_t>(s);
-  }
-
-  void Seed(VertexId from) {
-    size_t idx = Index(from, dfa.start());
-    if (nodes[idx].visited) {
-      return;
-    }
-    nodes[idx].visited = true;
-    queue.emplace_back(from, dfa.start());
-  }
-
-  // Expands the frontier fully; calls visit(v, state, depth) for each newly
-  // reached node.  Returns when the queue drains.
-  template <typename Visit>
-  void Run(Visit visit) {
-    while (!queue.empty()) {
-      auto [u, state] = queue.front();
-      queue.pop_front();
-      size_t u_idx = Index(u, state);
-      size_t u_depth = depth[u_idx];
-      visit(u, state, u_depth);
-      // Adjacency over any non-empty edge record in either direction.
-      // ForEachNeighbor may yield a mutual neighbor twice; the visited
-      // flags make the second pass a cheap no-op.
-      g.ForEachNeighbor(u, [&](VertexId v) {
-        RightSet fwd = options.use_implicit ? g.TotalRights(u, v) : g.ExplicitRights(u, v);
-        RightSet back = options.use_implicit ? g.TotalRights(v, u) : g.ExplicitRights(v, u);
-        for (Right r : {Right::kRead, Right::kWrite, Right::kTake, Right::kGrant}) {
-          for (int dir = 0; dir < 2; ++dir) {
-            bool backward = dir == 1;
-            if (!(backward ? back : fwd).Has(r)) {
-              continue;
-            }
-            PathSymbol sym = MakeSymbol(r, backward);
-            tg_util::Dfa::State next = dfa.Step(state, SymbolIndex(sym));
-            if (next == tg_util::Dfa::kReject) {
-              continue;
-            }
-            size_t v_idx = Index(v, next);
-            if (nodes[v_idx].visited) {
-              continue;
-            }
-            if (options.step_filter && !options.step_filter(u, sym, v)) {
-              continue;
-            }
-            nodes[v_idx].visited = true;
-            nodes[v_idx].prev_vertex = u;
-            nodes[v_idx].prev_state = state;
-            nodes[v_idx].via_symbol = sym;
-            depth[v_idx] = u_depth + 1;
-            queue.emplace_back(v, next);
-          }
-        }
-      });
-    }
-  }
-
-  GraphPath Reconstruct(VertexId v, tg_util::Dfa::State s) const {
-    std::vector<PathStep> rev;
-    VertexId cur_v = v;
-    tg_util::Dfa::State cur_s = s;
-    while (true) {
-      const NodeInfo& info = nodes[Index(cur_v, cur_s)];
-      if (info.prev_state == -2) {
-        break;
-      }
-      rev.push_back(PathStep{cur_v, info.via_symbol});
-      VertexId pv = info.prev_vertex;
-      tg_util::Dfa::State ps = info.prev_state;
-      cur_v = pv;
-      cur_s = ps;
-    }
-    GraphPath path;
-    path.start = cur_v;
-    path.steps.assign(rev.rbegin(), rev.rend());
-    return path;
-  }
-};
-
-}  // namespace
-
-std::optional<GraphPath> FindWordPath(const ProtectionGraph& g, VertexId from, VertexId to,
-                                      const tg_util::Dfa& dfa, const PathSearchOptions& options) {
-  if (!g.IsValidVertex(from) || !g.IsValidVertex(to)) {
-    return std::nullopt;
-  }
-  ProductBfs bfs(g, dfa, options);
+// One shared implementation for the path-finding entry points: build a
+// snapshot, run the templated product BFS with the given step filter.
+// FindWordPath is a cold path compared to the batch analyses, so paying
+// one snapshot build per call is fine (it costs about as much as the
+// hash-map probes a single direct BFS used to make).
+template <typename Filter>
+std::optional<GraphPath> FindWordPathImpl(const ProtectionGraph& g, VertexId from, VertexId to,
+                                          const tg_util::Dfa& dfa,
+                                          const PathSearchOptions& options, Filter filter) {
+  AnalysisSnapshot snap(g);
+  SnapshotBfsOptions bfs_options{options.use_implicit, options.min_steps};
+  SnapshotProductBfs<Filter> bfs(snap, dfa, bfs_options, std::move(filter));
   bfs.Seed(from);
   std::optional<GraphPath> result;
   // BFS visits nodes in nondecreasing depth, so the first hit is shortest.
@@ -181,6 +79,19 @@ std::optional<GraphPath> FindWordPath(const ProtectionGraph& g, VertexId from, V
   return result;
 }
 
+}  // namespace
+
+std::optional<GraphPath> FindWordPath(const ProtectionGraph& g, VertexId from, VertexId to,
+                                      const tg_util::Dfa& dfa, const PathSearchOptions& options) {
+  if (!g.IsValidVertex(from) || !g.IsValidVertex(to)) {
+    return std::nullopt;
+  }
+  if (options.step_filter) {
+    return FindWordPathImpl(g, from, to, dfa, options, options.step_filter);
+  }
+  return FindWordPathImpl(g, from, to, dfa, options, NoStepFilter{});
+}
+
 std::vector<bool> WordReachable(const ProtectionGraph& g, VertexId from, const tg_util::Dfa& dfa,
                                 const PathSearchOptions& options) {
   return WordReachableMulti(g, {from}, dfa, options);
@@ -189,19 +100,12 @@ std::vector<bool> WordReachable(const ProtectionGraph& g, VertexId from, const t
 std::vector<bool> WordReachableMulti(const ProtectionGraph& g,
                                      const std::vector<VertexId>& sources,
                                      const tg_util::Dfa& dfa, const PathSearchOptions& options) {
-  std::vector<bool> reachable(g.VertexCount(), false);
-  ProductBfs bfs(g, dfa, options);
-  for (VertexId v : sources) {
-    if (g.IsValidVertex(v)) {
-      bfs.Seed(v);
-    }
+  AnalysisSnapshot snap(g);
+  SnapshotBfsOptions bfs_options{options.use_implicit, options.min_steps};
+  if (options.step_filter) {
+    return SnapshotWordReachable(snap, sources, dfa, bfs_options, options.step_filter);
   }
-  bfs.Run([&](VertexId v, tg_util::Dfa::State s, size_t d) {
-    if (d >= options.min_steps && dfa.IsAccepting(s)) {
-      reachable[v] = true;
-    }
-  });
-  return reachable;
+  return SnapshotWordReachable(snap, sources, dfa, bfs_options);
 }
 
 }  // namespace tg

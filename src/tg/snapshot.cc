@@ -1,0 +1,52 @@
+#include "src/tg/snapshot.h"
+
+namespace tg {
+
+AnalysisSnapshot::AnalysisSnapshot(const ProtectionGraph& g)
+    : vertex_count_(g.VertexCount()), graph_version_(g.version()) {
+  subject_bits_.assign((vertex_count_ + 63) / 64, 0);
+  for (VertexId v = 0; v < vertex_count_; ++v) {
+    if (g.IsSubject(v)) {
+      subject_bits_[v >> 6] |= uint64_t{1} << (v & 63);
+      subjects_.push_back(v);
+    }
+  }
+
+  offsets_.assign(vertex_count_ + 1, 0);
+  // Pass 1: count retained records per vertex (records whose labels are
+  // empty in both directions carry no symbols and are dropped; dropping
+  // them cannot change BFS behavior, only skip guaranteed no-ops).
+  std::vector<uint32_t> counts(vertex_count_, 0);
+  auto retained = [&g](VertexId u, VertexId v) {
+    return !g.TotalRights(u, v).empty() || !g.TotalRights(v, u).empty();
+  };
+  for (VertexId v = 0; v < vertex_count_; ++v) {
+    g.ForEachNeighbor(v, [&](VertexId u) {
+      if (retained(v, u)) {
+        ++counts[v];
+      }
+    });
+  }
+  for (VertexId v = 0; v < vertex_count_; ++v) {
+    offsets_[v + 1] = offsets_[v] + counts[v];
+  }
+  adj_.resize(offsets_[vertex_count_]);
+
+  // Pass 2: fill records in ForEachNeighbor order (out-list then in-list).
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (VertexId v = 0; v < vertex_count_; ++v) {
+    g.ForEachNeighbor(v, [&](VertexId u) {
+      if (!retained(v, u)) {
+        return;
+      }
+      AdjRecord& rec = adj_[cursor[v]++];
+      rec.to = u;
+      rec.fwd_explicit = g.ExplicitRights(v, u);
+      rec.fwd_total = g.TotalRights(v, u);
+      rec.back_explicit = g.ExplicitRights(u, v);
+      rec.back_total = g.TotalRights(u, v);
+    });
+  }
+}
+
+}  // namespace tg

@@ -1,0 +1,245 @@
+// AnalysisSnapshot: an immutable, cache-friendly flattening of a
+// ProtectionGraph for the whole-graph analyses.
+//
+// Every heavy analysis in the repository (rwtg-levels, can_know closures,
+// security audits) reduces to many independent product-BFS runs over
+// (vertex, DFA state).  Running those directly on ProtectionGraph costs a
+// hash-map lookup per edge-direction per visit plus a std::function call
+// per yielded edge.  A snapshot pays those costs exactly once: it packs,
+// per vertex, a CSR (compressed sparse row) array of adjacency records with
+// the RightSets of *both* directions inlined, plus a subject bitmap, so the
+// BFS inner loop is pointer-bumping over 8-byte records with zero hashing
+// and zero type-erased dispatch.
+//
+// The record order per vertex mirrors ProtectionGraph::ForEachNeighbor
+// (out-adjacency list first, then in-adjacency), so a BFS over the snapshot
+// enqueues nodes in exactly the order the original graph traversal did:
+// reachability sets, shortest-path witnesses, and tie-breaks are
+// bit-identical to the pre-snapshot implementation.
+//
+// Snapshots are plain values: build one with the converting constructor,
+// share it freely across threads (all methods are const), and rebuild when
+// the graph mutates (ProtectionGraph::version() tells you when; see
+// src/analysis/cache.h for the memoizing layer).
+
+#ifndef SRC_TG_SNAPSHOT_H_
+#define SRC_TG_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/path.h"
+#include "src/tg/word.h"
+#include "src/util/dfa.h"
+
+namespace tg {
+
+class AnalysisSnapshot {
+ public:
+  // One neighbor of a vertex v with both edge directions' labels inlined:
+  // fwd_* is the label of v -> to, back_* the label of to -> v.
+  struct AdjRecord {
+    VertexId to = kInvalidVertex;
+    RightSet fwd_explicit;
+    RightSet fwd_total;
+    RightSet back_explicit;
+    RightSet back_total;
+  };
+
+  explicit AnalysisSnapshot(const ProtectionGraph& g);
+
+  size_t vertex_count() const { return vertex_count_; }
+
+  // The graph's mutation version at snapshot time (see
+  // ProtectionGraph::version()); lets caches detect staleness.
+  uint64_t graph_version() const { return graph_version_; }
+
+  bool IsValidVertex(VertexId v) const { return v < vertex_count_; }
+
+  bool IsSubject(VertexId v) const {
+    return v < vertex_count_ && (subject_bits_[v >> 6] >> (v & 63)) & 1;
+  }
+
+  // Subject ids in ascending order.
+  const std::vector<VertexId>& Subjects() const { return subjects_; }
+
+  // Adjacency records of v, in ProtectionGraph::ForEachNeighbor order
+  // (mutual neighbors appear twice, once per direction list, exactly as the
+  // graph traversal yields them; BFS visited flags make repeats no-ops).
+  std::span<const AdjRecord> AdjacencyOf(VertexId v) const {
+    if (v >= vertex_count_) {
+      return {};
+    }
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+ private:
+  size_t vertex_count_ = 0;
+  uint64_t graph_version_ = 0;
+  std::vector<uint64_t> subject_bits_;
+  std::vector<VertexId> subjects_;
+  std::vector<uint32_t> offsets_;  // vertex_count_ + 1 entries
+  std::vector<AdjRecord> adj_;
+};
+
+// Options for snapshot-based product BFS (the subset of PathSearchOptions
+// that does not need type erasure; step filters are template parameters).
+struct SnapshotBfsOptions {
+  bool use_implicit = true;
+  size_t min_steps = 0;
+};
+
+// Step filter admitting every step; the common case compiles to nothing.
+struct NoStepFilter {
+  bool operator()(VertexId, PathSymbol, VertexId) const { return true; }
+};
+
+// Product BFS over (vertex, DFA state) on a snapshot.  Filter is any
+// callable bool(VertexId from, PathSymbol, VertexId to); using a concrete
+// functor (or NoStepFilter) keeps the per-step admission test inlined.
+//
+// Usage: construct, Seed() each source, Run() with a visit callable
+// void(VertexId, Dfa::State, size_t depth); Run visits nodes in
+// nondecreasing depth, so the first accepting hit is a shortest walk and
+// Reconstruct() recovers it.
+template <typename Filter = NoStepFilter>
+class SnapshotProductBfs {
+ public:
+  SnapshotProductBfs(const AnalysisSnapshot& snap, const tg_util::Dfa& dfa,
+                     const SnapshotBfsOptions& options, Filter filter = Filter{})
+      : snap_(snap), dfa_(dfa), options_(options), filter_(std::move(filter)) {
+    nodes_.resize(snap.vertex_count() * static_cast<size_t>(dfa.state_count()));
+    depth_.resize(nodes_.size(), 0);
+  }
+
+  void Seed(VertexId from) {
+    if (!snap_.IsValidVertex(from)) {
+      return;
+    }
+    size_t idx = Index(from, dfa_.start());
+    if (nodes_[idx].visited) {
+      return;
+    }
+    nodes_[idx].visited = true;
+    queue_.emplace_back(from, dfa_.start());
+  }
+
+  // Expands the frontier fully; calls visit(v, state, depth) for each newly
+  // reached node.  Returns when the queue drains.
+  template <typename Visit>
+  void Run(Visit visit) {
+    while (head_ < queue_.size()) {
+      auto [u, state] = queue_[head_++];
+      size_t u_idx = Index(u, state);
+      size_t u_depth = depth_[u_idx];
+      visit(u, state, u_depth);
+      for (const AnalysisSnapshot::AdjRecord& rec : snap_.AdjacencyOf(u)) {
+        RightSet fwd = options_.use_implicit ? rec.fwd_total : rec.fwd_explicit;
+        RightSet back = options_.use_implicit ? rec.back_total : rec.back_explicit;
+        if (fwd.empty() && back.empty()) {
+          continue;
+        }
+        VertexId v = rec.to;
+        for (Right r : {Right::kRead, Right::kWrite, Right::kTake, Right::kGrant}) {
+          for (int dir = 0; dir < 2; ++dir) {
+            bool backward = dir == 1;
+            if (!(backward ? back : fwd).Has(r)) {
+              continue;
+            }
+            PathSymbol sym = MakeSymbol(r, backward);
+            tg_util::Dfa::State next = dfa_.Step(state, SymbolIndex(sym));
+            if (next == tg_util::Dfa::kReject) {
+              continue;
+            }
+            size_t v_idx = Index(v, next);
+            if (nodes_[v_idx].visited) {
+              continue;
+            }
+            if (!filter_(u, sym, v)) {
+              continue;
+            }
+            nodes_[v_idx].visited = true;
+            nodes_[v_idx].prev_vertex = u;
+            nodes_[v_idx].prev_state = state;
+            nodes_[v_idx].via_symbol = sym;
+            depth_[v_idx] = u_depth + 1;
+            queue_.emplace_back(v, next);
+          }
+        }
+      }
+    }
+  }
+
+  // The shortest walk ending at (v, s); only valid for visited nodes.
+  GraphPath Reconstruct(VertexId v, tg_util::Dfa::State s) const {
+    std::vector<PathStep> rev;
+    VertexId cur_v = v;
+    tg_util::Dfa::State cur_s = s;
+    while (true) {
+      const NodeInfo& info = nodes_[Index(cur_v, cur_s)];
+      if (info.prev_state == kNoPrev) {
+        break;
+      }
+      rev.push_back(PathStep{cur_v, info.via_symbol});
+      cur_v = info.prev_vertex;
+      cur_s = info.prev_state;
+    }
+    GraphPath path;
+    path.start = cur_v;
+    path.steps.assign(rev.rbegin(), rev.rend());
+    return path;
+  }
+
+ private:
+  static constexpr int32_t kNoPrev = -2;
+
+  struct NodeInfo {
+    bool visited = false;
+    VertexId prev_vertex = kInvalidVertex;
+    int32_t prev_state = kNoPrev;
+    PathSymbol via_symbol = PathSymbol::kReadFwd;
+  };
+
+  size_t Index(VertexId v, tg_util::Dfa::State s) const {
+    return static_cast<size_t>(v) * static_cast<size_t>(dfa_.state_count()) +
+           static_cast<size_t>(s);
+  }
+
+  const AnalysisSnapshot& snap_;
+  const tg_util::Dfa& dfa_;
+  SnapshotBfsOptions options_;
+  Filter filter_;
+  std::vector<NodeInfo> nodes_;
+  std::vector<size_t> depth_;
+  std::vector<std::pair<VertexId, tg_util::Dfa::State>> queue_;
+  size_t head_ = 0;
+};
+
+// All vertices reachable from any source by an accepted walk of >=
+// min_steps, as a bitmap indexed by vertex id.  Invalid sources are
+// skipped; duplicates are harmless.  Snapshot-level twin of
+// WordReachableMulti, for callers that reuse one snapshot across many runs.
+template <typename Filter = NoStepFilter>
+std::vector<bool> SnapshotWordReachable(const AnalysisSnapshot& snap,
+                                        std::span<const VertexId> sources,
+                                        const tg_util::Dfa& dfa,
+                                        const SnapshotBfsOptions& options = {},
+                                        Filter filter = Filter{}) {
+  std::vector<bool> reachable(snap.vertex_count(), false);
+  SnapshotProductBfs<Filter> bfs(snap, dfa, options, std::move(filter));
+  for (VertexId v : sources) {
+    bfs.Seed(v);
+  }
+  bfs.Run([&](VertexId v, tg_util::Dfa::State s, size_t d) {
+    if (d >= options.min_steps && dfa.IsAccepting(s)) {
+      reachable[v] = true;
+    }
+  });
+  return reachable;
+}
+
+}  // namespace tg
+
+#endif  // SRC_TG_SNAPSHOT_H_

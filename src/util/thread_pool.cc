@@ -1,0 +1,121 @@
+#include "src/util/thread_pool.h"
+
+#include <cstdlib>
+
+namespace tg_util {
+
+namespace {
+
+// Set while a thread is executing pool work, so nested ParallelFor calls
+// run inline instead of re-entering (and deadlocking) the pool.
+thread_local bool t_inside_pool_task = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t thread_count)
+    : thread_count_(thread_count == 0 ? DefaultThreadCount() : thread_count) {
+  // The calling thread participates in every batch, so a pool of size k
+  // needs k - 1 workers; size 1 is fully inline.
+  for (size_t i = 0; i + 1 < thread_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("TG_THREADS")) {
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return static_cast<size_t>(parsed > 256 ? 256 : parsed);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::RunBatchSlice() {
+  const std::function<void(size_t)>* fn = batch_fn_;
+  size_t n = batch_size_;
+  while (true) {
+    size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) {
+      break;
+    }
+    (*fn)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_batch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return shutting_down_ || batch_id_ != seen_batch; });
+      if (shutting_down_) {
+        return;
+      }
+      seen_batch = batch_id_;
+    }
+    t_inside_pool_task = true;
+    RunBatchSlice();
+    t_inside_pool_task = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Each worker runs exactly one slice per batch; the caller waits for
+      // every slice to exit before reusing the batch slots, so a slow
+      // worker can never claim indices from a later batch.
+      if (--slice_pending_ == 0) {
+        batch_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1 || t_inside_pool_task) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> caller_lock(caller_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_fn_ = &fn;
+    batch_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    slice_pending_ = workers_.size();
+    ++batch_id_;
+  }
+  work_ready_.notify_all();
+  // The caller works too.
+  t_inside_pool_task = true;
+  RunBatchSlice();
+  t_inside_pool_task = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    batch_done_.wait(lock, [&] { return slice_pending_ == 0; });
+    batch_fn_ = nullptr;
+    batch_size_ = 0;
+  }
+}
+
+}  // namespace tg_util

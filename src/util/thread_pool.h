@@ -1,0 +1,81 @@
+// A small reusable thread pool for the batch analysis drivers.
+//
+// The whole-graph analyses fan out many independent per-source product-BFS
+// runs; this pool runs them across a fixed set of worker threads without
+// spawning threads per call.  Design points:
+//
+//  * Deterministic results are the *caller's* contract: ParallelFor hands
+//    out indices 0..n-1 and callers write into pre-sized slots, so the
+//    output never depends on scheduling.
+//  * The pool size defaults to the TG_THREADS environment variable when
+//    set (clamped to [1, 256]), else std::thread::hardware_concurrency().
+//    A pool of size 1 runs everything inline on the calling thread — no
+//    worker threads at all — which doubles as the serial reference mode.
+//  * ParallelFor called from inside a pool worker runs inline (no nested
+//    fan-out), so composed analyses cannot deadlock the pool.
+//  * Tasks must not throw; the analyses are noexcept in practice.
+
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tg_util {
+
+class ThreadPool {
+ public:
+  // thread_count == 0 means DefaultThreadCount().
+  explicit ThreadPool(size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return thread_count_; }
+
+  // Runs fn(i) for every i in [0, n), distributing indices across the
+  // workers (the calling thread participates), and blocks until all n calls
+  // return.  Concurrent ParallelFor calls from different threads serialize;
+  // calls from within a task run inline.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // TG_THREADS (clamped to [1, 256]) when set and parseable, else
+  // hardware_concurrency(), else 1.  Re-read on every call.
+  static size_t DefaultThreadCount();
+
+  // Process-wide pool sized by DefaultThreadCount() at first use.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+  void RunBatchSlice();
+
+  size_t thread_count_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  bool shutting_down_ = false;
+
+  // Current batch (guarded by mutex_ for setup/teardown; indices are
+  // claimed lock-free).  slice_pending_ counts workers that have not yet
+  // exited their slice of the current batch.
+  uint64_t batch_id_ = 0;
+  const std::function<void(size_t)>* batch_fn_ = nullptr;
+  size_t batch_size_ = 0;
+  std::atomic<size_t> next_index_{0};
+  size_t slice_pending_ = 0;
+
+  std::mutex caller_mutex_;  // serializes concurrent ParallelFor callers
+};
+
+}  // namespace tg_util
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

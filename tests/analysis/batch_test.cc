@@ -1,0 +1,140 @@
+#include "src/analysis/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/can_know.h"
+#include "src/hierarchy/levels.h"
+#include "src/hierarchy/secure.h"
+#include "src/sim/generator.h"
+#include "src/util/prng.h"
+#include "src/util/thread_pool.h"
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+ProtectionGraph RandomTestGraph(uint64_t seed) {
+  tg_util::Prng prng(seed);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 10;
+  options.objects = 6;
+  options.edge_factor = 2.0;
+  return tg_sim::RandomGraph(options, prng);
+}
+
+TEST(BatchTest, MatrixRowsMatchSerialKnowableFrom) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ProtectionGraph g = RandomTestGraph(seed);
+    std::vector<std::vector<bool>> matrix = KnowableFromAll(g);
+    ASSERT_EQ(matrix.size(), g.VertexCount());
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      EXPECT_EQ(matrix[x], KnowableFrom(g, x)) << "seed " << seed << " row " << x;
+    }
+  }
+}
+
+TEST(BatchTest, ParallelAndSerialPoolsAgree) {
+  tg_util::ThreadPool serial(1);
+  tg_util::ThreadPool parallel(4);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ProtectionGraph g = RandomTestGraph(seed);
+    EXPECT_EQ(KnowableFromAll(g, &serial), KnowableFromAll(g, &parallel))
+        << "seed " << seed;
+  }
+}
+
+TEST(BatchTest, KnowableFromManyHandlesInvalidAndDuplicateSources) {
+  ProtectionGraph g = RandomTestGraph(3);
+  std::vector<VertexId> sources = {0, 0, tg::kInvalidVertex,
+                                   static_cast<VertexId>(g.VertexCount() + 5), 1};
+  std::vector<std::vector<bool>> rows = KnowableFromMany(g, sources);
+  ASSERT_EQ(rows.size(), sources.size());
+  EXPECT_EQ(rows[0], KnowableFrom(g, 0));
+  EXPECT_EQ(rows[1], rows[0]);  // duplicate source, identical row
+  EXPECT_EQ(rows[2], std::vector<bool>(g.VertexCount(), false));
+  EXPECT_EQ(rows[3], std::vector<bool>(g.VertexCount(), false));
+  EXPECT_EQ(rows[4], KnowableFrom(g, 1));
+}
+
+TEST(BatchTest, KnowableFromSnapshotMatchesGraphLevelCall) {
+  ProtectionGraph g = RandomTestGraph(5);
+  tg::AnalysisSnapshot snap(g);
+  for (VertexId x = 0; x < g.VertexCount(); ++x) {
+    EXPECT_EQ(KnowableFromSnapshot(snap, x), KnowableFrom(g, x)) << "row " << x;
+  }
+}
+
+TEST(BatchTest, EmptyGraphAndEmptySourceList) {
+  ProtectionGraph g;
+  EXPECT_TRUE(KnowableFromAll(g).empty());
+  EXPECT_TRUE(KnowableFromMany(g, {}).empty());
+}
+
+// rwtg-levels ride the same pool; the computed assignment must not depend
+// on thread count.
+TEST(BatchTest, RwtgLevelsIdenticalForAnyPoolSize) {
+  tg_util::ThreadPool serial(1);
+  tg_util::ThreadPool parallel(4);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ProtectionGraph g = RandomTestGraph(seed);
+    tg_hier::LevelAssignment a = tg_hier::ComputeRwtgLevels(g, &serial);
+    tg_hier::LevelAssignment b = tg_hier::ComputeRwtgLevels(g, &parallel);
+    ASSERT_EQ(a.LevelCount(), b.LevelCount()) << "seed " << seed;
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      EXPECT_EQ(a.LevelOf(v), b.LevelOf(v)) << "seed " << seed << " vertex " << v;
+    }
+    for (tg_hier::LevelId x = 0; x < a.LevelCount(); ++x) {
+      for (tg_hier::LevelId y = 0; y < a.LevelCount(); ++y) {
+        EXPECT_EQ(a.Higher(x, y), b.Higher(x, y)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+// The security audit fans out over the pool; reports (contents and order)
+// must be identical to the serial scan.
+TEST(BatchTest, SecurityAuditIdenticalForAnyPoolSize) {
+  tg_util::ThreadPool serial(1);
+  tg_util::ThreadPool parallel(4);
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    tg_util::Prng prng(seed);
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 3;
+    options.subjects_per_level = 3;
+    options.objects_per_level = 2;
+    options.planted_channels = 1;
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+
+    tg_hier::SecurityReport ra = tg_hier::CheckSecure(h.graph, h.levels, 0, &serial);
+    tg_hier::SecurityReport rb = tg_hier::CheckSecure(h.graph, h.levels, 0, &parallel);
+    EXPECT_EQ(ra.secure, rb.secure) << "seed " << seed;
+    ASSERT_EQ(ra.violations.size(), rb.violations.size()) << "seed " << seed;
+    for (size_t i = 0; i < ra.violations.size(); ++i) {
+      EXPECT_EQ(ra.violations[i].lower, rb.violations[i].lower);
+      EXPECT_EQ(ra.violations[i].higher, rb.violations[i].higher);
+      EXPECT_EQ(ra.violations[i].detail, rb.violations[i].detail);
+    }
+
+    auto ca = tg_hier::FindCrossLevelChannels(h.graph, h.levels, 0, &serial);
+    auto cb = tg_hier::FindCrossLevelChannels(h.graph, h.levels, 0, &parallel);
+    ASSERT_EQ(ca.size(), cb.size()) << "seed " << seed;
+    for (size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_EQ(ca[i].from, cb[i].from);
+      EXPECT_EQ(ca[i].to, cb[i].to);
+      EXPECT_EQ(ca[i].path, cb[i].path);
+    }
+
+    // The max_violations cutoff keeps the same prefix too.
+    tg_hier::SecurityReport capped_a = tg_hier::CheckSecure(h.graph, h.levels, 2, &serial);
+    tg_hier::SecurityReport capped_b = tg_hier::CheckSecure(h.graph, h.levels, 2, &parallel);
+    ASSERT_EQ(capped_a.violations.size(), capped_b.violations.size());
+    for (size_t i = 0; i < capped_a.violations.size(); ++i) {
+      EXPECT_EQ(capped_a.violations[i].detail, capped_b.violations[i].detail);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tg_analysis

@@ -1,0 +1,167 @@
+#include "src/analysis/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/can_know.h"
+#include "src/sim/generator.h"
+#include "src/tg/languages.h"
+#include "src/tg/path.h"
+#include "src/util/prng.h"
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+TEST(GraphVersionTest, EveryMutatorBumpsTheVersion) {
+  ProtectionGraph g;
+  uint64_t v = g.version();
+  auto bumped = [&] {
+    uint64_t now = g.version();
+    bool changed = now > v;
+    v = now;
+    return changed;
+  };
+
+  VertexId a = g.AddSubject("a");
+  EXPECT_TRUE(bumped()) << "AddVertex";
+  VertexId b = g.AddObject("b");
+  EXPECT_TRUE(bumped()) << "AddVertex";
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTakeGrant).ok());
+  EXPECT_TRUE(bumped()) << "AddExplicit";
+  ASSERT_TRUE(g.AddImplicit(a, b, tg::kRead).ok());
+  EXPECT_TRUE(bumped()) << "AddImplicit";
+  ASSERT_TRUE(g.RemoveExplicit(a, b, tg::kGrant).ok());
+  EXPECT_TRUE(bumped()) << "RemoveExplicit";
+  ASSERT_TRUE(g.RemoveImplicit(a, b, tg::kRead).ok());
+  EXPECT_TRUE(bumped()) << "RemoveImplicit";
+  g.ClearImplicit();
+  EXPECT_TRUE(bumped()) << "ClearImplicit";
+
+  // Read-only accessors leave the version alone.
+  (void)g.IsSubject(a);
+  (void)g.HasExplicit(a, b, tg::Right::kTake);
+  EXPECT_EQ(g.version(), v);
+}
+
+TEST(AnalysisCacheTest, RepeatQueriesHitAndMutationsInvalidate) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId c = g.AddObject("c");
+  ASSERT_TRUE(g.AddExplicit(a, c, tg::kRead).ok());
+
+  AnalysisCache cache;
+  EXPECT_TRUE(cache.CanKnow(g, a, c));
+  size_t misses_after_first = cache.misses();
+  EXPECT_GT(misses_after_first, 0u);
+  EXPECT_TRUE(cache.CanKnow(g, a, c));
+  EXPECT_EQ(cache.misses(), misses_after_first);  // second answer from cache
+  EXPECT_GT(cache.hits(), 0u);
+
+  // A mutation makes the next query recompute -- and see the new edge.
+  EXPECT_FALSE(cache.CanKnow(g, b, c));
+  ASSERT_TRUE(g.AddExplicit(b, c, tg::kRead).ok());
+  EXPECT_TRUE(cache.CanKnow(g, b, c));
+}
+
+// The cache must agree with the uncached analysis after *every* kind of
+// mutating operation.
+TEST(AnalysisCacheTest, CorrectAfterEveryMutatingOp) {
+  ProtectionGraph g;
+  AnalysisCache cache;
+  auto check_all = [&](const char* label) {
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      EXPECT_EQ(cache.Knowable(g, x), KnowableFrom(g, x)) << label << " row " << x;
+    }
+  };
+
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  check_all("AddVertex");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTake).ok());
+  check_all("AddExplicit");
+  ASSERT_TRUE(g.AddImplicit(b, a, tg::kRead).ok());
+  check_all("AddImplicit");
+  ASSERT_TRUE(g.RemoveExplicit(a, b, tg::kTake).ok());
+  check_all("RemoveExplicit");
+  ASSERT_TRUE(g.RemoveImplicit(b, a, tg::kRead).ok());
+  check_all("RemoveImplicit");
+  ASSERT_TRUE(g.AddImplicit(a, b, tg::kReadWrite).ok());
+  g.ClearImplicit();
+  check_all("ClearImplicit");
+  VertexId c = g.AddObject("c");
+  ASSERT_TRUE(g.AddExplicit(a, c, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, tg::kWrite).ok());
+  check_all("post setup");
+}
+
+TEST(AnalysisCacheTest, ReachableMemoizesPerDfaAndSource) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTakeGrant).ok());
+
+  AnalysisCache cache;
+  tg::PathSearchOptions options;
+  const std::vector<bool>& bridges = cache.Reachable(g, a, tg::BridgeDfa());
+  EXPECT_EQ(bridges, WordReachable(g, a, tg::BridgeDfa(), options));
+  size_t misses = cache.misses();
+  // Same key: hit.  Different DFA or source: distinct entries.
+  (void)cache.Reachable(g, a, tg::BridgeDfa());
+  EXPECT_EQ(cache.misses(), misses);
+  (void)cache.Reachable(g, a, tg::BridgeOrConnectionDfa());
+  (void)cache.Reachable(g, b, tg::BridgeDfa());
+  EXPECT_EQ(cache.misses(), misses + 2);
+  EXPECT_EQ(cache.Reachable(g, b, tg::BridgeDfa()),
+            WordReachable(g, b, tg::BridgeDfa(), options));
+}
+
+TEST(AnalysisCacheTest, SnapshotTracksVersionAndInvalidateResets) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  AnalysisCache cache;
+  EXPECT_EQ(cache.Snapshot(g).graph_version(), g.version());
+  EXPECT_EQ(cache.Snapshot(g).vertex_count(), 1u);
+  g.AddObject("b");
+  // Stale snapshot is rebuilt on the next access.
+  EXPECT_EQ(cache.Snapshot(g).graph_version(), g.version());
+  EXPECT_EQ(cache.Snapshot(g).vertex_count(), 2u);
+  // Invalidate drops everything but the cache still answers correctly.
+  (void)cache.Knowable(g, a);
+  cache.Invalidate();
+  EXPECT_EQ(cache.Knowable(g, a), KnowableFrom(g, a));
+  EXPECT_TRUE(cache.CanKnow(g, a, a));
+}
+
+TEST(AnalysisCacheTest, InvalidIdsAreFalse) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  AnalysisCache cache;
+  EXPECT_FALSE(cache.CanKnow(g, a, 17));
+  EXPECT_FALSE(cache.CanKnow(g, tg::kInvalidVertex, a));
+  EXPECT_TRUE(cache.CanKnow(g, a, a));  // reflexive
+}
+
+TEST(AnalysisCacheTest, AgreesWithSerialOnRandomGraphMutationSequence) {
+  tg_util::Prng prng(11);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 8;
+  options.objects = 5;
+  ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+  AnalysisCache cache;
+  for (int round = 0; round < 10; ++round) {
+    VertexId x = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+    VertexId y = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+    EXPECT_EQ(cache.CanKnow(g, x, y), CanKnow(g, x, y)) << "round " << round;
+    // Mutate, then re-ask: answers must track the new graph.
+    if (x != y) {
+      (void)g.AddExplicit(x, y, tg::kRead);
+    }
+    EXPECT_EQ(cache.CanKnow(g, x, y), CanKnow(g, x, y)) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace tg_analysis

@@ -237,6 +237,30 @@ TEST(ObjectLevelTest, IncomparableAccessorsLeaveUnassigned) {
   EXPECT_FALSE(levels.IsAssigned(doc));
 }
 
+TEST(LevelAssignmentTest, AssignRejectsInvalidInputs) {
+  LevelAssignment levels(3, 2);
+  EXPECT_FALSE(levels.Assign(tg::kInvalidVertex, 0));
+  EXPECT_FALSE(levels.Assign(0, 2));   // level out of range
+  EXPECT_FALSE(levels.Assign(0, 99));  // far out of range
+  EXPECT_TRUE(levels.Assign(0, 1));
+  EXPECT_EQ(levels.LevelOf(0), 1u);
+  EXPECT_TRUE(levels.Assign(0, kNoLevel));  // explicit unassignment is fine
+  EXPECT_FALSE(levels.IsAssigned(0));
+}
+
+TEST(LevelAssignmentTest, AssignGrowsForLaterCreatedVertices) {
+  // Vertices created after construction (create rules) join the table
+  // lazily; the gap stays unassigned.
+  LevelAssignment levels(2, 3);
+  EXPECT_TRUE(levels.Assign(5, 2));
+  EXPECT_EQ(levels.LevelOf(5), 2u);
+  EXPECT_FALSE(levels.IsAssigned(2));
+  EXPECT_FALSE(levels.IsAssigned(3));
+  EXPECT_FALSE(levels.IsAssigned(4));
+  // Out-of-range queries stay safe after growth.
+  EXPECT_EQ(levels.LevelOf(100), kNoLevel);
+}
+
 TEST(ObjectLevelTest, TakeEdgesDoNotAssign) {
   ProtectionGraph g;
   VertexId a = g.AddSubject("a");

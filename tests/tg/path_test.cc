@@ -166,5 +166,36 @@ TEST(PathTest, InvalidVerticesYieldNothing) {
   EXPECT_FALSE(FindWordPath(g, 99, 0, TerminalSpanDfa()).has_value());
 }
 
+TEST(PathTest, WordReachableMultiSkipsInvalidSources) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  // Invalid ids are skipped, not fatal, and do not poison the valid ones.
+  auto reach = WordReachableMulti(g, {kInvalidVertex, 99, a}, TerminalSpanDfa());
+  ASSERT_EQ(reach.size(), g.VertexCount());
+  EXPECT_TRUE(reach[a]);
+  EXPECT_TRUE(reach[b]);
+  // All-invalid source lists reach nothing.
+  auto nothing = WordReachableMulti(g, {kInvalidVertex, 42}, TerminalSpanDfa());
+  EXPECT_EQ(nothing, std::vector<bool>(g.VertexCount(), false));
+  // And no sources at all is the empty result, not a crash.
+  auto empty = WordReachableMulti(g, {}, TerminalSpanDfa());
+  EXPECT_EQ(empty, std::vector<bool>(g.VertexCount(), false));
+}
+
+TEST(PathTest, WordReachableMultiDuplicateSourcesMatchSingle) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  VertexId c = g.AddObject("c");
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, kTake).ok());
+  auto once = WordReachableMulti(g, {a}, TerminalSpanDfa());
+  auto thrice = WordReachableMulti(g, {a, a, a}, TerminalSpanDfa());
+  EXPECT_EQ(once, thrice);
+  EXPECT_EQ(once, WordReachable(g, a, TerminalSpanDfa()));
+}
+
 }  // namespace
 }  // namespace tg

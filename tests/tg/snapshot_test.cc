@@ -1,0 +1,133 @@
+#include "src/tg/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/generator.h"
+#include "src/tg/languages.h"
+#include "src/tg/path.h"
+#include "src/util/prng.h"
+
+namespace tg {
+namespace {
+
+TEST(AnalysisSnapshotTest, MirrorsVertexAndSubjectStructure) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  VertexId c = g.AddSubject("c");
+  AnalysisSnapshot snap(g);
+  EXPECT_EQ(snap.vertex_count(), 3u);
+  EXPECT_EQ(snap.graph_version(), g.version());
+  EXPECT_TRUE(snap.IsSubject(a));
+  EXPECT_FALSE(snap.IsSubject(b));
+  EXPECT_TRUE(snap.IsSubject(c));
+  EXPECT_FALSE(snap.IsSubject(99));
+  EXPECT_EQ(snap.Subjects(), (std::vector<VertexId>{a, c}));
+  EXPECT_TRUE(snap.IsValidVertex(b));
+  EXPECT_FALSE(snap.IsValidVertex(3));
+  EXPECT_TRUE(snap.AdjacencyOf(99).empty());
+}
+
+TEST(AnalysisSnapshotTest, AdjacencyCarriesBothDirectionsAndImplicits) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, kTake).ok());
+  ASSERT_TRUE(g.AddImplicit(a, b, RightSet{Right::kRead}).ok());
+  AnalysisSnapshot snap(g);
+  auto adj = snap.AdjacencyOf(a);
+  ASSERT_EQ(adj.size(), 1u);
+  EXPECT_EQ(adj[0].to, b);
+  EXPECT_TRUE(adj[0].fwd_explicit.Has(Right::kTake));
+  EXPECT_FALSE(adj[0].fwd_explicit.Has(Right::kRead));
+  EXPECT_TRUE(adj[0].fwd_total.Has(Right::kRead));
+  // From b's side the same edge appears as a backward label.
+  auto back = snap.AdjacencyOf(b);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].to, a);
+  EXPECT_TRUE(back[0].back_explicit.Has(Right::kTake));
+  EXPECT_TRUE(back[0].back_total.Has(Right::kRead));
+  EXPECT_TRUE(back[0].fwd_total.empty());
+}
+
+TEST(AnalysisSnapshotTest, SnapshotIsImmutableAfterGraphMutation) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  AnalysisSnapshot snap(g);
+  uint64_t version = snap.graph_version();
+  ASSERT_TRUE(g.AddExplicit(a, b, kTakeGrant).ok());
+  g.AddObject("c");
+  EXPECT_EQ(snap.vertex_count(), 2u);
+  EXPECT_EQ(snap.graph_version(), version);
+  EXPECT_NE(g.version(), version);
+  EXPECT_TRUE(snap.AdjacencyOf(a).empty());  // edge added after the snapshot
+}
+
+// The load-bearing equivalence: reachability on the snapshot is
+// bit-identical to reachability on the graph, for every path language the
+// analyses use, on randomized graphs.
+TEST(AnalysisSnapshotTest, WordReachableMatchesGraphSearchOnRandomGraphs) {
+  const tg_util::Dfa* dfas[] = {&BridgeDfa(), &BridgeOrConnectionDfa(),
+                                &ReverseRwInitialSpanDfa(), &RwTerminalSpanDfa(),
+                                &AdmissibleRwDfa()};
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    tg_util::Prng prng(seed);
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 9;
+    options.objects = 6;
+    options.edge_factor = 2.0;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    AnalysisSnapshot snap(g);
+    for (const tg_util::Dfa* dfa : dfas) {
+      for (bool use_implicit : {true, false}) {
+        for (VertexId from = 0; from < g.VertexCount(); ++from) {
+          PathSearchOptions graph_options;
+          graph_options.use_implicit = use_implicit;
+          SnapshotBfsOptions snap_options;
+          snap_options.use_implicit = use_implicit;
+          const VertexId sources[] = {from};
+          EXPECT_EQ(SnapshotWordReachable(snap, sources, *dfa, snap_options),
+                    WordReachable(g, from, *dfa, graph_options))
+              << "seed " << seed << " source " << from;
+        }
+      }
+    }
+  }
+}
+
+TEST(AnalysisSnapshotTest, MinStepsExcludesShortWalks) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, RightSet{Right::kRead}).ok());
+  AnalysisSnapshot snap(g);
+  SnapshotBfsOptions options;
+  options.min_steps = 1;
+  const VertexId sources[] = {a};
+  std::vector<bool> reach = SnapshotWordReachable(snap, sources, AdmissibleRwDfa(), options);
+  EXPECT_TRUE(reach[b]);
+  // And the snapshot honors min_steps exactly like the graph search.
+  PathSearchOptions graph_options;
+  graph_options.min_steps = 1;
+  EXPECT_EQ(reach, WordReachable(g, a, AdmissibleRwDfa(), graph_options));
+}
+
+TEST(AnalysisSnapshotTest, StepFilterIsApplied) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddSubject("b");
+  VertexId c = g.AddSubject("c");
+  ASSERT_TRUE(g.AddExplicit(a, b, RightSet{Right::kRead}).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, RightSet{Right::kRead}).ok());
+  AnalysisSnapshot snap(g);
+  const VertexId sources[] = {a};
+  auto block_c = [&](VertexId, PathSymbol, VertexId to) { return to != c; };
+  std::vector<bool> reach =
+      SnapshotWordReachable(snap, sources, AdmissibleRwDfa(), SnapshotBfsOptions{}, block_c);
+  EXPECT_TRUE(reach[b]);
+  EXPECT_FALSE(reach[c]);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,125 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace tg_util {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyBatches) {
+  ThreadPool pool(4);
+  std::atomic<size_t> calls{0};
+  pool.ParallelFor(0, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0u);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1u);
+  // Fewer items than workers: each index still runs exactly once.
+  std::vector<std::atomic<int>> hits(2);
+  pool.ParallelFor(2, [&](size_t i) { hits[i].fetch_add(1); });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ThreadPoolTest, ManySequentialBatchesReuseWorkers) {
+  ThreadPool pool(4);
+  size_t total = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(10, [&](size_t i) { sum.fetch_add(i + 1); });
+    EXPECT_EQ(sum.load(), 55u);
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 200u * 55u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(8, [&](size_t outer) {
+    // A task fanning out again must not deadlock the pool; the nested call
+    // runs inline on the same thread.
+    pool.ParallelFor(8, [&](size_t inner) { hits[outer * 8 + inner].fetch_add(1); });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersSerializeSafely) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(4 * 100);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(100, [&](size_t i) { hits[c * 100 + i].fetch_add(1); });
+    });
+  }
+  for (std::thread& t : callers) {
+    t.join();
+  }
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, DeterministicWhenWritingOwnSlots) {
+  // The determinism contract: per-index slots give identical results for
+  // any pool size.
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> out(257);
+    pool.ParallelFor(out.size(), [&](size_t i) { out[i] = i * i + 7; });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
+  auto with_env = [](const char* value) {
+    if (value == nullptr) {
+      unsetenv("TG_THREADS");
+    } else {
+      setenv("TG_THREADS", value, /*overwrite=*/1);
+    }
+    size_t n = ThreadPool::DefaultThreadCount();
+    unsetenv("TG_THREADS");
+    return n;
+  };
+  EXPECT_EQ(with_env("3"), 3u);
+  EXPECT_EQ(with_env("1"), 1u);
+  EXPECT_EQ(with_env("999"), 256u);  // clamped
+  // Unset / non-positive / unparseable fall back to hardware concurrency
+  // (>= 1).
+  EXPECT_GE(with_env(nullptr), 1u);
+  EXPECT_GE(with_env("0"), 1u);
+  EXPECT_GE(with_env("not-a-number"), 1u);
+}
+
+TEST(ThreadPoolTest, SizeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(16, [&](size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+}  // namespace
+}  // namespace tg_util
