@@ -58,6 +58,7 @@ int main() {
   tg_util::ThreadPool parallel;  // DefaultThreadCount-sized
 
   // --- rwtg-levels: per-subject BOC closures over the pool. ---
+  exp::MetricsDelta delta;
   Clock::time_point t0 = Clock::now();
   tg_hier::LevelAssignment levels_serial = tg_hier::ComputeRwtgLevels(g, &serial);
   double levels_serial_ms = MsSince(t0);
@@ -69,13 +70,17 @@ int main() {
     levels_equal = levels_serial.LevelOf(v) == levels_parallel.LevelOf(v);
   }
   reporter.Check("levels", "parallel rwtg-levels identical to serial", true, levels_equal);
-  jsonl.Write(exp::JsonObject()
-                  .Set("record", "timing")
-                  .Set("bench", "rwtg_levels")
-                  .Set("serial_ms", levels_serial_ms)
-                  .Set("parallel_ms", levels_parallel_ms)
-                  .Set("speedup", levels_parallel_ms > 0 ? levels_serial_ms / levels_parallel_ms : 0.0)
-                  .Set("identical", levels_equal));
+  {
+    exp::JsonObject row;
+    row.Set("record", "timing")
+        .Set("bench", "rwtg_levels")
+        .Set("serial_ms", levels_serial_ms)
+        .Set("parallel_ms", levels_parallel_ms)
+        .Set("speedup", levels_parallel_ms > 0 ? levels_serial_ms / levels_parallel_ms : 0.0)
+        .Set("identical", levels_equal);
+    jsonl.Write(delta.AppendTo(row));
+  }
+  delta.Reset();
 
   // --- all-pairs can_know matrix. ---
   t0 = Clock::now();
@@ -86,13 +91,17 @@ int main() {
   double matrix_parallel_ms = MsSince(t0);
   bool matrix_equal = matrix_serial == matrix_parallel;
   reporter.Check("matrix", "parallel can_know matrix identical to serial", true, matrix_equal);
-  jsonl.Write(exp::JsonObject()
-                  .Set("record", "timing")
-                  .Set("bench", "knowable_matrix")
-                  .Set("serial_ms", matrix_serial_ms)
-                  .Set("parallel_ms", matrix_parallel_ms)
-                  .Set("speedup", matrix_parallel_ms > 0 ? matrix_serial_ms / matrix_parallel_ms : 0.0)
-                  .Set("identical", matrix_equal));
+  {
+    exp::JsonObject row;
+    row.Set("record", "timing")
+        .Set("bench", "knowable_matrix")
+        .Set("serial_ms", matrix_serial_ms)
+        .Set("parallel_ms", matrix_parallel_ms)
+        .Set("speedup", matrix_parallel_ms > 0 ? matrix_serial_ms / matrix_parallel_ms : 0.0)
+        .Set("identical", matrix_equal);
+    jsonl.Write(delta.AppendTo(row));
+  }
+  delta.Reset();
 
   // --- security audit sweep. ---
   t0 = Clock::now();
@@ -107,13 +116,17 @@ int main() {
     audit_equal = audit_serial.violations[i].detail == audit_parallel.violations[i].detail;
   }
   reporter.Check("audit", "parallel security audit identical to serial", true, audit_equal);
-  jsonl.Write(exp::JsonObject()
-                  .Set("record", "timing")
-                  .Set("bench", "security_audit")
-                  .Set("serial_ms", audit_serial_ms)
-                  .Set("parallel_ms", audit_parallel_ms)
-                  .Set("speedup", audit_parallel_ms > 0 ? audit_serial_ms / audit_parallel_ms : 0.0)
-                  .Set("identical", audit_equal));
+  {
+    exp::JsonObject row;
+    row.Set("record", "timing")
+        .Set("bench", "security_audit")
+        .Set("serial_ms", audit_serial_ms)
+        .Set("parallel_ms", audit_parallel_ms)
+        .Set("speedup", audit_parallel_ms > 0 ? audit_serial_ms / audit_parallel_ms : 0.0)
+        .Set("identical", audit_equal);
+    jsonl.Write(delta.AppendTo(row));
+  }
+  delta.Reset();
 
   // --- cold vs cached queries: every subject's knowable row, twice. ---
   tg_analysis::AnalysisCache cache;
@@ -149,15 +162,18 @@ int main() {
                              std::to_string(warm_ms) + "ms hits=" +
                              std::to_string(cache.hits()) + " misses=" +
                              std::to_string(cache.misses()));
-  jsonl.Write(exp::JsonObject()
-                  .Set("record", "timing")
-                  .Set("bench", "cached_knowable")
-                  .Set("cold_ms", cold_ms)
-                  .Set("warm_ms", warm_ms)
-                  .Set("speedup", cached_speedup)
-                  .Set("hits", static_cast<uint64_t>(cache.hits()))
-                  .Set("misses", static_cast<uint64_t>(cache.misses()))
-                  .Set("identical", cache_correct));
+  {
+    exp::JsonObject row;
+    row.Set("record", "timing")
+        .Set("bench", "cached_knowable")
+        .Set("cold_ms", cold_ms)
+        .Set("warm_ms", warm_ms)
+        .Set("speedup", cached_speedup)
+        .Set("hits", static_cast<uint64_t>(cache.hits()))
+        .Set("misses", static_cast<uint64_t>(cache.misses()))
+        .Set("identical", cache_correct);
+    jsonl.Write(delta.AppendTo(row));
+  }
 
   if (!jsonl.ok()) {
     std::fprintf(stderr, "warning: could not open BENCH_batch.json for writing\n");

@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <string>
 
+#include "src/util/metrics.h"
+
 namespace exp {
 
 class Reporter {
@@ -118,6 +120,57 @@ class JsonlWriter {
 
  private:
   std::FILE* out_;
+};
+
+// Snapshot of the engine-internal metric counters, taken at construction.
+// AppendTo() folds the deltas since then into a JSONL row, so every timing
+// record carries the cache hit rate, snapshot rebuilds, and BFS work that
+// produced it.  Counters are process-global; construct one MetricsDelta
+// immediately before the phase it should attribute work to.
+class MetricsDelta {
+ public:
+  MetricsDelta() { Snapshot(baseline_); }
+
+  // Re-baselines, so one object can bracket consecutive phases.
+  void Reset() { Snapshot(baseline_); }
+
+  JsonObject& AppendTo(JsonObject& row) const {
+    Values now;
+    Snapshot(now);
+    const uint64_t hits = now.cache_hits - baseline_.cache_hits;
+    const uint64_t misses = now.cache_misses - baseline_.cache_misses;
+    const uint64_t lookups = hits + misses;
+    row.Set("cache_hits", hits)
+        .Set("cache_misses", misses)
+        .Set("cache_hit_rate", lookups > 0 ? static_cast<double>(hits) / lookups : 0.0)
+        .Set("snapshot_builds", now.snapshot_builds - baseline_.snapshot_builds)
+        .Set("bfs_runs", now.bfs_runs - baseline_.bfs_runs)
+        .Set("bfs_node_visits", now.bfs_node_visits - baseline_.bfs_node_visits)
+        .Set("pool_tasks", now.pool_tasks - baseline_.pool_tasks);
+    return row;
+  }
+
+ private:
+  struct Values {
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t snapshot_builds = 0;
+    uint64_t bfs_runs = 0;
+    uint64_t bfs_node_visits = 0;
+    uint64_t pool_tasks = 0;
+  };
+
+  static void Snapshot(Values& v) {
+    tg_util::MetricsRegistry& registry = tg_util::MetricsRegistry::Instance();
+    v.cache_hits = registry.CounterValue("cache.hits");
+    v.cache_misses = registry.CounterValue("cache.misses");
+    v.snapshot_builds = registry.CounterValue("snapshot.builds");
+    v.bfs_runs = registry.CounterValue("bfs.runs");
+    v.bfs_node_visits = registry.CounterValue("bfs.node_visits");
+    v.pool_tasks = registry.CounterValue("pool.tasks");
+  }
+
+  Values baseline_;
 };
 
 }  // namespace exp

@@ -1,6 +1,6 @@
 // audit_tool: command-line security analyzer for .tgg protection graphs.
 //
-//   audit_tool <graph.tgg> [--levels file.lvl] [--dot out.dot]
+//   audit_tool <graph.tgg> [--levels file.lvl] [--dot out.dot] [--metrics-json FILE]
 //   audit_tool --demo
 //
 // Loads a graph (or builds a demo), computes islands and rwtg-levels, runs
@@ -8,7 +8,10 @@
 // witness path.  With --levels, audits against the designer's level
 // assignment (read-up/write-down edges, Theorem 5.2 channels, and the full
 // can_know security check) instead of the computed one.  With --dot,
-// writes a Graphviz rendering clustered by level.
+// writes a Graphviz rendering clustered by level.  With --metrics-json,
+// dumps the engine metrics registry (cache hits, BFS visits, latency
+// histograms) as one flat JSON object to FILE ("-" = stdout) after the
+// audit finishes.
 
 #include <algorithm>
 #include <cstdio>
@@ -17,6 +20,7 @@
 #include <string>
 
 #include "src/take_grant.h"
+#include "src/util/metrics.h"
 
 namespace {
 
@@ -42,6 +46,7 @@ int main(int argc, char** argv) {
   tg::ProtectionGraph graph;
   std::string dot_path;
   std::string levels_path;
+  std::string metrics_path;
 
   if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
     graph = DemoGraph();
@@ -53,7 +58,8 @@ int main(int argc, char** argv) {
     graph = std::move(loaded).value();
   } else {
     std::fprintf(stderr,
-                 "usage: %s <graph.tgg> [--levels file.lvl] [--dot out.dot] | --demo\n",
+                 "usage: %s <graph.tgg> [--levels file.lvl] [--dot out.dot]"
+                 " [--metrics-json FILE] | --demo\n",
                  argv[0]);
     return 2;
   }
@@ -63,6 +69,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--levels") == 0) {
       levels_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_path = argv[i + 1];
     }
   }
 
@@ -158,14 +167,28 @@ int main(int argc, char** argv) {
   // caller re-asking any of these questions would hit the cache.
   tg_analysis::AnalysisCache cache;
   std::printf("\nknowable sets (|{y : can_know(x, y)}| per subject):\n");
+  std::vector<tg::VertexId> audit_subjects;
   for (tg::VertexId x = 0; x < graph.VertexCount(); ++x) {
     if (!graph.IsSubject(x)) {
       continue;
     }
+    audit_subjects.push_back(x);
     const std::vector<bool>& row = cache.Knowable(graph, x);
     size_t count = static_cast<size_t>(std::count(row.begin(), row.end(), true));
     std::printf("  %s: %zu\n", graph.NameOf(x).c_str(), count);
   }
+
+  // Mutual-knowledge summary over the cached rows: every pairwise lookup
+  // here is a cache hit, so large graphs pay |subjects| closures total.
+  size_t mutual_pairs = 0;
+  for (tg::VertexId x : audit_subjects) {
+    for (tg::VertexId y : audit_subjects) {
+      if (x < y && cache.CanKnow(graph, x, y) && cache.CanKnow(graph, y, x)) {
+        ++mutual_pairs;
+      }
+    }
+  }
+  std::printf("mutual-knowledge subject pairs: %zu\n", mutual_pairs);
 
   if (!dot_path.empty()) {
     tg::DotOptions dot_options;
@@ -180,6 +203,20 @@ int main(int argc, char** argv) {
     }
     out << tg::ToDot(graph, dot_options);
     std::printf("\nwrote %s\n", dot_path.c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    std::string json = tg_util::MetricsRegistry::Instance().RenderJson();
+    if (metrics_path == "-") {
+      std::printf("\n%s\n", json.c_str());
+    } else {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        return Fail("cannot write " + metrics_path);
+      }
+      out << json << "\n";
+      std::printf("\nwrote %s\n", metrics_path.c_str());
+    }
   }
   return 0;
 }

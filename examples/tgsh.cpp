@@ -26,16 +26,21 @@
 //   show                            print the graph (.tgg form)
 //   dot FILE                        export Graphviz
 //   save FILE / load FILE           .tgg I/O
+//   stats [reset]                   engine metrics (counters/latencies); reset zeroes them
+//   trace [N]                       last N trace spans (default 20)
 //   help / quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "src/take_grant.h"
+#include "src/util/metrics.h"
 #include "src/util/strings.h"
+#include "src/util/trace.h"
 
 namespace {
 
@@ -97,6 +102,7 @@ void PrintHelp() {
       "          remove X Y R | post/pass/spy/find X Y Z | saturate\n"
       "queries:  share R X Y | steal R X Y | know X Y | knowf X Y | islands | levels\n"
       "output:   dot FILE\n"
+      "observe:  stats [reset] | trace [N]\n"
       "misc:     help | quit\n");
 }
 
@@ -289,6 +295,38 @@ void Shell::Execute(const std::string& raw) {
     graph = tg_analysis::SaturateDeFacto(graph);
     cache.Invalidate();
     std::printf("ok: %zu new implicit edge(s)\n", graph.ImplicitEdgeCount() - before);
+  } else if (cmd == "stats") {
+    if (tok.size() == 2 && tok[1] == "reset") {
+      tg_util::MetricsRegistry::Instance().ResetAll();
+      tg_util::TraceBuffer::Instance().Clear();
+      std::printf("ok: metrics and trace reset\n");
+      return;
+    }
+    if (!tg_util::MetricsEnabled()) {
+      std::printf("(metrics disabled; unset TG_METRICS or set it to 1)\n");
+      return;
+    }
+    std::string text = tg_util::MetricsRegistry::Instance().RenderText();
+    std::printf("%s", text.empty() ? "(no metrics recorded yet)\n" : text.c_str());
+    std::printf("cache: %zu/%zu entries, %zu hits, %zu misses, %zu evictions\n",
+                cache.entry_count(), cache.max_entries(), cache.hits(), cache.misses(),
+                cache.evictions());
+  } else if (cmd == "trace") {
+    if (tok.size() > 2) {
+      std::printf("error: trace [N]\n");
+      return;
+    }
+    size_t limit = 20;
+    if (tok.size() == 2) {
+      limit = static_cast<size_t>(std::atol(std::string(tok[1]).c_str()));
+    }
+    std::string text = tg_util::TraceBuffer::Instance().RenderText(limit);
+    std::printf("%s", text.empty() ? "(trace empty)\n" : text.c_str());
+    uint64_t total = tg_util::TraceBuffer::Instance().total_recorded();
+    if (total > tg_util::TraceBuffer::Instance().capacity()) {
+      std::printf("(%llu spans recorded; older spans overwritten)\n",
+                  static_cast<unsigned long long>(total));
+    }
   } else if (cmd == "show") {
     std::printf("%s", tg::PrintGraph(graph).c_str());
   } else if (cmd == "dot") {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the asan and tsan presets and runs every test not
+# labeled "slow" under each.  The fast label covers all unit suites plus
+# the observability cross-checks; the slow label (fuzz, corpus, CLI
+# subprocess tests) stays in the default ctest run.
+#
+#   scripts/check.sh            # asan + tsan
+#   scripts/check.sh asan       # one preset only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(asan tsan)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset" >/dev/null
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] ctest (-LE slow) ==="
+  ctest --test-dir "build-$preset" -LE slow --output-on-failure -j "$jobs"
+done
+
+echo "=== all sanitizer checks passed ==="

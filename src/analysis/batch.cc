@@ -2,6 +2,8 @@
 
 #include "src/analysis/bridges.h"
 #include "src/tg/languages.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace tg_analysis {
 
@@ -63,6 +65,13 @@ namespace {
 std::vector<std::vector<bool>> RowsFor(const tg::ProtectionGraph& g,
                                        const std::vector<VertexId>& sources,
                                        tg_util::ThreadPool* pool) {
+  static tg_util::Counter& row_count = tg_util::GetCounter("batch.rows");
+  static tg_util::Histogram& run_ns = tg_util::GetHistogram("batch.run_ns");
+  row_count.Add(sources.size());
+  tg_util::ScopedTimer timer(run_ns);
+  tg_util::TraceSpan span(
+      tg_util::TraceKind::kBatchRows, sources.size(),
+      pool != nullptr ? pool->thread_count() : tg_util::ThreadPool::Shared().thread_count());
   AnalysisSnapshot snap(g);
   // Pre-warm the DFA singletons so worker threads only read them.  (Their
   // initialization is thread-safe anyway; this keeps first-use timing out

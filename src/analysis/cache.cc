@@ -1,11 +1,34 @@
 #include "src/analysis/cache.h"
 
+#include <algorithm>
+
 #include "src/analysis/batch.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace tg_analysis {
 
 using tg::AnalysisSnapshot;
 using tg::VertexId;
+
+namespace {
+
+struct CacheMetrics {
+  tg_util::Counter& hits = tg_util::GetCounter("cache.hits");
+  tg_util::Counter& misses = tg_util::GetCounter("cache.misses");
+  tg_util::Counter& evictions = tg_util::GetCounter("cache.evictions");
+  tg_util::Counter& rebuilds = tg_util::GetCounter("cache.snapshot_rebuilds");
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+AnalysisCache::AnalysisCache(size_t max_entries)
+    : max_entries_(max_entries < 2 ? 2 : max_entries) {}
 
 void AnalysisCache::Invalidate() {
   snapshot_.reset();
@@ -17,6 +40,8 @@ void AnalysisCache::Refresh(const tg::ProtectionGraph& g) {
   if (snapshot_.has_value() && snapshot_->graph_version() == g.version()) {
     return;
   }
+  tg_util::TraceSpan span(tg_util::TraceKind::kCacheRebuild, g.version(), entry_count());
+  Metrics().rebuilds.Add();
   Invalidate();
   snapshot_.emplace(g);
 }
@@ -24,6 +49,44 @@ void AnalysisCache::Refresh(const tg::ProtectionGraph& g) {
 const AnalysisSnapshot& AnalysisCache::Snapshot(const tg::ProtectionGraph& g) {
   Refresh(g);
   return *snapshot_;
+}
+
+void AnalysisCache::EvictIfFull() {
+  if (entry_count() < max_entries_) {
+    return;
+  }
+  // Median last-used tick over all entries; dropping everything at or
+  // below it removes about half (ticks are unique, so at least one).
+  std::vector<uint64_t> ticks;
+  ticks.reserve(entry_count());
+  for (const auto& [key, entry] : reach_) {
+    ticks.push_back(entry.last_used);
+  }
+  for (const auto& [key, entry] : knowable_) {
+    ticks.push_back(entry.last_used);
+  }
+  auto median = ticks.begin() + ticks.size() / 2;
+  std::nth_element(ticks.begin(), median, ticks.end());
+  uint64_t cutoff = *median;
+  size_t dropped = 0;
+  for (auto it = reach_.begin(); it != reach_.end();) {
+    if (it->second.last_used <= cutoff) {
+      it = reach_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = knowable_.begin(); it != knowable_.end();) {
+    if (it->second.last_used <= cutoff) {
+      it = knowable_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  evictions_ += dropped;
+  Metrics().evictions.Add(dropped);
 }
 
 const std::vector<bool>& AnalysisCache::Reachable(const tg::ProtectionGraph& g,
@@ -34,13 +97,18 @@ const std::vector<bool>& AnalysisCache::Reachable(const tg::ProtectionGraph& g,
   auto it = reach_.find(key);
   if (it != reach_.end()) {
     ++hits_;
-    return it->second;
+    Metrics().hits.Add();
+    it->second.last_used = Touch();
+    return it->second.value;
   }
   ++misses_;
+  Metrics().misses.Add();
+  EvictIfFull();
   tg::SnapshotBfsOptions options{use_implicit, min_steps};
   const VertexId sources[] = {source};
-  return reach_.emplace(key, SnapshotWordReachable(*snapshot_, sources, dfa, options))
-      .first->second;
+  Entry<std::vector<bool>> entry{SnapshotWordReachable(*snapshot_, sources, dfa, options),
+                                 Touch()};
+  return reach_.emplace(key, std::move(entry)).first->second.value;
 }
 
 const std::vector<bool>& AnalysisCache::Knowable(const tg::ProtectionGraph& g, VertexId x) {
@@ -48,10 +116,15 @@ const std::vector<bool>& AnalysisCache::Knowable(const tg::ProtectionGraph& g, V
   auto it = knowable_.find(x);
   if (it != knowable_.end()) {
     ++hits_;
-    return it->second;
+    Metrics().hits.Add();
+    it->second.last_used = Touch();
+    return it->second.value;
   }
   ++misses_;
-  return knowable_.emplace(x, KnowableFromSnapshot(*snapshot_, x)).first->second;
+  Metrics().misses.Add();
+  EvictIfFull();
+  Entry<std::vector<bool>> entry{KnowableFromSnapshot(*snapshot_, x), Touch()};
+  return knowable_.emplace(x, std::move(entry)).first->second.value;
 }
 
 bool AnalysisCache::CanKnow(const tg::ProtectionGraph& g, VertexId x, VertexId y) {

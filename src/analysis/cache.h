@@ -22,6 +22,14 @@
 // call Invalidate() when rebinding it to a different graph).  The cache is
 // not thread-safe; batch work should use src/analysis/batch.h, which
 // shares one immutable snapshot across threads instead.
+//
+// Size bound: derived entries are capped at max_entries (constructor
+// argument, default kDefaultMaxEntries).  When an insert would exceed the
+// cap, the least-recently-used half of the entries is dropped in one
+// batch — ordering is tracked with a per-access tick, so eviction is
+// LRU-accurate while the hit path stays a hash probe plus one store.
+// Returned references are valid only until the next cache call (a miss
+// may evict).
 
 #ifndef SRC_ANALYSIS_CACHE_H_
 #define SRC_ANALYSIS_CACHE_H_
@@ -39,7 +47,11 @@ namespace tg_analysis {
 
 class AnalysisCache {
  public:
-  AnalysisCache() = default;
+  static constexpr size_t kDefaultMaxEntries = 4096;
+
+  // max_entries bounds the derived entries (reachability bitsets plus
+  // knowable rows; the snapshot itself is not counted).  Clamped to >= 2.
+  explicit AnalysisCache(size_t max_entries = kDefaultMaxEntries);
 
   // The snapshot for g's current version (rebuilt if stale).
   const tg::AnalysisSnapshot& Snapshot(const tg::ProtectionGraph& g);
@@ -63,8 +75,17 @@ class AnalysisCache {
 
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
+  size_t evictions() const { return evictions_; }
+  size_t max_entries() const { return max_entries_; }
+  size_t entry_count() const { return reach_.size() + knowable_.size(); }
 
  private:
+  template <typename Value>
+  struct Entry {
+    Value value;
+    uint64_t last_used = 0;
+  };
+
   struct ReachKey {
     const tg_util::Dfa* dfa = nullptr;
     tg::VertexId source = tg::kInvalidVertex;
@@ -87,11 +108,19 @@ class AnalysisCache {
   // cached version.
   void Refresh(const tg::ProtectionGraph& g);
 
+  // Batch-evicts the least-recently-used half when the cap is reached.
+  void EvictIfFull();
+
+  uint64_t Touch() { return ++tick_; }
+
+  size_t max_entries_;
+  uint64_t tick_ = 0;
   std::optional<tg::AnalysisSnapshot> snapshot_;
-  std::unordered_map<ReachKey, std::vector<bool>, ReachKeyHash> reach_;
-  std::unordered_map<tg::VertexId, std::vector<bool>> knowable_;
+  std::unordered_map<ReachKey, Entry<std::vector<bool>>, ReachKeyHash> reach_;
+  std::unordered_map<tg::VertexId, Entry<std::vector<bool>>> knowable_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
 };
 
 }  // namespace tg_analysis

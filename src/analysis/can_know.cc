@@ -5,6 +5,7 @@
 #include "src/analysis/spans.h"
 #include "src/tg/languages.h"
 #include "src/tg/snapshot.h"
+#include "src/util/metrics.h"
 
 namespace tg_analysis {
 
@@ -38,6 +39,8 @@ PathSearchOptions AdmissibleOptions(const ProtectionGraph& g) {
 }  // namespace
 
 bool CanKnowF(const ProtectionGraph& g, VertexId x, VertexId y) {
+  static tg_util::Counter& queries = tg_util::GetCounter("query.can_know_f");
+  queries.Add();
   if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
     return false;
   }
@@ -57,6 +60,8 @@ std::optional<GraphPath> FindAdmissibleRwPath(const ProtectionGraph& g, VertexId
 }
 
 bool CanKnow(const ProtectionGraph& g, VertexId x, VertexId y) {
+  static tg_util::Counter& queries = tg_util::GetCounter("query.can_know");
+  queries.Add();
   if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
     return false;
   }

@@ -2,6 +2,7 @@
 
 #include "src/analysis/bridges.h"
 #include "src/analysis/spans.h"
+#include "src/util/metrics.h"
 
 namespace tg_analysis {
 
@@ -11,6 +12,8 @@ using tg::RightSet;
 using tg::VertexId;
 
 bool CanShare(const ProtectionGraph& g, Right right, VertexId x, VertexId y) {
+  static tg_util::Counter& queries = tg_util::GetCounter("query.can_share");
+  queries.Add();
   if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
     return false;
   }

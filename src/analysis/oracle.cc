@@ -11,6 +11,8 @@
 #include "src/tg/witness.h"
 
 #include "src/tg/rules.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace tg_analysis {
 
@@ -22,12 +24,26 @@ using tg::VertexId;
 using tg::VertexKind;
 
 ProtectionGraph SaturateDeFacto(const ProtectionGraph& g) {
+  tg_util::TraceSpan span(tg_util::TraceKind::kDeFactoSaturate);
+  static tg_util::Counter& saturations = tg_util::GetCounter("defacto.saturations");
+  static tg_util::Counter& rounds_counter = tg_util::GetCounter("defacto.rounds");
+  static tg_util::Counter& applied_counter = tg_util::GetCounter("defacto.rules_applied");
+  static tg_util::Histogram& saturate_ns = tg_util::GetHistogram("defacto.saturate_ns");
+  tg_util::ScopedTimer timer(saturate_ns);
+  saturations.Add();
+  uint64_t rounds = 0;
+  uint64_t applied = 0;
   ProtectionGraph current = g;
   while (true) {
     std::vector<RuleApplication> rules = EnumerateDeFacto(current);
     if (rules.empty()) {
+      rounds_counter.Add(rounds);
+      applied_counter.Add(applied);
+      span.set_args(rounds, applied);
       return current;
     }
+    ++rounds;
+    applied += rules.size();
     for (RuleApplication& rule : rules) {
       // Preconditions were checked at enumeration time and de facto rules
       // only add edges, so each application still succeeds; applying the

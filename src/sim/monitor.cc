@@ -2,7 +2,27 @@
 
 #include <sstream>
 
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
 namespace tg_sim {
+
+namespace {
+
+struct MonitorMetrics {
+  tg_util::Counter& requests = tg_util::GetCounter("monitor.requests");
+  tg_util::Counter& allowed = tg_util::GetCounter("monitor.allowed");
+  tg_util::Counter& vetoed = tg_util::GetCounter("monitor.vetoed");
+  tg_util::Counter& rejected = tg_util::GetCounter("monitor.rejected");
+  tg_util::Histogram& decision_ns = tg_util::GetHistogram("monitor.decision_ns");
+};
+
+MonitorMetrics& Metrics() {
+  static MonitorMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 using tg::RuleApplication;
 using tg_util::Status;
@@ -26,6 +46,9 @@ ReferenceMonitor::ReferenceMonitor(tg::ProtectionGraph graph,
     : engine_(std::move(graph), std::move(policy)) {}
 
 StatusOr<RuleApplication> ReferenceMonitor::Submit(RuleApplication rule) {
+  tg_util::TraceSpan span(tg_util::TraceKind::kMonitorDecision);
+  tg_util::ScopedTimer timer(Metrics().decision_ns);
+  Metrics().requests.Add();
   std::string rendered = rule.ToString(engine_.graph());
   StatusOr<RuleApplication> result = engine_.Apply(std::move(rule));
   AuditRecord record;
@@ -34,15 +57,19 @@ StatusOr<RuleApplication> ReferenceMonitor::Submit(RuleApplication rule) {
   if (result.ok()) {
     record.outcome = AuditOutcome::kAllowed;
     ++allowed_;
+    Metrics().allowed.Add();
   } else if (result.status().code() == StatusCode::kPolicyViolation) {
     record.outcome = AuditOutcome::kVetoed;
     record.reason = result.status().message();
     ++vetoed_;
+    Metrics().vetoed.Add();
   } else {
     record.outcome = AuditOutcome::kRejected;
     record.reason = result.status().message();
     ++rejected_;
+    Metrics().rejected.Add();
   }
+  span.set_args(static_cast<uint64_t>(record.outcome), record.sequence);
   audit_log_.push_back(std::move(record));
   return result;
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/tg/snapshot.h"
+#include "src/util/metrics.h"
 
 namespace tg {
 
@@ -83,6 +84,8 @@ std::optional<GraphPath> FindWordPathImpl(const ProtectionGraph& g, VertexId fro
 
 std::optional<GraphPath> FindWordPath(const ProtectionGraph& g, VertexId from, VertexId to,
                                       const tg_util::Dfa& dfa, const PathSearchOptions& options) {
+  static tg_util::Counter& searches = tg_util::GetCounter("path.find_word");
+  searches.Add();
   if (!g.IsValidVertex(from) || !g.IsValidVertex(to)) {
     return std::nullopt;
   }
@@ -100,6 +103,8 @@ std::vector<bool> WordReachable(const ProtectionGraph& g, VertexId from, const t
 std::vector<bool> WordReachableMulti(const ProtectionGraph& g,
                                      const std::vector<VertexId>& sources,
                                      const tg_util::Dfa& dfa, const PathSearchOptions& options) {
+  static tg_util::Counter& searches = tg_util::GetCounter("path.reachable");
+  searches.Add();
   AnalysisSnapshot snap(g);
   SnapshotBfsOptions bfs_options{options.use_implicit, options.min_steps};
   if (options.step_filter) {

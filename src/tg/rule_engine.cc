@@ -1,21 +1,45 @@
 #include "src/tg/rule_engine.h"
 
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
 namespace tg {
 
 using tg_util::Status;
 using tg_util::StatusOr;
+
+namespace {
+
+struct EngineMetrics {
+  tg_util::Counter& applied = tg_util::GetCounter("rules.applied");
+  tg_util::Counter& vetoed = tg_util::GetCounter("rules.vetoed");
+  tg_util::Counter& rejected = tg_util::GetCounter("rules.rejected");
+  tg_util::Histogram& apply_ns = tg_util::GetHistogram("rules.apply_ns");
+};
+
+EngineMetrics& Metrics() {
+  static EngineMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 RuleEngine::RuleEngine(ProtectionGraph graph, std::shared_ptr<RulePolicy> policy)
     : graph_(std::move(graph)),
       policy_(policy ? std::move(policy) : std::make_shared<AllowAllPolicy>()) {}
 
 StatusOr<RuleApplication> RuleEngine::Apply(RuleApplication rule) {
+  tg_util::TraceSpan span(tg_util::TraceKind::kRuleApply,
+                          static_cast<uint64_t>(rule.kind), 0);
+  tg_util::ScopedTimer timer(Metrics().apply_ns);
   if (Status s = CheckRule(graph_, rule); !s.ok()) {
     ++rejected_count_;
+    Metrics().rejected.Add();
     return s;
   }
   if (Status s = policy_->Vet(graph_, rule); !s.ok()) {
     ++vetoed_count_;
+    Metrics().vetoed.Add();
     return Status::PolicyViolation("policy '" + policy_->Name() + "' vetoed " +
                                    rule.ToString(graph_) + ": " + s.message());
   }
@@ -24,6 +48,8 @@ StatusOr<RuleApplication> RuleEngine::Apply(RuleApplication rule) {
   }
   policy_->NotifyApplied(graph_, rule);
   journal_.Append(rule);
+  Metrics().applied.Add();
+  span.set_args(static_cast<uint64_t>(rule.kind), 1);
   return rule;
 }
 

@@ -1,9 +1,41 @@
 #include "src/tg/snapshot.h"
 
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
 namespace tg {
+
+namespace internal {
+
+uint64_t BfsStartNs() {
+  return tg_util::MetricsEnabled() ? tg_util::TraceBuffer::NowNs() : 0;
+}
+
+void RecordBfsRun(uint64_t start_ns, uint64_t visits, uint64_t edge_scans) {
+  if (!tg_util::MetricsEnabled()) {
+    return;
+  }
+  static tg_util::Counter& runs = tg_util::GetCounter("bfs.runs");
+  static tg_util::Counter& node_visits = tg_util::GetCounter("bfs.node_visits");
+  static tg_util::Counter& scans = tg_util::GetCounter("bfs.edge_scans");
+  static tg_util::Histogram& run_ns = tg_util::GetHistogram("bfs.run_ns");
+  runs.Add();
+  node_visits.Add(visits);
+  scans.Add(edge_scans);
+  uint64_t end_ns = tg_util::TraceBuffer::NowNs();
+  run_ns.Observe(end_ns - start_ns);
+  tg_util::TraceBuffer::Instance().Record(tg_util::TraceKind::kProductBfs, start_ns,
+                                          end_ns - start_ns, visits, edge_scans);
+}
+
+}  // namespace internal
 
 AnalysisSnapshot::AnalysisSnapshot(const ProtectionGraph& g)
     : vertex_count_(g.VertexCount()), graph_version_(g.version()) {
+  tg_util::TraceSpan span(tg_util::TraceKind::kSnapshotBuild);
+  static tg_util::Counter& builds = tg_util::GetCounter("snapshot.builds");
+  static tg_util::Histogram& build_ns = tg_util::GetHistogram("snapshot.build_ns");
+  tg_util::ScopedTimer timer(build_ns);
   subject_bits_.assign((vertex_count_ + 63) / 64, 0);
   for (VertexId v = 0; v < vertex_count_; ++v) {
     if (g.IsSubject(v)) {
@@ -47,6 +79,9 @@ AnalysisSnapshot::AnalysisSnapshot(const ProtectionGraph& g)
       rec.back_total = g.TotalRights(u, v);
     });
   }
+
+  builds.Add();
+  span.set_args(vertex_count_, adj_.size());
 }
 
 }  // namespace tg

@@ -36,6 +36,15 @@
 
 namespace tg {
 
+namespace internal {
+// Observability glue for the templated BFS below, defined in snapshot.cc
+// so this header stays free of the metrics/trace includes.  BfsStartNs
+// returns 0 (no clock read) when observability is disabled; RecordBfsRun
+// bumps the bfs.* counters and records one kProductBfs trace span.
+uint64_t BfsStartNs();
+void RecordBfsRun(uint64_t start_ns, uint64_t visits, uint64_t edge_scans);
+}  // namespace internal
+
 class AnalysisSnapshot {
  public:
   // One neighbor of a vertex v with both edge directions' labels inlined:
@@ -130,12 +139,21 @@ class SnapshotProductBfs {
   // reached node.  Returns when the queue drains.
   template <typename Visit>
   void Run(Visit visit) {
+    // Visit/scan tallies stay in locals through the hot loop and flush to
+    // the shared counters once per drain, so instrumentation costs the
+    // inner loop two register increments.  Totals are sums over per-source
+    // runs, hence independent of thread count and scheduling.
+    const uint64_t start_ns = internal::BfsStartNs();
+    uint64_t visits = 0;
+    uint64_t edge_scans = 0;
     while (head_ < queue_.size()) {
       auto [u, state] = queue_[head_++];
       size_t u_idx = Index(u, state);
       size_t u_depth = depth_[u_idx];
       visit(u, state, u_depth);
+      ++visits;
       for (const AnalysisSnapshot::AdjRecord& rec : snap_.AdjacencyOf(u)) {
+        ++edge_scans;
         RightSet fwd = options_.use_implicit ? rec.fwd_total : rec.fwd_explicit;
         RightSet back = options_.use_implicit ? rec.back_total : rec.back_explicit;
         if (fwd.empty() && back.empty()) {
@@ -170,6 +188,7 @@ class SnapshotProductBfs {
         }
       }
     }
+    internal::RecordBfsRun(start_ns, visits, edge_scans);
   }
 
   // The shortest walk ending at (v, s); only valid for visited nodes.

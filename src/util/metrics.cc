@@ -1,0 +1,222 @@
+#include "src/util/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace tg_util {
+
+namespace {
+
+// -1 = not yet read from the environment.
+std::atomic<int> g_metrics_enabled{-1};
+
+int ReadEnabledFromEnv() {
+  const char* env = std::getenv("TG_METRICS");
+  if (env == nullptr) {
+    return 1;
+  }
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+      std::strcmp(env, "false") == 0 || std::strcmp(env, "no") == 0) {
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+#if TG_METRICS
+  int state = g_metrics_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = ReadEnabledFromEnv();
+    g_metrics_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state != 0;
+#else
+  return false;
+#endif
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t b) {
+  if (b + 1 >= kBuckets) {
+    return UINT64_MAX;
+  }
+  return uint64_t{1} << b;
+}
+
+uint64_t Histogram::PercentileUpperBound(double p) const {
+  uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 100.0) {
+    p = 100.0;
+  }
+  // Rank of the percentile sample, 1-based (ceil of p% of n, at least 1).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen >= rank) {
+      return BucketUpperBound(b);
+    }
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// std::map keeps render output sorted; node-based storage plus unique_ptr
+// keeps instrument addresses stable across rehashes and registrations.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    it = i.histograms.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.counters.find(name);
+  return it == i.counters.end() ? 0 : it->second->value();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : i.counters) {
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+  }
+  for (const auto& [name, g] : i.gauges) {
+    std::snprintf(buf, sizeof(buf), "%s %lld\n", name.c_str(),
+                  static_cast<long long>(g->value()));
+    out += buf;
+  }
+  for (const auto& [name, h] : i.histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s count=%llu sum=%llu mean=%.1f p50<=%llu p99<=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(h->count()),
+                  static_cast<unsigned long long>(h->sum()), h->mean(),
+                  static_cast<unsigned long long>(h->PercentileUpperBound(50)),
+                  static_cast<unsigned long long>(h->PercentileUpperBound(99)));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::string out = "{";
+  bool first = true;
+  auto add = [&out, &first](const std::string& key, uint64_t value) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + key + "\":" + std::to_string(value);
+  };
+  for (const auto& [name, c] : i.counters) {
+    add(name, c->value());
+  }
+  for (const auto& [name, g] : i.gauges) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(g->value());
+  }
+  for (const auto& [name, h] : i.histograms) {
+    add(name + ".count", h->count());
+    add(name + ".sum", h->sum());
+    add(name + ".p50", h->PercentileUpperBound(50));
+    add(name + ".p99", h->PercentileUpperBound(99));
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (const auto& [name, c] : i.counters) {
+    (void)name;
+    c->Reset();
+  }
+  for (const auto& [name, g] : i.gauges) {
+    (void)name;
+    g->Reset();
+  }
+  for (const auto& [name, h] : i.histograms) {
+    (void)name;
+    h->Reset();
+  }
+}
+
+}  // namespace tg_util

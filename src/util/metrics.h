@@ -1,0 +1,233 @@
+// A low-overhead, thread-safe metrics registry for the analysis engine.
+//
+// Three instrument kinds, all safe to touch from ThreadPool workers:
+//  * Counter   — monotonic uint64 (relaxed atomic add)
+//  * Gauge     — last-written int64 (atomic store)
+//  * Histogram — fixed power-of-two buckets with atomic slots, for
+//                latencies in nanoseconds and other size-like samples
+//
+// Instrumentation sites look up their instrument once and cache the
+// reference in a function-local static:
+//
+//   static tg_util::Counter& hits = tg_util::GetCounter("cache.hits");
+//   hits.Add();
+//
+// so the steady-state cost of a counter bump is one relaxed atomic load
+// (the enabled flag) plus one relaxed fetch_add.  Instruments are never
+// destroyed before process exit; references stay valid forever.
+//
+// Disabling.  Two layers, both spelled TG_METRICS:
+//  * Compile time: build with -DTG_METRICS=0 and every instrument method
+//    becomes an empty inline function — zero code in the hot paths.
+//  * Run time: the TG_METRICS environment variable ("0" / "off" / "false"
+//    / "no" disables; unset or anything else enables).  Disabled mode
+//    skips the atomic writes *and* the clock reads (ScopedTimer arms
+//    itself only when enabled), so the residual cost per site is a
+//    relaxed load and a predictable branch.
+// The same flag gates the trace ring buffer (src/util/trace.h); it is the
+// single observability toggle.
+
+#ifndef SRC_UTIL_METRICS_H_
+#define SRC_UTIL_METRICS_H_
+
+#ifndef TG_METRICS
+#define TG_METRICS 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tg_util {
+
+// Runtime observability toggle (see file comment).  Initialized from the
+// TG_METRICS environment variable at first use; SetMetricsEnabled
+// overrides it (tests, embedding applications).
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+#if TG_METRICS
+    if (MetricsEnabled()) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+#else
+    (void)delta;
+#endif
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) {
+#if TG_METRICS
+    if (MetricsEnabled()) {
+      value_.store(value, std::memory_order_relaxed);
+    }
+#else
+    (void)value;
+#endif
+  }
+
+  void Add(int64_t delta) {
+#if TG_METRICS
+    if (MetricsEnabled()) {
+      value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+#else
+    (void)delta;
+#endif
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Power-of-two histogram: bucket 0 holds the sample 0, bucket b >= 1 holds
+// samples in [2^(b-1), 2^b).  40 buckets cover every nanosecond duration
+// up to ~9 minutes; larger samples clamp into the last bucket.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Observe(uint64_t sample) {
+#if TG_METRICS
+    if (!MetricsEnabled()) {
+      return;
+    }
+    size_t b = BucketOf(sample);
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+#else
+    (void)sample;
+#endif
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t b) const {
+    return b < kBuckets ? buckets_[b].load(std::memory_order_relaxed) : 0;
+  }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  // Upper bound of the bucket containing the p-th percentile sample
+  // (p in [0, 100]); 0 when empty.  Bucket resolution, not exact.
+  uint64_t PercentileUpperBound(double p) const;
+
+  void Reset();
+
+  static size_t BucketOf(uint64_t sample) {
+    size_t b = 0;
+    while (sample != 0) {
+      sample >>= 1;
+      ++b;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  // Exclusive upper bound of bucket b (2^b; UINT64_MAX for the last).
+  static uint64_t BucketUpperBound(size_t b);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// RAII nanosecond timer.  Arms only when metrics are enabled, so disabled
+// mode pays no clock reads.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) {
+#if TG_METRICS
+    if (MetricsEnabled()) {
+      histogram_ = &histogram;
+      start_ = std::chrono::steady_clock::now();
+    }
+#else
+    (void)histogram;
+#endif
+  }
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - start_;
+      histogram_->Observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Process-wide registry.  Lookup is mutex-guarded (call sites cache the
+// returned reference); instruments live until process exit.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Value of a counter by name; 0 when it was never registered.  For
+  // exporters and tests, so they need not create instruments as a side
+  // effect of reading.
+  uint64_t CounterValue(std::string_view name) const;
+
+  // "name value" lines (counters, then gauges, then histograms with
+  // count/sum/mean/p50/p99), sorted by name within each kind.
+  std::string RenderText() const;
+
+  // One flat JSON object: counters and gauges as integers, histograms
+  // expanded to <name>.count / .sum / .p50 / .p99 keys.
+  std::string RenderJson() const;
+
+  // Zeroes every instrument (instruments stay registered; cached
+  // references stay valid).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Shorthands for instrumentation sites.
+inline Counter& GetCounter(std::string_view name) {
+  return MetricsRegistry::Instance().counter(name);
+}
+inline Gauge& GetGauge(std::string_view name) {
+  return MetricsRegistry::Instance().gauge(name);
+}
+inline Histogram& GetHistogram(std::string_view name) {
+  return MetricsRegistry::Instance().histogram(name);
+}
+
+}  // namespace tg_util
+
+#endif  // SRC_UTIL_METRICS_H_

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "src/util/metrics.h"
+
 namespace tg_util {
 
 namespace {
@@ -9,6 +11,22 @@ namespace {
 // Set while a thread is executing pool work, so nested ParallelFor calls
 // run inline instead of re-entering (and deadlocking) the pool.
 thread_local bool t_inside_pool_task = false;
+
+struct PoolMetrics {
+  Counter& batches = GetCounter("pool.parallel_for");
+  Counter& inline_runs = GetCounter("pool.inline_runs");
+  Counter& tasks = GetCounter("pool.tasks");
+  Gauge& queue_depth = GetGauge("pool.queue_depth");
+  Histogram& task_ns = GetHistogram("pool.task_ns");
+  // Tasks executed per participant slice of one batch: the spread shows
+  // per-worker utilization (a balanced batch has similar slice sizes).
+  Histogram& slice_tasks = GetHistogram("pool.slice_tasks");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
 
 }  // namespace
 
@@ -51,13 +69,22 @@ ThreadPool& ThreadPool::Shared() {
 void ThreadPool::RunBatchSlice() {
   const std::function<void(size_t)>* fn = batch_fn_;
   size_t n = batch_size_;
+  PoolMetrics& metrics = Metrics();
+  uint64_t executed = 0;
   while (true) {
     size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) {
       break;
     }
-    (*fn)(i);
+    metrics.queue_depth.Set(static_cast<int64_t>(n - i - 1));
+    {
+      ScopedTimer timer(metrics.task_ns);
+      (*fn)(i);
+    }
+    ++executed;
   }
+  metrics.tasks.Add(executed);
+  metrics.slice_tasks.Observe(executed);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -91,11 +118,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     return;
   }
   if (workers_.empty() || n == 1 || t_inside_pool_task) {
+    Metrics().inline_runs.Add();
+    Metrics().tasks.Add(n);
     for (size_t i = 0; i < n; ++i) {
       fn(i);
     }
     return;
   }
+  Metrics().batches.Add();
   std::lock_guard<std::mutex> caller_lock(caller_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);

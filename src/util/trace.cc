@@ -1,0 +1,100 @@
+#include "src/util/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace tg_util {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSnapshotBuild:
+      return "snapshot_build";
+    case TraceKind::kProductBfs:
+      return "product_bfs";
+    case TraceKind::kDeFactoSaturate:
+      return "defacto_saturate";
+    case TraceKind::kRuleApply:
+      return "rule_apply";
+    case TraceKind::kMonitorDecision:
+      return "monitor_decision";
+    case TraceKind::kCacheRebuild:
+      return "cache_rebuild";
+    case TraceKind::kBatchRows:
+      return "batch_rows";
+  }
+  return "unknown";
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+TraceBuffer& TraceBuffer::Instance() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+uint64_t TraceBuffer::NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch).count());
+}
+
+void TraceBuffer::Record(TraceKind kind, uint64_t start_ns, uint64_t duration_ns,
+                         uint64_t arg0, uint64_t arg1) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent& slot = ring_[next_seq_ % capacity_];
+  slot.kind = kind;
+  slot.seq = next_seq_++;
+  slot.start_ns = start_ns;
+  slot.duration_ns = duration_ns;
+  slot.arg0 = arg0;
+  slot.arg1 = arg1;
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  uint64_t retained = next_seq_ < capacity_ ? next_seq_ : capacity_;
+  out.reserve(retained);
+  for (uint64_t seq = next_seq_ - retained; seq < next_seq_; ++seq) {
+    out.push_back(ring_[seq % capacity_]);
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_seq_ = 0;
+  ring_.assign(capacity_, TraceEvent{});
+}
+
+std::string TraceBuffer::RenderText(size_t limit) const {
+  std::vector<TraceEvent> events = Events();
+  size_t start = 0;
+  if (limit != 0 && events.size() > limit) {
+    start = events.size() - limit;
+  }
+  std::string out;
+  char buf[192];
+  for (size_t i = start; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%llu %-16s start_us=%llu dur_us=%llu arg0=%llu arg1=%llu\n",
+                  static_cast<unsigned long long>(e.seq), TraceKindName(e.kind),
+                  static_cast<unsigned long long>(e.start_ns / 1000),
+                  static_cast<unsigned long long>(e.duration_ns / 1000),
+                  static_cast<unsigned long long>(e.arg0),
+                  static_cast<unsigned long long>(e.arg1));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace tg_util

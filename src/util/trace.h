@@ -1,0 +1,121 @@
+// Structured tracing: a bounded in-memory ring of timed spans.
+//
+// A span is one timed phase of engine work — a snapshot build, one
+// product-BFS drain, a de facto saturation, one rule application — with
+// two kind-specific payload words (see the per-kind comments below).  The
+// ring keeps the most recent `capacity` spans; older spans are overwritten
+// (total_recorded() tells you how many were ever recorded, so exporters
+// can report drops).  Recording takes a mutex: spans are per-phase, not
+// per-edge, so contention is negligible next to the work being traced.
+//
+// Tracing shares the observability toggle with the metrics registry
+// (TG_METRICS env / compile-time flag; see src/util/metrics.h).  When
+// disabled, TraceSpan never reads the clock and records nothing.
+
+#ifndef SRC_UTIL_TRACE_H_
+#define SRC_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/metrics.h"
+
+namespace tg_util {
+
+enum class TraceKind : uint8_t {
+  kSnapshotBuild,    // arg0 = vertex count, arg1 = adjacency records
+  kProductBfs,       // arg0 = nodes visited, arg1 = adjacency records scanned
+  kDeFactoSaturate,  // arg0 = rounds, arg1 = rules applied
+  kRuleApply,        // arg0 = rule kind, arg1 = 1 applied / 0 refused
+  kMonitorDecision,  // arg0 = audit outcome, arg1 = audit sequence number
+  kCacheRebuild,     // arg0 = graph version, arg1 = entries dropped
+  kBatchRows,        // arg0 = source count, arg1 = pool thread count
+};
+
+const char* TraceKindName(TraceKind kind);
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kSnapshotBuild;
+  uint64_t seq = 0;          // global sequence number, from 0
+  uint64_t start_ns = 0;     // monotonic, relative to the process trace epoch
+  uint64_t duration_ns = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+
+  // The process-wide ring used by TraceSpan.
+  static TraceBuffer& Instance();
+
+  // Monotonic nanoseconds since the process trace epoch (first use).
+  static uint64_t NowNs();
+
+  void Record(TraceKind kind, uint64_t start_ns, uint64_t duration_ns, uint64_t arg0 = 0,
+              uint64_t arg1 = 0);
+
+  // The retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  // Events ever recorded, including ones the ring has since overwritten.
+  uint64_t total_recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+  // "seq kind start_us dur_us arg0 arg1" lines for the most recent
+  // `limit` events (0 = all retained).
+  std::string RenderText(size_t limit = 0) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  // slot = seq % capacity_
+  uint64_t next_seq_ = 0;
+};
+
+// RAII span recorder into TraceBuffer::Instance().  Payload args may be
+// set at construction or updated before scope exit (e.g. counts known
+// only after the work ran).
+class TraceSpan {
+ public:
+  explicit TraceSpan(TraceKind kind, uint64_t arg0 = 0, uint64_t arg1 = 0)
+      : kind_(kind), arg0_(arg0), arg1_(arg1), armed_(MetricsEnabled()) {
+    if (armed_) {
+      start_ns_ = TraceBuffer::NowNs();
+    }
+  }
+
+  ~TraceSpan() {
+    if (armed_) {
+      TraceBuffer::Instance().Record(kind_, start_ns_, TraceBuffer::NowNs() - start_ns_,
+                                     arg0_, arg1_);
+    }
+  }
+
+  void set_args(uint64_t arg0, uint64_t arg1) {
+    arg0_ = arg0;
+    arg1_ = arg1;
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceKind kind_;
+  uint64_t arg0_;
+  uint64_t arg1_;
+  bool armed_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace tg_util
+
+#endif  // SRC_UTIL_TRACE_H_

@@ -91,6 +91,42 @@ TEST(TgshCliTest, KnowPrintsWitness) {
   EXPECT_NE(out.find("take"), std::string::npos) << out;  // witness listed
 }
 
+TEST(TgshCliTest, StatsReportsCacheHitsAndBfsWork) {
+  // The second `know` for the same pair must be answered from the cache,
+  // so `stats` reports a non-zero cache.hits alongside the BFS work the
+  // first query did.
+  std::string script =
+      "subject a\n"
+      "subject b\n"
+      "edge a b r\n"
+      "know a b\n"
+      "know a b\n"
+      "stats\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_EQ(out.find("cache.hits 0"), std::string::npos) << out;
+  EXPECT_NE(out.find("cache.hits"), std::string::npos) << out;
+  EXPECT_EQ(out.find("bfs.node_visits 0"), std::string::npos) << out;
+  EXPECT_NE(out.find("bfs.node_visits"), std::string::npos) << out;
+  EXPECT_NE(out.find("snapshot.builds"), std::string::npos) << out;
+}
+
+TEST(TgshCliTest, StatsResetZeroesAndTraceListsSpans) {
+  std::string script =
+      "subject a\n"
+      "subject b\n"
+      "edge a b r\n"
+      "know a b\n"
+      "trace\n"
+      "stats reset\n"
+      "stats\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_NE(out.find("product_bfs"), std::string::npos) << out;
+  // After the reset, the registry renders with every counter at zero.
+  EXPECT_NE(out.find("cache.misses 0"), std::string::npos) << out;
+}
+
 TEST(AuditToolCliTest, AnalyzesCorpusGraph) {
   std::string out = RunCommand(std::string(TG_AUDIT_TOOL_PATH) + " " + TG_CORPUS_DIR +
                         "/fig22_terms.tgg");
@@ -104,6 +140,21 @@ TEST(AuditToolCliTest, DesignerLevelsSurfaceViolations) {
   EXPECT_NE(out.find("designer levels: 3 levels"), std::string::npos) << out;
   EXPECT_NE(out.find("forbidden edges"), std::string::npos) << out;
   EXPECT_NE(out.find("secure against all conspiracies: NO"), std::string::npos) << out;
+}
+
+TEST(AuditToolCliTest, MetricsJsonDumpHasNonZeroEngineCounters) {
+  std::string out = RunCommand(std::string(TG_AUDIT_TOOL_PATH) + " --demo --metrics-json -");
+  // The demo audit runs knowable-set queries through the AnalysisCache and
+  // then re-reads rows for the mutual-knowledge summary, so the dump must
+  // show real hits and BFS work.
+  size_t json_start = out.find("\n{\"");
+  ASSERT_NE(json_start, std::string::npos) << out;
+  std::string json = out.substr(json_start + 1);
+  EXPECT_EQ(json.find("\"cache.hits\":0,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache.hits\":"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"bfs.node_visits\":0,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bfs.node_visits\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"snapshot.build_ns.count\":"), std::string::npos) << json;
 }
 
 TEST(AuditToolCliTest, MissingFileFails) {

@@ -223,6 +223,28 @@ TEST(LanguageFuzzTest, DfasMatchReferenceMatchers) {
   }
 }
 
+// ---- procedure vs oracle cross-check ----
+
+TEST(OracleFuzzTest, CanKnowFMatchesOracleOnRandomHierarchies) {
+  // OracleCanKnowF answers can_know_f by brute saturation (no de jure
+  // moves), so it must agree with the procedural CanKnowF on every pair.
+  tg_util::Prng prng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 2 + trial % 2;
+    options.subjects_per_level = 2;
+    options.objects_per_level = 1;
+    options.planted_channels = trial % 3;
+    ProtectionGraph g = tg_sim::RandomHierarchy(options, prng).graph;
+    for (VertexId x = 0; x < g.VertexCount(); ++x) {
+      for (VertexId y = 0; y < g.VertexCount(); ++y) {
+        EXPECT_EQ(tg_analysis::CanKnowF(g, x, y), tg_analysis::OracleCanKnowF(g, x, y))
+            << "trial " << trial << " x=" << g.NameOf(x) << " y=" << g.NameOf(y);
+      }
+    }
+  }
+}
+
 // ---- stress ----
 
 TEST(StressTest, LongChainCanShareAndWitness) {

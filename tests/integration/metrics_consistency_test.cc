@@ -1,0 +1,142 @@
+// Cross-checks the observability layer against ground truth the engine
+// already exposes: the global registry's cache counters must move in
+// lockstep with AnalysisCache's own hit/miss accounting, and the BFS work
+// counters must be deterministic across thread counts (per-run tallies are
+// flushed once per drain, so totals are independent of scheduling).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/take_grant.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+using tg_util::MetricsRegistry;
+
+uint64_t CounterNow(const char* name) {
+  return MetricsRegistry::Instance().CounterValue(name);
+}
+
+class MetricsConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = tg_util::MetricsEnabled();
+    tg_util::SetMetricsEnabled(true);
+  }
+  void TearDown() override { tg_util::SetMetricsEnabled(was_enabled_); }
+
+  bool was_enabled_ = true;
+};
+
+ProtectionGraph TestGraph(uint64_t seed) {
+  tg_util::Prng prng(seed);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 12;
+  options.objects = 8;
+  options.edge_factor = 2.0;
+  return tg_sim::RandomGraph(options, prng);
+}
+
+TEST_F(MetricsConsistencyTest, RegistryCacheCountersMatchAnalysisCache) {
+  ProtectionGraph g = TestGraph(91);
+  tg_analysis::AnalysisCache cache;
+  const uint64_t hits_before = CounterNow("cache.hits");
+  const uint64_t misses_before = CounterNow("cache.misses");
+
+  // A mixed query/mutate sequence: repeated rows (hits), new rows (misses),
+  // and a mutation that invalidates everything.
+  for (VertexId x = 0; x < 6; ++x) {
+    cache.Knowable(g, x);
+  }
+  for (VertexId x = 0; x < 6; ++x) {
+    cache.Knowable(g, x);
+    cache.CanKnow(g, x, (x + 1) % 6);
+  }
+  ASSERT_TRUE(g.AddExplicit(0, 1, tg::RightSet::Of({tg::Right::kRead})).ok());
+  for (VertexId x = 0; x < 4; ++x) {
+    cache.Knowable(g, x);
+  }
+
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+  EXPECT_EQ(CounterNow("cache.hits") - hits_before, cache.hits());
+  EXPECT_EQ(CounterNow("cache.misses") - misses_before, cache.misses());
+}
+
+TEST_F(MetricsConsistencyTest, BfsWorkIsDeterministicAcrossThreadCounts) {
+  for (uint64_t seed : {uint64_t{7}, uint64_t{23}, uint64_t{101}}) {
+    ProtectionGraph g = TestGraph(seed);
+
+    tg_util::ThreadPool one(1);
+    const uint64_t runs_before_1 = CounterNow("bfs.runs");
+    const uint64_t visits_before_1 = CounterNow("bfs.node_visits");
+    const uint64_t scans_before_1 = CounterNow("bfs.edge_scans");
+    std::vector<std::vector<bool>> rows_1 = tg_analysis::KnowableFromAll(g, &one);
+    const uint64_t runs_1 = CounterNow("bfs.runs") - runs_before_1;
+    const uint64_t visits_1 = CounterNow("bfs.node_visits") - visits_before_1;
+    const uint64_t scans_1 = CounterNow("bfs.edge_scans") - scans_before_1;
+
+    tg_util::ThreadPool four(4);
+    const uint64_t runs_before_4 = CounterNow("bfs.runs");
+    const uint64_t visits_before_4 = CounterNow("bfs.node_visits");
+    const uint64_t scans_before_4 = CounterNow("bfs.edge_scans");
+    std::vector<std::vector<bool>> rows_4 = tg_analysis::KnowableFromAll(g, &four);
+    const uint64_t runs_4 = CounterNow("bfs.runs") - runs_before_4;
+    const uint64_t visits_4 = CounterNow("bfs.node_visits") - visits_before_4;
+    const uint64_t scans_4 = CounterNow("bfs.edge_scans") - scans_before_4;
+
+    EXPECT_EQ(rows_1, rows_4) << "seed " << seed;
+    EXPECT_GT(runs_1, 0u) << "seed " << seed;
+    EXPECT_GT(visits_1, 0u) << "seed " << seed;
+    EXPECT_EQ(runs_1, runs_4) << "seed " << seed;
+    EXPECT_EQ(visits_1, visits_4) << "seed " << seed;
+    EXPECT_EQ(scans_1, scans_4) << "seed " << seed;
+  }
+}
+
+TEST_F(MetricsConsistencyTest, QueriesLeaveTraceSpans) {
+  ProtectionGraph g = TestGraph(5);
+  tg_util::TraceBuffer::Instance().Clear();
+  tg_analysis::AnalysisCache cache;
+  cache.Knowable(g, 0);
+  bool saw_rebuild = false;
+  bool saw_bfs = false;
+  for (const tg_util::TraceEvent& e : tg_util::TraceBuffer::Instance().Events()) {
+    saw_rebuild |= e.kind == tg_util::TraceKind::kCacheRebuild;
+    saw_bfs |= e.kind == tg_util::TraceKind::kProductBfs;
+  }
+  EXPECT_TRUE(saw_rebuild);
+  EXPECT_TRUE(saw_bfs);
+}
+
+TEST_F(MetricsConsistencyTest, MonitorCountersMatchAuditLog) {
+  ProtectionGraph g;
+  VertexId a = g.AddVertex(tg::VertexKind::kSubject, "a");
+  VertexId b = g.AddVertex(tg::VertexKind::kSubject, "b");
+  VertexId c = g.AddVertex(tg::VertexKind::kObject, "c");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::RightSet::Of({tg::Right::kTake})).ok());
+  ASSERT_TRUE(g.AddExplicit(b, c, tg::RightSet::Of({tg::Right::kRead})).ok());
+
+  const uint64_t requests_before = CounterNow("monitor.requests");
+  const uint64_t allowed_before = CounterNow("monitor.allowed");
+  tg_sim::ReferenceMonitor monitor(std::move(g), nullptr);
+  // One legal take, one malformed request (self-take).
+  auto ok =
+      monitor.Submit(tg::RuleApplication::Take(a, b, c, tg::RightSet::Of({tg::Right::kRead})));
+  EXPECT_TRUE(ok.ok());
+  auto bad =
+      monitor.Submit(tg::RuleApplication::Take(a, a, a, tg::RightSet::Of({tg::Right::kRead})));
+  EXPECT_FALSE(bad.ok());
+
+  EXPECT_EQ(CounterNow("monitor.requests") - requests_before, 2u);
+  EXPECT_EQ(CounterNow("monitor.allowed") - allowed_before, monitor.allowed_count());
+  EXPECT_EQ(monitor.allowed_count(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+#include "src/util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/thread_pool.h"
+
+namespace tg_util {
+namespace {
+
+// Every test here runs with metrics force-enabled and restores the previous
+// state on exit, so ordering against other suites (or a TG_METRICS=0
+// environment) cannot flip outcomes.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = MetricsEnabled();
+    SetMetricsEnabled(true);
+  }
+  void TearDown() override { SetMetricsEnabled(was_enabled_); }
+
+  bool was_enabled_ = true;
+};
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeSetAddReset) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 holds only the sample 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  // Far past 2^39 clamps into the last bucket rather than overflowing.
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 8u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1), UINT64_MAX);
+}
+
+TEST_F(MetricsTest, HistogramCountSumMeanPercentiles) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.PercentileUpperBound(50), 0u);
+  for (uint64_t sample : {1u, 2u, 3u, 100u}) {
+    histogram.Observe(sample);
+  }
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.sum(), 106u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 26.5);
+  // Ranked by bucket: p50 falls in bucket(2) = [2,4) whose upper bound is 4;
+  // p99 falls in bucket(100)'s range, upper bound 128.
+  EXPECT_EQ(histogram.PercentileUpperBound(50), 4u);
+  EXPECT_EQ(histogram.PercentileUpperBound(99), 128u);
+  EXPECT_EQ(histogram.PercentileUpperBound(0), 2u);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0u);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterAddsSumExactly) {
+  Counter& counter = GetCounter("test.metrics.concurrent");
+  counter.Reset();
+  ThreadPool pool(4);
+  pool.ParallelFor(10000, [&](size_t) { counter.Add(); });
+  EXPECT_EQ(counter.value(), 10000u);
+  pool.ParallelFor(1000, [&](size_t i) { counter.Add(i); });
+  EXPECT_EQ(counter.value(), 10000u + 999u * 1000u / 2u);
+}
+
+TEST_F(MetricsTest, ConcurrentHistogramObservesSumExactly) {
+  Histogram& histogram = GetHistogram("test.metrics.concurrent_hist");
+  histogram.Reset();
+  ThreadPool pool(4);
+  pool.ParallelFor(5000, [&](size_t i) { histogram.Observe(i % 7); });
+  EXPECT_EQ(histogram.count(), 5000u);
+  uint64_t expected_sum = 0;
+  for (size_t i = 0; i < 5000; ++i) {
+    expected_sum += i % 7;
+  }
+  EXPECT_EQ(histogram.sum(), expected_sum);
+  uint64_t bucket_total = 0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    bucket_total += histogram.bucket(b);
+  }
+  EXPECT_EQ(bucket_total, 5000u);
+}
+
+TEST_F(MetricsTest, DisabledModeIsNoOp) {
+  Counter& counter = GetCounter("test.metrics.disabled");
+  Gauge& gauge = GetGauge("test.metrics.disabled_gauge");
+  Histogram& histogram = GetHistogram("test.metrics.disabled_hist");
+  counter.Reset();
+  gauge.Reset();
+  histogram.Reset();
+  SetMetricsEnabled(false);
+  counter.Add(5);
+  gauge.Set(5);
+  histogram.Observe(5);
+  {
+    ScopedTimer timer(histogram);
+  }
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableIdentity) {
+  Counter& a = GetCounter("test.metrics.identity");
+  Counter& b = GetCounter("test.metrics.identity");
+  EXPECT_EQ(&a, &b);
+  a.Reset();
+  a.Add(3);
+  EXPECT_EQ(MetricsRegistry::Instance().CounterValue("test.metrics.identity"), 3u);
+  // Reads through CounterValue do not register instruments as a side effect.
+  EXPECT_EQ(MetricsRegistry::Instance().CounterValue("test.metrics.never_created"), 0u);
+}
+
+TEST_F(MetricsTest, ScopedTimerObservesOneSample) {
+  Histogram& histogram = GetHistogram("test.metrics.timer");
+  histogram.Reset();
+  {
+    ScopedTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST_F(MetricsTest, RenderJsonIsFlatAndContainsInstruments) {
+  Counter& counter = GetCounter("test.metrics.json_counter");
+  Histogram& histogram = GetHistogram("test.metrics.json_hist");
+  counter.Reset();
+  histogram.Reset();
+  counter.Add(12);
+  histogram.Observe(9);
+  std::string json = MetricsRegistry::Instance().RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"test.metrics.json_counter\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.metrics.json_hist.count\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.metrics.json_hist.sum\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.metrics.json_hist.p50\":"), std::string::npos) << json;
+}
+
+TEST_F(MetricsTest, RenderTextListsSortedNames) {
+  GetCounter("test.metrics.text_b").Reset();
+  GetCounter("test.metrics.text_a").Reset();
+  GetCounter("test.metrics.text_a").Add(1);
+  GetCounter("test.metrics.text_b").Add(2);
+  std::string text = MetricsRegistry::Instance().RenderText();
+  size_t pos_a = text.find("test.metrics.text_a 1");
+  size_t pos_b = text.find("test.metrics.text_b 2");
+  ASSERT_NE(pos_a, std::string::npos) << text;
+  ASSERT_NE(pos_b, std::string::npos) << text;
+  EXPECT_LT(pos_a, pos_b);
+}
+
+TEST_F(MetricsTest, ResetAllZeroesButKeepsReferencesValid) {
+  Counter& counter = GetCounter("test.metrics.reset_all");
+  counter.Add(7);
+  MetricsRegistry::Instance().ResetAll();
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Add(1);
+  EXPECT_EQ(MetricsRegistry::Instance().CounterValue("test.metrics.reset_all"), 1u);
+}
+
+}  // namespace
+}  // namespace tg_util

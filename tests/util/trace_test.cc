@@ -1,0 +1,133 @@
+#include "src/util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace tg_util {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = MetricsEnabled();
+    SetMetricsEnabled(true);
+  }
+  void TearDown() override { SetMetricsEnabled(was_enabled_); }
+
+  bool was_enabled_ = true;
+};
+
+TEST_F(TraceTest, KindNamesAreDistinct) {
+  EXPECT_STREQ(TraceKindName(TraceKind::kSnapshotBuild), "snapshot_build");
+  EXPECT_STREQ(TraceKindName(TraceKind::kProductBfs), "product_bfs");
+  EXPECT_STREQ(TraceKindName(TraceKind::kRuleApply), "rule_apply");
+  EXPECT_STREQ(TraceKindName(TraceKind::kCacheRebuild), "cache_rebuild");
+}
+
+TEST_F(TraceTest, RecordsEventsOldestFirst) {
+  TraceBuffer buffer(8);
+  buffer.Record(TraceKind::kSnapshotBuild, 10, 5, 100, 200);
+  buffer.Record(TraceKind::kProductBfs, 20, 7, 300, 400);
+  std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceKind::kSnapshotBuild);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].start_ns, 10u);
+  EXPECT_EQ(events[0].duration_ns, 5u);
+  EXPECT_EQ(events[0].arg0, 100u);
+  EXPECT_EQ(events[0].arg1, 200u);
+  EXPECT_EQ(events[1].kind, TraceKind::kProductBfs);
+  EXPECT_EQ(events[1].seq, 1u);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestOnWraparound) {
+  constexpr size_t kCapacity = 4;
+  TraceBuffer buffer(kCapacity);
+  for (uint64_t i = 0; i < kCapacity + 3; ++i) {
+    buffer.Record(TraceKind::kProductBfs, i, 1, i, 0);
+  }
+  EXPECT_EQ(buffer.total_recorded(), kCapacity + 3);
+  std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), kCapacity);
+  // The ring retains the last kCapacity events, in order: seq 3..6.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 3 + i);
+    EXPECT_EQ(events[i].arg0, 3 + i);
+  }
+}
+
+TEST_F(TraceTest, ClearEmptiesRetainedEventsAndCount) {
+  TraceBuffer buffer(4);
+  buffer.Record(TraceKind::kRuleApply, 0, 1);
+  buffer.Clear();
+  EXPECT_EQ(buffer.total_recorded(), 0u);
+  EXPECT_TRUE(buffer.Events().empty());
+  // The buffer is reusable after Clear.
+  buffer.Record(TraceKind::kRuleApply, 0, 1);
+  EXPECT_EQ(buffer.total_recorded(), 1u);
+}
+
+TEST_F(TraceTest, SpanRecordsIntoGlobalInstance) {
+  TraceBuffer::Instance().Clear();
+  {
+    TraceSpan span(TraceKind::kDeFactoSaturate, 1, 2);
+    span.set_args(7, 9);
+  }
+  std::vector<TraceEvent> events = TraceBuffer::Instance().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, TraceKind::kDeFactoSaturate);
+  EXPECT_EQ(events[0].arg0, 7u);
+  EXPECT_EQ(events[0].arg1, 9u);
+}
+
+TEST_F(TraceTest, DisabledModeRecordsNothing) {
+  TraceBuffer::Instance().Clear();
+  SetMetricsEnabled(false);
+  {
+    TraceSpan span(TraceKind::kMonitorDecision);
+  }
+  SetMetricsEnabled(true);
+  EXPECT_EQ(TraceBuffer::Instance().total_recorded(), 0u);
+}
+
+TEST_F(TraceTest, ConcurrentRecordsAllLand) {
+  TraceBuffer buffer(64);
+  ThreadPool pool(4);
+  pool.ParallelFor(500, [&](size_t i) {
+    buffer.Record(TraceKind::kProductBfs, i, 1, i, 0);
+  });
+  EXPECT_EQ(buffer.total_recorded(), 500u);
+  std::vector<TraceEvent> events = buffer.Events();
+  EXPECT_EQ(events.size(), 64u);
+  // Sequence numbers are unique and consecutive within the retained window.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST_F(TraceTest, RenderTextShowsMostRecentLimit) {
+  TraceBuffer buffer(16);
+  for (uint64_t i = 0; i < 5; ++i) {
+    buffer.Record(TraceKind::kBatchRows, i * 1000, 500, i, 4);
+  }
+  std::string all = buffer.RenderText();
+  std::string last_two = buffer.RenderText(2);
+  EXPECT_NE(all.find("batch_rows"), std::string::npos) << all;
+  EXPECT_EQ(last_two.find("0 batch_rows"), std::string::npos) << last_two;
+  EXPECT_NE(last_two.find("3 batch_rows"), std::string::npos) << last_two;
+  EXPECT_NE(last_two.find("4 batch_rows"), std::string::npos) << last_two;
+}
+
+TEST_F(TraceTest, NowNsIsMonotonic) {
+  uint64_t a = TraceBuffer::NowNs();
+  uint64_t b = TraceBuffer::NowNs();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace tg_util
