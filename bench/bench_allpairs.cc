@@ -1,0 +1,164 @@
+// All-pairs reachability benchmark: the scalar per-source product-BFS
+// engine vs the bit-parallel 64-lane engine, measured on the analysis that
+// motivates it — computing rwtg-levels, which needs BOC reachability from
+// every subject.  Sweeps graph sizes and edge densities, checks in-binary
+// that both engines produce the identical level assignment, and exits
+// non-zero if any equality or speedup claim fails.
+//
+// Emits machine-readable timings to BENCH_allpairs.json (one JSON object
+// per line), each row carrying the MetricsDelta counters (scalar bfs.*
+// work next to bitreach.* work) that produced it.
+//
+//   bench_allpairs            # full sweep, writes BENCH_allpairs.json
+//   bench_allpairs --smoke    # tiny sizes, no artifact; fails if the bit
+//                             # path is more than 2x slower than scalar
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+tg::ProtectionGraph BenchGraph(size_t vertices, double edge_factor, uint64_t seed) {
+  tg_util::Prng prng(seed);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = vertices * 5 / 8;
+  options.objects = vertices - options.subjects;
+  options.edge_factor = edge_factor;
+  return tg_sim::RandomGraph(options, prng);
+}
+
+bool SameAssignment(const tg_hier::LevelAssignment& a, const tg_hier::LevelAssignment& b,
+                    size_t vertex_count) {
+  if (a.LevelCount() != b.LevelCount()) {
+    return false;
+  }
+  for (tg::VertexId v = 0; v < vertex_count; ++v) {
+    if (a.LevelOf(v) != b.LevelOf(v)) {
+      return false;
+    }
+  }
+  for (tg_hier::LevelId x = 0; x < a.LevelCount(); ++x) {
+    for (tg_hier::LevelId y = 0; y < a.LevelCount(); ++y) {
+      if (a.Higher(x, y) != b.Higher(x, y)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct Config {
+  size_t vertices;
+  double edge_factor;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  exp::Reporter reporter(smoke ? "all-pairs rwtg-levels smoke (bit vs scalar guard)"
+                               : "all-pairs rwtg-levels: scalar vs bit-parallel");
+  // The smoke run executes from the build tree (ctest); don't shadow a real
+  // artifact with tiny-size numbers.
+  exp::JsonlWriter jsonl(smoke ? "BENCH_allpairs_smoke.json" : "BENCH_allpairs.json");
+
+  const size_t cores = std::thread::hardware_concurrency();
+  const size_t threads = tg_util::ThreadPool::DefaultThreadCount();
+  const int reps = smoke ? 3 : 1;
+  reporter.Note("env", "cores=" + std::to_string(cores) + " threads=" +
+                           std::to_string(threads) + " reps=" + std::to_string(reps));
+  jsonl.Write(exp::JsonObject()
+                  .Set("record", "env")
+                  .Set("hardware_concurrency", static_cast<uint64_t>(cores))
+                  .Set("threads", static_cast<uint64_t>(threads))
+                  .Set("smoke", smoke));
+
+  std::vector<Config> sweep;
+  if (smoke) {
+    sweep = {{48, 1.5}, {96, 1.5}};
+  } else {
+    sweep = {{128, 1.5}, {128, 3.0}, {256, 1.5}, {256, 3.0}, {512, 1.5}, {512, 3.0}};
+  }
+
+  tg_util::ThreadPool pool;  // DefaultThreadCount-sized; both engines use it
+  double worst_smoke_ratio = 0.0;        // bit_ms / scalar_ms, larger = worse
+  double best_speedup_at_512 = 0.0;      // scalar_ms / bit_ms over n >= 512 configs
+
+  for (const Config& config : sweep) {
+    tg::ProtectionGraph g = BenchGraph(config.vertices, config.edge_factor, 2026);
+    const std::string id = "n" + std::to_string(config.vertices) + "_d" +
+                           std::to_string(static_cast<int>(config.edge_factor * 10));
+
+    exp::MetricsDelta delta;
+    double scalar_ms = 0.0;
+    double bit_ms = 0.0;
+    tg_hier::LevelAssignment scalar;
+    tg_hier::LevelAssignment bit;
+    for (int r = 0; r < reps; ++r) {
+      Clock::time_point t0 = Clock::now();
+      scalar = tg_hier::ComputeRwtgLevelsScalar(g, &pool);
+      double ms = MsSince(t0);
+      scalar_ms = r == 0 ? ms : std::min(scalar_ms, ms);
+      t0 = Clock::now();
+      bit = tg_hier::ComputeRwtgLevels(g, &pool);
+      ms = MsSince(t0);
+      bit_ms = r == 0 ? ms : std::min(bit_ms, ms);
+    }
+    const bool identical = SameAssignment(scalar, bit, g.VertexCount());
+    const double speedup = bit_ms > 0 ? scalar_ms / bit_ms : 0.0;
+    reporter.Check(id, "bit-parallel levels identical to scalar", true, identical);
+    reporter.Note(id, "scalar=" + std::to_string(scalar_ms) + "ms bit=" +
+                          std::to_string(bit_ms) + "ms speedup=" + std::to_string(speedup) +
+                          " levels=" + std::to_string(bit.LevelCount()));
+    if (smoke && scalar_ms > 0) {
+      // +0.5ms absolute slack: at smoke sizes both passes are sub-ms and
+      // scheduling noise would otherwise dominate the ratio.
+      double ratio = bit_ms / (scalar_ms + 0.5);
+      worst_smoke_ratio = std::max(worst_smoke_ratio, ratio);
+    }
+    if (!smoke && config.vertices >= 512) {
+      best_speedup_at_512 = std::max(best_speedup_at_512, speedup);
+    }
+
+    exp::JsonObject row;
+    row.Set("record", "timing")
+        .Set("bench", "rwtg_levels_allpairs")
+        .Set("vertices", static_cast<uint64_t>(g.VertexCount()))
+        .Set("subjects", static_cast<uint64_t>(g.SubjectCount()))
+        .Set("edges", static_cast<uint64_t>(g.ExplicitEdgeCount()))
+        .Set("edge_factor", config.edge_factor)
+        .Set("scalar_ms", scalar_ms)
+        .Set("bit_ms", bit_ms)
+        .Set("speedup", speedup)
+        .Set("levels", static_cast<uint64_t>(bit.LevelCount()))
+        .Set("identical", identical);
+    jsonl.Write(delta.AppendTo(row));
+  }
+
+  if (smoke) {
+    reporter.Check("smoke2x", "bit path within 2x of scalar at tiny sizes", true,
+                   worst_smoke_ratio <= 2.0);
+  } else {
+    reporter.Check("speedup8x", "bit-parallel >= 8x faster than scalar at n >= 512", true,
+                   best_speedup_at_512 >= 8.0);
+  }
+
+  if (!jsonl.ok()) {
+    std::fprintf(stderr, "warning: could not open benchmark JSONL for writing\n");
+  }
+  return reporter.Finish();
+}

@@ -146,6 +146,10 @@ class MetricsDelta {
         .Set("snapshot_builds", now.snapshot_builds - baseline_.snapshot_builds)
         .Set("bfs_runs", now.bfs_runs - baseline_.bfs_runs)
         .Set("bfs_node_visits", now.bfs_node_visits - baseline_.bfs_node_visits)
+        .Set("bitreach_slices", now.bitreach_slices - baseline_.bitreach_slices)
+        .Set("bitreach_waves", now.bitreach_waves - baseline_.bitreach_waves)
+        .Set("bitreach_word_ops", now.bitreach_word_ops - baseline_.bitreach_word_ops)
+        .Set("bitreach_lane_visits", now.bitreach_lane_visits - baseline_.bitreach_lane_visits)
         .Set("pool_tasks", now.pool_tasks - baseline_.pool_tasks);
     return row;
   }
@@ -157,6 +161,10 @@ class MetricsDelta {
     uint64_t snapshot_builds = 0;
     uint64_t bfs_runs = 0;
     uint64_t bfs_node_visits = 0;
+    uint64_t bitreach_slices = 0;
+    uint64_t bitreach_waves = 0;
+    uint64_t bitreach_word_ops = 0;
+    uint64_t bitreach_lane_visits = 0;
     uint64_t pool_tasks = 0;
   };
 
@@ -167,6 +175,10 @@ class MetricsDelta {
     v.snapshot_builds = registry.CounterValue("snapshot.builds");
     v.bfs_runs = registry.CounterValue("bfs.runs");
     v.bfs_node_visits = registry.CounterValue("bfs.node_visits");
+    v.bitreach_slices = registry.CounterValue("bitreach.slices");
+    v.bitreach_waves = registry.CounterValue("bitreach.waves");
+    v.bitreach_word_ops = registry.CounterValue("bitreach.word_ops");
+    v.bitreach_lane_visits = registry.CounterValue("bitreach.lane_visits");
     v.pool_tasks = registry.CounterValue("pool.tasks");
   }
 

@@ -77,6 +77,11 @@ int main(int argc, char** argv) {
 
   std::printf("loaded: %s\n\n", graph.Summary().c_str());
 
+  // One cache for the whole audit: the snapshot and the all-pairs matrices
+  // are built once and shared by the channel scan, the security check, the
+  // computed levels, and the knowable-set report below.
+  tg_analysis::AnalysisCache cache;
+
   if (!levels_path.empty()) {
     auto designer = tg_hier::LoadLevelsFile(levels_path, graph);
     if (!designer.ok()) {
@@ -90,12 +95,12 @@ int main(int argc, char** argv) {
       std::printf("  %s -> %s [%s]\n", graph.NameOf(e.src).c_str(),
                   graph.NameOf(e.dst).c_str(), e.TotalRights().ToString().c_str());
     }
-    auto channels = tg_hier::FindCrossLevelChannels(graph, *designer, 10);
+    auto channels = tg_hier::FindCrossLevelChannels(graph, *designer, cache, 10);
     std::printf("cross-level channels (Theorem 5.2): %zu\n", channels.size());
     for (const auto& channel : channels) {
       std::printf("  %s\n", channel.path.c_str());
     }
-    tg_hier::SecurityReport report = tg_hier::CheckSecure(graph, *designer, 10);
+    tg_hier::SecurityReport report = tg_hier::CheckSecure(graph, *designer, cache, 10);
     std::printf("secure against all conspiracies: %s\n", report.secure ? "yes" : "NO");
     for (const auto& violation : report.violations) {
       std::printf("  %s\n", violation.detail.c_str());
@@ -117,7 +122,7 @@ int main(int argc, char** argv) {
   }
 
   // Computed rwtg-levels.
-  tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(graph);
+  tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(graph, cache);
   tg_hier::AssignObjectLevels(graph, levels);
   std::printf("\nrwtg-levels (%zu):\n", levels.LevelCount());
   auto members = levels.Members();
@@ -162,10 +167,9 @@ int main(int argc, char** argv) {
     std::printf("  (none beyond existing edges)\n");
   }
 
-  // Knowable-set sizes, answered through the version-keyed AnalysisCache:
-  // the snapshot is built once and every row is memoized, so an interactive
+  // Knowable-set sizes through the same cache: the snapshot built for the
+  // audit above is reused and every row is memoized, so an interactive
   // caller re-asking any of these questions would hit the cache.
-  tg_analysis::AnalysisCache cache;
   std::printf("\nknowable sets (|{y : can_know(x, y)}| per subject):\n");
   std::vector<tg::VertexId> audit_subjects;
   for (tg::VertexId x = 0; x < graph.VertexCount(); ++x) {

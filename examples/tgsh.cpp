@@ -280,7 +280,9 @@ void Shell::Execute(const std::string& raw) {
       std::printf("(no subjects)\n");
     }
   } else if (cmd == "levels") {
-    tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(graph);
+    // Through the cache: repeated `levels` between mutations reuse the
+    // memoized snapshot and all-pairs BOC matrix.
+    tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(graph, cache);
     tg_hier::AssignObjectLevels(graph, levels);
     auto members = levels.Members();
     for (size_t l = 0; l < members.size(); ++l) {

@@ -26,4 +26,14 @@ for preset in "${presets[@]}"; do
   ctest --test-dir "build-$preset" -LE slow --output-on-failure -j "$jobs"
 done
 
-echo "=== all sanitizer checks passed ==="
+# Perf regression guard from the regular (optimized) build: the bit-parallel
+# all-pairs engine must stay within 2x of the scalar engine even at sizes
+# too small to amortize its setup.
+echo "=== bench smoke (bit-parallel vs scalar guard) ==="
+if [ ! -f build/CMakeCache.txt ]; then
+  cmake -B build >/dev/null
+fi
+cmake --build build -j "$jobs" --target bench_allpairs >/dev/null
+ctest --test-dir build -R bench_allpairs_smoke --output-on-failure
+
+echo "=== all sanitizer checks passed and bench smoke ok ==="

@@ -1,5 +1,7 @@
 #include "src/analysis/batch.h"
 
+#include <algorithm>
+
 #include "src/analysis/bridges.h"
 #include "src/tg/languages.h"
 #include "src/util/metrics.h"
@@ -8,6 +10,7 @@
 namespace tg_analysis {
 
 using tg::AnalysisSnapshot;
+using tg::BitMatrix;
 using tg::SnapshotBfsOptions;
 using tg::VertexId;
 
@@ -62,9 +65,136 @@ std::vector<bool> KnowableFromSnapshot(const AnalysisSnapshot& snap, VertexId x)
 
 namespace {
 
-std::vector<std::vector<bool>> RowsFor(const tg::ProtectionGraph& g,
-                                       const std::vector<VertexId>& sources,
-                                       tg_util::ThreadPool* pool) {
+void OrInto(std::span<uint64_t> dst, std::span<const uint64_t> src) {
+  for (size_t w = 0; w < dst.size(); ++w) {
+    dst[w] |= src[w];
+  }
+}
+
+// The bit pipeline amortizes three subject-wide matrix sweeps over the
+// batch; below this point the scalar per-source closures are cheaper.
+bool UseBitPipeline(size_t source_count, size_t subject_count) {
+  return source_count >= 64 || source_count * 32 >= subject_count;
+}
+
+}  // namespace
+
+BitMatrix KnowableMatrix(const AnalysisSnapshot& snap, std::span<const VertexId> sources,
+                         tg_util::ThreadPool* pool) {
+  const size_t n = snap.vertex_count();
+  BitMatrix rows(sources.size(), n);
+  if (n == 0 || sources.empty()) {
+    return rows;
+  }
+  SnapshotBfsOptions options;
+  options.use_implicit = true;
+  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
+  const std::vector<VertexId>& subjects = snap.Subjects();
+  const std::span<const VertexId> subject_span(subjects);
+
+  // Stage 1 (bit-parallel sweeps).  heads_probe row i: everything the
+  // reversed rw-initial-span language reaches from sources[i]; its subject
+  // bits are the closure seeds.  boc row j / spans row j: one
+  // bridge-or-connection word / one rw-terminal span from subjects[j].
+  BitMatrix heads_probe =
+      SnapshotWordReachableAll(snap, sources, tg::ReverseRwInitialSpanDfa(), options, &runner);
+  BitMatrix boc =
+      SnapshotWordReachableAll(snap, subject_span, tg::BridgeOrConnectionDfa(), options, &runner);
+  BitMatrix spans =
+      SnapshotWordReachableAll(snap, subject_span, tg::RwTerminalSpanDfa(), options, &runner);
+
+  constexpr uint32_t kNoSubject = 0xffffffffu;
+  std::vector<uint32_t> subject_index(n, kNoSubject);
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    subject_index[subjects[i]] = static_cast<uint32_t>(i);
+  }
+
+  // Stage 2 (serial, linear): condense the subject BOC digraph.  The
+  // iterated multi-source closure of the scalar path equals transitive
+  // closure over single-BOC-word edges (min_steps is 0, so a multi-source
+  // reach is the union of the single-source reaches), and component ids
+  // come out in reverse topological order, so one ascending sweep can
+  // fold each component's members, their terminal spans, and every
+  // successor component into a per-component "knowable through here" row.
+  std::vector<std::vector<VertexId>> digraph(n);
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    VertexId u = subjects[i];
+    tg::ForEachSetBit(boc.Row(i), [&](size_t v) {
+      if (snap.IsSubject(static_cast<VertexId>(v))) {
+        digraph[u].push_back(static_cast<VertexId>(v));
+      }
+    });
+  }
+  std::vector<uint32_t> comp = tg::StronglyConnectedComponents(digraph);
+  uint32_t comp_count = 0;
+  for (uint32_t c : comp) {
+    comp_count = std::max(comp_count, c + 1);
+  }
+  std::vector<std::vector<VertexId>> members(comp_count);
+  for (VertexId u : subjects) {
+    members[comp[u]].push_back(u);
+  }
+  BitMatrix full(comp_count, n);
+  for (uint32_t c = 0; c < comp_count; ++c) {
+    std::span<uint64_t> row = full.MutableRow(c);
+    for (VertexId u : members[c]) {
+      full.Set(c, u);
+      OrInto(row, spans.Row(subject_index[u]));
+      for (VertexId w : digraph[u]) {
+        if (comp[w] != c) {
+          OrInto(row, full.Row(comp[w]));  // comp[w] < c: already folded
+        }
+      }
+    }
+  }
+
+  // Stage 3 (word-sliced, parallel): compose each source row as
+  // {x} ∪ ∪_{h ∈ heads(x)} full[comp[h]].  Slices are fixed 64-row spans
+  // writing only their own rows, so any pool size gives identical bits.
+  const size_t row_slices = (sources.size() + 63) / 64;
+  runner.ParallelFor(row_slices, [&](size_t slice) {
+    std::vector<bool> comp_seen(comp_count, false);
+    std::vector<uint32_t> touched;
+    const size_t base = slice * 64;
+    const size_t end = std::min(sources.size(), base + 64);
+    for (size_t i = base; i < end; ++i) {
+      VertexId x = sources[i];
+      if (!snap.IsValidVertex(x)) {
+        continue;
+      }
+      std::span<uint64_t> row = rows.MutableRow(i);
+      rows.Set(i, x);
+      auto add_head = [&](VertexId h) {
+        uint32_t c = comp[h];
+        if (comp_seen[c]) {
+          return;
+        }
+        comp_seen[c] = true;
+        touched.push_back(c);
+        OrInto(row, full.Row(c));
+      };
+      tg::ForEachSetBit(heads_probe.Row(i), [&](size_t v) {
+        if (snap.IsSubject(static_cast<VertexId>(v))) {
+          add_head(static_cast<VertexId>(v));
+        }
+      });
+      if (snap.IsSubject(x)) {
+        add_head(x);
+      }
+      for (uint32_t c : touched) {
+        comp_seen[c] = false;
+      }
+      touched.clear();
+    }
+  });
+  return rows;
+}
+
+namespace {
+
+std::vector<std::vector<bool>> RowsFromSnapshot(const AnalysisSnapshot& snap,
+                                                const std::vector<VertexId>& sources,
+                                                tg_util::ThreadPool* pool) {
   static tg_util::Counter& row_count = tg_util::GetCounter("batch.rows");
   static tg_util::Histogram& run_ns = tg_util::GetHistogram("batch.run_ns");
   row_count.Add(sources.size());
@@ -72,7 +202,6 @@ std::vector<std::vector<bool>> RowsFor(const tg::ProtectionGraph& g,
   tg_util::TraceSpan span(
       tg_util::TraceKind::kBatchRows, sources.size(),
       pool != nullptr ? pool->thread_count() : tg_util::ThreadPool::Shared().thread_count());
-  AnalysisSnapshot snap(g);
   // Pre-warm the DFA singletons so worker threads only read them.  (Their
   // initialization is thread-safe anyway; this keeps first-use timing out
   // of the parallel region.)
@@ -81,26 +210,48 @@ std::vector<std::vector<bool>> RowsFor(const tg::ProtectionGraph& g,
   tg::RwTerminalSpanDfa();
   std::vector<std::vector<bool>> rows(sources.size());
   tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
-  runner.ParallelFor(sources.size(),
-                     [&](size_t i) { rows[i] = KnowableFromSnapshot(snap, sources[i]); });
+  if (UseBitPipeline(sources.size(), snap.Subjects().size())) {
+    BitMatrix matrix = KnowableMatrix(snap, sources, &runner);
+    runner.ParallelFor(sources.size(), [&](size_t i) { rows[i] = matrix.RowBools(i); });
+  } else {
+    runner.ParallelFor(sources.size(),
+                       [&](size_t i) { rows[i] = KnowableFromSnapshot(snap, sources[i]); });
+  }
   return rows;
+}
+
+std::vector<VertexId> AllVertexIds(size_t n) {
+  std::vector<VertexId> sources(n);
+  for (size_t v = 0; v < n; ++v) {
+    sources[v] = static_cast<VertexId>(v);
+  }
+  return sources;
 }
 
 }  // namespace
 
 std::vector<std::vector<bool>> KnowableFromAll(const tg::ProtectionGraph& g,
                                                tg_util::ThreadPool* pool) {
-  std::vector<VertexId> sources(g.VertexCount());
-  for (VertexId v = 0; v < sources.size(); ++v) {
-    sources[v] = v;
-  }
-  return RowsFor(g, sources, pool);
+  AnalysisSnapshot snap(g);
+  return RowsFromSnapshot(snap, AllVertexIds(g.VertexCount()), pool);
 }
 
 std::vector<std::vector<bool>> KnowableFromMany(const tg::ProtectionGraph& g,
                                                 const std::vector<VertexId>& sources,
                                                 tg_util::ThreadPool* pool) {
-  return RowsFor(g, sources, pool);
+  AnalysisSnapshot snap(g);
+  return RowsFromSnapshot(snap, sources, pool);
+}
+
+std::vector<std::vector<bool>> KnowableFromAll(const AnalysisSnapshot& snap,
+                                               tg_util::ThreadPool* pool) {
+  return RowsFromSnapshot(snap, AllVertexIds(snap.vertex_count()), pool);
+}
+
+std::vector<std::vector<bool>> KnowableFromMany(const AnalysisSnapshot& snap,
+                                                const std::vector<VertexId>& sources,
+                                                tg_util::ThreadPool* pool) {
+  return RowsFromSnapshot(snap, sources, pool);
 }
 
 }  // namespace tg_analysis

@@ -1,31 +1,46 @@
 // Batch (all-pairs) information-flow analysis over a thread pool.
 //
 // The can_know security analyses reduce to one independent closure per
-// source vertex; this module builds one immutable AnalysisSnapshot and fans
-// the per-source work across tg_util::ThreadPool workers.  Results are
-// deterministic — row x of every matrix is exactly what the serial
-// KnowableFrom(g, x) computes, regardless of thread count or scheduling —
-// because each worker writes only its own pre-allocated row.
+// source vertex; this module builds one immutable AnalysisSnapshot and
+// answers many sources at once.  Large batches run on the bit-parallel
+// engine (src/tg/bitset_reach.h): three 64-lane all-pairs sweeps (heads
+// probe, bridge-or-connection words, rw-terminal spans) plus one Tarjan
+// condensation of the subject BOC digraph replace the per-source closure
+// loop, and the ThreadPool fans out 64-source word slices so the two
+// parallelism axes compose.  Small batches keep the scalar per-source
+// path.  Either way results are deterministic — row i of every matrix is
+// exactly what the serial KnowableFrom(g, sources[i]) computes, regardless
+// of engine choice, thread count, or scheduling — because slices and rows
+// are fixed by index and each worker writes only its own slots.
 
 #ifndef SRC_ANALYSIS_BATCH_H_
 #define SRC_ANALYSIS_BATCH_H_
 
+#include <span>
 #include <vector>
 
+#include "src/tg/bitset_reach.h"
 #include "src/tg/graph.h"
 #include "src/tg/snapshot.h"
 #include "src/util/thread_pool.h"
 
 namespace tg_analysis {
 
-// KnowableFrom computed on a prebuilt snapshot (the shared implementation
-// behind the graph-level KnowableFrom, the batch matrix, and the cache).
-// Invalid x yields an all-false row.
+// KnowableFrom computed on a prebuilt snapshot (the shared scalar
+// implementation behind the graph-level KnowableFrom, the per-row cache,
+// and the small-batch fallback).  Invalid x yields an all-false row.
 std::vector<bool> KnowableFromSnapshot(const tg::AnalysisSnapshot& snap, tg::VertexId x);
 
-// The full can_know matrix: row x is KnowableFrom(g, x) for every vertex.
-// One snapshot build + |V| parallel closures.  pool == nullptr uses
+// All-pairs knowable matrix on a prebuilt snapshot: row i is
+// KnowableFromSnapshot(snap, sources[i]) as a bit row, computed with the
+// bit-parallel pipeline (see file comment).  pool == nullptr uses
 // ThreadPool::Shared() (TG_THREADS-sized).
+tg::BitMatrix KnowableMatrix(const tg::AnalysisSnapshot& snap,
+                             std::span<const tg::VertexId> sources,
+                             tg_util::ThreadPool* pool = nullptr);
+
+// The full can_know matrix: row x is KnowableFrom(g, x) for every vertex.
+// One snapshot build + the bit-parallel pipeline.
 std::vector<std::vector<bool>> KnowableFromAll(const tg::ProtectionGraph& g,
                                                tg_util::ThreadPool* pool = nullptr);
 
@@ -33,6 +48,14 @@ std::vector<std::vector<bool>> KnowableFromAll(const tg::ProtectionGraph& g,
 // concern; invalid sources get all-false rows).  Row i corresponds to
 // sources[i].
 std::vector<std::vector<bool>> KnowableFromMany(const tg::ProtectionGraph& g,
+                                                const std::vector<tg::VertexId>& sources,
+                                                tg_util::ThreadPool* pool = nullptr);
+
+// Snapshot overloads for callers that already hold one (e.g. through an
+// AnalysisCache): no snapshot build, otherwise identical.
+std::vector<std::vector<bool>> KnowableFromAll(const tg::AnalysisSnapshot& snap,
+                                               tg_util::ThreadPool* pool = nullptr);
+std::vector<std::vector<bool>> KnowableFromMany(const tg::AnalysisSnapshot& snap,
                                                 const std::vector<tg::VertexId>& sources,
                                                 tg_util::ThreadPool* pool = nullptr);
 

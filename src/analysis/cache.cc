@@ -34,6 +34,8 @@ void AnalysisCache::Invalidate() {
   snapshot_.reset();
   reach_.clear();
   knowable_.clear();
+  reach_all_.clear();
+  knowable_all_.reset();
 }
 
 void AnalysisCache::Refresh(const tg::ProtectionGraph& g) {
@@ -65,6 +67,12 @@ void AnalysisCache::EvictIfFull() {
   for (const auto& [key, entry] : knowable_) {
     ticks.push_back(entry.last_used);
   }
+  for (const auto& [key, entry] : reach_all_) {
+    ticks.push_back(entry.last_used);
+  }
+  if (knowable_all_.has_value()) {
+    ticks.push_back(knowable_all_->last_used);
+  }
   auto median = ticks.begin() + ticks.size() / 2;
   std::nth_element(ticks.begin(), median, ticks.end());
   uint64_t cutoff = *median;
@@ -84,6 +92,18 @@ void AnalysisCache::EvictIfFull() {
     } else {
       ++it;
     }
+  }
+  for (auto it = reach_all_.begin(); it != reach_all_.end();) {
+    if (it->second.last_used <= cutoff) {
+      it = reach_all_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (knowable_all_.has_value() && knowable_all_->last_used <= cutoff) {
+    knowable_all_.reset();
+    ++dropped;
   }
   evictions_ += dropped;
   Metrics().evictions.Add(dropped);
@@ -125,6 +145,48 @@ const std::vector<bool>& AnalysisCache::Knowable(const tg::ProtectionGraph& g, V
   EvictIfFull();
   Entry<std::vector<bool>> entry{KnowableFromSnapshot(*snapshot_, x), Touch()};
   return knowable_.emplace(x, std::move(entry)).first->second.value;
+}
+
+const tg::BitMatrix& AnalysisCache::ReachableAll(const tg::ProtectionGraph& g,
+                                                 const tg_util::Dfa& dfa, bool use_implicit,
+                                                 uint32_t min_steps,
+                                                 tg_util::ThreadPool* pool) {
+  Refresh(g);
+  AllKey key{&dfa, use_implicit, min_steps};
+  auto it = reach_all_.find(key);
+  if (it != reach_all_.end()) {
+    ++hits_;
+    Metrics().hits.Add();
+    it->second.last_used = Touch();
+    return it->second.value;
+  }
+  ++misses_;
+  Metrics().misses.Add();
+  EvictIfFull();
+  tg::SnapshotBfsOptions options{use_implicit, min_steps};
+  Entry<tg::BitMatrix> entry{tg::SnapshotWordReachableAll(*snapshot_, dfa, options, pool),
+                             Touch()};
+  return reach_all_.emplace(key, std::move(entry)).first->second.value;
+}
+
+const tg::BitMatrix& AnalysisCache::KnowableAll(const tg::ProtectionGraph& g,
+                                                tg_util::ThreadPool* pool) {
+  Refresh(g);
+  if (knowable_all_.has_value()) {
+    ++hits_;
+    Metrics().hits.Add();
+    knowable_all_->last_used = Touch();
+    return knowable_all_->value;
+  }
+  ++misses_;
+  Metrics().misses.Add();
+  EvictIfFull();
+  std::vector<VertexId> sources(snapshot_->vertex_count());
+  for (size_t v = 0; v < sources.size(); ++v) {
+    sources[v] = static_cast<VertexId>(v);
+  }
+  knowable_all_.emplace(Entry<tg::BitMatrix>{KnowableMatrix(*snapshot_, sources, pool), Touch()});
+  return knowable_all_->value;
 }
 
 bool AnalysisCache::CanKnow(const tg::ProtectionGraph& g, VertexId x, VertexId y) {

@@ -10,7 +10,11 @@
 // What is memoized, per graph version:
 //   * the AnalysisSnapshot itself (the CSR flattening),
 //   * per-(DFA, source, use_implicit, min_steps) WordReachable bitsets,
-//   * per-source KnowableFrom rows (the Theorem 3.2 closure).
+//   * per-source KnowableFrom rows (the Theorem 3.2 closure),
+//   * all-pairs matrices: per-(DFA, use_implicit, min_steps) reach
+//     matrices and the full knowable matrix, computed once with the
+//     bit-parallel engine (src/tg/bitset_reach.h) and then shared by all
+//     all-pairs consumers (levels, secure, audit) until the next mutation.
 //
 // Keys use the *address* of the DFA as its identity.  The path-language
 // DFAs (src/tg/languages.h) are process-lifetime singletons, so their
@@ -39,9 +43,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/tg/bitset_reach.h"
 #include "src/tg/graph.h"
 #include "src/tg/snapshot.h"
 #include "src/util/dfa.h"
+#include "src/util/thread_pool.h"
 
 namespace tg_analysis {
 
@@ -66,6 +72,17 @@ class AnalysisCache {
   // Memoized KnowableFrom(g, x).
   const std::vector<bool>& Knowable(const tg::ProtectionGraph& g, tg::VertexId x);
 
+  // Memoized all-pairs reach matrix for the DFA (row v = WordReachable
+  // from v), computed once per graph version with the bit-parallel engine.
+  // An all-pairs matrix counts as one derived entry for the size bound.
+  const tg::BitMatrix& ReachableAll(const tg::ProtectionGraph& g, const tg_util::Dfa& dfa,
+                                    bool use_implicit = true, uint32_t min_steps = 0,
+                                    tg_util::ThreadPool* pool = nullptr);
+
+  // Memoized full knowable matrix (row x = KnowableFrom(g, x)).
+  const tg::BitMatrix& KnowableAll(const tg::ProtectionGraph& g,
+                                   tg_util::ThreadPool* pool = nullptr);
+
   // can_know via the memoized row (reflexive; false for invalid ids).
   bool CanKnow(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
 
@@ -77,7 +94,10 @@ class AnalysisCache {
   size_t misses() const { return misses_; }
   size_t evictions() const { return evictions_; }
   size_t max_entries() const { return max_entries_; }
-  size_t entry_count() const { return reach_.size() + knowable_.size(); }
+  size_t entry_count() const {
+    return reach_.size() + knowable_.size() + reach_all_.size() +
+           (knowable_all_.has_value() ? 1 : 0);
+  }
 
  private:
   template <typename Value>
@@ -104,6 +124,22 @@ class AnalysisCache {
     }
   };
 
+  struct AllKey {
+    const tg_util::Dfa* dfa = nullptr;
+    bool use_implicit = true;
+    uint32_t min_steps = 0;
+
+    friend bool operator==(const AllKey& a, const AllKey& b) = default;
+  };
+  struct AllKeyHash {
+    size_t operator()(const AllKey& k) const {
+      size_t h = std::hash<const void*>{}(k.dfa);
+      h ^= std::hash<uint64_t>{}((uint64_t{k.min_steps} << 1) | (k.use_implicit ? 1 : 0)) +
+           0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
   // Rebuilds the snapshot and drops derived entries when g moved past the
   // cached version.
   void Refresh(const tg::ProtectionGraph& g);
@@ -118,6 +154,8 @@ class AnalysisCache {
   std::optional<tg::AnalysisSnapshot> snapshot_;
   std::unordered_map<ReachKey, Entry<std::vector<bool>>, ReachKeyHash> reach_;
   std::unordered_map<tg::VertexId, Entry<std::vector<bool>>> knowable_;
+  std::unordered_map<AllKey, Entry<tg::BitMatrix>, AllKeyHash> reach_all_;
+  std::optional<Entry<tg::BitMatrix>> knowable_all_;
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;

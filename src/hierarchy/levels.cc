@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/tg/bitset_reach.h"
 #include "src/tg/languages.h"
 #include "src/tg/path.h"
 #include "src/tg/snapshot.h"
@@ -127,11 +128,35 @@ std::vector<std::vector<VertexId>> KnowStepDigraph(const ProtectionGraph& g) {
   return adj;
 }
 
-std::vector<std::vector<VertexId>> BocDigraph(const ProtectionGraph& g,
-                                              tg_util::ThreadPool* pool) {
-  const size_t n = g.VertexCount();
+namespace {
+
+// Converts subject-indexed BOC reach rows to the adjacency-list digraph
+// (subjects only, self-edges dropped, neighbors ascending — the exact list
+// the scalar per-subject construction builds).  row_of(i) is the matrix
+// row for subjects[i].
+template <typename RowOf>
+std::vector<std::vector<VertexId>> DigraphFromBocRows(const tg::AnalysisSnapshot& snap,
+                                                      const RowOf& row_of,
+                                                      tg_util::ThreadPool& runner) {
+  const std::vector<VertexId>& subjects = snap.Subjects();
+  std::vector<std::vector<VertexId>> adj(snap.vertex_count());
+  runner.ParallelFor(subjects.size(), [&](size_t i) {
+    const VertexId u = subjects[i];
+    tg::ForEachSetBit(row_of(i), [&](size_t v) {
+      if (v != u && snap.IsSubject(static_cast<VertexId>(v))) {
+        adj[u].push_back(static_cast<VertexId>(v));
+      }
+    });
+  });
+  return adj;
+}
+
+// The original per-subject scalar construction, retained as the
+// differential baseline for BocDigraph.
+std::vector<std::vector<VertexId>> BocDigraphScalar(const tg::AnalysisSnapshot& snap,
+                                                    tg_util::ThreadPool* pool) {
+  const size_t n = snap.vertex_count();
   std::vector<std::vector<VertexId>> adj(n);
-  tg::AnalysisSnapshot snap(g);
   const tg_util::Dfa& dfa = tg::BridgeOrConnectionDfa();  // pre-warm singleton
   tg::SnapshotBfsOptions options;
   options.use_implicit = true;
@@ -153,72 +178,28 @@ std::vector<std::vector<VertexId>> BocDigraph(const ProtectionGraph& g,
   return adj;
 }
 
+}  // namespace
+
+std::vector<std::vector<VertexId>> BocDigraph(const tg::AnalysisSnapshot& snap,
+                                              tg_util::ThreadPool* pool) {
+  tg::SnapshotBfsOptions options;
+  options.use_implicit = true;
+  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
+  const std::vector<VertexId>& subjects = snap.Subjects();
+  tg::BitMatrix reach = tg::SnapshotWordReachableAll(
+      snap, std::span<const VertexId>(subjects), tg::BridgeOrConnectionDfa(), options, &runner);
+  return DigraphFromBocRows(snap, [&](size_t i) { return reach.Row(i); }, runner);
+}
+
+std::vector<std::vector<VertexId>> BocDigraph(const ProtectionGraph& g,
+                                              tg_util::ThreadPool* pool) {
+  tg::AnalysisSnapshot snap(g);
+  return BocDigraph(snap, pool);
+}
+
 std::vector<uint32_t> StronglyConnectedComponents(
     const std::vector<std::vector<VertexId>>& adjacency) {
-  const size_t n = adjacency.size();
-  constexpr uint32_t kUnvisited = 0xffffffffu;
-  std::vector<uint32_t> index(n, kUnvisited);
-  std::vector<uint32_t> lowlink(n, 0);
-  std::vector<bool> on_stack(n, false);
-  std::vector<uint32_t> component(n, kUnvisited);
-  std::vector<size_t> stack;
-  uint32_t next_index = 0;
-  uint32_t next_component = 0;
-
-  // Iterative Tarjan: frames of (node, child cursor).
-  struct Frame {
-    size_t node;
-    size_t child = 0;
-  };
-  std::vector<Frame> frames;
-
-  for (size_t root = 0; root < n; ++root) {
-    if (index[root] != kUnvisited) {
-      continue;
-    }
-    frames.push_back(Frame{root});
-    while (!frames.empty()) {
-      Frame& frame = frames.back();
-      size_t v = frame.node;
-      if (frame.child == 0) {
-        index[v] = lowlink[v] = next_index++;
-        stack.push_back(v);
-        on_stack[v] = true;
-      }
-      bool descended = false;
-      while (frame.child < adjacency[v].size()) {
-        size_t w = adjacency[v][frame.child++];
-        if (index[w] == kUnvisited) {
-          frames.push_back(Frame{w});
-          descended = true;
-          break;
-        }
-        if (on_stack[w]) {
-          lowlink[v] = std::min(lowlink[v], index[w]);
-        }
-      }
-      if (descended) {
-        continue;
-      }
-      if (lowlink[v] == index[v]) {
-        while (true) {
-          size_t w = stack.back();
-          stack.pop_back();
-          on_stack[w] = false;
-          component[w] = next_component;
-          if (w == v) {
-            break;
-          }
-        }
-        ++next_component;
-      }
-      frames.pop_back();
-      if (!frames.empty()) {
-        lowlink[frames.back().node] = std::min(lowlink[frames.back().node], lowlink[v]);
-      }
-    }
-  }
-  return component;
+  return tg::StronglyConnectedComponents(adjacency);
 }
 
 namespace {
@@ -270,12 +251,41 @@ LevelAssignment ComputeRwLevels(const ProtectionGraph& g) {
   return LevelsFromDigraph(KnowStepDigraph(g), all);
 }
 
-LevelAssignment ComputeRwtgLevels(const ProtectionGraph& g, tg_util::ThreadPool* pool) {
+namespace {
+
+std::vector<bool> SubjectMask(const ProtectionGraph& g) {
   std::vector<bool> subjects(g.VertexCount(), false);
   for (VertexId v = 0; v < g.VertexCount(); ++v) {
     subjects[v] = g.IsSubject(v);
   }
-  return LevelsFromDigraph(BocDigraph(g, pool), subjects);
+  return subjects;
+}
+
+}  // namespace
+
+LevelAssignment ComputeRwtgLevels(const ProtectionGraph& g, tg_util::ThreadPool* pool) {
+  return LevelsFromDigraph(BocDigraph(g, pool), SubjectMask(g));
+}
+
+LevelAssignment ComputeRwtgLevels(const ProtectionGraph& g, tg_analysis::AnalysisCache& cache,
+                                  tg_util::ThreadPool* pool) {
+  const tg::AnalysisSnapshot& snap = cache.Snapshot(g);
+  // The cached matrix is all-vertices (row v = BOC reach from v) so the
+  // same entry serves CheckSecure / FindCrossLevelChannels; non-subject
+  // rows are simply skipped here.
+  const tg::BitMatrix& reach =
+      cache.ReachableAll(g, tg::BridgeOrConnectionDfa(), /*use_implicit=*/true,
+                         /*min_steps=*/0, pool);
+  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
+  const std::vector<VertexId>& subjects = snap.Subjects();
+  std::vector<std::vector<VertexId>> adj =
+      DigraphFromBocRows(snap, [&](size_t i) { return reach.Row(subjects[i]); }, runner);
+  return LevelsFromDigraph(adj, SubjectMask(g));
+}
+
+LevelAssignment ComputeRwtgLevelsScalar(const ProtectionGraph& g, tg_util::ThreadPool* pool) {
+  tg::AnalysisSnapshot snap(g);
+  return LevelsFromDigraph(BocDigraphScalar(snap, pool), SubjectMask(g));
 }
 
 void AssignObjectLevels(const ProtectionGraph& g, LevelAssignment& assignment) {

@@ -24,7 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/cache.h"
 #include "src/tg/graph.h"
+#include "src/tg/snapshot.h"
 #include "src/util/thread_pool.h"
 
 namespace tg_hier {
@@ -97,14 +99,22 @@ std::vector<std::vector<tg::VertexId>> KnowStepDigraph(const tg::ProtectionGraph
 
 // The bridge-or-connection digraph over subjects: edge u -> v iff a single
 // rwtg-path from u to v carries a word in B U C.  Non-subjects have empty
-// adjacency.  The per-subject searches run on `pool` (nullptr = the shared
-// TG_THREADS-sized pool); the result is deterministic for any pool size.
+// adjacency.  Built with the bit-parallel engine (64 subjects per product
+// BFS, slices fanned over `pool`; nullptr = the shared TG_THREADS-sized
+// pool); the result is deterministic for any pool size and identical to
+// the scalar per-subject construction.
 std::vector<std::vector<tg::VertexId>> BocDigraph(const tg::ProtectionGraph& g,
+                                                  tg_util::ThreadPool* pool = nullptr);
+
+// Same over a prebuilt snapshot (no snapshot build).
+std::vector<std::vector<tg::VertexId>> BocDigraph(const tg::AnalysisSnapshot& snap,
                                                   tg_util::ThreadPool* pool = nullptr);
 
 // SCC decomposition of a digraph (Tarjan).  Returns component id per node;
 // ids are in reverse topological order of the condensation (an edge u -> v
-// between components implies comp[u] >= comp[v]).
+// between components implies comp[u] >= comp[v]).  Thin wrapper over
+// tg::StronglyConnectedComponents (src/tg/bitset_reach.h), kept here so
+// hierarchy callers need not reach into the tg layer.
 std::vector<uint32_t> StronglyConnectedComponents(
     const std::vector<std::vector<tg::VertexId>>& adjacency);
 
@@ -119,6 +129,20 @@ LevelAssignment ComputeRwLevels(const tg::ProtectionGraph& g);
 // size yields the identical assignment.
 LevelAssignment ComputeRwtgLevels(const tg::ProtectionGraph& g,
                                   tg_util::ThreadPool* pool = nullptr);
+
+// Cache-aware overload: reuses the cache's snapshot and its version-keyed
+// all-pairs BOC reach matrix (shared with CheckSecure and
+// FindCrossLevelChannels), so repeated level queries between mutations do
+// no graph work at all.  Identical assignment to the other overloads.
+LevelAssignment ComputeRwtgLevels(const tg::ProtectionGraph& g,
+                                  tg_analysis::AnalysisCache& cache,
+                                  tg_util::ThreadPool* pool = nullptr);
+
+// Reference implementation running one scalar product BFS per subject.
+// Kept as the differential-test and benchmark baseline for the
+// bit-parallel path; produces the identical assignment.
+LevelAssignment ComputeRwtgLevelsScalar(const tg::ProtectionGraph& g,
+                                        tg_util::ThreadPool* pool = nullptr);
 
 // Applies the paper's object-level rule to `assignment`: an object belongs
 // to the *lowest* level of any subject with explicit r or w access to it

@@ -2,6 +2,7 @@
 
 #include "src/analysis/batch.h"
 #include "src/analysis/can_know.h"
+#include "src/tg/bitset_reach.h"
 #include "src/tg/languages.h"
 #include "src/tg/path.h"
 #include "src/tg/snapshot.h"
@@ -11,12 +12,13 @@ namespace tg_hier {
 using tg::ProtectionGraph;
 using tg::VertexId;
 
-SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
-                           size_t max_violations, tg_util::ThreadPool* pool) {
-  SecurityReport report;
+namespace {
+
+// Phase 1 of CheckSecure: assigned vertices with at least one
+// strictly-higher assigned vertex.  Everything else is vacuously fine.
+std::vector<VertexId> SecureCandidates(const ProtectionGraph& g,
+                                       const LevelAssignment& assignment) {
   const size_t n = g.VertexCount();
-  // Phase 1 (serial): the candidate x's — assigned vertices with at least
-  // one strictly-higher assigned vertex.  Everything else is vacuously fine.
   std::vector<VertexId> candidates;
   for (VertexId x = 0; x < n; ++x) {
     if (!assignment.IsAssigned(x)) {
@@ -29,20 +31,22 @@ SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assi
       }
     }
   }
-  if (candidates.empty()) {
-    return report;
-  }
-  // Phase 2 (parallel): one knowable row per candidate, each written to its
-  // own pre-allocated slot.
-  std::vector<std::vector<bool>> rows =
-      tg_analysis::KnowableFromMany(g, candidates, pool);
-  // Phase 3 (serial, in candidate order): emit violations exactly as the
-  // serial loop would, including the max_violations cutoff.
+  return candidates;
+}
+
+// Phase 3 of CheckSecure (serial, in candidate order): emit violations
+// exactly as the serial loop would, including the max_violations cutoff.
+// knows(i, y) reads candidate i's knowable row.
+template <typename Knows>
+SecurityReport EmitViolations(const ProtectionGraph& g, const LevelAssignment& assignment,
+                              const std::vector<VertexId>& candidates, const Knows& knows,
+                              size_t max_violations) {
+  SecurityReport report;
+  const size_t n = g.VertexCount();
   for (size_t i = 0; i < candidates.size(); ++i) {
     VertexId x = candidates[i];
-    const std::vector<bool>& knowable = rows[i];
     for (VertexId y = 0; y < n; ++y) {
-      if (!knowable[y] || !assignment.HigherVertex(y, x)) {
+      if (!knows(i, y) || !assignment.HigherVertex(y, x)) {
         continue;
       }
       report.secure = false;
@@ -59,43 +63,35 @@ SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assi
   return report;
 }
 
-std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
-                                                      const LevelAssignment& assignment,
-                                                      size_t max_channels,
-                                                      tg_util::ThreadPool* pool) {
-  std::vector<CrossLevelChannel> channels;
-  const size_t n = g.VertexCount();
+// Sources of the Theorem 5.2 scan: assigned subjects.
+std::vector<VertexId> ChannelSources(const ProtectionGraph& g,
+                                     const LevelAssignment& assignment) {
   std::vector<VertexId> sources;
-  for (VertexId u = 0; u < n; ++u) {
+  for (VertexId u = 0; u < g.VertexCount(); ++u) {
     if (g.IsSubject(u) && assignment.IsAssigned(u)) {
       sources.push_back(u);
     }
   }
-  if (sources.empty()) {
-    return channels;
-  }
-  // Reachability for all candidate subjects fans out over the pool; each
-  // task only writes its own row.
-  tg::AnalysisSnapshot snap(g);
-  const tg_util::Dfa& dfa = tg::BridgeOrConnectionDfa();  // pre-warm singleton
-  tg::SnapshotBfsOptions snap_options;
-  snap_options.use_implicit = true;
-  std::vector<std::vector<bool>> reach_rows(sources.size());
-  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
-  runner.ParallelFor(sources.size(), [&](size_t i) {
-    const VertexId src[] = {sources[i]};
-    reach_rows[i] = SnapshotWordReachable(snap, src, dfa, snap_options);
-  });
-  // Serial scan in source order; witness reconstruction only runs for actual
-  // channels, which are rare, so it stays serial (and the channel list keeps
-  // the exact order of the old per-subject loop).
+  return sources;
+}
+
+// Serial scan in source order; witness reconstruction only runs for actual
+// channels, which are rare, so it stays serial (and the channel list keeps
+// the exact order of the old per-subject loop).  reaches(i, v) reads
+// source i's BOC reach row.
+template <typename Reaches>
+std::vector<CrossLevelChannel> EmitChannels(const ProtectionGraph& g,
+                                            const LevelAssignment& assignment,
+                                            const std::vector<VertexId>& sources,
+                                            const Reaches& reaches, size_t max_channels) {
+  std::vector<CrossLevelChannel> channels;
+  const size_t n = g.VertexCount();
   tg::PathSearchOptions options;
   options.use_implicit = true;
   for (size_t i = 0; i < sources.size(); ++i) {
     VertexId u = sources[i];
-    const std::vector<bool>& reach = reach_rows[i];
     for (VertexId v = 0; v < n; ++v) {
-      if (v == u || !reach[v] || !g.IsSubject(v)) {
+      if (v == u || !reaches(i, v) || !g.IsSubject(v)) {
         continue;
       }
       // A BOC path u -> v lets u learn v's information; dangerous exactly
@@ -116,6 +112,74 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
     }
   }
   return channels;
+}
+
+}  // namespace
+
+SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
+                           size_t max_violations, tg_util::ThreadPool* pool) {
+  std::vector<VertexId> candidates = SecureCandidates(g, assignment);
+  if (candidates.empty()) {
+    return SecurityReport{};
+  }
+  // One knowable bit row per candidate from the bit-parallel pipeline,
+  // 64 candidates per product BFS.
+  tg::AnalysisSnapshot snap(g);
+  tg::BitMatrix rows = tg_analysis::KnowableMatrix(snap, candidates, pool);
+  return EmitViolations(
+      g, assignment, candidates, [&](size_t i, VertexId y) { return rows.Test(i, y); },
+      max_violations);
+}
+
+SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
+                           tg_analysis::AnalysisCache& cache, size_t max_violations,
+                           tg_util::ThreadPool* pool) {
+  std::vector<VertexId> candidates = SecureCandidates(g, assignment);
+  if (candidates.empty()) {
+    return SecurityReport{};
+  }
+  // The cached matrix is all-vertices (row x = knowable from x); candidate
+  // i's row is simply row candidates[i].
+  const tg::BitMatrix& all = cache.KnowableAll(g, pool);
+  return EmitViolations(
+      g, assignment, candidates,
+      [&](size_t i, VertexId y) { return all.Test(candidates[i], y); }, max_violations);
+}
+
+std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
+                                                      const LevelAssignment& assignment,
+                                                      size_t max_channels,
+                                                      tg_util::ThreadPool* pool) {
+  std::vector<VertexId> sources = ChannelSources(g, assignment);
+  if (sources.empty()) {
+    return {};
+  }
+  tg::AnalysisSnapshot snap(g);
+  tg::SnapshotBfsOptions snap_options;
+  snap_options.use_implicit = true;
+  tg::BitMatrix reach =
+      tg::SnapshotWordReachableAll(snap, std::span<const VertexId>(sources),
+                                   tg::BridgeOrConnectionDfa(), snap_options, pool);
+  return EmitChannels(
+      g, assignment, sources, [&](size_t i, VertexId v) { return reach.Test(i, v); },
+      max_channels);
+}
+
+std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
+                                                      const LevelAssignment& assignment,
+                                                      tg_analysis::AnalysisCache& cache,
+                                                      size_t max_channels,
+                                                      tg_util::ThreadPool* pool) {
+  std::vector<VertexId> sources = ChannelSources(g, assignment);
+  if (sources.empty()) {
+    return {};
+  }
+  const tg::BitMatrix& reach =
+      cache.ReachableAll(g, tg::BridgeOrConnectionDfa(), /*use_implicit=*/true,
+                         /*min_steps=*/0, pool);
+  return EmitChannels(
+      g, assignment, sources,
+      [&](size_t i, VertexId v) { return reach.Test(sources[i], v); }, max_channels);
 }
 
 bool SecureByTheorem52(const ProtectionGraph& g, const LevelAssignment& assignment) {

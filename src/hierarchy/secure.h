@@ -46,6 +46,14 @@ struct SecurityReport {
 SecurityReport CheckSecure(const tg::ProtectionGraph& g, const LevelAssignment& assignment,
                            size_t max_violations = 0, tg_util::ThreadPool* pool = nullptr);
 
+// Cache-aware overload: reuses the cache's snapshot and its version-keyed
+// all-pairs knowable matrix instead of rebuilding either, so an audit that
+// also computes levels and channels through the same cache does one
+// snapshot build total.  Identical report.
+SecurityReport CheckSecure(const tg::ProtectionGraph& g, const LevelAssignment& assignment,
+                           tg_analysis::AnalysisCache& cache, size_t max_violations = 0,
+                           tg_util::ThreadPool* pool = nullptr);
+
 // One cross-level information channel (Theorem 5.2's structural witness):
 // a bridge-or-connection path from a subject in one level to a subject in a
 // different, comparable level that would let information flow downward.
@@ -61,6 +69,15 @@ struct CrossLevelChannel {
 // scan order, so the channel list is deterministic for any thread count.
 std::vector<CrossLevelChannel> FindCrossLevelChannels(const tg::ProtectionGraph& g,
                                                       const LevelAssignment& assignment,
+                                                      size_t max_channels = 0,
+                                                      tg_util::ThreadPool* pool = nullptr);
+
+// Cache-aware overload: reads the cache's all-pairs BOC reach matrix (the
+// same entry ComputeRwtgLevels(g, cache) uses) instead of recomputing
+// reachability.  Identical channel list.
+std::vector<CrossLevelChannel> FindCrossLevelChannels(const tg::ProtectionGraph& g,
+                                                      const LevelAssignment& assignment,
+                                                      tg_analysis::AnalysisCache& cache,
                                                       size_t max_channels = 0,
                                                       tg_util::ThreadPool* pool = nullptr);
 

@@ -38,6 +38,7 @@
 #include "src/sim/monitor.h"
 #include "src/sim/scenario.h"
 #include "src/hierarchy/composite_policy.h"
+#include "src/tg/bitset_reach.h"
 #include "src/tg/diff.h"
 #include "src/tg/dot.h"
 #include "src/tg/graph.h"

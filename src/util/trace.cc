@@ -21,6 +21,8 @@ const char* TraceKindName(TraceKind kind) {
       return "cache_rebuild";
     case TraceKind::kBatchRows:
       return "batch_rows";
+    case TraceKind::kBitReach:
+      return "bit_reach";
   }
   return "unknown";
 }

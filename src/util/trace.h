@@ -32,6 +32,7 @@ enum class TraceKind : uint8_t {
   kMonitorDecision,  // arg0 = audit outcome, arg1 = audit sequence number
   kCacheRebuild,     // arg0 = graph version, arg1 = entries dropped
   kBatchRows,        // arg0 = source count, arg1 = pool thread count
+  kBitReach,         // arg0 = source lanes in the slice, arg1 = word OR relaxations
 };
 
 const char* TraceKindName(TraceKind kind);

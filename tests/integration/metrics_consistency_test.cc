@@ -69,35 +69,99 @@ TEST_F(MetricsConsistencyTest, RegistryCacheCountersMatchAnalysisCache) {
   EXPECT_EQ(CounterNow("cache.misses") - misses_before, cache.misses());
 }
 
-TEST_F(MetricsConsistencyTest, BfsWorkIsDeterministicAcrossThreadCounts) {
+// KnowableFromAll routes big-enough batches through the bit-parallel
+// engine; its slice tallies must be identical for any thread count (fixed
+// 64-source slices, each single-threaded — see src/tg/bitset_reach.h).
+TEST_F(MetricsConsistencyTest, BitReachWorkIsDeterministicAcrossThreadCounts) {
   for (uint64_t seed : {uint64_t{7}, uint64_t{23}, uint64_t{101}}) {
     ProtectionGraph g = TestGraph(seed);
 
     tg_util::ThreadPool one(1);
-    const uint64_t runs_before_1 = CounterNow("bfs.runs");
-    const uint64_t visits_before_1 = CounterNow("bfs.node_visits");
-    const uint64_t scans_before_1 = CounterNow("bfs.edge_scans");
+    const uint64_t slices_before_1 = CounterNow("bitreach.slices");
+    const uint64_t waves_before_1 = CounterNow("bitreach.waves");
+    const uint64_t ops_before_1 = CounterNow("bitreach.word_ops");
+    const uint64_t visits_before_1 = CounterNow("bitreach.lane_visits");
+    const uint64_t scans_before_1 = CounterNow("bitreach.lane_edge_scans");
     std::vector<std::vector<bool>> rows_1 = tg_analysis::KnowableFromAll(g, &one);
-    const uint64_t runs_1 = CounterNow("bfs.runs") - runs_before_1;
-    const uint64_t visits_1 = CounterNow("bfs.node_visits") - visits_before_1;
-    const uint64_t scans_1 = CounterNow("bfs.edge_scans") - scans_before_1;
+    const uint64_t slices_1 = CounterNow("bitreach.slices") - slices_before_1;
+    const uint64_t waves_1 = CounterNow("bitreach.waves") - waves_before_1;
+    const uint64_t ops_1 = CounterNow("bitreach.word_ops") - ops_before_1;
+    const uint64_t visits_1 = CounterNow("bitreach.lane_visits") - visits_before_1;
+    const uint64_t scans_1 = CounterNow("bitreach.lane_edge_scans") - scans_before_1;
 
     tg_util::ThreadPool four(4);
-    const uint64_t runs_before_4 = CounterNow("bfs.runs");
-    const uint64_t visits_before_4 = CounterNow("bfs.node_visits");
-    const uint64_t scans_before_4 = CounterNow("bfs.edge_scans");
+    const uint64_t slices_before_4 = CounterNow("bitreach.slices");
+    const uint64_t waves_before_4 = CounterNow("bitreach.waves");
+    const uint64_t ops_before_4 = CounterNow("bitreach.word_ops");
+    const uint64_t visits_before_4 = CounterNow("bitreach.lane_visits");
+    const uint64_t scans_before_4 = CounterNow("bitreach.lane_edge_scans");
     std::vector<std::vector<bool>> rows_4 = tg_analysis::KnowableFromAll(g, &four);
-    const uint64_t runs_4 = CounterNow("bfs.runs") - runs_before_4;
-    const uint64_t visits_4 = CounterNow("bfs.node_visits") - visits_before_4;
-    const uint64_t scans_4 = CounterNow("bfs.edge_scans") - scans_before_4;
+    const uint64_t slices_4 = CounterNow("bitreach.slices") - slices_before_4;
+    const uint64_t waves_4 = CounterNow("bitreach.waves") - waves_before_4;
+    const uint64_t ops_4 = CounterNow("bitreach.word_ops") - ops_before_4;
+    const uint64_t visits_4 = CounterNow("bitreach.lane_visits") - visits_before_4;
+    const uint64_t scans_4 = CounterNow("bitreach.lane_edge_scans") - scans_before_4;
 
     EXPECT_EQ(rows_1, rows_4) << "seed " << seed;
-    EXPECT_GT(runs_1, 0u) << "seed " << seed;
+    EXPECT_GT(slices_1, 0u) << "seed " << seed;
     EXPECT_GT(visits_1, 0u) << "seed " << seed;
-    EXPECT_EQ(runs_1, runs_4) << "seed " << seed;
+    EXPECT_EQ(slices_1, slices_4) << "seed " << seed;
+    EXPECT_EQ(waves_1, waves_4) << "seed " << seed;
+    EXPECT_EQ(ops_1, ops_4) << "seed " << seed;
     EXPECT_EQ(visits_1, visits_4) << "seed " << seed;
     EXPECT_EQ(scans_1, scans_4) << "seed " << seed;
   }
+}
+
+// The per-pop tallies of the bit engine (popcount of the popped word, and
+// popcount * |adj|) must sum to exactly what the scalar engine counts as
+// node visits / edge scans for the same sources, one at a time.
+TEST_F(MetricsConsistencyTest, BitReachLaneTalliesMatchScalarTotals) {
+  for (uint64_t seed : {uint64_t{3}, uint64_t{57}}) {
+    ProtectionGraph g = TestGraph(seed);
+    tg::AnalysisSnapshot snap(g);
+    tg::SnapshotBfsOptions options;
+    options.use_implicit = true;
+    const tg_util::Dfa& dfa = tg::BridgeOrConnectionDfa();
+
+    const uint64_t visits_before = CounterNow("bfs.node_visits");
+    const uint64_t scans_before = CounterNow("bfs.edge_scans");
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      const VertexId sources[] = {v};
+      SnapshotWordReachable(snap, sources, dfa, options);
+    }
+    const uint64_t scalar_visits = CounterNow("bfs.node_visits") - visits_before;
+    const uint64_t scalar_scans = CounterNow("bfs.edge_scans") - scans_before;
+
+    const uint64_t lane_visits_before = CounterNow("bitreach.lane_visits");
+    const uint64_t lane_scans_before = CounterNow("bitreach.lane_edge_scans");
+    tg::SnapshotWordReachableAll(snap, dfa, options);
+    const uint64_t lane_visits = CounterNow("bitreach.lane_visits") - lane_visits_before;
+    const uint64_t lane_scans = CounterNow("bitreach.lane_edge_scans") - lane_scans_before;
+
+    EXPECT_GT(scalar_visits, 0u) << "seed " << seed;
+    EXPECT_EQ(lane_visits, scalar_visits) << "seed " << seed;
+    EXPECT_EQ(lane_scans, scalar_scans) << "seed " << seed;
+  }
+}
+
+// The cache-threaded audit path (levels + security check + channel scan
+// against one cache) must build exactly one snapshot for an unchanged
+// graph — the regression this guards is each analysis quietly rebuilding
+// its own.
+TEST_F(MetricsConsistencyTest, CacheThreadedAuditBuildsOneSnapshot) {
+  ProtectionGraph g = TestGraph(17);
+  tg_analysis::AnalysisCache cache;
+  const uint64_t builds_before = CounterNow("snapshot.builds");
+  tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(g, cache);
+  tg_hier::SecurityReport report = tg_hier::CheckSecure(g, levels, cache);
+  auto channels = tg_hier::FindCrossLevelChannels(g, levels, cache);
+  tg_hier::LevelAssignment again = tg_hier::ComputeRwtgLevels(g, cache);
+  EXPECT_EQ(CounterNow("snapshot.builds") - builds_before, 1u);
+  // Computed levels are self-consistently secure, so the (snapshot-free)
+  // witness reconstruction never ran; sanity-check that claim.
+  EXPECT_TRUE(report.secure);
+  EXPECT_TRUE(channels.empty());
 }
 
 TEST_F(MetricsConsistencyTest, QueriesLeaveTraceSpans) {
@@ -113,6 +177,14 @@ TEST_F(MetricsConsistencyTest, QueriesLeaveTraceSpans) {
   }
   EXPECT_TRUE(saw_rebuild);
   EXPECT_TRUE(saw_bfs);
+
+  tg_util::TraceBuffer::Instance().Clear();
+  cache.KnowableAll(g);
+  bool saw_bitreach = false;
+  for (const tg_util::TraceEvent& e : tg_util::TraceBuffer::Instance().Events()) {
+    saw_bitreach |= e.kind == tg_util::TraceKind::kBitReach;
+  }
+  EXPECT_TRUE(saw_bitreach);
 }
 
 TEST_F(MetricsConsistencyTest, MonitorCountersMatchAuditLog) {
