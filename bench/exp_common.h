@@ -150,7 +150,12 @@ class MetricsDelta {
         .Set("bitreach_waves", now.bitreach_waves - baseline_.bitreach_waves)
         .Set("bitreach_word_ops", now.bitreach_word_ops - baseline_.bitreach_word_ops)
         .Set("bitreach_lane_visits", now.bitreach_lane_visits - baseline_.bitreach_lane_visits)
-        .Set("pool_tasks", now.pool_tasks - baseline_.pool_tasks);
+        .Set("pool_tasks", now.pool_tasks - baseline_.pool_tasks)
+        .Set("journal_records", now.journal_records - baseline_.journal_records)
+        .Set("overlay_patches", now.overlay_patches - baseline_.overlay_patches)
+        .Set("compactions", now.compactions - baseline_.compactions)
+        .Set("rows_reused", now.rows_reused - baseline_.rows_reused)
+        .Set("slices_repaired", now.slices_repaired - baseline_.slices_repaired);
     return row;
   }
 
@@ -166,6 +171,11 @@ class MetricsDelta {
     uint64_t bitreach_word_ops = 0;
     uint64_t bitreach_lane_visits = 0;
     uint64_t pool_tasks = 0;
+    uint64_t journal_records = 0;
+    uint64_t overlay_patches = 0;
+    uint64_t compactions = 0;
+    uint64_t rows_reused = 0;
+    uint64_t slices_repaired = 0;
   };
 
   static void Snapshot(Values& v) {
@@ -180,6 +190,11 @@ class MetricsDelta {
     v.bitreach_word_ops = registry.CounterValue("bitreach.word_ops");
     v.bitreach_lane_visits = registry.CounterValue("bitreach.lane_visits");
     v.pool_tasks = registry.CounterValue("pool.tasks");
+    v.journal_records = registry.CounterValue("incremental.journal_records");
+    v.overlay_patches = registry.CounterValue("incremental.overlay_patches");
+    v.compactions = registry.CounterValue("incremental.compactions");
+    v.rows_reused = registry.CounterValue("incremental.rows_reused");
+    v.slices_repaired = registry.CounterValue("incremental.slices_repaired");
   }
 
   Values baseline_;

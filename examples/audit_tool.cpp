@@ -194,6 +194,11 @@ int main(int argc, char** argv) {
   }
   std::printf("mutual-knowledge subject pairs: %zu\n", mutual_pairs);
 
+  // Provenance: how the graph got here (file loads replay as mutations, so
+  // the journal shows the construction; incremental consumers key on it).
+  std::printf("mutation journal: epoch %llu, %zu record(s) retained\n",
+              static_cast<unsigned long long>(graph.epoch()), graph.journal().size());
+
   if (!dot_path.empty()) {
     tg::DotOptions dot_options;
     for (tg::VertexId v = 0; v < graph.VertexCount(); ++v) {

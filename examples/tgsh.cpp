@@ -28,6 +28,7 @@
 //   save FILE / load FILE           .tgg I/O
 //   stats [reset]                   engine metrics (counters/latencies); reset zeroes them
 //   trace [N]                       last N trace spans (default 20)
+//   journal [N]                     last N mutation-journal records (default 20)
 //   help / quit
 
 #include <cstdio>
@@ -46,10 +47,11 @@ namespace {
 
 struct Shell {
   tg::ProtectionGraph graph;
-  // Memoizes know queries between mutations; keyed on graph.version(), so
-  // rule applications invalidate it automatically.  Must be explicitly
-  // invalidated when `graph` is *replaced* (load, saturate), since a fresh
-  // graph restarts its version counter.
+  // Memoizes know queries between mutations; keyed on graph.epoch() and
+  // repaired from the mutation journal, so rule applications invalidate
+  // only the entries they can affect.  Must be explicitly invalidated when
+  // `graph` is *replaced* (load, saturate), since a fresh graph restarts
+  // its epoch counter.
   tg_analysis::AnalysisCache cache;
   bool done = false;
 
@@ -102,7 +104,7 @@ void PrintHelp() {
       "          remove X Y R | post/pass/spy/find X Y Z | saturate\n"
       "queries:  share R X Y | steal R X Y | know X Y | knowf X Y | islands | levels\n"
       "output:   dot FILE\n"
-      "observe:  stats [reset] | trace [N]\n"
+      "observe:  stats [reset] | trace [N] | journal [N]\n"
       "misc:     help | quit\n");
 }
 
@@ -328,6 +330,22 @@ void Shell::Execute(const std::string& raw) {
     if (total > tg_util::TraceBuffer::Instance().capacity()) {
       std::printf("(%llu spans recorded; older spans overwritten)\n",
                   static_cast<unsigned long long>(total));
+    }
+  } else if (cmd == "journal") {
+    if (tok.size() > 2) {
+      std::printf("error: journal [N]\n");
+      return;
+    }
+    size_t limit = 20;
+    if (tok.size() == 2) {
+      limit = static_cast<size_t>(std::atol(std::string(tok[1]).c_str()));
+    }
+    const tg::MutationJournal& journal = graph.journal();
+    std::printf("epoch %llu, %zu record(s) retained since epoch %llu\n",
+                static_cast<unsigned long long>(graph.epoch()), journal.size(),
+                static_cast<unsigned long long>(journal.base_epoch()));
+    for (const tg::MutationRecord& rec : journal.LastN(limit)) {
+      std::printf("%s\n", rec.ToString(&graph).c_str());
     }
   } else if (cmd == "show") {
     std::printf("%s", tg::PrintGraph(graph).c_str());

@@ -26,14 +26,16 @@ for preset in "${presets[@]}"; do
   ctest --test-dir "build-$preset" -LE slow --output-on-failure -j "$jobs"
 done
 
-# Perf regression guard from the regular (optimized) build: the bit-parallel
-# all-pairs engine must stay within 2x of the scalar engine even at sizes
-# too small to amortize its setup.
-echo "=== bench smoke (bit-parallel vs scalar guard) ==="
+# Perf regression guards from the regular (optimized) build: the
+# bit-parallel all-pairs engine must stay within 2x of the scalar engine
+# even at sizes too small to amortize its setup, and the incremental
+# repair path must stay bit-identical to (and not much slower than) the
+# full-rebuild baseline at tiny sizes.
+echo "=== bench smoke (bit-parallel + incremental guards) ==="
 if [ ! -f build/CMakeCache.txt ]; then
   cmake -B build >/dev/null
 fi
-cmake --build build -j "$jobs" --target bench_allpairs >/dev/null
-ctest --test-dir build -R bench_allpairs_smoke --output-on-failure
+cmake --build build -j "$jobs" --target bench_allpairs bench_incremental >/dev/null
+ctest --test-dir build -R 'bench_allpairs_smoke|bench_incremental_smoke' --output-on-failure
 
 echo "=== all sanitizer checks passed and bench smoke ok ==="

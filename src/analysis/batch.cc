@@ -14,22 +14,48 @@ using tg::BitMatrix;
 using tg::SnapshotBfsOptions;
 using tg::VertexId;
 
-std::vector<bool> KnowableFromSnapshot(const AnalysisSnapshot& snap, VertexId x) {
+namespace {
+
+void OrInto(std::span<uint64_t> dst, std::span<const uint64_t> src) {
+  for (size_t w = 0; w < dst.size(); ++w) {
+    dst[w] |= src[w];
+  }
+}
+
+// Shared scalar pipeline; dep_words != nullptr additionally collects the
+// union of every stage's visited set (the row's dependency footprint).
+std::vector<bool> KnowableFromSnapshotImpl(const AnalysisSnapshot& snap, VertexId x,
+                                           std::vector<uint64_t>* dep_words) {
   const size_t n = snap.vertex_count();
+  if (dep_words != nullptr) {
+    dep_words->assign((n + 63) / 64, 0);
+  }
   std::vector<bool> knowable(n, false);
   if (!snap.IsValidVertex(x)) {
     return knowable;
   }
   knowable[x] = true;
+  if (dep_words != nullptr) {
+    (*dep_words)[x >> 6] |= uint64_t{1} << (x & 63);
+  }
   SnapshotBfsOptions options;
   options.use_implicit = true;
+  std::vector<uint64_t> stage_touched;
+  auto reach = [&](std::span<const VertexId> sources, const tg_util::Dfa& dfa) {
+    if (dep_words == nullptr) {
+      return SnapshotWordReachable(snap, sources, dfa, options);
+    }
+    std::vector<bool> reached = SnapshotWordReachableTouched(snap, sources, dfa, stage_touched,
+                                                             options);
+    OrInto(*dep_words, stage_touched);
+    return reached;
+  };
   // (a) candidate chain heads: subjects that rw-initially span to x (one
   // reversed-language BFS from x), plus x itself when x is a subject.
   std::vector<VertexId> heads;
   {
     const VertexId sources[] = {x};
-    std::vector<bool> spanners =
-        SnapshotWordReachable(snap, sources, tg::ReverseRwInitialSpanDfa(), options);
+    std::vector<bool> spanners = reach(sources, tg::ReverseRwInitialSpanDfa());
     for (VertexId v = 0; v < n; ++v) {
       if (spanners[v] && snap.IsSubject(v)) {
         heads.push_back(v);
@@ -43,7 +69,13 @@ std::vector<bool> KnowableFromSnapshot(const AnalysisSnapshot& snap, VertexId x)
     return knowable;
   }
   // (c) directed closure over bridge-or-connection words.
-  std::vector<bool> closure = BridgeOrConnectionClosure(snap, heads);
+  std::vector<bool> closure;
+  if (dep_words != nullptr) {
+    closure = BridgeOrConnectionClosureTouched(snap, heads, stage_touched);
+    OrInto(*dep_words, stage_touched);
+  } else {
+    closure = BridgeOrConnectionClosure(snap, heads);
+  }
   // y is knowable when some closure subject is y itself or rw-terminally
   // spans to y; the latter is one multi-source span search.
   std::vector<VertexId> closure_subjects;
@@ -53,8 +85,7 @@ std::vector<bool> KnowableFromSnapshot(const AnalysisSnapshot& snap, VertexId x)
       closure_subjects.push_back(v);
     }
   }
-  std::vector<bool> spanned =
-      SnapshotWordReachable(snap, closure_subjects, tg::RwTerminalSpanDfa(), options);
+  std::vector<bool> spanned = reach(closure_subjects, tg::RwTerminalSpanDfa());
   for (VertexId v = 0; v < n; ++v) {
     if (spanned[v]) {
       knowable[v] = true;
@@ -63,45 +94,77 @@ std::vector<bool> KnowableFromSnapshot(const AnalysisSnapshot& snap, VertexId x)
   return knowable;
 }
 
-namespace {
+}  // namespace
 
-void OrInto(std::span<uint64_t> dst, std::span<const uint64_t> src) {
-  for (size_t w = 0; w < dst.size(); ++w) {
-    dst[w] |= src[w];
-  }
+std::vector<bool> KnowableFromSnapshot(const AnalysisSnapshot& snap, VertexId x) {
+  return KnowableFromSnapshotImpl(snap, x, nullptr);
 }
 
-// The bit pipeline amortizes three subject-wide matrix sweeps over the
-// batch; below this point the scalar per-source closures are cheaper.
-bool UseBitPipeline(size_t source_count, size_t subject_count) {
+std::vector<bool> KnowableFromSnapshotWithDeps(const AnalysisSnapshot& snap, VertexId x,
+                                               std::vector<uint64_t>& dep_words) {
+  return KnowableFromSnapshotImpl(snap, x, &dep_words);
+}
+
+bool UseKnowableBitPipeline(size_t source_count, size_t subject_count) {
+  // The bit pipeline amortizes three subject-wide matrix sweeps over the
+  // batch; below this point the scalar per-source closures are cheaper.
   return source_count >= 64 || source_count * 32 >= subject_count;
 }
 
-}  // namespace
+namespace {
 
-BitMatrix KnowableMatrix(const AnalysisSnapshot& snap, std::span<const VertexId> sources,
-                         tg_util::ThreadPool* pool) {
+// Shared matrix pipeline; deps != nullptr additionally composes a per-row
+// dependency footprint through the same condensation the result rows use.
+// subject_filter != nullptr restricts the closure stages to that subject
+// subset (ascending ids); rows stay exact as long as every source's
+// footprint subjects are inside the filter (the scoped-repair contract).
+BitMatrix KnowableMatrixImpl(const AnalysisSnapshot& snap, std::span<const VertexId> sources,
+                             tg_util::ThreadPool* pool, BitMatrix* deps,
+                             const std::vector<VertexId>* subject_filter = nullptr,
+                             std::span<const uint64_t> vertex_mask = {}) {
   const size_t n = snap.vertex_count();
   BitMatrix rows(sources.size(), n);
+  if (deps != nullptr) {
+    *deps = BitMatrix(sources.size(), n);
+  }
   if (n == 0 || sources.empty()) {
     return rows;
   }
   SnapshotBfsOptions options;
   options.use_implicit = true;
+  options.vertex_mask = vertex_mask;
   tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
-  const std::vector<VertexId>& subjects = snap.Subjects();
+  const std::vector<VertexId>& subjects =
+      subject_filter != nullptr ? *subject_filter : snap.Subjects();
   const std::span<const VertexId> subject_span(subjects);
 
   // Stage 1 (bit-parallel sweeps).  heads_probe row i: everything the
   // reversed rw-initial-span language reaches from sources[i]; its subject
   // bits are the closure seeds.  boc row j / spans row j: one
   // bridge-or-connection word / one rw-terminal span from subjects[j].
+  // With deps requested, each sweep also reports its visited (touched)
+  // rows; probe_touched row i already contains sources[i] (BFS seed).
+  BitMatrix probe_touched;
+  BitMatrix boc_touched;
+  BitMatrix spans_touched;
   BitMatrix heads_probe =
-      SnapshotWordReachableAll(snap, sources, tg::ReverseRwInitialSpanDfa(), options, &runner);
-  BitMatrix boc =
-      SnapshotWordReachableAll(snap, subject_span, tg::BridgeOrConnectionDfa(), options, &runner);
-  BitMatrix spans =
-      SnapshotWordReachableAll(snap, subject_span, tg::RwTerminalSpanDfa(), options, &runner);
+      deps != nullptr
+          ? SnapshotWordReachableAllTouched(snap, sources, tg::ReverseRwInitialSpanDfa(),
+                                            probe_touched, options, &runner)
+          : SnapshotWordReachableAll(snap, sources, tg::ReverseRwInitialSpanDfa(), options,
+                                     &runner);
+  BitMatrix boc = deps != nullptr
+                      ? SnapshotWordReachableAllTouched(snap, subject_span,
+                                                        tg::BridgeOrConnectionDfa(), boc_touched,
+                                                        options, &runner)
+                      : SnapshotWordReachableAll(snap, subject_span, tg::BridgeOrConnectionDfa(),
+                                                 options, &runner);
+  BitMatrix spans = deps != nullptr
+                        ? SnapshotWordReachableAllTouched(snap, subject_span,
+                                                          tg::RwTerminalSpanDfa(), spans_touched,
+                                                          options, &runner)
+                        : SnapshotWordReachableAll(snap, subject_span, tg::RwTerminalSpanDfa(),
+                                                   options, &runner);
 
   constexpr uint32_t kNoSubject = 0xffffffffu;
   std::vector<uint32_t> subject_index(n, kNoSubject);
@@ -120,7 +183,9 @@ BitMatrix KnowableMatrix(const AnalysisSnapshot& snap, std::span<const VertexId>
   for (size_t i = 0; i < subjects.size(); ++i) {
     VertexId u = subjects[i];
     tg::ForEachSetBit(boc.Row(i), [&](size_t v) {
-      if (snap.IsSubject(static_cast<VertexId>(v))) {
+      // subject_index membership (not IsSubject): under a subject filter the
+      // digraph stays closed over the filtered universe.
+      if (subject_index[v] != kNoSubject) {
         digraph[u].push_back(static_cast<VertexId>(v));
       }
     });
@@ -135,6 +200,10 @@ BitMatrix KnowableMatrix(const AnalysisSnapshot& snap, std::span<const VertexId>
     members[comp[u]].push_back(u);
   }
   BitMatrix full(comp_count, n);
+  BitMatrix full_dep;
+  if (deps != nullptr) {
+    full_dep = BitMatrix(comp_count, n);
+  }
   for (uint32_t c = 0; c < comp_count; ++c) {
     std::span<uint64_t> row = full.MutableRow(c);
     for (VertexId u : members[c]) {
@@ -143,6 +212,19 @@ BitMatrix KnowableMatrix(const AnalysisSnapshot& snap, std::span<const VertexId>
       for (VertexId w : digraph[u]) {
         if (comp[w] != c) {
           OrInto(row, full.Row(comp[w]));  // comp[w] < c: already folded
+        }
+      }
+      if (deps != nullptr) {
+        // The component's footprint: every vertex the closure's BOC rounds
+        // or terminal spans from its members visit, plus (transitively) the
+        // footprints of successor components — mirroring the value fold.
+        std::span<uint64_t> dep_row = full_dep.MutableRow(c);
+        OrInto(dep_row, boc_touched.Row(subject_index[u]));
+        OrInto(dep_row, spans_touched.Row(subject_index[u]));
+        for (VertexId w : digraph[u]) {
+          if (comp[w] != c) {
+            OrInto(dep_row, full_dep.Row(comp[w]));
+          }
         }
       }
     }
@@ -164,6 +246,11 @@ BitMatrix KnowableMatrix(const AnalysisSnapshot& snap, std::span<const VertexId>
       }
       std::span<uint64_t> row = rows.MutableRow(i);
       rows.Set(i, x);
+      if (deps != nullptr) {
+        // The probe's touched row covers x and everything its reverse-span
+        // BFS visited; component footprints fold in below alongside values.
+        OrInto(deps->MutableRow(i), probe_touched.Row(i));
+      }
       auto add_head = [&](VertexId h) {
         uint32_t c = comp[h];
         if (comp_seen[c]) {
@@ -172,13 +259,16 @@ BitMatrix KnowableMatrix(const AnalysisSnapshot& snap, std::span<const VertexId>
         comp_seen[c] = true;
         touched.push_back(c);
         OrInto(row, full.Row(c));
+        if (deps != nullptr) {
+          OrInto(deps->MutableRow(i), full_dep.Row(c));
+        }
       };
       tg::ForEachSetBit(heads_probe.Row(i), [&](size_t v) {
-        if (snap.IsSubject(static_cast<VertexId>(v))) {
+        if (subject_index[v] != kNoSubject) {
           add_head(static_cast<VertexId>(v));
         }
       });
-      if (snap.IsSubject(x)) {
+      if (subject_index[x] != kNoSubject) {
         add_head(x);
       }
       for (uint32_t c : touched) {
@@ -188,6 +278,31 @@ BitMatrix KnowableMatrix(const AnalysisSnapshot& snap, std::span<const VertexId>
     }
   });
   return rows;
+}
+
+}  // namespace
+
+BitMatrix KnowableMatrix(const AnalysisSnapshot& snap, std::span<const VertexId> sources,
+                         tg_util::ThreadPool* pool) {
+  return KnowableMatrixImpl(snap, sources, pool, nullptr);
+}
+
+BitMatrix KnowableMatrixWithDeps(const AnalysisSnapshot& snap, std::span<const VertexId> sources,
+                                 BitMatrix& deps, tg_util::ThreadPool* pool) {
+  return KnowableMatrixImpl(snap, sources, pool, &deps);
+}
+
+BitMatrix KnowableMatrixWithDepsScoped(const AnalysisSnapshot& snap,
+                                       std::span<const VertexId> sources,
+                                       std::span<const uint64_t> universe_words, BitMatrix& deps,
+                                       tg_util::ThreadPool* pool) {
+  std::vector<VertexId> scoped;
+  for (VertexId s : snap.Subjects()) {
+    if ((universe_words[s >> 6] >> (s & 63)) & 1) {
+      scoped.push_back(s);
+    }
+  }
+  return KnowableMatrixImpl(snap, sources, pool, &deps, &scoped, universe_words);
 }
 
 namespace {
@@ -210,7 +325,7 @@ std::vector<std::vector<bool>> RowsFromSnapshot(const AnalysisSnapshot& snap,
   tg::RwTerminalSpanDfa();
   std::vector<std::vector<bool>> rows(sources.size());
   tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
-  if (UseBitPipeline(sources.size(), snap.Subjects().size())) {
+  if (UseKnowableBitPipeline(sources.size(), snap.Subjects().size())) {
     BitMatrix matrix = KnowableMatrix(snap, sources, &runner);
     runner.ParallelFor(sources.size(), [&](size_t i) { rows[i] = matrix.RowBools(i); });
   } else {

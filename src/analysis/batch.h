@@ -31,6 +31,15 @@ namespace tg_analysis {
 // and the small-batch fallback).  Invalid x yields an all-false row.
 std::vector<bool> KnowableFromSnapshot(const tg::AnalysisSnapshot& snap, tg::VertexId x);
 
+// As KnowableFromSnapshot, additionally reassigning dep_words
+// ((vertex_count + 63) / 64 words) to the row's conservative dependency
+// footprint: x itself plus every vertex any stage's product BFS visited in
+// any DFA state.  A mutation batch whose affected vertices all miss the
+// footprint provably leaves the row bit-identical (DESIGN.md §10), which
+// is what lets AnalysisCache keep the row across such mutations.
+std::vector<bool> KnowableFromSnapshotWithDeps(const tg::AnalysisSnapshot& snap, tg::VertexId x,
+                                               std::vector<uint64_t>& dep_words);
+
 // All-pairs knowable matrix on a prebuilt snapshot: row i is
 // KnowableFromSnapshot(snap, sources[i]) as a bit row, computed with the
 // bit-parallel pipeline (see file comment).  pool == nullptr uses
@@ -38,6 +47,34 @@ std::vector<bool> KnowableFromSnapshot(const tg::AnalysisSnapshot& snap, tg::Ver
 tg::BitMatrix KnowableMatrix(const tg::AnalysisSnapshot& snap,
                              std::span<const tg::VertexId> sources,
                              tg_util::ThreadPool* pool = nullptr);
+
+// As KnowableMatrix, additionally reassigning deps to a
+// sources.size() x vertex_count matrix whose row i is the dependency
+// footprint of result row i (composed through the condensation exactly as
+// the result rows are, so it covers every vertex the scalar pipeline for
+// sources[i] would visit).
+tg::BitMatrix KnowableMatrixWithDeps(const tg::AnalysisSnapshot& snap,
+                                     std::span<const tg::VertexId> sources, tg::BitMatrix& deps,
+                                     tg_util::ThreadPool* pool = nullptr);
+
+// The bit-pipeline vs scalar crossover heuristic used by
+// KnowableFromAll/Many: batches too small to amortize the subject-wide
+// matrix sweeps take the scalar per-source path instead.
+bool UseKnowableBitPipeline(size_t source_count, size_t subject_count);
+
+// Scoped repair variant of KnowableMatrixWithDeps: the closure stages (BOC
+// digraph and terminal spans) sweep only the subjects whose bit is set in
+// universe_words ((vertex_count + 63) / 64 words) instead of every subject,
+// so the cost scales with the universe, not the snapshot.  Rows and dep
+// rows are bit-identical to the unscoped pipeline for every source whose
+// dependency footprint is contained in the universe — which AnalysisCache
+// guarantees by seeding the universe with each dirty row's old footprint
+// plus the connected components of the mutated region (DESIGN.md §10).
+tg::BitMatrix KnowableMatrixWithDepsScoped(const tg::AnalysisSnapshot& snap,
+                                           std::span<const tg::VertexId> sources,
+                                           std::span<const uint64_t> universe_words,
+                                           tg::BitMatrix& deps,
+                                           tg_util::ThreadPool* pool = nullptr);
 
 // The full can_know matrix: row x is KnowableFrom(g, x) for every vertex.
 // One snapshot build + the bit-parallel pipeline.

@@ -34,10 +34,14 @@ std::optional<GraphPath> FindSubjectPath(const ProtectionGraph& g, VertexId u, V
 // needed.  Each round is one product BFS over the shared snapshot; rounds
 // are bounded by the number of subjects and are few in practice.
 std::vector<bool> SubjectClosure(const tg::AnalysisSnapshot& snap,
-                                 const std::vector<VertexId>& seeds, const tg_util::Dfa& dfa) {
+                                 const std::vector<VertexId>& seeds, const tg_util::Dfa& dfa,
+                                 std::vector<uint64_t>* touched_words = nullptr) {
   const size_t n = snap.vertex_count();
   tg::SnapshotBfsOptions options;
   options.use_implicit = true;  // matches BridgeOptions()
+  if (touched_words != nullptr) {
+    touched_words->assign((n + 63) / 64, 0);
+  }
   std::vector<bool> in_set(n, false);
   std::vector<VertexId> frontier;
   for (VertexId v : seeds) {
@@ -46,6 +50,7 @@ std::vector<bool> SubjectClosure(const tg::AnalysisSnapshot& snap,
       frontier.push_back(v);
     }
   }
+  std::vector<uint64_t> round_touched;
   while (!frontier.empty()) {
     // All current members seed the BFS (accepted walks may need to start
     // anywhere in the set), but only genuinely new subjects extend it.
@@ -55,7 +60,15 @@ std::vector<bool> SubjectClosure(const tg::AnalysisSnapshot& snap,
         sources.push_back(v);
       }
     }
-    std::vector<bool> reached = SnapshotWordReachable(snap, sources, dfa, options);
+    std::vector<bool> reached;
+    if (touched_words != nullptr) {
+      reached = SnapshotWordReachableTouched(snap, sources, dfa, round_touched, options);
+      for (size_t w = 0; w < round_touched.size(); ++w) {
+        (*touched_words)[w] |= round_touched[w];
+      }
+    } else {
+      reached = SnapshotWordReachable(snap, sources, dfa, options);
+    }
     frontier.clear();
     for (VertexId v = 0; v < n; ++v) {
       if (reached[v] && snap.IsSubject(v) && !in_set[v]) {
@@ -99,6 +112,12 @@ std::vector<bool> BridgeClosure(const tg::AnalysisSnapshot& snap,
 std::vector<bool> BridgeOrConnectionClosure(const tg::AnalysisSnapshot& snap,
                                             const std::vector<VertexId>& seeds) {
   return SubjectClosure(snap, seeds, tg::BridgeOrConnectionDfa());
+}
+
+std::vector<bool> BridgeOrConnectionClosureTouched(const tg::AnalysisSnapshot& snap,
+                                                   const std::vector<VertexId>& seeds,
+                                                   std::vector<uint64_t>& touched_words) {
+  return SubjectClosure(snap, seeds, tg::BridgeOrConnectionDfa(), &touched_words);
 }
 
 }  // namespace tg_analysis

@@ -51,6 +51,15 @@ std::vector<bool> BridgeClosure(const tg::AnalysisSnapshot& snap,
 std::vector<bool> BridgeOrConnectionClosure(const tg::AnalysisSnapshot& snap,
                                             const std::vector<tg::VertexId>& seeds);
 
+// As the snapshot BridgeOrConnectionClosure, additionally OR-ing into
+// touched_words ((vertex_count + 63) / 64 words, reassigned here) every
+// vertex any closure round's product BFS visited in any DFA state — the
+// closure's conservative dependency footprint for scoped cache
+// invalidation (see tg::SnapshotWordReachableTouched).
+std::vector<bool> BridgeOrConnectionClosureTouched(const tg::AnalysisSnapshot& snap,
+                                                   const std::vector<tg::VertexId>& seeds,
+                                                   std::vector<uint64_t>& touched_words);
+
 }  // namespace tg_analysis
 
 #endif  // SRC_ANALYSIS_BRIDGES_H_

@@ -1,6 +1,8 @@
 #include "src/analysis/cache.h"
 
 #include <algorithm>
+#include <bit>
+#include <span>
 
 #include "src/analysis/batch.h"
 #include "src/util/metrics.h"
@@ -9,6 +11,7 @@
 namespace tg_analysis {
 
 using tg::AnalysisSnapshot;
+using tg::BitMatrix;
 using tg::VertexId;
 
 namespace {
@@ -18,11 +21,73 @@ struct CacheMetrics {
   tg_util::Counter& misses = tg_util::GetCounter("cache.misses");
   tg_util::Counter& evictions = tg_util::GetCounter("cache.evictions");
   tg_util::Counter& rebuilds = tg_util::GetCounter("cache.snapshot_rebuilds");
+  tg_util::Counter& rows_reused = tg_util::GetCounter("incremental.rows_reused");
+  tg_util::Counter& slices_repaired = tg_util::GetCounter("incremental.slices_repaired");
 };
 
 CacheMetrics& Metrics() {
   static CacheMetrics metrics;
   return metrics;
+}
+
+// A copy of `old` grown to rows x cols; the new tail rows and columns are
+// zero (sound for survivors: a row whose footprint misses every affected
+// vertex cannot reach a vertex appended by the same batch, since the first
+// edge into the new region has an affected old endpoint — DESIGN.md §10).
+BitMatrix GrownMatrix(const BitMatrix& old, size_t rows, size_t cols) {
+  BitMatrix out(rows, cols);
+  for (size_t r = 0; r < old.rows(); ++r) {
+    std::span<const uint64_t> src = old.Row(r);
+    std::span<uint64_t> dst = out.MutableRow(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+void AssignRowWords(BitMatrix& m, size_t r, std::span<const uint64_t> words) {
+  std::span<uint64_t> dst = m.MutableRow(r);
+  std::copy(words.begin(), words.end(), dst.begin());
+  std::fill(dst.begin() + words.size(), dst.end(), 0);
+}
+
+// ORs into `words` every vertex connected in the snapshot — ignoring edge
+// direction and labels — to a seed: a set bit of seed_words or a vertex id
+// at or past first_new_vertex (the batch's appended tail).  The result
+// over-approximates any walk out of the mutated region, since adjacency
+// records cover both directions and implicit edges.
+void OrConnectedRegion(const AnalysisSnapshot& snap, const std::vector<uint64_t>& seed_words,
+                       size_t first_new_vertex, std::vector<uint64_t>& words) {
+  const size_t n = snap.vertex_count();
+  std::vector<uint64_t> region((n + 63) / 64, 0);
+  std::vector<VertexId> stack;
+  auto push = [&](VertexId v) {
+    uint64_t& w = region[v >> 6];
+    const uint64_t bit = uint64_t{1} << (v & 63);
+    if ((w & bit) == 0) {
+      w |= bit;
+      stack.push_back(v);
+    }
+  };
+  for (size_t w = 0; w < seed_words.size(); ++w) {
+    uint64_t bits = seed_words[w];
+    while (bits != 0) {
+      push(static_cast<VertexId>(w * 64 + static_cast<size_t>(std::countr_zero(bits))));
+      bits &= bits - 1;
+    }
+  }
+  for (size_t v = first_new_vertex; v < n; ++v) {
+    push(static_cast<VertexId>(v));
+  }
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (const AnalysisSnapshot::AdjRecord& rec : snap.AdjacencyOf(v)) {
+      push(rec.to);
+    }
+  }
+  for (size_t w = 0; w < words.size(); ++w) {
+    words[w] |= region[w];
+  }
 }
 
 }  // namespace
@@ -31,26 +96,186 @@ AnalysisCache::AnalysisCache(size_t max_entries)
     : max_entries_(max_entries < 2 ? 2 : max_entries) {}
 
 void AnalysisCache::Invalidate() {
-  snapshot_.reset();
+  overlay_.Reset();
   reach_.clear();
   knowable_.clear();
   reach_all_.clear();
   knowable_all_.reset();
 }
 
-void AnalysisCache::Refresh(const tg::ProtectionGraph& g) {
-  if (snapshot_.has_value() && snapshot_->graph_version() == g.version()) {
-    return;
-  }
-  tg_util::TraceSpan span(tg_util::TraceKind::kCacheRebuild, g.version(), entry_count());
+void AnalysisCache::FullRebuild(const tg::ProtectionGraph& g) {
+  tg_util::TraceSpan span(tg_util::TraceKind::kCacheRebuild, g.epoch(), entry_count());
   Metrics().rebuilds.Add();
   Invalidate();
-  snapshot_.emplace(g);
+  overlay_.Sync(g);
+}
+
+void AnalysisCache::Refresh(const tg::ProtectionGraph& g) {
+  if (overlay_.has_value() && overlay_.snapshot().graph_epoch() == g.epoch()) {
+    return;
+  }
+  if (!overlay_.has_value() || !g.journal().Covers(overlay_.snapshot().graph_epoch())) {
+    FullRebuild(g);
+    return;
+  }
+  // The journal retains every record since the cached epoch: collect the
+  // batch's affected vertices (record endpoints, in pre-mutation id space)
+  // and reconcile entries against them instead of dropping everything.
+  const size_t old_n = overlay_.snapshot().vertex_count();
+  std::span<const tg::MutationRecord> records =
+      g.journal().Since(overlay_.snapshot().graph_epoch());
+  std::vector<uint64_t> affected_words((old_n + 63) / 64, 0);
+  bool grew = false;
+  for (const tg::MutationRecord& rec : records) {
+    if (rec.kind == tg::MutationKind::kAddVertex) {
+      grew = true;
+      continue;
+    }
+    for (VertexId v : {rec.src, rec.dst}) {
+      if (v < old_n) {
+        affected_words[v >> 6] |= uint64_t{1} << (v & 63);
+      }
+    }
+  }
+  overlay_.Sync(g);
+  RepairEntries(affected_words, old_n, grew);
+}
+
+void AnalysisCache::RepairEntries(const std::vector<uint64_t>& affected_words,
+                                  size_t old_vertex_count, bool grew) {
+  const AnalysisSnapshot& snap = overlay_.snapshot();
+  const size_t n = snap.vertex_count();
+  const size_t old_n = old_vertex_count;
+
+  auto dirty_hit = [&](std::span<const uint64_t> deps) {
+    const size_t limit = std::min(deps.size(), affected_words.size());
+    for (size_t w = 0; w < limit; ++w) {
+      if ((deps[w] & affected_words[w]) != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  size_t rows_kept = 0;
+  size_t slices_redone = 0;
+
+  // Single-source entries: erase the dirty ones (the next query recomputes
+  // them), keep and extend the clean ones.  An entry computed for a source
+  // id that was invalid then (all-false row, empty footprint) must not
+  // survive that id becoming valid.
+  for (auto it = reach_.begin(); it != reach_.end();) {
+    const bool source_became_valid = grew && it->first.source >= old_n &&
+                                     it->first.source < n;
+    if (source_became_valid || dirty_hit(it->second.deps)) {
+      it = reach_.erase(it);
+    } else {
+      if (n > old_n) {
+        it->second.value.resize(n, false);
+      }
+      ++rows_kept;
+      ++it;
+    }
+  }
+  for (auto it = knowable_.begin(); it != knowable_.end();) {
+    const bool source_became_valid = grew && it->first >= old_n && it->first < n;
+    if (source_became_valid || dirty_hit(it->second.deps)) {
+      it = knowable_.erase(it);
+    } else {
+      if (n > old_n) {
+        it->second.value.resize(n, false);
+      }
+      ++rows_kept;
+      ++it;
+    }
+  }
+
+  // All-pairs matrices: recompute only the dirty rows (plus rows for
+  // appended vertices), in 64-lane slices; clean rows stay in place.
+  for (auto& [key, entry] : reach_all_) {
+    std::vector<VertexId> dirty;
+    for (size_t r = 0; r < old_n; ++r) {
+      if (dirty_hit(entry.deps.Row(r))) {
+        dirty.push_back(static_cast<VertexId>(r));
+      } else {
+        ++rows_kept;
+      }
+    }
+    for (size_t r = old_n; r < n; ++r) {
+      dirty.push_back(static_cast<VertexId>(r));
+    }
+    if (n > old_n) {
+      entry.value = GrownMatrix(entry.value, n, n);
+      entry.deps = GrownMatrix(entry.deps, n, n);
+    }
+    if (dirty.empty()) {
+      continue;
+    }
+    tg::SnapshotBfsOptions options{key.use_implicit, key.min_steps};
+    BitMatrix fresh_deps;
+    BitMatrix fresh =
+        tg::SnapshotWordReachableAllTouched(snap, dirty, *key.dfa, fresh_deps, options);
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      AssignRowWords(entry.value, dirty[i], fresh.Row(i));
+      AssignRowWords(entry.deps, dirty[i], fresh_deps.Row(i));
+    }
+    slices_redone += (dirty.size() + 63) / 64;
+  }
+
+  if (knowable_all_.has_value()) {
+    MatrixEntry& entry = *knowable_all_;
+    std::vector<VertexId> dirty;
+    for (size_t r = 0; r < old_n; ++r) {
+      if (dirty_hit(entry.deps.Row(r))) {
+        dirty.push_back(static_cast<VertexId>(r));
+      } else {
+        ++rows_kept;
+      }
+    }
+    for (size_t r = old_n; r < n; ++r) {
+      dirty.push_back(static_cast<VertexId>(r));
+    }
+    if (n > old_n) {
+      entry.value = GrownMatrix(entry.value, n, n);
+      entry.deps = GrownMatrix(entry.deps, n, n);
+    }
+    if (!dirty.empty()) {
+      // Scoped repair: a dirty row's new footprint is contained in its old
+      // footprint plus the connected components of the mutated region (a
+      // walk leaving the old footprint first crosses a mutated edge, whose
+      // endpoints seed the region, and components are closed under
+      // adjacency — DESIGN.md §10).  Sweeping only that universe's
+      // subjects makes repair cost scale with the damage rather than the
+      // subject count, while staying bit-identical to a fresh build.
+      std::vector<uint64_t> universe((n + 63) / 64, 0);
+      for (VertexId r : dirty) {
+        std::span<const uint64_t> old_deps = entry.deps.Row(r);
+        for (size_t w = 0; w < universe.size(); ++w) {
+          universe[w] |= old_deps[w];
+        }
+      }
+      OrConnectedRegion(snap, affected_words, old_n, universe);
+      BitMatrix fresh_deps;
+      BitMatrix fresh = KnowableMatrixWithDepsScoped(snap, dirty, universe, fresh_deps);
+      for (size_t i = 0; i < dirty.size(); ++i) {
+        AssignRowWords(entry.value, dirty[i], fresh.Row(i));
+        AssignRowWords(entry.deps, dirty[i], fresh_deps.Row(i));
+      }
+      slices_redone += (dirty.size() + 63) / 64;
+    }
+  }
+
+  if (rows_kept > 0) {
+    Metrics().rows_reused.Add(rows_kept);
+  }
+  if (slices_redone > 0) {
+    Metrics().slices_repaired.Add(slices_redone);
+  }
 }
 
 const AnalysisSnapshot& AnalysisCache::Snapshot(const tg::ProtectionGraph& g) {
   Refresh(g);
-  return *snapshot_;
+  return overlay_.snapshot();
 }
 
 void AnalysisCache::EvictIfFull() {
@@ -126,8 +351,10 @@ const std::vector<bool>& AnalysisCache::Reachable(const tg::ProtectionGraph& g,
   EvictIfFull();
   tg::SnapshotBfsOptions options{use_implicit, min_steps};
   const VertexId sources[] = {source};
-  Entry<std::vector<bool>> entry{SnapshotWordReachable(*snapshot_, sources, dfa, options),
-                                 Touch()};
+  Entry<std::vector<bool>> entry;
+  entry.value =
+      SnapshotWordReachableTouched(overlay_.snapshot(), sources, dfa, entry.deps, options);
+  entry.last_used = Touch();
   return reach_.emplace(key, std::move(entry)).first->second.value;
 }
 
@@ -143,7 +370,9 @@ const std::vector<bool>& AnalysisCache::Knowable(const tg::ProtectionGraph& g, V
   ++misses_;
   Metrics().misses.Add();
   EvictIfFull();
-  Entry<std::vector<bool>> entry{KnowableFromSnapshot(*snapshot_, x), Touch()};
+  Entry<std::vector<bool>> entry;
+  entry.value = KnowableFromSnapshotWithDeps(overlay_.snapshot(), x, entry.deps);
+  entry.last_used = Touch();
   return knowable_.emplace(x, std::move(entry)).first->second.value;
 }
 
@@ -164,8 +393,15 @@ const tg::BitMatrix& AnalysisCache::ReachableAll(const tg::ProtectionGraph& g,
   Metrics().misses.Add();
   EvictIfFull();
   tg::SnapshotBfsOptions options{use_implicit, min_steps};
-  Entry<tg::BitMatrix> entry{tg::SnapshotWordReachableAll(*snapshot_, dfa, options, pool),
-                             Touch()};
+  const AnalysisSnapshot& snap = overlay_.snapshot();
+  std::vector<VertexId> sources(snap.vertex_count());
+  for (size_t v = 0; v < sources.size(); ++v) {
+    sources[v] = static_cast<VertexId>(v);
+  }
+  MatrixEntry entry;
+  entry.value = tg::SnapshotWordReachableAllTouched(snap, sources, dfa, entry.deps, options,
+                                                    pool);
+  entry.last_used = Touch();
   return reach_all_.emplace(key, std::move(entry)).first->second.value;
 }
 
@@ -181,11 +417,15 @@ const tg::BitMatrix& AnalysisCache::KnowableAll(const tg::ProtectionGraph& g,
   ++misses_;
   Metrics().misses.Add();
   EvictIfFull();
-  std::vector<VertexId> sources(snapshot_->vertex_count());
+  const AnalysisSnapshot& snap = overlay_.snapshot();
+  std::vector<VertexId> sources(snap.vertex_count());
   for (size_t v = 0; v < sources.size(); ++v) {
     sources[v] = static_cast<VertexId>(v);
   }
-  knowable_all_.emplace(Entry<tg::BitMatrix>{KnowableMatrix(*snapshot_, sources, pool), Touch()});
+  MatrixEntry entry;
+  entry.value = KnowableMatrixWithDeps(snap, sources, entry.deps, pool);
+  entry.last_used = Touch();
+  knowable_all_.emplace(std::move(entry));
   return knowable_all_->value;
 }
 

@@ -1,20 +1,39 @@
-// AnalysisCache: version-keyed memoization of reachability analyses.
+// AnalysisCache: epoch-keyed memoization with scoped, delta-aware
+// invalidation.
 //
 // Interactive front-ends (tgsh), the simulation monitor, and audit tools
 // ask the same can_know / reachability questions over and over between
-// graph mutations.  ProtectionGraph carries a monotonic mutation version;
-// this cache keys everything on it, so repeated queries against an
-// unchanged graph are O(1) hash lookups and the first query after any
-// mutation transparently rebuilds.
+// graph mutations.  ProtectionGraph carries a mutation epoch plus an
+// append-only MutationJournal; this cache keys everything on the epoch, so
+// repeated queries against an unchanged graph are O(1) hash lookups — and
+// after a mutation it consults the journal instead of discarding state:
 //
-// What is memoized, per graph version:
+//   * the snapshot is kept in sync by a SnapshotOverlay (only the mutated
+//     vertices' adjacency is re-derived; see src/tg/snapshot.h),
+//   * every derived entry carries the *dependency footprint* of its
+//     computation — the set of vertices its product BFS runs visited in
+//     any DFA state.  A mutation batch can only change an entry whose
+//     footprint intersects the batch's affected vertices (the endpoints
+//     of its journal records; DESIGN.md §10 has the soundness argument),
+//     so clean entries survive verbatim,
+//   * dirty rows of the all-pairs matrices are recomputed in 64-lane
+//     slices on the bit engine while clean rows are kept in place, and
+//   * only a journal gap (records trimmed past the cached epoch) forces
+//     the old drop-everything rebuild.
+//
+// Observability: survivors and repairs are counted in
+// incremental.rows_reused / incremental.slices_repaired; full rebuilds
+// keep the cache.snapshot_rebuilds counter and kCacheRebuild trace span.
+//
+// What is memoized:
 //   * the AnalysisSnapshot itself (the CSR flattening),
 //   * per-(DFA, source, use_implicit, min_steps) WordReachable bitsets,
 //   * per-source KnowableFrom rows (the Theorem 3.2 closure),
 //   * all-pairs matrices: per-(DFA, use_implicit, min_steps) reach
-//     matrices and the full knowable matrix, computed once with the
+//     matrices and the full knowable matrix, computed with the
 //     bit-parallel engine (src/tg/bitset_reach.h) and then shared by all
-//     all-pairs consumers (levels, secure, audit) until the next mutation.
+//     all-pairs consumers (levels, secure, audit) across mutations, with
+//     per-row scoped repair.
 //
 // Keys use the *address* of the DFA as its identity.  The path-language
 // DFAs (src/tg/languages.h) are process-lifetime singletons, so their
@@ -22,10 +41,11 @@
 // alive for the cache's lifetime.
 //
 // Contract: one cache serves one logical graph.  Staleness detection is by
-// version only — pair a cache with a single ProtectionGraph object (or
-// call Invalidate() when rebinding it to a different graph).  The cache is
-// not thread-safe; batch work should use src/analysis/batch.h, which
-// shares one immutable snapshot across threads instead.
+// epoch and journal only — pair a cache with a single ProtectionGraph
+// object (or call Invalidate() when rebinding it to a different graph).
+// The cache is not thread-safe; batch work should use
+// src/analysis/batch.h, which shares one immutable snapshot across
+// threads instead.
 //
 // Size bound: derived entries are capped at max_entries (constructor
 // argument, default kDefaultMaxEntries).  When an insert would exceed the
@@ -33,7 +53,7 @@
 // batch — ordering is tracked with a per-access tick, so eviction is
 // LRU-accurate while the hit path stays a hash probe plus one store.
 // Returned references are valid only until the next cache call (a miss
-// may evict).
+// may evict, a mutation may repair in place).
 
 #ifndef SRC_ANALYSIS_CACHE_H_
 #define SRC_ANALYSIS_CACHE_H_
@@ -59,7 +79,8 @@ class AnalysisCache {
   // knowable rows; the snapshot itself is not counted).  Clamped to >= 2.
   explicit AnalysisCache(size_t max_entries = kDefaultMaxEntries);
 
-  // The snapshot for g's current version (rebuilt if stale).
+  // The snapshot for g's current epoch (overlay-patched or rebuilt if
+  // stale).
   const tg::AnalysisSnapshot& Snapshot(const tg::ProtectionGraph& g);
 
   // Memoized WordReachable(g, source, dfa, {use_implicit, min_steps}).
@@ -73,7 +94,8 @@ class AnalysisCache {
   const std::vector<bool>& Knowable(const tg::ProtectionGraph& g, tg::VertexId x);
 
   // Memoized all-pairs reach matrix for the DFA (row v = WordReachable
-  // from v), computed once per graph version with the bit-parallel engine.
+  // from v), computed with the bit-parallel engine; after a mutation only
+  // the rows whose footprints intersect the affected vertices are redone.
   // An all-pairs matrix counts as one derived entry for the size bound.
   const tg::BitMatrix& ReachableAll(const tg::ProtectionGraph& g, const tg_util::Dfa& dfa,
                                     bool use_implicit = true, uint32_t min_steps = 0,
@@ -100,9 +122,20 @@ class AnalysisCache {
   }
 
  private:
+  // A memoized row plus the dependency footprint it was computed under
+  // (one bit per vertex; see the file comment).
   template <typename Value>
   struct Entry {
     Value value;
+    std::vector<uint64_t> deps;
+    uint64_t last_used = 0;
+  };
+
+  // An all-pairs matrix; deps row r is the footprint of value row r, so
+  // rows repair independently.
+  struct MatrixEntry {
+    tg::BitMatrix value;
+    tg::BitMatrix deps;
     uint64_t last_used = 0;
   };
 
@@ -140,9 +173,21 @@ class AnalysisCache {
     }
   };
 
-  // Rebuilds the snapshot and drops derived entries when g moved past the
-  // cached version.
+  // Brings the snapshot up to date with g and reconciles derived entries:
+  // scoped repair when the journal covers the cached epoch, FullRebuild
+  // otherwise.  No-op when the epochs already match.
   void Refresh(const tg::ProtectionGraph& g);
+
+  // The legacy drop-everything path (first build, journal gap, rebind).
+  void FullRebuild(const tg::ProtectionGraph& g);
+
+  // Scoped reconciliation after Sync: erases single-source entries whose
+  // footprints intersect affected_words (bits over pre-mutation vertex
+  // ids), extends and keeps the rest, and repairs dirty all-pairs rows in
+  // place.  `grew` says the batch appended vertices (entries keyed by a
+  // then-invalid source must not survive its id becoming valid).
+  void RepairEntries(const std::vector<uint64_t>& affected_words, size_t old_vertex_count,
+                     bool grew);
 
   // Batch-evicts the least-recently-used half when the cap is reached.
   void EvictIfFull();
@@ -151,11 +196,11 @@ class AnalysisCache {
 
   size_t max_entries_;
   uint64_t tick_ = 0;
-  std::optional<tg::AnalysisSnapshot> snapshot_;
+  tg::SnapshotOverlay overlay_;
   std::unordered_map<ReachKey, Entry<std::vector<bool>>, ReachKeyHash> reach_;
   std::unordered_map<tg::VertexId, Entry<std::vector<bool>>> knowable_;
-  std::unordered_map<AllKey, Entry<tg::BitMatrix>, AllKeyHash> reach_all_;
-  std::optional<Entry<tg::BitMatrix>> knowable_all_;
+  std::unordered_map<AllKey, MatrixEntry, AllKeyHash> reach_all_;
+  std::optional<MatrixEntry> knowable_all_;
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;

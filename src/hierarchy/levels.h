@@ -130,7 +130,7 @@ LevelAssignment ComputeRwLevels(const tg::ProtectionGraph& g);
 LevelAssignment ComputeRwtgLevels(const tg::ProtectionGraph& g,
                                   tg_util::ThreadPool* pool = nullptr);
 
-// Cache-aware overload: reuses the cache's snapshot and its version-keyed
+// Cache-aware overload: reuses the cache's snapshot and its epoch-keyed
 // all-pairs BOC reach matrix (shared with CheckSecure and
 // FindCrossLevelChannels), so repeated level queries between mutations do
 // no graph work at all.  Identical assignment to the other overloads.

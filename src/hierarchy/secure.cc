@@ -139,7 +139,9 @@ SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assi
     return SecurityReport{};
   }
   // The cached matrix is all-vertices (row x = knowable from x); candidate
-  // i's row is simply row candidates[i].
+  // i's row is simply row candidates[i].  Between calls the cache repairs
+  // only the rows whose footprints the intervening mutations touched, so a
+  // re-audit after a small delta reuses almost every row.
   const tg::BitMatrix& all = cache.KnowableAll(g, pool);
   return EmitViolations(
       g, assignment, candidates,

@@ -46,7 +46,7 @@ struct SecurityReport {
 SecurityReport CheckSecure(const tg::ProtectionGraph& g, const LevelAssignment& assignment,
                            size_t max_violations = 0, tg_util::ThreadPool* pool = nullptr);
 
-// Cache-aware overload: reuses the cache's snapshot and its version-keyed
+// Cache-aware overload: reuses the cache's snapshot and its epoch-keyed
 // all-pairs knowable matrix instead of rebuilding either, so an audit that
 // also computes levels and channels through the same cache does one
 // snapshot build total.  Identical report.

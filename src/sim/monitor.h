@@ -48,9 +48,10 @@ class ReferenceMonitor {
   size_t rejected_count() const { return rejected_; }
 
   // Memoized can_know / knowable-row queries against the mediated graph.
-  // The cache keys on the graph's mutation version, so allowed rules
-  // invalidate it automatically and runs of queries between rules are
-  // answered from the cache.
+  // The cache keys on the graph's mutation epoch and repairs itself from
+  // the MutationJournal, so an allowed rule invalidates only the entries
+  // whose dependency footprints its mutations touch; re-auditing after a
+  // rule reuses every unaffected row.
   bool CanKnow(tg::VertexId x, tg::VertexId y) { return cache_.CanKnow(graph(), x, y); }
   const std::vector<bool>& Knowable(tg::VertexId x) { return cache_.Knowable(graph(), x); }
   const tg_analysis::AnalysisCache& analysis_cache() const { return cache_; }

@@ -1,7 +1,9 @@
 #include "src/tg/diff.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
+#include <utility>
 
 namespace tg {
 
@@ -58,6 +60,70 @@ GraphDiff DiffGraphs(const ProtectionGraph& before, const ProtectionGraph& after
     }
     if (!lost_implicit.empty()) {
       diff.removed_implicit.push_back(EdgeDelta{src, dst, lost_implicit});
+    }
+  }
+  return diff;
+}
+
+namespace {
+
+// Net change on one ordered pair; `added` and `removed` are disjoint by
+// construction of the fold.
+struct PairNet {
+  RightSet added;
+  RightSet removed;
+};
+
+// Folds one effective delta into the pair's net: rights that cancel a
+// pending opposite-direction entry do so, the rest accumulate.
+void FoldDelta(PairNet& net, const RightSet& delta, bool is_add) {
+  RightSet& same = is_add ? net.added : net.removed;
+  RightSet& opposite = is_add ? net.removed : net.added;
+  RightSet cancelled = opposite.Intersect(delta);
+  opposite = opposite.Minus(cancelled);
+  same = same.Union(delta.Minus(cancelled));
+}
+
+}  // namespace
+
+GraphDiff DiffOfJournal(std::span<const MutationRecord> records) {
+  GraphDiff diff;
+  // Ordered maps so the emitted deltas share DiffGraphs' (src, dst) order.
+  std::map<std::pair<VertexId, VertexId>, PairNet> explicit_net;
+  std::map<std::pair<VertexId, VertexId>, PairNet> implicit_net;
+  for (const MutationRecord& rec : records) {
+    switch (rec.kind) {
+      case MutationKind::kAddVertex:
+        diff.added_vertices.push_back(rec.src);  // ids are dense, so ascending
+        break;
+      case MutationKind::kAddExplicit:
+        FoldDelta(explicit_net[{rec.src, rec.dst}], rec.delta, /*is_add=*/true);
+        break;
+      case MutationKind::kRemoveExplicit:
+        FoldDelta(explicit_net[{rec.src, rec.dst}], rec.delta, /*is_add=*/false);
+        break;
+      case MutationKind::kAddImplicit:
+        FoldDelta(implicit_net[{rec.src, rec.dst}], rec.delta, /*is_add=*/true);
+        break;
+      case MutationKind::kRemoveImplicit:
+        FoldDelta(implicit_net[{rec.src, rec.dst}], rec.delta, /*is_add=*/false);
+        break;
+    }
+  }
+  for (const auto& [pair, net] : explicit_net) {
+    if (!net.added.empty()) {
+      diff.added_explicit.push_back(EdgeDelta{pair.first, pair.second, net.added});
+    }
+    if (!net.removed.empty()) {
+      diff.removed_explicit.push_back(EdgeDelta{pair.first, pair.second, net.removed});
+    }
+  }
+  for (const auto& [pair, net] : implicit_net) {
+    if (!net.added.empty()) {
+      diff.added_implicit.push_back(EdgeDelta{pair.first, pair.second, net.added});
+    }
+    if (!net.removed.empty()) {
+      diff.removed_implicit.push_back(EdgeDelta{pair.first, pair.second, net.removed});
     }
   }
   return diff;

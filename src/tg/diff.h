@@ -9,6 +9,7 @@
 #ifndef SRC_TG_DIFF_H_
 #define SRC_TG_DIFF_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,14 @@ struct GraphDiff {
 // shared vertex ids must agree on kind (checked; mismatches are reported as
 // if the vertex were brand new, with its edges in added_*).
 GraphDiff DiffGraphs(const ProtectionGraph& before, const ProtectionGraph& after);
+
+// The diff implied by a window of journal records (e.g.
+// g.journal().Since(epoch)): equal to DiffGraphs(state at the window's
+// start, state at its end).  Exact, not approximate, because journal
+// deltas are *effective* — an AddX record's rights were absent just before
+// it, a RemoveX record's present — so a per-pair fold where a later add
+// cancels a pending remove (and vice versa) reconstructs the net change.
+GraphDiff DiffOfJournal(std::span<const MutationRecord> records);
 
 }  // namespace tg
 

@@ -3,9 +3,52 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/util/metrics.h"
+
 namespace tg {
 
 using tg_util::Status;
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kAddVertex:
+      return "add-vertex";
+    case MutationKind::kAddExplicit:
+      return "add-explicit";
+    case MutationKind::kAddImplicit:
+      return "add-implicit";
+    case MutationKind::kRemoveExplicit:
+      return "remove-explicit";
+    case MutationKind::kRemoveImplicit:
+      return "remove-implicit";
+  }
+  return "unknown";
+}
+
+std::string MutationRecord::ToString(const ProtectionGraph* g) const {
+  auto name = [g](VertexId v) -> std::string {
+    if (g != nullptr && g->IsValidVertex(v)) {
+      return g->NameOf(v);
+    }
+    return "#" + std::to_string(v);
+  };
+  std::ostringstream os;
+  os << "e" << epoch << " " << MutationKindName(kind) << " " << name(src);
+  if (kind != MutationKind::kAddVertex) {
+    os << " -> " << name(dst) << " [" << delta.ToString() << "]";
+  }
+  return os.str();
+}
+
+void ProtectionGraph::RecordMutation(MutationKind kind, VertexId src, VertexId dst,
+                                     RightSet delta) {
+  ++epoch_;
+  journal_.Append(MutationRecord{kind, epoch_, src, dst, delta});
+  if (tg_util::MetricsEnabled()) {
+    static tg_util::Counter& records = tg_util::GetCounter("incremental.journal_records");
+    records.Add();
+  }
+}
 
 VertexId ProtectionGraph::AddSubject(std::string_view name) {
   return AddVertex(VertexKind::kSubject, name);
@@ -33,7 +76,7 @@ VertexId ProtectionGraph::AddVertex(VertexKind kind, std::string_view name) {
   if (kind == VertexKind::kSubject) {
     ++subject_count_;
   }
-  ++version_;
+  RecordMutation(MutationKind::kAddVertex, id, kInvalidVertex, RightSet::Empty());
   return id;
 }
 
@@ -74,11 +117,15 @@ Status ProtectionGraph::AddExplicit(VertexId src, VertexId dst, RightSet rights)
     return Status::InvalidArgument("cannot add an empty right set");
   }
   Label& label = LabelFor(src, dst);
-  if (label.explicit_rights.empty() && !rights.empty()) {
+  RightSet added = rights.Minus(label.explicit_rights);
+  if (added.empty()) {
+    return Status::Ok();  // every right already present: epoch-stable no-op
+  }
+  if (label.explicit_rights.empty()) {
     ++explicit_edge_count_;
   }
-  label.explicit_rights = label.explicit_rights.Union(rights);
-  ++version_;
+  label.explicit_rights = label.explicit_rights.Union(added);
+  RecordMutation(MutationKind::kAddExplicit, src, dst, added);
   return Status::Ok();
 }
 
@@ -94,11 +141,15 @@ Status ProtectionGraph::AddImplicit(VertexId src, VertexId dst, RightSet rights)
         "implicit edges carry information rights only (subsets of {r,w})");
   }
   Label& label = LabelFor(src, dst);
+  RightSet added = rights.Minus(label.implicit_rights);
+  if (added.empty()) {
+    return Status::Ok();  // epoch-stable no-op
+  }
   if (label.implicit_rights.empty()) {
     ++implicit_edge_count_;
   }
-  label.implicit_rights = label.implicit_rights.Union(rights);
-  ++version_;
+  label.implicit_rights = label.implicit_rights.Union(added);
+  RecordMutation(MutationKind::kAddImplicit, src, dst, added);
   return Status::Ok();
 }
 
@@ -110,12 +161,15 @@ Status ProtectionGraph::RemoveExplicit(VertexId src, VertexId dst, RightSet righ
   if (it == labels_.end() || it->second.explicit_rights.empty()) {
     return Status::NotFound("no explicit edge between these vertices");
   }
-  RightSet before = it->second.explicit_rights;
-  it->second.explicit_rights = before.Minus(rights);
-  if (!before.empty() && it->second.explicit_rights.empty()) {
+  RightSet removed = it->second.explicit_rights.Intersect(rights);
+  if (removed.empty()) {
+    return Status::Ok();  // none of the rights present: epoch-stable no-op
+  }
+  it->second.explicit_rights = it->second.explicit_rights.Minus(removed);
+  if (it->second.explicit_rights.empty()) {
     --explicit_edge_count_;
   }
-  ++version_;
+  RecordMutation(MutationKind::kRemoveExplicit, src, dst, removed);
   return Status::Ok();
 }
 
@@ -127,21 +181,37 @@ Status ProtectionGraph::RemoveImplicit(VertexId src, VertexId dst, RightSet righ
   if (it == labels_.end() || it->second.implicit_rights.empty()) {
     return Status::NotFound("no implicit edge between these vertices");
   }
-  RightSet before = it->second.implicit_rights;
-  it->second.implicit_rights = before.Minus(rights);
-  if (!before.empty() && it->second.implicit_rights.empty()) {
+  RightSet removed = it->second.implicit_rights.Intersect(rights);
+  if (removed.empty()) {
+    return Status::Ok();  // epoch-stable no-op
+  }
+  it->second.implicit_rights = it->second.implicit_rights.Minus(removed);
+  if (it->second.implicit_rights.empty()) {
     --implicit_edge_count_;
   }
-  ++version_;
+  RecordMutation(MutationKind::kRemoveImplicit, src, dst, removed);
   return Status::Ok();
 }
 
 void ProtectionGraph::ClearImplicit() {
-  for (auto& [key, label] : labels_) {
-    label.implicit_rights = RightSet::Empty();
+  if (implicit_edge_count_ == 0) {
+    return;  // nothing derived to clear: epoch-stable no-op
   }
-  implicit_edge_count_ = 0;
-  ++version_;
+  // Journal one remove-implicit record per cleared pair, in deterministic
+  // (src ascending, out-adjacency) order, so replay consumers (overlays,
+  // diffs) see exact per-pair deltas rather than an opaque "cleared" marker.
+  for (VertexId src = 0; src < vertices_.size(); ++src) {
+    for (VertexId dst : out_adj_[src]) {
+      auto it = labels_.find(PairKey(src, dst));
+      if (it == labels_.end() || it->second.implicit_rights.empty()) {
+        continue;
+      }
+      RightSet removed = it->second.implicit_rights;
+      it->second.implicit_rights = RightSet::Empty();
+      --implicit_edge_count_;
+      RecordMutation(MutationKind::kRemoveImplicit, src, dst, removed);
+    }
+  }
 }
 
 RightSet ProtectionGraph::ExplicitRights(VertexId src, VertexId dst) const {

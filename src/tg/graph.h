@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -34,6 +35,90 @@
 #include "src/util/status.h"
 
 namespace tg {
+
+class ProtectionGraph;
+
+// ---- Mutation journal ----
+//
+// Every *effective* mutation of a ProtectionGraph advances its epoch by one
+// and appends exactly one MutationRecord, so record k (0-based) in the
+// journal carries epoch base_epoch() + k + 1.  Consumers that held results
+// for an older epoch replay Since(old_epoch) to learn precisely which
+// vertices a batch of mutations could have perturbed, instead of treating
+// the whole graph as dirty (see src/tg/snapshot.h and src/analysis/cache.h).
+
+enum class MutationKind : uint8_t {
+  kAddVertex,       // src = the new vertex id; dst invalid, delta empty
+  kAddExplicit,     // delta = rights actually added to src -> dst
+  kAddImplicit,     // delta = rights actually added to the implicit label
+  kRemoveExplicit,  // delta = rights actually removed from src -> dst
+  kRemoveImplicit,  // delta = rights actually removed (ClearImplicit emits
+                    // one such record per cleared pair, in deterministic
+                    // (src ascending, out-adjacency) order)
+};
+
+const char* MutationKindName(MutationKind kind);
+
+struct MutationRecord {
+  MutationKind kind = MutationKind::kAddVertex;
+  uint64_t epoch = 0;  // graph epoch after this record applied
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+  RightSet delta;
+
+  friend bool operator==(const MutationRecord& a, const MutationRecord& b) = default;
+
+  // One-line rendering, e.g. "e12 +explicit alice -> doc [rw]"; vertex names
+  // come from `g` when given, raw ids otherwise.
+  std::string ToString(const ProtectionGraph* g = nullptr) const;
+};
+
+// Append-only log of effective mutations, owned by a ProtectionGraph and
+// copied with it.  Retention is bounded: past kMaxRetained records the
+// oldest half is dropped and base_epoch() advances, after which Covers()
+// turns false for epochs older than the cut and consumers fall back to a
+// full rebuild.
+class MutationJournal {
+ public:
+  static constexpr size_t kMaxRetained = size_t{1} << 16;
+
+  // The epoch just before the oldest retained record; Since(e) is
+  // answerable exactly when Covers(e).
+  uint64_t base_epoch() const { return base_epoch_; }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const std::vector<MutationRecord>& records() const { return records_; }
+
+  bool Covers(uint64_t since_epoch) const { return since_epoch >= base_epoch_; }
+
+  // Records strictly after since_epoch, oldest first.  Requires
+  // Covers(since_epoch) and since_epoch <= base_epoch() + size().
+  std::span<const MutationRecord> Since(uint64_t since_epoch) const {
+    size_t skip = static_cast<size_t>(since_epoch - base_epoch_);
+    return {records_.data() + skip, records_.size() - skip};
+  }
+
+  // The most recent n records (all of them when n >= size), oldest first.
+  std::span<const MutationRecord> LastN(size_t n) const {
+    size_t count = n < records_.size() ? n : records_.size();
+    return {records_.data() + (records_.size() - count), count};
+  }
+
+ private:
+  friend class ProtectionGraph;
+
+  void Append(MutationRecord rec) {
+    if (records_.size() >= kMaxRetained) {
+      size_t drop = records_.size() / 2;
+      records_.erase(records_.begin(), records_.begin() + drop);
+      base_epoch_ += drop;
+    }
+    records_.push_back(rec);
+  }
+
+  uint64_t base_epoch_ = 0;
+  std::vector<MutationRecord> records_;
+};
 
 class ProtectionGraph {
  public:
@@ -60,13 +145,18 @@ class ProtectionGraph {
 
   size_t SubjectCount() const { return subject_count_; }
 
-  // Monotonic mutation counter: bumped by every successful mutating
-  // operation (vertex addition, label add/remove, ClearImplicit), including
-  // ones that happen to leave the labels unchanged (re-adding a present
-  // right).  Snapshots and analysis caches key on it to detect staleness
-  // without diffing the graph.  Copies carry the source's version and
+  // Mutation epoch: advanced by one for every *effective* mutation — an
+  // operation that changes the vertex set or some label.  No-op mutations
+  // (re-adding a present right, removing an absent one, clearing implicit
+  // labels when none exist) leave the epoch untouched, so snapshots and
+  // caches keyed on it survive them.  Every epoch step appends exactly one
+  // record to journal(), letting delta-aware consumers replay what changed
+  // instead of rebuilding.  Copies carry the source's epoch and journal and
   // advance independently from there.
-  uint64_t version() const { return version_; }
+  uint64_t epoch() const { return epoch_; }
+
+  // The append-only log of effective mutations (see MutationJournal).
+  const MutationJournal& journal() const { return journal_; }
 
   // ---- Edges ----
 
@@ -80,7 +170,8 @@ class ProtectionGraph {
   tg_util::Status AddImplicit(VertexId src, VertexId dst, RightSet rights);
 
   // Removes rights from the explicit label (the "remove" de jure rule's
-  // mutation).  Removing rights not present is allowed (no-op for those).
+  // mutation).  Removing rights not present is allowed (no-op for those,
+  // and epoch-stable when nothing was present at all).
   tg_util::Status RemoveExplicit(VertexId src, VertexId dst, RightSet rights);
 
   // Removes rights from the implicit label (used by witness replay /
@@ -206,6 +297,10 @@ class ProtectionGraph {
 
   tg_util::Status CheckEndpoints(VertexId src, VertexId dst) const;
 
+  // Advances the epoch and appends the matching journal record.  Called
+  // only for effective mutations.
+  void RecordMutation(MutationKind kind, VertexId src, VertexId dst, RightSet delta);
+
   std::vector<Vertex> vertices_;
   std::unordered_map<std::string, VertexId> name_index_;
   size_t subject_count_ = 0;
@@ -217,7 +312,8 @@ class ProtectionGraph {
 
   size_t explicit_edge_count_ = 0;
   size_t implicit_edge_count_ = 0;
-  uint64_t version_ = 0;
+  uint64_t epoch_ = 0;
+  MutationJournal journal_;
 };
 
 }  // namespace tg

@@ -1,9 +1,31 @@
 #include "src/tg/snapshot.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "src/util/metrics.h"
 #include "src/util/trace.h"
 
 namespace tg {
+
+namespace {
+
+// The constructor's record-retention filter, shared with PatchVertex so a
+// patched vertex drops exactly the records a rebuild would drop.
+bool RetainedPair(const ProtectionGraph& g, VertexId u, VertexId v) {
+  return !g.TotalRights(u, v).empty() || !g.TotalRights(v, u).empty();
+}
+
+void FillRecord(const ProtectionGraph& g, VertexId v, VertexId u,
+                AnalysisSnapshot::AdjRecord& rec) {
+  rec.to = u;
+  rec.fwd_explicit = g.ExplicitRights(v, u);
+  rec.fwd_total = g.TotalRights(v, u);
+  rec.back_explicit = g.ExplicitRights(u, v);
+  rec.back_total = g.TotalRights(u, v);
+}
+
+}  // namespace
 
 namespace internal {
 
@@ -31,7 +53,8 @@ void RecordBfsRun(uint64_t start_ns, uint64_t visits, uint64_t edge_scans) {
 }  // namespace internal
 
 AnalysisSnapshot::AnalysisSnapshot(const ProtectionGraph& g)
-    : vertex_count_(g.VertexCount()), graph_version_(g.version()) {
+    : vertex_count_(g.VertexCount()), graph_epoch_(g.epoch()),
+      base_vertex_count_(g.VertexCount()) {
   tg_util::TraceSpan span(tg_util::TraceKind::kSnapshotBuild);
   static tg_util::Counter& builds = tg_util::GetCounter("snapshot.builds");
   static tg_util::Histogram& build_ns = tg_util::GetHistogram("snapshot.build_ns");
@@ -49,12 +72,9 @@ AnalysisSnapshot::AnalysisSnapshot(const ProtectionGraph& g)
   // empty in both directions carry no symbols and are dropped; dropping
   // them cannot change BFS behavior, only skip guaranteed no-ops).
   std::vector<uint32_t> counts(vertex_count_, 0);
-  auto retained = [&g](VertexId u, VertexId v) {
-    return !g.TotalRights(u, v).empty() || !g.TotalRights(v, u).empty();
-  };
   for (VertexId v = 0; v < vertex_count_; ++v) {
     g.ForEachNeighbor(v, [&](VertexId u) {
-      if (retained(v, u)) {
+      if (RetainedPair(g, v, u)) {
         ++counts[v];
       }
     });
@@ -68,20 +88,129 @@ AnalysisSnapshot::AnalysisSnapshot(const ProtectionGraph& g)
   std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (VertexId v = 0; v < vertex_count_; ++v) {
     g.ForEachNeighbor(v, [&](VertexId u) {
-      if (!retained(v, u)) {
+      if (!RetainedPair(g, v, u)) {
         return;
       }
-      AdjRecord& rec = adj_[cursor[v]++];
-      rec.to = u;
-      rec.fwd_explicit = g.ExplicitRights(v, u);
-      rec.fwd_total = g.TotalRights(v, u);
-      rec.back_explicit = g.ExplicitRights(u, v);
-      rec.back_total = g.TotalRights(u, v);
+      FillRecord(g, v, u, adj_[cursor[v]++]);
     });
   }
 
   builds.Add();
   span.set_args(vertex_count_, adj_.size());
+}
+
+void AnalysisSnapshot::PatchVertex(const ProtectionGraph& g, VertexId v) {
+  std::vector<AdjRecord> records;
+  g.ForEachNeighbor(v, [&](VertexId u) {
+    if (!RetainedPair(g, v, u)) {
+      return;
+    }
+    AdjRecord rec;
+    FillRecord(g, v, u, rec);
+    records.push_back(rec);
+  });
+  if (override_slot_.empty()) {
+    override_slot_.assign(vertex_count_, -1);
+  }
+  int32_t slot = override_slot_[v];
+  if (slot < 0) {
+    slot = static_cast<int32_t>(overrides_.size());
+    overrides_.emplace_back();
+    override_slot_[v] = slot;
+  }
+  overrides_[slot] = std::move(records);
+}
+
+void AnalysisSnapshot::AppendVertex(const ProtectionGraph& g, VertexId v) {
+  // v == vertex_count_ by the journal's construction: AddVertex records
+  // replay in epoch order and ids are dense.
+  vertex_count_ = static_cast<size_t>(v) + 1;
+  if (subject_bits_.size() < (vertex_count_ + 63) / 64) {
+    subject_bits_.push_back(0);
+  }
+  if (g.IsSubject(v)) {
+    subject_bits_[v >> 6] |= uint64_t{1} << (v & 63);
+    subjects_.push_back(v);  // ids append in ascending order
+  }
+  if (!override_slot_.empty()) {
+    override_slot_.push_back(-1);
+  }
+}
+
+SnapshotOverlay::SnapshotOverlay(size_t max_patched)
+    : max_patched_(max_patched == 0 ? DefaultMaxPatched() : max_patched) {}
+
+size_t SnapshotOverlay::DefaultMaxPatched() {
+  static const size_t resolved = [] {
+    if (const char* env = std::getenv("TG_OVERLAY_MAX")) {
+      char* end = nullptr;
+      unsigned long value = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && value > 0) {
+        return static_cast<size_t>(value);
+      }
+    }
+    return kDefaultMaxPatched;
+  }();
+  return resolved;
+}
+
+SnapshotOverlay::SyncResult SnapshotOverlay::Sync(const ProtectionGraph& g) {
+  SyncResult result;
+  if (snap_.has_value() && snap_->graph_epoch() == g.epoch()) {
+    return result;
+  }
+  static tg_util::Counter& patches = tg_util::GetCounter("incremental.overlay_patches");
+  static tg_util::Counter& compactions = tg_util::GetCounter("incremental.compactions");
+  if (!snap_.has_value() || !g.journal().Covers(snap_->graph_epoch())) {
+    snap_.emplace(g);
+    result.changed = result.rebuilt = true;
+    return result;
+  }
+
+  std::span<const MutationRecord> records = g.journal().Since(snap_->graph_epoch());
+  std::vector<VertexId> affected;
+  for (const MutationRecord& rec : records) {
+    if (rec.kind == MutationKind::kAddVertex) {
+      continue;  // handled by AppendVertex below; no adjacency to patch
+    }
+    affected.push_back(rec.src);
+    affected.push_back(rec.dst);
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+  // Compaction policy: patching must not create more override slots than
+  // max_patched_; past that the overlay has lost its sparseness and a dense
+  // rebuild is both faster to query and cheaper than another patch round.
+  size_t new_slots = 0;
+  for (VertexId v : affected) {
+    if (snap_->override_slot_.empty() || v >= snap_->override_slot_.size() ||
+        snap_->override_slot_[v] < 0) {
+      ++new_slots;
+    }
+  }
+  if (snap_->patched_vertex_count() + new_slots > max_patched_) {
+    snap_.emplace(g);
+    compactions.Add();
+    result.changed = result.rebuilt = result.compacted = true;
+    return result;
+  }
+
+  tg_util::TraceSpan span(tg_util::TraceKind::kOverlayPatch, records.size(),
+                          affected.size());
+  for (const MutationRecord& rec : records) {
+    if (rec.kind == MutationKind::kAddVertex) {
+      snap_->AppendVertex(g, rec.src);
+    }
+  }
+  for (VertexId v : affected) {
+    snap_->PatchVertex(g, v);
+  }
+  snap_->graph_epoch_ = g.epoch();
+  patches.Add(affected.size());
+  result.changed = true;
+  result.patched_vertices = affected.size();
+  return result;
 }
 
 }  // namespace tg

@@ -23,6 +23,8 @@ const char* TraceKindName(TraceKind kind) {
       return "batch_rows";
     case TraceKind::kBitReach:
       return "bit_reach";
+    case TraceKind::kOverlayPatch:
+      return "overlay";
   }
   return "unknown";
 }

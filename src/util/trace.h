@@ -30,9 +30,10 @@ enum class TraceKind : uint8_t {
   kDeFactoSaturate,  // arg0 = rounds, arg1 = rules applied
   kRuleApply,        // arg0 = rule kind, arg1 = 1 applied / 0 refused
   kMonitorDecision,  // arg0 = audit outcome, arg1 = audit sequence number
-  kCacheRebuild,     // arg0 = graph version, arg1 = entries dropped
+  kCacheRebuild,     // arg0 = graph epoch, arg1 = entries dropped
   kBatchRows,        // arg0 = source count, arg1 = pool thread count
   kBitReach,         // arg0 = source lanes in the slice, arg1 = word OR relaxations
+  kOverlayPatch,     // arg0 = journal records replayed, arg1 = vertices patched
 };
 
 const char* TraceKindName(TraceKind kind);

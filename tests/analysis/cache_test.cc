@@ -14,13 +14,13 @@ namespace {
 using tg::ProtectionGraph;
 using tg::VertexId;
 
-TEST(GraphVersionTest, EveryMutatorBumpsTheVersion) {
+TEST(GraphEpochTest, EveryEffectiveMutatorBumpsTheEpoch) {
   ProtectionGraph g;
-  uint64_t v = g.version();
+  uint64_t e = g.epoch();
   auto bumped = [&] {
-    uint64_t now = g.version();
-    bool changed = now > v;
-    v = now;
+    uint64_t now = g.epoch();
+    bool changed = now > e;
+    e = now;
     return changed;
   };
 
@@ -36,13 +36,87 @@ TEST(GraphVersionTest, EveryMutatorBumpsTheVersion) {
   EXPECT_TRUE(bumped()) << "RemoveExplicit";
   ASSERT_TRUE(g.RemoveImplicit(a, b, tg::kRead).ok());
   EXPECT_TRUE(bumped()) << "RemoveImplicit";
-  g.ClearImplicit();
+  ASSERT_TRUE(g.AddImplicit(a, b, tg::kRead).ok());
+  EXPECT_TRUE(bumped()) << "AddImplicit (again)";
+  g.ClearImplicit();  // one implicit edge present: effective
   EXPECT_TRUE(bumped()) << "ClearImplicit";
 
-  // Read-only accessors leave the version alone.
+  // Read-only accessors leave the epoch alone.
   (void)g.IsSubject(a);
   (void)g.HasExplicit(a, b, tg::Right::kTake);
-  EXPECT_EQ(g.version(), v);
+  EXPECT_EQ(g.epoch(), e);
+
+  // Every effective mutation appended exactly one journal record, and the
+  // journal's epoch arithmetic lines up with the graph's.
+  EXPECT_EQ(g.journal().base_epoch() + g.journal().size(), g.epoch());
+  EXPECT_TRUE(g.journal().Covers(0));
+  EXPECT_EQ(g.journal().Since(0).size(), g.journal().size());
+}
+
+// The ISSUE-4 regression: no-op mutations (removing an absent right,
+// re-adding rights already in the label, clearing zero implicit edges)
+// must be epoch-stable — and therefore must not invalidate any cache
+// entry.
+TEST(GraphEpochTest, NoOpMutationsAreEpochStable) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTakeGrant).ok());
+  const uint64_t e = g.epoch();
+  const size_t records = g.journal().size();
+
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTake).ok());  // subset of the label
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kTakeGrant).ok());
+  ASSERT_TRUE(g.RemoveExplicit(a, b, tg::kRead).ok());   // absent right
+  EXPECT_FALSE(g.RemoveImplicit(a, b, tg::kRead).ok());  // no implicit edge: NotFound
+  g.ClearImplicit();  // no implicit edges at all
+  EXPECT_EQ(g.epoch(), e);
+  EXPECT_EQ(g.journal().size(), records);
+
+  // A partially-effective mutation journals only the effective part.
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kRead.Union(tg::kTake)).ok());
+  EXPECT_EQ(g.epoch(), e + 1);
+  ASSERT_EQ(g.journal().size(), records + 1);
+  EXPECT_EQ(g.journal().records().back().delta, tg::kRead);
+}
+
+TEST(AnalysisCacheTest, NoOpMutationsDoNotInvalidate) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kRead).ok());
+  AnalysisCache cache;
+  EXPECT_TRUE(cache.CanKnow(g, a, b));
+  const size_t misses = cache.misses();
+  // No-op mutations leave the epoch alone, so these are all pure hits.
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kRead).ok());
+  ASSERT_TRUE(g.RemoveExplicit(a, b, tg::kWrite).ok());
+  g.ClearImplicit();
+  EXPECT_TRUE(cache.CanKnow(g, a, b));
+  EXPECT_EQ(cache.misses(), misses);
+}
+
+// Scoped invalidation: a mutation in one component must not recompute
+// entries whose dependency footprints live entirely in another.
+TEST(AnalysisCacheTest, MutationInOtherComponentKeepsEntries) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  VertexId c = g.AddSubject("c");
+  VertexId d = g.AddObject("d");
+  ASSERT_TRUE(g.AddExplicit(a, b, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(c, d, tg::kRead).ok());
+  AnalysisCache cache;
+  EXPECT_TRUE(cache.CanKnow(g, a, b));
+  const size_t misses = cache.misses();
+  // Mutating the {c, d} component cannot touch a's footprint {a, b}.
+  ASSERT_TRUE(g.AddExplicit(c, d, tg::kWrite).ok());
+  EXPECT_TRUE(cache.CanKnow(g, a, b));
+  EXPECT_EQ(cache.misses(), misses) << "entry for a should have survived";
+  // Mutating a's own component does invalidate it.
+  ASSERT_TRUE(g.RemoveExplicit(a, b, tg::kRead).ok());
+  EXPECT_FALSE(cache.CanKnow(g, a, b));
+  EXPECT_GT(cache.misses(), misses);
 }
 
 TEST(AnalysisCacheTest, RepeatQueriesHitAndMutationsInvalidate) {
@@ -118,15 +192,15 @@ TEST(AnalysisCacheTest, ReachableMemoizesPerDfaAndSource) {
             WordReachable(g, b, tg::BridgeDfa(), options));
 }
 
-TEST(AnalysisCacheTest, SnapshotTracksVersionAndInvalidateResets) {
+TEST(AnalysisCacheTest, SnapshotTracksEpochAndInvalidateResets) {
   ProtectionGraph g;
   VertexId a = g.AddSubject("a");
   AnalysisCache cache;
-  EXPECT_EQ(cache.Snapshot(g).graph_version(), g.version());
+  EXPECT_EQ(cache.Snapshot(g).graph_epoch(), g.epoch());
   EXPECT_EQ(cache.Snapshot(g).vertex_count(), 1u);
   g.AddObject("b");
-  // Stale snapshot is rebuilt on the next access.
-  EXPECT_EQ(cache.Snapshot(g).graph_version(), g.version());
+  // Stale snapshot is patched up to date on the next access.
+  EXPECT_EQ(cache.Snapshot(g).graph_epoch(), g.epoch());
   EXPECT_EQ(cache.Snapshot(g).vertex_count(), 2u);
   // Invalidate drops everything but the cache still answers correctly.
   (void)cache.Knowable(g, a);

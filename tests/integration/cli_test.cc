@@ -127,6 +127,50 @@ TEST(TgshCliTest, StatsResetZeroesAndTraceListsSpans) {
   EXPECT_NE(out.find("cache.misses 0"), std::string::npos) << out;
 }
 
+TEST(TgshCliTest, JournalListsMutationRecords) {
+  // Three effective mutations plus one no-op: the journal shows the
+  // effective records (with per-record epochs and resolved names) and the
+  // no-op re-add leaves the epoch untouched.
+  std::string script =
+      "subject a\n"
+      "object b\n"
+      "edge a b r\n"
+      "edge a b r\n"
+      "journal\n"
+      "journal 2\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_NE(out.find("epoch 3, 3 record(s) retained since epoch 0"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("e1 add-vertex a"), std::string::npos) << out;
+  EXPECT_NE(out.find("e2 add-vertex b"), std::string::npos) << out;
+  EXPECT_NE(out.find("e3 add-explicit a -> b [r]"), std::string::npos) << out;
+  // journal 2 truncates to the last two records, dropping the first.
+  size_t second = out.find("epoch 3, 3 record(s)", out.find("epoch 3, 3 record(s)") + 1);
+  ASSERT_NE(second, std::string::npos) << out;
+  EXPECT_EQ(out.find("e1 add-vertex a", second), std::string::npos) << out;
+  EXPECT_NE(out.find("e3 add-explicit a -> b [r]", second), std::string::npos) << out;
+}
+
+TEST(TgshCliTest, StatsReportsIncrementalCounters) {
+  // A know query builds the snapshot; the edge mutation afterwards is
+  // patched through the overlay, so the incremental counters must be live.
+  std::string script =
+      "subject a\n"
+      "subject b\n"
+      "subject c\n"
+      "edge a b r\n"
+      "know a b\n"
+      "edge b c r\n"
+      "know a b\n"
+      "stats\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_EQ(out.find("incremental.journal_records 0"), std::string::npos) << out;
+  EXPECT_NE(out.find("incremental.journal_records"), std::string::npos) << out;
+  EXPECT_NE(out.find("incremental.overlay_patches"), std::string::npos) << out;
+}
+
 TEST(AuditToolCliTest, AnalyzesCorpusGraph) {
   std::string out = RunCommand(std::string(TG_AUDIT_TOOL_PATH) + " " + TG_CORPUS_DIR +
                         "/fig22_terms.tgg");

@@ -111,6 +111,69 @@ TEST(RuleFuzzTest, RandomRuleSequencesKeepValidity) {
   }
 }
 
+// ---- incremental oracle: cached queries vs fresh-graph analysis ----
+
+// Interleaves rule applications with can_know / can_share queries.  The
+// long-lived AnalysisCache answers through the delta-aware pipeline
+// (journal -> overlay patch -> scoped entry repair); every answer is
+// cross-checked against a from-scratch analysis of the current graph, and
+// the mutated-in-place graph itself is cross-checked against its
+// serialized rebuild so incremental state cannot drift from the ground
+// truth.
+TEST(IncrementalOracleFuzzTest, CachedQueriesMatchFreshAnalysisAcrossRules) {
+  tg_util::Prng prng(90210);
+  for (int round = 0; round < 4; ++round) {
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 5;
+    options.objects = 3;
+    options.edge_factor = 1.6;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    tg::RuleEngine engine(g, nullptr);
+    tg_analysis::AnalysisCache cache;
+    int applied = 0;
+    for (int step = 0; step < 60; ++step) {
+      const ProtectionGraph& cur = engine.graph();
+      if (prng.NextBool(0.5)) {
+        std::vector<tg::RuleApplication> rules = EnumerateDeJure(cur);
+        std::vector<tg::RuleApplication> de_facto = EnumerateDeFacto(cur);
+        rules.insert(rules.end(), de_facto.begin(), de_facto.end());
+        if (!rules.empty()) {
+          size_t pick = static_cast<size_t>(prng.NextBelow(rules.size()));
+          ASSERT_TRUE(engine.Apply(rules[pick]).ok());
+          ++applied;
+        }
+        continue;
+      }
+      VertexId x = static_cast<VertexId>(prng.NextBelow(cur.VertexCount()));
+      VertexId y = static_cast<VertexId>(prng.NextBelow(cur.VertexCount()));
+      EXPECT_EQ(cache.CanKnow(cur, x, y), tg_analysis::CanKnow(cur, x, y))
+          << "round " << round << " step " << step << " x=" << x << " y=" << y;
+      EXPECT_EQ(cache.Knowable(cur, x), tg_analysis::KnowableFrom(cur, x))
+          << "round " << round << " step " << step << " x=" << x;
+      // can_share runs snapshot-free of the cache; checking it against the
+      // reparsed graph verifies the mutated-in-place state it reads.
+      auto reparsed = tg::ParseGraph(tg::PrintGraph(cur));
+      ASSERT_TRUE(reparsed.ok());
+      EXPECT_EQ(tg_analysis::CanShare(cur, Right::kRead, x, y),
+                tg_analysis::CanShare(*reparsed, Right::kRead, x, y))
+          << "round " << round << " step " << step << " x=" << x << " y=" << y;
+    }
+    EXPECT_GT(applied, 0) << "round " << round;
+    // The journal window over the whole run must reconcile with the net
+    // state change the rules produced.
+    ASSERT_TRUE(engine.graph().journal().Covers(g.epoch()));
+    tg::GraphDiff from_journal = tg::DiffOfJournal(engine.graph().journal().Since(g.epoch()));
+    tg::GraphDiff from_graphs = tg::DiffGraphs(g, engine.graph());
+    EXPECT_EQ(from_journal.added_vertices, from_graphs.added_vertices) << "round " << round;
+    EXPECT_EQ(from_journal.added_explicit, from_graphs.added_explicit) << "round " << round;
+    EXPECT_EQ(from_journal.removed_explicit, from_graphs.removed_explicit)
+        << "round " << round;
+    EXPECT_EQ(from_journal.added_implicit, from_graphs.added_implicit) << "round " << round;
+    EXPECT_EQ(from_journal.removed_implicit, from_graphs.removed_implicit)
+        << "round " << round;
+  }
+}
+
 // ---- language acceptors vs reference matchers ----
 
 // Straightforward reference implementations of the word languages.

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "src/analysis/oracle.h"
+#include "src/sim/generator.h"
 #include "src/tg/rules.h"
+#include "src/util/prng.h"
 
 namespace tg {
 namespace {
@@ -85,6 +87,102 @@ TEST(DiffTest, SaturationDiffIsAllImplicit) {
   EXPECT_TRUE(diff.added_explicit.empty());
   EXPECT_TRUE(diff.added_vertices.empty());
   EXPECT_FALSE(diff.added_implicit.empty());
+}
+
+// DiffOfJournal reconciliation: replaying a journal window must produce
+// the exact diff between the window's endpoint states.
+void ExpectDiffsEqual(const GraphDiff& got, const GraphDiff& want, const char* context) {
+  EXPECT_EQ(got.added_vertices, want.added_vertices) << context;
+  EXPECT_EQ(got.added_explicit, want.added_explicit) << context;
+  EXPECT_EQ(got.removed_explicit, want.removed_explicit) << context;
+  EXPECT_EQ(got.added_implicit, want.added_implicit) << context;
+  EXPECT_EQ(got.removed_implicit, want.removed_implicit) << context;
+}
+
+TEST(DiffTest, JournalDiffMatchesGraphDiff) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  ASSERT_TRUE(g.AddExplicit(a, b, kRead).ok());
+  ProtectionGraph before = g;
+  uint64_t epoch = g.epoch();
+
+  ASSERT_TRUE(g.AddExplicit(a, b, kWrite).ok());
+  VertexId c = g.AddSubject("c");
+  ASSERT_TRUE(g.AddExplicit(c, b, kTakeGrant).ok());
+  ASSERT_TRUE(g.RemoveExplicit(a, b, kRead).ok());
+  ASSERT_TRUE(g.AddImplicit(c, a, kRead).ok());
+
+  ASSERT_TRUE(g.journal().Covers(epoch));
+  ExpectDiffsEqual(DiffOfJournal(g.journal().Since(epoch)), DiffGraphs(before, g), "basic");
+}
+
+TEST(DiffTest, JournalDiffCancelsOppositeMutations) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");
+  ProtectionGraph before = g;
+  uint64_t epoch = g.epoch();
+
+  // Add then fully remove: the window nets to nothing on that pair.
+  ASSERT_TRUE(g.AddExplicit(a, b, kReadWrite).ok());
+  ASSERT_TRUE(g.RemoveExplicit(a, b, kReadWrite).ok());
+  // Add, partially remove, re-add: nets to the add.
+  ASSERT_TRUE(g.AddExplicit(b, a, kTakeGrant).ok());
+  ASSERT_TRUE(g.RemoveExplicit(b, a, kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(b, a, kTake).ok());
+
+  GraphDiff diff = DiffOfJournal(g.journal().Since(epoch));
+  ExpectDiffsEqual(diff, DiffGraphs(before, g), "cancellation");
+  ASSERT_EQ(diff.added_explicit.size(), 1u);
+  EXPECT_EQ(diff.added_explicit[0], (EdgeDelta{b, a, kTakeGrant}));
+  EXPECT_TRUE(diff.removed_explicit.empty());
+}
+
+TEST(DiffTest, JournalDiffMatchesGraphDiffOnRandomMutationSequences) {
+  const RightSet kCandidates[] = {kRead, kWrite, kTake, kGrant, kReadWrite, kTakeGrant};
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    tg_util::Prng prng(seed);
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 6;
+    options.objects = 4;
+    options.edge_factor = 1.5;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    ProtectionGraph before = g;
+    uint64_t epoch = g.epoch();
+    for (int step = 0; step < 30; ++step) {
+      uint64_t op = prng.NextBelow(12);
+      if (op == 0) {
+        (void)(prng.NextBelow(2) ? g.AddSubject() : g.AddObject());
+        continue;
+      }
+      VertexId src = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+      VertexId dst = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+      if (src == dst) {
+        continue;
+      }
+      RightSet rights = kCandidates[prng.NextBelow(std::size(kCandidates))];
+      RightSet info = rights.Intersect(kReadWrite).empty() ? kRead
+                                                           : rights.Intersect(kReadWrite);
+      switch (op % 4) {
+        case 0:
+          ASSERT_TRUE(g.AddExplicit(src, dst, rights).ok());
+          break;
+        case 1:
+          (void)g.RemoveExplicit(src, dst, rights);  // NotFound on missing edges is fine
+          break;
+        case 2:
+          ASSERT_TRUE(g.AddImplicit(src, dst, info).ok());
+          break;
+        case 3:
+          (void)g.RemoveImplicit(src, dst, info);
+          break;
+      }
+    }
+    ASSERT_TRUE(g.journal().Covers(epoch));
+    ExpectDiffsEqual(DiffOfJournal(g.journal().Since(epoch)), DiffGraphs(before, g),
+                     ("seed " + std::to_string(seed)).c_str());
+  }
 }
 
 TEST(DiffTest, RenderingShowsDirectionsAndRights) {

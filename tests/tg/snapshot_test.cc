@@ -17,7 +17,7 @@ TEST(AnalysisSnapshotTest, MirrorsVertexAndSubjectStructure) {
   VertexId c = g.AddSubject("c");
   AnalysisSnapshot snap(g);
   EXPECT_EQ(snap.vertex_count(), 3u);
-  EXPECT_EQ(snap.graph_version(), g.version());
+  EXPECT_EQ(snap.graph_epoch(), g.epoch());
   EXPECT_TRUE(snap.IsSubject(a));
   EXPECT_FALSE(snap.IsSubject(b));
   EXPECT_TRUE(snap.IsSubject(c));
@@ -55,12 +55,12 @@ TEST(AnalysisSnapshotTest, SnapshotIsImmutableAfterGraphMutation) {
   VertexId a = g.AddSubject("a");
   VertexId b = g.AddSubject("b");
   AnalysisSnapshot snap(g);
-  uint64_t version = snap.graph_version();
+  uint64_t epoch = snap.graph_epoch();
   ASSERT_TRUE(g.AddExplicit(a, b, kTakeGrant).ok());
   g.AddObject("c");
   EXPECT_EQ(snap.vertex_count(), 2u);
-  EXPECT_EQ(snap.graph_version(), version);
-  EXPECT_NE(g.version(), version);
+  EXPECT_EQ(snap.graph_epoch(), epoch);
+  EXPECT_NE(g.epoch(), epoch);
   EXPECT_TRUE(snap.AdjacencyOf(a).empty());  // edge added after the snapshot
 }
 
