@@ -6,13 +6,21 @@
 // line) in the working directory, including the machine's core count --
 // the parallel speedup claim only applies on >= 4 cores, so downstream
 // tooling needs the context to interpret the numbers.
+//
+//   bench_batch --smoke               # tiny graph, BENCH_batch_smoke.json;
+//                                     # used by the bench_batch_smoke ctest
+//   bench_batch [--smoke] --trace-json FILE
+//                                     # export the span ring as Chrome/
+//                                     # Perfetto trace_event JSON on exit
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "bench/exp_common.h"
 #include "src/take_grant.h"
+#include "src/util/trace_export.h"
 
 namespace {
 
@@ -36,13 +44,25 @@ tg::ProtectionGraph BenchGraph(size_t target_vertices) {
 
 }  // namespace
 
-int main() {
-  exp::Reporter reporter("batch analysis: serial vs parallel vs cached");
-  exp::JsonlWriter jsonl("BENCH_batch.json");
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    }
+  }
+  exp::Reporter reporter(smoke ? "batch analysis smoke (serial vs parallel vs cached)"
+                               : "batch analysis: serial vs parallel vs cached");
+  // The smoke run executes from the build tree (ctest/check.sh); don't
+  // shadow a real artifact with tiny-size numbers.
+  exp::JsonlWriter jsonl(smoke ? "BENCH_batch_smoke.json" : "BENCH_batch.json");
 
   const size_t cores = std::thread::hardware_concurrency();
   const size_t threads = tg_util::ThreadPool::DefaultThreadCount();
-  tg::ProtectionGraph g = BenchGraph(512);
+  tg::ProtectionGraph g = BenchGraph(smoke ? 96 : 512);
   reporter.Note("env", "cores=" + std::to_string(cores) +
                            " threads=" + std::to_string(threads) +
                            " graph=" + g.Summary());
@@ -52,7 +72,8 @@ int main() {
                   .Set("threads", static_cast<uint64_t>(threads))
                   .Set("vertices", static_cast<uint64_t>(g.VertexCount()))
                   .Set("subjects", static_cast<uint64_t>(g.SubjectCount()))
-                  .Set("edges", static_cast<uint64_t>(g.ExplicitEdgeCount())));
+                  .Set("edges", static_cast<uint64_t>(g.ExplicitEdgeCount()))
+                  .Set("smoke", smoke));
 
   tg_util::ThreadPool serial(1);
   tg_util::ThreadPool parallel;  // DefaultThreadCount-sized
@@ -176,7 +197,14 @@ int main() {
   }
 
   if (!jsonl.ok()) {
-    std::fprintf(stderr, "warning: could not open BENCH_batch.json for writing\n");
+    std::fprintf(stderr, "warning: could not open benchmark JSONL for writing\n");
+  }
+  if (!trace_path.empty()) {
+    if (tg_util::WriteChromeTraceJson(trace_path)) {
+      reporter.Note("trace", "wrote " + trace_path);
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n", trace_path.c_str());
+    }
   }
   return reporter.Finish();
 }

@@ -156,6 +156,12 @@ class MetricsDelta {
         .Set("compactions", now.compactions - baseline_.compactions)
         .Set("rows_reused", now.rows_reused - baseline_.rows_reused)
         .Set("slices_repaired", now.slices_repaired - baseline_.slices_repaired);
+    // Latency percentiles are cumulative over the process (histogram
+    // buckets cannot be diffed), so they summarize the whole run so far.
+    tg_util::Histogram& bfs_ns = tg_util::GetHistogram("bfs.run_ns");
+    row.Set("bfs_run_ns_p50", bfs_ns.P50())
+        .Set("bfs_run_ns_p95", bfs_ns.P95())
+        .Set("bfs_run_ns_p99", bfs_ns.P99());
     return row;
   }
 

@@ -1,6 +1,7 @@
 // audit_tool: command-line security analyzer for .tgg protection graphs.
 //
 //   audit_tool <graph.tgg> [--levels file.lvl] [--dot out.dot] [--metrics-json FILE]
+//              [--trace-json FILE] [--provenance-json FILE]
 //   audit_tool --demo
 //
 // Loads a graph (or builds a demo), computes islands and rwtg-levels, runs
@@ -11,7 +12,11 @@
 // writes a Graphviz rendering clustered by level.  With --metrics-json,
 // dumps the engine metrics registry (cache hits, BFS visits, latency
 // histograms) as one flat JSON object to FILE ("-" = stdout) after the
-// audit finishes.
+// audit finishes.  With --trace-json, exports the span ring as Perfetto/
+// Chrome trace_event JSON after the audit.  With --provenance-json, writes
+// one provenance record per explained can_know query (JSONL, one object
+// per line) covering every subject pair plus the designer-level CheckSecure
+// when --levels is given.
 
 #include <algorithm>
 #include <cstdio>
@@ -19,8 +24,10 @@
 #include <fstream>
 #include <string>
 
+#include "src/analysis/provenance.h"
 #include "src/take_grant.h"
 #include "src/util/metrics.h"
+#include "src/util/trace_export.h"
 
 namespace {
 
@@ -47,6 +54,8 @@ int main(int argc, char** argv) {
   std::string dot_path;
   std::string levels_path;
   std::string metrics_path;
+  std::string trace_path;
+  std::string provenance_path;
 
   if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
     graph = DemoGraph();
@@ -59,7 +68,8 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr,
                  "usage: %s <graph.tgg> [--levels file.lvl] [--dot out.dot]"
-                 " [--metrics-json FILE] | --demo\n",
+                 " [--metrics-json FILE] [--trace-json FILE] [--provenance-json FILE]"
+                 " | --demo\n",
                  argv[0]);
     return 2;
   }
@@ -72,6 +82,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--metrics-json") == 0) {
       metrics_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--trace-json") == 0) {
+      trace_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--provenance-json") == 0) {
+      provenance_path = argv[i + 1];
     }
   }
 
@@ -214,6 +230,31 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %s\n", dot_path.c_str());
   }
 
+  if (!provenance_path.empty()) {
+    // One JSONL record per ordered subject pair (capped so a huge graph
+    // does not explode the file); every explained query routes through the
+    // audit cache, so the records show the real hit/overlay provenance the
+    // audit above established.
+    constexpr size_t kMaxRecords = 64;
+    std::ofstream out(provenance_path);
+    if (!out) {
+      return Fail("cannot write " + provenance_path);
+    }
+    size_t written = 0;
+    for (tg::VertexId x : audit_subjects) {
+      for (tg::VertexId y : audit_subjects) {
+        if (x == y || written >= kMaxRecords) {
+          continue;
+        }
+        tg_analysis::QueryProvenance record = tg_analysis::ExplainCanKnow(graph, x, y, &cache);
+        out << record.ToJson() << "\n";
+        tg_analysis::RecordProvenance(record);
+        ++written;
+      }
+    }
+    std::printf("\nwrote %s (%zu provenance record(s))\n", provenance_path.c_str(), written);
+  }
+
   if (!metrics_path.empty()) {
     std::string json = tg_util::MetricsRegistry::Instance().RenderJson();
     if (metrics_path == "-") {
@@ -226,6 +267,15 @@ int main(int argc, char** argv) {
       out << json << "\n";
       std::printf("\nwrote %s\n", metrics_path.c_str());
     }
+  }
+
+  if (!trace_path.empty()) {
+    // Exported last so the trace covers every query this audit ran,
+    // including the explained provenance calls above.
+    if (!tg_util::WriteChromeTraceJson(trace_path)) {
+      return Fail("cannot write " + trace_path);
+    }
+    std::printf("wrote %s\n", trace_path.c_str());
   }
   return 0;
 }

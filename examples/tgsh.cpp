@@ -28,6 +28,9 @@
 //   save FILE / load FILE           .tgg I/O
 //   stats [reset]                   engine metrics (counters/latencies); reset zeroes them
 //   trace [N]                       last N trace spans (default 20)
+//   trace export FILE               write Perfetto/Chrome trace_event JSON
+//   profile [reset]                 per-span-kind latency percentiles (p50/p95/p99)
+//   explain know|knowf|share ...    run a predicate and print its provenance record
 //   journal [N]                     last N mutation-journal records (default 20)
 //   help / quit
 
@@ -38,10 +41,12 @@
 #include <sstream>
 #include <string>
 
+#include "src/analysis/provenance.h"
 #include "src/take_grant.h"
 #include "src/util/metrics.h"
 #include "src/util/strings.h"
 #include "src/util/trace.h"
+#include "src/util/trace_export.h"
 
 namespace {
 
@@ -104,7 +109,8 @@ void PrintHelp() {
       "          remove X Y R | post/pass/spy/find X Y Z | saturate\n"
       "queries:  share R X Y | steal R X Y | know X Y | knowf X Y | islands | levels\n"
       "output:   dot FILE\n"
-      "observe:  stats [reset] | trace [N] | journal [N]\n"
+      "observe:  stats [reset] | trace [N] | trace export FILE | profile [reset] |\n"
+      "          explain know X Y | explain knowf X Y | explain share R X Y | journal [N]\n"
       "misc:     help | quit\n");
 }
 
@@ -315,9 +321,58 @@ void Shell::Execute(const std::string& raw) {
     std::printf("cache: %zu/%zu entries, %zu hits, %zu misses, %zu evictions\n",
                 cache.entry_count(), cache.max_entries(), cache.hits(), cache.misses(),
                 cache.evictions());
+  } else if (cmd == "explain") {
+    // explain know X Y | explain knowf X Y | explain share R X Y
+    if (tok.size() < 2) {
+      std::printf("error: explain know|knowf|share ...\n");
+      return;
+    }
+    const std::string_view what = tok[1];
+    tg_analysis::QueryProvenance record;
+    if ((what == "know" || what == "knowf") && tok.size() == 4) {
+      tg::VertexId x = Resolve(tok[2]);
+      tg::VertexId y = Resolve(tok[3]);
+      if (x == tg::kInvalidVertex || y == tg::kInvalidVertex) {
+        return;
+      }
+      record = what == "know" ? tg_analysis::ExplainCanKnow(graph, x, y, &cache)
+                              : tg_analysis::ExplainCanKnowF(graph, x, y);
+    } else if (what == "share" && tok.size() == 5) {
+      auto right = ResolveRight(tok[2]);
+      tg::VertexId x = Resolve(tok[3]);
+      tg::VertexId y = Resolve(tok[4]);
+      if (!right || x == tg::kInvalidVertex || y == tg::kInvalidVertex) {
+        return;
+      }
+      record = tg_analysis::ExplainCanShare(graph, *right, x, y);
+    } else {
+      std::printf("error: explain know X Y | explain knowf X Y | explain share R X Y\n");
+      return;
+    }
+    std::printf("%s", record.ToText().c_str());
+    tg_analysis::RecordProvenance(record);
+  } else if (cmd == "profile") {
+    if (tok.size() == 2 && tok[1] == "reset") {
+      tg_util::ResetSpanProfile();
+      std::printf("ok: span profile reset\n");
+      return;
+    }
+    if (tok.size() != 1) {
+      std::printf("error: profile [reset]\n");
+      return;
+    }
+    std::printf("%s", tg_util::RenderSpanProfileText().c_str());
+  } else if (cmd == "trace" && tok.size() == 3 && tok[1] == "export") {
+    const std::string path(tok[2]);
+    if (tg_util::WriteChromeTraceJson(path)) {
+      std::printf("ok: %zu span(s) -> %s\n", tg_util::TraceBuffer::Instance().Events().size(),
+                  path.c_str());
+    } else {
+      std::printf("error: cannot write %s\n", path.c_str());
+    }
   } else if (cmd == "trace") {
     if (tok.size() > 2) {
-      std::printf("error: trace [N]\n");
+      std::printf("error: trace [N] | trace export FILE\n");
       return;
     }
     size_t limit = 20;

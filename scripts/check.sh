@@ -35,7 +35,20 @@ echo "=== bench smoke (bit-parallel + incremental guards) ==="
 if [ ! -f build/CMakeCache.txt ]; then
   cmake -B build >/dev/null
 fi
-cmake --build build -j "$jobs" --target bench_allpairs bench_incremental >/dev/null
-ctest --test-dir build -R 'bench_allpairs_smoke|bench_incremental_smoke' --output-on-failure
+cmake --build build -j "$jobs" --target bench_allpairs bench_incremental bench_batch >/dev/null
+ctest --test-dir build -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke' \
+  --output-on-failure
 
-echo "=== all sanitizer checks passed and bench smoke ok ==="
+# Trace-export gate: run the batch smoke with the Perfetto exporter on and
+# validate the trace_event JSON shape that chrome://tracing / Perfetto
+# expect.  Skipped (with a notice) when no python3 is on PATH.
+echo "=== trace export validation ==="
+trace_out="build/bench_batch_check_trace.json"
+(cd build && ./bench/bench_batch --smoke --trace-json "$(basename "$trace_out")" >/dev/null)
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/validate_trace.py "$trace_out"
+else
+  echo "validate_trace: python3 not found, skipping trace validation"
+fi
+
+echo "=== all sanitizer checks passed, bench smoke and trace export ok ==="

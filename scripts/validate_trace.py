@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace_event JSON export.
+
+Usage: validate_trace.py TRACE.json [TRACE.json ...]
+
+Checks the shape that chrome://tracing and ui.perfetto.dev require of the
+object format emitted by tg_util::RenderChromeTraceJson:
+
+  * the document is a JSON object with a "traceEvents" array;
+  * every event is an object with string "name"/"ph" and integer-or-float
+    "pid"/"tid";
+  * "ph" is either "X" (complete span: needs numeric "ts" and "dur" >= 0)
+    or "M" (metadata: needs "args");
+  * span events carry "args" with the span/parent ids the exporter
+    promises ("seq", "span", "parent");
+  * at least one span event exists (an empty trace usually means the ring
+    was never fed -- treat it as a regression, not a pass).
+
+Exits 0 when every file validates, 1 with a per-file diagnostic otherwise.
+No third-party imports: stdlib json only.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"validate_trace: {path}: {message}", file=sys.stderr)
+    return False
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            doc = json.load(fp)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"cannot parse: {err}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, 'missing or non-array "traceEvents"')
+
+    spans = 0
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            return fail(path, f"{where}: not an object")
+        for key in ("name", "ph"):
+            if not isinstance(event.get(key), str):
+                return fail(path, f'{where}: missing string "{key}"')
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), (int, float)):
+                return fail(path, f'{where}: missing numeric "{key}"')
+        ph = event["ph"]
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    return fail(path, f'{where}: ph "X" needs numeric "{key}" >= 0')
+            args = event.get("args")
+            if not isinstance(args, dict):
+                return fail(path, f'{where}: ph "X" needs an "args" object')
+            for key in ("seq", "span", "parent"):
+                if key not in args:
+                    return fail(path, f'{where}: span args missing "{key}"')
+            spans += 1
+        elif ph == "M":
+            if not isinstance(event.get("args"), dict):
+                return fail(path, f'{where}: ph "M" needs an "args" object')
+        else:
+            return fail(path, f'{where}: unexpected ph "{ph}" (want "X" or "M")')
+
+    if spans == 0:
+        return fail(path, "no span (ph X) events -- was the trace ring ever fed?")
+
+    print(f"validate_trace: {path}: ok ({spans} span(s), {len(events)} event(s))")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        ok = validate(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

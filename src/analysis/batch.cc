@@ -313,6 +313,7 @@ std::vector<std::vector<bool>> RowsFromSnapshot(const AnalysisSnapshot& snap,
   static tg_util::Counter& row_count = tg_util::GetCounter("batch.rows");
   static tg_util::Histogram& run_ns = tg_util::GetHistogram("batch.run_ns");
   row_count.Add(sources.size());
+  tg_util::QueryScope query(tg_util::QueryKind::kBatchRows, sources.size());
   tg_util::ScopedTimer timer(run_ns);
   tg_util::TraceSpan span(
       tg_util::TraceKind::kBatchRows, sources.size(),

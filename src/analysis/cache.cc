@@ -359,12 +359,14 @@ const std::vector<bool>& AnalysisCache::Reachable(const tg::ProtectionGraph& g,
 }
 
 const std::vector<bool>& AnalysisCache::Knowable(const tg::ProtectionGraph& g, VertexId x) {
+  tg_util::QueryScope query(tg_util::QueryKind::kKnowable);
   Refresh(g);
   auto it = knowable_.find(x);
   if (it != knowable_.end()) {
     ++hits_;
     Metrics().hits.Add();
     it->second.last_used = Touch();
+    query.set_result(1);  // cache hit
     return it->second.value;
   }
   ++misses_;
@@ -380,6 +382,7 @@ const tg::BitMatrix& AnalysisCache::ReachableAll(const tg::ProtectionGraph& g,
                                                  const tg_util::Dfa& dfa, bool use_implicit,
                                                  uint32_t min_steps,
                                                  tg_util::ThreadPool* pool) {
+  tg_util::QueryScope query(tg_util::QueryKind::kReachableAll);
   Refresh(g);
   AllKey key{&dfa, use_implicit, min_steps};
   auto it = reach_all_.find(key);
@@ -387,6 +390,7 @@ const tg::BitMatrix& AnalysisCache::ReachableAll(const tg::ProtectionGraph& g,
     ++hits_;
     Metrics().hits.Add();
     it->second.last_used = Touch();
+    query.set_result(1);  // cache hit
     return it->second.value;
   }
   ++misses_;
@@ -407,11 +411,13 @@ const tg::BitMatrix& AnalysisCache::ReachableAll(const tg::ProtectionGraph& g,
 
 const tg::BitMatrix& AnalysisCache::KnowableAll(const tg::ProtectionGraph& g,
                                                 tg_util::ThreadPool* pool) {
+  tg_util::QueryScope query(tg_util::QueryKind::kKnowableAll);
   Refresh(g);
   if (knowable_all_.has_value()) {
     ++hits_;
     Metrics().hits.Add();
     knowable_all_->last_used = Touch();
+    query.set_result(1);  // cache hit
     return knowable_all_->value;
   }
   ++misses_;

@@ -6,6 +6,7 @@
 #include "src/tg/languages.h"
 #include "src/tg/snapshot.h"
 #include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace tg_analysis {
 
@@ -41,14 +42,18 @@ PathSearchOptions AdmissibleOptions(const ProtectionGraph& g) {
 bool CanKnowF(const ProtectionGraph& g, VertexId x, VertexId y) {
   static tg_util::Counter& queries = tg_util::GetCounter("query.can_know_f");
   queries.Add();
+  tg_util::QueryScope query(tg_util::QueryKind::kCanKnowF);
   if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
     return false;
   }
   if (x == y) {
+    query.set_verdict(true);
     return true;
   }
   PathSearchOptions options = AdmissibleOptions(g);
-  return FindWordPath(g, x, y, tg::AdmissibleRwDfa(), options).has_value();
+  const bool verdict = FindWordPath(g, x, y, tg::AdmissibleRwDfa(), options).has_value();
+  query.set_verdict(verdict);
+  return verdict;
 }
 
 std::optional<GraphPath> FindAdmissibleRwPath(const ProtectionGraph& g, VertexId x, VertexId y) {
@@ -62,10 +67,12 @@ std::optional<GraphPath> FindAdmissibleRwPath(const ProtectionGraph& g, VertexId
 bool CanKnow(const ProtectionGraph& g, VertexId x, VertexId y) {
   static tg_util::Counter& queries = tg_util::GetCounter("query.can_know");
   queries.Add();
+  tg_util::QueryScope query(tg_util::QueryKind::kCanKnow);
   if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
     return false;
   }
   if (x == y) {
+    query.set_verdict(true);
     return true;
   }
   // (a) candidate chain heads.
@@ -88,6 +95,7 @@ bool CanKnow(const ProtectionGraph& g, VertexId x, VertexId y) {
   std::vector<bool> closure = BridgeOrConnectionClosure(g, heads);
   for (VertexId u : tails) {
     if (closure[u]) {
+      query.set_verdict(true);
       return true;
     }
   }

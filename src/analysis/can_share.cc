@@ -3,6 +3,7 @@
 #include "src/analysis/bridges.h"
 #include "src/analysis/spans.h"
 #include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace tg_analysis {
 
@@ -14,11 +15,13 @@ using tg::VertexId;
 bool CanShare(const ProtectionGraph& g, Right right, VertexId x, VertexId y) {
   static tg_util::Counter& queries = tg_util::GetCounter("query.can_share");
   queries.Add();
+  tg_util::QueryScope query(tg_util::QueryKind::kCanShare);
   if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
     return false;
   }
   // Base case: the edge is already there.
   if (g.HasExplicit(x, y, right)) {
+    query.set_verdict(true);
     return true;
   }
   // (i) vertices already holding the right over y.
@@ -44,6 +47,7 @@ bool CanShare(const ProtectionGraph& g, Right right, VertexId x, VertexId y) {
   std::vector<bool> closure = BridgeClosure(g, acquirers);
   for (VertexId s_prime : extractors) {
     if (closure[s_prime]) {
+      query.set_verdict(true);
       return true;
     }
   }

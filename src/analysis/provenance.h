@@ -1,0 +1,90 @@
+// Query provenance: one self-contained record of *why* a predicate call
+// answered what it did.
+//
+// The Explain* entry points run a predicate under a fresh QueryScope and
+// assemble, from the span ring and the metrics registry, everything an
+// auditor needs to trust (or dispute) the verdict:
+//
+//   * the predicate, its arguments, the verdict, and the graph epoch;
+//   * cache and snapshot provenance — whether the answer came from a
+//     cached row, a journal-patched snapshot, or a full rebuild (derived
+//     from the cache/snapshot/incremental counter deltas of the call);
+//   * the per-phase timing tree: every span the query recorded, wired up
+//     by parent span id;
+//   * the metrics delta (counters that moved during the call);
+//   * the Theorem 2.3 / 3.2 chain summary (heads, tails, closure sizes);
+//   * when the verdict is true, a replayable witness from witness_builder,
+//     already replay-verified against a copy of the graph (for can_know,
+//     the replayed graph must actually carry the x-knows-y flow).
+//
+// Records render as human-readable text (tgsh `explain`) or a single JSON
+// object (audit_tool --provenance-json, the JSONL flight recorder).
+
+#ifndef SRC_ANALYSIS_PROVENANCE_H_
+#define SRC_ANALYSIS_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/cache.h"
+#include "src/tg/graph.h"
+#include "src/util/trace.h"
+
+namespace tg_analysis {
+
+struct QueryProvenance {
+  // Identity.
+  std::string predicate;             // "can_know", "can_share r", ...
+  std::vector<std::string> args;     // vertex names as passed
+  bool verdict = false;
+  uint64_t query_id = 0;             // 0 when tracing is disabled
+  uint64_t graph_epoch = 0;
+  uint64_t duration_ns = 0;
+
+  // Snapshot / cache provenance.  snapshot_source is "cached-row",
+  // "rebuilt", "patched", or "reused" (see DeriveSnapshotSource); the
+  // deltas are this call's contribution to the named counters.
+  std::string snapshot_source;
+  std::vector<std::pair<std::string, uint64_t>> metrics_delta;
+
+  // Chain summary (sizes of the Theorem 2.3 / 3.2 candidate sets).
+  std::vector<std::pair<std::string, uint64_t>> chain;
+
+  // The query's spans, oldest first (empty when tracing is disabled or
+  // the ring already overwrote them).
+  std::vector<tg_util::TraceEvent> events;
+
+  // Witness (only when verdict is true and a builder exists for the
+  // predicate).  witness_verified means Replay succeeded on a copy of the
+  // graph AND the replayed graph exhibits the claimed edge/flow.
+  bool has_witness = false;
+  bool witness_verified = false;
+  size_t witness_de_jure = 0;
+  size_t witness_de_facto = 0;
+  std::string witness_text;  // numbered rule listing ("" when absent)
+
+  // Multi-line human rendering, including an indented span tree.
+  std::string ToText() const;
+  // One JSON object (no trailing newline), flight-recorder ready.
+  std::string ToJson() const;
+};
+
+// Explain entry points.  Passing a cache routes the query through it (so
+// the record shows real hit/miss and overlay provenance and warms the
+// cache exactly as a normal query would); nullptr runs the plain
+// predicate.  The witness is built and verified only for true verdicts.
+QueryProvenance ExplainCanKnow(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y,
+                               AnalysisCache* cache = nullptr);
+QueryProvenance ExplainCanKnowF(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
+QueryProvenance ExplainCanShare(const tg::ProtectionGraph& g, tg::Right right, tg::VertexId x,
+                                tg::VertexId y);
+
+// Appends record.ToJson() (tagged type "provenance") to the process
+// flight recorder when it is enabled; no-op otherwise.
+void RecordProvenance(const QueryProvenance& record);
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_PROVENANCE_H_

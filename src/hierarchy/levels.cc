@@ -7,6 +7,7 @@
 #include "src/tg/languages.h"
 #include "src/tg/path.h"
 #include "src/tg/snapshot.h"
+#include "src/util/trace.h"
 
 namespace tg_hier {
 
@@ -264,11 +265,15 @@ std::vector<bool> SubjectMask(const ProtectionGraph& g) {
 }  // namespace
 
 LevelAssignment ComputeRwtgLevels(const ProtectionGraph& g, tg_util::ThreadPool* pool) {
-  return LevelsFromDigraph(BocDigraph(g, pool), SubjectMask(g));
+  tg_util::QueryScope query(tg_util::QueryKind::kRwtgLevels);
+  LevelAssignment levels = LevelsFromDigraph(BocDigraph(g, pool), SubjectMask(g));
+  query.set_result(levels.LevelCount());
+  return levels;
 }
 
 LevelAssignment ComputeRwtgLevels(const ProtectionGraph& g, tg_analysis::AnalysisCache& cache,
                                   tg_util::ThreadPool* pool) {
+  tg_util::QueryScope query(tg_util::QueryKind::kRwtgLevels);
   const tg::AnalysisSnapshot& snap = cache.Snapshot(g);
   // The cached matrix is all-vertices (row v = BOC reach from v) so the
   // same entry serves CheckSecure / FindCrossLevelChannels; non-subject
@@ -280,7 +285,9 @@ LevelAssignment ComputeRwtgLevels(const ProtectionGraph& g, tg_analysis::Analysi
   const std::vector<VertexId>& subjects = snap.Subjects();
   std::vector<std::vector<VertexId>> adj =
       DigraphFromBocRows(snap, [&](size_t i) { return reach.Row(subjects[i]); }, runner);
-  return LevelsFromDigraph(adj, SubjectMask(g));
+  LevelAssignment levels = LevelsFromDigraph(adj, SubjectMask(g));
+  query.set_result(levels.LevelCount());
+  return levels;
 }
 
 LevelAssignment ComputeRwtgLevelsScalar(const ProtectionGraph& g, tg_util::ThreadPool* pool) {

@@ -6,6 +6,7 @@
 #include "src/tg/languages.h"
 #include "src/tg/path.h"
 #include "src/tg/snapshot.h"
+#include "src/util/trace.h"
 
 namespace tg_hier {
 
@@ -118,6 +119,7 @@ std::vector<CrossLevelChannel> EmitChannels(const ProtectionGraph& g,
 
 SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
                            size_t max_violations, tg_util::ThreadPool* pool) {
+  tg_util::QueryScope query(tg_util::QueryKind::kCheckSecure, 1);
   std::vector<VertexId> candidates = SecureCandidates(g, assignment);
   if (candidates.empty()) {
     return SecurityReport{};
@@ -126,14 +128,17 @@ SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assi
   // 64 candidates per product BFS.
   tg::AnalysisSnapshot snap(g);
   tg::BitMatrix rows = tg_analysis::KnowableMatrix(snap, candidates, pool);
-  return EmitViolations(
+  SecurityReport report = EmitViolations(
       g, assignment, candidates, [&](size_t i, VertexId y) { return rows.Test(i, y); },
       max_violations);
+  query.set_verdict(report.secure);
+  return report;
 }
 
 SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
                            tg_analysis::AnalysisCache& cache, size_t max_violations,
                            tg_util::ThreadPool* pool) {
+  tg_util::QueryScope query(tg_util::QueryKind::kCheckSecure, 1);
   std::vector<VertexId> candidates = SecureCandidates(g, assignment);
   if (candidates.empty()) {
     return SecurityReport{};
@@ -143,15 +148,18 @@ SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assi
   // only the rows whose footprints the intervening mutations touched, so a
   // re-audit after a small delta reuses almost every row.
   const tg::BitMatrix& all = cache.KnowableAll(g, pool);
-  return EmitViolations(
+  SecurityReport report = EmitViolations(
       g, assignment, candidates,
       [&](size_t i, VertexId y) { return all.Test(candidates[i], y); }, max_violations);
+  query.set_verdict(report.secure);
+  return report;
 }
 
 std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
                                                       const LevelAssignment& assignment,
                                                       size_t max_channels,
                                                       tg_util::ThreadPool* pool) {
+  tg_util::QueryScope query(tg_util::QueryKind::kCrossLevelChannels);
   std::vector<VertexId> sources = ChannelSources(g, assignment);
   if (sources.empty()) {
     return {};
@@ -162,9 +170,11 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
   tg::BitMatrix reach =
       tg::SnapshotWordReachableAll(snap, std::span<const VertexId>(sources),
                                    tg::BridgeOrConnectionDfa(), snap_options, pool);
-  return EmitChannels(
+  std::vector<CrossLevelChannel> channels = EmitChannels(
       g, assignment, sources, [&](size_t i, VertexId v) { return reach.Test(i, v); },
       max_channels);
+  query.set_result(channels.size());
+  return channels;
 }
 
 std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
@@ -172,6 +182,7 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
                                                       tg_analysis::AnalysisCache& cache,
                                                       size_t max_channels,
                                                       tg_util::ThreadPool* pool) {
+  tg_util::QueryScope query(tg_util::QueryKind::kCrossLevelChannels);
   std::vector<VertexId> sources = ChannelSources(g, assignment);
   if (sources.empty()) {
     return {};
@@ -179,9 +190,11 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
   const tg::BitMatrix& reach =
       cache.ReachableAll(g, tg::BridgeOrConnectionDfa(), /*use_implicit=*/true,
                          /*min_steps=*/0, pool);
-  return EmitChannels(
+  std::vector<CrossLevelChannel> channels = EmitChannels(
       g, assignment, sources,
       [&](size_t i, VertexId v) { return reach.Test(sources[i], v); }, max_channels);
+  query.set_result(channels.size());
+  return channels;
 }
 
 bool SecureByTheorem52(const ProtectionGraph& g, const LevelAssignment& assignment) {

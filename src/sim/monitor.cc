@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "src/util/flight_recorder.h"
 #include "src/util/metrics.h"
+#include "src/util/strings.h"
 #include "src/util/trace.h"
 
 namespace tg_sim {
@@ -46,6 +48,7 @@ ReferenceMonitor::ReferenceMonitor(tg::ProtectionGraph graph,
     : engine_(std::move(graph), std::move(policy)) {}
 
 StatusOr<RuleApplication> ReferenceMonitor::Submit(RuleApplication rule) {
+  tg_util::QueryScope query(tg_util::QueryKind::kMonitorSubmit);
   tg_util::TraceSpan span(tg_util::TraceKind::kMonitorDecision);
   tg_util::ScopedTimer timer(Metrics().decision_ns);
   Metrics().requests.Add();
@@ -70,6 +73,17 @@ StatusOr<RuleApplication> ReferenceMonitor::Submit(RuleApplication rule) {
     Metrics().rejected.Add();
   }
   span.set_args(static_cast<uint64_t>(record.outcome), record.sequence);
+  query.set_verdict(record.outcome == AuditOutcome::kAllowed);
+  tg_util::FlightRecorder& recorder = tg_util::FlightRecorder::Instance();
+  if (recorder.enabled()) {
+    std::string line = "{\"type\":\"audit\",\"seq\":" + std::to_string(record.sequence) +
+                       ",\"outcome\":\"" + AuditOutcomeName(record.outcome) + "\",\"rule\":\"" +
+                       tg_util::JsonEscape(record.rule) + "\",\"reason\":\"" +
+                       tg_util::JsonEscape(record.reason) + "\",\"epoch\":" +
+                       std::to_string(engine_.graph().epoch()) + ",\"query_id\":" +
+                       std::to_string(query.query_id()) + "}";
+    recorder.Append(line);
+  }
   audit_log_.push_back(std::move(record));
   return result;
 }

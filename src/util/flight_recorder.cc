@@ -1,0 +1,72 @@
+#include "src/util/flight_recorder.h"
+
+#include <cstdlib>
+
+namespace tg_util {
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void FlightRecorder::OpenFromEnvOnce() {
+  if (env_checked_) {
+    return;
+  }
+  env_checked_ = true;
+  const char* path = std::getenv("TG_FLIGHT_RECORDER");
+  if (path != nullptr && path[0] != '\0') {
+    file_ = std::fopen(path, "a");
+  }
+}
+
+bool FlightRecorder::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  env_checked_ = true;  // an explicit Open overrides the environment
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "a");
+  return file_ != nullptr;
+}
+
+void FlightRecorder::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  env_checked_ = true;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool FlightRecorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const_cast<FlightRecorder*>(this)->OpenFromEnvOnce();
+  return file_ != nullptr;
+}
+
+void FlightRecorder::Append(std::string_view json_object) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpenFromEnvOnce();
+  if (file_ == nullptr) {
+    return;
+  }
+  std::fwrite(json_object.data(), 1, json_object.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  ++lines_;
+}
+
+uint64_t FlightRecorder::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+}  // namespace tg_util

@@ -1,0 +1,63 @@
+// Append-only JSONL flight recorder.
+//
+// A crash- and post-hoc-friendly complement to the in-memory trace ring:
+// one JSON object per line, appended (never rewritten) and flushed per
+// record, so the stream survives aborts and can be tailed live.  Two
+// producers feed it:
+//
+//   * ReferenceMonitor appends a record for every audit decision
+//     (type "audit": outcome, rule, reason, query id, epoch).
+//   * The provenance layer appends one record per explained query
+//     (type "provenance": the QueryProvenance JSON).
+//
+// Recording is off until Open() succeeds, or automatically when the
+// TG_FLIGHT_RECORDER environment variable names a path at first use.
+// Appending when closed is a cheap no-op, so producers call Append
+// unconditionally.
+
+#ifndef SRC_UTIL_FLIGHT_RECORDER_H_
+#define SRC_UTIL_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tg_util {
+
+class FlightRecorder {
+ public:
+  // The process-wide recorder.  First use consults TG_FLIGHT_RECORDER.
+  static FlightRecorder& Instance();
+
+  // Opens `path` for appending (closing any current stream).  False on
+  // I/O failure (the recorder stays closed).
+  bool Open(const std::string& path);
+  void Close();
+
+  bool enabled() const;
+
+  // Appends one line.  `json_object` must be a complete JSON object
+  // without the trailing newline; no-op while closed.
+  void Append(std::string_view json_object);
+
+  // Lines appended since process start (even while closed lines are not
+  // counted).
+  uint64_t lines_written() const;
+
+  ~FlightRecorder();
+
+ private:
+  FlightRecorder() = default;
+  void OpenFromEnvOnce();
+
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  bool env_checked_ = false;
+  uint64_t lines_ = 0;
+};
+
+}  // namespace tg_util
+
+#endif  // SRC_UTIL_FLIGHT_RECORDER_H_

@@ -160,11 +160,12 @@ std::string MetricsRegistry::RenderText() const {
   }
   for (const auto& [name, h] : i.histograms) {
     std::snprintf(buf, sizeof(buf),
-                  "%s count=%llu sum=%llu mean=%.1f p50<=%llu p99<=%llu\n", name.c_str(),
-                  static_cast<unsigned long long>(h->count()),
+                  "%s count=%llu sum=%llu mean=%.1f p50<=%llu p95<=%llu p99<=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(h->count()),
                   static_cast<unsigned long long>(h->sum()), h->mean(),
-                  static_cast<unsigned long long>(h->PercentileUpperBound(50)),
-                  static_cast<unsigned long long>(h->PercentileUpperBound(99)));
+                  static_cast<unsigned long long>(h->P50()),
+                  static_cast<unsigned long long>(h->P95()),
+                  static_cast<unsigned long long>(h->P99()));
     out += buf;
   }
   return out;
@@ -195,8 +196,9 @@ std::string MetricsRegistry::RenderJson() const {
   for (const auto& [name, h] : i.histograms) {
     add(name + ".count", h->count());
     add(name + ".sum", h->sum());
-    add(name + ".p50", h->PercentileUpperBound(50));
-    add(name + ".p99", h->PercentileUpperBound(99));
+    add(name + ".p50", h->P50());
+    add(name + ".p95", h->P95());
+    add(name + ".p99", h->P99());
   }
   out += "}";
   return out;

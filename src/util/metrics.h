@@ -132,6 +132,13 @@ class Histogram {
   // (p in [0, 100]); 0 when empty.  Bucket resolution, not exact.
   uint64_t PercentileUpperBound(double p) const;
 
+  // Conventional percentile shorthands (bucket upper bounds, like
+  // PercentileUpperBound).  Shared by the registry renders, `tgsh
+  // profile`, and the bench metrics delta.
+  uint64_t P50() const { return PercentileUpperBound(50.0); }
+  uint64_t P95() const { return PercentileUpperBound(95.0); }
+  uint64_t P99() const { return PercentileUpperBound(99.0); }
+
   void Reset();
 
   static size_t BucketOf(uint64_t sample) {

@@ -26,6 +26,10 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 // Parses a non-negative integer; returns -1 on any malformation or overflow.
 long long ParseNonNegativeInt(std::string_view s);
 
+// Escapes s for use inside a JSON string literal (quotes, backslashes,
+// control characters; no surrounding quotes added).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace tg_util
 
 #endif  // SRC_UTIL_STRINGS_H_

@@ -99,7 +99,12 @@ void ThreadPool::WorkerLoop() {
       seen_batch = batch_id_;
     }
     t_inside_pool_task = true;
-    RunBatchSlice();
+    {
+      // The caller's context was captured under mutex_ before the batch
+      // became visible, so this read is ordered-after the write.
+      ScopedTraceContext context(batch_context_);
+      RunBatchSlice();
+    }
     t_inside_pool_task = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -131,6 +136,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     std::lock_guard<std::mutex> lock(mutex_);
     batch_fn_ = &fn;
     batch_size_ = n;
+    batch_context_ = CurrentTraceContext();
     next_index_.store(0, std::memory_order_relaxed);
     slice_pending_ = workers_.size();
     ++batch_id_;

@@ -26,6 +26,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/trace.h"
+
 namespace tg_util {
 
 class ThreadPool {
@@ -70,6 +72,9 @@ class ThreadPool {
   uint64_t batch_id_ = 0;
   const std::function<void(size_t)>* batch_fn_ = nullptr;
   size_t batch_size_ = 0;
+  // The ParallelFor caller's trace context; workers adopt it for their
+  // slice so spans inside pool tasks stay in the scheduling query's tree.
+  TraceContext batch_context_;
   std::atomic<size_t> next_index_{0};
   size_t slice_pending_ = 0;
 

@@ -1,9 +1,19 @@
 #include "src/util/trace.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 
 namespace tg_util {
+
+namespace {
+
+thread_local TraceContext t_trace_context;
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_query_id{1};
+
+}  // namespace
 
 const char* TraceKindName(TraceKind kind) {
   switch (kind) {
@@ -25,9 +35,43 @@ const char* TraceKindName(TraceKind kind) {
       return "bit_reach";
     case TraceKind::kOverlayPatch:
       return "overlay";
+    case TraceKind::kQuery:
+      return "query";
   }
   return "unknown";
 }
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kCanShare:
+      return "can_share";
+    case QueryKind::kCanKnowF:
+      return "can_know_f";
+    case QueryKind::kCanKnow:
+      return "can_know";
+    case QueryKind::kKnowable:
+      return "knowable";
+    case QueryKind::kKnowableAll:
+      return "knowable_all";
+    case QueryKind::kReachableAll:
+      return "reachable_all";
+    case QueryKind::kBatchRows:
+      return "batch_rows";
+    case QueryKind::kRwtgLevels:
+      return "rwtg_levels";
+    case QueryKind::kCheckSecure:
+      return "check_secure";
+    case QueryKind::kCrossLevelChannels:
+      return "cross_level_channels";
+    case QueryKind::kMonitorSubmit:
+      return "monitor_submit";
+  }
+  return "unknown";
+}
+
+TraceContext CurrentTraceContext() { return t_trace_context; }
+
+void SetCurrentTraceContext(TraceContext context) { t_trace_context = context; }
 
 TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
   ring_.resize(capacity_);
@@ -45,16 +89,45 @@ uint64_t TraceBuffer::NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch).count());
 }
 
-void TraceBuffer::Record(TraceKind kind, uint64_t start_ns, uint64_t duration_ns,
-                         uint64_t arg0, uint64_t arg1) {
+uint64_t TraceBuffer::NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t TraceBuffer::NextQueryId() {
+  return g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceBuffer::RecordLocked(TraceEvent& event) {
+  event.seq = next_seq_;
+  ring_[next_seq_ % capacity_] = event;
+  ++next_seq_;
+  if (this == &Instance()) {
+    static Gauge& dropped = GetGauge("trace.dropped");
+    dropped.Set(next_seq_ > capacity_ ? static_cast<int64_t>(next_seq_ - capacity_) : 0);
+    SpanHistogram(event.kind).Observe(event.duration_ns);
+  }
+}
+
+uint64_t TraceBuffer::Record(TraceKind kind, uint64_t start_ns, uint64_t duration_ns,
+                             uint64_t arg0, uint64_t arg1) {
+  TraceEvent event;
+  event.kind = kind;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  const TraceContext context = CurrentTraceContext();
+  event.query_id = context.query_id;
+  event.span_id = NextSpanId();
+  event.parent_span = context.parent_span;
   std::lock_guard<std::mutex> lock(mutex_);
-  TraceEvent& slot = ring_[next_seq_ % capacity_];
-  slot.kind = kind;
-  slot.seq = next_seq_++;
-  slot.start_ns = start_ns;
-  slot.duration_ns = duration_ns;
-  slot.arg0 = arg0;
-  slot.arg1 = arg1;
+  RecordLocked(event);
+  return event.span_id;
+}
+
+void TraceBuffer::RecordEvent(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RecordLocked(event);
 }
 
 std::vector<TraceEvent> TraceBuffer::Events() const {
@@ -62,6 +135,8 @@ std::vector<TraceEvent> TraceBuffer::Events() const {
   std::vector<TraceEvent> out;
   uint64_t retained = next_seq_ < capacity_ ? next_seq_ : capacity_;
   out.reserve(retained);
+  // Walk seq order directly rather than slot order, so the result is
+  // strictly oldest-first even mid-wraparound.
   for (uint64_t seq = next_seq_ - retained; seq < next_seq_; ++seq) {
     out.push_back(ring_[seq % capacity_]);
   }
@@ -73,32 +148,94 @@ uint64_t TraceBuffer::total_recorded() const {
   return next_seq_;
 }
 
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+}
+
 void TraceBuffer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   next_seq_ = 0;
   ring_.assign(capacity_, TraceEvent{});
+  if (this == &Instance()) {
+    GetGauge("trace.dropped").Set(0);
+  }
 }
 
 std::string TraceBuffer::RenderText(size_t limit) const {
   std::vector<TraceEvent> events = Events();
+  const uint64_t total = total_recorded();
+  const uint64_t lost = total > events.size() ? total - events.size() : 0;
   size_t start = 0;
   if (limit != 0 && events.size() > limit) {
     start = events.size() - limit;
   }
   std::string out;
-  char buf[192];
+  char buf[256];
   for (size_t i = start; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     std::snprintf(buf, sizeof(buf),
-                  "%llu %-16s start_us=%llu dur_us=%llu arg0=%llu arg1=%llu\n",
+                  "%llu %-16s start_us=%llu dur_us=%llu arg0=%llu arg1=%llu qid=%llu span=%llu "
+                  "parent=%llu\n",
                   static_cast<unsigned long long>(e.seq), TraceKindName(e.kind),
                   static_cast<unsigned long long>(e.start_ns / 1000),
                   static_cast<unsigned long long>(e.duration_ns / 1000),
                   static_cast<unsigned long long>(e.arg0),
-                  static_cast<unsigned long long>(e.arg1));
+                  static_cast<unsigned long long>(e.arg1),
+                  static_cast<unsigned long long>(e.query_id),
+                  static_cast<unsigned long long>(e.span_id),
+                  static_cast<unsigned long long>(e.parent_span));
+    out += buf;
+  }
+  if (lost > 0) {
+    std::snprintf(buf, sizeof(buf), "# dropped %llu of %llu recorded spans (ring capacity %zu)\n",
+                  static_cast<unsigned long long>(lost), static_cast<unsigned long long>(total),
+                  capacity_);
     out += buf;
   }
   return out;
+}
+
+Histogram& SpanHistogram(TraceKind kind) {
+  // One registry histogram per kind; pointers are stable, so cache them.
+  static Histogram* histograms[kTraceKindCount] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (size_t i = 0; i < kTraceKindCount; ++i) {
+      std::string name = std::string("span.") + TraceKindName(static_cast<TraceKind>(i)) + "_ns";
+      histograms[i] = &GetHistogram(name);
+    }
+  });
+  return *histograms[static_cast<size_t>(kind)];
+}
+
+std::string RenderSpanProfileText() {
+  std::string out;
+  char buf[256];
+  for (size_t i = 0; i < kTraceKindCount; ++i) {
+    Histogram& h = SpanHistogram(static_cast<TraceKind>(i));
+    const uint64_t count = h.count();
+    if (count == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%-16s count=%llu mean_us=%.1f p50_us<=%.1f p95_us<=%.1f p99_us<=%.1f\n",
+                  TraceKindName(static_cast<TraceKind>(i)),
+                  static_cast<unsigned long long>(count), h.mean() / 1000.0,
+                  static_cast<double>(h.P50()) / 1000.0, static_cast<double>(h.P95()) / 1000.0,
+                  static_cast<double>(h.P99()) / 1000.0);
+    out += buf;
+  }
+  if (out.empty()) {
+    out = "(no spans recorded)\n";
+  }
+  return out;
+}
+
+void ResetSpanProfile() {
+  for (size_t i = 0; i < kTraceKindCount; ++i) {
+    SpanHistogram(static_cast<TraceKind>(i)).Reset();
+  }
 }
 
 }  // namespace tg_util

@@ -1,16 +1,37 @@
-// Structured tracing: a bounded in-memory ring of timed spans.
+// Structured tracing: a bounded in-memory ring of timed spans with causal
+// (query / parent) identity.
 //
 // A span is one timed phase of engine work — a snapshot build, one
 // product-BFS drain, a de facto saturation, one rule application — with
-// two kind-specific payload words (see the per-kind comments below).  The
-// ring keeps the most recent `capacity` spans; older spans are overwritten
-// (total_recorded() tells you how many were ever recorded, so exporters
-// can report drops).  Recording takes a mutex: spans are per-phase, not
-// per-edge, so contention is negligible next to the work being traced.
+// two kind-specific payload words (see the per-kind comments below).  On
+// top of the flat ring, every span carries three identity words:
+//
+//   * query_id  — the top-level predicate call (can_know, CheckSecure,
+//     monitor Submit, ...) this work belongs to; 0 = background work.
+//   * span_id   — this span's own id (process-unique, from 1).
+//   * parent_span — the id of the enclosing span (0 = root of its query).
+//
+// Identity propagates through a thread-local TraceContext: TraceSpan and
+// QueryScope install themselves as the ambient parent for their scope, and
+// ThreadPool::ParallelFor forwards the caller's context to its workers, so
+// spans recorded inside pool tasks still land under the query that
+// scheduled them.  The per-query span set therefore forms a single rooted
+// tree, which the provenance layer (src/analysis/provenance.h) and the
+// Perfetto exporter (src/util/trace_export.h) both consume.
+//
+// The ring keeps the most recent `capacity` spans; older spans are
+// overwritten (total_recorded() and dropped() tell you how many, and the
+// trace.dropped gauge mirrors the loss into the metrics registry so
+// RenderText/RenderJson exporters cannot silently under-report).
+// Recording takes a mutex: spans are per-phase, not per-edge, so
+// contention is negligible next to the work being traced.  Each Record
+// also feeds a per-kind duration histogram (span.<kind>_ns) backing the
+// `tgsh profile` percentile view.
 //
 // Tracing shares the observability toggle with the metrics registry
 // (TG_METRICS env / compile-time flag; see src/util/metrics.h).  When
-// disabled, TraceSpan never reads the clock and records nothing.
+// disabled, TraceSpan/QueryScope never read the clock, never touch the
+// thread-local context, and record nothing.
 
 #ifndef SRC_UTIL_TRACE_H_
 #define SRC_UTIL_TRACE_H_
@@ -34,9 +55,63 @@ enum class TraceKind : uint8_t {
   kBatchRows,        // arg0 = source count, arg1 = pool thread count
   kBitReach,         // arg0 = source lanes in the slice, arg1 = word OR relaxations
   kOverlayPatch,     // arg0 = journal records replayed, arg1 = vertices patched
+  kQuery,            // arg0 = QueryKind, arg1 = verdict / result count
 };
 
+// One past the last TraceKind value; sized for per-kind aggregate arrays.
+inline constexpr size_t kTraceKindCount = static_cast<size_t>(TraceKind::kQuery) + 1;
+
 const char* TraceKindName(TraceKind kind);
+
+// What a kQuery root span answered (its arg0).  Query scopes are opened by
+// the top-level predicate entry points; nested scopes (e.g. the knowable
+// closure inside CheckSecure) join the enclosing query instead of starting
+// a new one, so one user-visible call maps to exactly one query id.
+enum class QueryKind : uint8_t {
+  kCanShare,
+  kCanKnowF,
+  kCanKnow,
+  kKnowable,           // one KnowableFrom row
+  kKnowableAll,        // the all-pairs knowable matrix
+  kReachableAll,       // an all-pairs reach matrix
+  kBatchRows,          // a batch KnowableFromAll/Many driver call
+  kRwtgLevels,
+  kCheckSecure,
+  kCrossLevelChannels,
+  kMonitorSubmit,      // one mediated rule application
+};
+
+inline constexpr size_t kQueryKindCount = static_cast<size_t>(QueryKind::kMonitorSubmit) + 1;
+
+const char* QueryKindName(QueryKind kind);
+
+// The ambient causal identity of the current thread.  query_id == 0 means
+// no query is active (background work); parent_span == 0 means spans
+// recorded now are roots.
+struct TraceContext {
+  uint64_t query_id = 0;
+  uint64_t parent_span = 0;
+};
+
+TraceContext CurrentTraceContext();
+void SetCurrentTraceContext(TraceContext context);
+
+// Installs `context` for the current scope and restores the previous
+// context on exit.  ThreadPool workers use this to adopt the ParallelFor
+// caller's context for the duration of a batch slice.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext context) : previous_(CurrentTraceContext()) {
+    SetCurrentTraceContext(context);
+  }
+  ~ScopedTraceContext() { SetCurrentTraceContext(previous_); }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext previous_;
+};
 
 struct TraceEvent {
   TraceKind kind = TraceKind::kSnapshotBuild;
@@ -45,6 +120,9 @@ struct TraceEvent {
   uint64_t duration_ns = 0;
   uint64_t arg0 = 0;
   uint64_t arg1 = 0;
+  uint64_t query_id = 0;     // owning query (0 = background)
+  uint64_t span_id = 0;      // this span (process-unique, from 1)
+  uint64_t parent_span = 0;  // enclosing span (0 = root)
 };
 
 class TraceBuffer {
@@ -59,46 +137,87 @@ class TraceBuffer {
   // Monotonic nanoseconds since the process trace epoch (first use).
   static uint64_t NowNs();
 
-  void Record(TraceKind kind, uint64_t start_ns, uint64_t duration_ns, uint64_t arg0 = 0,
-              uint64_t arg1 = 0);
+  // Fresh span / query ids (process-wide, from 1).
+  static uint64_t NextSpanId();
+  static uint64_t NextQueryId();
 
-  // The retained events, oldest first.
+  // Records a span stamped with the calling thread's current TraceContext
+  // and a freshly allocated span id (returned).  Leaf instrumentation
+  // sites (BFS drains, bit-reach slices) use this directly.
+  uint64_t Record(TraceKind kind, uint64_t start_ns, uint64_t duration_ns, uint64_t arg0 = 0,
+                  uint64_t arg1 = 0);
+
+  // Records a fully formed event; only seq is assigned here.  TraceSpan /
+  // QueryScope use this because their identity words were fixed at
+  // construction, before the ambient context was restored.
+  void RecordEvent(TraceEvent event);
+
+  // The retained events, strictly by seq, oldest first.
   std::vector<TraceEvent> Events() const;
 
   // Events ever recorded, including ones the ring has since overwritten.
   uint64_t total_recorded() const;
 
+  // How many recorded events the ring has overwritten (total - retained).
+  uint64_t dropped() const;
+
   size_t capacity() const { return capacity_; }
 
   void Clear();
 
-  // "seq kind start_us dur_us arg0 arg1" lines for the most recent
-  // `limit` events (0 = all retained).
+  // "seq kind start_us dur_us ..." lines for the most recent `limit`
+  // events (0 = all retained), strictly by seq, oldest first; ends with a
+  // "# dropped N ..." line when the ring has overwritten spans.
   std::string RenderText(size_t limit = 0) const;
 
  private:
+  void RecordLocked(TraceEvent& event);
+
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::vector<TraceEvent> ring_;  // slot = seq % capacity_
   uint64_t next_seq_ = 0;
 };
 
+// Per-kind duration aggregates (span.<kind>_ns histograms), fed by every
+// TraceBuffer record on the process-wide instance.  RenderSpanProfileText
+// backs `tgsh profile`: one line per kind that has samples, with
+// count/mean/p50/p95/p99.  ResetSpanProfile zeroes the histograms only
+// (the trace ring is untouched).
+Histogram& SpanHistogram(TraceKind kind);
+std::string RenderSpanProfileText();
+void ResetSpanProfile();
+
 // RAII span recorder into TraceBuffer::Instance().  Payload args may be
 // set at construction or updated before scope exit (e.g. counts known
-// only after the work ran).
+// only after the work ran).  While alive, the span is the ambient parent
+// for anything recorded on this thread (and, through ParallelFor, on pool
+// workers serving this thread's batches).
 class TraceSpan {
  public:
   explicit TraceSpan(TraceKind kind, uint64_t arg0 = 0, uint64_t arg1 = 0)
       : kind_(kind), arg0_(arg0), arg1_(arg1), armed_(MetricsEnabled()) {
     if (armed_) {
+      context_ = CurrentTraceContext();
+      span_id_ = TraceBuffer::NextSpanId();
+      SetCurrentTraceContext(TraceContext{context_.query_id, span_id_});
       start_ns_ = TraceBuffer::NowNs();
     }
   }
 
   ~TraceSpan() {
     if (armed_) {
-      TraceBuffer::Instance().Record(kind_, start_ns_, TraceBuffer::NowNs() - start_ns_,
-                                     arg0_, arg1_);
+      SetCurrentTraceContext(context_);
+      TraceEvent event;
+      event.kind = kind_;
+      event.start_ns = start_ns_;
+      event.duration_ns = TraceBuffer::NowNs() - start_ns_;
+      event.arg0 = arg0_;
+      event.arg1 = arg1_;
+      event.query_id = context_.query_id;
+      event.span_id = span_id_;
+      event.parent_span = context_.parent_span;
+      TraceBuffer::Instance().RecordEvent(event);
     }
   }
 
@@ -116,6 +235,63 @@ class TraceSpan {
   uint64_t arg1_;
   bool armed_;
   uint64_t start_ns_ = 0;
+  uint64_t span_id_ = 0;
+  TraceContext context_;  // the context this span was opened under
+};
+
+// RAII root for one top-level predicate call.  Allocates a fresh query id
+// when none is active (the root case) and joins the enclosing query
+// otherwise, so composed analyses (CheckSecure -> knowable matrix -> batch
+// rows) trace as one tree.  Records a kQuery span either way, with
+// arg0 = QueryKind and arg1 = the verdict (set_verdict / set_result).
+class QueryScope {
+ public:
+  explicit QueryScope(QueryKind what, uint64_t result = 0)
+      : what_(what), result_(result), armed_(MetricsEnabled()) {
+    if (armed_) {
+      context_ = CurrentTraceContext();
+      query_id_ = context_.query_id != 0 ? context_.query_id : TraceBuffer::NextQueryId();
+      span_id_ = TraceBuffer::NextSpanId();
+      SetCurrentTraceContext(TraceContext{query_id_, span_id_});
+      start_ns_ = TraceBuffer::NowNs();
+    }
+  }
+
+  ~QueryScope() {
+    if (armed_) {
+      SetCurrentTraceContext(context_);
+      TraceEvent event;
+      event.kind = TraceKind::kQuery;
+      event.start_ns = start_ns_;
+      event.duration_ns = TraceBuffer::NowNs() - start_ns_;
+      event.arg0 = static_cast<uint64_t>(what_);
+      event.arg1 = result_;
+      event.query_id = query_id_;
+      event.span_id = span_id_;
+      event.parent_span = context_.parent_span;
+      TraceBuffer::Instance().RecordEvent(event);
+    }
+  }
+
+  void set_verdict(bool verdict) { result_ = verdict ? 1 : 0; }
+  void set_result(uint64_t result) { result_ = result; }
+
+  // 0 when tracing is disabled or the scope is not armed.
+  uint64_t query_id() const { return armed_ ? query_id_ : 0; }
+  // True when this scope allocated the query id (top of the tree).
+  bool is_root() const { return armed_ && context_.query_id == 0; }
+
+  QueryScope(const QueryScope&) = delete;
+  QueryScope& operator=(const QueryScope&) = delete;
+
+ private:
+  QueryKind what_;
+  uint64_t result_;
+  bool armed_;
+  uint64_t query_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t start_ns_ = 0;
+  TraceContext context_;
 };
 
 }  // namespace tg_util

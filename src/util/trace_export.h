@@ -1,0 +1,42 @@
+// Trace exporters: Chrome/Perfetto trace_event JSON from the span ring.
+//
+// RenderChromeTraceJson turns a set of TraceEvents into the Chrome
+// trace_event JSON object format ({"traceEvents":[...]}), which
+// chrome://tracing and ui.perfetto.dev both load directly.  Mapping:
+//
+//   * Every span becomes one complete event (ph "X") with microsecond
+//     ts/dur relative to the process trace epoch.
+//   * pid is the constant 1; tid is the span's query id, so each query
+//     renders as its own track (tid 0 collects background spans), with
+//     thread_name metadata events labelling the tracks.
+//   * args carry the span's payload words (named per kind), its span and
+//     parent-span ids, and — for kQuery roots — the query kind + verdict.
+//
+// scripts/validate_trace.py checks this shape in CI.
+
+#ifndef SRC_UTIL_TRACE_EXPORT_H_
+#define SRC_UTIL_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/trace.h"
+
+namespace tg_util {
+
+// The trace_event JSON document for `events` (see file comment).
+std::string RenderChromeTraceJson(const std::vector<TraceEvent>& events);
+
+// RenderChromeTraceJson over the process ring's retained events.
+std::string RenderChromeTraceJson();
+
+// Writes RenderChromeTraceJson(events) to `path` (truncating); false on
+// I/O failure.
+bool WriteChromeTraceJson(const std::string& path, const std::vector<TraceEvent>& events);
+
+// As above, over the process ring's retained events.
+bool WriteChromeTraceJson(const std::string& path);
+
+}  // namespace tg_util
+
+#endif  // SRC_UTIL_TRACE_EXPORT_H_

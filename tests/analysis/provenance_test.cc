@@ -1,0 +1,178 @@
+#include "src/analysis/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/analysis/cache.h"
+#include "src/tg/graph.h"
+#include "src/util/flight_recorder.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
+namespace tg_analysis {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::VertexId;
+
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = tg_util::MetricsEnabled();
+    tg_util::SetMetricsEnabled(true);
+  }
+  void TearDown() override { tg_util::SetMetricsEnabled(was_enabled_); }
+
+  bool was_enabled_ = true;
+};
+
+// x reads y reads z: can_know(x, z) holds de facto through the spy chain.
+ProtectionGraph SpyChainGraph(VertexId* x, VertexId* z) {
+  ProtectionGraph g;
+  *x = g.AddSubject("x");
+  VertexId y = g.AddSubject("y");
+  *z = g.AddObject("z");
+  EXPECT_TRUE(g.AddExplicit(*x, y, tg::kRead).ok());
+  EXPECT_TRUE(g.AddExplicit(y, *z, tg::kRead).ok());
+  return g;
+}
+
+TEST_F(ProvenanceTest, TrueCanKnowCarriesVerifiedWitness) {
+  VertexId x = 0, z = 0;
+  ProtectionGraph g = SpyChainGraph(&x, &z);
+  QueryProvenance p = ExplainCanKnow(g, x, z);
+
+  EXPECT_EQ(p.predicate, "can_know");
+  ASSERT_EQ(p.args.size(), 2u);
+  EXPECT_EQ(p.args[0], "x");
+  EXPECT_EQ(p.args[1], "z");
+  EXPECT_TRUE(p.verdict);
+  EXPECT_EQ(p.graph_epoch, g.epoch());
+  EXPECT_NE(p.query_id, 0u);
+
+  // The Theorem 3.2 chain summary names all four candidate sets.
+  ASSERT_EQ(p.chain.size(), 4u);
+  EXPECT_EQ(p.chain[0].first, "rw_initial_spanners");
+  EXPECT_EQ(p.chain[1].first, "rw_terminal_spanners");
+  EXPECT_EQ(p.chain[2].first, "boc_closure_subjects");
+  EXPECT_EQ(p.chain[3].first, "tails_in_closure");
+  EXPECT_GT(p.chain[3].second, 0u);  // true verdict => a tail is reachable
+
+  // Witness exists, replays, and the replayed graph carries the flow.
+  EXPECT_TRUE(p.has_witness);
+  EXPECT_TRUE(p.witness_verified);
+  EXPECT_FALSE(p.witness_text.empty());
+
+  std::string text = p.ToText();
+  EXPECT_NE(text.find("verdict: true"), std::string::npos) << text;
+  EXPECT_NE(text.find("replay VERIFIED"), std::string::npos) << text;
+  std::string json = p.ToJson();
+  EXPECT_NE(json.find("\"verdict\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"verified\":true"), std::string::npos) << json;
+}
+
+TEST_F(ProvenanceTest, FalseVerdictHasNoWitness) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  VertexId b = g.AddObject("b");  // no edges at all
+  QueryProvenance p = ExplainCanKnow(g, a, b);
+  EXPECT_FALSE(p.verdict);
+  EXPECT_FALSE(p.has_witness);
+  EXPECT_FALSE(p.witness_verified);
+  EXPECT_NE(p.ToJson().find("\"verdict\":false"), std::string::npos);
+}
+
+TEST_F(ProvenanceTest, SpansBelongToTheRecordedQuery) {
+  VertexId x = 0, z = 0;
+  ProtectionGraph g = SpyChainGraph(&x, &z);
+  tg_util::TraceBuffer::Instance().Clear();
+  AnalysisCache cache;
+  QueryProvenance p = ExplainCanKnow(g, x, z, &cache);
+  ASSERT_FALSE(p.events.empty());
+  bool saw_root = false;
+  for (const tg_util::TraceEvent& e : p.events) {
+    EXPECT_EQ(e.query_id, p.query_id);
+    saw_root |= e.kind == tg_util::TraceKind::kQuery && e.parent_span == 0;
+  }
+  EXPECT_TRUE(saw_root);
+}
+
+TEST_F(ProvenanceTest, SnapshotSourceDistinguishesColdAndCachedCalls) {
+  VertexId x = 0, z = 0;
+  ProtectionGraph g = SpyChainGraph(&x, &z);
+  AnalysisCache cache;
+  // Cold call: the cache must build its snapshot, so the record says so.
+  QueryProvenance cold = ExplainCanKnow(g, x, z, &cache);
+  EXPECT_EQ(cold.snapshot_source, "rebuilt") << cold.ToText();
+  // Same query again: answered from the memoized row.
+  QueryProvenance warm = ExplainCanKnow(g, x, z, &cache);
+  EXPECT_EQ(warm.snapshot_source, "cached-row") << warm.ToText();
+  EXPECT_EQ(cold.verdict, warm.verdict);
+  bool warm_saw_hit = false;
+  for (const auto& [name, delta] : warm.metrics_delta) {
+    warm_saw_hit |= name == "cache.hits" && delta > 0;
+    EXPECT_NE(name, "snapshot.builds") << "warm call must not rebuild";
+  }
+  EXPECT_TRUE(warm_saw_hit);
+}
+
+TEST_F(ProvenanceTest, TrueCanShareCarriesVerifiedWitness) {
+  // x can take the read right s holds over y.
+  ProtectionGraph g;
+  VertexId x = g.AddSubject("x");
+  VertexId s = g.AddSubject("s");
+  VertexId y = g.AddObject("y");
+  ASSERT_TRUE(g.AddExplicit(x, s, tg::kTake).ok());
+  ASSERT_TRUE(g.AddExplicit(s, y, tg::kRead).ok());
+  QueryProvenance p = ExplainCanShare(g, tg::Right::kRead, x, y);
+  EXPECT_EQ(p.predicate, "can_share read");
+  EXPECT_TRUE(p.verdict);
+  EXPECT_TRUE(p.has_witness);
+  EXPECT_TRUE(p.witness_verified);
+  EXPECT_GT(p.witness_de_jure, 0u);
+  ASSERT_EQ(p.chain.size(), 4u);
+  EXPECT_EQ(p.chain[0].first, "right_holders");
+  EXPECT_EQ(p.chain[0].second, 1u);
+}
+
+TEST_F(ProvenanceTest, InvalidVertexIsReportedNotDereferenced) {
+  ProtectionGraph g;
+  VertexId a = g.AddSubject("a");
+  QueryProvenance p = ExplainCanKnow(g, a, 999);
+  EXPECT_FALSE(p.verdict);
+  ASSERT_EQ(p.args.size(), 2u);
+  EXPECT_EQ(p.args[1], "<invalid:999>");
+}
+
+TEST_F(ProvenanceTest, RecordProvenanceFeedsFlightRecorder) {
+  VertexId x = 0, z = 0;
+  ProtectionGraph g = SpyChainGraph(&x, &z);
+  QueryProvenance p = ExplainCanKnow(g, x, z);
+
+  tg_util::FlightRecorder& recorder = tg_util::FlightRecorder::Instance();
+  std::string path = ::testing::TempDir() + "/provenance_flight.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(recorder.Open(path));
+  const uint64_t lines_before = recorder.lines_written();
+  RecordProvenance(p);
+  EXPECT_EQ(recorder.lines_written(), lines_before + 1);
+  recorder.Close();
+  // Closed recorder: appending becomes a no-op.
+  RecordProvenance(p);
+  EXPECT_EQ(recorder.lines_written(), lines_before + 1);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"type\":\"provenance\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"predicate\":\"can_know\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tg_analysis

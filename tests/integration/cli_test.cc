@@ -4,6 +4,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -171,6 +173,71 @@ TEST(TgshCliTest, StatsReportsIncrementalCounters) {
   EXPECT_NE(out.find("incremental.overlay_patches"), std::string::npos) << out;
 }
 
+TEST(TgshCliTest, ExplainPrintsProvenanceWithVerifiedWitness) {
+  // A true can_know through a spy chain: the provenance record must carry
+  // the verdict, the cache/snapshot source, the Theorem 3.2 chain, and a
+  // replay-verified witness.
+  std::string script =
+      "subject x\n"
+      "subject y\n"
+      "object z\n"
+      "edge x y r\n"
+      "edge y z r\n"
+      "explain know x z\n"
+      "explain know x z\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_NE(out.find("provenance: can_know x z"), std::string::npos) << out;
+  EXPECT_NE(out.find("verdict: true"), std::string::npos) << out;
+  EXPECT_NE(out.find("snapshot: rebuilt"), std::string::npos) << out;
+  // The repeat is answered from the memoized row.
+  EXPECT_NE(out.find("snapshot: cached-row"), std::string::npos) << out;
+  EXPECT_NE(out.find("tails_in_closure="), std::string::npos) << out;
+  EXPECT_NE(out.find("replay VERIFIED"), std::string::npos) << out;
+}
+
+TEST(TgshCliTest, ProfileReportsPercentilesAndResets) {
+  std::string script =
+      "subject a\n"
+      "subject b\n"
+      "edge a b r\n"
+      "know a b\n"
+      "profile\n"
+      "profile reset\n"
+      "profile\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_NE(out.find("p50_us<="), std::string::npos) << out;
+  EXPECT_NE(out.find("p99_us<="), std::string::npos) << out;
+  EXPECT_NE(out.find("query"), std::string::npos) << out;
+  EXPECT_NE(out.find("ok: span profile reset"), std::string::npos) << out;
+  EXPECT_NE(out.find("(no spans recorded)"), std::string::npos) << out;
+}
+
+TEST(TgshCliTest, TraceExportWritesChromeTraceJson) {
+  std::string path = ::testing::TempDir() + "/tgsh_trace_export.json";
+  std::remove(path.c_str());
+  std::string script =
+      "subject a\n"
+      "subject b\n"
+      "edge a b r\n"
+      "know a b\n"
+      "trace export " + path + "\n"
+      "quit\n";
+  std::string out = RunWithInput(std::string(TG_TGSH_PATH) + " -", script);
+  EXPECT_NE(out.find("-> " + path), std::string::npos) << out;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace export did not create " << path;
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(content.str().find("\"ph\":\"X\""), std::string::npos);
+  // tgsh `know` answers through the cache, so the query root is the
+  // cache's knowable-row scope.
+  EXPECT_NE(content.str().find("\"query:knowable\""), std::string::npos) << content.str();
+  std::remove(path.c_str());
+}
+
 TEST(AuditToolCliTest, AnalyzesCorpusGraph) {
   std::string out = RunCommand(std::string(TG_AUDIT_TOOL_PATH) + " " + TG_CORPUS_DIR +
                         "/fig22_terms.tgg");
@@ -199,6 +266,41 @@ TEST(AuditToolCliTest, MetricsJsonDumpHasNonZeroEngineCounters) {
   EXPECT_EQ(json.find("\"bfs.node_visits\":0,"), std::string::npos) << json;
   EXPECT_NE(json.find("\"bfs.node_visits\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"snapshot.build_ns.count\":"), std::string::npos) << json;
+}
+
+TEST(AuditToolCliTest, TraceAndProvenanceExports) {
+  std::string trace_path = ::testing::TempDir() + "/audit_trace.json";
+  std::string prov_path = ::testing::TempDir() + "/audit_provenance.jsonl";
+  std::remove(trace_path.c_str());
+  std::remove(prov_path.c_str());
+  std::string out = RunCommand(std::string(TG_AUDIT_TOOL_PATH) + " --demo --trace-json " +
+                               trace_path + " --provenance-json " + prov_path);
+  EXPECT_NE(out.find("provenance record(s)"), std::string::npos) << out;
+
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good()) << out;
+  std::stringstream trace;
+  trace << trace_in.rdbuf();
+  EXPECT_NE(trace.str().find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.str().find("\"ph\":\"X\""), std::string::npos);
+
+  // JSONL: every line is one provenance object for a can_know query.
+  std::ifstream prov_in(prov_path);
+  ASSERT_TRUE(prov_in.good()) << out;
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(prov_in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    ++lines;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"predicate\":\"can_know\""), std::string::npos) << line;
+  }
+  EXPECT_GT(lines, 0u);
+  std::remove(trace_path.c_str());
+  std::remove(prov_path.c_str());
 }
 
 TEST(AuditToolCliTest, MissingFileFails) {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "src/take_grant.h"
@@ -185,6 +186,58 @@ TEST_F(MetricsConsistencyTest, QueriesLeaveTraceSpans) {
     saw_bitreach |= e.kind == tg_util::TraceKind::kBitReach;
   }
   EXPECT_TRUE(saw_bitreach);
+}
+
+// Causal identity: every span recorded during one CheckSecure call — the
+// query root, the nested knowable/batch query scopes, and the leaf BFS /
+// bit-reach records from pool workers — must carry the same query id for
+// any thread count, and the parent links must form a single rooted tree
+// (exactly one root, every parent resolvable, no cycles).
+TEST_F(MetricsConsistencyTest, CheckSecureSpansShareOneQueryIdAndFormOneTree) {
+  ProtectionGraph g = TestGraph(29);
+  tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(g);
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    tg_util::ThreadPool pool(threads);
+    tg_util::TraceBuffer::Instance().Clear();
+    tg_hier::SecurityReport report = tg_hier::CheckSecure(g, levels, 0, &pool);
+    (void)report;
+
+    std::vector<tg_util::TraceEvent> events = tg_util::TraceBuffer::Instance().Events();
+    ASSERT_FALSE(events.empty()) << "threads=" << threads;
+
+    const uint64_t query_id = events.front().query_id;
+    EXPECT_NE(query_id, 0u) << "threads=" << threads;
+    std::map<uint64_t, const tg_util::TraceEvent*> by_span;
+    size_t roots = 0;
+    for (const tg_util::TraceEvent& e : events) {
+      EXPECT_EQ(e.query_id, query_id)
+          << "threads=" << threads << " span " << e.span_id << " ("
+          << tg_util::TraceKindName(e.kind) << ") escaped the query";
+      ASSERT_NE(e.span_id, 0u);
+      by_span[e.span_id] = &e;
+      if (e.parent_span == 0) {
+        ++roots;
+        EXPECT_EQ(e.kind, tg_util::TraceKind::kQuery) << "threads=" << threads;
+      }
+    }
+    EXPECT_EQ(roots, 1u) << "threads=" << threads;
+    ASSERT_EQ(by_span.size(), events.size()) << "span ids must be unique";
+
+    // Every non-root parent resolves, and every parent chain terminates at
+    // the root (bounded walk = no cycles).
+    for (const tg_util::TraceEvent& e : events) {
+      uint64_t cursor = e.span_id;
+      size_t steps = 0;
+      while (by_span.at(cursor)->parent_span != 0) {
+        uint64_t parent = by_span.at(cursor)->parent_span;
+        ASSERT_TRUE(by_span.count(parent))
+            << "threads=" << threads << " span " << cursor << " has unknown parent " << parent;
+        cursor = parent;
+        ASSERT_LT(++steps, events.size()) << "parent chain cycle at span " << e.span_id;
+      }
+    }
+  }
 }
 
 TEST_F(MetricsConsistencyTest, MonitorCountersMatchAuditLog) {

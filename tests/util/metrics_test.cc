@@ -79,6 +79,60 @@ TEST_F(MetricsTest, HistogramCountSumMeanPercentiles) {
   EXPECT_EQ(histogram.sum(), 0u);
 }
 
+TEST_F(MetricsTest, PercentileShorthandsMatchPercentileUpperBound) {
+  Histogram histogram;
+  // Empty histogram: every percentile is 0.
+  EXPECT_EQ(histogram.P50(), 0u);
+  EXPECT_EQ(histogram.P95(), 0u);
+  EXPECT_EQ(histogram.P99(), 0u);
+
+  // 100 samples spread across buckets: 50 in [1,2), 45 in [16,32),
+  // 5 in [1024,2048).  Rank 50 lands in bucket(1) (upper bound 2), rank 95
+  // in bucket(16) (upper bound 32), rank 99 in bucket(1024) (upper bound
+  // 2048).
+  for (int i = 0; i < 50; ++i) {
+    histogram.Observe(1);
+  }
+  for (int i = 0; i < 45; ++i) {
+    histogram.Observe(20);
+  }
+  for (int i = 0; i < 5; ++i) {
+    histogram.Observe(1500);
+  }
+  EXPECT_EQ(histogram.P50(), histogram.PercentileUpperBound(50.0));
+  EXPECT_EQ(histogram.P95(), histogram.PercentileUpperBound(95.0));
+  EXPECT_EQ(histogram.P99(), histogram.PercentileUpperBound(99.0));
+  EXPECT_EQ(histogram.P50(), 2u);
+  EXPECT_EQ(histogram.P95(), 32u);
+  EXPECT_EQ(histogram.P99(), 2048u);
+  // Monotone in p, by construction.
+  EXPECT_LE(histogram.P50(), histogram.P95());
+  EXPECT_LE(histogram.P95(), histogram.P99());
+}
+
+TEST_F(MetricsTest, PercentilesOfSingleBucketDistribution) {
+  Histogram histogram;
+  for (int i = 0; i < 1000; ++i) {
+    histogram.Observe(100);  // bucket [64,128)
+  }
+  EXPECT_EQ(histogram.P50(), 128u);
+  EXPECT_EQ(histogram.P95(), 128u);
+  EXPECT_EQ(histogram.P99(), 128u);
+}
+
+TEST_F(MetricsTest, RenderTextIncludesPercentileColumns) {
+  Histogram& histogram = GetHistogram("test.metrics.pct_text");
+  histogram.Reset();
+  histogram.Observe(100);
+  std::string text = MetricsRegistry::Instance().RenderText();
+  size_t pos = text.find("test.metrics.pct_text");
+  ASSERT_NE(pos, std::string::npos) << text;
+  std::string line = text.substr(pos, text.find('\n', pos) - pos);
+  EXPECT_NE(line.find("p50<=128"), std::string::npos) << line;
+  EXPECT_NE(line.find("p95<=128"), std::string::npos) << line;
+  EXPECT_NE(line.find("p99<=128"), std::string::npos) << line;
+}
+
 TEST_F(MetricsTest, ConcurrentCounterAddsSumExactly) {
   Counter& counter = GetCounter("test.metrics.concurrent");
   counter.Reset();

@@ -129,5 +129,163 @@ TEST_F(TraceTest, NowNsIsMonotonic) {
   EXPECT_LE(a, b);
 }
 
+// Regression: RenderText on an overfilled ring must list events strictly
+// by seq (oldest retained first) and disclose the loss — an earlier
+// slot-order walk would interleave wrapped and unwrapped slots.
+TEST_F(TraceTest, RenderTextStaysSeqOrderedAndReportsDropsAfterOverfill) {
+  constexpr size_t kCapacity = 4;
+  constexpr uint64_t kTotal = 11;  // overfills nearly 3x, mid-wrap
+  TraceBuffer buffer(kCapacity);
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    buffer.Record(TraceKind::kProductBfs, i, 1, i, 0);
+  }
+  EXPECT_EQ(buffer.dropped(), kTotal - kCapacity);
+
+  std::string text = buffer.RenderText();
+  std::vector<uint64_t> seqs;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    seqs.push_back(std::stoull(line));
+  }
+  ASSERT_EQ(seqs.size(), kCapacity);
+  EXPECT_EQ(seqs.front(), kTotal - kCapacity);
+  for (size_t i = 1; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], seqs[i - 1] + 1) << text;
+  }
+  EXPECT_NE(text.find("# dropped 7"), std::string::npos) << text;
+}
+
+TEST_F(TraceTest, RecordStampsAmbientContextAndFreshSpanIds) {
+  TraceBuffer buffer(8);
+  uint64_t first = 0;
+  uint64_t second = 0;
+  {
+    ScopedTraceContext scope(TraceContext{42, 7});
+    first = buffer.Record(TraceKind::kProductBfs, 0, 1);
+    second = buffer.Record(TraceKind::kProductBfs, 1, 1);
+  }
+  uint64_t background = buffer.Record(TraceKind::kProductBfs, 2, 1);
+
+  std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].query_id, 42u);
+  EXPECT_EQ(events[0].parent_span, 7u);
+  EXPECT_EQ(events[0].span_id, first);
+  EXPECT_EQ(events[1].span_id, second);
+  EXPECT_NE(first, second);
+  EXPECT_NE(first, 0u);
+  EXPECT_EQ(events[2].query_id, 0u);
+  EXPECT_EQ(events[2].parent_span, 0u);
+  EXPECT_EQ(events[2].span_id, background);
+}
+
+TEST_F(TraceTest, NestedSpansFormParentChain) {
+  TraceBuffer::Instance().Clear();
+  {
+    ScopedTraceContext scope(TraceContext{9, 0});
+    TraceSpan outer(TraceKind::kCacheRebuild);
+    { TraceSpan inner(TraceKind::kProductBfs); }
+  }
+  std::vector<TraceEvent> events = TraceBuffer::Instance().Events();
+  ASSERT_EQ(events.size(), 2u);  // inner closed (and recorded) first
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.kind, TraceKind::kProductBfs);
+  EXPECT_EQ(outer.kind, TraceKind::kCacheRebuild);
+  EXPECT_EQ(inner.query_id, 9u);
+  EXPECT_EQ(outer.query_id, 9u);
+  EXPECT_EQ(outer.parent_span, 0u);
+  EXPECT_EQ(inner.parent_span, outer.span_id);
+}
+
+TEST_F(TraceTest, QueryScopeAllocatesIdAndNestedScopeJoins) {
+  TraceBuffer::Instance().Clear();
+  uint64_t root_id = 0;
+  {
+    QueryScope root(QueryKind::kCheckSecure);
+    root_id = root.query_id();
+    EXPECT_TRUE(root.is_root());
+    EXPECT_NE(root_id, 0u);
+    {
+      QueryScope nested(QueryKind::kKnowableAll);
+      EXPECT_FALSE(nested.is_root());
+      EXPECT_EQ(nested.query_id(), root_id);
+      nested.set_result(3);
+    }
+    root.set_verdict(true);
+  }
+  // Outside any scope the next query gets a fresh id.
+  {
+    QueryScope other(QueryKind::kCanKnow);
+    EXPECT_TRUE(other.is_root());
+    EXPECT_NE(other.query_id(), root_id);
+  }
+
+  std::vector<TraceEvent> events = TraceBuffer::Instance().Events();
+  ASSERT_EQ(events.size(), 3u);
+  const TraceEvent& nested = events[0];
+  const TraceEvent& root = events[1];
+  EXPECT_EQ(nested.query_id, root_id);
+  EXPECT_EQ(root.query_id, root_id);
+  EXPECT_EQ(nested.parent_span, root.span_id);
+  EXPECT_EQ(root.parent_span, 0u);
+  EXPECT_EQ(nested.arg0, static_cast<uint64_t>(QueryKind::kKnowableAll));
+  EXPECT_EQ(nested.arg1, 3u);
+  EXPECT_EQ(root.arg1, 1u);  // verdict true
+}
+
+TEST_F(TraceTest, ParallelForForwardsContextToWorkers) {
+  TraceBuffer::Instance().Clear();
+  ThreadPool pool(4);
+  uint64_t query_id = 0;
+  {
+    QueryScope query(QueryKind::kBatchRows);
+    query_id = query.query_id();
+    pool.ParallelFor(64, [&](size_t) { TraceSpan span(TraceKind::kBitReach); });
+  }
+  std::vector<TraceEvent> events = TraceBuffer::Instance().Events();
+  ASSERT_EQ(events.size(), 65u);
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.query_id, query_id);
+  }
+}
+
+TEST_F(TraceTest, DroppedGaugeMirrorsInstanceRingLoss) {
+  TraceBuffer& ring = TraceBuffer::Instance();
+  ring.Clear();
+  EXPECT_EQ(GetGauge("trace.dropped").value(), 0);
+  const uint64_t overfill = static_cast<uint64_t>(ring.capacity()) + 5;
+  for (uint64_t i = 0; i < overfill; ++i) {
+    ring.Record(TraceKind::kProductBfs, i, 1);
+  }
+  EXPECT_EQ(ring.dropped(), 5u);
+  EXPECT_EQ(GetGauge("trace.dropped").value(), 5);
+  ring.Clear();
+  EXPECT_EQ(GetGauge("trace.dropped").value(), 0);
+}
+
+TEST_F(TraceTest, SpanProfileAggregatesPerKindDurations) {
+  ResetSpanProfile();
+  TraceBuffer buffer(8);  // a local ring still feeds nothing...
+  buffer.Record(TraceKind::kRuleApply, 0, 1000);
+  EXPECT_EQ(SpanHistogram(TraceKind::kRuleApply).count(), 0u);
+  // ...but the process ring does.
+  TraceBuffer::Instance().Record(TraceKind::kRuleApply, 0, 1000);
+  TraceBuffer::Instance().Record(TraceKind::kRuleApply, 0, 3000);
+  Histogram& h = SpanHistogram(TraceKind::kRuleApply);
+  EXPECT_EQ(h.count(), 2u);
+  std::string profile = RenderSpanProfileText();
+  EXPECT_NE(profile.find("rule_apply"), std::string::npos) << profile;
+  EXPECT_NE(profile.find("count=2"), std::string::npos) << profile;
+  ResetSpanProfile();
+  EXPECT_EQ(SpanHistogram(TraceKind::kRuleApply).count(), 0u);
+}
+
 }  // namespace
 }  // namespace tg_util
