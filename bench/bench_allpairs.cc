@@ -81,11 +81,10 @@ int main(int argc, char** argv) {
   const int reps = smoke ? 3 : 1;
   reporter.Note("env", "cores=" + std::to_string(cores) + " threads=" +
                            std::to_string(threads) + " reps=" + std::to_string(reps));
-  jsonl.Write(exp::JsonObject()
-                  .Set("record", "env")
-                  .Set("hardware_concurrency", static_cast<uint64_t>(cores))
-                  .Set("threads", static_cast<uint64_t>(threads))
-                  .Set("smoke", smoke));
+  exp::JsonObject env_row;
+  env_row.Set("record", "env");
+  exp::AppendEnvInfo(env_row);
+  jsonl.Write(env_row.Set("smoke", smoke));
 
   std::vector<Config> sweep;
   if (smoke) {

@@ -66,11 +66,10 @@ int main(int argc, char** argv) {
   reporter.Note("env", "cores=" + std::to_string(cores) +
                            " threads=" + std::to_string(threads) +
                            " graph=" + g.Summary());
-  jsonl.Write(exp::JsonObject()
-                  .Set("record", "env")
-                  .Set("hardware_concurrency", static_cast<uint64_t>(cores))
-                  .Set("threads", static_cast<uint64_t>(threads))
-                  .Set("vertices", static_cast<uint64_t>(g.VertexCount()))
+  exp::JsonObject env_row;
+  env_row.Set("record", "env");
+  exp::AppendEnvInfo(env_row);
+  jsonl.Write(env_row.Set("vertices", static_cast<uint64_t>(g.VertexCount()))
                   .Set("subjects", static_cast<uint64_t>(g.SubjectCount()))
                   .Set("edges", static_cast<uint64_t>(g.ExplicitEdgeCount()))
                   .Set("smoke", smoke));

@@ -108,9 +108,10 @@ int main(int argc, char** argv) {
   const int iters = smoke ? 6 : 20;
   reporter.Note("env", "iters=" + std::to_string(iters) +
                            " overlay_max=" + std::to_string(tg::SnapshotOverlay::DefaultMaxPatched()));
-  jsonl.Write(exp::JsonObject()
-                  .Set("record", "env")
-                  .Set("iters", static_cast<uint64_t>(iters))
+  exp::JsonObject env_row;
+  env_row.Set("record", "env");
+  exp::AppendEnvInfo(env_row);
+  jsonl.Write(env_row.Set("iters", static_cast<uint64_t>(iters))
                   .Set("overlay_max",
                        static_cast<uint64_t>(tg::SnapshotOverlay::DefaultMaxPatched()))
                   .Set("smoke", smoke));

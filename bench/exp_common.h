@@ -9,9 +9,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "src/util/metrics.h"
+#include "src/util/thread_pool.h"
 
 namespace exp {
 
@@ -122,6 +125,18 @@ class JsonlWriter {
   std::FILE* out_;
 };
 
+// Appends the machine/thread context every benchmark env record must
+// carry: the real hardware_concurrency, the effective pool size, and the
+// raw TG_THREADS override (empty when unset) — so downstream tooling (and
+// scripts/check.sh) can flag artifacts produced by a single-core run.
+inline JsonObject& AppendEnvInfo(JsonObject& row) {
+  const char* tg_threads = std::getenv("TG_THREADS");
+  return row
+      .Set("hardware_concurrency", static_cast<uint64_t>(std::thread::hardware_concurrency()))
+      .Set("threads", static_cast<uint64_t>(tg_util::ThreadPool::DefaultThreadCount()))
+      .Set("tg_threads_env", tg_threads != nullptr ? tg_threads : "");
+}
+
 // Snapshot of the engine-internal metric counters, taken at construction.
 // AppendTo() folds the deltas since then into a JSONL row, so every timing
 // record carries the cache hit rate, snapshot rebuilds, and BFS work that
@@ -155,7 +170,20 @@ class MetricsDelta {
         .Set("overlay_patches", now.overlay_patches - baseline_.overlay_patches)
         .Set("compactions", now.compactions - baseline_.compactions)
         .Set("rows_reused", now.rows_reused - baseline_.rows_reused)
-        .Set("slices_repaired", now.slices_repaired - baseline_.slices_repaired);
+        .Set("slices_repaired", now.slices_repaired - baseline_.slices_repaired)
+        .Set("condense_components", now.condense_components - baseline_.condense_components)
+        .Set("condense_quotient_edges",
+             now.condense_quotient_edges - baseline_.condense_quotient_edges)
+        .Set("condense_closure_rows", now.condense_closure_rows - baseline_.condense_closure_rows)
+        .Set("condense_shards", now.condense_shards - baseline_.condense_shards)
+        .Set("condense_shards_dirty", now.condense_shards_dirty - baseline_.condense_shards_dirty)
+        .Set("condense_stage_visits", now.condense_stage_visits - baseline_.condense_stage_visits)
+        .Set("condense_stage_edge_scans",
+             now.condense_stage_edge_scans - baseline_.condense_stage_edge_scans)
+        .Set("condense_closure_rounds",
+             now.condense_closure_rounds - baseline_.condense_closure_rounds)
+        .Set("row_sparse_hits", now.row_sparse_hits - baseline_.row_sparse_hits)
+        .Set("row_dense_hits", now.row_dense_hits - baseline_.row_dense_hits);
     // Latency percentiles are cumulative over the process (histogram
     // buckets cannot be diffed), so they summarize the whole run so far.
     tg_util::Histogram& bfs_ns = tg_util::GetHistogram("bfs.run_ns");
@@ -182,6 +210,16 @@ class MetricsDelta {
     uint64_t compactions = 0;
     uint64_t rows_reused = 0;
     uint64_t slices_repaired = 0;
+    uint64_t condense_components = 0;
+    uint64_t condense_quotient_edges = 0;
+    uint64_t condense_closure_rows = 0;
+    uint64_t condense_shards = 0;
+    uint64_t condense_shards_dirty = 0;
+    uint64_t condense_stage_visits = 0;
+    uint64_t condense_stage_edge_scans = 0;
+    uint64_t condense_closure_rounds = 0;
+    uint64_t row_sparse_hits = 0;
+    uint64_t row_dense_hits = 0;
   };
 
   static void Snapshot(Values& v) {
@@ -201,6 +239,16 @@ class MetricsDelta {
     v.compactions = registry.CounterValue("incremental.compactions");
     v.rows_reused = registry.CounterValue("incremental.rows_reused");
     v.slices_repaired = registry.CounterValue("incremental.slices_repaired");
+    v.condense_components = registry.CounterValue("condense.components");
+    v.condense_quotient_edges = registry.CounterValue("condense.quotient_edges");
+    v.condense_closure_rows = registry.CounterValue("condense.closure_rows");
+    v.condense_shards = registry.CounterValue("condense.shards");
+    v.condense_shards_dirty = registry.CounterValue("condense.shards_dirty");
+    v.condense_stage_visits = registry.CounterValue("condense.stage_visits");
+    v.condense_stage_edge_scans = registry.CounterValue("condense.stage_edge_scans");
+    v.condense_closure_rounds = registry.CounterValue("condense.closure_rounds");
+    v.row_sparse_hits = registry.CounterValue("row.sparse_hits");
+    v.row_dense_hits = registry.CounterValue("row.dense_hits");
   }
 
   Values baseline_;

@@ -28,15 +28,29 @@ done
 
 # Perf regression guards from the regular (optimized) build: the
 # bit-parallel all-pairs engine must stay within 2x of the scalar engine
-# even at sizes too small to amortize its setup, and the incremental
-# repair path must stay bit-identical to (and not much slower than) the
-# full-rebuild baseline at tiny sizes.
-echo "=== bench smoke (bit-parallel + incremental guards) ==="
+# even at sizes too small to amortize its setup, the incremental repair
+# path must stay bit-identical to (and not much slower than) the
+# full-rebuild baseline at tiny sizes, and the level-sharded audit must
+# stay report-identical to the dense engine.
+echo "=== bench smoke (bit-parallel + incremental + sharded-audit guards) ==="
 if [ ! -f build/CMakeCache.txt ]; then
   cmake -B build >/dev/null
 fi
-cmake --build build -j "$jobs" --target bench_allpairs bench_incremental bench_batch >/dev/null
-ctest --test-dir build -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke' \
+cmake --build build -j "$jobs" \
+  --target bench_allpairs bench_incremental bench_batch bench_scale >/dev/null
+
+# Benchmark artifacts record the machine context; warn loudly when this
+# run's numbers would come from a single effective core (TG_THREADS=1 or a
+# 1-core machine) — parallel-speedup rows from such a run are meaningless.
+effective_threads="${TG_THREADS:-$(nproc 2>/dev/null || echo 1)}"
+if [ "$effective_threads" -le 1 ]; then
+  echo "WARNING: bench smoke running with a single effective core" \
+       "(TG_THREADS=${TG_THREADS:-unset}, nproc=$(nproc 2>/dev/null || echo '?'));" \
+       "treat parallel-speedup numbers from this run as noise." >&2
+fi
+
+ctest --test-dir build \
+  -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke|bench_scale_smoke' \
   --output-on-failure
 
 # Trace-export gate: run the batch smoke with the Perfetto exporter on and

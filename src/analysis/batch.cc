@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/analysis/bridges.h"
+#include "src/tg/condense.h"
 #include "src/tg/languages.h"
 #include "src/util/metrics.h"
 #include "src/util/trace.h"
@@ -190,44 +191,38 @@ BitMatrix KnowableMatrixImpl(const AnalysisSnapshot& snap, std::span<const Verte
       }
     });
   }
-  std::vector<uint32_t> comp = tg::StronglyConnectedComponents(digraph);
-  uint32_t comp_count = 0;
-  for (uint32_t c : comp) {
-    comp_count = std::max(comp_count, c + 1);
-  }
-  std::vector<std::vector<VertexId>> members(comp_count);
-  for (VertexId u : subjects) {
-    members[comp[u]].push_back(u);
-  }
-  BitMatrix full(comp_count, n);
-  BitMatrix full_dep;
-  if (deps != nullptr) {
-    full_dep = BitMatrix(comp_count, n);
-  }
-  for (uint32_t c = 0; c < comp_count; ++c) {
-    std::span<uint64_t> row = full.MutableRow(c);
-    for (VertexId u : members[c]) {
-      full.Set(c, u);
-      OrInto(row, spans.Row(subject_index[u]));
-      for (VertexId w : digraph[u]) {
-        if (comp[w] != c) {
-          OrInto(row, full.Row(comp[w]));  // comp[w] < c: already folded
-        }
-      }
-      if (deps != nullptr) {
-        // The component's footprint: every vertex the closure's BOC rounds
-        // or terminal spans from its members visit, plus (transitively) the
-        // footprints of successor components — mirroring the value fold.
-        std::span<uint64_t> dep_row = full_dep.MutableRow(c);
-        OrInto(dep_row, boc_touched.Row(subject_index[u]));
-        OrInto(dep_row, spans_touched.Row(subject_index[u]));
-        for (VertexId w : digraph[u]) {
-          if (comp[w] != c) {
-            OrInto(dep_row, full_dep.Row(comp[w]));
+  // The quotient CSR dedupes cross-component edges, and the closure pass
+  // folds each successor component exactly once per component (the member
+  // loop only contributes seeds), so the fold is one reverse-topological
+  // pass.  Rows are hybrid ReachRows: sparse components cost O(set bits),
+  // not n/8 bytes.
+  const tg::QuotientGraph quotient = tg::BuildQuotient(digraph);
+  const uint32_t comp_count = quotient.component_count;
+  const std::vector<uint32_t>& comp = quotient.component;
+  std::vector<tg::ReachRow> full = tg::QuotientClosure(
+      quotient, n, [&](uint32_t c, tg::ReachRow& row) {
+        for (VertexId u : quotient.members[c]) {
+          if (subject_index[u] == kNoSubject) {
+            continue;  // non-members of the subject universe seed nothing
           }
+          row.Set(u);
+          row.OrDense(spans.Row(subject_index[u]));
         }
+      });
+  std::vector<tg::ReachRow> full_dep;
+  if (deps != nullptr) {
+    // The component's footprint: every vertex the closure's BOC rounds or
+    // terminal spans from its members visit, plus (transitively) the
+    // footprints of successor components — mirroring the value fold.
+    full_dep = tg::QuotientClosure(quotient, n, [&](uint32_t c, tg::ReachRow& row) {
+      for (VertexId u : quotient.members[c]) {
+        if (subject_index[u] == kNoSubject) {
+          continue;
+        }
+        row.OrDense(boc_touched.Row(subject_index[u]));
+        row.OrDense(spans_touched.Row(subject_index[u]));
       }
-    }
+    });
   }
 
   // Stage 3 (word-sliced, parallel): compose each source row as
@@ -258,9 +253,9 @@ BitMatrix KnowableMatrixImpl(const AnalysisSnapshot& snap, std::span<const Verte
         }
         comp_seen[c] = true;
         touched.push_back(c);
-        OrInto(row, full.Row(c));
+        full[c].OrIntoDense(row);
         if (deps != nullptr) {
-          OrInto(deps->MutableRow(i), full_dep.Row(c));
+          full_dep[c].OrIntoDense(deps->MutableRow(i));
         }
       };
       tg::ForEachSetBit(heads_probe.Row(i), [&](size_t v) {

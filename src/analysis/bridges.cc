@@ -120,4 +120,40 @@ std::vector<bool> BridgeOrConnectionClosureTouched(const tg::AnalysisSnapshot& s
   return SubjectClosure(snap, seeds, tg::BridgeOrConnectionDfa(), &touched_words);
 }
 
+std::vector<uint64_t> SubjectClosureWords(const tg::AnalysisSnapshot& snap,
+                                          const tg::ProductGraph& graph,
+                                          std::span<const uint64_t> seed_words,
+                                          tg::ProductReachStats* stats, uint64_t* rounds) {
+  const size_t n = snap.vertex_count();
+  const size_t words = (n + 63) / 64;
+  std::vector<uint64_t> subject_bits(words, 0);
+  for (VertexId s : snap.Subjects()) {
+    subject_bits[s >> 6] |= uint64_t{1} << (s & 63);
+  }
+  std::vector<uint64_t> in_set(words, 0);
+  for (size_t w = 0; w < words && w < seed_words.size(); ++w) {
+    in_set[w] = seed_words[w] & subject_bits[w];
+  }
+  while (true) {
+    if (rounds != nullptr) {
+      ++*rounds;
+    }
+    // All current members seed the sweep, exactly like the vector closure:
+    // accepted walks may need to start anywhere in the set.
+    const std::vector<uint64_t> reached = tg::ProductReachWords(snap, graph, in_set, stats);
+    bool grew = false;
+    for (size_t w = 0; w < words; ++w) {
+      const uint64_t fresh = reached[w] & subject_bits[w] & ~in_set[w];
+      if (fresh != 0) {
+        in_set[w] |= fresh;
+        grew = true;
+      }
+    }
+    if (!grew) {
+      break;
+    }
+  }
+  return in_set;
+}
+
 }  // namespace tg_analysis

@@ -10,9 +10,12 @@
 #ifndef SRC_ANALYSIS_BRIDGES_H_
 #define SRC_ANALYSIS_BRIDGES_H_
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "src/tg/bitset_reach.h"
 #include "src/tg/graph.h"
 #include "src/tg/path.h"
 #include "src/tg/snapshot.h"
@@ -59,6 +62,21 @@ std::vector<bool> BridgeOrConnectionClosure(const tg::AnalysisSnapshot& snap,
 std::vector<bool> BridgeOrConnectionClosureTouched(const tg::AnalysisSnapshot& snap,
                                                    const std::vector<tg::VertexId>& seeds,
                                                    std::vector<uint64_t>& touched_words);
+
+// Low-memory bitset form of the directional closure, for the level-sharded
+// audit: the same least fixpoint as BridgeOrConnectionClosure, but seeds
+// and result are vertex bitsets ((vertex_count + 63) / 64 words) and every
+// round is one reach-only sweep over a PREBUILT product graph (built once
+// per audit from BridgeOrConnectionDfa with use_implicit = true, shared
+// read-only across shards).  Non-subject / invalid seed bits are ignored,
+// matching the vector overloads.  `stats` (if given) accumulates sweep
+// tallies and `rounds` (if given) the number of fixpoint rounds — both
+// deterministic for any thread count.
+std::vector<uint64_t> SubjectClosureWords(const tg::AnalysisSnapshot& snap,
+                                          const tg::ProductGraph& graph,
+                                          std::span<const uint64_t> seed_words,
+                                          tg::ProductReachStats* stats = nullptr,
+                                          uint64_t* rounds = nullptr);
 
 }  // namespace tg_analysis
 

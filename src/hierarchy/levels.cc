@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/tg/bitset_reach.h"
+#include "src/tg/condense.h"
 #include "src/tg/languages.h"
 #include "src/tg/path.h"
 #include "src/tg/snapshot.h"
@@ -187,6 +188,25 @@ std::vector<std::vector<VertexId>> BocDigraph(const tg::AnalysisSnapshot& snap,
   options.use_implicit = true;
   tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
   const std::vector<VertexId>& subjects = snap.Subjects();
+  if (tg::BitMatrix::AllocationBytes(subjects.size(), snap.vertex_count()) >
+      tg::BitMatrix::MaxBytes()) {
+    // Dense subject x vertex matrix over the cap: hold the BOC relation as
+    // hybrid ReachRows instead.  Row contents are identical (same slices),
+    // so the digraph — and every level decision downstream — is unchanged.
+    std::vector<tg::ReachRow> rows = tg::SnapshotWordReachableAllRows(
+        snap, std::span<const VertexId>(subjects), tg::BridgeOrConnectionDfa(), options,
+        &runner);
+    std::vector<std::vector<VertexId>> adj(snap.vertex_count());
+    runner.ParallelFor(subjects.size(), [&](size_t i) {
+      const VertexId u = subjects[i];
+      rows[i].ForEachSetBit([&](size_t v) {
+        if (v != u && snap.IsSubject(static_cast<VertexId>(v))) {
+          adj[u].push_back(static_cast<VertexId>(v));
+        }
+      });
+    });
+    return adj;
+  }
   tg::BitMatrix reach = tg::SnapshotWordReachableAll(
       snap, std::span<const VertexId>(subjects), tg::BridgeOrConnectionDfa(), options, &runner);
   return DigraphFromBocRows(snap, [&](size_t i) { return reach.Row(i); }, runner);
@@ -211,10 +231,17 @@ namespace {
 LevelAssignment LevelsFromDigraph(const std::vector<std::vector<VertexId>>& adj,
                                   const std::vector<bool>& participates) {
   const size_t n = adj.size();
-  std::vector<uint32_t> comp = StronglyConnectedComponents(adj);
+  // Condense first: levels are components of the quotient, and the higher
+  // relation is exactly the deduplicated quotient edge set — O(components +
+  // quotient edges) declarations instead of re-walking every raw edge.
+  // (Both digraphs fed here keep participation closed under SCCs: BOC
+  // edges only link subjects, and the rw digraph participates everywhere,
+  // so a quotient edge between two remapped components always corresponds
+  // to a participating raw edge.)
+  const tg::QuotientGraph quotient = tg::BuildQuotient(adj);
+  const std::vector<uint32_t>& comp = quotient.component;
   // Renumber to only components containing participating vertices.
-  std::vector<uint32_t> remap(n == 0 ? 0 : *std::max_element(comp.begin(), comp.end()) + 1,
-                              kNoLevel);
+  std::vector<uint32_t> remap(quotient.component_count, kNoLevel);
   uint32_t level_count = 0;
   for (size_t v = 0; v < n; ++v) {
     if (participates[v] && remap[comp[v]] == kNoLevel) {
@@ -227,15 +254,14 @@ LevelAssignment LevelsFromDigraph(const std::vector<std::vector<VertexId>>& adj,
       assignment.Assign(static_cast<VertexId>(v), remap[comp[v]]);
     }
   }
-  // Condensation reachability: DFS from each component over original edges.
-  // Levels are few in practice; a simple per-level DFS suffices.
-  for (size_t v = 0; v < n; ++v) {
-    if (!participates[v]) {
+  for (uint32_t c = 0; c < quotient.component_count; ++c) {
+    if (remap[c] == kNoLevel) {
       continue;
     }
-    for (VertexId w : adj[v]) {
-      if (participates[w] && comp[w] != comp[v]) {
-        assignment.DeclareHigher(remap[comp[v]], remap[comp[w]]);
+    for (uint32_t e = quotient.offsets[c]; e < quotient.offsets[c + 1]; ++e) {
+      const uint32_t d = quotient.targets[e];
+      if (remap[d] != kNoLevel) {
+        assignment.DeclareHigher(remap[c], remap[d]);
       }
     }
   }

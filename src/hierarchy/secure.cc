@@ -1,7 +1,10 @@
 #include "src/hierarchy/secure.h"
 
+#include <algorithm>
+
 #include "src/analysis/batch.h"
 #include "src/analysis/can_know.h"
+#include "src/hierarchy/shard_audit.h"
 #include "src/tg/bitset_reach.h"
 #include "src/tg/languages.h"
 #include "src/tg/path.h"
@@ -17,22 +20,52 @@ namespace {
 
 // Phase 1 of CheckSecure: assigned vertices with at least one
 // strictly-higher assigned vertex.  Everything else is vacuously fine.
+// "Some assigned vertex sits strictly higher than x" only depends on x's
+// level, so one O(n) occupancy pass + an O(L^2) level scan replaces the
+// old O(n^2) pairwise loop — same candidates, same (ascending) order.
 std::vector<VertexId> SecureCandidates(const ProtectionGraph& g,
                                        const LevelAssignment& assignment) {
   const size_t n = g.VertexCount();
-  std::vector<VertexId> candidates;
-  for (VertexId x = 0; x < n; ++x) {
-    if (!assignment.IsAssigned(x)) {
-      continue;
+  const size_t level_count = assignment.LevelCount();
+  std::vector<bool> occupied(level_count, false);
+  for (VertexId v = 0; v < n; ++v) {
+    const LevelId level = assignment.LevelOf(v);
+    if (level != kNoLevel) {
+      occupied[level] = true;
     }
-    for (VertexId y = 0; y < n; ++y) {
-      if (assignment.HigherVertex(y, x)) {
-        candidates.push_back(x);
+  }
+  std::vector<bool> has_higher(level_count, false);
+  for (LevelId low = 0; low < level_count; ++low) {
+    for (LevelId high = 0; high < level_count; ++high) {
+      if (occupied[high] && assignment.Higher(high, low)) {
+        has_higher[low] = true;
         break;
       }
     }
   }
+  std::vector<VertexId> candidates;
+  for (VertexId x = 0; x < n; ++x) {
+    const LevelId level = assignment.LevelOf(x);
+    if (level != kNoLevel && has_higher[level]) {
+      candidates.push_back(x);
+    }
+  }
   return candidates;
+}
+
+// kAuto engine selection, shared by both audits: shard when the scale
+// warrants it and there is level structure to shard by.
+AuditEngine ResolveEngine(AuditEngine engine, size_t vertex_count, size_t level_count) {
+  if (engine != AuditEngine::kAuto) {
+    return engine;
+  }
+  if (level_count < 2) {
+    return AuditEngine::kDense;
+  }
+  const bool over_cap =
+      tg::BitMatrix::AllocationBytes(vertex_count, vertex_count) > tg::BitMatrix::MaxBytes();
+  return (vertex_count >= kShardedAuditMinVertices || over_cap) ? AuditEngine::kSharded
+                                                                : AuditEngine::kDense;
 }
 
 // Phase 3 of CheckSecure (serial, in candidate order): emit violations
@@ -115,33 +148,106 @@ std::vector<CrossLevelChannel> EmitChannels(const ProtectionGraph& g,
   return channels;
 }
 
+// Sharded phase 2+3: shard summaries decide which levels can contribute at
+// all; only candidates on dirty levels expand to real rows, in global
+// ascending candidate order and in bounded 256-row chunks (so an insecure
+// graph with a cutoff never materializes more rows than it reports from).
+// Chunk rows come from the same KnowableMatrix pipeline as the dense
+// engine, so contents, order, and the max_violations cutoff are identical.
+SecurityReport CheckSecureSharded(const ProtectionGraph& g, const tg::AnalysisSnapshot& snap,
+                                  const LevelAssignment& assignment,
+                                  const std::vector<VertexId>& candidates,
+                                  size_t max_violations, tg_util::ThreadPool* pool) {
+  const std::vector<ShardSummary> summaries =
+      KnowableShardSummaries(snap, assignment, candidates, pool);
+  std::vector<bool> dirty_level(assignment.LevelCount(), false);
+  bool any_dirty = false;
+  for (const ShardSummary& summary : summaries) {
+    if (summary.dirty) {
+      dirty_level[summary.level] = true;
+      any_dirty = true;
+    }
+  }
+  SecurityReport report;
+  if (!any_dirty) {
+    return report;  // every shard proved clean by the union argument
+  }
+  std::vector<VertexId> dirty_candidates;
+  for (VertexId x : candidates) {
+    if (dirty_level[assignment.LevelOf(x)]) {
+      dirty_candidates.push_back(x);
+    }
+  }
+  constexpr size_t kChunk = 256;
+  for (size_t first = 0; first < dirty_candidates.size(); first += kChunk) {
+    const size_t count = std::min(kChunk, dirty_candidates.size() - first);
+    const std::vector<VertexId> chunk(dirty_candidates.begin() + first,
+                                      dirty_candidates.begin() + first + count);
+    tg::BitMatrix rows = tg_analysis::KnowableMatrix(
+        snap, std::span<const VertexId>(chunk), pool);
+    const size_t remaining =
+        max_violations == 0 ? 0 : max_violations - report.violations.size();
+    SecurityReport part = EmitViolations(
+        g, assignment, chunk, [&](size_t i, VertexId y) { return rows.Test(i, y); },
+        remaining);
+    if (!part.secure) {
+      report.secure = false;
+    }
+    report.violations.insert(report.violations.end(),
+                             std::make_move_iterator(part.violations.begin()),
+                             std::make_move_iterator(part.violations.end()));
+    if (max_violations != 0 && report.violations.size() >= max_violations) {
+      break;
+    }
+  }
+  return report;
+}
+
 }  // namespace
 
 SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
-                           size_t max_violations, tg_util::ThreadPool* pool) {
+                           size_t max_violations, tg_util::ThreadPool* pool,
+                           AuditEngine engine) {
   tg_util::QueryScope query(tg_util::QueryKind::kCheckSecure, 1);
   std::vector<VertexId> candidates = SecureCandidates(g, assignment);
   if (candidates.empty()) {
     return SecurityReport{};
   }
-  // One knowable bit row per candidate from the bit-parallel pipeline,
-  // 64 candidates per product BFS.
   tg::AnalysisSnapshot snap(g);
-  tg::BitMatrix rows = tg_analysis::KnowableMatrix(snap, candidates, pool);
-  SecurityReport report = EmitViolations(
-      g, assignment, candidates, [&](size_t i, VertexId y) { return rows.Test(i, y); },
-      max_violations);
+  SecurityReport report;
+  if (ResolveEngine(engine, g.VertexCount(), assignment.LevelCount()) ==
+      AuditEngine::kSharded) {
+    report = CheckSecureSharded(g, snap, assignment, candidates, max_violations, pool);
+  } else {
+    // One knowable bit row per candidate from the bit-parallel pipeline,
+    // 64 candidates per product BFS.
+    tg::BitMatrix rows = tg_analysis::KnowableMatrix(snap, candidates, pool);
+    report = EmitViolations(
+        g, assignment, candidates, [&](size_t i, VertexId y) { return rows.Test(i, y); },
+        max_violations);
+  }
   query.set_verdict(report.secure);
   return report;
 }
 
 SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
                            tg_analysis::AnalysisCache& cache, size_t max_violations,
-                           tg_util::ThreadPool* pool) {
+                           tg_util::ThreadPool* pool, AuditEngine engine) {
   tg_util::QueryScope query(tg_util::QueryKind::kCheckSecure, 1);
   std::vector<VertexId> candidates = SecureCandidates(g, assignment);
   if (candidates.empty()) {
     return SecurityReport{};
+  }
+  if (ResolveEngine(engine, g.VertexCount(), assignment.LevelCount()) ==
+      AuditEngine::kSharded) {
+    // The sharded engine reuses the cache's overlay-patched snapshot (the
+    // expensive shared artifact); its per-shard summaries are cheap enough
+    // to recompute per audit, and the dense all-pairs matrix the cache
+    // would otherwise pin never materializes.
+    SecurityReport report = CheckSecureSharded(g, cache.Snapshot(g), assignment, candidates,
+                                               max_violations, pool);
+    query.set_verdict(report.secure);
+    return report;
   }
   // The cached matrix is all-vertices (row x = knowable from x); candidate
   // i's row is simply row candidates[i].  Between calls the cache repairs
@@ -155,16 +261,81 @@ SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assi
   return report;
 }
 
+namespace {
+
+// Sharded structural scan: per-level BOC summaries, then per-source rows
+// for dirty levels only, chunked like the sharded CheckSecure.  The
+// summary-level verdict (which levels a shard's sources reach) expands to
+// concrete vertex paths in EmitChannels — FindWordPath replays the actual
+// bridge-or-connection witness, so the channel list is identical to the
+// dense scan's.
+std::vector<CrossLevelChannel> FindCrossLevelChannelsSharded(
+    const ProtectionGraph& g, const tg::AnalysisSnapshot& snap,
+    const LevelAssignment& assignment, const std::vector<VertexId>& sources,
+    size_t max_channels, tg_util::ThreadPool* pool) {
+  const std::vector<ShardSummary> summaries =
+      ChannelShardSummaries(snap, assignment, sources, pool);
+  std::vector<bool> dirty_level(assignment.LevelCount(), false);
+  bool any_dirty = false;
+  for (const ShardSummary& summary : summaries) {
+    if (summary.dirty) {
+      dirty_level[summary.level] = true;
+      any_dirty = true;
+    }
+  }
+  std::vector<CrossLevelChannel> channels;
+  if (!any_dirty) {
+    return channels;
+  }
+  std::vector<VertexId> dirty_sources;
+  for (VertexId u : sources) {
+    if (dirty_level[assignment.LevelOf(u)]) {
+      dirty_sources.push_back(u);
+    }
+  }
+  tg::SnapshotBfsOptions snap_options;
+  snap_options.use_implicit = true;
+  constexpr size_t kChunk = 256;
+  for (size_t first = 0; first < dirty_sources.size(); first += kChunk) {
+    const size_t count = std::min(kChunk, dirty_sources.size() - first);
+    const std::vector<VertexId> chunk(dirty_sources.begin() + first,
+                                      dirty_sources.begin() + first + count);
+    tg::BitMatrix reach =
+        tg::SnapshotWordReachableAll(snap, std::span<const VertexId>(chunk),
+                                     tg::BridgeOrConnectionDfa(), snap_options, pool);
+    const size_t remaining = max_channels == 0 ? 0 : max_channels - channels.size();
+    std::vector<CrossLevelChannel> part = EmitChannels(
+        g, assignment, chunk, [&](size_t i, VertexId v) { return reach.Test(i, v); },
+        remaining);
+    channels.insert(channels.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    if (max_channels != 0 && channels.size() >= max_channels) {
+      break;
+    }
+  }
+  return channels;
+}
+
+}  // namespace
+
 std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
                                                       const LevelAssignment& assignment,
                                                       size_t max_channels,
-                                                      tg_util::ThreadPool* pool) {
+                                                      tg_util::ThreadPool* pool,
+                                                      AuditEngine engine) {
   tg_util::QueryScope query(tg_util::QueryKind::kCrossLevelChannels);
   std::vector<VertexId> sources = ChannelSources(g, assignment);
   if (sources.empty()) {
     return {};
   }
   tg::AnalysisSnapshot snap(g);
+  if (ResolveEngine(engine, g.VertexCount(), assignment.LevelCount()) ==
+      AuditEngine::kSharded) {
+    std::vector<CrossLevelChannel> channels =
+        FindCrossLevelChannelsSharded(g, snap, assignment, sources, max_channels, pool);
+    query.set_result(channels.size());
+    return channels;
+  }
   tg::SnapshotBfsOptions snap_options;
   snap_options.use_implicit = true;
   tg::BitMatrix reach =
@@ -181,11 +352,19 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
                                                       const LevelAssignment& assignment,
                                                       tg_analysis::AnalysisCache& cache,
                                                       size_t max_channels,
-                                                      tg_util::ThreadPool* pool) {
+                                                      tg_util::ThreadPool* pool,
+                                                      AuditEngine engine) {
   tg_util::QueryScope query(tg_util::QueryKind::kCrossLevelChannels);
   std::vector<VertexId> sources = ChannelSources(g, assignment);
   if (sources.empty()) {
     return {};
+  }
+  if (ResolveEngine(engine, g.VertexCount(), assignment.LevelCount()) ==
+      AuditEngine::kSharded) {
+    std::vector<CrossLevelChannel> channels = FindCrossLevelChannelsSharded(
+        g, cache.Snapshot(g), assignment, sources, max_channels, pool);
+    query.set_result(channels.size());
+    return channels;
   }
   const tg::BitMatrix& reach =
       cache.ReachableAll(g, tg::BridgeOrConnectionDfa(), /*use_implicit=*/true,

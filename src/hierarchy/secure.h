@@ -35,6 +35,19 @@ struct SecurityReport {
   std::vector<SecurityViolation> violations;
 };
 
+// Which reachability engine the audit runs on.  kDense is the PR-3 path:
+// one knowable / BOC row per candidate from the bit-parallel matrix
+// pipeline.  kSharded is the condensation-first path: candidates shard by
+// rwtg-level, each shard computes ONE multi-source summary per pipeline
+// stage (src/hierarchy/shard_audit.h), and only dirty shards expand to
+// per-candidate rows — identical reports (contents, order, cutoff), but
+// O(levels) sweeps instead of O(candidates) rows on clean hierarchies,
+// which is what scales past the dense matrix allocation cap.  kAuto picks
+// kSharded at or above kShardedAuditMinVertices vertices (or when the
+// dense matrix would exceed tg::BitMatrix::MaxBytes()) when the
+// assignment has at least two levels, and kDense otherwise.
+enum class AuditEngine { kAuto, kDense, kSharded };
+
 // Decides the security definition for an explicit level assignment:
 // for every ordered pair with level(lower) < level(higher), can_know(lower,
 // higher) must be false.  Unassigned vertices are unconstrained.
@@ -44,7 +57,8 @@ struct SecurityReport {
 // pool); the report — contents, order, and the max_violations cutoff — is
 // identical to the serial scan for any thread count.
 SecurityReport CheckSecure(const tg::ProtectionGraph& g, const LevelAssignment& assignment,
-                           size_t max_violations = 0, tg_util::ThreadPool* pool = nullptr);
+                           size_t max_violations = 0, tg_util::ThreadPool* pool = nullptr,
+                           AuditEngine engine = AuditEngine::kAuto);
 
 // Cache-aware overload: reuses the cache's snapshot and its epoch-keyed
 // all-pairs knowable matrix instead of rebuilding either, so an audit that
@@ -52,7 +66,8 @@ SecurityReport CheckSecure(const tg::ProtectionGraph& g, const LevelAssignment& 
 // snapshot build total.  Identical report.
 SecurityReport CheckSecure(const tg::ProtectionGraph& g, const LevelAssignment& assignment,
                            tg_analysis::AnalysisCache& cache, size_t max_violations = 0,
-                           tg_util::ThreadPool* pool = nullptr);
+                           tg_util::ThreadPool* pool = nullptr,
+                           AuditEngine engine = AuditEngine::kAuto);
 
 // One cross-level information channel (Theorem 5.2's structural witness):
 // a bridge-or-connection path from a subject in one level to a subject in a
@@ -70,7 +85,8 @@ struct CrossLevelChannel {
 std::vector<CrossLevelChannel> FindCrossLevelChannels(const tg::ProtectionGraph& g,
                                                       const LevelAssignment& assignment,
                                                       size_t max_channels = 0,
-                                                      tg_util::ThreadPool* pool = nullptr);
+                                                      tg_util::ThreadPool* pool = nullptr,
+                                                      AuditEngine engine = AuditEngine::kAuto);
 
 // Cache-aware overload: reads the cache's all-pairs BOC reach matrix (the
 // same entry ComputeRwtgLevels(g, cache) uses) instead of recomputing
@@ -79,7 +95,8 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const tg::ProtectionGraph&
                                                       const LevelAssignment& assignment,
                                                       tg_analysis::AnalysisCache& cache,
                                                       size_t max_channels = 0,
-                                                      tg_util::ThreadPool* pool = nullptr);
+                                                      tg_util::ThreadPool* pool = nullptr,
+                                                      AuditEngine engine = AuditEngine::kAuto);
 
 // Theorem 5.2, decided structurally: secure iff FindCrossLevelChannels
 // returns nothing.

@@ -1,0 +1,241 @@
+#include "src/hierarchy/shard_audit.h"
+
+#include <algorithm>
+
+#include "src/analysis/bridges.h"
+#include "src/tg/bitset_reach.h"
+#include "src/tg/languages.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
+namespace tg_hier {
+
+using tg::AnalysisSnapshot;
+using tg::ProductGraph;
+using tg::ProductReachStats;
+using tg::VertexId;
+
+namespace {
+
+struct Shard {
+  LevelId level = kNoLevel;
+  std::vector<VertexId> members;  // ascending (input order is ascending)
+};
+
+// Groups assigned vertices by level, ascending level id, members ascending.
+std::vector<Shard> GroupByLevel(const LevelAssignment& assignment,
+                                const std::vector<VertexId>& vertices) {
+  std::vector<std::vector<VertexId>> by_level(assignment.LevelCount());
+  for (VertexId v : vertices) {
+    const LevelId level = assignment.LevelOf(v);
+    if (level != kNoLevel) {
+      by_level[level].push_back(v);
+    }
+  }
+  std::vector<Shard> shards;
+  for (LevelId level = 0; level < by_level.size(); ++level) {
+    if (!by_level[level].empty()) {
+      shards.push_back(Shard{level, std::move(by_level[level])});
+    }
+  }
+  return shards;
+}
+
+std::vector<uint64_t> SubjectBits(const AnalysisSnapshot& snap) {
+  std::vector<uint64_t> bits((snap.vertex_count() + 63) / 64, 0);
+  for (VertexId s : snap.Subjects()) {
+    bits[s >> 6] |= uint64_t{1} << (s & 63);
+  }
+  return bits;
+}
+
+// Fills the summary from the shard's reached-word set: the hybrid row plus
+// the cross-level connection summary (levels of qualifying reached
+// vertices) and the dirty flag.
+void Summarize(const AnalysisSnapshot& snap, const LevelAssignment& assignment,
+               const std::vector<uint64_t>& reached_words, bool subjects_only,
+               ShardSummary& summary) {
+  summary.reached = tg::ReachRow::FromDense(reached_words, snap.vertex_count());
+  tg::RecordReachRowStats(summary.reached);
+  std::vector<bool> seen(assignment.LevelCount(), false);
+  summary.reached.ForEachSetBit([&](size_t v) {
+    if (subjects_only && !snap.IsSubject(static_cast<VertexId>(v))) {
+      return;
+    }
+    const LevelId level = assignment.LevelOf(static_cast<VertexId>(v));
+    if (level != kNoLevel) {
+      seen[level] = true;
+    }
+  });
+  for (LevelId level = 0; level < seen.size(); ++level) {
+    if (!seen[level]) {
+      continue;
+    }
+    summary.reached_levels.push_back(level);
+    if (assignment.Higher(level, summary.level)) {
+      summary.dirty = true;
+    }
+  }
+}
+
+// Per-shard deterministic tallies, summed into the condense.* counters once
+// at the end (sums of per-shard deterministic values are deterministic for
+// any thread count).
+struct ShardTallies {
+  ProductReachStats stats;
+  uint64_t closure_rounds = 0;
+};
+
+void RecordShardAudit(uint64_t start_ns, const std::vector<ShardTallies>& tallies,
+                      size_t shard_count, size_t dirty_count) {
+  if (!tg_util::MetricsEnabled()) {
+    return;
+  }
+  static tg_util::Counter& shards = tg_util::GetCounter("condense.shards");
+  static tg_util::Counter& dirty = tg_util::GetCounter("condense.shards_dirty");
+  static tg_util::Counter& visits = tg_util::GetCounter("condense.stage_visits");
+  static tg_util::Counter& scans = tg_util::GetCounter("condense.stage_edge_scans");
+  static tg_util::Counter& rounds = tg_util::GetCounter("condense.closure_rounds");
+  uint64_t total_visits = 0;
+  uint64_t total_scans = 0;
+  uint64_t total_rounds = 0;
+  for (const ShardTallies& t : tallies) {
+    total_visits += t.stats.visits;
+    total_scans += t.stats.edge_scans;
+    total_rounds += t.closure_rounds;
+  }
+  shards.Add(shard_count);
+  dirty.Add(dirty_count);
+  visits.Add(total_visits);
+  scans.Add(total_scans);
+  rounds.Add(total_rounds);
+  const uint64_t end_ns = tg_util::TraceBuffer::NowNs();
+  tg_util::TraceBuffer::Instance().Record(tg_util::TraceKind::kShardAudit, start_ns,
+                                          end_ns - start_ns, shard_count, dirty_count);
+}
+
+}  // namespace
+
+std::vector<ShardSummary> KnowableShardSummaries(const AnalysisSnapshot& snap,
+                                                 const LevelAssignment& assignment,
+                                                 const std::vector<VertexId>& candidates,
+                                                 tg_util::ThreadPool* pool) {
+  const uint64_t start_ns = tg_util::MetricsEnabled() ? tg_util::TraceBuffer::NowNs() : 0;
+  const size_t n = snap.vertex_count();
+  const size_t words = (n + 63) / 64;
+  const std::vector<Shard> shards = GroupByLevel(assignment, candidates);
+  std::vector<ShardSummary> summaries(shards.size());
+  if (shards.empty()) {
+    return summaries;
+  }
+  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
+  tg::SnapshotBfsOptions options;
+  options.use_implicit = true;  // matches the scalar knowable pipeline
+  const std::vector<uint64_t> subject_bits = SubjectBits(snap);
+  std::vector<ShardTallies> tallies(shards.size());
+  std::vector<std::vector<uint64_t>> stage_words(shards.size());
+
+  // Stage A (heads probe): subjects that rw-initially span to any member,
+  // plus members that are subjects — the union of the scalar pipeline's
+  // per-member head sets.  Each stage builds its product graph once and
+  // releases it before the next stage, bounding peak memory to one CSR.
+  {
+    const ProductGraph reverse_span =
+        ProductGraph::Build(snap, tg::ReverseRwInitialSpanDfa(), options);
+    runner.ParallelFor(shards.size(), [&](size_t i) {
+      std::vector<uint64_t> heads =
+          ProductReachWords(snap, reverse_span, std::span<const VertexId>(shards[i].members),
+                            &tallies[i].stats);
+      for (size_t w = 0; w < words; ++w) {
+        heads[w] &= subject_bits[w];
+      }
+      for (VertexId x : shards[i].members) {
+        if (snap.IsSubject(x)) {
+          heads[x >> 6] |= uint64_t{1} << (x & 63);
+        }
+      }
+      stage_words[i] = std::move(heads);
+    });
+  }
+
+  // Stage B (bridge-or-connection closure over the shard's heads).
+  {
+    const ProductGraph boc = ProductGraph::Build(snap, tg::BridgeOrConnectionDfa(), options);
+    runner.ParallelFor(shards.size(), [&](size_t i) {
+      const bool any_head =
+          std::any_of(stage_words[i].begin(), stage_words[i].end(),
+                      [](uint64_t w) { return w != 0; });
+      if (!any_head) {
+        // No heads: the scalar pipeline short-circuits to knowable = {x};
+        // the closure (and the span stage below) stay empty.
+        stage_words[i].assign(words, 0);
+        return;
+      }
+      stage_words[i] =
+          tg_analysis::SubjectClosureWords(snap, boc, stage_words[i], &tallies[i].stats,
+                                           &tallies[i].closure_rounds);
+    });
+  }
+
+  // Stage C (rw-terminal spans from the closure): knowable(shard) =
+  // members ∪ closure ∪ spans(closure).
+  {
+    const ProductGraph spans = ProductGraph::Build(snap, tg::RwTerminalSpanDfa(), options);
+    size_t dirty_count = 0;
+    std::vector<uint8_t> dirty_flags(shards.size(), 0);
+    runner.ParallelFor(shards.size(), [&](size_t i) {
+      std::vector<uint64_t> knowable =
+          ProductReachWords(snap, spans, stage_words[i], &tallies[i].stats);
+      for (size_t w = 0; w < words; ++w) {
+        knowable[w] |= stage_words[i][w];
+      }
+      for (VertexId x : shards[i].members) {
+        knowable[x >> 6] |= uint64_t{1} << (x & 63);
+      }
+      summaries[i].level = shards[i].level;
+      summaries[i].member_count = shards[i].members.size();
+      Summarize(snap, assignment, knowable, /*subjects_only=*/false, summaries[i]);
+      dirty_flags[i] = summaries[i].dirty ? 1 : 0;
+    });
+    for (uint8_t flag : dirty_flags) {
+      dirty_count += flag;
+    }
+    RecordShardAudit(start_ns, tallies, shards.size(), dirty_count);
+  }
+  return summaries;
+}
+
+std::vector<ShardSummary> ChannelShardSummaries(const AnalysisSnapshot& snap,
+                                                const LevelAssignment& assignment,
+                                                const std::vector<VertexId>& sources,
+                                                tg_util::ThreadPool* pool) {
+  const uint64_t start_ns = tg_util::MetricsEnabled() ? tg_util::TraceBuffer::NowNs() : 0;
+  const std::vector<Shard> shards = GroupByLevel(assignment, sources);
+  std::vector<ShardSummary> summaries(shards.size());
+  if (shards.empty()) {
+    return summaries;
+  }
+  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
+  tg::SnapshotBfsOptions options;
+  options.use_implicit = true;
+  std::vector<ShardTallies> tallies(shards.size());
+  const ProductGraph boc = ProductGraph::Build(snap, tg::BridgeOrConnectionDfa(), options);
+  std::vector<uint8_t> dirty_flags(shards.size(), 0);
+  runner.ParallelFor(shards.size(), [&](size_t i) {
+    const std::vector<uint64_t> reached =
+        ProductReachWords(snap, boc, std::span<const VertexId>(shards[i].members),
+                          &tallies[i].stats);
+    summaries[i].level = shards[i].level;
+    summaries[i].member_count = shards[i].members.size();
+    Summarize(snap, assignment, reached, /*subjects_only=*/true, summaries[i]);
+    dirty_flags[i] = summaries[i].dirty ? 1 : 0;
+  });
+  size_t dirty_count = 0;
+  for (uint8_t flag : dirty_flags) {
+    dirty_count += flag;
+  }
+  RecordShardAudit(start_ns, tallies, shards.size(), dirty_count);
+  return summaries;
+}
+
+}  // namespace tg_hier

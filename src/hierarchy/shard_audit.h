@@ -1,0 +1,93 @@
+// Level-sharded audit internals (Theorem 5.2 applied as an engine
+// strategy).
+//
+// The dense audit answers "can x come to know y" for every candidate x
+// separately — O(candidates x n) bits of rows even when the answer is a
+// uniform "no".  The theorem says the cross-level structure is what
+// matters, and every stage of the knowable pipeline (reverse rw-initial
+// span probe, bridge-or-connection closure, rw-terminal spans) is
+// union-distributive at min_steps 0: the union of KnowableFrom(x) over the
+// candidates x of one rwtg-level L equals the pipeline run once with ALL
+// of L's candidates as seeds.  So the audit shards by level:
+//
+//   1. per level, one multi-source sweep per stage over product graphs
+//      built ONCE and shared read-only by every shard (fanning shards out
+//      on the ThreadPool),
+//   2. each shard reduces to a summary — the hybrid ReachRow of everything
+//      the level's candidates can come to know, and the set of assigned
+//      levels that touches (the Theorem 5.2 cross-level edge sets) —
+//   3. only *dirty* shards (whose summary reaches a strictly higher
+//      level) fall back to per-candidate rows; clean shards are proved
+//      clean by the union argument and emit nothing.
+//
+// On a secure hierarchy every shard is clean and the audit costs
+// O(levels x stages) sweeps + O(n) summary bits — no per-candidate rows at
+// all, which is what makes CheckSecure complete at 10^6 vertices where the
+// dense path cannot even allocate its matrix.
+//
+// Work tallies land in condense.shards / condense.shards_dirty /
+// condense.stage_visits / condense.stage_edge_scans /
+// condense.closure_rounds.  Each shard's sweep tallies are deterministic
+// (every reached product node pops exactly once) and summaries are written
+// only by their own shard, so counters and results are identical for any
+// thread count.
+
+#ifndef SRC_HIERARCHY_SHARD_AUDIT_H_
+#define SRC_HIERARCHY_SHARD_AUDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hierarchy/levels.h"
+#include "src/tg/reach_row.h"
+#include "src/tg/snapshot.h"
+#include "src/util/thread_pool.h"
+
+namespace tg_hier {
+
+// The n >= threshold where CheckSecure / FindCrossLevelChannels pick the
+// sharded engine automatically (AuditEngine::kAuto); below it the dense
+// rows are cheap and the summaries would only add constant overhead.
+inline constexpr size_t kShardedAuditMinVertices = 2048;
+
+// One level's cross-shard summary: everything the shard's members can
+// reach, and which *other* levels that touches.
+struct ShardSummary {
+  LevelId level = kNoLevel;
+  size_t member_count = 0;
+  // Union of per-member knowable sets (KnowableShardSummaries) or BOC
+  // reach sets (ChannelShardSummaries) over all members, as a hybrid row.
+  tg::ReachRow reached;
+  // Distinct assigned levels among qualifying reached vertices (any
+  // assigned vertex for knowable, assigned subjects for channels),
+  // ascending — the explicit cross-level connection summary exchanged
+  // between shards.
+  std::vector<LevelId> reached_levels;
+  // True when reached_levels contains a level strictly higher than
+  // `level`: this shard may contribute violations and must expand to
+  // per-member verdicts.
+  bool dirty = false;
+};
+
+// One summary per level that has candidates (ascending level id).
+// `candidates` must be assigned vertices in ascending id order (the
+// SecureCandidates output).  Three multi-source stages per shard: reverse
+// rw-initial-span heads probe, bridge-or-connection closure, rw-terminal
+// spans — the exact scalar KnowableFromSnapshot pipeline, unioned over the
+// shard.
+std::vector<ShardSummary> KnowableShardSummaries(const tg::AnalysisSnapshot& snap,
+                                                 const LevelAssignment& assignment,
+                                                 const std::vector<tg::VertexId>& candidates,
+                                                 tg_util::ThreadPool* pool = nullptr);
+
+// One summary per level that has sources (ascending level id); `sources`
+// must be assigned subjects in ascending id order (the ChannelSources
+// output).  One multi-source bridge-or-connection sweep per shard.
+std::vector<ShardSummary> ChannelShardSummaries(const tg::AnalysisSnapshot& snap,
+                                                const LevelAssignment& assignment,
+                                                const std::vector<tg::VertexId>& sources,
+                                                tg_util::ThreadPool* pool = nullptr);
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_SHARD_AUDIT_H_

@@ -150,6 +150,105 @@ GeneratedHierarchy RandomHierarchy(const RandomHierarchyOptions& options, Prng& 
   return out;
 }
 
+GeneratedHierarchy HierarchicalGraph(const HierarchicalGraphOptions& options, Prng& prng) {
+  GeneratedHierarchy out;
+  ProtectionGraph& g = out.graph;
+  out.level_subjects.resize(options.levels);
+  std::vector<std::vector<VertexId>> level_objects(options.levels);
+  const size_t spc = options.subjects_per_cluster;
+  const size_t opc = options.objects_per_cluster;
+
+  for (size_t level = 0; level < options.levels; ++level) {
+    out.level_subjects[level].reserve(options.clusters_per_level * spc);
+    level_objects[level].reserve(options.clusters_per_level * opc);
+    for (size_t c = 0; c < options.clusters_per_level; ++c) {
+      std::vector<VertexId> subjects;
+      subjects.reserve(spc);
+      for (size_t i = 0; i < spc; ++i) {
+        subjects.push_back(g.AddSubject());  // auto-named: cheap at 10^6
+      }
+      std::vector<VertexId> objects;
+      objects.reserve(opc);
+      for (size_t i = 0; i < opc; ++i) {
+        objects.push_back(g.AddObject());
+      }
+      // Read ring + take ring: the cluster is one rw-community and one
+      // tg-connected island (same level, so never a cross-level channel).
+      for (size_t i = 0; i < subjects.size(); ++i) {
+        const VertexId next = subjects[(i + 1) % subjects.size()];
+        if (next != subjects[i]) {
+          (void)g.AddExplicit(subjects[i], next, tg::kRead);
+          (void)g.AddExplicit(subjects[i], next, tg::kTake);
+        }
+        if (!objects.empty()) {
+          (void)g.AddExplicit(subjects[i], objects[i % objects.size()], tg::kReadWrite);
+        }
+      }
+      // Random intra-cluster t/g chords.
+      for (size_t e = 0; e < options.tg_chords_per_cluster && subjects.size() >= 2; ++e) {
+        const VertexId a = prng.Choose(subjects);
+        const VertexId b = prng.Choose(subjects);
+        if (a != b) {
+          (void)g.AddExplicit(a, b, prng.NextBool(0.5) ? tg::kTake : tg::kGrant);
+        }
+      }
+      // Sampled read-down edges (higher reads lower: the safe direction).
+      if (level > 0 && !out.level_subjects[level - 1].empty()) {
+        const std::vector<VertexId>& below = out.level_subjects[level - 1];
+        for (VertexId s : subjects) {
+          for (size_t e = 0; e < options.reads_down_per_subject; ++e) {
+            (void)g.AddExplicit(s, prng.Choose(below), tg::kRead);
+          }
+        }
+      }
+      out.level_subjects[level].insert(out.level_subjects[level].end(), subjects.begin(),
+                                       subjects.end());
+      level_objects[level].insert(level_objects[level].end(), objects.begin(), objects.end());
+    }
+  }
+
+  // Planted cross-level channels: adjacent-level t/g bridges, exactly the
+  // structure Theorem 5.2 forbids.  planted_channels == 0 keeps the graph
+  // secure by construction.
+  size_t planted = 0;
+  size_t attempts = 0;
+  while (planted < options.planted_channels && options.levels >= 2 &&
+         attempts < options.planted_channels * 20 + 20) {
+    ++attempts;
+    const size_t hi = 1 + prng.NextBelow(options.levels - 1);
+    const auto& hs = out.level_subjects[hi];
+    const auto& ls = out.level_subjects[hi - 1];
+    if (hs.empty() || ls.empty()) {
+      break;
+    }
+    const VertexId a = prng.Choose(hs);
+    const VertexId b = prng.Choose(ls);
+    const RightSet tg_right = prng.NextBool(0.5) ? tg::kTake : tg::kGrant;
+    const bool downward = prng.NextBool(0.5);
+    tg_util::Status s = downward ? g.AddExplicit(a, b, tg_right) : g.AddExplicit(b, a, tg_right);
+    if (s.ok()) {
+      ++planted;
+    }
+  }
+
+  out.levels = LevelAssignment(g.VertexCount(), options.levels);
+  for (size_t level = 0; level < options.levels; ++level) {
+    out.levels.SetLevelName(static_cast<LevelId>(level), "L" + std::to_string(level));
+    for (VertexId v : out.level_subjects[level]) {
+      out.levels.Assign(v, static_cast<LevelId>(level));
+    }
+    for (VertexId v : level_objects[level]) {
+      out.levels.Assign(v, static_cast<LevelId>(level));
+    }
+    for (size_t below = 0; below < level; ++below) {
+      out.levels.DeclareHigher(static_cast<LevelId>(level), static_cast<LevelId>(below));
+    }
+  }
+  bool ok = out.levels.Finalize();
+  (void)ok;
+  return out;
+}
+
 ProtectionGraph ChainGraph(size_t length) {
   ProtectionGraph g;
   VertexId head = g.AddSubject("head");

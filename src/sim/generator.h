@@ -55,6 +55,32 @@ struct GeneratedHierarchy {
 
 GeneratedHierarchy RandomHierarchy(const RandomHierarchyOptions& options, tg_util::Prng& prng);
 
+// Scalable hierarchical generator: levels x clusters_per_level small
+// clusters, every edge loop O(cluster size) — no per-level quadratic
+// passes — so multi-million-vertex hierarchies build in seconds where
+// RandomHierarchy's all-pairs intra-level loops cannot.  Each cluster is a
+// read ring + take ring of subjects with a few random t/g chords and
+// shared r/w objects (one rw-community per cluster); cross-level density
+// is controlled explicitly: reads_down_per_subject samples safe read-down
+// edges (higher reads lower — information still flows upward only), and
+// planted_channels adds adjacent-level t/g bridges, the exact channels
+// Theorem 5.2 forbids (0 = secure by construction).
+struct HierarchicalGraphOptions {
+  size_t levels = 4;
+  size_t clusters_per_level = 4;
+  size_t subjects_per_cluster = 6;
+  size_t objects_per_cluster = 2;
+  // Extra random intra-cluster take/grant chords per cluster.
+  size_t tg_chords_per_cluster = 2;
+  // Per-subject sampled read-down edges to subjects one level below.
+  size_t reads_down_per_subject = 1;
+  // Planted cross-level t/g bridges (each one a Theorem 5.2 violation).
+  size_t planted_channels = 0;
+};
+
+GeneratedHierarchy HierarchicalGraph(const HierarchicalGraphOptions& options,
+                                     tg_util::Prng& prng);
+
 // A take-chain of n vertices (subject head, object tail), with a source
 // holding `right` over the final target: the canonical linear-scaling
 // workload for can_share benchmarks.

@@ -33,12 +33,14 @@
 #include "src/hierarchy/levels_io.h"
 #include "src/hierarchy/restrictions.h"
 #include "src/hierarchy/secure.h"
+#include "src/hierarchy/shard_audit.h"
 #include "src/sim/adversary.h"
 #include "src/sim/generator.h"
 #include "src/sim/monitor.h"
 #include "src/sim/scenario.h"
 #include "src/hierarchy/composite_policy.h"
 #include "src/tg/bitset_reach.h"
+#include "src/tg/condense.h"
 #include "src/tg/diff.h"
 #include "src/tg/dot.h"
 #include "src/tg/graph.h"

@@ -1,6 +1,9 @@
 #include "src/tg/bitset_reach.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <string>
 
 #include "src/util/metrics.h"
 #include "src/util/trace.h"
@@ -238,6 +241,111 @@ std::vector<uint32_t> StronglyConnectedComponents(
     }
   }
   return component;
+}
+
+uint64_t BitMatrix::MaxBytes() {
+  constexpr uint64_t kDefault = uint64_t{1} << 30;  // 1 GiB
+  const char* env = std::getenv("TG_DENSE_MATRIX_MAX_BYTES");
+  if (env == nullptr || *env == '\0') {
+    return kDefault;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || parsed == 0) {
+    return kDefault;
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+tg_util::StatusOr<BitMatrix> BitMatrix::TryCreate(size_t rows, size_t cols) {
+  const uint64_t bytes = AllocationBytes(rows, cols);
+  const uint64_t cap = MaxBytes();
+  if (bytes > cap) {
+    return tg_util::Status::FailedPrecondition(
+        "dense BitMatrix of " + std::to_string(rows) + " x " + std::to_string(cols) +
+        " needs " + std::to_string(bytes) + " bytes, over the TG_DENSE_MATRIX_MAX_BYTES cap of " +
+        std::to_string(cap) + "; use the condensed/sharded engine at this scale");
+  }
+  return BitMatrix(rows, cols);
+}
+
+namespace {
+
+// Shared interior of both ProductReachWords overloads: drain a reach-only
+// worklist from the already-seeded frontier.
+std::vector<uint64_t> DrainProductReach(const internal::ProductCsr& csr,
+                                        std::vector<uint8_t>&& visited,
+                                        std::vector<uint32_t>&& work,
+                                        ProductReachStats* stats) {
+  assert(csr.min_steps == 0 && "reach-only sweep cannot honor min_steps");
+  const size_t states = csr.states;
+  std::vector<uint64_t> accept((csr.vertex_count + 63) / 64, 0);
+  uint64_t visits = 0;
+  uint64_t edge_scans = 0;
+  while (!work.empty()) {
+    const uint32_t idx = work.back();
+    work.pop_back();
+    const size_t u = idx / states;
+    const size_t s = idx % states;
+    ++visits;
+    edge_scans += csr.adj_records[u];
+    if (csr.accepting[s] != 0) {
+      accept[u >> 6] |= uint64_t{1} << (u & 63);
+    }
+    for (uint32_t e = csr.offsets[idx]; e < csr.offsets[idx + 1]; ++e) {
+      const uint32_t next = csr.targets[e];
+      if (visited[next] == 0) {
+        visited[next] = 1;
+        work.push_back(next);
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->visits += visits;
+    stats->edge_scans += edge_scans;
+  }
+  return accept;
+}
+
+}  // namespace
+
+std::vector<uint64_t> ProductReachWords(const AnalysisSnapshot& snap, const ProductGraph& graph,
+                                        std::span<const VertexId> sources,
+                                        ProductReachStats* stats) {
+  const internal::ProductCsr& csr = graph.csr();
+  std::vector<uint8_t> visited(csr.vertex_count * csr.states, 0);
+  std::vector<uint32_t> work;
+  work.reserve(sources.size());
+  for (VertexId v : sources) {
+    if (!snap.IsValidVertex(v)) {
+      continue;
+    }
+    const size_t idx = static_cast<size_t>(v) * csr.states + static_cast<size_t>(csr.start);
+    if (visited[idx] == 0) {
+      visited[idx] = 1;
+      work.push_back(static_cast<uint32_t>(idx));
+    }
+  }
+  return DrainProductReach(csr, std::move(visited), std::move(work), stats);
+}
+
+std::vector<uint64_t> ProductReachWords(const AnalysisSnapshot& snap, const ProductGraph& graph,
+                                        std::span<const uint64_t> source_words,
+                                        ProductReachStats* stats) {
+  const internal::ProductCsr& csr = graph.csr();
+  std::vector<uint8_t> visited(csr.vertex_count * csr.states, 0);
+  std::vector<uint32_t> work;
+  ForEachSetBit(source_words, [&](size_t v) {
+    if (v >= csr.vertex_count || !snap.IsValidVertex(static_cast<VertexId>(v))) {
+      return;
+    }
+    const size_t idx = v * csr.states + static_cast<size_t>(csr.start);
+    if (visited[idx] == 0) {
+      visited[idx] = 1;
+      work.push_back(static_cast<uint32_t>(idx));
+    }
+  });
+  return DrainProductReach(csr, std::move(visited), std::move(work), stats);
 }
 
 }  // namespace tg

@@ -33,7 +33,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/tg/reach_row.h"
 #include "src/tg/snapshot.h"
+#include "src/util/status.h"
 #include "src/util/thread_pool.h"
 
 namespace tg {
@@ -48,6 +50,24 @@ class BitMatrix {
   BitMatrix(size_t rows, size_t cols)
       : rows_(rows), cols_(cols), row_words_((cols + 63) / 64),
         words_(rows * row_words_, 0) {}
+
+  // Bytes a rows x cols matrix would allocate, computed in 64-bit so the
+  // rows * row_words product cannot wrap on 32-bit size_t math.
+  static uint64_t AllocationBytes(uint64_t rows, uint64_t cols) {
+    return rows * ((cols + 63) / 64) * sizeof(uint64_t);
+  }
+
+  // The dense-allocation cap consulted by TryCreate and by engines that
+  // choose between dense and condensed paths.  Defaults to 1 GiB;
+  // overridable via TG_DENSE_MATRIX_MAX_BYTES (re-read on each call, like
+  // TG_THREADS, so tests can steer the engine choice).
+  static uint64_t MaxBytes();
+
+  // Guarded construction: refuses (FAILED_PRECONDITION) instead of
+  // silently attempting a fatal allocation when the matrix would exceed
+  // MaxBytes().  Callers at quotient-skippable scale branch to the hybrid
+  // ReachRow / sharded paths on error.
+  static tg_util::StatusOr<BitMatrix> TryCreate(size_t rows, size_t cols);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -226,6 +246,53 @@ void BitReachSlice(const AnalysisSnapshot& snap, const ProductCsr& csr,
                    BitMatrix* touched = nullptr);
 }  // namespace internal
 
+// A reusable read-only product-graph CSR for one (snapshot, DFA, options)
+// combination.  The level-sharded audit builds each stage's product graph
+// ONCE and runs every shard's sweep against it, instead of paying the
+// CSR build per shard; the CSR is shared read-only across pool workers.
+class ProductGraph {
+ public:
+  template <typename Filter = NoStepFilter>
+  static ProductGraph Build(const AnalysisSnapshot& snap, const tg_util::Dfa& dfa,
+                            const SnapshotBfsOptions& options = {}, Filter filter = Filter{}) {
+    ProductGraph pg;
+    pg.csr_ = internal::BuildProductCsr(snap, dfa, options, filter);
+    return pg;
+  }
+
+  const internal::ProductCsr& csr() const { return csr_; }
+  size_t vertex_count() const { return csr_.vertex_count; }
+
+ private:
+  internal::ProductCsr csr_;
+};
+
+// Deterministic work tallies of one ProductReachWords sweep: each reached
+// product node is popped exactly once, so visits / edge_scans do not depend
+// on seed order or thread count.
+struct ProductReachStats {
+  uint64_t visits = 0;      // product nodes popped
+  uint64_t edge_scans = 0;  // snapshot adjacency records scanned at pops
+};
+
+// Reach-only multi-source sweep: seeds every source vertex at the DFA start
+// state and returns one bit per vertex reachable in an accepting state
+// ((vertex_count + 63) / 64 words).  Requires csr.min_steps == 0 (pure
+// reachability — no depth bookkeeping), and in exchange costs one bit per
+// product node instead of SnapshotProductBfs's per-node parent/depth
+// records, which is what makes per-shard sweeps feasible at 10^6 vertices.
+// The reached set of a seed set is exactly the union of per-seed reaches
+// (product-BFS reachability is union-distributive), which the level-sharded
+// audit leans on for bit-identity with the per-source dense engine.
+std::vector<uint64_t> ProductReachWords(const AnalysisSnapshot& snap, const ProductGraph& graph,
+                                        std::span<const VertexId> sources,
+                                        ProductReachStats* stats = nullptr);
+
+// As above, seeding from a vertex bitset ((vertex_count + 63) / 64 words).
+std::vector<uint64_t> ProductReachWords(const AnalysisSnapshot& snap, const ProductGraph& graph,
+                                        std::span<const uint64_t> source_words,
+                                        ProductReachStats* stats = nullptr);
+
 // All-pairs word reachability: row i holds the vertices reachable from
 // sources[i] by an accepted walk of >= options.min_steps.  Row i is
 // bit-for-bit identical to SnapshotWordReachable(snap, {sources[i]}, ...);
@@ -294,6 +361,39 @@ BitMatrix SnapshotWordReachableAll(const AnalysisSnapshot& snap, const tg_util::
   }
   return SnapshotWordReachableAll(snap, std::span<const VertexId>(sources), dfa, options,
                                   pool, std::move(filter));
+}
+
+// As SnapshotWordReachableAll, but each row materializes as a hybrid
+// tg::ReachRow instead of a dense BitMatrix row, so the result costs
+// O(set bits) for sparse sources.  Rows are computed by the same
+// deterministic 64-source slices (each slice keeps a <= 64 x n dense
+// scratch matrix, then compresses its own rows), so row i is content-equal
+// to SnapshotWordReachableAll's row i for every pool size.
+template <typename Filter = NoStepFilter>
+std::vector<ReachRow> SnapshotWordReachableAllRows(const AnalysisSnapshot& snap,
+                                                   std::span<const VertexId> sources,
+                                                   const tg_util::Dfa& dfa,
+                                                   const SnapshotBfsOptions& options = {},
+                                                   tg_util::ThreadPool* pool = nullptr,
+                                                   Filter filter = Filter{}) {
+  std::vector<ReachRow> rows(sources.size());
+  const size_t slices = (sources.size() + 63) / 64;
+  if (slices == 0) {
+    return rows;
+  }
+  const internal::ProductCsr csr = internal::BuildProductCsr(snap, dfa, options, filter);
+  tg_util::ThreadPool& runner = pool != nullptr ? *pool : tg_util::ThreadPool::Shared();
+  runner.ParallelFor(slices, [&](size_t slice) {
+    const size_t base = slice * 64;
+    const size_t lanes = sources.size() - base < 64 ? sources.size() - base : 64;
+    BitMatrix scratch(lanes, snap.vertex_count());
+    internal::BitReachSlice(snap, csr, sources.subspan(base, lanes), scratch, 0);
+    for (size_t l = 0; l < lanes; ++l) {
+      rows[base + l] = ReachRow::FromDense(scratch.Row(l), snap.vertex_count());
+      RecordReachRowStats(rows[base + l]);
+    }
+  });
+  return rows;
 }
 
 }  // namespace tg

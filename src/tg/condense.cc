@@ -1,0 +1,98 @@
+#include "src/tg/condense.h"
+
+#include <algorithm>
+
+#include "src/tg/bitset_reach.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
+namespace tg {
+namespace {
+
+void RecordQuotientBuild(uint64_t start_ns, const QuotientGraph& quotient) {
+  if (!tg_util::MetricsEnabled()) {
+    return;
+  }
+  static tg_util::Counter& components = tg_util::GetCounter("condense.components");
+  static tg_util::Counter& edges = tg_util::GetCounter("condense.quotient_edges");
+  components.Add(quotient.component_count);
+  edges.Add(quotient.EdgeCount());
+  const uint64_t end_ns = tg_util::TraceBuffer::NowNs();
+  tg_util::TraceBuffer::Instance().Record(tg_util::TraceKind::kCondense, start_ns,
+                                          end_ns - start_ns, quotient.component_count,
+                                          quotient.EdgeCount());
+}
+
+}  // namespace
+
+QuotientGraph BuildQuotient(const std::vector<std::vector<VertexId>>& adjacency) {
+  const uint64_t start_ns =
+      tg_util::MetricsEnabled() ? tg_util::TraceBuffer::NowNs() : 0;
+  QuotientGraph quotient;
+  quotient.component = StronglyConnectedComponents(adjacency);
+  const size_t n = quotient.component.size();
+  uint32_t comp_count = 0;
+  for (uint32_t c : quotient.component) {
+    comp_count = std::max(comp_count, c + 1);
+  }
+  quotient.component_count = comp_count;
+  quotient.members.resize(comp_count);
+  for (VertexId v = 0; v < n; ++v) {
+    quotient.members[quotient.component[v]].push_back(v);
+  }
+  // Cross-component edges, deduplicated per source component.  Members are
+  // visited in ascending vertex order, so the per-row target list is built
+  // deterministically; sort + unique makes it ascending.
+  quotient.offsets.assign(comp_count + 1, 0);
+  std::vector<uint32_t> row;
+  std::vector<std::vector<uint32_t>> rows(comp_count);
+  for (uint32_t c = 0; c < comp_count; ++c) {
+    row.clear();
+    for (VertexId u : quotient.members[c]) {
+      if (u >= adjacency.size()) {
+        continue;
+      }
+      for (VertexId w : adjacency[u]) {
+        const uint32_t d = quotient.component[w];
+        if (d != c) {
+          row.push_back(d);
+        }
+      }
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    rows[c] = row;
+    quotient.offsets[c + 1] = quotient.offsets[c] + static_cast<uint32_t>(row.size());
+  }
+  quotient.targets.reserve(quotient.offsets[comp_count]);
+  for (uint32_t c = 0; c < comp_count; ++c) {
+    quotient.targets.insert(quotient.targets.end(), rows[c].begin(), rows[c].end());
+  }
+  RecordQuotientBuild(start_ns, quotient);
+  return quotient;
+}
+
+std::vector<ReachRow> QuotientClosure(
+    const QuotientGraph& quotient, size_t cols,
+    const std::function<void(uint32_t component, ReachRow& row)>& seed) {
+  std::vector<ReachRow> rows;
+  rows.reserve(quotient.component_count);
+  for (uint32_t c = 0; c < quotient.component_count; ++c) {
+    ReachRow row(cols);
+    seed(c, row);
+    // Ascending component ids are reverse-topological: every successor row
+    // is already complete.
+    for (uint32_t e = quotient.offsets[c]; e < quotient.offsets[c + 1]; ++e) {
+      row.OrRow(rows[quotient.targets[e]]);
+    }
+    RecordReachRowStats(row);
+    rows.push_back(std::move(row));
+  }
+  if (tg_util::MetricsEnabled() && quotient.component_count != 0) {
+    static tg_util::Counter& closure_rows = tg_util::GetCounter("condense.closure_rows");
+    closure_rows.Add(quotient.component_count);
+  }
+  return rows;
+}
+
+}  // namespace tg

@@ -1,0 +1,73 @@
+// Condensation-first reachability: quotient graphs over strongly connected
+// components and one-pass closure on them.
+//
+// The PR-3 engine computed closures on the raw (product) graph and paid for
+// every vertex in every row.  The paper's structure says most of that work
+// is redundant: vertices in one SCC of the know-step / BOC digraph are
+// mutually reachable (they share an rwtg-level, Theorem 4.1 territory), so
+// reachability is really a property of the *component* DAG.  BuildQuotient
+// condenses an adjacency-list digraph into
+//
+//   * component ids per vertex (from tg::StronglyConnectedComponents,
+//     numbered in reverse topological order: every quotient edge c -> d has
+//     c > d), and
+//   * a deduplicated CSR of cross-component edges,
+//
+// and QuotientClosure computes per-component closure rows in ONE ascending
+// pass over component ids — successors are finished before their
+// predecessors, so row(c) = seed(c) ∪ ⋃_{c -> d} row(d) with no waves and
+// no revisiting.  Rows are hybrid tg::ReachRow values, so sparse components
+// cost bytes, not n/8.
+//
+// Work is tallied into condense.* counters; both the component structure
+// and the closure pass are deterministic (the pass is serial; callers
+// parallelize across independent closures), so the counters are
+// thread-count-invariant.
+
+#ifndef SRC_TG_CONDENSE_H_
+#define SRC_TG_CONDENSE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/tg/graph.h"
+#include "src/tg/reach_row.h"
+
+namespace tg {
+
+// The SCC condensation of an adjacency-list digraph.
+struct QuotientGraph {
+  uint32_t component_count = 0;
+  std::vector<uint32_t> component;           // per input vertex
+  std::vector<std::vector<VertexId>> members;  // per component, ascending vertex ids
+
+  // Deduplicated cross-component edges, CSR form; targets ascending within
+  // each row.  Every edge c -> d satisfies c > d (reverse topological ids).
+  std::vector<uint32_t> offsets;  // component_count + 1
+  std::vector<uint32_t> targets;
+
+  size_t EdgeCount() const { return targets.size(); }
+};
+
+// Condenses `adjacency` (which may mention only a subset of vertices as
+// sources; every vertex gets a component).  Records condense.components /
+// condense.quotient_edges and a kCondense trace span.
+QuotientGraph BuildQuotient(const std::vector<std::vector<VertexId>>& adjacency);
+
+// Per-component closure rows over `cols` columns: for every component c in
+// ascending (reverse-topological) order,
+//
+//   row(c) = seed(c) ∪ ⋃ { row(d) : quotient edge c -> d }.
+//
+// `seed` may set any bits it likes into the fresh row it is handed (member
+// bits, per-member span rows, ...).  The pass is a single sweep because
+// ascending component order visits successors first.  Records
+// condense.closure_rows and per-row ReachRow container stats.
+std::vector<ReachRow> QuotientClosure(
+    const QuotientGraph& quotient, size_t cols,
+    const std::function<void(uint32_t component, ReachRow& row)>& seed);
+
+}  // namespace tg
+
+#endif  // SRC_TG_CONDENSE_H_

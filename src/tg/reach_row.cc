@@ -1,0 +1,288 @@
+#include "src/tg/reach_row.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/util/metrics.h"
+
+namespace tg {
+namespace {
+
+size_t RowWords(size_t cols) { return (cols + 63) / 64; }
+
+uint32_t PopcountWords(const uint64_t* words, size_t count) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    total += static_cast<uint64_t>(std::popcount(words[i]));
+  }
+  return static_cast<uint32_t>(total);
+}
+
+}  // namespace
+
+size_t ReachRow::ChunkWordCount(uint32_t key) const {
+  const size_t base = static_cast<size_t>(key) * kChunkBits;
+  assert(base < cols_);
+  const size_t bits = std::min(kChunkBits, cols_ - base);
+  return (bits + 63) / 64;
+}
+
+const ReachRow::Container* ReachRow::FindContainer(uint32_t key) const {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint32_t k) { return c.key < k; });
+  if (it == containers_.end() || it->key != key) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+ReachRow::Container& ReachRow::ContainerFor(uint32_t key) {
+  auto it = std::lower_bound(
+      containers_.begin(), containers_.end(), key,
+      [](const Container& c, uint32_t k) { return c.key < k; });
+  if (it == containers_.end() || it->key != key) {
+    Container fresh;
+    fresh.key = key;
+    it = containers_.insert(it, std::move(fresh));
+  }
+  return *it;
+}
+
+void ReachRow::StoreChunk(Container& cont, const uint64_t* words, size_t word_count,
+                          uint32_t cardinality) {
+  cont.cardinality = cardinality;
+  if (cardinality <= ArrayLimit(cont.key)) {
+    cont.bitmap.clear();
+    cont.array.clear();
+    cont.array.reserve(cardinality);
+    for (size_t w = 0; w < word_count; ++w) {
+      uint64_t bits = words[w];
+      while (bits != 0) {
+        cont.array.push_back(
+            static_cast<uint16_t>(w * 64 + static_cast<size_t>(std::countr_zero(bits))));
+        bits &= bits - 1;
+      }
+    }
+  } else {
+    cont.array.clear();
+    cont.array.shrink_to_fit();
+    cont.bitmap.assign(words, words + word_count);
+  }
+}
+
+void ReachRow::MergeChunk(Container& cont, const uint64_t* words, size_t word_count) {
+  assert(word_count == ChunkWordCount(cont.key));
+  if (cont.dense()) {
+    // In-place word OR; cardinality recomputed once.
+    for (size_t w = 0; w < word_count; ++w) {
+      cont.bitmap[w] |= words[w];
+    }
+    cont.cardinality = PopcountWords(cont.bitmap.data(), word_count);
+    return;
+  }
+  // Array container: materialize the union in a chunk-local buffer and
+  // re-store canonically (8 KiB of stack at most).
+  uint64_t buf[kChunkWords];
+  std::copy(words, words + word_count, buf);
+  for (uint16_t low : cont.array) {
+    buf[low >> 6] |= uint64_t{1} << (low & 63);
+  }
+  StoreChunk(cont, buf, word_count, PopcountWords(buf, word_count));
+}
+
+size_t ReachRow::Popcount() const {
+  size_t total = 0;
+  for (const Container& cont : containers_) {
+    total += cont.cardinality;
+  }
+  return total;
+}
+
+size_t ReachRow::ArrayContainerCount() const {
+  size_t count = 0;
+  for (const Container& cont : containers_) {
+    count += cont.dense() ? 0 : 1;
+  }
+  return count;
+}
+
+size_t ReachRow::BitmapContainerCount() const {
+  size_t count = 0;
+  for (const Container& cont : containers_) {
+    count += cont.dense() ? 1 : 0;
+  }
+  return count;
+}
+
+size_t ReachRow::MemoryBytes() const {
+  size_t total = sizeof(ReachRow) + containers_.capacity() * sizeof(Container);
+  for (const Container& cont : containers_) {
+    total += cont.array.capacity() * sizeof(uint16_t);
+    total += cont.bitmap.capacity() * sizeof(uint64_t);
+  }
+  return total;
+}
+
+bool ReachRow::Test(size_t c) const {
+  assert(c < cols_);
+  const Container* cont = FindContainer(static_cast<uint32_t>(c / kChunkBits));
+  if (cont == nullptr) {
+    return false;
+  }
+  const uint16_t low = static_cast<uint16_t>(c % kChunkBits);
+  if (cont->dense()) {
+    return (cont->bitmap[low >> 6] >> (low & 63)) & 1;
+  }
+  return std::binary_search(cont->array.begin(), cont->array.end(), low);
+}
+
+void ReachRow::Set(size_t c) {
+  assert(c < cols_);
+  Container& cont = ContainerFor(static_cast<uint32_t>(c / kChunkBits));
+  const uint16_t low = static_cast<uint16_t>(c % kChunkBits);
+  if (cont.dense()) {
+    uint64_t& word = cont.bitmap[low >> 6];
+    const uint64_t mask = uint64_t{1} << (low & 63);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++cont.cardinality;
+    }
+    return;
+  }
+  auto it = std::lower_bound(cont.array.begin(), cont.array.end(), low);
+  if (it != cont.array.end() && *it == low) {
+    return;
+  }
+  cont.array.insert(it, low);
+  ++cont.cardinality;
+  if (cont.cardinality > ArrayLimit(cont.key)) {
+    // Promote to a bitmap (the canonical form at this cardinality).
+    const size_t word_count = ChunkWordCount(cont.key);
+    cont.bitmap.assign(word_count, 0);
+    for (uint16_t member : cont.array) {
+      cont.bitmap[member >> 6] |= uint64_t{1} << (member & 63);
+    }
+    cont.array.clear();
+    cont.array.shrink_to_fit();
+  }
+}
+
+void ReachRow::OrRow(const ReachRow& other) {
+  assert(cols_ == other.cols_);
+  for (const Container& src : other.containers_) {
+    if (src.cardinality == 0) {
+      continue;
+    }
+    Container& dst = ContainerFor(src.key);
+    const size_t word_count = ChunkWordCount(src.key);
+    if (!dst.dense() && !src.dense()) {
+      // Array ∪ array via sorted merge; re-store canonically if it grew
+      // past the threshold.
+      std::vector<uint16_t> merged;
+      merged.reserve(dst.array.size() + src.array.size());
+      std::set_union(dst.array.begin(), dst.array.end(), src.array.begin(), src.array.end(),
+                     std::back_inserter(merged));
+      if (merged.size() <= ArrayLimit(dst.key)) {
+        dst.array = std::move(merged);
+        dst.cardinality = static_cast<uint32_t>(dst.array.size());
+      } else {
+        dst.bitmap.assign(word_count, 0);
+        for (uint16_t member : merged) {
+          dst.bitmap[member >> 6] |= uint64_t{1} << (member & 63);
+        }
+        dst.array.clear();
+        dst.array.shrink_to_fit();
+        dst.cardinality = static_cast<uint32_t>(merged.size());
+      }
+      continue;
+    }
+    // At least one side dense: go through a chunk-local dense buffer.
+    uint64_t buf[kChunkWords];
+    if (src.dense()) {
+      std::copy(src.bitmap.begin(), src.bitmap.end(), buf);
+    } else {
+      std::fill(buf, buf + word_count, 0);
+      for (uint16_t member : src.array) {
+        buf[member >> 6] |= uint64_t{1} << (member & 63);
+      }
+    }
+    MergeChunk(dst, buf, word_count);
+  }
+}
+
+void ReachRow::OrDense(std::span<const uint64_t> words) {
+  assert(words.size() >= RowWords(cols_));
+  const size_t total_words = RowWords(cols_);
+  for (size_t first = 0; first < total_words; first += kChunkWords) {
+    const size_t count = std::min(kChunkWords, total_words - first);
+    bool any = false;
+    for (size_t w = 0; w < count; ++w) {
+      if (words[first + w] != 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      continue;
+    }
+    const uint32_t key = static_cast<uint32_t>(first / kChunkWords);
+    MergeChunk(ContainerFor(key), words.data() + first, count);
+  }
+}
+
+void ReachRow::OrIntoDense(std::span<uint64_t> dst) const {
+  assert(dst.size() >= RowWords(cols_));
+  for (const Container& cont : containers_) {
+    const size_t first = static_cast<size_t>(cont.key) * kChunkWords;
+    if (cont.dense()) {
+      for (size_t w = 0; w < cont.bitmap.size(); ++w) {
+        dst[first + w] |= cont.bitmap[w];
+      }
+    } else {
+      for (uint16_t low : cont.array) {
+        dst[first + (low >> 6)] |= uint64_t{1} << (low & 63);
+      }
+    }
+  }
+}
+
+std::vector<bool> ReachRow::ToBools() const {
+  std::vector<bool> out(cols_, false);
+  ForEachSetBit([&](size_t c) { out[c] = true; });
+  return out;
+}
+
+std::vector<uint64_t> ReachRow::ToDenseWords() const {
+  std::vector<uint64_t> out(RowWords(cols_), 0);
+  OrIntoDense(out);
+  return out;
+}
+
+ReachRow ReachRow::FromDense(std::span<const uint64_t> words, size_t cols) {
+  ReachRow row(cols);
+  row.OrDense(words);
+  return row;
+}
+
+bool operator==(const ReachRow& a, const ReachRow& b) {
+  return a.cols_ == b.cols_ && a.containers_ == b.containers_;
+}
+
+void RecordReachRowStats(const ReachRow& row) {
+  if (!tg_util::MetricsEnabled()) {
+    return;
+  }
+  static tg_util::Counter& sparse = tg_util::GetCounter("row.sparse_hits");
+  static tg_util::Counter& dense = tg_util::GetCounter("row.dense_hits");
+  const size_t arrays = row.ArrayContainerCount();
+  const size_t bitmaps = row.BitmapContainerCount();
+  if (arrays != 0) {
+    sparse.Add(arrays);
+  }
+  if (bitmaps != 0) {
+    dense.Add(bitmaps);
+  }
+}
+
+}  // namespace tg

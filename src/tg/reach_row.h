@@ -1,0 +1,146 @@
+// ReachRow: a hybrid compressed bitset row for reachability results.
+//
+// Dense BitMatrix rows cost cols/8 bytes no matter how few bits are set,
+// which is what makes every all-pairs structure O(n²) and fatal at
+// million-vertex scale.  A ReachRow stores the same set of column indices
+// as a sequence of per-chunk *containers* (one per 64K-column chunk,
+// roaring-bitmap style), each of which is either
+//
+//   * an array container — the chunk's set columns as a sorted uint16
+//     array (16 bits per member), or
+//   * a bitmap container — the chunk as dense uint64 words (the BitMatrix
+//     encoding, clamped to the row's width in the final chunk),
+//
+// chosen *canonically by cardinality*: a container is an array exactly
+// while its cardinality fits in no more bytes than the bitmap would take
+// (cardinality <= 4 * chunk_words).  Because rows only ever grow (every
+// consumer is a union fold), containers promote array -> bitmap and never
+// demote, and two rows with equal contents always have identical
+// representations — which keeps the row.sparse_hits / row.dense_hits
+// selection counters deterministic for any thread count.
+//
+// The representation is private: consumers (the quotient closure in
+// batch.cc, levels.cc's BOC digraph, the level-sharded audit, caches)
+// interact only through Test / Set / Or* / ForEachSetBit, so the same code
+// serves sparse levels (arrays) and dense cores (bitmaps).  An empty row
+// owns no heap memory at all.
+
+#ifndef SRC_TG_REACH_ROW_H_
+#define SRC_TG_REACH_ROW_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tg {
+
+class ReachRow {
+ public:
+  // Columns per container chunk and words per full chunk.
+  static constexpr size_t kChunkBits = size_t{1} << 16;
+  static constexpr size_t kChunkWords = kChunkBits / 64;
+
+  ReachRow() = default;
+  explicit ReachRow(size_t cols) : cols_(cols) {}
+
+  size_t cols() const { return cols_; }
+  bool empty() const { return containers_.empty(); }
+
+  // Total set bits (O(#containers); cardinalities are cached).
+  size_t Popcount() const;
+
+  // Container census, for the row.sparse_hits / row.dense_hits metrics and
+  // the bench memory accounting.
+  size_t ArrayContainerCount() const;
+  size_t BitmapContainerCount() const;
+  size_t MemoryBytes() const;
+
+  bool Test(size_t c) const;
+  void Set(size_t c);
+
+  // this |= other.  Rows must have the same column count.
+  void OrRow(const ReachRow& other);
+
+  // this |= the dense row `words` ((cols + 63) / 64 words, BitMatrix
+  // layout).  All-zero chunks are skipped with one popcount-free scan.
+  void OrDense(std::span<const uint64_t> words);
+
+  // dst |= this, scattering containers into a dense ((cols + 63) / 64)-word
+  // row.
+  void OrIntoDense(std::span<uint64_t> dst) const;
+
+  // Calls fn(col) for every set column, ascending.
+  template <typename Fn>
+  void ForEachSetBit(Fn fn) const {
+    for (const Container& cont : containers_) {
+      const size_t base = static_cast<size_t>(cont.key) * kChunkBits;
+      if (cont.dense()) {
+        for (size_t w = 0; w < cont.bitmap.size(); ++w) {
+          uint64_t bits = cont.bitmap[w];
+          while (bits != 0) {
+            fn(base + w * 64 + static_cast<size_t>(std::countr_zero(bits)));
+            bits &= bits - 1;
+          }
+        }
+      } else {
+        for (uint16_t low : cont.array) {
+          fn(base + low);
+        }
+      }
+    }
+  }
+
+  // Conversions for differential tests and dense consumers.
+  std::vector<bool> ToBools() const;
+  std::vector<uint64_t> ToDenseWords() const;
+  static ReachRow FromDense(std::span<const uint64_t> words, size_t cols);
+
+  // Content equality (representation is canonical, so this is container
+  // equality).
+  friend bool operator==(const ReachRow& a, const ReachRow& b);
+
+ private:
+  struct Container {
+    uint32_t key = 0;          // chunk index (col >> 16)
+    uint32_t cardinality = 0;  // set bits in this chunk
+    std::vector<uint16_t> array;   // sorted chunk-local columns (array form)
+    std::vector<uint64_t> bitmap;  // dense words (bitmap form)
+
+    bool dense() const { return !bitmap.empty(); }
+
+    friend bool operator==(const Container& a, const Container& b) = default;
+  };
+
+  // Words a bitmap container for chunk `key` takes (the final chunk is
+  // clamped to the row width).
+  size_t ChunkWordCount(uint32_t key) const;
+  // The canonical array/bitmap threshold for chunk `key`: array while
+  // cardinality <= 4 * chunk words (equal byte cost at the boundary).
+  size_t ArrayLimit(uint32_t key) const { return ChunkWordCount(key) * 4; }
+
+  // The container for chunk `key`, inserting an empty array container in
+  // key order if absent.
+  Container& ContainerFor(uint32_t key);
+  const Container* FindContainer(uint32_t key) const;
+
+  // Rebuilds `cont` canonically from a dense chunk buffer with the given
+  // cardinality.
+  void StoreChunk(Container& cont, const uint64_t* words, size_t word_count,
+                  uint32_t cardinality);
+  // cont |= words (chunk-local dense buffer of ChunkWordCount(key) words).
+  void MergeChunk(Container& cont, const uint64_t* words, size_t word_count);
+
+  size_t cols_ = 0;
+  std::vector<Container> containers_;  // ascending by key
+};
+
+// Adds the row's container census to the row.sparse_hits (array containers)
+// and row.dense_hits (bitmap containers) counters.  Call once per finalized
+// row at producer sites; totals are deterministic for any thread count
+// because the representation is canonical.
+void RecordReachRowStats(const ReachRow& row);
+
+}  // namespace tg
+
+#endif  // SRC_TG_REACH_ROW_H_

@@ -35,6 +35,10 @@ const char* TraceKindName(TraceKind kind) {
       return "bit_reach";
     case TraceKind::kOverlayPatch:
       return "overlay";
+    case TraceKind::kCondense:
+      return "condense";
+    case TraceKind::kShardAudit:
+      return "shard_audit";
     case TraceKind::kQuery:
       return "query";
   }

@@ -55,6 +55,8 @@ enum class TraceKind : uint8_t {
   kBatchRows,        // arg0 = source count, arg1 = pool thread count
   kBitReach,         // arg0 = source lanes in the slice, arg1 = word OR relaxations
   kOverlayPatch,     // arg0 = journal records replayed, arg1 = vertices patched
+  kCondense,         // arg0 = components, arg1 = deduped quotient edges
+  kShardAudit,       // arg0 = level shards processed, arg1 = dirty shards
   kQuery,            // arg0 = QueryKind, arg1 = verdict / result count
 };
 

@@ -8,9 +8,12 @@
 #include <string>
 
 #include "src/analysis/cache.h"
+#include "src/hierarchy/secure.h"
+#include "src/sim/generator.h"
 #include "src/tg/graph.h"
 #include "src/util/flight_recorder.h"
 #include "src/util/metrics.h"
+#include "src/util/prng.h"
 #include "src/util/trace.h"
 
 namespace tg_analysis {
@@ -146,6 +149,33 @@ TEST_F(ProvenanceTest, InvalidVertexIsReportedNotDereferenced) {
   EXPECT_FALSE(p.verdict);
   ASSERT_EQ(p.args.size(), 2u);
   EXPECT_EQ(p.args[1], "<invalid:999>");
+}
+
+// Verdicts found through the condensed (level-sharded) audit path must
+// expand to concrete, replay-verified vertex witnesses: every violation
+// the sharded CheckSecure reports is a true can_know pair whose
+// ExplainCanKnow provenance replays successfully.  This is the regression
+// guard for component-level reachability quietly drifting from the
+// vertex-level rule semantics.
+TEST_F(ProvenanceTest, ShardedAuditViolationsCarryVerifiedWitnesses) {
+  tg_util::Prng prng(1213);
+  tg_sim::HierarchicalGraphOptions options;
+  options.levels = 3;
+  options.clusters_per_level = 2;
+  options.subjects_per_cluster = 4;
+  options.objects_per_cluster = 2;
+  options.planted_channels = 3;
+  tg_sim::GeneratedHierarchy h = tg_sim::HierarchicalGraph(options, prng);
+  tg_hier::SecurityReport report = tg_hier::CheckSecure(
+      h.graph, h.levels, /*max_violations=*/4, nullptr, tg_hier::AuditEngine::kSharded);
+  ASSERT_FALSE(report.secure);
+  ASSERT_FALSE(report.violations.empty());
+  for (const tg_hier::SecurityViolation& v : report.violations) {
+    QueryProvenance p = ExplainCanKnow(h.graph, v.lower, v.higher);
+    EXPECT_TRUE(p.verdict) << p.ToText();
+    EXPECT_TRUE(p.has_witness) << p.ToText();
+    EXPECT_TRUE(p.witness_verified) << p.ToText();
+  }
 }
 
 TEST_F(ProvenanceTest, RecordProvenanceFeedsFlightRecorder) {

@@ -355,6 +355,107 @@ TEST(StressTest, WideStarGraphAnalyses) {
   EXPECT_EQ(count, g.VertexCount());  // hub reads every spoke
 }
 
+// ---- hybrid compressed rows vs dense engine, every path DFA ----
+
+// The hybrid ReachRow engine must agree with the dense bit-parallel
+// engine bit-for-bit for every language DFA the analyses use, at word
+// boundary sizes (63/64/65/129) and at a four-digit size where multiple
+// slices and container promotions occur.
+TEST(StressTest, HybridRowsMatchDenseAcrossAllDfasAndSizes) {
+  const struct {
+    const char* name;
+    const tg_util::Dfa* dfa;
+  } kDfas[] = {
+      {"terminal", &tg::TerminalSpanDfa()},
+      {"initial", &tg::InitialSpanDfa()},
+      {"bridge", &tg::BridgeDfa()},
+      {"rw_terminal", &tg::RwTerminalSpanDfa()},
+      {"rw_initial", &tg::RwInitialSpanDfa()},
+      {"connection", &tg::ConnectionDfa()},
+      {"admissible_rw", &tg::AdmissibleRwDfa()},
+      {"bridge_or_connection", &tg::BridgeOrConnectionDfa()},
+      {"rev_terminal", &tg::ReverseTerminalSpanDfa()},
+      {"rev_initial", &tg::ReverseInitialSpanDfa()},
+      {"rev_rw_terminal", &tg::ReverseRwTerminalSpanDfa()},
+      {"rev_rw_initial", &tg::ReverseRwInitialSpanDfa()},
+  };
+  tg_util::Prng prng(6060);
+  for (size_t n : {size_t{63}, size_t{64}, size_t{65}, size_t{129}, size_t{1024}}) {
+    tg_sim::RandomGraphOptions options;
+    options.subjects = n * 2 / 3;
+    options.objects = n - options.subjects;
+    options.edge_factor = 1.5;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    ASSERT_EQ(g.VertexCount(), n);
+    tg::AnalysisSnapshot snap(g);
+    tg::SnapshotBfsOptions bfs;
+    bfs.use_implicit = true;
+    std::vector<VertexId> sources(n);
+    for (size_t v = 0; v < n; ++v) {
+      sources[v] = static_cast<VertexId>(v);
+    }
+    for (const auto& entry : kDfas) {
+      tg::BitMatrix dense = tg::SnapshotWordReachableAll(snap, sources, *entry.dfa, bfs);
+      std::vector<tg::ReachRow> rows =
+          tg::SnapshotWordReachableAllRows(snap, sources, *entry.dfa, bfs);
+      ASSERT_EQ(rows.size(), n) << entry.name << " n=" << n;
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(rows[i].ToDenseWords(),
+                  std::vector<uint64_t>(dense.Row(i).begin(), dense.Row(i).end()))
+            << entry.name << " n=" << n << " row " << i;
+      }
+    }
+  }
+}
+
+// Randomized generator graphs through the full audit engines: the sharded
+// path must agree with the dense path on arbitrary (non-hierarchical)
+// level assignments too.
+TEST(StressTest, ShardedAuditMatchesDenseOnRandomGraphs) {
+  tg_util::Prng prng(515151);
+  for (int trial = 0; trial < 8; ++trial) {
+    tg_sim::RandomGraphOptions options;
+    options.subjects = 14;
+    options.objects = 10;
+    options.edge_factor = 1.8;
+    ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+    // A random 3-level chain assignment over a random subset of vertices.
+    tg_hier::LevelAssignment levels(g.VertexCount(), 3);
+    for (tg_hier::LevelId a = 1; a < 3; ++a) {
+      for (tg_hier::LevelId b = 0; b < a; ++b) {
+        levels.DeclareHigher(a, b);
+      }
+    }
+    for (VertexId v = 0; v < g.VertexCount(); ++v) {
+      if (!prng.NextBool(0.2)) {
+        levels.Assign(v, static_cast<tg_hier::LevelId>(prng.NextBelow(3)));
+      }
+    }
+    ASSERT_TRUE(levels.Finalize());
+    tg_hier::SecurityReport dense =
+        tg_hier::CheckSecure(g, levels, 0, nullptr, tg_hier::AuditEngine::kDense);
+    tg_hier::SecurityReport sharded =
+        tg_hier::CheckSecure(g, levels, 0, nullptr, tg_hier::AuditEngine::kSharded);
+    ASSERT_EQ(dense.secure, sharded.secure) << "trial " << trial;
+    ASSERT_EQ(dense.violations.size(), sharded.violations.size()) << "trial " << trial;
+    for (size_t i = 0; i < dense.violations.size(); ++i) {
+      EXPECT_EQ(dense.violations[i].lower, sharded.violations[i].lower) << "trial " << trial;
+      EXPECT_EQ(dense.violations[i].higher, sharded.violations[i].higher) << "trial " << trial;
+      EXPECT_EQ(dense.violations[i].detail, sharded.violations[i].detail) << "trial " << trial;
+    }
+    auto dense_ch = tg_hier::FindCrossLevelChannels(g, levels, 0, nullptr,
+                                                    tg_hier::AuditEngine::kDense);
+    auto sharded_ch = tg_hier::FindCrossLevelChannels(g, levels, 0, nullptr,
+                                                      tg_hier::AuditEngine::kSharded);
+    ASSERT_EQ(dense_ch.size(), sharded_ch.size()) << "trial " << trial;
+    for (size_t i = 0; i < dense_ch.size(); ++i) {
+      EXPECT_EQ(dense_ch[i].from, sharded_ch[i].from) << "trial " << trial;
+      EXPECT_EQ(dense_ch[i].to, sharded_ch[i].to) << "trial " << trial;
+      EXPECT_EQ(dense_ch[i].path, sharded_ch[i].path) << "trial " << trial;
+    }
+  }
+}
+
 TEST(StressTest, SaturationOnDenseRwClique) {
   // 14 subjects all reading each other: saturation must reach the full
   // clique of implicit edges and terminate.

@@ -240,6 +240,85 @@ TEST_F(MetricsConsistencyTest, CheckSecureSpansShareOneQueryIdAndFormOneTree) {
   }
 }
 
+// The condensation-first engines keep their work counters thread-count-
+// invariant: quotient census (components / quotient edges / closure rows),
+// shard sweeps (shards / dirty / stage visits / edge scans / closure
+// rounds), and the hybrid-row container census (sparse / dense hits) are
+// all per-shard- or per-row-deterministic sums.
+TEST_F(MetricsConsistencyTest, CondensationCountersDeterministicAcrossThreadCounts) {
+  const char* kNames[] = {
+      "condense.components",  "condense.quotient_edges",   "condense.closure_rows",
+      "condense.shards",      "condense.shards_dirty",     "condense.stage_visits",
+      "condense.stage_edge_scans", "condense.closure_rounds",
+      "row.sparse_hits",      "row.dense_hits",
+  };
+  tg_util::Prng prng(404);
+  tg_sim::HierarchicalGraphOptions options;
+  options.levels = 3;
+  options.clusters_per_level = 2;
+  options.subjects_per_cluster = 5;
+  options.objects_per_cluster = 2;
+  options.planted_channels = 2;
+  tg_sim::GeneratedHierarchy h = tg_sim::HierarchicalGraph(options, prng);
+
+  auto run = [&](size_t threads) {
+    std::map<std::string, uint64_t> before;
+    for (const char* name : kNames) {
+      before[name] = CounterNow(name);
+    }
+    tg_util::ThreadPool pool(threads);
+    tg_hier::SecurityReport report =
+        tg_hier::CheckSecure(h.graph, h.levels, 0, &pool, tg_hier::AuditEngine::kSharded);
+    (void)report;
+    auto channels = tg_hier::FindCrossLevelChannels(h.graph, h.levels, 0, &pool,
+                                                    tg_hier::AuditEngine::kSharded);
+    (void)channels;
+    tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(h.graph, &pool);
+    (void)levels;
+    std::vector<std::vector<bool>> rows = tg_analysis::KnowableFromAll(h.graph, &pool);
+    (void)rows;
+    std::map<std::string, uint64_t> delta;
+    for (const char* name : kNames) {
+      delta[name] = CounterNow(name) - before[name];
+    }
+    return delta;
+  };
+
+  const std::map<std::string, uint64_t> one = run(1);
+  const std::map<std::string, uint64_t> four = run(4);
+  EXPECT_EQ(one, four);
+  EXPECT_GT(one.at("condense.shards"), 0u);
+  EXPECT_GT(one.at("condense.shards_dirty"), 0u);  // planted channels dirty a shard
+  EXPECT_GT(one.at("condense.stage_visits"), 0u);
+  EXPECT_GT(one.at("condense.components"), 0u);
+  EXPECT_GT(one.at("row.sparse_hits") + one.at("row.dense_hits"), 0u);
+}
+
+// The sharded audit leaves its own span kinds in the trace ring.
+TEST_F(MetricsConsistencyTest, ShardedAuditLeavesCondenseAndShardSpans) {
+  tg_util::Prng prng(808);
+  tg_sim::HierarchicalGraphOptions options;
+  options.levels = 3;
+  options.clusters_per_level = 2;
+  options.subjects_per_cluster = 4;
+  options.objects_per_cluster = 2;
+  tg_sim::GeneratedHierarchy h = tg_sim::HierarchicalGraph(options, prng);
+  tg_util::TraceBuffer::Instance().Clear();
+  tg_hier::SecurityReport report =
+      tg_hier::CheckSecure(h.graph, h.levels, 0, nullptr, tg_hier::AuditEngine::kSharded);
+  (void)report;
+  tg_hier::LevelAssignment levels = tg_hier::ComputeRwtgLevels(h.graph);
+  (void)levels;
+  bool saw_shard_audit = false;
+  bool saw_condense = false;
+  for (const tg_util::TraceEvent& e : tg_util::TraceBuffer::Instance().Events()) {
+    saw_shard_audit |= e.kind == tg_util::TraceKind::kShardAudit;
+    saw_condense |= e.kind == tg_util::TraceKind::kCondense;
+  }
+  EXPECT_TRUE(saw_shard_audit);
+  EXPECT_TRUE(saw_condense);
+}
+
 TEST_F(MetricsConsistencyTest, MonitorCountersMatchAuditLog) {
   ProtectionGraph g;
   VertexId a = g.AddVertex(tg::VertexKind::kSubject, "a");

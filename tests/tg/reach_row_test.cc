@@ -1,0 +1,223 @@
+// ReachRow: canonical hybrid containers, promotion, union folds, dense
+// round-trips, and the hybrid-rows engine's bit-identity with the dense
+// bit-parallel engine.
+
+#include "src/tg/reach_row.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/take_grant.h"
+
+namespace {
+
+using tg::ReachRow;
+
+// The boundary widths the differential suites sweep: word edges, the
+// multi-word case, and a two-chunk row.
+const size_t kWidths[] = {63, 64, 65, 129, 1024, tg::ReachRow::kChunkBits + 4096};
+
+std::vector<uint64_t> DenseOf(const std::vector<bool>& bits) {
+  std::vector<uint64_t> words((bits.size() + 63) / 64, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      words[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+  return words;
+}
+
+TEST(ReachRowTest, EmptyRowOwnsNothing) {
+  ReachRow row(1024);
+  EXPECT_EQ(row.cols(), 1024u);
+  EXPECT_TRUE(row.empty());
+  EXPECT_EQ(row.Popcount(), 0u);
+  EXPECT_EQ(row.ArrayContainerCount(), 0u);
+  EXPECT_EQ(row.BitmapContainerCount(), 0u);
+  EXPECT_FALSE(row.Test(0));
+  EXPECT_FALSE(row.Test(1023));
+}
+
+TEST(ReachRowTest, SetAndTestAcrossBoundaryWidths) {
+  for (size_t cols : kWidths) {
+    ReachRow row(cols);
+    std::vector<bool> reference(cols, false);
+    tg_util::Prng prng(cols);
+    for (int i = 0; i < 40; ++i) {
+      const size_t c = prng.NextBelow(cols);
+      row.Set(c);
+      reference[c] = true;
+    }
+    row.Set(0);
+    row.Set(cols - 1);
+    reference[0] = reference[cols - 1] = true;
+    size_t expected_pop = 0;
+    for (size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(row.Test(c), reference[c]) << "cols=" << cols << " c=" << c;
+      expected_pop += reference[c] ? 1 : 0;
+    }
+    EXPECT_EQ(row.Popcount(), expected_pop) << "cols=" << cols;
+    EXPECT_EQ(row.ToBools(), reference) << "cols=" << cols;
+  }
+}
+
+// The canonical threshold: a chunk is an array while its cardinality fits
+// in no more bytes than the (width-clamped) bitmap — 4 bits per word.
+TEST(ReachRowTest, PromotionAtCanonicalThreshold) {
+  const size_t cols = 1024;  // 16 words -> array limit 64
+  ReachRow row(cols);
+  for (size_t c = 0; c < 64; ++c) {
+    row.Set(c * 2);
+  }
+  EXPECT_EQ(row.ArrayContainerCount(), 1u);
+  EXPECT_EQ(row.BitmapContainerCount(), 0u);
+  row.Set(999);  // 65th member: must promote
+  EXPECT_EQ(row.ArrayContainerCount(), 0u);
+  EXPECT_EQ(row.BitmapContainerCount(), 1u);
+  EXPECT_EQ(row.Popcount(), 65u);
+  // The bitmap is clamped to the row width, not a full 64K chunk.
+  EXPECT_LE(row.MemoryBytes(), sizeof(ReachRow) + 64 * sizeof(uint16_t) + 16 * sizeof(uint64_t) +
+                                   128 /* container bookkeeping */);
+}
+
+TEST(ReachRowTest, MultiChunkRowsKeepChunksIndependent) {
+  const size_t cols = tg::ReachRow::kChunkBits + 4096;
+  ReachRow row(cols);
+  row.Set(5);
+  row.Set(tg::ReachRow::kChunkBits + 7);
+  EXPECT_EQ(row.ArrayContainerCount(), 2u);
+  EXPECT_EQ(row.Popcount(), 2u);
+  std::vector<size_t> seen;
+  row.ForEachSetBit([&](size_t c) { seen.push_back(c); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 5u);
+  EXPECT_EQ(seen[1], tg::ReachRow::kChunkBits + 7);
+}
+
+TEST(ReachRowTest, DenseRoundTripsAtEveryWidth) {
+  for (size_t cols : kWidths) {
+    tg_util::Prng prng(cols * 3 + 1);
+    std::vector<bool> reference(cols, false);
+    for (size_t i = 0; i < cols / 3 + 1; ++i) {
+      reference[prng.NextBelow(cols)] = true;
+    }
+    const std::vector<uint64_t> dense = DenseOf(reference);
+    const ReachRow row = ReachRow::FromDense(dense, cols);
+    EXPECT_EQ(row.ToDenseWords(), dense) << "cols=" << cols;
+    EXPECT_EQ(row.ToBools(), reference) << "cols=" << cols;
+
+    // OrIntoDense scatters the same bits.
+    std::vector<uint64_t> scattered(dense.size(), 0);
+    row.OrIntoDense(scattered);
+    EXPECT_EQ(scattered, dense) << "cols=" << cols;
+
+    // OrDense onto an empty row reproduces FromDense (canonical form).
+    ReachRow via_or(cols);
+    via_or.OrDense(dense);
+    EXPECT_EQ(via_or, row) << "cols=" << cols;
+  }
+}
+
+// Representation canonicality: the same content reached by different
+// operation orders compares equal (and therefore has equal container
+// census — what makes the row.* counters thread-count-invariant).
+TEST(ReachRowTest, CanonicalFormIndependentOfHistory) {
+  for (size_t cols : kWidths) {
+    tg_util::Prng prng(cols + 17);
+    std::vector<size_t> bits;
+    for (size_t i = 0; i < cols / 2 + 1; ++i) {
+      bits.push_back(prng.NextBelow(cols));
+    }
+    ReachRow forward(cols);
+    for (size_t c : bits) {
+      forward.Set(c);
+    }
+    ReachRow backward(cols);
+    for (size_t i = bits.size(); i > 0; --i) {
+      backward.Set(bits[i - 1]);
+    }
+    // A third copy built by unioning two halves.
+    ReachRow left(cols);
+    ReachRow right(cols);
+    for (size_t i = 0; i < bits.size(); ++i) {
+      (i % 2 == 0 ? left : right).Set(bits[i]);
+    }
+    left.OrRow(right);
+    EXPECT_EQ(forward, backward) << "cols=" << cols;
+    EXPECT_EQ(forward, left) << "cols=" << cols;
+    EXPECT_EQ(forward.ArrayContainerCount(), left.ArrayContainerCount()) << "cols=" << cols;
+    EXPECT_EQ(forward.BitmapContainerCount(), left.BitmapContainerCount()) << "cols=" << cols;
+  }
+}
+
+TEST(ReachRowTest, OrRowMatchesReferenceUnion) {
+  for (size_t cols : kWidths) {
+    tg_util::Prng prng(cols + 29);
+    std::vector<bool> ra(cols, false);
+    std::vector<bool> rb(cols, false);
+    ReachRow a(cols);
+    ReachRow b(cols);
+    for (size_t i = 0; i < cols / 4 + 2; ++i) {
+      size_t c = prng.NextBelow(cols);
+      a.Set(c);
+      ra[c] = true;
+      c = prng.NextBelow(cols);
+      b.Set(c);
+      rb[c] = true;
+    }
+    a.OrRow(b);
+    for (size_t c = 0; c < cols; ++c) {
+      EXPECT_EQ(a.Test(c), ra[c] || rb[c]) << "cols=" << cols << " c=" << c;
+    }
+  }
+}
+
+// The hybrid-rows engine must be bit-identical to the dense bit-parallel
+// engine, row by row, for every thread count.
+TEST(ReachRowTest, AllRowsMatchesDenseEngine) {
+  tg_util::Prng prng(2081);
+  tg_sim::RandomGraphOptions options;
+  options.subjects = 24;
+  options.objects = 12;
+  options.edge_factor = 2.0;
+  tg::ProtectionGraph g = tg_sim::RandomGraph(options, prng);
+  tg::AnalysisSnapshot snap(g);
+  tg::SnapshotBfsOptions bfs;
+  bfs.use_implicit = true;
+  std::vector<tg::VertexId> sources(snap.vertex_count());
+  for (size_t v = 0; v < sources.size(); ++v) {
+    sources[v] = static_cast<tg::VertexId>(v);
+  }
+  for (const tg_util::Dfa* dfa : {&tg::BridgeOrConnectionDfa(), &tg::RwTerminalSpanDfa()}) {
+    tg::BitMatrix dense = tg::SnapshotWordReachableAll(snap, sources, *dfa, bfs);
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      tg_util::ThreadPool pool(threads);
+      std::vector<tg::ReachRow> rows =
+          tg::SnapshotWordReachableAllRows(snap, sources, *dfa, bfs, &pool);
+      ASSERT_EQ(rows.size(), sources.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].ToDenseWords(),
+                  std::vector<uint64_t>(dense.Row(i).begin(), dense.Row(i).end()))
+            << "row " << i << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ReachRowTest, BitMatrixAllocationGuard) {
+  // 64-bit size math: a million-square matrix is ~125 TB and must be
+  // refused, not wrapped into a tiny allocation.
+  const size_t million = 1000000;
+  EXPECT_GT(tg::BitMatrix::AllocationBytes(million, million), uint64_t{100} * 1000 * 1000 * 1000);
+  tg_util::StatusOr<tg::BitMatrix> refused = tg::BitMatrix::TryCreate(million, million);
+  EXPECT_FALSE(refused.ok());
+
+  tg_util::StatusOr<tg::BitMatrix> small = tg::BitMatrix::TryCreate(64, 640);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small.value().rows(), 64u);
+  EXPECT_EQ(small.value().cols(), 640u);
+}
+
+}  // namespace
