@@ -1,0 +1,307 @@
+// Admission-gate benchmark: the O(1) incremental gate vs the Corollary 5.6
+// baseline that re-runs a full CheckSecure audit after speculatively
+// applying every submitted rule (both the dense-matrix and the
+// condensation-first sharded engines), plus the O(E) endpoint audit for
+// scale.  The workload is a secure-by-construction hierarchy (no planted
+// channels) under a pre-generated stream of mixed legal / illegal /
+// violating de jure rules — the steady-state enforcement scenario where
+// the gate's per-vertex connection state earns its keep.
+//
+// Checks in-binary that the gate and the re-audit baseline admit the same
+// rules and converge to identical graphs, and that the gate is >= 50x
+// faster per operation than either full re-audit engine at n >= 4096
+// (min-of-3 on both sides).  Exits non-zero on any failure.
+//
+// Emits machine-readable timings to BENCH_admission.json (one JSON object
+// per line), each row carrying the MetricsDelta counters — the admission.*
+// family shows decisions, repairs, and txn traffic next to the audit work
+// the baseline pays.
+//
+//   bench_admission            # full sweep, writes BENCH_admission.json
+//   bench_admission --smoke    # tiny sizes, no artifact; fails if the gate
+//                              # diverges from the re-audit baseline
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// A pre-generated rule stream over the hierarchy's initial vertices: a mix
+// of enumerated-legal moves and synthesized take/grant/create/remove rules
+// (some illegal, some violating), so the gate exercises all three verdicts.
+// De jure only — the baseline speculatively applies and re-audits, and we
+// want both sides deciding the same explicit-edge stream.
+std::vector<tg::RuleApplication> MakeRuleStream(const tg::ProtectionGraph& g,
+                                                size_t count, uint64_t seed) {
+  tg_util::Prng prng(seed);
+  std::vector<tg::RuleApplication> legal = tg::EnumerateDeJure(g);
+  const size_t n = g.VertexCount();
+  const tg::Right kRights[] = {tg::Right::kRead, tg::Right::kWrite, tg::Right::kTake,
+                               tg::Right::kGrant};
+  std::vector<tg::RuleApplication> stream;
+  stream.reserve(count);
+  while (stream.size() < count) {
+    if (!legal.empty() && prng.NextBelow(100) < 65) {
+      stream.push_back(legal[prng.NextBelow(legal.size())]);
+      continue;
+    }
+    tg::VertexId a = static_cast<tg::VertexId>(prng.NextBelow(n));
+    tg::VertexId b = static_cast<tg::VertexId>(prng.NextBelow(n));
+    tg::VertexId c = static_cast<tg::VertexId>(prng.NextBelow(n));
+    tg::RightSet d(kRights[prng.NextBelow(std::size(kRights))]);
+    switch (prng.NextBelow(4)) {
+      case 0:
+        stream.push_back(tg::RuleApplication::Take(a, b, c, d));
+        break;
+      case 1:
+        stream.push_back(tg::RuleApplication::Grant(a, b, c, d));
+        break;
+      case 2:
+        stream.push_back(tg::RuleApplication::Remove(a, b, d));
+        break;
+      default:
+        stream.push_back(tg::RuleApplication::Create(
+            a, prng.NextBelow(100) < 30 ? tg::VertexKind::kSubject : tg::VertexKind::kObject,
+            d));
+        break;
+    }
+  }
+  return stream;
+}
+
+// The Corollary 5.6 baseline: speculatively apply each legal rule to a
+// scratch copy, run the full CheckSecure audit on the requested engine,
+// and adopt the copy only when it stays secure.  Returns per-op ms and the
+// per-rule admit bitmap (for the smoke equivalence check).
+struct BaselineResult {
+  double ms_per_op = 0.0;
+  std::vector<bool> admitted;
+  tg::ProtectionGraph final_graph;
+};
+
+BaselineResult RunBaseline(const tg::ProtectionGraph& start,
+                           const tg_hier::LevelAssignment& levels,
+                           const std::vector<tg::RuleApplication>& rules,
+                           tg_hier::AuditEngine engine) {
+  BaselineResult result;
+  tg::ProtectionGraph g = start;
+  result.admitted.reserve(rules.size());
+  Clock::time_point t0 = Clock::now();
+  for (const tg::RuleApplication& rule : rules) {
+    bool admit = false;
+    if (tg::CheckRule(g, rule).ok()) {
+      tg::ProtectionGraph scratch = g;
+      tg::RuleApplication applied = rule;
+      if (tg::ApplyRule(scratch, applied).ok() &&
+          tg_hier::CheckSecure(scratch, levels, 1, nullptr, engine).secure) {
+        g = std::move(scratch);
+        admit = true;
+      }
+    }
+    result.admitted.push_back(admit);
+  }
+  result.ms_per_op = MsSince(t0) / static_cast<double>(rules.size());
+  result.final_graph = std::move(g);
+  return result;
+}
+
+struct Config {
+  size_t levels;
+  size_t clusters_per_level;
+  size_t subjects_per_cluster;
+  size_t objects_per_cluster;
+  size_t gate_ops;      // decisions timed through the gate
+  size_t baseline_ops;  // decisions timed through the full re-audit
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  exp::Reporter reporter(smoke ? "admission gate smoke (gate vs re-audit guard)"
+                               : "admission gate: O(1) decisions vs Corollary 5.6 re-audit");
+  // The smoke run executes from the build tree (ctest); don't shadow a real
+  // artifact with tiny-size numbers.
+  exp::JsonlWriter jsonl(smoke ? "BENCH_admission_smoke.json" : "BENCH_admission.json");
+
+  const int reps = 3;  // min-of-3 on every timed side
+  exp::JsonObject env_row;
+  env_row.Set("record", "env");
+  exp::AppendEnvInfo(env_row);
+  jsonl.Write(env_row.Set("reps", static_cast<uint64_t>(reps)).Set("smoke", smoke));
+
+  std::vector<Config> sweep;
+  if (smoke) {
+    sweep = {{2, 2, 4, 2, 64, 64}};
+  } else {
+    sweep = {{4, 4, 12, 4, 2048, 8},   // n = 256
+             {8, 8, 48, 16, 4096, 4}};  // n = 4096
+  }
+
+  bool all_equivalent = true;
+  bool gates_50x = true;
+
+  for (const Config& config : sweep) {
+    tg_sim::HierarchicalGraphOptions options;
+    options.levels = config.levels;
+    options.clusters_per_level = config.clusters_per_level;
+    options.subjects_per_cluster = config.subjects_per_cluster;
+    options.objects_per_cluster = config.objects_per_cluster;
+    options.planted_channels = 0;  // secure by construction: steady-state enforcement
+    tg_util::Prng prng(9000 + config.levels);
+    tg_sim::GeneratedHierarchy h = tg_sim::HierarchicalGraph(options, prng);
+    const size_t n = h.graph.VertexCount();
+    const std::string id = "n" + std::to_string(n);
+
+    const std::vector<tg::RuleApplication> gate_rules =
+        MakeRuleStream(h.graph, config.gate_ops, 77 + n);
+    // The baseline decides a prefix of the same stream (a full audit per op
+    // makes the whole stream intractable at real sizes).
+    const std::vector<tg::RuleApplication> base_rules(
+        gate_rules.begin(),
+        gate_rules.begin() + static_cast<ptrdiff_t>(config.baseline_ops));
+
+    tg_hier::AdmissionGate::Options gate_options;
+    gate_options.mode = tg_hier::AdmissionMode::kConnection;
+
+    exp::MetricsDelta delta;
+
+    // Gate, autocommit: every decision published immediately.
+    double gate_ms = 1e300;
+    std::unique_ptr<tg_hier::AdmissionGate> gate;
+    for (int rep = 0; rep < reps; ++rep) {
+      gate = tg_hier::AdmissionGate::Create(h.graph, h.levels, gate_options);
+      Clock::time_point t0 = Clock::now();
+      for (const tg::RuleApplication& rule : gate_rules) {
+        (void)gate->Admit(rule);
+      }
+      gate_ms = std::min(gate_ms, MsSince(t0));
+    }
+    const double gate_us_per_op = 1e3 * gate_ms / static_cast<double>(gate_rules.size());
+
+    // Gate, transactional: group commits of 64 staged rules.
+    double txn_ms = 1e300;
+    tg_hier::AdmissionGate::Options txn_options = gate_options;
+    txn_options.abort_txn_on_veto = false;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto txn_gate = tg_hier::AdmissionGate::Create(h.graph, h.levels, txn_options);
+      Clock::time_point t0 = Clock::now();
+      size_t staged = 0;
+      (void)txn_gate->Begin();
+      for (const tg::RuleApplication& rule : gate_rules) {
+        (void)txn_gate->Submit(rule);
+        if (++staged % 64 == 0) {
+          (void)txn_gate->Commit();
+          (void)txn_gate->Begin();
+        }
+      }
+      (void)txn_gate->Commit();
+      txn_ms = std::min(txn_ms, MsSince(t0));
+    }
+    const double txn_us_per_op = 1e3 * txn_ms / static_cast<double>(gate_rules.size());
+
+    // Corollary 5.6 re-audit baselines, min-of-3 per engine.
+    const tg_hier::AuditEngine kEngines[] = {tg_hier::AuditEngine::kDense,
+                                             tg_hier::AuditEngine::kSharded};
+    const char* kEngineNames[] = {"dense", "sharded"};
+    double base_ms_per_op[2] = {0.0, 0.0};
+    for (int e = 0; e < 2; ++e) {
+      BaselineResult best;
+      best.ms_per_op = 1e300;
+      for (int rep = 0; rep < reps; ++rep) {
+        BaselineResult r = RunBaseline(h.graph, h.levels, base_rules, kEngines[e]);
+        if (r.ms_per_op < best.ms_per_op) {
+          best = std::move(r);
+        }
+      }
+      base_ms_per_op[e] = best.ms_per_op;
+
+      // Equivalence guard: the gate must admit exactly the rules the full
+      // re-audit admits and land on the identical graph over the shared
+      // prefix.  (Run the prefix through a fresh gate so the comparison is
+      // decision-for-decision.)
+      auto check_gate = tg_hier::AdmissionGate::Create(h.graph, h.levels, gate_options);
+      bool decisions_match = true;
+      for (size_t i = 0; i < base_rules.size(); ++i) {
+        tg_hier::AdmissionDecision d = check_gate->Admit(base_rules[i]);
+        decisions_match = decisions_match && (d.accepted() == best.admitted[i]);
+      }
+      const bool graphs_match =
+          tg::DiffGraphs(check_gate->graph(), best.final_graph).ChangeCount() == 0;
+      reporter.Check(id, std::string("gate admits exactly the ") + kEngineNames[e] +
+                             " re-audit's rules, identical graph",
+                     true, decisions_match && graphs_match);
+      all_equivalent = all_equivalent && decisions_match && graphs_match;
+    }
+
+    // Context row: the O(E) endpoint audit (what Corollary 5.6 costs when
+    // only explicit edges need checking).
+    double audit_ms = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      Clock::time_point t0 = Clock::now();
+      (void)tg_hier::AuditBishopRestriction(gate->graph(), h.levels);
+      audit_ms = std::min(audit_ms, MsSince(t0));
+    }
+
+    const double speedup_dense = base_ms_per_op[0] * 1e3 / gate_us_per_op;
+    const double speedup_sharded = base_ms_per_op[1] * 1e3 / gate_us_per_op;
+    reporter.Note(id, "gate=" + std::to_string(gate_us_per_op) +
+                          "us/op txn=" + std::to_string(txn_us_per_op) +
+                          "us/op dense=" + std::to_string(base_ms_per_op[0]) +
+                          "ms/op sharded=" + std::to_string(base_ms_per_op[1]) +
+                          "ms/op audit=" + std::to_string(audit_ms) + "ms");
+    if (!smoke && n >= 4096) {
+      reporter.Check(id, "gate >= 50x faster than dense per-op re-audit", true,
+                     speedup_dense >= 50.0);
+      reporter.Check(id, "gate >= 50x faster than sharded per-op re-audit", true,
+                     speedup_sharded >= 50.0);
+      gates_50x = gates_50x && speedup_dense >= 50.0 && speedup_sharded >= 50.0;
+    }
+
+    exp::JsonObject row;
+    row.Set("record", "timing")
+        .Set("bench", "admission_gate")
+        .Set("vertices", static_cast<uint64_t>(n))
+        .Set("gate_ops", static_cast<uint64_t>(gate_rules.size()))
+        .Set("baseline_ops", static_cast<uint64_t>(base_rules.size()))
+        .Set("gate_us_per_op", gate_us_per_op)
+        .Set("gate_ops_per_sec", 1e6 / gate_us_per_op)
+        .Set("txn_us_per_op", txn_us_per_op)
+        .Set("txn_ops_per_sec", 1e6 / txn_us_per_op)
+        .Set("dense_reaudit_ms_per_op", base_ms_per_op[0])
+        .Set("sharded_reaudit_ms_per_op", base_ms_per_op[1])
+        .Set("endpoint_audit_ms", audit_ms)
+        .Set("speedup_vs_dense", speedup_dense)
+        .Set("speedup_vs_sharded", speedup_sharded)
+        .Set("accepted", gate->accepted_count())
+        .Set("vetoed", gate->vetoed_count())
+        .Set("rejected", gate->rejected_count())
+        .Set("state_repairs", gate->state_repairs());
+    jsonl.Write(delta.AppendTo(row));
+  }
+
+  reporter.Check("equiv", "gate decisions match full re-audit on every engine", true,
+                 all_equivalent);
+  if (!smoke) {
+    reporter.Check("speedup50x", "gate >= 50x vs per-op full re-audit at n >= 4096", true,
+                   gates_50x);
+  }
+
+  if (!jsonl.ok()) {
+    std::fprintf(stderr, "warning: could not open benchmark JSONL for writing\n");
+  }
+  return reporter.Finish();
+}

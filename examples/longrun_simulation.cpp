@@ -4,10 +4,13 @@
 // Each round, every subject performs plausible work (creating documents,
 // sharing at its own level, reading down); meanwhile a standing conspiracy
 // tries to move high information low.  The demo runs the same trace under
-// the unrestricted engine and under the Bishop restriction, reporting
-// veto rates, breach status, and the audit/diff of the final state.
+// the unrestricted engine, under the Bishop restriction policy, and under
+// the transactional admission gate (one group-committed transaction per
+// round), reporting veto rates, breach status, and the audit/diff of the
+// final state.
 
 #include <cstdio>
+#include <memory>
 
 #include "src/take_grant.h"
 
@@ -16,6 +19,7 @@ namespace {
 struct RoundStats {
   size_t ops = 0;
   size_t vetoed = 0;
+  size_t txns_committed = 0;
 };
 
 // One round of legitimate-looking workload plus adversarial probes.
@@ -23,30 +27,48 @@ RoundStats RunRound(tg_sim::ReferenceMonitor& monitor,
                     const tg_sim::GeneratedHierarchy& h, tg_util::Prng& prng) {
   RoundStats stats;
   const tg::ProtectionGraph& g = monitor.graph();
+  // Pick each level's author and sharing peer up front and lay the ad-hoc
+  // administrative g edges out-of-band first: the admission gate (gated
+  // monitors) repairs its incremental connection state from the mutation
+  // journal between transactions, so out-of-band writes must land before
+  // the round's transaction opens.
+  struct LevelPlan {
+    tg::VertexId author = tg::kInvalidVertex;
+    tg::VertexId peer = tg::kInvalidVertex;
+  };
+  std::vector<LevelPlan> plan;
+  for (const auto& subjects : h.level_subjects) {
+    if (subjects.empty()) {
+      continue;
+    }
+    LevelPlan p;
+    p.author = prng.Choose(subjects);
+    if (subjects.size() > 1) {
+      tg::VertexId peer = subjects[prng.NextBelow(subjects.size())];
+      if (peer != p.author) {
+        p.peer = peer;
+        (void)monitor.engine().mutable_graph().AddExplicit(p.author, peer, tg::kGrant);
+      }
+    }
+    plan.push_back(p);
+  }
+  if (monitor.gated()) {
+    (void)monitor.BeginTxn();
+  }
   auto submit = [&](tg::RuleApplication rule) {
     ++stats.ops;
     if (!monitor.Submit(std::move(rule)).ok()) {
       ++stats.vetoed;
     }
   };
-  // Legitimate work: each level's first subject drafts a document and
-  // shares reads with a level peer.
-  for (size_t level = 0; level < h.level_subjects.size(); ++level) {
-    const auto& subjects = h.level_subjects[level];
-    if (subjects.empty()) {
-      continue;
-    }
-    tg::VertexId author = prng.Choose(subjects);
+  // Legitimate work: each level's author drafts a document and shares
+  // reads with its level peer.
+  for (const LevelPlan& p : plan) {
     auto created = monitor.Submit(
-        tg::RuleApplication::Create(author, tg::VertexKind::kObject, tg::kReadWrite));
+        tg::RuleApplication::Create(p.author, tg::VertexKind::kObject, tg::kReadWrite));
     ++stats.ops;
-    if (created.ok() && subjects.size() > 1) {
-      tg::VertexId peer = subjects[(prng.NextBelow(subjects.size()))];
-      if (peer != author) {
-        // Ad-hoc g edge (out-of-band administrative action), then grant.
-        (void)monitor.engine().mutable_graph().AddExplicit(author, peer, tg::kGrant);
-        submit(tg::RuleApplication::Grant(author, peer, created->created, tg::kRead));
-      }
+    if (created.ok() && p.peer != tg::kInvalidVertex) {
+      submit(tg::RuleApplication::Grant(p.author, p.peer, created->created, tg::kRead));
     }
   }
   // Adversarial probes: random applicable de jure rules, preferring ones
@@ -56,6 +78,12 @@ RoundStats RunRound(tg_sim::ReferenceMonitor& monitor,
   size_t probes = std::min<size_t>(moves.size(), 5);
   for (size_t i = 0; i < probes; ++i) {
     submit(moves[i]);
+  }
+  if (monitor.gated()) {
+    auto txn = monitor.CommitTxn();
+    if (txn.ok() && txn->committed) {
+      ++stats.txns_committed;
+    }
   }
   return stats;
 }
@@ -81,42 +109,67 @@ int main() {
 
   std::printf("%-22s %8s %8s %10s %8s %8s\n", "policy", "ops", "vetoed", "veto-rate",
               "breach", "audit");
-  for (int mode = 0; mode < 2; ++mode) {
-    std::shared_ptr<tg::RulePolicy> policy;
+  for (int mode = 0; mode < 3; ++mode) {
+    std::unique_ptr<tg_sim::ReferenceMonitor> monitor;
+    std::string name;
     if (mode == 0) {
-      policy = std::make_shared<tg::AllowAllPolicy>();
-    } else {
+      monitor = std::make_unique<tg_sim::ReferenceMonitor>(
+          h.graph, std::make_shared<tg::AllowAllPolicy>());
+      name = "allow-all";
+    } else if (mode == 1) {
       // The production stack: Bishop restriction plus a blanket ban on
       // take/grant moving the delete right (a site-specific rule).
-      policy = std::make_shared<tg_hier::CompositePolicy>(
-          std::vector<std::shared_ptr<tg::RulePolicy>>{
-              std::make_shared<tg_hier::BishopRestrictionPolicy>(h.levels),
-              std::make_shared<tg_hier::ApplicationRestrictionPolicy>(
-                  h.levels, tg::RightSet(tg::Right::kDelete))});
+      monitor = std::make_unique<tg_sim::ReferenceMonitor>(
+          h.graph,
+          std::make_shared<tg_hier::CompositePolicy>(
+              std::vector<std::shared_ptr<tg::RulePolicy>>{
+                  std::make_shared<tg_hier::BishopRestrictionPolicy>(h.levels),
+                  std::make_shared<tg_hier::ApplicationRestrictionPolicy>(
+                      h.levels, tg::RightSet(tg::Right::kDelete))}));
+      name = "bishop+app-restrict";
+    } else {
+      // The transactional write path: every round is one group-committed
+      // admission transaction; vetoes record without aborting the batch.
+      tg_hier::AdmissionGate::Options gate_options;
+      gate_options.abort_txn_on_veto = false;
+      monitor =
+          std::make_unique<tg_sim::ReferenceMonitor>(h.graph, h.levels, gate_options);
+      name = std::string("admission-gate(") +
+             tg_hier::AdmissionModeName(monitor->admission()->mode()) + ")";
     }
-    tg_sim::ReferenceMonitor monitor(h.graph, policy);
     tg_util::Prng prng(42);
     size_t total_ops = 0;
     size_t total_vetoed = 0;
+    size_t total_txns = 0;
     for (int round = 0; round < kRounds; ++round) {
-      RoundStats stats = RunRound(monitor, h, prng);
+      RoundStats stats = RunRound(*monitor, h, prng);
       total_ops += stats.ops;
       total_vetoed += stats.vetoed;
+      total_txns += stats.txns_committed;
     }
-    tg::ProtectionGraph final_graph = tg_analysis::SaturateDeFacto(monitor.graph());
+    tg::ProtectionGraph final_graph = tg_analysis::SaturateDeFacto(monitor->graph());
     bool breached = tg_analysis::KnowEdgePresent(final_graph, low, high);
     size_t audit = tg_hier::AuditBishopRestriction(final_graph, h.levels).size();
-    std::printf("%-22s %8zu %8zu %9.1f%% %8s %8zu\n", policy->Name().c_str(), total_ops,
+    std::printf("%-22s %8zu %8zu %9.1f%% %8s %8zu\n", name.c_str(), total_ops,
                 total_vetoed, 100.0 * static_cast<double>(total_vetoed) /
                                   static_cast<double>(total_ops),
                 breached ? "YES" : "no", audit);
     if (mode == 1) {
-      tg::GraphDiff diff = tg::DiffGraphs(h.graph, monitor.graph());
+      tg::GraphDiff diff = tg::DiffGraphs(h.graph, monitor->graph());
       std::printf("\nrestricted run: %zu changes vs day zero "
                   "(%zu new vertices, %zu new explicit edges)\n",
                   diff.ChangeCount(), diff.added_vertices.size(),
                   diff.added_explicit.size());
-      std::printf("last vetoes:\n%s", monitor.RenderAuditLog(3).c_str());
+      std::printf("last vetoes:\n%s\n", monitor->RenderAuditLog(3).c_str());
+    }
+    if (mode == 2) {
+      tg_hier::AdmissionGate* gate = monitor->admission();
+      std::printf("\ngated run: %zu txn(s) committed, %zu accepted, %zu vetoed, "
+                  "%zu rejected; %zu footprint repair(s), %zu rebuild(s)\n",
+                  total_txns, gate->accepted_count(), gate->vetoed_count(),
+                  gate->rejected_count(), gate->state_repairs(),
+                  gate->state_rebuilds());
+      std::printf("last decisions:\n%s", gate->RenderDecisions(3).c_str());
     }
   }
   return 0;

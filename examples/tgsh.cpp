@@ -32,6 +32,13 @@
 //   profile [reset]                 per-span-kind latency percentiles (p50/p95/p99)
 //   explain know|knowf|share ...    run a predicate and print its provenance record
 //   journal [N]                     last N mutation-journal records (default 20)
+//   admit on [edge|conn] [F.lvl]    enforce the Theorem-5.5 restriction live:
+//                                   levels from F.lvl (or computed rwtg-levels)
+//                                   gate every submitted rule in O(1)
+//   admit off                       drop the gate (keeps the admitted graph)
+//   admit status / admit log [N]    gate counters / recent decisions with provenance
+//   txn begin | commit | abort      group-commit rules atomically through the gate
+//   txn status                      open transaction id and staged count
 //   help / quit
 
 #include <cstdio>
@@ -58,6 +65,11 @@ struct Shell {
   // `graph` is *replaced* (load, saturate), since a fresh graph restarts
   // its epoch counter.
   tg_analysis::AnalysisCache cache;
+  // Live enforcement: when set, every rule routes through the gate (Admit
+  // outside a transaction, Submit inside one) and `graph` mirrors the
+  // gate's *published* state — mid-transaction, queries deliberately see
+  // the pre-transaction epoch, exactly like a pinned reader.
+  std::unique_ptr<tg_hier::AdmissionGate> gate;
   bool done = false;
 
   tg::VertexId Resolve(std::string_view name) {
@@ -90,6 +102,34 @@ struct Shell {
   }
 
   void ApplyAndReport(tg::RuleApplication rule) {
+    if (gate != nullptr) {
+      std::string rendered = rule.ToString(gate->graph());
+      tg_hier::AdmissionDecision d =
+          gate->in_txn() ? gate->Submit(std::move(rule)) : gate->Admit(std::move(rule));
+      switch (d.outcome) {
+        case tg_hier::AdmissionOutcome::kAccepted:
+          if (d.txn != 0) {
+            std::printf("staged (txn %llu): %s\n",
+                        static_cast<unsigned long long>(d.txn),
+                        d.applied.ToString(gate->graph()).c_str());
+          } else {
+            std::printf("admitted: %s\n", d.applied.ToString(gate->graph()).c_str());
+          }
+          break;
+        case tg_hier::AdmissionOutcome::kVetoed:
+          std::printf("vetoed: %s -- %s\n", rendered.c_str(), d.reason.c_str());
+          break;
+        case tg_hier::AdmissionOutcome::kRejected:
+          std::printf("rejected: %s -- %s\n", rendered.c_str(), d.reason.c_str());
+          break;
+      }
+      if (d.txn != 0 && !d.accepted() && !gate->in_txn()) {
+        std::printf("(transaction %llu aborted and rolled back)\n",
+                    static_cast<unsigned long long>(d.txn));
+      }
+      graph = gate->graph();
+      return;
+    }
     std::string rendered = rule.ToString(graph);
     tg_util::Status status = ApplyRule(graph, rule);
     if (status.ok()) {
@@ -111,6 +151,9 @@ void PrintHelp() {
       "output:   dot FILE\n"
       "observe:  stats [reset] | trace [N] | trace export FILE | profile [reset] |\n"
       "          explain know X Y | explain knowf X Y | explain share R X Y | journal [N]\n"
+      "enforce:  admit on [edge|conn] [LEVELS.lvl] | admit off | admit status |\n"
+      "          admit log [N] |\n"
+      "          txn begin | txn commit | txn abort | txn status\n"
       "misc:     help | quit\n");
 }
 
@@ -132,12 +175,152 @@ void Shell::Execute(const std::string& raw) {
     return true;
   };
 
+  // While the gate is live, out-of-band structural edits would bypass the
+  // restriction (and conflict with any open transaction); rules only.
+  auto gate_blocks = [&] {
+    if (gate != nullptr) {
+      std::printf("error: admission gate active; use rules, or 'admit off' first\n");
+      return true;
+    }
+    return false;
+  };
+
   if (cmd == "quit" || cmd == "exit") {
     done = true;
   } else if (cmd == "help") {
     PrintHelp();
-  } else if (cmd == "subject" || cmd == "object") {
+  } else if (cmd == "admit") {
+    if (tok.size() >= 2 && tok[1] == "on") {
+      if (gate != nullptr) {
+        std::printf("error: gate already active ('admit status')\n");
+        return;
+      }
+      // admit on [edge|conn] [FILE.lvl] — declared levels from a .lvl file,
+      // or self-consistent computed rwtg-levels when no file is given.
+      // (Computed levels can never produce a veto — they are derived from
+      // the graph's own reachability — so policy demos want a file.)
+      tg_hier::AdmissionGate::Options options;
+      size_t next = 2;
+      if (tok.size() > next && (tok[next] == "edge" || tok[next] == "conn")) {
+        if (tok[next] == "edge") {
+          options.mode = tg_hier::AdmissionMode::kEdgeLevel;
+        }
+        ++next;
+      }
+      tg_hier::LevelAssignment levels(0, 0);
+      if (tok.size() > next) {
+        auto loaded = tg_hier::LoadLevelsFile(std::string(tok[next]), graph);
+        if (!loaded.ok()) {
+          std::printf("error: %s\n", loaded.status().ToString().c_str());
+          return;
+        }
+        levels = std::move(loaded).value();
+        ++next;
+      } else {
+        levels = tg_hier::ComputeRwtgLevels(graph, cache);
+        tg_hier::AssignObjectLevels(graph, levels);
+      }
+      if (tok.size() > next) {
+        std::printf("error: admit on [edge|conn] [LEVELS.lvl]\n");
+        return;
+      }
+      gate = tg_hier::AdmissionGate::Create(graph, levels, options);
+      std::printf("ok: admission gate on (%s mode%s, %zu level(s))\n",
+                  tg_hier::AdmissionModeName(gate->mode()),
+                  gate->mode_fell_back() ? ", fell back from conn" : "",
+                  static_cast<size_t>(levels.LevelCount()));
+    } else if (tok.size() == 2 && tok[1] == "off") {
+      if (gate == nullptr) {
+        std::printf("error: gate not active\n");
+        return;
+      }
+      if (gate->in_txn()) {
+        tg_hier::TxnResult r = gate->Abort("admit off");
+        std::printf("(open transaction %llu aborted)\n",
+                    static_cast<unsigned long long>(r.txn));
+      }
+      graph = gate->graph();
+      gate.reset();
+      std::printf("ok: admission gate off (admitted graph kept)\n");
+    } else if (tok.size() == 2 && tok[1] == "status") {
+      if (gate == nullptr) {
+        std::printf("gate: off\n");
+        return;
+      }
+      std::printf("gate: on, %s mode%s\n", tg_hier::AdmissionModeName(gate->mode()),
+                  gate->mode_fell_back() ? " (fell back from conn)" : "");
+      std::printf("decisions: %llu accepted, %llu vetoed, %llu rejected\n",
+                  static_cast<unsigned long long>(gate->accepted_count()),
+                  static_cast<unsigned long long>(gate->vetoed_count()),
+                  static_cast<unsigned long long>(gate->rejected_count()));
+      std::printf("txns: %llu committed, %llu aborted\n",
+                  static_cast<unsigned long long>(gate->txns_committed()),
+                  static_cast<unsigned long long>(gate->txns_aborted()));
+      std::printf("state: %llu footprint repair(s), %llu full rebuild(s)\n",
+                  static_cast<unsigned long long>(gate->state_repairs()),
+                  static_cast<unsigned long long>(gate->state_rebuilds()));
+      if (gate->in_txn()) {
+        std::printf("txn %llu open: %zu rule(s) staged\n",
+                    static_cast<unsigned long long>(gate->txn_id()), gate->staged_count());
+      }
+    } else if ((tok.size() == 2 || tok.size() == 3) && tok[1] == "log") {
+      if (gate == nullptr) {
+        std::printf("error: gate not active\n");
+        return;
+      }
+      size_t limit = 10;
+      if (tok.size() == 3) {
+        limit = static_cast<size_t>(std::atol(std::string(tok[2]).c_str()));
+      }
+      std::string text = gate->RenderDecisions(limit);
+      std::printf("%s", text.empty() ? "(no decisions yet)\n" : text.c_str());
+    } else {
+      std::printf("error: admit on [edge|conn] [LEVELS.lvl] | admit off | admit status | admit log [N]\n");
+    }
+  } else if (cmd == "txn") {
+    if (gate == nullptr) {
+      std::printf("error: 'txn' needs the admission gate ('admit on')\n");
+      return;
+    }
     if (!need(1)) {
+      return;
+    }
+    if (tok[1] == "begin") {
+      uint64_t id = gate->Begin();
+      std::printf("ok: txn %llu open\n", static_cast<unsigned long long>(id));
+    } else if (tok[1] == "commit") {
+      auto result = gate->Commit();
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        return;
+      }
+      if (result->committed) {
+        std::printf("ok: txn %llu committed %zu rule(s) (epoch %llu -> %llu)\n",
+                    static_cast<unsigned long long>(result->txn), result->applied,
+                    static_cast<unsigned long long>(result->first_epoch),
+                    static_cast<unsigned long long>(result->last_epoch));
+      } else {
+        std::printf("aborted: txn %llu -- %s\n",
+                    static_cast<unsigned long long>(result->txn), result->reason.c_str());
+      }
+      graph = gate->graph();
+    } else if (tok[1] == "abort") {
+      size_t staged = gate->staged_count();
+      tg_hier::TxnResult r = gate->Abort();
+      std::printf("ok: txn %llu aborted (%zu staged rule(s) rolled back)\n",
+                  static_cast<unsigned long long>(r.txn), staged);
+    } else if (tok[1] == "status") {
+      if (gate->in_txn()) {
+        std::printf("txn %llu open: %zu rule(s) staged\n",
+                    static_cast<unsigned long long>(gate->txn_id()), gate->staged_count());
+      } else {
+        std::printf("no open transaction\n");
+      }
+    } else {
+      std::printf("error: txn begin|commit|abort|status\n");
+    }
+  } else if (cmd == "subject" || cmd == "object") {
+    if (!need(1) || gate_blocks()) {
       return;
     }
     tg::VertexId v = graph.AddVertex(
@@ -145,7 +328,7 @@ void Shell::Execute(const std::string& raw) {
     std::printf("ok: %s %s\n", cmd == "subject" ? "subject" : "object",
                 graph.NameOf(v).c_str());
   } else if (cmd == "edge" || cmd == "implicit") {
-    if (!need(3)) {
+    if (!need(3) || gate_blocks()) {
       return;
     }
     tg::VertexId src = Resolve(tok[1]);
@@ -301,6 +484,9 @@ void Shell::Execute(const std::string& raw) {
       std::printf("\n");
     }
   } else if (cmd == "saturate") {
+    if (gate_blocks()) {
+      return;
+    }
     size_t before = graph.ImplicitEdgeCount();
     graph = tg_analysis::SaturateDeFacto(graph);
     cache.Invalidate();
@@ -428,7 +614,7 @@ void Shell::Execute(const std::string& raw) {
     out << tg::PrintGraph(graph);
     std::printf("ok\n");
   } else if (cmd == "load") {
-    if (!need(1)) {
+    if (!need(1) || gate_blocks()) {
       return;
     }
     auto loaded = tg::LoadGraphFile(std::string(tok[1]));

@@ -37,7 +37,7 @@ if [ ! -f build/CMakeCache.txt ]; then
   cmake -B build >/dev/null
 fi
 cmake --build build -j "$jobs" \
-  --target bench_allpairs bench_incremental bench_batch bench_scale >/dev/null
+  --target bench_allpairs bench_incremental bench_batch bench_scale bench_admission >/dev/null
 
 # Benchmark artifacts record the machine context; warn loudly when this
 # run's numbers would come from a single effective core (TG_THREADS=1 or a
@@ -50,7 +50,7 @@ if [ "$effective_threads" -le 1 ]; then
 fi
 
 ctest --test-dir build \
-  -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke|bench_scale_smoke' \
+  -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke|bench_scale_smoke|bench_admission_smoke' \
   --output-on-failure
 
 # Trace-export gate: run the batch smoke with the Perfetto exporter on and

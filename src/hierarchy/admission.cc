@@ -1,0 +1,573 @@
+#include "src/hierarchy/admission.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include "src/util/flight_recorder.h"
+#include "src/util/metrics.h"
+#include "src/util/strings.h"
+#include "src/util/trace.h"
+
+namespace tg_hier {
+
+namespace {
+
+struct AdmissionMetrics {
+  tg_util::Counter& requests = tg_util::GetCounter("admission.requests");
+  tg_util::Counter& accepted = tg_util::GetCounter("admission.accepted");
+  tg_util::Counter& vetoed = tg_util::GetCounter("admission.vetoed");
+  tg_util::Counter& rejected = tg_util::GetCounter("admission.rejected");
+  tg_util::Counter& txns_begun = tg_util::GetCounter("admission.txns_begun");
+  tg_util::Counter& txns_committed = tg_util::GetCounter("admission.txns_committed");
+  tg_util::Counter& txns_aborted = tg_util::GetCounter("admission.txns_aborted");
+  tg_util::Counter& txn_conflicts = tg_util::GetCounter("admission.txn_conflicts");
+  tg_util::Counter& state_repairs = tg_util::GetCounter("admission.state_repairs");
+  tg_util::Counter& state_rebuilds = tg_util::GetCounter("admission.state_rebuilds");
+  tg_util::Counter& journal_replayed =
+      tg_util::GetCounter("admission.journal_records_replayed");
+  tg_util::Counter& mode_fallbacks = tg_util::GetCounter("admission.mode_fallbacks");
+  tg_util::Histogram& decision_ns = tg_util::GetHistogram("admission.decision_ns");
+  tg_util::Histogram& commit_batch_size =
+      tg_util::GetHistogram("admission.commit_batch_size");
+};
+
+AdmissionMetrics& Metrics() {
+  static AdmissionMetrics metrics;
+  return metrics;
+}
+
+// Spans use arg0 = admission event; decisions reuse the outcome values and
+// transaction events extend them (see TraceKind::kAdmission in trace.h).
+constexpr uint64_t kEventCommit = 3;
+constexpr uint64_t kEventAbort = 4;
+
+}  // namespace
+
+using tg::ProtectionGraph;
+using tg::RuleApplication;
+using tg::VertexId;
+using tg_util::Status;
+using tg_util::StatusOr;
+
+const char* AdmissionModeName(AdmissionMode mode) {
+  switch (mode) {
+    case AdmissionMode::kEdgeLevel:
+      return "edge-level";
+    case AdmissionMode::kConnection:
+      return "connection";
+  }
+  return "unknown";
+}
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAccepted:
+      return "ACCEPTED";
+    case AdmissionOutcome::kVetoed:
+      return "VETOED";
+    case AdmissionOutcome::kRejected:
+      return "REJECTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string AdmissionDecision::ToJson() const {
+  std::ostringstream os;
+  os << "{\"type\":\"admission\",\"seq\":" << sequence << ",\"txn\":" << txn
+     << ",\"outcome\":\"" << AdmissionOutcomeName(outcome) << "\",\"rule\":\""
+     << tg_util::JsonEscape(rule) << "\",\"reason\":\"" << tg_util::JsonEscape(reason)
+     << "\",\"epoch\":" << epoch;
+  if (src != tg::kInvalidVertex) {
+    os << ",\"src\":" << src << ",\"dst\":" << dst << ",\"added\":\""
+       << added.ToString() << "\"";
+    if (src_floor != ExposureState::kNoFloor) {
+      os << ",\"src_floor\":" << src_floor;
+    }
+    if (src_ceil_plus1 != 0) {
+      os << ",\"src_ceil\":" << (src_ceil_plus1 - 1);
+    }
+    if (dst_rank != ExposureState::kNoFloor) {
+      os << ",\"dst_rank\":" << dst_rank;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+AdmissionGate::AdmissionGate(tg::RuleEngine* engine, std::shared_ptr<LevelPolicy> policy,
+                             Options options)
+    : engine_(engine), policy_(std::move(policy)), options_(options), mode_(options.mode) {
+  // The connection check compares ranks in a total order; precompute
+  // rank(level) = |{l' : level > l'}| and verify linearity.  Incomparable
+  // levels force the endpoint check (sound, conservative for objects).
+  const LevelAssignment& levels = policy_->assignment();
+  size_t count = levels.LevelCount();
+  bool linear = true;
+  rank_by_level_.assign(count, 0);
+  for (LevelId a = 0; a < count && linear; ++a) {
+    uint32_t rank = 0;
+    for (LevelId b = 0; b < count; ++b) {
+      if (a == b) continue;
+      if (!levels.Comparable(a, b)) {
+        linear = false;
+        break;
+      }
+      if (levels.Higher(a, b)) ++rank;
+    }
+    rank_by_level_[a] = rank;
+  }
+  if (!linear) {
+    rank_by_level_.clear();
+    if (mode_ == AdmissionMode::kConnection) {
+      mode_ = AdmissionMode::kEdgeLevel;
+      mode_fell_back_ = true;
+      Metrics().mode_fallbacks.Add();
+    }
+  }
+  if (!rank_by_level_.empty()) {
+    RebuildState(engine_->graph(), state_, levels);
+  }
+}
+
+AdmissionGate::AdmissionGate(tg::RuleEngine* engine, std::shared_ptr<LevelPolicy> policy)
+    : AdmissionGate(engine, std::move(policy), Options()) {}
+
+std::unique_ptr<AdmissionGate> AdmissionGate::Create(ProtectionGraph graph,
+                                                     LevelAssignment levels) {
+  return Create(std::move(graph), std::move(levels), Options());
+}
+
+std::unique_ptr<AdmissionGate> AdmissionGate::Create(ProtectionGraph graph,
+                                                     LevelAssignment levels,
+                                                     Options options) {
+  auto policy = std::make_shared<LevelTrackingPolicy>(std::move(levels));
+  auto engine = std::make_unique<tg::RuleEngine>(std::move(graph), policy);
+  auto gate = std::make_unique<AdmissionGate>(engine.get(), policy, options);
+  gate->owned_ = std::move(engine);
+  return gate;
+}
+
+uint32_t AdmissionGate::RankOfLevel(LevelId level) const {
+  if (rank_by_level_.empty() || level == kNoLevel || level >= rank_by_level_.size()) {
+    return ExposureState::kNoFloor;
+  }
+  return rank_by_level_[level];
+}
+
+void AdmissionGate::RelaxFrom(const ProtectionGraph& g, ExposureState& state,
+                              std::vector<VertexId> worklist) const {
+  // Monotone min/max propagation along explicit t edges: u -t-> v means u
+  // can acquire v's rights, so every subject exposed to u is exposed to v.
+  std::deque<VertexId> queue(worklist.begin(), worklist.end());
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    uint32_t floor = state.floor_rank[u];
+    uint32_t ceil_plus1 = state.ceil_rank_plus1[u];
+    if (floor == ExposureState::kNoFloor && ceil_plus1 == 0) continue;
+    g.ForEachOutEdge(u, [&](const tg::Edge& e) {
+      if (!e.explicit_rights.Has(tg::Right::kTake)) return;
+      bool changed = false;
+      if (floor < state.floor_rank[e.dst]) {
+        state.floor_rank[e.dst] = floor;
+        changed = true;
+      }
+      if (ceil_plus1 > state.ceil_rank_plus1[e.dst]) {
+        state.ceil_rank_plus1[e.dst] = ceil_plus1;
+        changed = true;
+      }
+      if (changed) queue.push_back(e.dst);
+    });
+  }
+}
+
+void AdmissionGate::RebuildState(const ProtectionGraph& g, ExposureState& state,
+                                 const LevelAssignment& levels) {
+  size_t n = g.VertexCount();
+  state.floor_rank.assign(n, ExposureState::kNoFloor);
+  state.ceil_rank_plus1.assign(n, 0);
+  std::vector<VertexId> seeds;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!g.IsSubject(v)) continue;
+    uint32_t rank = RankOfLevel(levels.LevelOf(v));
+    if (rank == ExposureState::kNoFloor) continue;
+    state.floor_rank[v] = rank;
+    state.ceil_rank_plus1[v] = rank + 1;
+    seeds.push_back(v);
+  }
+  RelaxFrom(g, state, std::move(seeds));
+  state.synced_epoch = g.epoch();
+  state.valid = true;
+  ++state_rebuilds_;
+  Metrics().state_rebuilds.Add();
+}
+
+void AdmissionGate::SyncState(const ProtectionGraph& g, ExposureState& state,
+                              const LevelAssignment& levels) {
+  if (rank_by_level_.empty()) return;  // endpoint mode over non-linear levels
+  if (state.synced_epoch == g.epoch() && state.valid) return;
+  if (!state.valid || !g.journal().Covers(state.synced_epoch)) {
+    RebuildState(g, state, levels);
+    return;
+  }
+  auto records = g.journal().Since(state.synced_epoch);
+  std::vector<VertexId> seeds;
+  for (const tg::MutationRecord& rec : records) {
+    switch (rec.kind) {
+      case tg::MutationKind::kAddVertex: {
+        while (state.floor_rank.size() <= rec.src) {
+          state.floor_rank.push_back(ExposureState::kNoFloor);
+          state.ceil_rank_plus1.push_back(0);
+        }
+        // Level inheritance has already run by sync time (the policy is
+        // notified before the journal is read), so seed the newcomer.
+        if (g.IsSubject(rec.src)) {
+          uint32_t rank = RankOfLevel(levels.LevelOf(rec.src));
+          if (rank != ExposureState::kNoFloor) {
+            state.floor_rank[rec.src] = rank;
+            state.ceil_rank_plus1[rec.src] = rank + 1;
+            seeds.push_back(rec.src);
+          }
+        }
+        break;
+      }
+      case tg::MutationKind::kAddExplicit:
+        if (rec.delta.Has(tg::Right::kTake)) seeds.push_back(rec.src);
+        break;
+      case tg::MutationKind::kRemoveExplicit:
+      case tg::MutationKind::kAddImplicit:
+      case tg::MutationKind::kRemoveImplicit:
+        // Exposure is a min/max over t̄* paths: losing a t edge can raise
+        // floors, which forward relaxation cannot express.  (Implicit-t
+        // deltas never come from de jure rules; rebuild defensively.)
+        if (rec.delta.Has(tg::Right::kTake)) {
+          RebuildState(g, state, levels);
+          return;
+        }
+        break;
+    }
+  }
+  if (!seeds.empty()) RelaxFrom(g, state, std::move(seeds));
+  state.synced_epoch = g.epoch();
+  ++state_repairs_;
+  Metrics().state_repairs.Add();
+  Metrics().journal_replayed.Add(records.size());
+}
+
+void AdmissionGate::Rebuild() {
+  if (rank_by_level_.empty()) return;
+  RebuildState(engine_->graph(), state_, policy_->assignment());
+}
+
+const ExposureState& AdmissionGate::exposure() {
+  SyncState(engine_->graph(), state_, policy_->assignment());
+  return state_;
+}
+
+AdmissionDecision AdmissionGate::Decide(tg::RuleEngine& engine,
+                                        const LevelAssignment& levels,
+                                        ExposureState& state,
+                                        const RuleApplication& rule) {
+  const ProtectionGraph& g = engine.graph();
+  AdmissionDecision d;
+  d.epoch = g.epoch();
+  d.rule = rule.ToString(g);
+  Status pre = CheckRule(g, rule);
+  if (!pre.ok()) {
+    d.outcome = AdmissionOutcome::kRejected;
+    d.reason = pre.message();
+    d.status = std::move(pre);
+    return d;
+  }
+  d.outcome = AdmissionOutcome::kAccepted;
+  d.status = Status::Ok();
+  if (rule.kind != tg::RuleKind::kTake && rule.kind != tg::RuleKind::kGrant) {
+    // Create keeps the creator's own connections (the new vertex inherits
+    // the creator's level and is reachable only through it), remove only
+    // shrinks connections, and de facto rules cannot be restricted (§6).
+    return d;
+  }
+  tg::RuleEffect effect = EffectOf(g, rule);
+  d.src = effect.src;
+  d.dst = effect.dst;
+  d.added = effect.added_explicit;
+  if (mode_ == AdmissionMode::kEdgeLevel) {
+    if (ViolatesBishopRestriction(levels, d.src, d.dst, d.added, options_.strictness)) {
+      d.outcome = AdmissionOutcome::kVetoed;
+      d.reason = std::string("endpoint restriction: new ") + d.added.ToString() +
+                 " edge crosses levels the wrong way";
+      d.status = Status::PolicyViolation(d.reason);
+    }
+    return d;
+  }
+  // Connection mode (Theorem 5.5).  Ranks are valid here: construction
+  // falls back to kEdgeLevel when the hierarchy is not totally ordered.
+  SyncState(g, state, levels);
+  d.src_floor = state.floor_rank[d.src];
+  d.src_ceil_plus1 = state.ceil_rank_plus1[d.src];
+  d.dst_rank = RankOfLevel(levels.LevelOf(d.dst));
+  if (d.dst_rank == ExposureState::kNoFloor) return d;  // unassigned target
+  if (d.added.Has(tg::Right::kRead) && d.src_floor != ExposureState::kNoFloor &&
+      d.src_floor < d.dst_rank) {
+    d.outcome = AdmissionOutcome::kVetoed;
+    d.reason = "completes read-up connection: subject at rank " +
+               std::to_string(d.src_floor) + " can take from " + g.NameOf(d.src) +
+               ", target rank " + std::to_string(d.dst_rank);
+    d.status = Status::PolicyViolation(d.reason);
+    return d;
+  }
+  if (d.added.Has(tg::Right::kWrite) && d.src_ceil_plus1 != 0 &&
+      d.src_ceil_plus1 - 1 > d.dst_rank) {
+    d.outcome = AdmissionOutcome::kVetoed;
+    d.reason = "completes write-down connection: subject at rank " +
+               std::to_string(d.src_ceil_plus1 - 1) + " can take from " +
+               g.NameOf(d.src) + ", target rank " + std::to_string(d.dst_rank);
+    d.status = Status::PolicyViolation(d.reason);
+  }
+  return d;
+}
+
+AdmissionDecision AdmissionGate::Check(const RuleApplication& rule) {
+  if (txn_ != nullptr && txn_->engine != nullptr) {
+    AdmissionDecision d =
+        Decide(*txn_->engine, txn_->policy->assignment(), txn_->exposure, rule);
+    d.txn = txn_->id;
+    d.sequence = next_sequence_;  // advisory: not consumed, not logged
+    return d;
+  }
+  AdmissionDecision d = Decide(*engine_, policy_->assignment(), state_, rule);
+  d.sequence = next_sequence_;
+  return d;
+}
+
+void AdmissionGate::RecordDecision(AdmissionDecision decision) {
+  switch (decision.outcome) {
+    case AdmissionOutcome::kAccepted:
+      ++accepted_;
+      Metrics().accepted.Add();
+      break;
+    case AdmissionOutcome::kVetoed:
+      ++vetoed_;
+      Metrics().vetoed.Add();
+      break;
+    case AdmissionOutcome::kRejected:
+      ++rejected_;
+      Metrics().rejected.Add();
+      break;
+  }
+  tg_util::FlightRecorder& recorder = tg_util::FlightRecorder::Instance();
+  if (recorder.enabled()) {
+    recorder.Append(decision.ToJson());
+  }
+  decision_log_.push_back(std::move(decision));
+  while (options_.decision_log_limit != 0 &&
+         decision_log_.size() > options_.decision_log_limit) {
+    decision_log_.pop_front();
+  }
+}
+
+AdmissionDecision AdmissionGate::Admit(RuleApplication rule) {
+  tg_util::QueryScope query(tg_util::QueryKind::kAdmission);
+  tg_util::TraceSpan span(tg_util::TraceKind::kAdmission);
+  tg_util::ScopedTimer timer(Metrics().decision_ns);
+  Metrics().requests.Add();
+  AdmissionDecision d;
+  if (txn_ != nullptr) {
+    d.outcome = AdmissionOutcome::kRejected;
+    d.reason = "transaction " + std::to_string(txn_->id) + " open; use Submit";
+    d.status = Status::FailedPrecondition(d.reason);
+    d.rule = rule.ToString(engine_->graph());
+    d.epoch = engine_->graph().epoch();
+  } else {
+    d = Decide(*engine_, policy_->assignment(), state_, rule);
+    if (d.accepted()) {
+      StatusOr<RuleApplication> applied = engine_->Apply(std::move(rule));
+      if (applied.ok()) {
+        d.applied = *applied;
+        SyncState(engine_->graph(), state_, policy_->assignment());
+      } else {
+        // Only reachable when the engine's policy second-guesses the gate
+        // (a configuration the constructor comment forbids); surface it.
+        d.outcome = applied.status().code() == tg_util::StatusCode::kPolicyViolation
+                        ? AdmissionOutcome::kVetoed
+                        : AdmissionOutcome::kRejected;
+        d.reason = applied.status().message();
+        d.status = applied.status();
+      }
+    }
+  }
+  d.sequence = next_sequence_++;
+  span.set_args(static_cast<uint64_t>(d.outcome), d.sequence);
+  query.set_verdict(d.accepted());
+  RecordDecision(d);
+  return d;
+}
+
+uint64_t AdmissionGate::Begin() {
+  if (txn_ != nullptr) {
+    FinishAbort("superseded by new Begin");
+  }
+  txn_ = std::make_unique<Txn>();
+  txn_->id = next_txn_id_++;
+  txn_->base_epoch = engine_->graph().epoch();
+  Metrics().txns_begun.Add();
+  return txn_->id;
+}
+
+uint64_t AdmissionGate::txn_id() const { return txn_ ? txn_->id : 0; }
+
+size_t AdmissionGate::staged_count() const { return txn_ ? txn_->staged.size() : 0; }
+
+void AdmissionGate::EnsureScratch() {
+  if (txn_->engine != nullptr) return;
+  // Stage against a full clone: graph copy (carrying epoch + journal, so
+  // SyncState repairs the scratch exposure the same way), a private
+  // LevelTrackingPolicy so scratch creates cannot drift levels into the
+  // published assignment, and a cloned exposure state.
+  SyncState(engine_->graph(), state_, policy_->assignment());
+  auto scratch_policy = std::make_shared<LevelTrackingPolicy>(policy_->assignment());
+  txn_->engine = std::make_unique<tg::RuleEngine>(engine_->graph(), scratch_policy);
+  txn_->policy = std::move(scratch_policy);
+  txn_->exposure = state_;
+}
+
+AdmissionDecision AdmissionGate::Submit(RuleApplication rule) {
+  if (txn_ == nullptr) return Admit(std::move(rule));
+  tg_util::QueryScope query(tg_util::QueryKind::kAdmission);
+  tg_util::TraceSpan span(tg_util::TraceKind::kAdmission);
+  tg_util::ScopedTimer timer(Metrics().decision_ns);
+  Metrics().requests.Add();
+  EnsureScratch();
+  AdmissionDecision d =
+      Decide(*txn_->engine, txn_->policy->assignment(), txn_->exposure, rule);
+  d.txn = txn_->id;
+  if (d.accepted()) {
+    RuleApplication replay = rule;  // pre-apply form, for the group commit
+    StatusOr<RuleApplication> applied = txn_->engine->Apply(std::move(rule));
+    if (applied.ok()) {
+      d.applied = *applied;
+      txn_->staged.push_back(std::move(replay));
+      SyncState(txn_->engine->graph(), txn_->exposure, txn_->policy->assignment());
+    } else {
+      d.outcome = AdmissionOutcome::kRejected;
+      d.reason = applied.status().message();
+      d.status = applied.status();
+    }
+  }
+  d.sequence = next_sequence_++;
+  span.set_args(static_cast<uint64_t>(d.outcome), d.sequence);
+  query.set_verdict(d.accepted());
+  bool abort_batch = !d.accepted() && options_.abort_txn_on_veto;
+  RecordDecision(d);
+  if (abort_batch) {
+    FinishAbort(std::string(AdmissionOutcomeName(d.outcome)) + " decision #" +
+                std::to_string(d.sequence) + ": " + d.reason);
+  }
+  return d;
+}
+
+StatusOr<TxnResult> AdmissionGate::Commit() {
+  if (txn_ == nullptr) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  tg_util::QueryScope query(tg_util::QueryKind::kAdmission);
+  tg_util::TraceSpan span(tg_util::TraceKind::kAdmission);
+  TxnResult result;
+  result.txn = txn_->id;
+  result.first_epoch = txn_->base_epoch;
+  if (engine_->graph().epoch() != txn_->base_epoch) {
+    // The published graph advanced under the transaction (an out-of-band
+    // mutation): the staged decisions were made against stale state, so
+    // the commit refuses rather than replay them.
+    Metrics().txn_conflicts.Add();
+    std::string reason = "conflict: published epoch " +
+                         std::to_string(engine_->graph().epoch()) +
+                         " != base epoch " + std::to_string(txn_->base_epoch);
+    query.set_verdict(false);
+    span.set_args(kEventAbort, result.txn);
+    return FinishAbort(std::move(reason));
+  }
+  size_t batch = txn_->staged.size();
+  for (size_t i = 0; i < batch; ++i) {
+    // Replay is deterministic: the scratch proved preconditions against
+    // this exact epoch and the published policy never vetoes, so a
+    // failure here is an engine/gate invariant break, not a user error.
+    StatusOr<RuleApplication> applied = engine_->Apply(txn_->staged[i]);
+    if (!applied.ok()) {
+      txn_.reset();
+      return Status::Internal("group commit diverged at rule " + std::to_string(i) +
+                              " of " + std::to_string(batch) + ": " +
+                              applied.status().message());
+    }
+  }
+  // Footprint-scoped repair: exactly this batch's journal records.
+  SyncState(engine_->graph(), state_, policy_->assignment());
+  result.committed = true;
+  result.applied = batch;
+  result.last_epoch = engine_->graph().epoch();
+  ++txns_committed_;
+  Metrics().txns_committed.Add();
+  Metrics().commit_batch_size.Observe(batch);
+  span.set_args(kEventCommit, result.txn);
+  query.set_result(batch);
+  tg_util::FlightRecorder& recorder = tg_util::FlightRecorder::Instance();
+  if (recorder.enabled()) {
+    recorder.Append("{\"type\":\"admission_txn\",\"txn\":" + std::to_string(result.txn) +
+                    ",\"outcome\":\"COMMITTED\",\"applied\":" + std::to_string(batch) +
+                    ",\"first_epoch\":" + std::to_string(result.first_epoch) +
+                    ",\"last_epoch\":" + std::to_string(result.last_epoch) + "}");
+  }
+  txn_.reset();
+  return result;
+}
+
+TxnResult AdmissionGate::Abort(std::string reason) {
+  if (txn_ == nullptr) {
+    TxnResult result;
+    result.reason = "no open transaction";
+    return result;
+  }
+  tg_util::TraceSpan span(tg_util::TraceKind::kAdmission);
+  span.set_args(kEventAbort, txn_->id);
+  return FinishAbort(std::move(reason));
+}
+
+TxnResult AdmissionGate::FinishAbort(std::string reason) {
+  TxnResult result;
+  result.txn = txn_->id;
+  result.first_epoch = txn_->base_epoch;
+  result.last_epoch = engine_->graph().epoch();
+  result.reason = std::move(reason);
+  ++txns_aborted_;
+  Metrics().txns_aborted.Add();
+  tg_util::FlightRecorder& recorder = tg_util::FlightRecorder::Instance();
+  if (recorder.enabled()) {
+    recorder.Append("{\"type\":\"admission_txn\",\"txn\":" + std::to_string(result.txn) +
+                    ",\"outcome\":\"ABORTED\",\"reason\":\"" +
+                    tg_util::JsonEscape(result.reason) + "\",\"epoch\":" +
+                    std::to_string(result.last_epoch) + "}");
+  }
+  txn_.reset();  // the scratch engine, policy clone, and exposure die here
+  return result;
+}
+
+std::string AdmissionGate::RenderDecisions(size_t limit) const {
+  std::ostringstream os;
+  size_t start = 0;
+  if (limit != 0 && decision_log_.size() > limit) {
+    start = decision_log_.size() - limit;
+  }
+  for (size_t i = start; i < decision_log_.size(); ++i) {
+    const AdmissionDecision& d = decision_log_[i];
+    os << d.sequence << " [" << AdmissionOutcomeName(d.outcome) << "]";
+    if (d.txn != 0) os << " txn " << d.txn;
+    os << " " << d.rule;
+    if (!d.reason.empty()) os << " -- " << d.reason;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tg_hier

@@ -1,0 +1,276 @@
+// Transactional O(1) admission control — the write path of Theorem 5.5.
+//
+// The paper's last restriction is sound *and complete*: veto exactly the
+// de jure applications whose new explicit edge completes an upward r̄*
+// connection (read up) or a downward w̄* connection (write down), and by
+// Corollary 5.7 one application checks in O(1) — versus Corollary 5.6's
+// O(edges) full re-audit.  AdmissionGate turns that corollary into a live
+// enforcement engine in front of tg::RuleEngine:
+//
+//   * Per-vertex connection state.  For every vertex v the gate maintains
+//     floor(v)/ceil(v): the lowest/highest hierarchy rank among assigned
+//     subjects u with an explicit t̄*-path u -> v (v included when it is an
+//     assigned subject itself).  A new explicit r on v -> z completes a
+//     read-up connection iff floor(v) < rank(z) — some lower subject would
+//     gain the terminal span t̄* r̄ into z; a new explicit w on v -> z
+//     completes a write-down connection iff ceil(v) > rank(z) — some
+//     higher subject would gain the initial span t̄* w̄ into z.  With the
+//     state in hand each decision is O(1) integer compares.
+//
+//   * Incremental maintenance.  The state is repaired from the PR-4
+//     mutation journal, footprint-scoped on commit rather than recomputed:
+//     new t edges relax floor/ceil forward from their source, new vertices
+//     extend the arrays, and only t-edge *removal* (which can raise a
+//     floor) falls back to a full O(V+E) rebuild.
+//
+//   * Transactions.  Begin() stages subsequent Submit()s against a scratch
+//     engine (graph copy + cloned LevelTrackingPolicy + cloned state), so
+//     the published graph, epoch, journal, cache keys, and level
+//     assignment are untouched until Commit() replays the accepted batch
+//     through the real engine as one group commit.  A mid-batch veto or
+//     precondition failure aborts the whole batch by discarding the
+//     scratch — rollback is bit-identical by construction, and readers
+//     pinned to the pre-txn epoch never observe partial writes.
+//
+// Two decision modes:
+//   * kConnection (default, the Theorem 5.5 check): exact against the
+//     connection state.  On a secure graph it is complete — every legal
+//     derivation between secure graphs replays without a veto — and every
+//     veto marks a rule whose would-be graph is CheckSecure-insecure.
+//     Requires a totally ordered level hierarchy; the gate falls back to
+//     kEdgeLevel (and says so in mode()) when levels are incomparable.
+//   * kEdgeLevel: the endpoint check of ViolatesBishopRestriction — veto
+//     any new r to a higher vertex or w to a lower one, regardless of who
+//     can reach the edge's source.  Sound for subjects, conservative for
+//     objects (it refuses inert object grants kConnection admits).
+//
+// Every decision emits a kAdmission trace span, admission.* metrics, and
+// an optional flight-recorder provenance line; a bounded in-memory
+// decision log backs the tgsh `admit log` view.
+
+#ifndef SRC_HIERARCHY_ADMISSION_H_
+#define SRC_HIERARCHY_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hierarchy/levels.h"
+#include "src/hierarchy/restrictions.h"
+#include "src/tg/graph.h"
+#include "src/tg/rule_engine.h"
+#include "src/tg/rules.h"
+#include "src/util/status.h"
+
+namespace tg_hier {
+
+enum class AdmissionMode : uint8_t {
+  kEdgeLevel,   // endpoint check: ViolatesBishopRestriction on the new edge
+  kConnection,  // Theorem 5.5: does the new edge complete a r̄*/w̄* connection?
+};
+
+const char* AdmissionModeName(AdmissionMode mode);
+
+enum class AdmissionOutcome : uint8_t {
+  kAccepted,  // preconditions and restriction both pass
+  kVetoed,    // preconditions pass, restriction refuses
+  kRejected,  // rule preconditions fail (or the gate is in a bad state)
+};
+
+const char* AdmissionOutcomeName(AdmissionOutcome outcome);
+
+// Per-vertex incremental r̄*/w̄* connection state.  Ranks index the linear
+// order of levels (rank 0 = lowest); ceilings are stored +1 so 0 can mean
+// "no exposed subject" (kNoFloor plays the same role for floors).
+struct ExposureState {
+  static constexpr uint32_t kNoFloor = 0xffffffffu;
+
+  std::vector<uint32_t> floor_rank;       // kNoFloor = no exposed subject
+  std::vector<uint32_t> ceil_rank_plus1;  // 0 = no exposed subject
+  uint64_t synced_epoch = 0;              // graph epoch the state reflects
+  bool valid = false;
+
+  bool HasFloor(tg::VertexId v) const { return floor_rank[v] != kNoFloor; }
+  bool HasCeil(tg::VertexId v) const { return ceil_rank_plus1[v] != 0; }
+
+  friend bool operator==(const ExposureState& a, const ExposureState& b) {
+    return a.floor_rank == b.floor_rank && a.ceil_rank_plus1 == b.ceil_rank_plus1;
+  }
+};
+
+// One gate decision, with enough provenance to replay the reasoning: the
+// completing edge, the exposure values it was judged against, and the
+// transaction (0 = autocommit) it belonged to.
+struct AdmissionDecision {
+  AdmissionOutcome outcome = AdmissionOutcome::kRejected;
+  uint64_t sequence = 0;  // per-gate decision number, from 0
+  uint64_t txn = 0;       // owning transaction id; 0 = autocommitted
+  std::string rule;       // rendered against the graph it was checked on
+  std::string reason;     // veto / rejection reason; empty when accepted
+  tg_util::Status status; // Ok, PolicyViolation, or the precondition error
+  tg::RuleApplication applied;  // as applied (created id filled); valid when accepted
+
+  // Completing-edge provenance; meaningful for de jure take/grant only.
+  tg::VertexId src = tg::kInvalidVertex;
+  tg::VertexId dst = tg::kInvalidVertex;
+  tg::RightSet added;
+  uint32_t src_floor = ExposureState::kNoFloor;  // floor rank at decision time
+  uint32_t src_ceil_plus1 = 0;                   // ceil rank + 1 at decision time
+  uint32_t dst_rank = ExposureState::kNoFloor;   // kNoFloor = dst unassigned
+  uint64_t epoch = 0;  // epoch of the graph the decision was made against
+
+  bool accepted() const { return outcome == AdmissionOutcome::kAccepted; }
+  std::string ToJson() const;
+};
+
+// The outcome of one transaction (group commit or abort).
+struct TxnResult {
+  uint64_t txn = 0;
+  bool committed = false;
+  size_t applied = 0;       // rules group-committed into the published graph
+  uint64_t first_epoch = 0; // published epoch when the txn began
+  uint64_t last_epoch = 0;  // published epoch after commit / unchanged abort
+  std::string reason;       // abort reason; empty when committed
+};
+
+class AdmissionGate {
+ public:
+  struct Options {
+    AdmissionMode mode = AdmissionMode::kConnection;
+    RestrictionStrictness strictness = RestrictionStrictness::kPaper;
+    // When a Submit inside a transaction is vetoed or rejected, abort the
+    // whole batch (all-or-nothing).  When false the batch survives and
+    // only the offending rule is dropped.
+    bool abort_txn_on_veto = true;
+    size_t decision_log_limit = 1024;  // bounded in-memory provenance log
+  };
+
+  // Fronts an existing engine.  `policy` must be the engine's own level
+  // policy (the same object the engine notifies on create), and it must
+  // not veto gate-accepted rules — use LevelTrackingPolicy, or a
+  // BishopRestrictionPolicy only with mode kEdgeLevel and the same
+  // strictness (whose decisions the gate reproduces exactly).
+  AdmissionGate(tg::RuleEngine* engine, std::shared_ptr<LevelPolicy> policy,
+                Options options);
+  AdmissionGate(tg::RuleEngine* engine, std::shared_ptr<LevelPolicy> policy);
+
+  // Owning form: builds a LevelTrackingPolicy over `levels` and an engine
+  // around `graph`, then fronts them.  The tgsh `admit` command and tests
+  // use this.
+  static std::unique_ptr<AdmissionGate> Create(tg::ProtectionGraph graph,
+                                               LevelAssignment levels, Options options);
+  static std::unique_ptr<AdmissionGate> Create(tg::ProtectionGraph graph,
+                                               LevelAssignment levels);
+
+  // The published (committed) graph and level assignment.
+  const tg::ProtectionGraph& graph() const { return engine_->graph(); }
+  const LevelAssignment& levels() const { return policy_->assignment(); }
+  tg::RuleEngine* engine() { return engine_; }
+
+  // The decision mode actually in force (kConnection falls back to
+  // kEdgeLevel when the level hierarchy is not totally ordered).
+  AdmissionMode mode() const { return mode_; }
+  bool mode_fell_back() const { return mode_fell_back_; }
+
+  // The O(1) decision Admit/Submit would reach right now, without applying
+  // anything.  Checks against the pending (scratch) state inside an open
+  // transaction, the published state otherwise.
+  AdmissionDecision Check(const tg::RuleApplication& rule);
+
+  // Autocommit: check, apply through the engine, repair the connection
+  // state footprint-scoped from the journal.  Refused while a transaction
+  // is open (use Submit).
+  AdmissionDecision Admit(tg::RuleApplication rule);
+
+  // Transactions.  Begin stages a scratch copy lazily; Submit checks and
+  // applies against the scratch; Commit group-commits the staged batch
+  // through the real engine (refusing if the published graph advanced
+  // under the txn); Abort discards the scratch.
+  uint64_t Begin();
+  AdmissionDecision Submit(tg::RuleApplication rule);
+  tg_util::StatusOr<TxnResult> Commit();
+  TxnResult Abort(std::string reason = "abort");
+  bool in_txn() const { return txn_ != nullptr; }
+  uint64_t txn_id() const;
+  size_t staged_count() const;
+
+  // Decision / transaction counters (mirrored into admission.* metrics;
+  // these instance counters let tests assert without registry resets).
+  uint64_t accepted_count() const { return accepted_; }
+  uint64_t vetoed_count() const { return vetoed_; }
+  uint64_t rejected_count() const { return rejected_; }
+  uint64_t txns_committed() const { return txns_committed_; }
+  uint64_t txns_aborted() const { return txns_aborted_; }
+  uint64_t state_repairs() const { return state_repairs_; }
+  uint64_t state_rebuilds() const { return state_rebuilds_; }
+
+  // The most recent decisions, oldest first (bounded by
+  // Options::decision_log_limit).
+  const std::deque<AdmissionDecision>& decisions() const { return decision_log_; }
+  std::string RenderDecisions(size_t limit = 0) const;
+
+  // The published connection state, synced to the current graph epoch
+  // before returning (tests compare it against a fresh rebuild).
+  const ExposureState& exposure();
+
+  // Drops all incremental state and rebuilds it from the published graph
+  // in O(V+E).
+  void Rebuild();
+
+  // The rank of `level` in the linear order (number of levels strictly
+  // below); ExposureState::kNoFloor when level is kNoLevel or the
+  // hierarchy is not totally ordered.
+  uint32_t RankOfLevel(LevelId level) const;
+
+ private:
+  struct Txn {
+    uint64_t id = 0;
+    uint64_t base_epoch = 0;  // published epoch at Begin
+    std::unique_ptr<tg::RuleEngine> engine;  // scratch graph copy
+    std::shared_ptr<LevelTrackingPolicy> policy;  // scratch level clone
+    ExposureState exposure;
+    std::vector<tg::RuleApplication> staged;  // pre-apply forms, for replay
+  };
+
+  AdmissionDecision Decide(tg::RuleEngine& engine, const LevelAssignment& levels,
+                           ExposureState& state, const tg::RuleApplication& rule);
+  void EnsureScratch();
+  void SyncState(const tg::ProtectionGraph& g, ExposureState& state,
+                 const LevelAssignment& levels);
+  void RebuildState(const tg::ProtectionGraph& g, ExposureState& state,
+                    const LevelAssignment& levels);
+  void RelaxFrom(const tg::ProtectionGraph& g, ExposureState& state,
+                 std::vector<tg::VertexId> worklist) const;
+  void RecordDecision(AdmissionDecision decision);
+  TxnResult FinishAbort(std::string reason);
+
+  tg::RuleEngine* engine_;  // published engine (owned_ when self-built)
+  std::shared_ptr<LevelPolicy> policy_;
+  std::unique_ptr<tg::RuleEngine> owned_;  // set by Create()
+  Options options_;
+  AdmissionMode mode_;
+  bool mode_fell_back_ = false;
+
+  std::vector<uint32_t> rank_by_level_;  // level id -> rank; empty if non-linear
+  ExposureState state_;                  // published connection state
+
+  std::unique_ptr<Txn> txn_;
+  uint64_t next_txn_id_ = 1;
+  uint64_t next_sequence_ = 0;
+
+  uint64_t accepted_ = 0;
+  uint64_t vetoed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t txns_committed_ = 0;
+  uint64_t txns_aborted_ = 0;
+  uint64_t state_repairs_ = 0;
+  uint64_t state_rebuilds_ = 0;
+
+  std::deque<AdmissionDecision> decision_log_;
+};
+
+}  // namespace tg_hier
+
+#endif  // SRC_HIERARCHY_ADMISSION_H_

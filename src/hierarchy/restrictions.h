@@ -53,6 +53,21 @@ class LevelPolicy : public tg::RulePolicy {
   LevelAssignment assignment_;
 };
 
+// Level bookkeeping without vetting: created vertices inherit the
+// creator's level, but every rule passes.  This is the engine policy
+// behind an AdmissionGate (src/hierarchy/admission.h), which owns the
+// Theorem-5.5 decision itself — pairing the gate with a vetoing policy
+// would double-vet and can deadlock a group commit (the gate's connection
+// check admits inert object grants the endpoint check refuses).
+class LevelTrackingPolicy : public LevelPolicy {
+ public:
+  using LevelPolicy::LevelPolicy;
+  std::string Name() const override { return "level-tracking"; }
+  tg_util::Status Vet(const tg::ProtectionGraph&, const tg::RuleApplication&) override {
+    return tg_util::Status::Ok();
+  }
+};
+
 // Lemma 5.3: vetoes a take/grant whose enabling t/g edge points from the
 // actor to a strictly higher vertex (rights may only be manipulated level-
 // down or level-sideways).

@@ -47,7 +47,82 @@ ReferenceMonitor::ReferenceMonitor(tg::ProtectionGraph graph,
                                    std::shared_ptr<tg::RulePolicy> policy)
     : engine_(std::move(graph), std::move(policy)) {}
 
+ReferenceMonitor::ReferenceMonitor(tg::ProtectionGraph graph,
+                                   tg_hier::LevelAssignment levels,
+                                   tg_hier::AdmissionGate::Options options)
+    : engine_(std::move(graph),
+              std::make_shared<tg_hier::LevelTrackingPolicy>(std::move(levels))) {
+  gate_ = std::make_unique<tg_hier::AdmissionGate>(
+      &engine_, std::static_pointer_cast<tg_hier::LevelPolicy>(engine_.policy_ptr()),
+      options);
+}
+
+uint64_t ReferenceMonitor::BeginTxn() { return gate_ ? gate_->Begin() : 0; }
+
+StatusOr<tg_hier::TxnResult> ReferenceMonitor::CommitTxn() {
+  if (gate_ == nullptr) {
+    return Status::FailedPrecondition("monitor is not admission-gated");
+  }
+  return gate_->Commit();
+}
+
+tg_hier::TxnResult ReferenceMonitor::AbortTxn(std::string reason) {
+  if (gate_ == nullptr) return tg_hier::TxnResult{};
+  return gate_->Abort(std::move(reason));
+}
+
+StatusOr<RuleApplication> ReferenceMonitor::SubmitGated(RuleApplication rule) {
+  tg_util::QueryScope query(tg_util::QueryKind::kMonitorSubmit);
+  tg_util::TraceSpan span(tg_util::TraceKind::kMonitorDecision);
+  tg_util::ScopedTimer timer(Metrics().decision_ns);
+  Metrics().requests.Add();
+  // Inside a transaction the decision lands on the scratch graph and only
+  // reaches the audit trail's "allowed" state for real at CommitTxn; the
+  // per-decision provenance (txn id, exposure ranks) lives in the gate's
+  // own decision log and flight-recorder lines.
+  tg_hier::AdmissionDecision decision =
+      gate_->in_txn() ? gate_->Submit(std::move(rule)) : gate_->Admit(std::move(rule));
+  AuditRecord record;
+  record.sequence = audit_log_.size();
+  record.rule = decision.rule;
+  record.reason = decision.reason;
+  switch (decision.outcome) {
+    case tg_hier::AdmissionOutcome::kAccepted:
+      record.outcome = AuditOutcome::kAllowed;
+      ++allowed_;
+      Metrics().allowed.Add();
+      break;
+    case tg_hier::AdmissionOutcome::kVetoed:
+      record.outcome = AuditOutcome::kVetoed;
+      ++vetoed_;
+      Metrics().vetoed.Add();
+      break;
+    case tg_hier::AdmissionOutcome::kRejected:
+      record.outcome = AuditOutcome::kRejected;
+      ++rejected_;
+      Metrics().rejected.Add();
+      break;
+  }
+  span.set_args(static_cast<uint64_t>(record.outcome), record.sequence);
+  query.set_verdict(record.outcome == AuditOutcome::kAllowed);
+  tg_util::FlightRecorder& recorder = tg_util::FlightRecorder::Instance();
+  if (recorder.enabled()) {
+    std::string line = "{\"type\":\"audit\",\"seq\":" + std::to_string(record.sequence) +
+                       ",\"outcome\":\"" + AuditOutcomeName(record.outcome) + "\",\"rule\":\"" +
+                       tg_util::JsonEscape(record.rule) + "\",\"reason\":\"" +
+                       tg_util::JsonEscape(record.reason) + "\",\"epoch\":" +
+                       std::to_string(engine_.graph().epoch()) + ",\"query_id\":" +
+                       std::to_string(query.query_id()) + ",\"txn\":" +
+                       std::to_string(decision.txn) + "}";
+    recorder.Append(line);
+  }
+  audit_log_.push_back(std::move(record));
+  if (!decision.accepted()) return decision.status;
+  return decision.applied;
+}
+
 StatusOr<RuleApplication> ReferenceMonitor::Submit(RuleApplication rule) {
+  if (gate_ != nullptr) return SubmitGated(std::move(rule));
   tg_util::QueryScope query(tg_util::QueryKind::kMonitorSubmit);
   tg_util::TraceSpan span(tg_util::TraceKind::kMonitorDecision);
   tg_util::ScopedTimer timer(Metrics().decision_ns);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/analysis/cache.h"
+#include "src/hierarchy/admission.h"
 #include "src/tg/rule_engine.h"
 
 namespace tg_sim {
@@ -36,8 +37,23 @@ class ReferenceMonitor {
  public:
   ReferenceMonitor(tg::ProtectionGraph graph, std::shared_ptr<tg::RulePolicy> policy);
 
+  // Admission-gated monitor: rules route through a transactional
+  // AdmissionGate (the O(1) Theorem-5.5 write path) instead of a vetoing
+  // policy; the engine runs a LevelTrackingPolicy so the gate owns every
+  // restriction decision.  Submit autocommits, or stages into the open
+  // transaction between BeginTxn and CommitTxn/AbortTxn.
+  ReferenceMonitor(tg::ProtectionGraph graph, tg_hier::LevelAssignment levels,
+                   tg_hier::AdmissionGate::Options options);
+
   // Mediates one rule.  Returns the engine's result and journals it.
   tg_util::StatusOr<tg::RuleApplication> Submit(tg::RuleApplication rule);
+
+  // Admission transactions (gated monitors only; no-ops / errors otherwise).
+  bool gated() const { return gate_ != nullptr; }
+  tg_hier::AdmissionGate* admission() { return gate_.get(); }
+  uint64_t BeginTxn();
+  tg_util::StatusOr<tg_hier::TxnResult> CommitTxn();
+  tg_hier::TxnResult AbortTxn(std::string reason = "abort");
 
   const tg::ProtectionGraph& graph() const { return engine_.graph(); }
   tg::RuleEngine& engine() { return engine_; }
@@ -60,7 +76,10 @@ class ReferenceMonitor {
   std::string RenderAuditLog(size_t limit = 0) const;
 
  private:
+  tg_util::StatusOr<tg::RuleApplication> SubmitGated(tg::RuleApplication rule);
+
   tg::RuleEngine engine_;
+  std::unique_ptr<tg_hier::AdmissionGate> gate_;  // null for policy monitors
   tg_analysis::AnalysisCache cache_;
   std::vector<AuditRecord> audit_log_;
   size_t allowed_ = 0;

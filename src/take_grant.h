@@ -25,6 +25,7 @@
 #include "src/analysis/oracle.h"
 #include "src/analysis/spans.h"
 #include "src/analysis/witness_builder.h"
+#include "src/hierarchy/admission.h"
 #include "src/hierarchy/blp.h"
 #include "src/hierarchy/classification.h"
 #include "src/hierarchy/declassify.h"

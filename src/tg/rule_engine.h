@@ -71,6 +71,11 @@ class RuleEngine {
 
   const RulePolicy& policy() const { return *policy_; }
 
+  // The shared policy handle itself, for components (e.g. the admission
+  // gate) that must observe policy state the engine mutates via
+  // NotifyApplied — such as created-vertex level inheritance.
+  const std::shared_ptr<RulePolicy>& policy_ptr() const { return policy_; }
+
  private:
   ProtectionGraph graph_;
   std::shared_ptr<RulePolicy> policy_;

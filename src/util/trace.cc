@@ -39,6 +39,8 @@ const char* TraceKindName(TraceKind kind) {
       return "condense";
     case TraceKind::kShardAudit:
       return "shard_audit";
+    case TraceKind::kAdmission:
+      return "admission";
     case TraceKind::kQuery:
       return "query";
   }
@@ -69,6 +71,8 @@ const char* QueryKindName(QueryKind kind) {
       return "cross_level_channels";
     case QueryKind::kMonitorSubmit:
       return "monitor_submit";
+    case QueryKind::kAdmission:
+      return "admission";
   }
   return "unknown";
 }

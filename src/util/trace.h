@@ -57,6 +57,9 @@ enum class TraceKind : uint8_t {
   kOverlayPatch,     // arg0 = journal records replayed, arg1 = vertices patched
   kCondense,         // arg0 = components, arg1 = deduped quotient edges
   kShardAudit,       // arg0 = level shards processed, arg1 = dirty shards
+  kAdmission,        // arg0 = admission event (0 accepted, 1 vetoed,
+                     //        2 rejected, 3 txn commit, 4 txn abort),
+                     // arg1 = decision sequence / transaction id
   kQuery,            // arg0 = QueryKind, arg1 = verdict / result count
 };
 
@@ -81,9 +84,10 @@ enum class QueryKind : uint8_t {
   kCheckSecure,
   kCrossLevelChannels,
   kMonitorSubmit,      // one mediated rule application
+  kAdmission,          // one admission-gate decision or group commit
 };
 
-inline constexpr size_t kQueryKindCount = static_cast<size_t>(QueryKind::kMonitorSubmit) + 1;
+inline constexpr size_t kQueryKindCount = static_cast<size_t>(QueryKind::kAdmission) + 1;
 
 const char* QueryKindName(QueryKind kind);
 

@@ -1,0 +1,526 @@
+#include "src/hierarchy/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/hierarchy/restrictions.h"
+#include "src/hierarchy/secure.h"
+#include "src/sim/generator.h"
+#include "src/sim/monitor.h"
+#include "src/tg/rules.h"
+#include "src/util/prng.h"
+
+namespace tg_hier {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RuleApplication;
+using tg::VertexId;
+
+// Two levels, one exploitable object and one inert one.
+//
+//   hi (L1) -t-> lo (L0)          hi -r-> hidoc (L1)   hi -g-> lo
+//   lo (L0) -r-> lodoc (L0)       lo -g-> hi           lo -w-> lodoc
+//   hi -g-> inert (L0, object)    hi -g-> exposed (L1, object)
+//   lo -t-> exposed               hi -r-> hidoc
+//
+// floor/ceil after rebuild: hi {1,1}; lo {0,1} (hi t-reaches lo);
+// exposed {0,1} (lo and hi t-reach it); inert, docs: none.
+struct GateFixture {
+  ProtectionGraph g;
+  LevelAssignment levels;
+  VertexId hi, lo, hidoc, lodoc, inert, exposed;
+
+  // `with_grant_down` adds hi -g-> lo.  Note the fixture is never
+  // CheckSecure-secure: lo -t-> exposed plus hi -g-> exposed is a latent
+  // channel (hi can grant its r on hidoc to exposed, then lo takes it), and
+  // CheckSecure closes over every derivable graph.  It *is* edge-clean under
+  // the Corollary 5.6 endpoint audit when built without the grant-down.
+  explicit GateFixture(bool with_grant_down = true) {
+    hi = g.AddSubject("hi");
+    lo = g.AddSubject("lo");
+    hidoc = g.AddObject("hidoc");
+    lodoc = g.AddObject("lodoc");
+    inert = g.AddObject("inert");
+    exposed = g.AddObject("exposed");
+    EXPECT_TRUE(g.AddExplicit(hi, lo, tg::kTake).ok());
+    EXPECT_TRUE(g.AddExplicit(hi, hidoc, tg::kRead).ok());
+    if (with_grant_down) {
+      EXPECT_TRUE(g.AddExplicit(hi, lo, tg::kGrant).ok());
+    }
+    EXPECT_TRUE(g.AddExplicit(hi, inert, tg::kGrant).ok());
+    EXPECT_TRUE(g.AddExplicit(hi, exposed, tg::kGrant).ok());
+    EXPECT_TRUE(g.AddExplicit(lo, lodoc, tg::RightSet::Of({Right::kRead, Right::kWrite})).ok());
+    EXPECT_TRUE(g.AddExplicit(lo, hi, tg::kGrant).ok());
+    EXPECT_TRUE(g.AddExplicit(lo, exposed, tg::kTake).ok());
+    levels = LevelAssignment(g.VertexCount(), 2);
+    levels.Assign(hi, 1);
+    levels.Assign(lo, 0);
+    levels.Assign(hidoc, 1);
+    levels.Assign(lodoc, 0);
+    levels.Assign(inert, 0);
+    levels.Assign(exposed, 1);
+    levels.DeclareHigher(1, 0);
+    EXPECT_TRUE(levels.Finalize());
+  }
+
+  std::unique_ptr<AdmissionGate> Gate(AdmissionGate::Options options = {}) {
+    return AdmissionGate::Create(g, levels, options);
+  }
+};
+
+TEST(AdmissionGateTest, ExposureRanksAfterRebuild) {
+  GateFixture f;
+  auto gate = f.Gate();
+  ASSERT_EQ(gate->mode(), AdmissionMode::kConnection);
+  const ExposureState& state = gate->exposure();
+  EXPECT_EQ(state.floor_rank[f.hi], 1u);
+  EXPECT_EQ(state.ceil_rank_plus1[f.hi], 2u);
+  EXPECT_EQ(state.floor_rank[f.lo], 0u);
+  EXPECT_EQ(state.ceil_rank_plus1[f.lo], 2u);  // hi t-reaches lo
+  EXPECT_EQ(state.floor_rank[f.exposed], 0u);  // lo t-reaches exposed
+  EXPECT_FALSE(state.HasFloor(f.inert));
+  EXPECT_FALSE(state.HasCeil(f.lodoc));
+}
+
+TEST(AdmissionGateTest, AcceptsReadDownGrant) {
+  GateFixture f;
+  auto gate = f.Gate();
+  // lo grants (r on lodoc) to hi: new edge hi -r-> lodoc, a read-down.
+  auto d = gate->Admit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead));
+  EXPECT_EQ(d.outcome, AdmissionOutcome::kAccepted);
+  EXPECT_TRUE(gate->graph().HasExplicit(f.hi, f.lodoc, Right::kRead));
+  EXPECT_EQ(gate->accepted_count(), 1u);
+}
+
+TEST(AdmissionGateTest, VetoesReadUpInBothModes) {
+  for (AdmissionMode mode : {AdmissionMode::kConnection, AdmissionMode::kEdgeLevel}) {
+    GateFixture f;
+    AdmissionGate::Options options;
+    options.mode = mode;
+    auto gate = f.Gate(options);
+    // hi grants (r on hidoc) to lo: new edge lo -r-> hidoc, a read-up.
+    auto d = gate->Admit(RuleApplication::Grant(f.hi, f.lo, f.hidoc, tg::kRead));
+    EXPECT_EQ(d.outcome, AdmissionOutcome::kVetoed) << AdmissionModeName(mode);
+    EXPECT_FALSE(gate->graph().HasExplicit(f.lo, f.hidoc, Right::kRead));
+    EXPECT_EQ(gate->vetoed_count(), 1u);
+    EXPECT_EQ(d.status.code(), tg_util::StatusCode::kPolicyViolation);
+  }
+}
+
+TEST(AdmissionGateTest, VetoesWriteDownInBothModes) {
+  for (AdmissionMode mode : {AdmissionMode::kConnection, AdmissionMode::kEdgeLevel}) {
+    GateFixture f;
+    AdmissionGate::Options options;
+    options.mode = mode;
+    auto gate = f.Gate(options);
+    // hi takes (w on lodoc) from lo: new edge hi -w-> lodoc, a write-down.
+    auto d = gate->Admit(RuleApplication::Take(f.hi, f.lo, f.lodoc, tg::kWrite));
+    EXPECT_EQ(d.outcome, AdmissionOutcome::kVetoed) << AdmissionModeName(mode);
+  }
+}
+
+// The completeness sharpening of the connection check: a read-up edge
+// whose source no subject can take from completes no connection.  The
+// endpoint check refuses it; the connection check admits it, and on a
+// genuinely secure seed (no t edges at all, so no latent channels) the
+// would-be graph stays CheckSecure-secure.
+TEST(AdmissionGateTest, ConnectionModeAdmitsInertObjectGrant) {
+  ProtectionGraph g;
+  VertexId hi = g.AddSubject("hi");
+  VertexId lo = g.AddSubject("lo");
+  VertexId hidoc = g.AddObject("hidoc");
+  VertexId lodoc = g.AddObject("lodoc");
+  VertexId inert = g.AddObject("inert");
+  ASSERT_TRUE(g.AddExplicit(hi, hidoc, tg::kRead).ok());
+  ASSERT_TRUE(g.AddExplicit(hi, inert, tg::kGrant).ok());
+  ASSERT_TRUE(g.AddExplicit(lo, lodoc, tg::RightSet::Of({Right::kRead, Right::kWrite})).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(hi, 1);
+  levels.Assign(lo, 0);
+  levels.Assign(hidoc, 1);
+  levels.Assign(lodoc, 0);
+  levels.Assign(inert, 0);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  ASSERT_TRUE(CheckSecure(g, levels).secure);
+
+  RuleApplication rule = RuleApplication::Grant(hi, inert, hidoc, tg::kRead);
+
+  AdmissionGate::Options edge;
+  edge.mode = AdmissionMode::kEdgeLevel;
+  auto edge_gate = AdmissionGate::Create(g, levels, edge);
+  EXPECT_EQ(edge_gate->Admit(rule).outcome, AdmissionOutcome::kVetoed);
+
+  auto conn_gate = AdmissionGate::Create(g, levels, {});
+  auto d = conn_gate->Admit(rule);
+  EXPECT_EQ(d.outcome, AdmissionOutcome::kAccepted);
+  SecurityReport report = CheckSecure(conn_gate->graph(), conn_gate->levels());
+  EXPECT_TRUE(report.secure);
+}
+
+// The soundness sharpening: a same-level edge on an object a *lower*
+// subject can take from completes a read-up connection.  The fixture's
+// lo -t-> exposed is a latent channel — the graph is edge-clean under the
+// Corollary 5.6 audit, but the completing grant realizes the leak.  The
+// endpoint check waves the grant through (both endpoints sit at L1); the
+// connection check vetoes it at the completing step.
+TEST(AdmissionGateTest, ConnectionModeVetoesExposedObjectGrant) {
+  GateFixture f(/*with_grant_down=*/false);
+  ASSERT_TRUE(AuditBishopRestriction(f.g, f.levels).empty());  // edge-clean
+  // hi grants (r on hidoc) to exposed: new edge exposed -r-> hidoc.  Both
+  // endpoints sit at L1, but lo -t-> exposed gives lo the terminal span
+  // lo t̄* exposed r̄ hidoc.
+  RuleApplication rule = RuleApplication::Grant(f.hi, f.exposed, f.hidoc, tg::kRead);
+
+  AdmissionGate::Options edge;
+  edge.mode = AdmissionMode::kEdgeLevel;
+  auto edge_gate = f.Gate(edge);
+  EXPECT_EQ(edge_gate->Admit(rule).outcome, AdmissionOutcome::kAccepted);
+  // Still edge-clean after the accept — the endpoint audit cannot see the
+  // leak the edge just realized, but CheckSecure can.
+  EXPECT_TRUE(AuditBishopRestriction(edge_gate->graph(), edge_gate->levels()).empty());
+  SecurityReport after_edge = CheckSecure(edge_gate->graph(), edge_gate->levels());
+  EXPECT_FALSE(after_edge.secure);
+
+  auto conn_gate = f.Gate();
+  auto d = conn_gate->Admit(rule);
+  EXPECT_EQ(d.outcome, AdmissionOutcome::kVetoed);
+  EXPECT_EQ(d.src_floor, 0u);
+  EXPECT_EQ(d.dst_rank, 1u);
+  EXPECT_FALSE(conn_gate->graph().HasExplicit(f.exposed, f.hidoc, Right::kRead));
+}
+
+TEST(AdmissionGateTest, CreateInheritsLevelThroughGate) {
+  GateFixture f;
+  auto gate = f.Gate();
+  auto d = gate->Admit(RuleApplication::Create(
+      f.lo, tg::VertexKind::kObject, tg::RightSet::Of({Right::kRead, Right::kWrite}),
+      "scratchpad"));
+  ASSERT_EQ(d.outcome, AdmissionOutcome::kAccepted);
+  VertexId created = d.applied.created;
+  ASSERT_NE(created, tg::kInvalidVertex);
+  EXPECT_EQ(gate->levels().LevelOf(created), 0u);
+  // lo grants (r on scratchpad) to hi: read-down, accepted.
+  EXPECT_EQ(gate->Admit(RuleApplication::Grant(f.lo, f.hi, created, tg::kRead)).outcome,
+            AdmissionOutcome::kAccepted);
+}
+
+TEST(AdmissionGateTest, CreateThenGrantUpIsVetoedAtTheGrant) {
+  GateFixture f;
+  auto gate = f.Gate();
+  // hi creates a secret (inherits L1), then tries to grant lo read on it.
+  auto d = gate->Admit(RuleApplication::Create(
+      f.hi, tg::VertexKind::kObject, tg::kRead, "secret"));
+  ASSERT_EQ(d.outcome, AdmissionOutcome::kAccepted);
+  VertexId secret = d.applied.created;
+  EXPECT_EQ(gate->levels().LevelOf(secret), 1u);
+  auto grant = gate->Admit(RuleApplication::Grant(f.hi, f.lo, secret, tg::kRead));
+  EXPECT_EQ(grant.outcome, AdmissionOutcome::kVetoed);
+}
+
+TEST(AdmissionGateTest, NonLinearHierarchyFallsBackToEdgeLevel) {
+  GateFixture f;
+  LevelAssignment partial(f.g.VertexCount(), 3);
+  partial.Assign(f.hi, 1);
+  partial.Assign(f.lo, 0);
+  partial.DeclareHigher(1, 0);  // level 2 incomparable to both
+  ASSERT_TRUE(partial.Finalize());
+  auto gate = AdmissionGate::Create(f.g, partial, {});
+  EXPECT_EQ(gate->mode(), AdmissionMode::kEdgeLevel);
+  EXPECT_TRUE(gate->mode_fell_back());
+}
+
+TEST(AdmissionGateTest, TxnCommitGroupAppliesAtomically) {
+  GateFixture f;
+  auto gate = f.Gate();
+  uint64_t base_epoch = gate->graph().epoch();
+  uint64_t txn = gate->Begin();
+  EXPECT_NE(txn, 0u);
+  auto d1 = gate->Submit(RuleApplication::Create(f.lo, tg::VertexKind::kObject,
+                                                 tg::RightSet::Of({Right::kRead, Right::kWrite}),
+                                                 "pad"));
+  ASSERT_EQ(d1.outcome, AdmissionOutcome::kAccepted);
+  VertexId pad = d1.applied.created;
+  auto d2 = gate->Submit(RuleApplication::Grant(f.lo, f.hi, pad, tg::kRead));
+  ASSERT_EQ(d2.outcome, AdmissionOutcome::kAccepted);
+  // Staged, not published: the real graph has not moved.
+  EXPECT_EQ(gate->graph().epoch(), base_epoch);
+  EXPECT_EQ(gate->graph().VertexCount(), f.g.VertexCount());
+  EXPECT_EQ(gate->staged_count(), 2u);
+
+  auto result = gate->Commit();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_EQ(result->applied, 2u);
+  EXPECT_EQ(result->first_epoch, base_epoch);
+  EXPECT_GT(result->last_epoch, base_epoch);
+  EXPECT_FALSE(gate->in_txn());
+  EXPECT_EQ(gate->graph().VertexCount(), f.g.VertexCount() + 1);
+  EXPECT_TRUE(gate->graph().HasExplicit(f.hi, pad, Right::kRead));
+  EXPECT_EQ(gate->levels().LevelOf(pad), 0u);
+  EXPECT_EQ(gate->txns_committed(), 1u);
+}
+
+TEST(AdmissionGateTest, MidBatchVetoRollsBackBitIdentically) {
+  GateFixture f;
+  auto gate = f.Gate();
+  // Warm the published state, then snapshot everything a rollback must
+  // restore bit-identically.
+  ASSERT_EQ(gate->Admit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead)).outcome,
+            AdmissionOutcome::kAccepted);
+  ProtectionGraph pre_graph = gate->graph();
+  uint64_t pre_epoch = gate->graph().epoch();
+  size_t pre_journal = gate->graph().journal().size();
+  ExposureState pre_state = gate->exposure();
+  size_t pre_vertices = gate->graph().VertexCount();
+
+  gate->Begin();
+  auto d1 = gate->Submit(RuleApplication::Create(f.hi, tg::VertexKind::kSubject,
+                                                 tg::RightSet::Of({Right::kTake, Right::kGrant}),
+                                                 "spawn"));
+  ASSERT_EQ(d1.outcome, AdmissionOutcome::kAccepted);
+  // Mid-batch veto: hi grants lo read on hidoc.  abort_txn_on_veto (the
+  // default) must throw the whole batch away.
+  auto d2 = gate->Submit(RuleApplication::Grant(f.hi, f.lo, f.hidoc, tg::kRead));
+  EXPECT_EQ(d2.outcome, AdmissionOutcome::kVetoed);
+  EXPECT_FALSE(gate->in_txn());
+  EXPECT_EQ(gate->txns_aborted(), 1u);
+
+  // Bit-identical rollback: graph (values + epoch + journal), exposure
+  // state, and level assignment (no drift from the scratch create).
+  EXPECT_TRUE(gate->graph() == pre_graph);
+  EXPECT_EQ(gate->graph().epoch(), pre_epoch);
+  EXPECT_EQ(gate->graph().journal().size(), pre_journal);
+  EXPECT_EQ(gate->graph().VertexCount(), pre_vertices);
+  EXPECT_TRUE(gate->exposure() == pre_state);
+  EXPECT_EQ(gate->levels().LevelOf(pre_vertices), kNoLevel);
+}
+
+TEST(AdmissionGateTest, MidBatchRejectionAlsoAborts) {
+  GateFixture f;
+  auto gate = f.Gate();
+  ProtectionGraph pre_graph = gate->graph();
+  gate->Begin();
+  ASSERT_EQ(gate->Submit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead)).outcome,
+            AdmissionOutcome::kAccepted);
+  // Precondition failure: lo holds no t over hi.
+  auto d = gate->Submit(RuleApplication::Take(f.lo, f.hi, f.hidoc, tg::kRead));
+  EXPECT_EQ(d.outcome, AdmissionOutcome::kRejected);
+  EXPECT_FALSE(gate->in_txn());
+  EXPECT_TRUE(gate->graph() == pre_graph);
+}
+
+TEST(AdmissionGateTest, VetoSurvivableBatchesWhenConfigured) {
+  GateFixture f;
+  AdmissionGate::Options options;
+  options.abort_txn_on_veto = false;
+  auto gate = f.Gate(options);
+  gate->Begin();
+  ASSERT_EQ(gate->Submit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead)).outcome,
+            AdmissionOutcome::kAccepted);
+  EXPECT_EQ(gate->Submit(RuleApplication::Grant(f.hi, f.lo, f.hidoc, tg::kRead)).outcome,
+            AdmissionOutcome::kVetoed);
+  EXPECT_TRUE(gate->in_txn());  // batch survives, offending rule dropped
+  auto result = gate->Commit();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_EQ(result->applied, 1u);
+  EXPECT_TRUE(gate->graph().HasExplicit(f.hi, f.lodoc, Right::kRead));
+  EXPECT_FALSE(gate->graph().HasExplicit(f.lo, f.hidoc, Right::kRead));
+}
+
+TEST(AdmissionGateTest, CommitRefusesAfterOutOfBandMutation) {
+  GateFixture f;
+  auto gate = f.Gate();
+  gate->Begin();
+  ASSERT_EQ(gate->Submit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead)).outcome,
+            AdmissionOutcome::kAccepted);
+  // An unmediated writer advances the published epoch under the txn.
+  ASSERT_TRUE(gate->engine()->mutable_graph().AddExplicit(f.lo, f.inert, tg::kRead).ok());
+  auto result = gate->Commit();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->committed);
+  EXPECT_NE(result->reason.find("conflict"), std::string::npos);
+  EXPECT_FALSE(gate->in_txn());
+  // The staged grant never reached the published graph.
+  EXPECT_FALSE(gate->graph().HasExplicit(f.hi, f.lodoc, Right::kRead));
+}
+
+TEST(AdmissionGateTest, PinnedReaderSeesNoPartialWrites) {
+  GateFixture f;
+  auto gate = f.Gate();
+  // An MVCC-style reader pins the pre-txn epoch by value.
+  ProtectionGraph pinned = gate->graph();
+  gate->Begin();
+  ASSERT_EQ(gate->Submit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead)).outcome,
+            AdmissionOutcome::kAccepted);
+  ASSERT_EQ(gate->Submit(RuleApplication::Create(f.lo, tg::VertexKind::kObject,
+                                                 tg::kRead, "tmp")).outcome,
+            AdmissionOutcome::kAccepted);
+  // While the txn is open the published graph is indistinguishable from
+  // the reader's pin: nothing partial ever shows.
+  EXPECT_TRUE(gate->graph() == pinned);
+  ASSERT_TRUE(gate->Commit().ok());
+  EXPECT_FALSE(gate->graph() == pinned);
+  EXPECT_EQ(pinned.VertexCount(), f.g.VertexCount());  // the pin never moves
+}
+
+TEST(AdmissionGateTest, AdmitInsideTxnIsRejected) {
+  GateFixture f;
+  auto gate = f.Gate();
+  gate->Begin();
+  auto d = gate->Admit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead));
+  EXPECT_EQ(d.outcome, AdmissionOutcome::kRejected);
+  EXPECT_TRUE(gate->in_txn());
+  gate->Abort();
+}
+
+TEST(AdmissionGateTest, CommitWithoutTxnFails) {
+  GateFixture f;
+  auto gate = f.Gate();
+  EXPECT_FALSE(gate->Commit().ok());
+}
+
+TEST(AdmissionGateTest, EmptyTxnCommitsTrivially) {
+  GateFixture f;
+  auto gate = f.Gate();
+  uint64_t epoch = gate->graph().epoch();
+  gate->Begin();
+  auto result = gate->Commit();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_EQ(result->applied, 0u);
+  EXPECT_EQ(gate->graph().epoch(), epoch);
+}
+
+TEST(AdmissionGateTest, DecisionLogIsBounded) {
+  GateFixture f;
+  AdmissionGate::Options options;
+  options.decision_log_limit = 3;
+  auto gate = f.Gate(options);
+  for (int i = 0; i < 8; ++i) {
+    gate->Admit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead));
+  }
+  EXPECT_EQ(gate->decisions().size(), 3u);
+  EXPECT_EQ(gate->decisions().back().sequence, 7u);
+}
+
+// The incremental footprint repair must stay bit-identical to a from-
+// scratch rebuild across a random mediated workload, including removes of
+// t rights (the rebuild fallback) and creates inside transactions.
+TEST(AdmissionGateTest, ExposureRepairMatchesRebuildUnderChurn) {
+  tg_util::Prng prng(20260808);
+  tg_sim::HierarchicalGraphOptions options;
+  options.levels = 3;
+  options.clusters_per_level = 2;
+  options.subjects_per_cluster = 4;
+  options.objects_per_cluster = 2;
+  options.planted_channels = 1;
+  tg_sim::GeneratedHierarchy h = tg_sim::HierarchicalGraph(options, prng);
+  auto gate = AdmissionGate::Create(h.graph, h.levels, {});
+  ASSERT_EQ(gate->mode(), AdmissionMode::kConnection);
+
+  size_t checked = 0;
+  for (int step = 0; step < 300; ++step) {
+    const ProtectionGraph& g = gate->graph();
+    VertexId x = static_cast<VertexId>(prng.NextBelow(g.VertexCount()));
+    if (!g.IsSubject(x)) continue;
+    RuleApplication rule;
+    switch (prng.NextBelow(4)) {
+      case 0: {
+        // take something through a random out-edge
+        std::vector<tg::Edge> outs;
+        g.ForEachOutEdge(x, [&](const tg::Edge& e) { outs.push_back(e); });
+        if (outs.empty()) continue;
+        const tg::Edge& via = outs[prng.NextBelow(outs.size())];
+        if (!via.explicit_rights.Has(Right::kTake)) continue;
+        std::vector<tg::Edge> sources;
+        g.ForEachOutEdge(via.dst, [&](const tg::Edge& e) { sources.push_back(e); });
+        if (sources.empty()) continue;
+        const tg::Edge& src = sources[prng.NextBelow(sources.size())];
+        if (src.explicit_rights.empty()) continue;
+        rule = RuleApplication::Take(x, via.dst, src.dst, src.explicit_rights);
+        break;
+      }
+      case 1:
+        rule = RuleApplication::Create(
+            x, prng.NextBelow(2) ? tg::VertexKind::kSubject : tg::VertexKind::kObject,
+            tg::RightSet::Of({Right::kRead, Right::kTake}));
+        break;
+      case 2: {
+        std::vector<tg::Edge> outs;
+        g.ForEachOutEdge(x, [&](const tg::Edge& e) { outs.push_back(e); });
+        if (outs.empty()) continue;
+        const tg::Edge& e = outs[prng.NextBelow(outs.size())];
+        if (e.explicit_rights.empty()) continue;
+        rule = RuleApplication::Remove(x, e.dst, e.explicit_rights);
+        break;
+      }
+      default: {
+        std::vector<tg::Edge> outs;
+        g.ForEachOutEdge(x, [&](const tg::Edge& e) { outs.push_back(e); });
+        if (outs.empty()) continue;
+        const tg::Edge& to = outs[prng.NextBelow(outs.size())];
+        if (!to.explicit_rights.Has(Right::kGrant)) continue;
+        std::vector<tg::Edge> of;
+        g.ForEachOutEdge(x, [&](const tg::Edge& e) { of.push_back(e); });
+        const tg::Edge& z = of[prng.NextBelow(of.size())];
+        if (z.explicit_rights.empty()) continue;
+        rule = RuleApplication::Grant(x, to.dst, z.dst, z.explicit_rights);
+        break;
+      }
+    }
+    gate->Admit(rule);
+    // Differential: incremental state vs a from-scratch rebuild.
+    ExposureState incremental = gate->exposure();
+    auto fresh = AdmissionGate::Create(gate->graph(), gate->levels(), {});
+    ASSERT_TRUE(incremental == fresh->exposure()) << "diverged at step " << step;
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+  EXPECT_GT(gate->accepted_count(), 0u);
+}
+
+// Gated monitor: the analysis cache keys on the published epoch, so an
+// aborted transaction invalidates nothing — the next query is a pure hit.
+TEST(AdmissionGateTest, MonitorCacheSurvivesAbortedTxn) {
+  GateFixture f;
+  tg_sim::ReferenceMonitor monitor(f.g, f.levels, {});
+  ASSERT_TRUE(monitor.gated());
+  bool before = monitor.CanKnow(f.lo, f.lodoc);
+  size_t hits_before = monitor.analysis_cache().hits();
+  monitor.BeginTxn();
+  ASSERT_TRUE(monitor.Submit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead)).ok());
+  monitor.AbortTxn();
+  EXPECT_EQ(monitor.CanKnow(f.lo, f.lodoc), before);
+  EXPECT_GT(monitor.analysis_cache().hits(), hits_before);  // same-epoch hit
+
+  // And a committed txn publishes for real: Submit outside a txn works too.
+  ASSERT_TRUE(monitor.Submit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead)).ok());
+  EXPECT_TRUE(monitor.graph().HasExplicit(f.hi, f.lodoc, Right::kRead));
+  EXPECT_EQ(monitor.allowed_count(), 2u);
+}
+
+TEST(AdmissionGateTest, MonitorTxnCommitPublishes) {
+  GateFixture f;
+  tg_sim::ReferenceMonitor monitor(f.g, f.levels, {});
+  uint64_t txn = monitor.BeginTxn();
+  EXPECT_NE(txn, 0u);
+  ASSERT_TRUE(monitor.Submit(RuleApplication::Grant(f.lo, f.hi, f.lodoc, tg::kRead)).ok());
+  EXPECT_FALSE(monitor.graph().HasExplicit(f.hi, f.lodoc, Right::kRead));
+  auto result = monitor.CommitTxn();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_TRUE(monitor.graph().HasExplicit(f.hi, f.lodoc, Right::kRead));
+  // A vetoed submit shows in the audit trail with the gate's reason.
+  EXPECT_FALSE(monitor.Submit(RuleApplication::Grant(f.hi, f.lo, f.hidoc, tg::kRead)).ok());
+  EXPECT_EQ(monitor.vetoed_count(), 1u);
+  EXPECT_EQ(monitor.audit_log().back().outcome, tg_sim::AuditOutcome::kVetoed);
+}
+
+}  // namespace
+}  // namespace tg_hier

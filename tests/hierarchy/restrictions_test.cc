@@ -133,6 +133,118 @@ TEST(BishopRestrictionTest, CreatedVertexInheritsCreatorLevel) {
   EXPECT_EQ(policy->assignment().LevelOf(created->created), f.levels.LevelOf(f.hi));
 }
 
+// Create-then-grant sequences crossing levels: a created vertex's
+// inherited level must gate follow-up transfers exactly as a statically
+// assigned vertex would.
+TEST(BishopRestrictionTest, CreateThenGrantDownVetoedAtTheGrant) {
+  ProtectionGraph g;
+  VertexId hi = g.AddSubject("hi");
+  VertexId lo = g.AddSubject("lo");
+  ASSERT_TRUE(g.AddExplicit(hi, lo, tg::kGrant).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(hi, 1);
+  levels.Assign(lo, 0);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  auto policy = std::make_shared<BishopRestrictionPolicy>(levels);
+  tg::RuleEngine engine(g, policy);
+  // hi creates a private doc: it inherits hi's level.
+  auto created = engine.Apply(RuleApplication::Create(hi, tg::VertexKind::kObject,
+                                                      tg::kReadWrite));
+  ASSERT_TRUE(created.ok());
+  VertexId doc = created->created;
+  ASSERT_EQ(policy->assignment().LevelOf(doc), levels.LevelOf(hi));
+  // Granting read on it down to lo would add lo -r-> doc, a read-up: veto.
+  auto grant_r = engine.Apply(RuleApplication::Grant(hi, lo, doc, tg::kRead));
+  EXPECT_FALSE(grant_r.ok());
+  EXPECT_EQ(grant_r.status().code(), tg_util::StatusCode::kPolicyViolation);
+  EXPECT_FALSE(engine.graph().HasExplicit(lo, doc, Right::kRead));
+  // Granting write down is a write-up edge (lo -w-> doc): allowed.
+  EXPECT_TRUE(engine.Apply(RuleApplication::Grant(hi, lo, doc, tg::kWrite)).ok());
+  EXPECT_TRUE(engine.graph().HasExplicit(lo, doc, Right::kWrite));
+}
+
+TEST(BishopRestrictionTest, CreateThenGrantUpAllowsReadDown) {
+  ProtectionGraph g;
+  VertexId hi = g.AddSubject("hi");
+  VertexId lo = g.AddSubject("lo");
+  ASSERT_TRUE(g.AddExplicit(lo, hi, tg::kGrant).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(hi, 1);
+  levels.Assign(lo, 0);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  auto policy = std::make_shared<BishopRestrictionPolicy>(levels);
+  tg::RuleEngine engine(g, policy);
+  // lo creates a doc at its own level, then shares it up.
+  auto created = engine.Apply(RuleApplication::Create(lo, tg::VertexKind::kObject,
+                                                      tg::kReadWrite));
+  ASSERT_TRUE(created.ok());
+  VertexId doc = created->created;
+  ASSERT_EQ(policy->assignment().LevelOf(doc), levels.LevelOf(lo));
+  // hi -r-> doc is a read-down: allowed.
+  EXPECT_TRUE(engine.Apply(RuleApplication::Grant(lo, hi, doc, tg::kRead)).ok());
+  EXPECT_TRUE(engine.graph().HasExplicit(hi, doc, Right::kRead));
+  // hi -w-> doc is a write-down: vetoed.
+  auto grant_w = engine.Apply(RuleApplication::Grant(lo, hi, doc, tg::kWrite));
+  EXPECT_FALSE(grant_w.ok());
+  EXPECT_FALSE(engine.graph().HasExplicit(hi, doc, Right::kWrite));
+}
+
+TEST(BishopRestrictionTest, ChainedCreatesInheritTransitively) {
+  ProtectionGraph g;
+  VertexId hi = g.AddSubject("hi");
+  VertexId lo = g.AddSubject("lo");
+  ASSERT_TRUE(g.AddExplicit(hi, lo, tg::kGrant).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(hi, 1);
+  levels.Assign(lo, 0);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  auto policy = std::make_shared<BishopRestrictionPolicy>(levels);
+  tg::RuleEngine engine(g, policy);
+  // hi creates a subject, which creates an object: both land at hi's level,
+  // and the second-generation vertex is just as protected as the first.
+  auto mid = engine.Apply(RuleApplication::Create(hi, tg::VertexKind::kSubject,
+                                                  tg::kTakeGrant));
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(policy->assignment().LevelOf(mid->created), levels.LevelOf(hi));
+  auto leaf = engine.Apply(RuleApplication::Create(mid->created, tg::VertexKind::kObject,
+                                                   tg::kReadWrite));
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(policy->assignment().LevelOf(leaf->created), levels.LevelOf(hi));
+  // Pulling read on the grandchild down to lo is still a read-up: hi first
+  // takes r from its child, then the grant down to lo must fail.
+  ASSERT_TRUE(engine.Apply(RuleApplication::Take(hi, mid->created, leaf->created,
+                                                 tg::kRead)).ok());
+  auto grant_r =
+      engine.Apply(RuleApplication::Grant(hi, lo, leaf->created, tg::kRead));
+  EXPECT_FALSE(grant_r.ok());
+  EXPECT_FALSE(engine.graph().HasExplicit(lo, leaf->created, Right::kRead));
+}
+
+TEST(BishopRestrictionTest, UnassignedCreatorLeavesCreatedUnconstrained) {
+  ProtectionGraph g;
+  VertexId out = g.AddSubject("outsider");  // not in the hierarchy
+  VertexId lo = g.AddSubject("lo");
+  ASSERT_TRUE(g.AddExplicit(out, lo, tg::kGrant).ok());
+  LevelAssignment levels(g.VertexCount(), 2);
+  levels.Assign(lo, 0);
+  levels.DeclareHigher(1, 0);
+  ASSERT_TRUE(levels.Finalize());
+  auto policy = std::make_shared<BishopRestrictionPolicy>(levels);
+  tg::RuleEngine engine(g, policy);
+  auto created = engine.Apply(RuleApplication::Create(out, tg::VertexKind::kObject,
+                                                      tg::kReadWrite));
+  ASSERT_TRUE(created.ok());
+  // No drift: the created vertex stays unassigned...
+  EXPECT_FALSE(policy->assignment().IsAssigned(created->created));
+  // ...and transfers touching it are unconstrained (no comparable pair).
+  EXPECT_TRUE(
+      engine.Apply(RuleApplication::Grant(out, lo, created->created, tg::kRead)).ok());
+  EXPECT_TRUE(engine.graph().HasExplicit(lo, created->created, Right::kRead));
+}
+
 TEST(ViolatesKernelTest, ExactShapes) {
   LevelAssignment levels(2, 2);
   levels.Assign(0, 0);  // low

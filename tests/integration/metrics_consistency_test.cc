@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "src/take_grant.h"
@@ -341,6 +342,105 @@ TEST_F(MetricsConsistencyTest, MonitorCountersMatchAuditLog) {
   EXPECT_EQ(CounterNow("monitor.requests") - requests_before, 2u);
   EXPECT_EQ(CounterNow("monitor.allowed") - allowed_before, monitor.allowed_count());
   EXPECT_EQ(monitor.allowed_count(), 1u);
+}
+
+// The admission gate's counters are writer-side-deterministic: a fixed
+// transactional workload produces identical admission.* deltas whether one
+// or four concurrent readers hammer epoch-pinned graph copies while the
+// writer commits — and the pinned copies never observe a partial write
+// (their epoch and contents are bit-stable for the whole run).
+TEST_F(MetricsConsistencyTest, AdmissionCountersInvariantAcrossReaderThreadCounts) {
+  const char* kNames[] = {
+      "admission.requests",       "admission.accepted",      "admission.vetoed",
+      "admission.rejected",       "admission.txns_begun",    "admission.txns_committed",
+      "admission.txns_aborted",   "admission.state_repairs", "admission.state_rebuilds",
+      "admission.journal_records_replayed",
+  };
+
+  auto run = [&](size_t readers) {
+    tg_util::Prng prng(606);
+    tg_sim::HierarchicalGraphOptions options;
+    options.levels = 2;
+    options.clusters_per_level = 1;
+    options.subjects_per_cluster = 4;
+    options.objects_per_cluster = 2;
+    options.planted_channels = 2;  // the stream must exercise vetoes too
+    tg_sim::GeneratedHierarchy h = tg_sim::HierarchicalGraph(options, prng);
+
+    std::map<std::string, uint64_t> before;
+    for (const char* name : kNames) {
+      before[name] = CounterNow(name);
+    }
+
+    tg_hier::AdmissionGate::Options gate_options;
+    gate_options.abort_txn_on_veto = false;  // vetoes must not derail the stream
+    auto gate = tg_hier::AdmissionGate::Create(h.graph, h.levels, gate_options);
+
+    // Readers pin the pre-workload graph by value and query it while the
+    // writer commits; every answer and the pin itself must stay identical.
+    const ProtectionGraph pin = gate->graph();
+    const uint64_t pin_epoch = pin.epoch();
+    std::vector<std::thread> pool;
+    std::vector<int> reader_failures(readers, 0);
+    for (size_t r = 0; r < readers; ++r) {
+      pool.emplace_back([&pin, pin_epoch, r, &reader_failures] {
+        ProtectionGraph mine = pin;  // reader-local epoch-pinned copy
+        const std::vector<bool> baseline = tg_analysis::KnowableFrom(mine, 0);
+        for (int iter = 0; iter < 30; ++iter) {
+          if (mine.epoch() != pin_epoch ||
+              tg_analysis::KnowableFrom(mine, 0) != baseline || !(mine == pin)) {
+            ++reader_failures[r];
+          }
+        }
+      });
+    }
+
+    // Writer: four transactional batches over the enumerated legal rules
+    // (commits and vetoes interleaved), then one malformed autocommit.
+    for (int batch = 0; batch < 4; ++batch) {
+      std::vector<tg::RuleApplication> rules = tg::EnumerateDeJure(gate->graph());
+      gate->Begin();
+      for (size_t i = 0; i < rules.size() && i < 6; ++i) {
+        gate->Submit(rules[i]);
+      }
+      auto result = gate->Commit();
+      EXPECT_TRUE(result.ok()) << "batch " << batch;
+    }
+    auto rejected = gate->Admit(
+        tg::RuleApplication::Take(0, 0, 0, tg::RightSet::Of({tg::Right::kRead})));
+    EXPECT_EQ(rejected.outcome, tg_hier::AdmissionOutcome::kRejected);
+
+    for (std::thread& t : pool) {
+      t.join();
+    }
+    for (size_t r = 0; r < readers; ++r) {
+      EXPECT_EQ(reader_failures[r], 0)
+          << "reader " << r << " of " << readers << " saw a partial write";
+    }
+
+    std::map<std::string, uint64_t> delta;
+    for (const char* name : kNames) {
+      delta[name] = CounterNow(name) - before[name];
+    }
+    // The registry deltas must agree with the gate's own ledgers.
+    EXPECT_EQ(delta.at("admission.accepted"), gate->accepted_count());
+    EXPECT_EQ(delta.at("admission.vetoed"), gate->vetoed_count());
+    EXPECT_EQ(delta.at("admission.rejected"), gate->rejected_count());
+    EXPECT_EQ(delta.at("admission.txns_committed"), gate->txns_committed());
+    EXPECT_EQ(delta.at("admission.txns_aborted"), gate->txns_aborted());
+    EXPECT_EQ(delta.at("admission.state_repairs"), gate->state_repairs());
+    EXPECT_EQ(delta.at("admission.state_rebuilds"), gate->state_rebuilds());
+    return delta;
+  };
+
+  const std::map<std::string, uint64_t> one = run(1);
+  const std::map<std::string, uint64_t> four = run(4);
+  EXPECT_EQ(one, four);
+  EXPECT_GT(one.at("admission.accepted"), 0u);
+  EXPECT_GT(one.at("admission.vetoed"), 0u);  // planted channels draw vetoes
+  EXPECT_EQ(one.at("admission.rejected"), 1u);
+  EXPECT_EQ(one.at("admission.txns_begun"), 4u);
+  EXPECT_EQ(one.at("admission.txns_committed"), 4u);
 }
 
 }  // namespace

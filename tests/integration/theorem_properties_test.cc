@@ -315,4 +315,127 @@ TEST(CompletenessTest, InertTransfersSurviveRestriction) {
   EXPECT_GT(checked, 0);  // the sweep must exercise at least one transfer
 }
 
+// Theorem 5.5 completeness through the admission gate: every witness
+// derivation between secure graphs replays step-by-step through the
+// connection-mode AdmissionGate without a single veto, and the final graph
+// is still secure.  (On a secure graph a legal rule's preconditions already
+// supply the spans the new edge needs, so a vetoable step would contradict
+// the seed's security — the gate must wave the whole derivation through.)
+TEST(CompletenessTest, WitnessDerivationsReplayThroughGateWithoutVeto) {
+  tg_util::Prng prng(15151);
+  int replayed = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 2;
+    options.subjects_per_level = 3;
+    options.objects_per_level = 2;
+    options.planted_channels = 0;  // secure seed
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    if (!tg_hier::CheckSecure(h.graph, h.levels).secure) {
+      continue;  // generator gave an unexpectedly insecure clean seed
+    }
+    int per_trial = 0;
+    for (VertexId x = 0; x < h.graph.VertexCount() && per_trial < 6; ++x) {
+      for (VertexId y = 0; y < h.graph.VertexCount() && per_trial < 6; ++y) {
+        if (x == y) {
+          continue;
+        }
+        for (Right right : {Right::kRead, Right::kWrite}) {
+          if (h.graph.HasExplicit(x, y, right) ||
+              !tg_analysis::CanShare(h.graph, right, x, y)) {
+            continue;
+          }
+          auto witness = tg_analysis::BuildCanShareWitness(h.graph, right, x, y);
+          ASSERT_TRUE(witness.has_value());
+          auto gate = tg_hier::AdmissionGate::Create(h.graph, h.levels, {});
+          ASSERT_EQ(gate->mode(), tg_hier::AdmissionMode::kConnection);
+          for (const tg::RuleApplication& rule : witness->rules()) {
+            tg_hier::AdmissionDecision d = gate->Admit(rule);
+            ASSERT_EQ(d.outcome, tg_hier::AdmissionOutcome::kAccepted)
+                << "trial " << trial << " " << h.graph.NameOf(x) << " gets "
+                << tg::RightChar(right) << " over " << h.graph.NameOf(y)
+                << ": gate vetoed witness step " << d.rule << " -- " << d.reason;
+          }
+          EXPECT_TRUE(gate->graph().HasExplicit(x, y, right));
+          EXPECT_TRUE(tg_hier::CheckSecure(gate->graph(), gate->levels()).secure)
+              << "trial " << trial;
+          ++per_trial;
+          ++replayed;
+        }
+      }
+    }
+  }
+  EXPECT_GT(replayed, 10);  // the sweep must replay real derivations
+}
+
+// Theorem 5.5 soundness through the admission gate: a planted adjacent-
+// level t/g channel is harmless until a rule tries to pull an r or w right
+// across it — and at that completing step both gate modes always veto.
+TEST(SoundnessTest, PlantedChannelCompletingStepsAlwaysVetoed) {
+  tg_util::Prng prng(16161);
+  int completed = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    tg_sim::RandomHierarchyOptions options;
+    options.levels = 2;
+    options.subjects_per_level = 2;
+    options.objects_per_level = 1;
+    options.planted_channels = 1 + trial % 2;
+    tg_sim::GeneratedHierarchy h = tg_sim::RandomHierarchy(options, prng);
+    // Hunt the planted cross-level t/g edges and build, for each, the rule
+    // that would complete the forbidden connection over it.
+    std::vector<tg::RuleApplication> completing;
+    h.graph.ForEachEdge([&](const tg::Edge& e) {
+      if (!h.graph.IsSubject(e.src) || !h.graph.IsSubject(e.dst)) {
+        return;
+      }
+      if (!h.levels.IsAssigned(e.src) || !h.levels.IsAssigned(e.dst) ||
+          h.levels.SameLevel(e.src, e.dst)) {
+        return;
+      }
+      bool src_higher = h.levels.Higher(h.levels.LevelOf(e.src), h.levels.LevelOf(e.dst));
+      if (e.explicit_rights.Has(Right::kTake)) {
+        // src can take from dst: pulling r up (src lower) is a read-up;
+        // pulling w down (src higher) is a write-down.
+        Right want = src_higher ? Right::kWrite : Right::kRead;
+        h.graph.ForEachOutEdge(e.dst, [&](const tg::Edge& held) {
+          if (held.explicit_rights.Has(want) && h.levels.IsAssigned(held.dst) &&
+              h.levels.SameLevel(held.dst, e.dst) &&
+              !h.graph.HasExplicit(e.src, held.dst, want)) {
+            completing.push_back(
+                tg::RuleApplication::Take(e.src, e.dst, held.dst, tg::RightSet(want)));
+          }
+        });
+      }
+      if (e.explicit_rights.Has(Right::kGrant)) {
+        // src can grant to dst: pushing r down (src higher) plants a
+        // read-up on dst; pushing w up (src lower) plants a write-down.
+        Right want = src_higher ? Right::kRead : Right::kWrite;
+        h.graph.ForEachOutEdge(e.src, [&](const tg::Edge& held) {
+          if (held.explicit_rights.Has(want) && h.levels.IsAssigned(held.dst) &&
+              h.levels.SameLevel(held.dst, e.src) &&
+              !h.graph.HasExplicit(e.dst, held.dst, want)) {
+            completing.push_back(
+                tg::RuleApplication::Grant(e.src, e.dst, held.dst, tg::RightSet(want)));
+          }
+        });
+      }
+    });
+    for (const tg::RuleApplication& rule : completing) {
+      ASSERT_TRUE(tg::CheckRule(h.graph, rule).ok());
+      for (tg_hier::AdmissionMode mode :
+           {tg_hier::AdmissionMode::kConnection, tg_hier::AdmissionMode::kEdgeLevel}) {
+        tg_hier::AdmissionGate::Options gate_options;
+        gate_options.mode = mode;
+        auto gate = tg_hier::AdmissionGate::Create(h.graph, h.levels, gate_options);
+        tg_hier::AdmissionDecision d = gate->Admit(rule);
+        EXPECT_EQ(d.outcome, tg_hier::AdmissionOutcome::kVetoed)
+            << "trial " << trial << " mode " << tg_hier::AdmissionModeName(mode)
+            << ": completing step " << d.rule << " was not vetoed";
+      }
+      ++completed;
+    }
+  }
+  EXPECT_GT(completed, 0);  // the planted channels must yield completing steps
+}
+
 }  // namespace
