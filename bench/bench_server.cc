@@ -1,0 +1,563 @@
+// Policy-server benchmark: QPS and latency of the always-on daemon under a
+// multi-connection Zipfian load, across three workloads —
+//
+//   read_only        100% queries (can_know / can_knowf / can_share /
+//                    knowable), every connection a reader
+//   mixed            90% reads / 10% admissions, all writes through ONE
+//                    writer connection (deterministic write order)
+//   admission_heavy  50% reads / 50% admissions, the writer wrapping every
+//                    32 rules in a wire transaction (group commits)
+//
+// The server runs in-process (unix-domain socket), so the bench can reset
+// the metrics registry per run and read the server.request_ns histogram —
+// the PR-5 percentile plumbing — for P50/P95/P99 next to driver-side QPS.
+// Every timed number is min-of-3 (max-of-3 for QPS).
+//
+// Checks in-binary that the wire answers are bit-equivalent to in-process
+// calls: the recorded admission stream replays through a shadow
+// AdmissionGate (same options, same order) which must land on the same
+// epoch and decision counts, and sampled queries against the final graph
+// must return the same verdicts the analysis library computes directly.
+// Exits non-zero on any failure.
+//
+// The read-only workload additionally runs with a single-worker engine;
+// on multi-core hardware the multi-worker QPS must be >= 2x that (the
+// check is skipped — but both rows still recorded — when
+// hardware_concurrency < 2, e.g. single-core CI).
+//
+//   bench_server           # full sweep, writes BENCH_server.json
+//   bench_server --smoke   # tiny load, BENCH_server_smoke.json; equivalence
+//                          # checks only (used by the bench_server_smoke ctest)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/exp_common.h"
+#include "src/take_grant.h"
+#include "src/util/metrics.h"
+#include "src/util/prng.h"
+#include "src/util/strings.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Zipf(s=1) sampler over [0, n) via inverse-CDF on the harmonic weights:
+// vertex 0 is the hot key, the tail is long — the classic skewed key
+// distribution for cache-friendly serving benchmarks.
+class Zipf {
+ public:
+  Zipf(size_t n, uint64_t seed) : prng_(seed), cdf_(n) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / static_cast<double>(i + 1);
+      cdf_[i] = sum;
+    }
+    total_ = sum;
+  }
+
+  size_t Next() {
+    const double u = static_cast<double>(prng_.NextBelow(1u << 30)) /
+                     static_cast<double>(1u << 30) * total_;
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+  tg_util::Prng& prng() { return prng_; }
+
+ private:
+  tg_util::Prng prng_;
+  std::vector<double> cdf_;
+  double total_ = 0.0;
+};
+
+// One read request line over the initial vertex set, Zipfian endpoints.
+std::string MakeReadLine(Zipf& zipf, const std::vector<std::string>& names) {
+  const std::string& a = names[zipf.Next()];
+  const std::string& b = names[zipf.Next()];
+  switch (zipf.prng().NextBelow(4)) {
+    case 0:
+      return "can_know " + a + " " + b;
+    case 1:
+      return "can_knowf " + a + " " + b;
+    case 2:
+      return "can_share r " + a + " " + b;
+    default:
+      return "knowable " + a;
+  }
+}
+
+// One admit request line: half guaranteed-acceptable creates (they advance
+// the epoch, forcing real publications), half random take/grant rules that
+// exercise the veto / rejection paths.
+std::string MakeAdmitLine(Zipf& zipf, const std::vector<std::string>& subjects,
+                          const std::vector<std::string>& names, size_t* create_seq) {
+  const std::string& s = subjects[zipf.Next() % subjects.size()];
+  if (zipf.prng().NextBelow(2) == 0) {
+    return "admit create " + s + " object rw bx" + std::to_string((*create_seq)++);
+  }
+  const std::string& y = names[zipf.Next()];
+  const std::string& z = names[zipf.Next()];
+  const char* rights = zipf.prng().NextBelow(2) == 0 ? "r" : "w";
+  return (zipf.prng().NextBelow(2) == 0 ? "admit take " : "admit grant ") + s + " " + y +
+         " " + z + " " + rights;
+}
+
+struct WorkloadResult {
+  double qps = 0.0;
+  uint64_t p50_ns = 0, p95_ns = 0, p99_ns = 0;
+  uint64_t requests = 0;
+  uint64_t write_lines = 0;
+  uint64_t final_epoch = 0;
+  uint64_t batches = 0;
+  bool ok = true;
+  std::string error;
+  std::vector<std::string> write_log;  // admit/txn lines, in send order
+};
+
+struct WorkloadSpec {
+  const char* name;
+  int write_pct = 0;   // share of requests that are admissions
+  bool use_txns = false;
+};
+
+struct LoadConfig {
+  size_t connections = 4;
+  size_t requests = 20000;
+  size_t pipeline = 64;  // request lines per frame
+  size_t threads = 0;    // engine workers (0 = default)
+};
+
+WorkloadResult RunWorkload(const tg::ProtectionGraph& graph,
+                           const tg_hier::LevelAssignment& levels,
+                           const WorkloadSpec& spec, const LoadConfig& load,
+                           uint64_t seed) {
+  WorkloadResult result;
+  tg_server::PolicyServer::Options options;
+  options.unix_path = "/tmp/tg_bench_server_" + std::to_string(::getpid()) + ".sock";
+  options.engine.threads = load.threads;
+  tg_server::PolicyServer server(graph, levels, options);
+  if (auto s = server.Start(); !s.ok()) {
+    result.ok = false;
+    result.error = s.ToString();
+    return result;
+  }
+
+  std::vector<std::string> names;
+  std::vector<std::string> subjects;
+  for (tg::VertexId v = 0; v < static_cast<tg::VertexId>(graph.VertexCount()); ++v) {
+    names.push_back(graph.NameOf(v));
+    if (graph.IsSubject(v)) {
+      subjects.push_back(graph.NameOf(v));
+    }
+  }
+
+  const uint64_t writes = result.write_lines =
+      static_cast<uint64_t>(load.requests) * static_cast<uint64_t>(spec.write_pct) / 100;
+  const uint64_t reads = load.requests - writes;
+  result.requests = load.requests;
+
+  // Pre-generate the writer's admission stream so the timed region spends
+  // its cycles on serving, and so the shadow replay sees the exact lines.
+  if (writes > 0) {
+    Zipf zipf(names.size(), seed * 31 + 7);
+    size_t create_seq = 0;
+    uint64_t admits = 0;
+    for (uint64_t i = 0; i < writes; ++i) {
+      if (spec.use_txns && admits % 32 == 0) {
+        result.write_log.push_back("txn begin");
+      }
+      result.write_log.push_back(MakeAdmitLine(zipf, subjects, names, &create_seq));
+      ++admits;
+      if (spec.use_txns && (admits % 32 == 0 || i + 1 == writes)) {
+        result.write_log.push_back("txn commit");
+      }
+    }
+  }
+
+  tg_util::MetricsRegistry::Instance().ResetAll();
+  std::atomic<bool> failed{false};
+  std::string first_error;
+  std::mutex error_mu;
+  auto report = [&](const tg_util::Status& s) {
+    if (!failed.exchange(true)) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      first_error = s.ToString();
+    }
+  };
+
+  Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> drivers;
+  const size_t readers = load.connections;
+  for (size_t t = 0; t < readers; ++t) {
+    const uint64_t share = reads / readers + (t < reads % readers ? 1 : 0);
+    drivers.emplace_back([&, t, share] {
+      tg_server::PolicyClient client;
+      if (auto s = client.ConnectUnix(server.unix_path()); !s.ok()) {
+        report(s);
+        return;
+      }
+      Zipf zipf(names.size(), seed + t);
+      uint64_t sent = 0;
+      std::vector<std::string> frame;
+      while (sent < share && !failed.load(std::memory_order_relaxed)) {
+        frame.clear();
+        const uint64_t take = std::min<uint64_t>(load.pipeline, share - sent);
+        for (uint64_t i = 0; i < take; ++i) {
+          frame.push_back(MakeReadLine(zipf, names));
+        }
+        auto responses = client.CallBatch(frame);
+        if (!responses.ok()) {
+          report(responses.status());
+          return;
+        }
+        sent += take;
+      }
+    });
+  }
+  if (writes > 0) {
+    drivers.emplace_back([&] {
+      tg_server::PolicyClient client;
+      if (auto s = client.ConnectUnix(server.unix_path()); !s.ok()) {
+        report(s);
+        return;
+      }
+      // Smaller write frames: admissions answer serially, and the point of
+      // the single writer is ordering, not syscall amortization.
+      const size_t kWriteFrame = 8;
+      size_t at = 0;
+      while (at < result.write_log.size() && !failed.load(std::memory_order_relaxed)) {
+        const size_t take = std::min(kWriteFrame, result.write_log.size() - at);
+        std::vector<std::string> frame(result.write_log.begin() + at,
+                                       result.write_log.begin() + at + take);
+        auto responses = client.CallBatch(frame);
+        if (!responses.ok()) {
+          report(responses.status());
+          return;
+        }
+        at += take;
+      }
+    });
+  }
+  for (std::thread& t : drivers) {
+    t.join();
+  }
+  const double elapsed = SecondsSince(t0);
+
+  if (failed.load()) {
+    result.ok = false;
+    result.error = first_error;
+    server.Stop();
+    return result;
+  }
+
+  result.qps = static_cast<double>(load.requests + result.write_log.size() -
+                                   result.write_lines) /  // txn lines count too
+               elapsed;
+  tg_util::Histogram& h = tg_util::GetHistogram("server.request_ns");
+  result.p50_ns = h.P50();
+  result.p95_ns = h.P95();
+  result.p99_ns = h.P99();
+  result.batches = tg_util::MetricsRegistry::Instance().CounterValue(
+      "server.batches_dispatched");
+
+  // ---- Equivalence: wire answers == in-process answers. ----
+  // 1. Replay the recorded write stream through a shadow gate; the server
+  //    executed the same lines in the same order (single writer), so the
+  //    published epoch and the final graph must match exactly.
+  tg_hier::AdmissionGate::Options gate_options;  // defaults match the server's
+  auto shadow = tg_hier::AdmissionGate::Create(graph, levels, gate_options);
+  for (const std::string& line : result.write_log) {
+    std::vector<std::string_view> tok = tg_util::SplitWhitespace(line);
+    if (tok[0] == "txn") {
+      if (tok[1] == "begin") {
+        (void)shadow->Begin();
+      } else {
+        (void)shadow->Commit();
+      }
+      continue;
+    }
+    auto rule = tg_server::ParseRuleClause(
+        std::vector<std::string_view>(tok.begin() + 1, tok.end()), shadow->graph());
+    if (!rule.ok()) {
+      continue;  // server rejected it identically (name resolution is shared)
+    }
+    if (shadow->in_txn()) {
+      (void)shadow->Submit(std::move(rule).value());
+    } else {
+      (void)shadow->Admit(std::move(rule).value());
+    }
+  }
+
+  tg_server::PolicyClient checker;
+  if (auto s = checker.ConnectUnix(server.unix_path()); !s.ok()) {
+    result.ok = false;
+    result.error = s.ToString();
+    server.Stop();
+    return result;
+  }
+  auto stats = checker.Call("stats");
+  if (!stats.ok()) {
+    result.ok = false;
+    result.error = stats.status().ToString();
+    server.Stop();
+    return result;
+  }
+  result.final_epoch =
+      static_cast<uint64_t>(std::atoll(tg_server::ExtractJsonField(*stats, "epoch").c_str()));
+  if (result.final_epoch != shadow->graph().epoch()) {
+    result.ok = false;
+    result.error = "epoch divergence: server " + std::to_string(result.final_epoch) +
+                   " vs shadow " + std::to_string(shadow->graph().epoch());
+    server.Stop();
+    return result;
+  }
+
+  // 2. Sampled queries against the final graph: the wire verdict must be
+  //    bit-identical to the analysis library on the shadow graph.
+  const tg::ProtectionGraph& fg = shadow->graph();
+  tg_analysis::AnalysisCache cache;
+  Zipf zipf(names.size(), seed ^ 0x5eed);
+  for (int i = 0; i < 64; ++i) {
+    const std::string line = MakeReadLine(zipf, names);
+    auto response = checker.Call(line);
+    if (!response.ok()) {
+      result.ok = false;
+      result.error = response.status().ToString();
+      break;
+    }
+    std::vector<std::string_view> tok = tg_util::SplitWhitespace(line);
+    tg::VertexId x = fg.FindVertex(tok.size() > 2 && tok[0] == "can_share" ? tok[2] : tok[1]);
+    std::string expect;
+    if (tok[0] == "can_know") {
+      expect = cache.CanKnow(fg, x, fg.FindVertex(tok[2])) ? "true" : "false";
+    } else if (tok[0] == "can_knowf") {
+      expect = tg_analysis::CanKnowF(fg, x, fg.FindVertex(tok[2])) ? "true" : "false";
+    } else if (tok[0] == "can_share") {
+      expect = tg_analysis::CanShare(fg, *tg::RightFromChar('r'), x, fg.FindVertex(tok[3]))
+                   ? "true"
+                   : "false";
+    } else {  // knowable
+      const std::vector<bool>& row = cache.Knowable(fg, x);
+      expect = std::to_string(std::count(row.begin(), row.end(), true));
+    }
+    const std::string got = tok[0] == "knowable"
+                                ? tg_server::ExtractJsonField(*response, "count")
+                                : tg_server::ExtractJsonField(*response, "verdict");
+    if (got != expect) {
+      result.ok = false;
+      result.error = "verdict divergence on '" + line + "': wire " + got +
+                     " vs in-process " + expect;
+      break;
+    }
+  }
+
+  server.Stop();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  LoadConfig load;
+  bool threads_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_server: %s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--connections") {
+      load.connections = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--requests") {
+      load.requests = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--pipeline") {
+      load.pipeline = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--threads") {
+      load.threads = static_cast<size_t>(std::atol(next()));
+      threads_given = true;
+    } else {
+      std::fprintf(stderr, "bench_server: unknown flag '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  const size_t hw = std::thread::hardware_concurrency();
+  if (threads_given && load.threads > hw) {
+    std::fprintf(stderr,
+                 "bench_server: --threads %zu exceeds hardware_concurrency %zu; "
+                 "oversubscribed workers would only fabricate QPS\n",
+                 load.threads, hw);
+    return 1;
+  }
+
+  exp::Reporter reporter(smoke ? "policy server smoke (wire == in-process guard)"
+                               : "policy server: QPS / latency under Zipfian load");
+  exp::JsonlWriter jsonl(smoke ? "BENCH_server_smoke.json" : "BENCH_server.json");
+  const int reps = smoke ? 1 : 3;
+
+  if (smoke) {
+    load.connections = 2;
+    load.requests = 400;
+    load.pipeline = 16;
+  }
+
+  exp::JsonObject env_row;
+  env_row.Set("record", "env");
+  exp::AppendEnvInfo(env_row);
+  jsonl.Write(env_row.Set("reps", static_cast<uint64_t>(reps))
+                  .Set("server_threads",
+                       static_cast<uint64_t>(load.threads == 0
+                                                 ? tg_util::ThreadPool::DefaultThreadCount()
+                                                 : load.threads))
+                  .Set("connections", static_cast<uint64_t>(load.connections))
+                  .Set("smoke", smoke));
+
+  tg_sim::HierarchicalGraphOptions hier;
+  if (smoke) {
+    hier.levels = 2;
+    hier.clusters_per_level = 2;
+    hier.subjects_per_cluster = 4;
+    hier.objects_per_cluster = 2;
+  } else {
+    hier.levels = 4;
+    hier.clusters_per_level = 4;
+    hier.subjects_per_cluster = 8;
+    hier.objects_per_cluster = 3;
+  }
+  hier.planted_channels = 0;
+  tg_util::Prng prng(4242);
+  tg_sim::GeneratedHierarchy h = tg_sim::HierarchicalGraph(hier, prng);
+  reporter.Note("setup", "n=" + std::to_string(h.graph.VertexCount()) +
+                             " hardware_concurrency=" + std::to_string(hw));
+
+  const WorkloadSpec kWorkloads[] = {
+      {"read_only", 0, false},
+      {"mixed", 10, false},
+      {"admission_heavy", 50, true},
+  };
+
+  bool all_ok = true;
+  double read_only_qps = 0.0;
+  for (const WorkloadSpec& spec : kWorkloads) {
+    WorkloadResult best;
+    best.qps = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      WorkloadResult r = RunWorkload(h.graph, h.levels, spec, load, 1000 + rep);
+      if (!r.ok) {
+        best = std::move(r);
+        break;
+      }
+      if (r.qps > best.qps) {
+        best = std::move(r);
+      }
+    }
+    all_ok = all_ok && best.ok;
+    reporter.Check(spec.name, "wire responses equivalent to in-process calls", true,
+                   best.ok);
+    if (!best.ok) {
+      reporter.Note(spec.name, "error: " + best.error);
+    }
+    char summary[256];
+    std::snprintf(summary, sizeof(summary),
+                  "qps=%.0f p50=%.1fus p95=%.1fus p99=%.1fus epoch=%llu batches=%llu",
+                  best.qps, best.p50_ns / 1e3, best.p95_ns / 1e3, best.p99_ns / 1e3,
+                  static_cast<unsigned long long>(best.final_epoch),
+                  static_cast<unsigned long long>(best.batches));
+    reporter.Note(spec.name, summary);
+    if (std::strcmp(spec.name, "read_only") == 0) {
+      read_only_qps = best.qps;
+    }
+    exp::JsonObject row;
+    row.Set("record", "workload")
+        .Set("workload", spec.name)
+        .Set("write_pct", spec.write_pct)
+        .Set("use_txns", spec.use_txns)
+        .Set("connections", static_cast<uint64_t>(load.connections))
+        .Set("pipeline", static_cast<uint64_t>(load.pipeline))
+        .Set("requests", best.requests)
+        .Set("write_lines", best.write_lines)
+        .Set("qps", best.qps)
+        .Set("request_ns_p50", best.p50_ns)
+        .Set("request_ns_p95", best.p95_ns)
+        .Set("request_ns_p99", best.p99_ns)
+        .Set("final_epoch", best.final_epoch)
+        .Set("batches", best.batches)
+        .Set("equivalent", best.ok);
+    exp::AppendEnvInfo(row);
+    jsonl.Write(row);
+  }
+
+  // Worker scaling: read-only with a single engine worker vs the default
+  // pool.  The >= 2x claim only applies on multi-core hardware; a
+  // single-core box records both rows and skips the check.
+  if (!smoke) {
+    LoadConfig single = load;
+    single.threads = 1;
+    WorkloadResult best;
+    best.qps = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      WorkloadResult r = RunWorkload(h.graph, h.levels, kWorkloads[0], single, 2000 + rep);
+      if (!r.ok) {
+        best = std::move(r);
+        break;
+      }
+      if (r.qps > best.qps) {
+        best = std::move(r);
+      }
+    }
+    all_ok = all_ok && best.ok;
+    char summary[160];
+    std::snprintf(summary, sizeof(summary), "single-worker qps=%.0f (multi %.0f, %.2fx)",
+                  best.qps, read_only_qps,
+                  best.qps > 0 ? read_only_qps / best.qps : 0.0);
+    reporter.Note("scaling", summary);
+    exp::JsonObject row;
+    row.Set("record", "workload")
+        .Set("workload", "read_only_1worker")
+        .Set("write_pct", 0)
+        .Set("use_txns", false)
+        .Set("connections", static_cast<uint64_t>(load.connections))
+        .Set("pipeline", static_cast<uint64_t>(load.pipeline))
+        .Set("requests", best.requests)
+        .Set("write_lines", best.write_lines)
+        .Set("qps", best.qps)
+        .Set("request_ns_p50", best.p50_ns)
+        .Set("request_ns_p95", best.p95_ns)
+        .Set("request_ns_p99", best.p99_ns)
+        .Set("final_epoch", best.final_epoch)
+        .Set("batches", best.batches)
+        .Set("equivalent", best.ok);
+    exp::AppendEnvInfo(row);
+    jsonl.Write(row);
+    if (hw >= 2) {
+      reporter.Check("scaling", "multi-worker read QPS >= 2x single-worker", true,
+                     read_only_qps >= 2.0 * best.qps);
+    } else {
+      reporter.Note("scaling", "hardware_concurrency < 2: scaling check skipped");
+    }
+  }
+
+  const int failures = reporter.Finish();
+  return all_ok ? failures : 1;
+}

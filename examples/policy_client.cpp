@@ -1,0 +1,110 @@
+// policy_client: command-line client for the policy server.
+//
+//   policy_client (--socket PATH | --port N [--host IP]) [REQUEST...]
+//
+// With REQUEST words, sends them as one request line and prints the JSON
+// response (exit 0 on "ok":true, 2 on an error response).  Without, reads
+// request lines from stdin — an interactive session against a live daemon:
+//
+//   $ policy_client --socket /tmp/tg.sock
+//   > can_know eng_lead ceo_mail
+//   {"ok":true,"verb":"can_know",...,"verdict":false,"epoch":0}
+//   > admit grant ceo eng_lead ceo_mail r
+//   {"ok":true,"verb":"admit","decision":{...},"epoch":1}
+//   > quit
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/server/client.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "policy_client: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string request;
+
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "policy_client: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next("--socket");
+    } else if (arg == "--host") {
+      host = next("--host");
+    } else if (arg == "--port") {
+      port = std::atoi(next("--port"));
+    } else {
+      break;  // first request word
+    }
+  }
+  for (; i < argc; ++i) {
+    if (!request.empty()) {
+      request += ' ';
+    }
+    request += argv[i];
+  }
+  if (socket_path.empty() && port < 0) {
+    return Fail("need --socket PATH or --port N");
+  }
+
+  tg_server::PolicyClient client;
+  tg_util::Status status = socket_path.empty() ? client.ConnectTcp(host, port)
+                                               : client.ConnectUnix(socket_path);
+  if (!status.ok()) {
+    return Fail(status.ToString());
+  }
+
+  if (!request.empty()) {
+    auto response = client.Call(request);
+    if (!response.ok()) {
+      return Fail(response.status().ToString());
+    }
+    std::printf("%s\n", response->c_str());
+    return tg_server::ExtractJsonField(*response, "ok") == "true" ? 0 : 2;
+  }
+
+  // Interactive: one request line per prompt, until EOF / quit.
+  const bool tty = isatty(fileno(stdin)) != 0;
+  std::string line;
+  while (true) {
+    if (tty) {
+      std::printf("> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    if (line == "quit" || line == "exit") {
+      break;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    auto response = client.Call(line);
+    if (!response.ok()) {
+      return Fail(response.status().ToString());
+    }
+    std::printf("%s\n", response->c_str());
+  }
+  return 0;
+}

@@ -37,20 +37,25 @@ if [ ! -f build/CMakeCache.txt ]; then
   cmake -B build >/dev/null
 fi
 cmake --build build -j "$jobs" \
-  --target bench_allpairs bench_incremental bench_batch bench_scale bench_admission >/dev/null
+  --target bench_allpairs bench_incremental bench_batch bench_scale bench_admission \
+           bench_server policy_server policy_client >/dev/null
 
 # Benchmark artifacts record the machine context; warn loudly when this
 # run's numbers would come from a single effective core (TG_THREADS=1 or a
-# 1-core machine) — parallel-speedup rows from such a run are meaningless.
+# 1-core machine) — parallel-speedup rows from such a run are meaningless,
+# and the policy-server bench degenerates to a single-worker server (its
+# multi-thread read-QPS scaling rows say nothing about the epoll/MVCC
+# design, only about one core round-robining threads).
 effective_threads="${TG_THREADS:-$(nproc 2>/dev/null || echo 1)}"
 if [ "$effective_threads" -le 1 ]; then
   echo "WARNING: bench smoke running with a single effective core" \
        "(TG_THREADS=${TG_THREADS:-unset}, nproc=$(nproc 2>/dev/null || echo '?'));" \
-       "treat parallel-speedup numbers from this run as noise." >&2
+       "treat parallel-speedup numbers — including the server bench's" \
+       "single-worker QPS rows — as noise." >&2
 fi
 
 ctest --test-dir build \
-  -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke|bench_scale_smoke|bench_admission_smoke' \
+  -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke|bench_scale_smoke|bench_admission_smoke|bench_server_smoke|policy_server_roundtrip' \
   --output-on-failure
 
 # Trace-export gate: run the batch smoke with the Perfetto exporter on and

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Start/stop/status helper for the policy daemon.
+#
+#   scripts/policy_server_ctl.sh start [SERVER_ARGS...]
+#   scripts/policy_server_ctl.sh stop
+#   scripts/policy_server_ctl.sh status
+#
+# `start` launches policy_server in the background, waits for its READY
+# line, and records the pid; with no SERVER_ARGS it serves --demo on
+# .policy_server/policy.sock.  `stop` sends SIGTERM and waits.  State
+# (pidfile + log) lives under .policy_server/ in the repo root; the binary
+# is $POLICY_SERVER_BIN or build/examples/policy_server.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+state_dir=".policy_server"
+pidfile="$state_dir/policy_server.pid"
+logfile="$state_dir/policy_server.log"
+default_sock="$state_dir/policy.sock"
+server_bin="${POLICY_SERVER_BIN:-build/examples/policy_server}"
+
+alive() {
+  [ -f "$pidfile" ] && kill -0 "$(cat "$pidfile")" 2>/dev/null
+}
+
+case "${1:-}" in
+  start)
+    shift
+    if alive; then
+      echo "policy_server already running (pid $(cat "$pidfile"))" >&2
+      exit 1
+    fi
+    if [ ! -x "$server_bin" ]; then
+      echo "server binary '$server_bin' not found; build it first" \
+           "(cmake --build build --target policy_server) or set POLICY_SERVER_BIN" >&2
+      exit 1
+    fi
+    mkdir -p "$state_dir"
+    if [ $# -eq 0 ]; then
+      set -- --demo --socket "$default_sock"
+    fi
+    "$server_bin" "$@" >"$logfile" 2>&1 &
+    pid=$!
+    echo "$pid" >"$pidfile"
+    for _ in $(seq 1 200); do
+      if grep -q "READY" "$logfile" 2>/dev/null; then
+        grep "READY" "$logfile"
+        echo "pid $pid, log $logfile"
+        exit 0
+      fi
+      if ! kill -0 "$pid" 2>/dev/null; then
+        echo "policy_server exited during startup:" >&2
+        sed 's/^/  /' "$logfile" >&2
+        rm -f "$pidfile"
+        exit 1
+      fi
+      sleep 0.05
+    done
+    echo "policy_server never printed READY; see $logfile" >&2
+    exit 1
+    ;;
+  stop)
+    if ! alive; then
+      echo "policy_server not running"
+      rm -f "$pidfile"
+      exit 0
+    fi
+    pid="$(cat "$pidfile")"
+    kill -TERM "$pid"
+    for _ in $(seq 1 200); do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.05
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+      echo "policy_server (pid $pid) did not exit after SIGTERM" >&2
+      exit 1
+    fi
+    rm -f "$pidfile"
+    echo "policy_server stopped"
+    ;;
+  status)
+    if alive; then
+      echo "policy_server running (pid $(cat "$pidfile"))"
+      grep "READY" "$logfile" 2>/dev/null || true
+    else
+      echo "policy_server not running"
+      exit 3
+    fi
+    ;;
+  *)
+    echo "usage: $0 start [SERVER_ARGS...] | stop | status" >&2
+    exit 1
+    ;;
+esac

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Round-trip gate for the policy daemon: start policy_server --demo on a
+# private unix socket, drive it with one-shot policy_client invocations,
+# assert on the JSON responses and exit codes, then shut it down with
+# SIGTERM and verify the socket was unlinked.  Run by the
+# policy_server_roundtrip ctest and scripts/check.sh.
+#
+#   scripts/policy_server_roundtrip.sh SERVER_BIN CLIENT_BIN
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 SERVER_BIN CLIENT_BIN" >&2
+  exit 1
+fi
+server_bin="$1"
+client_bin="$2"
+sock="${TMPDIR:-/tmp}/tg_roundtrip_$$.sock"
+log="${TMPDIR:-/tmp}/tg_roundtrip_$$.log"
+server_pid=""
+
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -f "$sock" "$log"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -f "$log" ] && sed 's/^/  server: /' "$log" >&2
+  exit 1
+}
+
+client() { "$client_bin" --socket "$sock" "$@"; }
+
+# A response is one flat JSON line; assert a "key":value pair is present.
+expect_field() { # RESPONSE KEY VALUE
+  case "$1" in
+    *"\"$2\":$3"*) ;;
+    *) fail "expected \"$2\":$3 in: $1" ;;
+  esac
+}
+
+"$server_bin" --demo --socket "$sock" >"$log" 2>&1 &
+server_pid=$!
+
+# The daemon prints one READY line once it is listening.
+ready=false
+for _ in $(seq 1 200); do
+  if grep -q "READY" "$log" 2>/dev/null; then
+    ready=true
+    break
+  fi
+  kill -0 "$server_pid" 2>/dev/null || fail "server exited before READY"
+  sleep 0.05
+done
+$ready || fail "server never printed READY"
+
+# Read verbs round-trip with an epoch on every answer.
+expect_field "$(client ping)" ok true
+epoch_out="$(client epoch)"
+expect_field "$epoch_out" ok true
+case "$epoch_out" in
+  *'"epoch":'*) ;;
+  *) fail "epoch response carries no epoch: $epoch_out" ;;
+esac
+expect_field "$(client levels)" ok true
+expect_field "$(client check_secure)" ok true
+expect_field "$(client stats)" verb '"stats"'
+
+# An error response makes the one-shot client exit 2 (not 0, not 1).
+set +e
+client can_know nobody anywhere >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 2 ] || fail "expected exit 2 on an error response, got $rc"
+
+# A transaction dies with its connection: the one-shot `txn begin` client
+# disconnects immediately, so the server must auto-abort and a later
+# connection finds no open transaction.
+expect_field "$(client txn begin)" ok true
+released=false
+for _ in $(seq 1 100); do
+  if client txn status | grep -q '"txn":0'; then
+    released=true
+    break
+  fi
+  sleep 0.05
+done
+$released || fail "orphaned transaction was not aborted on disconnect"
+
+# Clean shutdown: SIGTERM exits 0 and unlinks the socket.
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "server exited nonzero on SIGTERM"
+server_pid=""
+[ ! -e "$sock" ] || fail "socket not unlinked on shutdown"
+
+echo "policy_server_roundtrip: OK"

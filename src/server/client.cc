@@ -1,0 +1,165 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace tg_server {
+
+namespace {
+
+tg_util::Status Errno(const std::string& what) {
+  return tg_util::Status::Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+PolicyClient::~PolicyClient() { Close(); }
+
+PolicyClient::PolicyClient(PolicyClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_)) {}
+
+PolicyClient& PolicyClient::operator=(PolicyClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+void PolicyClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+tg_util::Status PolicyClient::ConnectUnix(const std::string& path) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return tg_util::Status::InvalidArgument("unix socket path too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Errno("socket(AF_UNIX)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect(" + path + ")");
+  }
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+  return tg_util::Status::Ok();
+}
+
+tg_util::Status PolicyClient::ConnectTcp(const std::string& host, int port) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return tg_util::Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Errno("socket(AF_INET)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+  return tg_util::Status::Ok();
+}
+
+tg_util::Status PolicyClient::SendAll(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return tg_util::Status::Ok();
+}
+
+tg_util::StatusOr<std::string> PolicyClient::ReadFrame() {
+  std::string payload;
+  char buf[64 * 1024];
+  while (true) {
+    FrameDecoder::Result r = decoder_.Next(&payload);
+    if (r == FrameDecoder::Result::kFrame) {
+      return payload;
+    }
+    if (r == FrameDecoder::Result::kError) {
+      return tg_util::Status::ParseError("bad frame from server: " + decoder_.error());
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return tg_util::Status::Internal("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("recv");
+    }
+    decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+tg_util::StatusOr<std::string> PolicyClient::Call(std::string_view request) {
+  if (fd_ < 0) {
+    return tg_util::Status::FailedPrecondition("not connected");
+  }
+  if (auto s = SendAll(EncodeFrame(request)); !s.ok()) {
+    return s;
+  }
+  return ReadFrame();
+}
+
+tg_util::StatusOr<std::vector<std::string>> PolicyClient::CallBatch(
+    const std::vector<std::string>& requests) {
+  if (fd_ < 0) {
+    return tg_util::Status::FailedPrecondition("not connected");
+  }
+  std::string payload;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (i != 0) {
+      payload += '\n';
+    }
+    payload += requests[i];
+  }
+  if (auto s = SendAll(EncodeFrame(payload)); !s.ok()) {
+    return s;
+  }
+  auto frame = ReadFrame();
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  std::vector<std::string_view> lines = SplitRequestLines(*frame);
+  std::vector<std::string> out(lines.begin(), lines.end());
+  if (out.size() != requests.size()) {
+    return tg_util::Status::Internal("expected " + std::to_string(requests.size()) +
+                                     " responses, got " + std::to_string(out.size()));
+  }
+  return out;
+}
+
+}  // namespace tg_server

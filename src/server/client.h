@@ -1,0 +1,54 @@
+// PolicyClient: a small blocking client for the policy server protocol.
+//
+// Wraps one connection (unix-domain or loopback TCP) and the frame codec:
+// Call() sends one request line and blocks for its response line;
+// CallBatch() pipelines many lines in one frame — the server answers them
+// against a single pinned epoch — and returns the responses in order.
+// Used by the policy_client CLI, the round-trip tests, and the server
+// bench's load connections.  Not thread-safe; one client per thread.
+
+#ifndef SRC_SERVER_CLIENT_H_
+#define SRC_SERVER_CLIENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/util/status.h"
+
+namespace tg_server {
+
+class PolicyClient {
+ public:
+  PolicyClient() = default;
+  ~PolicyClient();
+
+  PolicyClient(PolicyClient&& other) noexcept;
+  PolicyClient& operator=(PolicyClient&& other) noexcept;
+  PolicyClient(const PolicyClient&) = delete;
+  PolicyClient& operator=(const PolicyClient&) = delete;
+
+  tg_util::Status ConnectUnix(const std::string& path);
+  tg_util::Status ConnectTcp(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // One request line -> its JSON response line.
+  tg_util::StatusOr<std::string> Call(std::string_view request);
+
+  // Pipelines all lines in one frame; responses come back in order.
+  tg_util::StatusOr<std::vector<std::string>> CallBatch(
+      const std::vector<std::string>& requests);
+
+ private:
+  tg_util::Status SendAll(std::string_view bytes);
+  tg_util::StatusOr<std::string> ReadFrame();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace tg_server
+
+#endif  // SRC_SERVER_CLIENT_H_

@@ -1,0 +1,277 @@
+#include "src/server/protocol.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace tg_server {
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string frame = std::to_string(payload.size());
+  frame += '\n';
+  frame += payload;
+  frame += '\n';
+  return frame;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned_) {
+    return;
+  }
+  // Compact lazily: drop consumed bytes once they dominate the buffer, so
+  // long-lived pipelined connections don't grow without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Result FrameDecoder::Fail(std::string message) {
+  poisoned_ = true;
+  error_ = std::move(message);
+  return Result::kError;
+}
+
+FrameDecoder::Result FrameDecoder::Next(std::string* payload) {
+  if (poisoned_) {
+    return Result::kError;
+  }
+  std::string_view view(buffer_.data() + consumed_, buffer_.size() - consumed_);
+  size_t newline = view.find('\n');
+  // The length line is at most 7 digits + '\n'; anything longer without a
+  // newline is malformed however it continues.
+  if (newline == std::string_view::npos) {
+    if (view.size() > 8) {
+      return Fail("frame length line exceeds 8 bytes");
+    }
+    return Result::kNeedMore;
+  }
+  std::string_view digits = view.substr(0, newline);
+  if (digits.empty() || digits.size() > 7 ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](char c) { return c >= '0' && c <= '9'; })) {
+    return Fail("malformed frame length '" + std::string(digits.substr(0, 32)) + "'");
+  }
+  size_t length = 0;
+  for (char c : digits) {
+    length = length * 10 + static_cast<size_t>(c - '0');
+  }
+  if (length > kMaxFrameBytes) {
+    return Fail("frame of " + std::to_string(length) + " bytes exceeds limit of " +
+                std::to_string(kMaxFrameBytes));
+  }
+  // length + trailing '\n' must be fully buffered.
+  if (view.size() < newline + 1 + length + 1) {
+    return Result::kNeedMore;
+  }
+  std::string_view body = view.substr(newline + 1, length);
+  if (view[newline + 1 + length] != '\n') {
+    return Fail("frame payload not terminated by newline");
+  }
+  payload->assign(body.data(), body.size());
+  consumed_ += newline + 1 + length + 1;
+  return Result::kFrame;
+}
+
+std::vector<std::string_view> SplitRequestLines(std::string_view payload) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= payload.size()) {
+    size_t end = payload.find('\n', start);
+    if (end == std::string_view::npos) {
+      lines.push_back(payload.substr(start));
+      break;
+    }
+    lines.push_back(payload.substr(start, end - start));
+    start = end + 1;
+  }
+  // An empty payload is "no requests", not one empty request.
+  if (lines.size() == 1 && lines[0].empty()) {
+    lines.clear();
+  }
+  return lines;
+}
+
+bool IsWriteRequest(std::string_view line) {
+  std::string_view trimmed = tg_util::StripWhitespace(line);
+  size_t space = trimmed.find_first_of(" \t");
+  std::string_view verb = space == std::string_view::npos ? trimmed : trimmed.substr(0, space);
+  return verb == "admit" || verb == "txn";
+}
+
+namespace {
+
+tg_util::StatusOr<tg::VertexId> ResolveName(const tg::ProtectionGraph& g,
+                                            std::string_view name) {
+  tg::VertexId v = g.FindVertex(name);
+  if (v == tg::kInvalidVertex) {
+    return tg_util::Status::NotFound("unknown vertex '" + std::string(name) + "'");
+  }
+  return v;
+}
+
+tg_util::StatusOr<tg::RightSet> ResolveRights(std::string_view text) {
+  auto rights = tg::RightSet::Parse(text);
+  if (!rights.has_value() || rights->empty()) {
+    return tg_util::Status::InvalidArgument("bad right set '" + std::string(text) + "'");
+  }
+  return *rights;
+}
+
+}  // namespace
+
+tg_util::StatusOr<tg::RuleApplication> ParseRuleClause(
+    const std::vector<std::string_view>& tokens, const tg::ProtectionGraph& g) {
+  if (tokens.empty()) {
+    return tg_util::Status::InvalidArgument("empty rule clause");
+  }
+  const std::string_view kind = tokens[0];
+  auto arity = [&](size_t n) {
+    return tg_util::Status::InvalidArgument("'" + std::string(kind) + "' expects " +
+                                            std::to_string(n) + " argument(s)");
+  };
+  if (kind == "take" || kind == "grant") {
+    if (tokens.size() != 5) {
+      return arity(4);
+    }
+    auto x = ResolveName(g, tokens[1]);
+    auto y = ResolveName(g, tokens[2]);
+    auto z = ResolveName(g, tokens[3]);
+    auto rights = ResolveRights(tokens[4]);
+    if (!x.ok()) return x.status();
+    if (!y.ok()) return y.status();
+    if (!z.ok()) return z.status();
+    if (!rights.ok()) return rights.status();
+    return kind == "take" ? tg::RuleApplication::Take(*x, *y, *z, *rights)
+                          : tg::RuleApplication::Grant(*x, *y, *z, *rights);
+  }
+  if (kind == "create") {
+    if (tokens.size() != 4 && tokens.size() != 5) {
+      return tg_util::Status::InvalidArgument(
+          "'create' expects X subject|object RIGHTS [NAME]");
+    }
+    auto x = ResolveName(g, tokens[1]);
+    if (!x.ok()) return x.status();
+    if (tokens[2] != "subject" && tokens[2] != "object") {
+      return tg_util::Status::InvalidArgument("create kind must be subject or object");
+    }
+    auto rights = tg::RightSet::Parse(tokens[3]);
+    if (!rights.has_value()) {
+      return tg_util::Status::InvalidArgument("bad right set '" + std::string(tokens[3]) +
+                                              "'");
+    }
+    return tg::RuleApplication::Create(
+        *x, tokens[2] == "subject" ? tg::VertexKind::kSubject : tg::VertexKind::kObject,
+        *rights, tokens.size() == 5 ? std::string(tokens[4]) : "");
+  }
+  if (kind == "remove") {
+    if (tokens.size() != 4) {
+      return arity(3);
+    }
+    auto x = ResolveName(g, tokens[1]);
+    auto y = ResolveName(g, tokens[2]);
+    auto rights = ResolveRights(tokens[3]);
+    if (!x.ok()) return x.status();
+    if (!y.ok()) return y.status();
+    if (!rights.ok()) return rights.status();
+    return tg::RuleApplication::Remove(*x, *y, *rights);
+  }
+  if (kind == "post" || kind == "pass" || kind == "spy" || kind == "find") {
+    if (tokens.size() != 4) {
+      return arity(3);
+    }
+    auto x = ResolveName(g, tokens[1]);
+    auto y = ResolveName(g, tokens[2]);
+    auto z = ResolveName(g, tokens[3]);
+    if (!x.ok()) return x.status();
+    if (!y.ok()) return y.status();
+    if (!z.ok()) return z.status();
+    if (kind == "post") return tg::RuleApplication::Post(*x, *y, *z);
+    if (kind == "pass") return tg::RuleApplication::Pass(*x, *y, *z);
+    if (kind == "spy") return tg::RuleApplication::Spy(*x, *y, *z);
+    return tg::RuleApplication::Find(*x, *y, *z);
+  }
+  return tg_util::Status::InvalidArgument("unknown rule kind '" + std::string(kind) + "'");
+}
+
+std::string ErrorResponse(std::string_view message) {
+  return "{\"ok\":false,\"error\":\"" + tg_util::JsonEscape(message) + "\"}";
+}
+
+std::string OkResponse(std::string_view body_fields) {
+  std::string out = "{\"ok\":true";
+  if (!body_fields.empty()) {
+    out += ',';
+    out.append(body_fields.data(), body_fields.size());
+  }
+  out += '}';
+  return out;
+}
+
+std::string ExtractJsonField(std::string_view json, std::string_view key) {
+  std::string needle = "\"" + std::string(key) + "\":";
+  // Match the key only at nesting depth 1 — the top level of the response
+  // object.  An admit response embeds an AdmissionDecision whose own keys
+  // ("epoch", "txn", ...) must not shadow the response's.
+  size_t pos = std::string_view::npos;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (depth == 1 && json.compare(i, needle.size(), std::string_view(needle)) == 0) {
+        pos = i;
+        break;
+      }
+      in_string = true;
+      continue;
+    }
+    if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+    }
+  }
+  if (pos == std::string_view::npos) {
+    return "";
+  }
+  size_t start = pos + needle.size();
+  size_t end = start;
+  if (end < json.size() && json[end] == '"') {
+    ++end;
+    while (end < json.size() && (json[end] != '"' || json[end - 1] == '\\')) {
+      ++end;
+    }
+    if (end < json.size()) {
+      ++end;  // include the closing quote
+    }
+  } else {
+    int depth = 0;
+    while (end < json.size()) {
+      char c = json[end];
+      if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) {
+          break;
+        }
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+      ++end;
+    }
+  }
+  return std::string(json.substr(start, end - start));
+}
+
+}  // namespace tg_server

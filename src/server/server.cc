@@ -1,0 +1,733 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/util/metrics.h"
+#include "src/util/strings.h"
+#include "src/util/trace.h"
+
+namespace tg_server {
+
+namespace {
+
+struct ServerMetrics {
+  tg_util::Counter& connections = tg_util::GetCounter("server.connections_accepted");
+  tg_util::Counter& frames = tg_util::GetCounter("server.frames_received");
+  tg_util::Counter& batches = tg_util::GetCounter("server.batches_dispatched");
+  tg_util::Counter& protocol_errors = tg_util::GetCounter("server.protocol_errors");
+  tg_util::Counter& slow_reader_closes = tg_util::GetCounter("server.slow_reader_closes");
+  tg_util::Counter& txn_disconnect_aborts =
+      tg_util::GetCounter("server.txn_disconnect_aborts");
+  tg_util::Histogram& request_ns = tg_util::GetHistogram("server.request_ns");
+};
+
+ServerMetrics& Metrics() {
+  static ServerMetrics metrics;
+  return metrics;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+bool IsStatsRequest(std::string_view line) {
+  std::string_view trimmed = tg_util::StripWhitespace(line);
+  size_t space = trimmed.find_first_of(" \t");
+  return (space == std::string_view::npos ? trimmed : trimmed.substr(0, space)) == "stats";
+}
+
+// One inbound frame and its (partially filled) responses.  Frames flush in
+// arrival order once every line has answered.
+struct Frame {
+  std::vector<std::string> lines;
+  std::vector<std::string> responses;
+  size_t scheduled = 0;  // lines handed to execution
+  size_t done = 0;       // responses filled
+  uint64_t enqueue_ns = 0;
+};
+
+struct Connection {
+  int fd = -1;
+  uint64_t token = 0;
+  FrameDecoder decoder;
+  std::deque<Frame> frames;
+  std::string outbuf;
+  size_t out_consumed = 0;
+  size_t inflight = 0;       // lines accumulated or dispatched, not yet answered
+  size_t pending_lines = 0;  // unanswered lines across frames
+  uint32_t events = 0;       // epoll interest currently registered
+  bool paused_in = false;    // EPOLLIN dropped for backpressure
+  bool close_after_flush = false;
+  bool closed = false;  // fd gone; object may linger while inflight > 0
+
+  size_t out_pending() const { return outbuf.size() - out_consumed; }
+};
+
+// One read line scheduled into a batch, with its response slot.
+struct BatchItem {
+  Connection* conn = nullptr;
+  Frame* frame = nullptr;
+  size_t line_idx = 0;
+};
+
+}  // namespace
+
+struct PolicyServer::Impl {
+  explicit Impl(tg::ProtectionGraph graph, tg_hier::LevelAssignment levels, Options opts)
+      : options(std::move(opts)),
+        engine(std::move(graph), std::move(levels), options.engine) {}
+
+  Options options;
+  PolicyEngine engine;
+
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  int unix_listen_fd = -1;
+  int tcp_listen_fd = -1;
+  int bound_tcp_port = -1;
+
+  std::thread loop_thread;
+  std::thread dispatch_thread;
+  std::atomic<bool> stop_flag{false};
+  bool started = false;
+
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;  // by fd
+  std::vector<std::unique_ptr<Connection>> zombies;            // closed, inflight > 0
+  uint64_t next_token = 1;
+
+  // Read lines accumulated for the next batch (loop thread only).
+  std::vector<std::string> accum_lines;
+  std::vector<BatchItem> accum_items;
+
+  // Loop <-> dispatcher handoff.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool have_work = false;
+  bool dispatcher_stop = false;
+  std::vector<std::string> work_lines;
+  bool have_done = false;
+  std::vector<std::string> done_responses;
+  std::vector<BatchItem> dispatched_items;  // loop thread only; set at dispatch
+  bool dispatcher_busy = false;
+
+  uint64_t connections_accepted = 0;
+  uint64_t frames_received = 0;
+
+  tg_util::Status Start();
+  void Stop();
+  void LoopMain();
+  void DispatchMain();
+
+  void UpdateInterest(Connection& c);
+  void Accept(int listen_fd);
+  void HandleReadable(Connection& c);
+  void HandleWritable(Connection& c);
+  void Output(Connection& c, std::string_view frame_bytes);
+  void ProtocolError(Connection& c, std::string_view message);
+  void CloseConnection(Connection& c);
+  void ReapZombies();
+  void PumpConnection(Connection& c);
+  void FlushCompletedFrames(Connection& c);
+  void MaybeDispatch();
+  void OnBatchDone();
+  std::string BuildStatsResponse();
+};
+
+PolicyServer::PolicyServer(tg::ProtectionGraph graph, tg_hier::LevelAssignment levels,
+                           Options options)
+    : impl_(std::make_unique<Impl>(std::move(graph), std::move(levels),
+                                   std::move(options))) {}
+
+PolicyServer::~PolicyServer() { Stop(); }
+
+tg_util::Status PolicyServer::Start() { return impl_->Start(); }
+void PolicyServer::Stop() { impl_->Stop(); }
+int PolicyServer::tcp_port() const { return impl_->bound_tcp_port; }
+const std::string& PolicyServer::unix_path() const { return impl_->options.unix_path; }
+PolicyEngine& PolicyServer::engine() { return impl_->engine; }
+uint64_t PolicyServer::connections_accepted() const { return impl_->connections_accepted; }
+uint64_t PolicyServer::frames_received() const { return impl_->frames_received; }
+
+namespace {
+
+tg_util::Status Errno(const std::string& what) {
+  return tg_util::Status::Internal(what + ": " + std::strerror(errno));
+}
+
+int MakeListener(int domain) {
+  return ::socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+}
+
+}  // namespace
+
+tg_util::Status PolicyServer::Impl::Start() {
+  if (started) {
+    return tg_util::Status::FailedPrecondition("server already started");
+  }
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    return tg_util::Status::InvalidArgument("no listener configured");
+  }
+
+  epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    return Errno("epoll_create1");
+  }
+  wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    return Errno("eventfd");
+  }
+
+  auto add_fd = [&](int fd) -> tg_util::Status {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Errno("epoll_ctl add");
+    }
+    return tg_util::Status::Ok();
+  };
+  if (auto s = add_fd(wake_fd); !s.ok()) {
+    return s;
+  }
+
+  if (!options.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.unix_path.size() >= sizeof(addr.sun_path)) {
+      return tg_util::Status::InvalidArgument("unix socket path too long");
+    }
+    std::memcpy(addr.sun_path, options.unix_path.c_str(), options.unix_path.size() + 1);
+    ::unlink(options.unix_path.c_str());
+    unix_listen_fd = MakeListener(AF_UNIX);
+    if (unix_listen_fd < 0) {
+      return Errno("socket(AF_UNIX)");
+    }
+    if (::bind(unix_listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Errno("bind(" + options.unix_path + ")");
+    }
+    if (::listen(unix_listen_fd, 128) != 0) {
+      return Errno("listen(unix)");
+    }
+    if (auto s = add_fd(unix_listen_fd); !s.ok()) {
+      return s;
+    }
+  }
+
+  if (options.tcp_port >= 0) {
+    tcp_listen_fd = MakeListener(AF_INET);
+    if (tcp_listen_fd < 0) {
+      return Errno("socket(AF_INET)");
+    }
+    int one = 1;
+    ::setsockopt(tcp_listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options.tcp_port));
+    if (::bind(tcp_listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Errno("bind(127.0.0.1:" + std::to_string(options.tcp_port) + ")");
+    }
+    if (::listen(tcp_listen_fd, 128) != 0) {
+      return Errno("listen(tcp)");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(tcp_listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      return Errno("getsockname");
+    }
+    bound_tcp_port = static_cast<int>(ntohs(bound.sin_port));
+    if (auto s = add_fd(tcp_listen_fd); !s.ok()) {
+      return s;
+    }
+  }
+
+  started = true;
+  stop_flag.store(false);
+  dispatch_thread = std::thread([this] { DispatchMain(); });
+  loop_thread = std::thread([this] { LoopMain(); });
+  return tg_util::Status::Ok();
+}
+
+void PolicyServer::Impl::Stop() {
+  if (!started) {
+    // Never started (or Start failed): just release any bound fds.
+    for (int* fd : {&epoll_fd, &wake_fd, &unix_listen_fd, &tcp_listen_fd}) {
+      if (*fd >= 0) {
+        ::close(*fd);
+        *fd = -1;
+      }
+    }
+    return;
+  }
+  stop_flag.store(true);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  loop_thread.join();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    dispatcher_stop = true;
+  }
+  cv.notify_all();
+  dispatch_thread.join();
+
+  for (auto& [fd, conn] : conns) {
+    ::close(fd);
+  }
+  conns.clear();
+  zombies.clear();
+  for (int* fd : {&epoll_fd, &wake_fd, &unix_listen_fd, &tcp_listen_fd}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  if (!options.unix_path.empty()) {
+    ::unlink(options.unix_path.c_str());
+  }
+  started = false;
+}
+
+void PolicyServer::Impl::DispatchMain() {
+  while (true) {
+    std::vector<std::string> lines;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [this] { return have_work || dispatcher_stop; });
+      if (dispatcher_stop && !have_work) {
+        return;
+      }
+      lines = std::move(work_lines);
+      work_lines.clear();
+      have_work = false;
+    }
+    auto state = engine.pinned();
+    std::vector<std::string> responses;
+    {
+      tg_util::TraceSpan span(tg_util::TraceKind::kServer, lines.size(), state->epoch);
+      responses = engine.ExecuteReadBatch(state, lines);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      done_responses = std::move(responses);
+      have_done = true;
+    }
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+}
+
+void PolicyServer::Impl::LoopMain() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    int n = ::epoll_wait(epoll_fd, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // epoll itself failed; nothing sensible left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == wake_fd) {
+        uint64_t drain = 0;
+        while (::read(wake_fd, &drain, sizeof(drain)) > 0) {
+        }
+        bool done = false;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          done = have_done;
+        }
+        if (done) {
+          OnBatchDone();
+        }
+        continue;
+      }
+      if (fd == unix_listen_fd || fd == tcp_listen_fd) {
+        Accept(fd);
+        continue;
+      }
+      auto it = conns.find(fd);
+      if (it == conns.end()) {
+        continue;  // closed earlier in this event sweep
+      }
+      Connection& c = *it->second;
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(c);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) {
+        HandleReadable(c);
+      }
+      if (!c.closed && (mask & EPOLLOUT) != 0) {
+        HandleWritable(c);
+      }
+    }
+    if (stop_flag.load()) {
+      return;
+    }
+    MaybeDispatch();
+    ReapZombies();
+  }
+}
+
+void PolicyServer::Impl::UpdateInterest(Connection& c) {
+  if (c.closed) {
+    return;
+  }
+  uint32_t want = 0;
+  if (!c.paused_in && !c.close_after_flush) {
+    want |= EPOLLIN;
+  }
+  if (c.out_pending() > 0) {
+    want |= EPOLLOUT;
+  }
+  if (want == c.events) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = c.fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &ev) == 0) {
+    c.events = want;
+  }
+}
+
+void PolicyServer::Impl::Accept(int listen_fd) {
+  while (true) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error; epoll will re-arm
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->token = next_token++;
+    conn->events = EPOLLIN;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    ++connections_accepted;
+    Metrics().connections.Add();
+    conns.emplace(fd, std::move(conn));
+  }
+}
+
+void PolicyServer::Impl::HandleReadable(Connection& c) {
+  char buf[64 * 1024];
+  while (!c.closed && !c.close_after_flush) {
+    ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c.decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      std::string payload;
+      while (true) {
+        FrameDecoder::Result r = c.decoder.Next(&payload);
+        if (r == FrameDecoder::Result::kNeedMore) {
+          break;
+        }
+        if (r == FrameDecoder::Result::kError) {
+          ProtocolError(c, c.decoder.error());
+          break;
+        }
+        ++frames_received;
+        Metrics().frames.Add();
+        std::vector<std::string_view> lines = SplitRequestLines(payload);
+        if (lines.empty()) {
+          Output(c, EncodeFrame(""));  // empty frame: zero responses, kept paired
+          continue;
+        }
+        Frame frame;
+        frame.lines.assign(lines.begin(), lines.end());
+        frame.responses.resize(frame.lines.size());
+        frame.enqueue_ns = tg_util::MetricsEnabled() ? NowNs() : 0;
+        c.pending_lines += frame.lines.size();
+        c.frames.push_back(std::move(frame));
+      }
+      if (c.pending_lines > options.max_pending_lines && !c.paused_in) {
+        c.paused_in = true;
+      }
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        break;  // drained the socket buffer
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    CloseConnection(c);  // EOF or hard error: mid-request disconnect path
+    return;
+  }
+  if (!c.closed) {
+    PumpConnection(c);
+    UpdateInterest(c);
+  }
+}
+
+void PolicyServer::Impl::HandleWritable(Connection& c) {
+  while (c.out_pending() > 0) {
+    ssize_t n =
+        ::send(c.fd, c.outbuf.data() + c.out_consumed, c.out_pending(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_consumed += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    CloseConnection(c);
+    return;
+  }
+  if (c.out_consumed == c.outbuf.size()) {
+    c.outbuf.clear();
+    c.out_consumed = 0;
+    if (c.close_after_flush) {
+      CloseConnection(c);
+      return;
+    }
+  }
+  UpdateInterest(c);
+}
+
+void PolicyServer::Impl::Output(Connection& c, std::string_view frame_bytes) {
+  if (c.closed) {
+    return;
+  }
+  c.outbuf.append(frame_bytes.data(), frame_bytes.size());
+  if (c.out_pending() > options.max_output_bytes) {
+    Metrics().slow_reader_closes.Add();
+    CloseConnection(c);
+    return;
+  }
+  // Try an immediate send; fall back to EPOLLOUT for the remainder.
+  HandleWritable(c);
+}
+
+void PolicyServer::Impl::ProtocolError(Connection& c, std::string_view message) {
+  Metrics().protocol_errors.Add();
+  c.close_after_flush = true;  // answer, flush, then close; stop reading now
+  Output(c, EncodeFrame(ErrorResponse(message)));
+}
+
+void PolicyServer::Impl::CloseConnection(Connection& c) {
+  if (c.closed) {
+    return;
+  }
+  c.closed = true;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+  ::close(c.fd);
+  if (engine.AbortTxnIfOwner(c.token)) {
+    Metrics().txn_disconnect_aborts.Add();
+  }
+  auto it = conns.find(c.fd);
+  if (it != conns.end()) {
+    // Defer destruction: callers up the stack still hold a reference, and
+    // lines of this connection may sit in the accumulated or running batch
+    // (their results are dropped on arrival).  ReapZombies() frees the
+    // object once nothing references it.
+    zombies.push_back(std::move(it->second));
+    conns.erase(it);
+  }
+}
+
+void PolicyServer::Impl::ReapZombies() {
+  zombies.erase(std::remove_if(zombies.begin(), zombies.end(),
+                               [](const std::unique_ptr<Connection>& z) {
+                                 return z->inflight == 0;
+                               }),
+                zombies.end());
+}
+
+void PolicyServer::Impl::PumpConnection(Connection& c) {
+  // Walk the line queue in order: consecutive reads accumulate into the
+  // next batch; a write (or stats) executes serially once no earlier read
+  // of this connection is still in flight.
+  bool progressed = false;
+  for (auto frame_it = c.frames.begin(); frame_it != c.frames.end(); ++frame_it) {
+    Frame& f = *frame_it;
+    while (f.scheduled < f.lines.size()) {
+      if (accum_lines.size() >= options.max_batch * 2) {
+        break;  // plenty queued; resume after the next dispatch completes
+      }
+      const std::string& line = f.lines[f.scheduled];
+      const bool serial = IsWriteRequest(line) || IsStatsRequest(line);
+      if (serial) {
+        if (c.inflight > 0) {
+          break;  // order: earlier reads must answer first
+        }
+        std::string response;
+        if (IsStatsRequest(line)) {
+          response = BuildStatsResponse();
+        } else {
+          tg_util::TraceSpan span(tg_util::TraceKind::kServer, 0,
+                                  engine.authoritative_epoch());
+          response = engine.ExecuteWrite(line, c.token);
+        }
+        f.responses[f.scheduled] = std::move(response);
+        ++f.scheduled;
+        ++f.done;
+        progressed = true;
+        continue;
+      }
+      accum_lines.push_back(line);
+      accum_items.push_back(BatchItem{&c, &f, f.scheduled});
+      ++f.scheduled;
+      ++c.inflight;
+    }
+    if (f.scheduled < f.lines.size()) {
+      break;  // blocked on a write or the batch cap; later frames must wait
+    }
+  }
+  if (progressed) {
+    FlushCompletedFrames(c);
+  }
+}
+
+void PolicyServer::Impl::FlushCompletedFrames(Connection& c) {
+  const uint64_t now = tg_util::MetricsEnabled() ? NowNs() : 0;
+  while (!c.closed && !c.frames.empty()) {
+    Frame& f = c.frames.front();
+    if (f.done < f.lines.size()) {
+      break;
+    }
+    std::string payload;
+    for (size_t i = 0; i < f.responses.size(); ++i) {
+      if (i != 0) {
+        payload += '\n';
+      }
+      payload += f.responses[i];
+    }
+    if (f.enqueue_ns != 0) {
+      for (size_t i = 0; i < f.lines.size(); ++i) {
+        Metrics().request_ns.Observe(now - f.enqueue_ns);
+      }
+    }
+    c.pending_lines -= f.lines.size();
+    c.frames.pop_front();
+    Output(c, EncodeFrame(payload));
+  }
+  if (!c.closed && c.paused_in && c.pending_lines <= options.max_pending_lines / 2) {
+    c.paused_in = false;
+  }
+}
+
+void PolicyServer::Impl::MaybeDispatch() {
+  if (dispatcher_busy || accum_lines.empty()) {
+    return;
+  }
+  size_t take = std::min(accum_lines.size(), options.max_batch);
+  std::vector<std::string> lines(accum_lines.begin(),
+                                 accum_lines.begin() + static_cast<ptrdiff_t>(take));
+  dispatched_items.assign(accum_items.begin(),
+                          accum_items.begin() + static_cast<ptrdiff_t>(take));
+  accum_lines.erase(accum_lines.begin(), accum_lines.begin() + static_cast<ptrdiff_t>(take));
+  accum_items.erase(accum_items.begin(), accum_items.begin() + static_cast<ptrdiff_t>(take));
+
+  // Publish before pinning so every write admitted before this point is
+  // visible to the batch (read-your-writes per connection).
+  engine.PublishIfAdvanced();
+  Metrics().batches.Add();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    work_lines = std::move(lines);
+    have_work = true;
+  }
+  dispatcher_busy = true;
+  cv.notify_one();
+}
+
+void PolicyServer::Impl::OnBatchDone() {
+  std::vector<std::string> responses;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    responses = std::move(done_responses);
+    done_responses.clear();
+    have_done = false;
+  }
+  dispatcher_busy = false;
+
+  for (size_t i = 0; i < dispatched_items.size() && i < responses.size(); ++i) {
+    BatchItem& item = dispatched_items[i];
+    --item.conn->inflight;
+    if (item.conn->closed) {
+      continue;
+    }
+    item.frame->responses[item.line_idx] = std::move(responses[i]);
+    ++item.frame->done;
+  }
+  dispatched_items.clear();
+
+  // Sweep every live connection, not just the batch participants: a
+  // connection whose lines were queued past the accumulator cap gets no
+  // further socket events, so this is its only chance to be scheduled.
+  std::vector<int> fds;
+  fds.reserve(conns.size());
+  for (const auto& [fd, conn] : conns) {
+    fds.push_back(fd);
+  }
+  for (int fd : fds) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) {
+      continue;  // closed by an earlier sweep step
+    }
+    Connection& c = *it->second;
+    FlushCompletedFrames(c);
+    if (!c.closed) {
+      PumpConnection(c);  // a write blocked behind these reads can run now
+      UpdateInterest(c);
+    }
+  }
+  MaybeDispatch();
+}
+
+std::string PolicyServer::Impl::BuildStatsResponse() {
+  const tg_hier::AdmissionGate& gate = engine.gate();
+  std::ostringstream body;
+  body << "\"verb\":\"stats\",\"epoch\":" << engine.authoritative_epoch()
+       << ",\"published_epoch\":" << engine.pinned()->epoch
+       << ",\"connections\":" << conns.size()
+       << ",\"worker_threads\":" << engine.worker_threads()
+       << ",\"connections_accepted\":" << connections_accepted
+       << ",\"frames_received\":" << frames_received
+       << ",\"accepted\":" << gate.accepted_count() << ",\"vetoed\":" << gate.vetoed_count()
+       << ",\"rejected\":" << gate.rejected_count()
+       << ",\"txns_committed\":" << gate.txns_committed()
+       << ",\"txns_aborted\":" << gate.txns_aborted();
+  const tg_util::Histogram& h = Metrics().request_ns;
+  body << ",\"requests\":" << h.count() << ",\"request_ns_p50\":" << h.P50()
+       << ",\"request_ns_p95\":" << h.P95() << ",\"request_ns_p99\":" << h.P99();
+  return OkResponse(body.str());
+}
+
+}  // namespace tg_server

@@ -1,0 +1,93 @@
+// PolicyServer: the always-on policy daemon.
+//
+// One server owns a PolicyEngine and serves the length-framed wire
+// protocol (src/server/protocol.h) on a unix-domain socket, a loopback
+// TCP socket, or both.  The runtime is two threads plus the engine's
+// worker pool:
+//
+//   * The *event-loop thread* runs a single nonblocking epoll loop: it
+//     accepts connections, decodes frames, executes admit/txn (and stats)
+//     requests serially against the admission gate, flushes responses,
+//     and enforces backpressure.  It is the engine's designated writer
+//     thread.
+//   * The *dispatcher thread* executes read batches.  The loop thread
+//     accumulates consecutive read requests (across connections, up to
+//     Options::max_batch) and hands them over as one batch; the
+//     dispatcher pins the latest published EpochState and fans the lines
+//     over the engine's pool.  While a batch runs, the loop thread keeps
+//     accepting, reading, writing, and — crucially — keeps admitting
+//     writes, so reads never block writes and vice versa.
+//
+// Per-connection semantics:
+//   * Request lines answer strictly in order.  Consecutive reads from one
+//     connection may share a batch; a write waits until the connection's
+//     in-flight reads completed, and later lines wait for the write —
+//     which, combined with publish-before-pin, gives read-your-writes per
+//     connection.
+//   * A transaction opened over the wire belongs to its connection; other
+//     connections' admit/txn requests are refused while it is open, and a
+//     disconnect aborts it.
+//   * Backpressure: more than Options::max_pending_lines unanswered lines
+//     pauses reading from that connection; an output buffer exceeding
+//     Options::max_output_bytes (a reader slower than its answers) closes
+//     it.  Protocol errors get one framed error response, then the
+//     connection closes after the flush.
+//
+// Observability: kServer trace spans (one per dispatched batch, arg0 =
+// batch size; one per serial write, arg0 = 0; arg1 = pinned epoch), the
+// server.request_ns latency histogram, and server.* counters.
+
+#ifndef SRC_SERVER_SERVER_H_
+#define SRC_SERVER_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/server/engine.h"
+#include "src/util/status.h"
+
+namespace tg_server {
+
+class PolicyServer {
+ public:
+  struct Options {
+    std::string unix_path;  // empty = no unix-domain listener
+    int tcp_port = -1;      // -1 = no TCP listener; 0 = ephemeral loopback port
+    PolicyEngine::Options engine;
+    size_t max_batch = 1024;             // read lines per dispatched batch
+    size_t max_output_bytes = 4u << 20;  // slow-reader close threshold
+    size_t max_pending_lines = 4096;     // per-connection read pause threshold
+  };
+
+  PolicyServer(tg::ProtectionGraph graph, tg_hier::LevelAssignment levels,
+               Options options);
+  ~PolicyServer();
+
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  // Binds the configured listeners and starts the loop + dispatcher
+  // threads.  After an Ok return, tcp_port() is the actual bound port.
+  tg_util::Status Start();
+
+  // Stops the threads, closes every connection (aborting an open wire
+  // transaction), and unlinks the unix socket.  Idempotent.
+  void Stop();
+
+  int tcp_port() const;
+  const std::string& unix_path() const;
+  PolicyEngine& engine();
+
+  // Lifetime counters (loop-thread values, racy to read while running —
+  // exact after Stop()).
+  uint64_t connections_accepted() const;
+  uint64_t frames_received() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tg_server
+
+#endif  // SRC_SERVER_SERVER_H_

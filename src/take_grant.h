@@ -9,6 +9,8 @@
 //                 classification builders
 //   tg_sim      — generators, reference monitor, conspiracy adversaries,
 //                 paper-figure scenarios
+//   tg_server   — the always-on policy daemon: wire protocol, MVCC
+//                 epoch-pinned query engine, epoll server, blocking client
 
 #ifndef SRC_TAKE_GRANT_H_
 #define SRC_TAKE_GRANT_H_
@@ -35,6 +37,10 @@
 #include "src/hierarchy/restrictions.h"
 #include "src/hierarchy/secure.h"
 #include "src/hierarchy/shard_audit.h"
+#include "src/server/client.h"
+#include "src/server/engine.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
 #include "src/sim/adversary.h"
 #include "src/sim/generator.h"
 #include "src/sim/monitor.h"

@@ -41,6 +41,8 @@ const char* TraceKindName(TraceKind kind) {
       return "shard_audit";
     case TraceKind::kAdmission:
       return "admission";
+    case TraceKind::kServer:
+      return "server";
     case TraceKind::kQuery:
       return "query";
   }

@@ -60,6 +60,9 @@ enum class TraceKind : uint8_t {
   kAdmission,        // arg0 = admission event (0 accepted, 1 vetoed,
                      //        2 rejected, 3 txn commit, 4 txn abort),
                      // arg1 = decision sequence / transaction id
+  kServer,           // arg0 = requests in the dispatched batch (0 = one
+                     //        serially executed write), arg1 = the epoch
+                     //        the batch was pinned to
   kQuery,            // arg0 = QueryKind, arg1 = verdict / result count
 };
 

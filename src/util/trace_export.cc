@@ -37,6 +37,14 @@ ArgNames ArgNamesFor(TraceKind kind) {
       return {"lanes", "word_ops"};
     case TraceKind::kOverlayPatch:
       return {"journal_records", "vertices_patched"};
+    case TraceKind::kCondense:
+      return {"components", "quotient_edges"};
+    case TraceKind::kShardAudit:
+      return {"shards", "dirty_shards"};
+    case TraceKind::kAdmission:
+      return {"admission_event", "sequence"};
+    case TraceKind::kServer:
+      return {"batch_requests", "epoch"};
     case TraceKind::kQuery:
       return {"query_kind", "result"};
   }

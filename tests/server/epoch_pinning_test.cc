@@ -1,0 +1,218 @@
+// Concurrent epoch-pinning torture: N reader connections hammer can_knowf
+// queries while one writer commits admission transactions, and every
+// single response must be consistent with exactly one published epoch.
+//
+// The graph makes the check exact.  Subject `alpha` holds only a take
+// right on `relay`, and `relay` reads objects `b0..bK-1`:
+//
+//   alpha -t-> relay     relay -r-> b_i   (all in one level)
+//
+// De facto, alpha knows nothing: can_knowf(alpha, b_i) is false on the
+// initial graph.  The writer then commits, one wire transaction per i in
+// order, `take alpha relay b_i r` — after which alpha reads b_i directly
+// and can_knowf(alpha, b_i) is true.  Each take adds one explicit edge,
+// i.e. advances the graph epoch by exactly one, so with initial epoch E0
+// the verdict for b_i flips at epoch E0 + i + 1 and nowhere else:
+//
+//   can_knowf(alpha, b_i) == (response epoch >= E0 + i + 1)
+//
+// Readers assert that equality on every response.  A response computed
+// against a half-published snapshot, a stale cache surviving epoch
+// rebinding, or a batch mixing two epochs all break it.  The writer
+// independently asserts the commit-reported epochs march E0+1, E0+2, ...
+// so the formula itself is validated, not assumed.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+
+namespace tg_server {
+namespace {
+
+constexpr size_t kTakes = 40;     // committed transactions (epoch steps)
+constexpr size_t kReaders = 3;    // concurrent reader connections
+constexpr size_t kBatchLines = 32;  // pipelined queries per reader frame
+
+uint64_t EpochOf(const std::string& response) {
+  const std::string field = ExtractJsonField(response, "epoch");
+  return field.empty() ? 0 : std::stoull(field);
+}
+
+TEST(EpochPinningTest, EveryResponseConsistentWithExactlyOnePublishedEpoch) {
+  tg::ProtectionGraph graph;
+  tg::VertexId alpha = graph.AddSubject("alpha");
+  tg::VertexId relay = graph.AddSubject("relay");
+  ASSERT_TRUE(graph.AddExplicit(alpha, relay, tg::RightSet(tg::Right::kTake)).ok());
+  for (size_t i = 0; i < kTakes; ++i) {
+    tg::VertexId b = graph.AddObject("b" + std::to_string(i));
+    ASSERT_TRUE(graph.AddExplicit(relay, b, tg::RightSet(tg::Right::kRead)).ok());
+  }
+  tg_hier::LevelAssignment levels(graph.VertexCount(), 1);
+  for (tg::VertexId v = 0; v < static_cast<tg::VertexId>(graph.VertexCount()); ++v) {
+    levels.Assign(v, 0);
+  }
+  ASSERT_TRUE(levels.Finalize());
+
+  PolicyServer::Options options;
+  options.unix_path =
+      "/tmp/tg_epoch_pinning_" + std::to_string(::getpid()) + ".sock";
+  options.engine.threads = 4;  // several worker slots even on one core
+  PolicyServer server(std::move(graph), std::move(levels), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  PolicyClient probe;
+  ASSERT_TRUE(probe.ConnectUnix(server.unix_path()).ok());
+  auto initial = probe.Call("epoch");
+  ASSERT_TRUE(initial.ok()) << initial.status().ToString();
+  const uint64_t e0 = EpochOf(*initial);
+  const uint64_t e_final = e0 + kTakes;
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<size_t> writer_failures{0};
+  std::atomic<size_t> reader_failures{0};
+  std::atomic<size_t> responses_checked{0};
+  std::atomic<size_t> flips_observed{0};  // batches seeing both verdicts
+
+  std::thread writer([&] {
+    PolicyClient client;
+    if (!client.ConnectUnix(server.unix_path()).ok()) {
+      ++writer_failures;
+      writer_done.store(true);
+      return;
+    }
+    for (size_t i = 0; i < kTakes; ++i) {
+      auto batch = client.CallBatch({"txn begin",
+                                     "admit take alpha relay b" + std::to_string(i) + " r",
+                                     "txn commit"});
+      if (!batch.ok() || batch->size() != 3) {
+        ++writer_failures;
+        break;
+      }
+      for (const std::string& r : *batch) {
+        if (ExtractJsonField(r, "ok") != "true") {
+          ADD_FAILURE() << "writer step " << i << ": " << r;
+          ++writer_failures;
+        }
+      }
+      // Exactly one effective mutation per commit: the formula the readers
+      // rely on is enforced here, not assumed.
+      const uint64_t committed_epoch = EpochOf((*batch)[2]);
+      if (committed_epoch != e0 + i + 1) {
+        ADD_FAILURE() << "commit " << i << " reported epoch " << committed_epoch
+                      << ", expected " << (e0 + i + 1);
+        ++writer_failures;
+      }
+      if (ExtractJsonField((*batch)[2], "applied") != "1") {
+        ADD_FAILURE() << "commit " << i << " applied != 1: " << (*batch)[2];
+        ++writer_failures;
+      }
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      PolicyClient client;
+      if (!client.ConnectUnix(server.unix_path()).ok()) {
+        ++reader_failures;
+        return;
+      }
+      uint64_t lcg = 0x9e3779b97f4a7c15ull * (t + 1);  // per-thread query mix
+      uint64_t last_epoch = 0;
+      // Keep querying until the writer finished, then one more sweep so the
+      // final epoch is exercised too.
+      for (bool final_pass = false;;) {
+        std::vector<std::string> requests;
+        std::vector<size_t> targets;
+        requests.reserve(kBatchLines);
+        for (size_t q = 0; q < kBatchLines; ++q) {
+          lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+          const size_t i = final_pass ? q % kTakes : (lcg >> 33) % kTakes;
+          targets.push_back(i);
+          requests.push_back("can_knowf alpha b" + std::to_string(i));
+        }
+        auto responses = client.CallBatch(requests);
+        if (!responses.ok() || responses->size() != requests.size()) {
+          ++reader_failures;
+          return;
+        }
+        uint64_t frame_epoch = 0;
+        bool saw_true = false, saw_false = false;
+        for (size_t q = 0; q < responses->size(); ++q) {
+          const std::string& r = (*responses)[q];
+          const uint64_t epoch = EpochOf(r);
+          const std::string verdict = ExtractJsonField(r, "verdict");
+          const bool expect_true = epoch >= e0 + targets[q] + 1;
+          if (ExtractJsonField(r, "ok") != "true" ||
+              verdict != (expect_true ? "true" : "false")) {
+            ADD_FAILURE() << "reader " << t << ": verdict inconsistent with epoch: " << r
+                          << " (flip epoch " << (e0 + targets[q] + 1) << ")";
+            ++reader_failures;
+          }
+          (verdict == "true" ? saw_true : saw_false) = true;
+          // One pipelined frame answers against one pinned snapshot.
+          if (q == 0) {
+            frame_epoch = epoch;
+          } else if (epoch != frame_epoch) {
+            ADD_FAILURE() << "reader " << t << ": one frame, two epochs (" << frame_epoch
+                          << " vs " << epoch << ")";
+            ++reader_failures;
+          }
+          // Epochs never exceed what the writer created, and never regress
+          // across this connection's successive frames.
+          if (epoch > e_final || epoch < last_epoch) {
+            ADD_FAILURE() << "reader " << t << ": epoch " << epoch << " outside ["
+                          << last_epoch << ", " << e_final << "]";
+            ++reader_failures;
+          }
+          ++responses_checked;
+        }
+        if (saw_true && saw_false) {
+          ++flips_observed;
+        }
+        last_epoch = frame_epoch;
+        if (final_pass) {
+          return;
+        }
+        if (writer_done.load()) {
+          final_pass = true;
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(writer_failures.load(), 0u);
+  EXPECT_EQ(reader_failures.load(), 0u);
+  EXPECT_GE(responses_checked.load(), kReaders * kBatchLines) << "readers barely ran";
+
+  // After everything committed, the next read pins the final epoch and all
+  // verdicts are true.
+  std::vector<std::string> all;
+  for (size_t i = 0; i < kTakes; ++i) {
+    all.push_back("can_knowf alpha b" + std::to_string(i));
+  }
+  auto settled = probe.CallBatch(all);
+  ASSERT_TRUE(settled.ok()) << settled.status().ToString();
+  for (const std::string& r : *settled) {
+    EXPECT_EQ(ExtractJsonField(r, "verdict"), "true") << r;
+    EXPECT_EQ(EpochOf(r), e_final) << r;
+  }
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace tg_server

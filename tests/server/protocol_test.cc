@@ -1,0 +1,300 @@
+#include "src/server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tg_server {
+namespace {
+
+using tg::ProtectionGraph;
+using tg::Right;
+using tg::RuleKind;
+
+// ---- EncodeFrame ----
+
+TEST(EncodeFrameTest, LengthThenPayloadThenNewline) {
+  EXPECT_EQ(EncodeFrame("ping"), "4\nping\n");
+  EXPECT_EQ(EncodeFrame("a\nb"), "3\na\nb\n");
+  EXPECT_EQ(EncodeFrame(""), "0\n\n");
+}
+
+// ---- FrameDecoder ----
+
+TEST(FrameDecoderTest, DecodesOneFrame) {
+  FrameDecoder d;
+  d.Feed(EncodeFrame("can_know a b"));
+  std::string payload;
+  ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(payload, "can_know a b");
+  EXPECT_EQ(d.Next(&payload), FrameDecoder::Result::kNeedMore);
+  EXPECT_EQ(d.buffered_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, DecodesPipelinedFramesFromOneFeed) {
+  FrameDecoder d;
+  d.Feed(EncodeFrame("ping") + EncodeFrame("epoch") + EncodeFrame("a\nb\nc"));
+  std::string payload;
+  ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(payload, "ping");
+  ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(payload, "epoch");
+  ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(payload, "a\nb\nc");
+  EXPECT_EQ(d.Next(&payload), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(FrameDecoderTest, ReassemblesByteAtATime) {
+  const std::string wire = EncodeFrame("levels");
+  FrameDecoder d;
+  std::string payload;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    d.Feed(std::string_view(&wire[i], 1));
+    EXPECT_EQ(d.Next(&payload), FrameDecoder::Result::kNeedMore) << "at byte " << i;
+  }
+  d.Feed(std::string_view(&wire[wire.size() - 1], 1));
+  ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(payload, "levels");
+}
+
+TEST(FrameDecoderTest, EmptyPayloadFrame) {
+  FrameDecoder d;
+  d.Feed("0\n\n");
+  std::string payload;
+  ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(FrameDecoderTest, RejectsOversizedFrame) {
+  FrameDecoder d;
+  d.Feed(std::to_string(kMaxFrameBytes + 1) + "\n");
+  std::string payload;
+  ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kError);
+  EXPECT_NE(d.error().find("exceeds limit"), std::string::npos) << d.error();
+}
+
+TEST(FrameDecoderTest, RejectsEightDigitLength) {
+  FrameDecoder d;
+  d.Feed("12345678\n");
+  std::string payload;
+  EXPECT_EQ(d.Next(&payload), FrameDecoder::Result::kError);
+}
+
+TEST(FrameDecoderTest, RejectsRunawayLengthLineWithoutNewline) {
+  // More than 8 bytes and still no '\n': malformed however it continues.
+  FrameDecoder d;
+  d.Feed("123456789");
+  std::string payload;
+  EXPECT_EQ(d.Next(&payload), FrameDecoder::Result::kError);
+}
+
+TEST(FrameDecoderTest, RejectsNonNumericLength) {
+  FrameDecoder d;
+  d.Feed("12a\n");
+  std::string payload;
+  EXPECT_EQ(d.Next(&payload), FrameDecoder::Result::kError);
+}
+
+TEST(FrameDecoderTest, RejectsEmptyLengthLine) {
+  FrameDecoder d;
+  d.Feed("\n");
+  std::string payload;
+  EXPECT_EQ(d.Next(&payload), FrameDecoder::Result::kError);
+}
+
+TEST(FrameDecoderTest, RejectsPayloadNotTerminatedByNewline) {
+  // Length says 4, but the byte after "ping" is 'X', not '\n'.
+  FrameDecoder d;
+  d.Feed("4\npingX");
+  std::string payload;
+  ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kError);
+  EXPECT_NE(d.error().find("not terminated"), std::string::npos) << d.error();
+}
+
+TEST(FrameDecoderTest, TruncatedFrameIsNeedMoreNotError) {
+  FrameDecoder d;
+  d.Feed("100\npartial payload");
+  std::string payload;
+  EXPECT_EQ(d.Next(&payload), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(FrameDecoderTest, StaysPoisonedAfterError) {
+  FrameDecoder d;
+  d.Feed("bogus\n");
+  std::string payload;
+  ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kError);
+  // A well-formed frame after the poison pill must not resurrect it.
+  d.Feed(EncodeFrame("ping"));
+  EXPECT_EQ(d.Next(&payload), FrameDecoder::Result::kError);
+}
+
+TEST(FrameDecoderTest, CompactsConsumedBytesAcrossManyFrames) {
+  // Long-lived pipelined connection: the buffer must not grow without
+  // bound while frames are consumed as they arrive.
+  FrameDecoder d;
+  const std::string wire = EncodeFrame("can_know alice doc");
+  std::string payload;
+  for (int i = 0; i < 10000; ++i) {
+    d.Feed(wire);
+    ASSERT_EQ(d.Next(&payload), FrameDecoder::Result::kFrame);
+  }
+  EXPECT_EQ(d.buffered_bytes(), 0u);
+}
+
+// ---- SplitRequestLines ----
+
+TEST(SplitRequestLinesTest, EmptyPayloadIsNoRequests) {
+  EXPECT_TRUE(SplitRequestLines("").empty());
+}
+
+TEST(SplitRequestLinesTest, SplitsOnNewlines) {
+  auto lines = SplitRequestLines("ping\nepoch\ncan_know a b");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "ping");
+  EXPECT_EQ(lines[1], "epoch");
+  EXPECT_EQ(lines[2], "can_know a b");
+}
+
+TEST(SplitRequestLinesTest, PreservesInteriorEmptyLines) {
+  // Empty lines stay (they answer as errors), keeping line/response
+  // pairing intact.
+  auto lines = SplitRequestLines("ping\n\nepoch");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+}
+
+TEST(SplitRequestLinesTest, TrailingNewlineYieldsTrailingEmptyRequest) {
+  auto lines = SplitRequestLines("ping\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "ping");
+  EXPECT_EQ(lines[1], "");
+}
+
+// ---- IsWriteRequest ----
+
+TEST(IsWriteRequestTest, ClassifiesVerbs) {
+  EXPECT_TRUE(IsWriteRequest("admit take a b c r"));
+  EXPECT_TRUE(IsWriteRequest("txn begin"));
+  EXPECT_TRUE(IsWriteRequest("  txn commit"));  // leading whitespace tolerated
+  EXPECT_FALSE(IsWriteRequest("can_know a b"));
+  EXPECT_FALSE(IsWriteRequest("ping"));
+  EXPECT_FALSE(IsWriteRequest("admitx y"));  // prefix is not the verb
+  EXPECT_FALSE(IsWriteRequest(""));
+  EXPECT_FALSE(IsWriteRequest("wholly unknown verb"));
+}
+
+// ---- ParseRuleClause ----
+
+class ParseRuleClauseTest : public ::testing::Test {
+ protected:
+  ParseRuleClauseTest() {
+    a_ = g_.AddSubject("a");
+    b_ = g_.AddSubject("b");
+    doc_ = g_.AddObject("doc");
+  }
+
+  static std::vector<std::string_view> Tokens(std::initializer_list<std::string_view> t) {
+    return std::vector<std::string_view>(t);
+  }
+
+  ProtectionGraph g_;
+  tg::VertexId a_, b_, doc_;
+};
+
+TEST_F(ParseRuleClauseTest, ParsesTakeAndGrant) {
+  auto take = ParseRuleClause(Tokens({"take", "a", "b", "doc", "rw"}), g_);
+  ASSERT_TRUE(take.ok()) << take.status().ToString();
+  EXPECT_EQ(take->kind, RuleKind::kTake);
+  EXPECT_EQ(take->x, a_);
+  EXPECT_EQ(take->y, b_);
+  EXPECT_EQ(take->z, doc_);
+  EXPECT_TRUE(take->rights.Has(Right::kRead));
+  EXPECT_TRUE(take->rights.Has(Right::kWrite));
+
+  auto grant = ParseRuleClause(Tokens({"grant", "a", "b", "doc", "g"}), g_);
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant->kind, RuleKind::kGrant);
+}
+
+TEST_F(ParseRuleClauseTest, ParsesCreateWithAndWithoutName) {
+  auto anon = ParseRuleClause(Tokens({"create", "a", "object", "rw"}), g_);
+  ASSERT_TRUE(anon.ok());
+  EXPECT_EQ(anon->kind, RuleKind::kCreate);
+  EXPECT_EQ(anon->create_kind, tg::VertexKind::kObject);
+  EXPECT_TRUE(anon->new_name.empty());
+
+  auto named = ParseRuleClause(Tokens({"create", "b", "subject", "r", "fresh"}), g_);
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->create_kind, tg::VertexKind::kSubject);
+  EXPECT_EQ(named->new_name, "fresh");
+}
+
+TEST_F(ParseRuleClauseTest, ParsesRemoveAndDeFacto) {
+  auto remove = ParseRuleClause(Tokens({"remove", "a", "doc", "r"}), g_);
+  ASSERT_TRUE(remove.ok());
+  EXPECT_EQ(remove->kind, RuleKind::kRemove);
+
+  auto post = ParseRuleClause(Tokens({"post", "a", "b", "doc"}), g_);
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->kind, RuleKind::kPost);
+  auto spy = ParseRuleClause(Tokens({"spy", "a", "b", "doc"}), g_);
+  ASSERT_TRUE(spy.ok());
+  EXPECT_EQ(spy->kind, RuleKind::kSpy);
+}
+
+TEST_F(ParseRuleClauseTest, RejectsMalformedClauses) {
+  EXPECT_FALSE(ParseRuleClause(Tokens({}), g_).ok());
+  EXPECT_FALSE(ParseRuleClause(Tokens({"steal", "a", "b", "doc", "r"}), g_).ok());
+  EXPECT_FALSE(ParseRuleClause(Tokens({"take", "a", "b", "doc"}), g_).ok());  // arity
+  EXPECT_FALSE(ParseRuleClause(Tokens({"take", "nobody", "b", "doc", "r"}), g_).ok());
+  EXPECT_FALSE(ParseRuleClause(Tokens({"take", "a", "b", "doc", "qq"}), g_).ok());
+  EXPECT_FALSE(ParseRuleClause(Tokens({"take", "a", "b", "doc", ""}), g_).ok());
+  EXPECT_FALSE(ParseRuleClause(Tokens({"create", "a", "gizmo", "r"}), g_).ok());
+  EXPECT_FALSE(ParseRuleClause(Tokens({"remove", "a", "doc"}), g_).ok());
+  EXPECT_FALSE(ParseRuleClause(Tokens({"post", "a", "b"}), g_).ok());
+}
+
+// ---- Response builders / field extraction ----
+
+TEST(ResponseTest, OkAndErrorShapes) {
+  EXPECT_EQ(OkResponse(""), "{\"ok\":true}");
+  EXPECT_EQ(OkResponse("\"verb\":\"ping\""), "{\"ok\":true,\"verb\":\"ping\"}");
+  EXPECT_EQ(ErrorResponse("boom"), "{\"ok\":false,\"error\":\"boom\"}");
+}
+
+TEST(ResponseTest, ErrorResponseEscapesMessage) {
+  const std::string r = ErrorResponse("bad \"name\"\n");
+  EXPECT_NE(r.find("\\\"name\\\""), std::string::npos) << r;
+  EXPECT_EQ(r.find('\n'), std::string::npos) << "responses must be single-line";
+}
+
+TEST(ExtractJsonFieldTest, ExtractsScalarsStringsAndNested) {
+  const std::string json =
+      "{\"ok\":true,\"epoch\":42,\"x\":\"al\\\"ice\",\"decision\":{\"outcome\":\"accepted\","
+      "\"seq\":7},\"sample\":[1,2],\"last\":false}";
+  EXPECT_EQ(ExtractJsonField(json, "ok"), "true");
+  EXPECT_EQ(ExtractJsonField(json, "epoch"), "42");
+  EXPECT_EQ(ExtractJsonField(json, "x"), "\"al\\\"ice\"");
+  EXPECT_EQ(ExtractJsonField(json, "decision"), "{\"outcome\":\"accepted\",\"seq\":7}");
+  EXPECT_EQ(ExtractJsonField(json, "sample"), "[1,2]");
+  EXPECT_EQ(ExtractJsonField(json, "last"), "false");
+  EXPECT_EQ(ExtractJsonField(json, "absent"), "");
+}
+
+TEST(ExtractJsonFieldTest, NestedKeysDoNotShadowTopLevelOnes) {
+  // An admit response embeds an AdmissionDecision whose own "epoch"/"txn"
+  // precede the response's; only the depth-1 key may answer.
+  const std::string json =
+      "{\"ok\":true,\"decision\":{\"epoch\":9,\"txn\":3,\"outcome\":\"ACCEPTED\"},"
+      "\"epoch\":10}";
+  EXPECT_EQ(ExtractJsonField(json, "epoch"), "10");
+  EXPECT_EQ(ExtractJsonField(json, "txn"), "");
+  EXPECT_EQ(ExtractJsonField(json, "outcome"), "");
+  // A string value that happens to spell a key/colon pair is not a match.
+  EXPECT_EQ(ExtractJsonField("{\"msg\":\"fake \\\"epoch\\\": here\",\"epoch\":5}", "epoch"),
+            "5");
+}
+
+}  // namespace
+}  // namespace tg_server
