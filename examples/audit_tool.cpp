@@ -1,7 +1,7 @@
 // audit_tool: command-line security analyzer for .tgg protection graphs.
 //
 //   audit_tool <graph.tgg> [--levels file.lvl] [--dot out.dot] [--metrics-json FILE]
-//              [--trace-json FILE] [--provenance-json FILE]
+//              [--trace-json FILE] [--provenance-json FILE] [--channels-json FILE]
 //   audit_tool --demo
 //
 // Loads a graph (or builds a demo), computes islands and rwtg-levels, runs
@@ -16,13 +16,21 @@
 // Chrome trace_event JSON after the audit.  With --provenance-json, writes
 // one provenance record per explained can_know query (JSONL, one object
 // per line) covering every subject pair plus the designer-level CheckSecure
-// when --levels is given.
+// when --levels is given.  With --channels-json, writes one ExplainChannel
+// provenance record (JSONL) per subject pair carrying a Theorem 5.2
+// bridge/connection word — each record names the word type, the pivot
+// edge, and a replay-verified witness path; with --levels the pairs are
+// the designer-level cross-level channels, otherwise every channel-
+// connected subject pair (capped).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/analysis/provenance.h"
 #include "src/take_grant.h"
@@ -56,6 +64,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   std::string provenance_path;
+  std::string channels_path;
 
   if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
     graph = DemoGraph();
@@ -69,7 +78,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <graph.tgg> [--levels file.lvl] [--dot out.dot]"
                  " [--metrics-json FILE] [--trace-json FILE] [--provenance-json FILE]"
-                 " | --demo\n",
+                 " [--channels-json FILE] | --demo\n",
                  argv[0]);
     return 2;
   }
@@ -89,6 +98,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--provenance-json") == 0) {
       provenance_path = argv[i + 1];
     }
+    if (std::strcmp(argv[i], "--channels-json") == 0) {
+      channels_path = argv[i + 1];
+    }
   }
 
   std::printf("loaded: %s\n\n", graph.Summary().c_str());
@@ -98,6 +110,7 @@ int main(int argc, char** argv) {
   // computed levels, and the knowable-set report below.
   tg_analysis::AnalysisCache cache;
 
+  std::optional<tg_hier::LevelAssignment> designer_levels;
   if (!levels_path.empty()) {
     auto designer = tg_hier::LoadLevelsFile(levels_path, graph);
     if (!designer.ok()) {
@@ -122,6 +135,7 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", violation.detail.c_str());
     }
     std::printf("\n");
+    designer_levels = std::move(designer).value();
   }
 
   // Islands.
@@ -253,6 +267,45 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\nwrote %s (%zu provenance record(s))\n", provenance_path.c_str(), written);
+  }
+
+  if (!channels_path.empty()) {
+    // One ExplainChannel JSONL record per channel-connected subject pair:
+    // with --levels the pairs are the designer-level cross-level channels
+    // (each already typed by the audit), otherwise every ordered subject
+    // pair is probed, capped like --provenance-json.  Records with a true
+    // verdict carry the word type, pivot edge, and replay-verified witness.
+    constexpr size_t kMaxRecords = 64;
+    std::ofstream out(channels_path);
+    if (!out) {
+      return Fail("cannot write " + channels_path);
+    }
+    std::vector<std::pair<tg::VertexId, tg::VertexId>> pairs;
+    if (designer_levels.has_value()) {
+      for (const auto& channel :
+           tg_hier::FindTypedCrossLevelChannels(graph, *designer_levels, cache, kMaxRecords)) {
+        pairs.emplace_back(channel.channel.from, channel.channel.to);
+      }
+    } else {
+      for (tg::VertexId x : audit_subjects) {
+        for (tg::VertexId y : audit_subjects) {
+          if (x != y && pairs.size() < kMaxRecords) {
+            pairs.emplace_back(x, y);
+          }
+        }
+      }
+    }
+    size_t written = 0;
+    for (const auto& [u, v] : pairs) {
+      tg_analysis::QueryProvenance record = tg_analysis::ExplainChannel(graph, u, v, &cache);
+      if (!record.verdict) {
+        continue;  // probe pairs without a channel stay out of the export
+      }
+      out << record.ToJson() << "\n";
+      tg_analysis::RecordProvenance(record);
+      ++written;
+    }
+    std::printf("\nwrote %s (%zu channel record(s))\n", channels_path.c_str(), written);
   }
 
   if (!metrics_path.empty()) {

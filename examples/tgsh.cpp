@@ -22,6 +22,9 @@
 //   know X Y                        can_know?    knowf X Y for de facto only
 //   islands                         print the island decomposition
 //   levels                          print computed rwtg-levels
+//   channels [MAX] [F.lvl]          typed cross-level channels (Theorem 5.2)
+//                                   against F.lvl (or computed rwtg-levels):
+//                                   word type, pivot edge, verified witness
 //   saturate                        apply de facto rules to fixpoint
 //   show                            print the graph (.tgg form)
 //   dot FILE                        export Graphviz
@@ -31,6 +34,7 @@
 //   trace export FILE               write Perfetto/Chrome trace_event JSON
 //   profile [reset]                 per-span-kind latency percentiles (p50/p95/p99)
 //   explain know|knowf|share ...    run a predicate and print its provenance record
+//   explain channel U V             type the U->V channel: word, pivot, replayed path
 //   journal [N]                     last N mutation-journal records (default 20)
 //   admit on [edge|conn] [F.lvl]    enforce the Theorem-5.5 restriction live:
 //                                   levels from F.lvl (or computed rwtg-levels)
@@ -147,10 +151,12 @@ void PrintHelp() {
       "graph:    subject N | object N | edge S D R | implicit S D R | show | save F | load F\n"
       "rules:    take X Y Z R | grant X Y Z R | create X subject|object R [N] |\n"
       "          remove X Y R | post/pass/spy/find X Y Z | saturate\n"
-      "queries:  share R X Y | steal R X Y | know X Y | knowf X Y | islands | levels\n"
+      "queries:  share R X Y | steal R X Y | know X Y | knowf X Y | islands | levels |\n"
+      "          channels [MAX] [FILE.lvl]\n"
       "output:   dot FILE\n"
       "observe:  stats [reset] | trace [N] | trace export FILE | profile [reset] |\n"
-      "          explain know X Y | explain knowf X Y | explain share R X Y | journal [N]\n"
+      "          explain know X Y | explain knowf X Y | explain share R X Y |\n"
+      "          explain channel U V | journal [N]\n"
       "enforce:  admit on [edge|conn] [LEVELS.lvl] | admit off | admit status |\n"
       "          admit log [N] |\n"
       "          txn begin | txn commit | txn abort | txn status\n"
@@ -483,6 +489,56 @@ void Shell::Execute(const std::string& raw) {
       }
       std::printf("\n");
     }
+  } else if (cmd == "channels") {
+    // channels [MAX] [FILE.lvl] — without a levels file the computed
+    // rwtg-levels are used, which are secure by construction, so the file
+    // form is how you audit a *designer's* assignment for leaks.
+    if (tok.size() > 3) {
+      std::printf("error: channels [MAX] [FILE.lvl]\n");
+      return;
+    }
+    size_t max_channels = 0;
+    std::string levels_file;
+    for (size_t a = 1; a < tok.size(); ++a) {
+      const std::string arg(tok[a]);
+      if (!arg.empty() && arg[0] >= '0' && arg[0] <= '9') {
+        max_channels = static_cast<size_t>(std::atol(arg.c_str()));
+      } else {
+        levels_file = arg;
+      }
+    }
+    tg_hier::LevelAssignment levels;
+    if (!levels_file.empty()) {
+      auto loaded = tg_hier::LoadLevelsFile(levels_file, graph);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+        return;
+      }
+      levels = std::move(loaded).value();
+    } else {
+      levels = tg_hier::ComputeRwtgLevels(graph, cache);
+    }
+    tg_hier::AssignObjectLevels(graph, levels);
+    const std::vector<tg_hier::TypedCrossLevelChannel> channels =
+        tg_hier::FindTypedCrossLevelChannels(graph, levels, cache, max_channels);
+    for (const tg_hier::TypedCrossLevelChannel& c : channels) {
+      std::printf("%s (%s) -> %s (%s) word=%s%s%s replay=%s\n",
+                  graph.NameOf(c.channel.from).c_str(),
+                  levels.LevelName(c.from_level).c_str(),
+                  graph.NameOf(c.channel.to).c_str(), levels.LevelName(c.to_level).c_str(),
+                  tg_analysis::ChannelWordTypeName(c.channel.word_type),
+                  c.channel.pivot_src != tg::kInvalidVertex ? " pivot=" : "",
+                  c.channel.pivot_src != tg::kInvalidVertex
+                      ? (graph.NameOf(c.channel.pivot_src) + "->" +
+                         graph.NameOf(c.channel.pivot_dst))
+                            .c_str()
+                      : "",
+                  c.channel.replay_verified ? "VERIFIED" : "FAILED");
+      std::printf("  %s\n", c.channel.path.ToString(graph).c_str());
+    }
+    if (channels.empty()) {
+      std::printf("(no cross-level channels: secure by Theorem 5.2)\n");
+    }
   } else if (cmd == "saturate") {
     if (gate_blocks()) {
       return;
@@ -508,9 +564,10 @@ void Shell::Execute(const std::string& raw) {
                 cache.entry_count(), cache.max_entries(), cache.hits(), cache.misses(),
                 cache.evictions());
   } else if (cmd == "explain") {
-    // explain know X Y | explain knowf X Y | explain share R X Y
+    // explain know X Y | explain knowf X Y | explain share R X Y |
+    // explain channel U V
     if (tok.size() < 2) {
-      std::printf("error: explain know|knowf|share ...\n");
+      std::printf("error: explain know|knowf|share|channel ...\n");
       return;
     }
     const std::string_view what = tok[1];
@@ -523,6 +580,13 @@ void Shell::Execute(const std::string& raw) {
       }
       record = what == "know" ? tg_analysis::ExplainCanKnow(graph, x, y, &cache)
                               : tg_analysis::ExplainCanKnowF(graph, x, y);
+    } else if (what == "channel" && tok.size() == 4) {
+      tg::VertexId u = Resolve(tok[2]);
+      tg::VertexId v = Resolve(tok[3]);
+      if (u == tg::kInvalidVertex || v == tg::kInvalidVertex) {
+        return;
+      }
+      record = tg_analysis::ExplainChannel(graph, u, v, &cache);
     } else if (what == "share" && tok.size() == 5) {
       auto right = ResolveRight(tok[2]);
       tg::VertexId x = Resolve(tok[3]);
@@ -532,7 +596,9 @@ void Shell::Execute(const std::string& raw) {
       }
       record = tg_analysis::ExplainCanShare(graph, *right, x, y);
     } else {
-      std::printf("error: explain know X Y | explain knowf X Y | explain share R X Y\n");
+      std::printf(
+          "error: explain know X Y | explain knowf X Y | explain share R X Y | "
+          "explain channel U V\n");
       return;
     }
     std::printf("%s", record.ToText().c_str());

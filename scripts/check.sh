@@ -37,8 +37,8 @@ if [ ! -f build/CMakeCache.txt ]; then
   cmake -B build >/dev/null
 fi
 cmake --build build -j "$jobs" \
-  --target bench_allpairs bench_incremental bench_batch bench_scale bench_admission \
-           bench_server policy_server policy_client >/dev/null
+  --target bench_allpairs bench_incremental bench_batch bench_scale bench_bridges \
+           bench_admission bench_server policy_server policy_client audit_tool >/dev/null
 
 # Benchmark artifacts record the machine context; warn loudly when this
 # run's numbers would come from a single effective core (TG_THREADS=1 or a
@@ -55,7 +55,7 @@ if [ "$effective_threads" -le 1 ]; then
 fi
 
 ctest --test-dir build \
-  -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke|bench_scale_smoke|bench_admission_smoke|bench_server_smoke|policy_server_roundtrip' \
+  -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke|bench_scale_smoke|bench_bridges_smoke|bench_admission_smoke|bench_server_smoke|policy_server_roundtrip' \
   --output-on-failure
 
 # Trace-export gate: run the batch smoke with the Perfetto exporter on and
@@ -70,4 +70,17 @@ else
   echo "validate_trace: python3 not found, skipping trace validation"
 fi
 
-echo "=== all sanitizer checks passed, bench smoke and trace export ok ==="
+# Channel-export gate: run the audit tool's typed-channel probe on the
+# demo graph (one planted channel) and validate the ExplainChannel JSONL —
+# every record must carry a Theorem 5.2 word type, a replay-verified
+# witness, and a rooted single-query span tree.
+echo "=== channel export validation ==="
+channels_out="build/audit_tool_check_channels.jsonl"
+(cd build && ./examples/audit_tool --demo --channels-json "$(basename "$channels_out")" >/dev/null)
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/validate_trace.py --channels "$channels_out"
+else
+  echo "validate_trace: python3 not found, skipping channel validation"
+fi
+
+echo "=== all sanitizer checks passed, bench smoke, trace and channel exports ok ==="

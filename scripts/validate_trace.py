@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Validate a Chrome/Perfetto trace_event JSON export.
+"""Validate a Chrome/Perfetto trace_event JSON export, or (with --channels)
+an ExplainChannel provenance JSONL export.
 
 Usage: validate_trace.py TRACE.json [TRACE.json ...]
+       validate_trace.py --channels CHANNELS.jsonl [CHANNELS.jsonl ...]
 
-Checks the shape that chrome://tracing and ui.perfetto.dev require of the
-object format emitted by tg_util::RenderChromeTraceJson:
+Default mode checks the shape that chrome://tracing and ui.perfetto.dev
+require of the object format emitted by tg_util::RenderChromeTraceJson:
 
   * the document is a JSON object with a "traceEvents" array;
   * every event is an object with string "name"/"ph" and integer-or-float
@@ -16,6 +18,21 @@ object format emitted by tg_util::RenderChromeTraceJson:
   * at least one span event exists (an empty trace usually means the ring
     was never fed -- treat it as a regression, not a pass).
 
+--channels mode checks the JSONL emitted by audit_tool --channels-json
+(one tg_analysis::ExplainChannel record per line):
+
+  * every line is a JSON object with predicate "channel", two args, a
+    boolean verdict, and a numeric graph epoch;
+  * true-verdict records carry a "channel" object naming one of the seven
+    Theorem 5.2 word types (non-empty "word"), and a "witness" object whose
+    replay verdict ("verified") is present and true -- an exported channel
+    whose witness did not replay is a regression;
+  * each record's "spans" form a rooted single-query tree: unique span
+    ids, exactly one root (parent 0, kind "query"), and every parent link
+    resolving within the record (no cycles, no orphans);
+  * at least one record exists (an empty export from a graph with planted
+    channels means the probe never ran).
+
 Exits 0 when every file validates, 1 with a per-file diagnostic otherwise.
 No third-party imports: stdlib json only.
 """
@@ -23,10 +40,105 @@ No third-party imports: stdlib json only.
 import json
 import sys
 
+# The seven bridge / connection word types of Theorem 5.2, as rendered by
+# tg_analysis::ChannelWordTypeName.
+CHANNEL_WORDS = {
+    "t>*",
+    "t<*",
+    "t>* g> t<*",
+    "t>* g< t<*",
+    "t>* r>",
+    "w< t<*",
+    "t>* r> w< t<*",
+}
+
 
 def fail(path, message):
     print(f"validate_trace: {path}: {message}", file=sys.stderr)
     return False
+
+
+def validate_span_tree(path, where, spans):
+    """One provenance record's spans: a rooted tree with resolvable parents."""
+    if not isinstance(spans, list) or not spans:
+        return fail(path, f"{where}: missing or empty \"spans\" array")
+    by_span = {}
+    roots = 0
+    for j, span in enumerate(spans):
+        if not isinstance(span, dict):
+            return fail(path, f"{where}: spans[{j}] not an object")
+        for key in ("span", "parent"):
+            if not isinstance(span.get(key), int):
+                return fail(path, f'{where}: spans[{j}] missing integer "{key}"')
+        if span["span"] in by_span:
+            return fail(path, f"{where}: duplicate span id {span['span']}")
+        by_span[span["span"]] = span
+        if span["parent"] == 0:
+            roots += 1
+            if span.get("kind") != "query":
+                return fail(path, f"{where}: root span kind is not \"query\"")
+    if roots != 1:
+        return fail(path, f"{where}: want exactly one root span, got {roots}")
+    for span in spans:
+        cursor, steps = span["span"], 0
+        while by_span[cursor]["parent"] != 0:
+            parent = by_span[cursor]["parent"]
+            if parent not in by_span:
+                return fail(path, f"{where}: span {cursor} has unknown parent {parent}")
+            cursor = parent
+            steps += 1
+            if steps > len(spans):
+                return fail(path, f"{where}: parent chain cycle at span {span['span']}")
+    return True
+
+
+def validate_channels(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            lines = [line for line in fp.read().splitlines() if line.strip()]
+    except OSError as err:
+        return fail(path, f"cannot read: {err}")
+    if not lines:
+        return fail(path, "no channel records -- was the probe ever run?")
+
+    verified = 0
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            return fail(path, f"{where}: cannot parse: {err}")
+        if not isinstance(record, dict):
+            return fail(path, f"{where}: not an object")
+        if record.get("predicate") != "channel":
+            return fail(path, f'{where}: predicate is not "channel"')
+        if not isinstance(record.get("args"), list) or len(record["args"]) != 2:
+            return fail(path, f"{where}: want exactly two args (the endpoints)")
+        if not isinstance(record.get("verdict"), bool):
+            return fail(path, f'{where}: missing boolean "verdict"')
+        if not isinstance(record.get("epoch"), int):
+            return fail(path, f'{where}: missing integer "epoch"')
+        if not validate_span_tree(path, where, record.get("spans")):
+            return False
+        if not record["verdict"]:
+            continue
+        channel = record.get("channel")
+        if not isinstance(channel, dict):
+            return fail(path, f'{where}: true verdict without a "channel" object')
+        if channel.get("word") not in CHANNEL_WORDS:
+            return fail(path, f"{where}: unknown channel word {channel.get('word')!r}")
+        witness = record.get("witness")
+        if not isinstance(witness, dict) or "verified" not in witness:
+            return fail(path, f"{where}: witness replay verdict missing")
+        if witness["verified"] is not True:
+            return fail(path, f"{where}: exported channel witness failed replay")
+        verified += 1
+
+    print(
+        f"validate_trace: {path}: ok ({len(lines)} channel record(s), "
+        f"{verified} verified witness(es))"
+    )
+    return True
 
 
 def validate(path):
@@ -80,12 +192,17 @@ def validate(path):
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    channels_mode = False
+    if args and args[0] == "--channels":
+        channels_mode = True
+        args = args[1:]
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     ok = True
-    for path in argv[1:]:
-        ok = validate(path) and ok
+    for path in args:
+        ok = (validate_channels(path) if channels_mode else validate(path)) and ok
     return 0 if ok else 1
 
 

@@ -1,0 +1,519 @@
+#include "src/analysis/bridge_enum.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/tg/languages.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
+
+namespace tg_analysis {
+
+using tg::AnalysisSnapshot;
+using tg::ReachRow;
+using tg::Right;
+using tg::VertexId;
+
+const char* ChannelWordTypeName(ChannelWordType type) {
+  switch (type) {
+    case ChannelWordType::kTakeFwd:
+      return "t>*";
+    case ChannelWordType::kTakeBack:
+      return "t<*";
+    case ChannelWordType::kGrantFwd:
+      return "t>* g> t<*";
+    case ChannelWordType::kGrantBack:
+      return "t>* g< t<*";
+    case ChannelWordType::kRead:
+      return "t>* r>";
+    case ChannelWordType::kWrite:
+      return "w< t<*";
+    case ChannelWordType::kReadWrite:
+      return "t>* r> w< t<*";
+  }
+  return "unknown";
+}
+
+const tg_util::Dfa& ChannelWordDfa(ChannelWordType type) {
+  switch (type) {
+    case ChannelWordType::kTakeFwd:
+      return tg::TerminalSpanDfa();
+    case ChannelWordType::kTakeBack:
+      return tg::ReverseTerminalSpanDfa();
+    case ChannelWordType::kGrantFwd:
+      return tg::GrantFwdBridgeDfa();
+    case ChannelWordType::kGrantBack:
+      return tg::GrantBackBridgeDfa();
+    case ChannelWordType::kRead:
+      return tg::RwTerminalSpanDfa();
+    case ChannelWordType::kWrite:
+      return tg::ReverseRwInitialSpanDfa();
+    case ChannelWordType::kReadWrite:
+      return tg::FullConnectionDfa();
+  }
+  return tg::BridgeOrConnectionDfa();
+}
+
+bool IsBridgeWordType(ChannelWordType type) {
+  switch (type) {
+    case ChannelWordType::kTakeFwd:
+    case ChannelWordType::kTakeBack:
+    case ChannelWordType::kGrantFwd:
+    case ChannelWordType::kGrantBack:
+      return true;
+    case ChannelWordType::kRead:
+    case ChannelWordType::kWrite:
+    case ChannelWordType::kReadWrite:
+      return false;
+  }
+  return false;
+}
+
+bool VerifyChannelPath(const tg::ProtectionGraph& g, const TypedChannel& channel) {
+  const tg::GraphPath& path = channel.path;
+  if (!g.IsValidVertex(path.start) || path.start != channel.from ||
+      path.end() != channel.to) {
+    return false;
+  }
+  VertexId prev = path.start;
+  for (const tg::PathStep& step : path.steps) {
+    if (!g.IsValidVertex(step.to)) {
+      return false;
+    }
+    const Right right = tg::SymbolRight(step.symbol);
+    const bool backward = tg::SymbolIsBackward(step.symbol);
+    const VertexId src = backward ? step.to : prev;
+    const VertexId dst = backward ? prev : step.to;
+    // The same labels the enumeration searched: total rights, implicit
+    // r/w edges included (t/g are never implicit).
+    if (!g.TotalRights(src, dst).Has(right)) {
+      return false;
+    }
+    prev = step.to;
+  }
+  std::vector<int> indices = tg::WordToIndices(path.word());
+  return ChannelWordDfa(channel.word_type).Accepts(indices);
+}
+
+namespace {
+
+// Deterministic per-build tallies, summed into the bridge_enum.* counters
+// once at the end of the constructor.
+struct BuildTallies {
+  uint64_t segment_closures = 0;  // closure rows computed across families
+  uint64_t pivot_scans = 0;       // adjacency records scanned for pivots
+  uint64_t pivot_edges = 0;       // pivot edges found (trace arg only)
+};
+
+void RecordBuild(uint64_t start_ns, const BuildTallies& tallies, uint32_t components) {
+  if (!tg_util::MetricsEnabled()) {
+    return;
+  }
+  static tg_util::Counter& closures = tg_util::GetCounter("bridge_enum.segment_closures");
+  static tg_util::Counter& scans = tg_util::GetCounter("bridge_enum.pivot_scans");
+  closures.Add(tallies.segment_closures);
+  scans.Add(tallies.pivot_scans);
+  const uint64_t end_ns = tg_util::TraceBuffer::NowNs();
+  tg_util::TraceBuffer::Instance().Record(tg_util::TraceKind::kBridgeEnum, start_ns,
+                                          end_ns - start_ns, components,
+                                          tallies.pivot_edges);
+}
+
+void SortUnique(std::vector<uint32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+BridgeEnumIndex::BridgeEnumIndex(const AnalysisSnapshot& snap) {
+  const uint64_t start_ns = tg_util::MetricsEnabled() ? tg_util::TraceBuffer::NowNs() : 0;
+  vertex_count_ = snap.vertex_count();
+  const size_t n = vertex_count_;
+  BuildTallies tallies;
+
+  // The take digraph: u -> v iff the edge u -> v carries take.  Mutual
+  // neighbors appear twice in the snapshot adjacency, so rows are deduped.
+  std::vector<std::vector<VertexId>> take_adj(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (const AnalysisSnapshot::AdjRecord& rec : snap.AdjacencyOf(u)) {
+      if (rec.fwd_total.Has(Right::kTake)) {
+        take_adj[u].push_back(rec.to);
+      }
+    }
+    std::sort(take_adj[u].begin(), take_adj[u].end());
+    take_adj[u].erase(std::unique(take_adj[u].begin(), take_adj[u].end()),
+                      take_adj[u].end());
+  }
+  quotient_ = tg::BuildQuotient(take_adj);
+  const uint32_t comps = quotient_.component_count;
+
+  // fv: ascending pass; a component's t>* closure is its members plus every
+  // quotient successor's closure.
+  fv_ = tg::QuotientClosure(quotient_, n, [&](uint32_t c, ReachRow& row) {
+    for (VertexId v : quotient_.members[c]) {
+      row.Set(v);
+    }
+  });
+
+  // bv: the reverse closure needs predecessors, which the CSR does not
+  // index, so it runs as a DESCENDING push pass instead: predecessors have
+  // strictly larger ids, so when c is processed every pushed-in row is
+  // final; c adds its members, becomes final, and pushes itself down its
+  // out-edges.
+  bv_.clear();
+  bv_.reserve(comps);
+  for (uint32_t c = 0; c < comps; ++c) {
+    bv_.emplace_back(n);
+  }
+  for (uint32_t c = comps; c-- > 0;) {
+    for (VertexId v : quotient_.members[c]) {
+      bv_[c].Set(v);
+    }
+    tg::RecordReachRowStats(bv_[c]);
+    for (uint32_t e = quotient_.offsets[c]; e < quotient_.offsets[c + 1]; ++e) {
+      bv_[quotient_.targets[e]].OrRow(bv_[c]);
+    }
+  }
+  tallies.segment_closures += comps;  // QuotientClosure counts its own rows
+
+  // Pivot seeds.  Each family is one ascending QuotientClosure whose seed
+  // folds the relevant pivot edges of the component's members; scanning is
+  // one adjacency sweep per member per family, tallied deterministically.
+  auto scan_members = [&](uint32_t c, auto&& per_record) {
+    for (VertexId a : quotient_.members[c]) {
+      for (const AnalysisSnapshot::AdjRecord& rec : snap.AdjacencyOf(a)) {
+        ++tallies.pivot_scans;
+        per_record(rec);
+      }
+    }
+  };
+
+  // r>: read-successors of members, folded up the take quotient.
+  rout_ = tg::QuotientClosure(quotient_, n, [&](uint32_t c, ReachRow& row) {
+    scan_members(c, [&](const AnalysisSnapshot::AdjRecord& rec) {
+      if (rec.fwd_total.Has(Right::kRead)) {
+        row.Set(rec.to);
+        ++tallies.pivot_edges;
+      }
+    });
+  });
+
+  // Per-vertex writer components (the w< pivot targets), deduped.
+  win_comps_.assign(n, {});
+  for (VertexId v = 0; v < n; ++v) {
+    for (const AnalysisSnapshot::AdjRecord& rec : snap.AdjacencyOf(v)) {
+      ++tallies.pivot_scans;
+      if (rec.back_total.Has(Right::kWrite)) {
+        win_comps_[v].push_back(quotient_.component[rec.to]);
+        ++tallies.pivot_edges;
+      }
+    }
+    SortUnique(win_comps_[v]);
+  }
+
+  // g>: bv of every grant-successor, folded up.  Target components are
+  // deduped before OR-ing so shared rows fold once.
+  std::vector<uint32_t> piv_targets;
+  pgf_ = tg::QuotientClosure(quotient_, n, [&](uint32_t c, ReachRow& row) {
+    piv_targets.clear();
+    scan_members(c, [&](const AnalysisSnapshot::AdjRecord& rec) {
+      if (rec.fwd_total.Has(Right::kGrant)) {
+        piv_targets.push_back(quotient_.component[rec.to]);
+        ++tallies.pivot_edges;
+      }
+    });
+    SortUnique(piv_targets);
+    for (uint32_t d : piv_targets) {
+      row.OrRow(bv_[d]);
+    }
+  });
+
+  // g<: bv of every grant-predecessor, folded up.
+  pgb_ = tg::QuotientClosure(quotient_, n, [&](uint32_t c, ReachRow& row) {
+    piv_targets.clear();
+    scan_members(c, [&](const AnalysisSnapshot::AdjRecord& rec) {
+      if (rec.back_total.Has(Right::kGrant)) {
+        piv_targets.push_back(quotient_.component[rec.to]);
+        ++tallies.pivot_edges;
+      }
+    });
+    SortUnique(piv_targets);
+    for (uint32_t d : piv_targets) {
+      row.OrRow(bv_[d]);
+    }
+  });
+
+  // r> w<: bv of every writer into a read-successor, folded up (the
+  // two-pivot connection reuses the per-vertex writer components).
+  prw_ = tg::QuotientClosure(quotient_, n, [&](uint32_t c, ReachRow& row) {
+    piv_targets.clear();
+    scan_members(c, [&](const AnalysisSnapshot::AdjRecord& rec) {
+      if (rec.fwd_total.Has(Right::kRead)) {
+        for (uint32_t wc : win_comps_[rec.to]) {
+          piv_targets.push_back(wc);
+        }
+      }
+    });
+    SortUnique(piv_targets);
+    for (uint32_t d : piv_targets) {
+      row.OrRow(bv_[d]);
+    }
+  });
+
+  // The five QuotientClosure families above count their rows into
+  // condense.closure_rows; bridge_enum.segment_closures tallies all six.
+  tallies.segment_closures += static_cast<uint64_t>(comps) * 5;
+  RecordBuild(start_ns, tallies, comps);
+}
+
+bool BridgeEnumIndex::Reaches(VertexId u, VertexId v, ChannelWordType type) const {
+  if (u >= vertex_count_ || v >= vertex_count_) {
+    return false;
+  }
+  const uint32_t c = ComponentOf(u);
+  switch (type) {
+    case ChannelWordType::kTakeFwd:
+      return fv_[c].Test(v);
+    case ChannelWordType::kTakeBack:
+      return bv_[c].Test(v);
+    case ChannelWordType::kGrantFwd:
+      return pgf_[c].Test(v);
+    case ChannelWordType::kGrantBack:
+      return pgb_[c].Test(v);
+    case ChannelWordType::kRead:
+      return rout_[c].Test(v);
+    case ChannelWordType::kWrite:
+      for (uint32_t wc : win_comps_[u]) {
+        if (bv_[wc].Test(v)) {
+          return true;
+        }
+      }
+      return false;
+    case ChannelWordType::kReadWrite:
+      return prw_[c].Test(v);
+  }
+  return false;
+}
+
+bool BridgeEnumIndex::ReachesAny(VertexId u, VertexId v) const {
+  for (size_t t = 0; t < kChannelWordTypeCount; ++t) {
+    if (Reaches(u, v, static_cast<ChannelWordType>(t))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void BridgeEnumIndex::OrReach(VertexId u, std::span<uint64_t> dst) const {
+  OrComponentReach(u, dst);
+  OrWriterClosure(u, dst);
+}
+
+void BridgeEnumIndex::OrComponentReach(VertexId u, std::span<uint64_t> dst) const {
+  if (u >= vertex_count_) {
+    return;
+  }
+  const uint32_t c = ComponentOf(u);
+  fv_[c].OrIntoDense(dst);
+  bv_[c].OrIntoDense(dst);
+  pgf_[c].OrIntoDense(dst);
+  pgb_[c].OrIntoDense(dst);
+  rout_[c].OrIntoDense(dst);
+  prw_[c].OrIntoDense(dst);
+}
+
+void BridgeEnumIndex::OrReachMulti(std::span<const VertexId> members,
+                                   std::span<uint64_t> dst) const {
+  std::vector<uint8_t> comp_done(quotient_.component_count, 0);
+  std::vector<uint8_t> wc_done(quotient_.component_count, 0);
+  for (VertexId u : members) {
+    if (u >= vertex_count_) {
+      continue;
+    }
+    const uint32_t c = ComponentOf(u);
+    if (!comp_done[c]) {
+      comp_done[c] = 1;
+      fv_[c].OrIntoDense(dst);
+      bv_[c].OrIntoDense(dst);
+      pgf_[c].OrIntoDense(dst);
+      pgb_[c].OrIntoDense(dst);
+      rout_[c].OrIntoDense(dst);
+      prw_[c].OrIntoDense(dst);
+    }
+    for (uint32_t wc : win_comps_[u]) {
+      if (!wc_done[wc]) {
+        wc_done[wc] = 1;
+        bv_[wc].OrIntoDense(dst);
+      }
+    }
+  }
+}
+
+void BridgeEnumIndex::OrWriterClosure(VertexId u, std::span<uint64_t> dst) const {
+  if (u >= vertex_count_) {
+    return;
+  }
+  for (uint32_t wc : win_comps_[u]) {
+    bv_[wc].OrIntoDense(dst);
+  }
+}
+
+void BridgeEnumIndex::OrWriterClosureMulti(std::span<const VertexId> members,
+                                           std::span<uint64_t> dst) const {
+  std::vector<uint8_t> wc_done(quotient_.component_count, 0);
+  for (VertexId u : members) {
+    if (u >= vertex_count_) {
+      continue;
+    }
+    for (uint32_t wc : win_comps_[u]) {
+      if (!wc_done[wc]) {
+        wc_done[wc] = 1;
+        bv_[wc].OrIntoDense(dst);
+      }
+    }
+  }
+}
+
+void BridgeEnumIndex::OrReadSpan(VertexId u, std::span<uint64_t> dst) const {
+  if (u >= vertex_count_) {
+    return;
+  }
+  rout_[ComponentOf(u)].OrIntoDense(dst);
+}
+
+void BridgeEnumIndex::OrReadSpanSet(std::span<const uint64_t> members_words,
+                                    std::span<uint64_t> dst) const {
+  std::vector<uint8_t> comp_done(quotient_.component_count, 0);
+  for (size_t w = 0; w < members_words.size(); ++w) {
+    uint64_t bits = members_words[w];
+    while (bits != 0) {
+      const VertexId u = static_cast<VertexId>((w << 6) + std::countr_zero(bits));
+      bits &= bits - 1;
+      if (u >= vertex_count_) {
+        continue;
+      }
+      const uint32_t c = ComponentOf(u);
+      if (!comp_done[c]) {
+        comp_done[c] = 1;
+        rout_[c].OrIntoDense(dst);
+      }
+    }
+  }
+}
+
+std::vector<uint64_t> BridgeEnumIndex::SubjectClosureWords(
+    std::span<const uint64_t> subject_bits, std::vector<uint64_t> seeds,
+    bool bridge_only) const {
+  const size_t words = seeds.size();
+  std::vector<uint64_t> acc(words, 0);
+  // A component's rows fold into acc exactly once over the whole fixpoint —
+  // OR is monotone, so keeping acc across rounds only helps.
+  std::vector<uint8_t> comp_done(quotient_.component_count, 0);
+  std::vector<uint8_t> wc_done(quotient_.component_count, 0);
+  std::vector<VertexId> frontier;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t bits = seeds[w];
+    while (bits != 0) {
+      frontier.push_back(static_cast<VertexId>((w << 6) + std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+  while (!frontier.empty()) {
+    for (VertexId u : frontier) {
+      if (u >= vertex_count_) {
+        continue;
+      }
+      const uint32_t c = ComponentOf(u);
+      if (!comp_done[c]) {
+        comp_done[c] = 1;
+        fv_[c].OrIntoDense(acc);
+        bv_[c].OrIntoDense(acc);
+        pgf_[c].OrIntoDense(acc);
+        pgb_[c].OrIntoDense(acc);
+        if (!bridge_only) {
+          rout_[c].OrIntoDense(acc);
+          prw_[c].OrIntoDense(acc);
+        }
+      }
+      if (!bridge_only) {
+        for (uint32_t wc : win_comps_[u]) {
+          if (!wc_done[wc]) {
+            wc_done[wc] = 1;
+            bv_[wc].OrIntoDense(acc);
+          }
+        }
+      }
+    }
+    frontier.clear();
+    for (size_t w = 0; w < words; ++w) {
+      const uint64_t fresh = acc[w] & subject_bits[w] & ~seeds[w];
+      if (fresh == 0) {
+        continue;
+      }
+      seeds[w] |= fresh;
+      uint64_t bits = fresh;
+      while (bits != 0) {
+        frontier.push_back(static_cast<VertexId>((w << 6) + std::countr_zero(bits)));
+        bits &= bits - 1;
+      }
+    }
+  }
+  return seeds;
+}
+
+std::optional<ChannelWordType> BridgeEnumIndex::Classify(VertexId u, VertexId v) const {
+  for (size_t t = 0; t < kChannelWordTypeCount; ++t) {
+    const ChannelWordType type = static_cast<ChannelWordType>(t);
+    if (Reaches(u, v, type)) {
+      return type;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TypedChannel> BridgeEnumIndex::DescribeChannel(
+    const tg::ProtectionGraph& g, VertexId u, VertexId v,
+    const tg::AnalysisSnapshot* snap) const {
+  std::optional<ChannelWordType> type = Classify(u, v);
+  if (!type.has_value()) {
+    return std::nullopt;
+  }
+  TypedChannel channel;
+  channel.from = u;
+  channel.to = v;
+  channel.word_type = *type;
+  tg::PathSearchOptions options;
+  options.use_implicit = true;
+  std::optional<tg::GraphPath> path =
+      snap != nullptr ? FindWordPath(*snap, u, v, ChannelWordDfa(*type), options)
+                      : FindWordPath(g, u, v, ChannelWordDfa(*type), options);
+  if (path.has_value()) {
+    channel.path = std::move(*path);
+    // The pivot is the first non-take step; pivot_src -> pivot_dst is the
+    // underlying graph edge regardless of walk direction.
+    VertexId prev = channel.path.start;
+    for (const tg::PathStep& step : channel.path.steps) {
+      if (tg::SymbolRight(step.symbol) != Right::kTake) {
+        channel.pivot_symbol = step.symbol;
+        if (tg::SymbolIsBackward(step.symbol)) {
+          channel.pivot_src = step.to;
+          channel.pivot_dst = prev;
+        } else {
+          channel.pivot_src = prev;
+          channel.pivot_dst = step.to;
+        }
+        break;
+      }
+      prev = step.to;
+    }
+    channel.replay_verified = VerifyChannelPath(g, channel);
+  }
+  if (tg_util::MetricsEnabled()) {
+    static tg_util::Counter& emitted = tg_util::GetCounter("bridge_enum.channels_emitted");
+    emitted.Add();
+  }
+  return channel;
+}
+
+}  // namespace tg_analysis

@@ -1,0 +1,224 @@
+// Per-word-type bridge / connection enumeration (the bridge-first audit
+// engine).
+//
+// Every bridge and connection word of Theorem 5.2 factors into take-closure
+// segments joined at one or two pivot edges:
+//
+//   t>*                 one forward take segment
+//   t<*                 one backward take segment
+//   t>* g> t<*          forward segment, g> pivot, backward segment
+//   t>* g< t<*          forward segment, g< pivot, backward segment
+//   t>* r>              forward segment, r> pivot
+//   w< t<*              w< pivot, backward segment
+//   t>* r> w< t<*       forward segment, r> pivot, w< pivot, backward segment
+//
+// The generic engines (dense matrix, level-sharded product sweeps) answer
+// "does ANY of these words connect u to v" by folding the union language
+// through a product BFS per source / per shard, paying the product CSR and
+// the sweep even though the t-closure segments are shared by every word.
+// BridgeEnumIndex computes the segments ONCE: it condenses the take digraph
+// (src/tg/condense.h) and derives, per strongly connected take component,
+// six hybrid ReachRow families —
+//
+//   fv   t>* closure (members of all quotient-reachable components)
+//   bv   t<* closure (members of all quotient-co-reachable components)
+//   pg>  t>* g> t<*   (bv of every grant-successor, folded up the quotient)
+//   pg<  t>* g< t<*   (bv of every grant-predecessor, folded up)
+//   r>   t>* r>       (read-successors of members, folded up)
+//   rw   t>* r> w< t<* (bv of every writer into a read-successor, folded up)
+//
+// plus the per-vertex writer components for the prefix word w< t<*.  The
+// union of the seven per-type reach sets equals the bridge-or-connection
+// product-BFS reach set (the regular language is the union of the seven
+// sublanguages, and reachability distributes over union), so consumers get
+// bit-identical channel sets — but each membership test is one hybrid-row
+// probe, each per-source row is a handful of row ORs, and nothing is ever
+// rebuilt per shard or per source.
+//
+// On top of raw reachability the index *types* every channel: Classify
+// names the first word type (in the canonical order above) connecting u to
+// v, and DescribeChannel builds the full typed record — word type, pivot
+// edge, a concrete shortest witness path in that sublanguage, and a replay
+// verdict from walking the path against the live graph.  Channel identity
+// therefore flows to consumers (audit engines, provenance, the policy
+// server, tgsh) instead of being reconstructed per consumer.
+//
+// Work tallies land in bridge_enum.segment_closures (closure rows
+// computed), bridge_enum.pivot_scans (adjacency records scanned while
+// seeding pivots), and bridge_enum.channels_emitted (typed records built);
+// the build also records one kBridgeEnum trace span.  The build is serial
+// and the tallies are per-index sums of deterministic values, so all three
+// counters are thread-count-invariant.
+
+#ifndef SRC_ANALYSIS_BRIDGE_ENUM_H_
+#define SRC_ANALYSIS_BRIDGE_ENUM_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/tg/condense.h"
+#include "src/tg/graph.h"
+#include "src/tg/path.h"
+#include "src/tg/reach_row.h"
+#include "src/tg/snapshot.h"
+#include "src/util/dfa.h"
+
+namespace tg_analysis {
+
+// The seven bridge / connection word types, in the canonical priority order
+// used by Classify (segment-only words first, then single-pivot, then the
+// two-pivot connection).
+enum class ChannelWordType : uint8_t {
+  kTakeFwd,        // t>*
+  kTakeBack,       // t<*
+  kGrantFwd,       // t>* g> t<*
+  kGrantBack,      // t>* g< t<*
+  kRead,           // t>* r>
+  kWrite,          // w< t<*
+  kReadWrite,      // t>* r> w< t<*
+};
+
+inline constexpr size_t kChannelWordTypeCount =
+    static_cast<size_t>(ChannelWordType::kReadWrite) + 1;
+
+// The word as written in the paper ("t>*", "t>* g> t<*", ...).
+const char* ChannelWordTypeName(ChannelWordType type);
+
+// The exact sublanguage DFA for one word type (process-lifetime singleton
+// from src/tg/languages.h).
+const tg_util::Dfa& ChannelWordDfa(ChannelWordType type);
+
+// True when `type` is one of the four bridge words (authority channels);
+// false for the three connection words (information channels).
+bool IsBridgeWordType(ChannelWordType type);
+
+// One fully explained channel: endpoints, the word type, the pivot edge the
+// word joins its take segments at, a concrete witness path in the typed
+// sublanguage, and the replay verdict from walking that path against the
+// graph.  For the segment-only words (t>*, t<*) there is no pivot and
+// pivot_src / pivot_dst stay kInvalidVertex.  pivot_src -> pivot_dst is the
+// *graph* edge (the direction the right points), regardless of which way
+// the walk traverses it; pivot_symbol records the walk direction.
+struct TypedChannel {
+  tg::VertexId from = tg::kInvalidVertex;
+  tg::VertexId to = tg::kInvalidVertex;
+  ChannelWordType word_type = ChannelWordType::kTakeFwd;
+  tg::VertexId pivot_src = tg::kInvalidVertex;
+  tg::VertexId pivot_dst = tg::kInvalidVertex;
+  tg::PathSymbol pivot_symbol = tg::PathSymbol::kReadFwd;
+  tg::GraphPath path;
+  bool replay_verified = false;
+};
+
+// Walks channel.path against g: every step's symbol must be carried by the
+// corresponding edge (total rights, implicit included — the same labels the
+// enumeration searched), the path's word must be accepted by the claimed
+// word type's DFA, and the endpoints must match.  This is the replay
+// verdict DescribeChannel stores; it is exposed so validators and tests can
+// re-check exported channels independently.
+bool VerifyChannelPath(const tg::ProtectionGraph& g, const TypedChannel& channel);
+
+class BridgeEnumIndex {
+ public:
+  // Builds the take condensation and all six row families from the
+  // snapshot.  The snapshot must outlive nothing (everything is copied into
+  // the index); the index answers for the snapshot's epoch only.
+  explicit BridgeEnumIndex(const tg::AnalysisSnapshot& snap);
+
+  size_t vertex_count() const { return vertex_count_; }
+  const tg::QuotientGraph& take_quotient() const { return quotient_; }
+
+  // Does a path from u to v with a word of exactly this type exist?
+  // (Endpoint subject-ness is a caller-side condition, as everywhere.)
+  bool Reaches(tg::VertexId u, tg::VertexId v, ChannelWordType type) const;
+
+  // Does ANY bridge or connection word connect u to v?  Equivalent to the
+  // BridgeOrConnectionDfa product BFS answering reachable(u, v).
+  bool ReachesAny(tg::VertexId u, tg::VertexId v) const;
+
+  // dst |= the full bridge-or-connection reach set of u (dense row of
+  // (vertex_count + 63) / 64 words).  The union over u of these rows is
+  // exactly the multi-source BOC product-BFS reach set.
+  void OrReach(tg::VertexId u, std::span<uint64_t> dst) const;
+
+  // The take-component part of OrReach — the six per-component families,
+  // without the per-vertex w< pivots.  OrReach(u) == OrComponentReach(u) |
+  // OrWriterClosure(u); per-source sweeps over sources sorted by component
+  // compute this part once per component run.
+  void OrComponentReach(tg::VertexId u, std::span<uint64_t> dst) const;
+
+  // Whether u has any w< pivot (a writer into u): when false, OrReach(u)
+  // is exactly OrComponentReach(u).
+  bool HasWriterPivots(tg::VertexId u) const {
+    return u < vertex_count_ && !win_comps_[u].empty();
+  }
+
+  // dst |= the union of OrReach(u) over all members, folding each shared
+  // component row exactly once (members of one take component, or members
+  // whose writer sets overlap, don't pay twice).
+  void OrReachMulti(std::span<const tg::VertexId> members, std::span<uint64_t> dst) const;
+
+  // dst |= the w< t<* reach set of u — the reverse rw-initial span probe
+  // (the "heads" stage of the knowable pipeline, before the subject mask).
+  void OrWriterClosure(tg::VertexId u, std::span<uint64_t> dst) const;
+
+  // Multi-source variant of OrWriterClosure with shared-component folding.
+  void OrWriterClosureMulti(std::span<const tg::VertexId> members,
+                            std::span<uint64_t> dst) const;
+
+  // dst |= the t>* r> reach set of u — the rw-terminal span stage.
+  void OrReadSpan(tg::VertexId u, std::span<uint64_t> dst) const;
+
+  // dst |= the union of the t>* r> reach sets of every vertex set in
+  // `members_words` (a dense bit set), folding shared components once.
+  void OrReadSpanSet(std::span<const uint64_t> members_words,
+                     std::span<uint64_t> dst) const;
+
+  // The least S ⊇ seeds closed under "some u in S reaches subject v by a
+  // bridge-or-connection word" — the same fixpoint as the product-BFS
+  // SubjectClosure / BridgeOrConnectionClosure, computed from the row
+  // families instead of per-round sweeps.  `subject_bits` is the dense
+  // subject mask, `seeds` the dense seed set (consumed); both are
+  // (vertex_count + 63) / 64 words.  With bridge_only, only the four
+  // bridge-word families fold (the BridgeClosure fixpoint).
+  std::vector<uint64_t> SubjectClosureWords(std::span<const uint64_t> subject_bits,
+                                            std::vector<uint64_t> seeds,
+                                            bool bridge_only = false) const;
+
+  // The first word type (canonical order) connecting u to v, or nullopt.
+  std::optional<ChannelWordType> Classify(tg::VertexId u, tg::VertexId v) const;
+
+  // Classify + concrete witness: finds the shortest path in the typed
+  // sublanguage, extracts the pivot edge from it, and replay-verifies the
+  // path against g (which must be the graph the snapshot was built from).
+  // nullopt when no bridge or connection word connects u to v.  Batch
+  // callers pass the snapshot the index was built from so witness search
+  // reuses it; with snap == nullptr each call builds its own.
+  std::optional<TypedChannel> DescribeChannel(const tg::ProtectionGraph& g, tg::VertexId u,
+                                              tg::VertexId v,
+                                              const tg::AnalysisSnapshot* snap = nullptr) const;
+
+ private:
+  // Row family accessors by component id.
+  uint32_t ComponentOf(tg::VertexId v) const { return quotient_.component[v]; }
+
+  size_t vertex_count_ = 0;
+  tg::QuotientGraph quotient_;  // of the take digraph
+  // Per-component closure rows, indexed by component id.
+  std::vector<tg::ReachRow> fv_;    // t>*
+  std::vector<tg::ReachRow> bv_;    // t<*
+  std::vector<tg::ReachRow> pgf_;   // t>* g> t<*
+  std::vector<tg::ReachRow> pgb_;   // t>* g< t<*
+  std::vector<tg::ReachRow> rout_;  // t>* r>
+  std::vector<tg::ReachRow> prw_;   // t>* r> w< t<*
+  // Per-vertex deduplicated components of {b : edge b -> v carries write}
+  // (the w< targets); w< t<* reach of v is the union of their bv rows.
+  std::vector<std::vector<uint32_t>> win_comps_;
+};
+
+}  // namespace tg_analysis
+
+#endif  // SRC_ANALYSIS_BRIDGE_ENUM_H_

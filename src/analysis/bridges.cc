@@ -1,5 +1,6 @@
 #include "src/analysis/bridges.h"
 
+#include "src/analysis/bridge_enum.h"
 #include "src/tg/languages.h"
 
 namespace tg_analysis {
@@ -19,12 +20,43 @@ PathSearchOptions BridgeOptions() {
   return options;
 }
 
+// Which word types each public predicate spans: FindBridge the four bridge
+// words, FindConnection the three connection words, FindBridgeOrConnection
+// all seven.
+enum class WordFamily { kBridges, kConnections, kAll };
+
+bool FamilyContains(WordFamily family, ChannelWordType type) {
+  switch (family) {
+    case WordFamily::kBridges:
+      return IsBridgeWordType(type);
+    case WordFamily::kConnections:
+      return !IsBridgeWordType(type);
+    case WordFamily::kAll:
+      return true;
+  }
+  return false;
+}
+
+// The bridge-enum index answers the reachability side (one segment-closure
+// probe per word type in the family — the family's union language equals
+// the original DFA's language, so the verdict is identical); the original
+// union DFA still builds the witness, so returned paths are unchanged.
 std::optional<GraphPath> FindSubjectPath(const ProtectionGraph& g, VertexId u, VertexId v,
-                                         const tg_util::Dfa& dfa) {
+                                         WordFamily family, const tg_util::Dfa& dfa) {
   if (!g.IsValidVertex(u) || !g.IsValidVertex(v) || !g.IsSubject(u) || !g.IsSubject(v)) {
     return std::nullopt;
   }
-  return FindWordPath(g, u, v, dfa, BridgeOptions());
+  const tg::AnalysisSnapshot snap(g);
+  const BridgeEnumIndex index(snap);
+  bool reachable = false;
+  for (size_t t = 0; t < kChannelWordTypeCount && !reachable; ++t) {
+    const ChannelWordType type = static_cast<ChannelWordType>(t);
+    reachable = FamilyContains(family, type) && index.Reaches(u, v, type);
+  }
+  if (!reachable) {
+    return std::nullopt;
+  }
+  return FindWordPath(snap, u, v, dfa, BridgeOptions());
 }
 
 // Iterated multi-source closure: repeatedly BFS from the current subject
@@ -83,35 +115,67 @@ std::vector<bool> SubjectClosure(const tg::AnalysisSnapshot& snap,
 }  // namespace
 
 std::optional<GraphPath> FindBridge(const ProtectionGraph& g, VertexId u, VertexId v) {
-  return FindSubjectPath(g, u, v, tg::BridgeDfa());
+  return FindSubjectPath(g, u, v, WordFamily::kBridges, tg::BridgeDfa());
 }
 
 std::optional<GraphPath> FindConnection(const ProtectionGraph& g, VertexId u, VertexId v) {
-  return FindSubjectPath(g, u, v, tg::ConnectionDfa());
+  return FindSubjectPath(g, u, v, WordFamily::kConnections, tg::ConnectionDfa());
 }
 
 std::optional<GraphPath> FindBridgeOrConnection(const ProtectionGraph& g, VertexId u,
                                                 VertexId v) {
-  return FindSubjectPath(g, u, v, tg::BridgeOrConnectionDfa());
+  return FindSubjectPath(g, u, v, WordFamily::kAll, tg::BridgeOrConnectionDfa());
 }
 
+namespace {
+
+// Comp-based closure: the same least fixpoint as the iterated product-BFS
+// SubjectClosure (same monotone reach operator, same seed set), but each
+// round is a handful of segment-row ORs instead of a fresh multi-source
+// sweep, and every take component folds at most once across all rounds.
+std::vector<bool> IndexSubjectClosure(const tg::AnalysisSnapshot& snap,
+                                      const std::vector<VertexId>& seeds, bool bridge_only) {
+  const size_t n = snap.vertex_count();
+  const size_t words = (n + 63) / 64;
+  std::vector<uint64_t> subject_bits(words, 0);
+  for (VertexId s : snap.Subjects()) {
+    subject_bits[s >> 6] |= uint64_t{1} << (s & 63);
+  }
+  std::vector<uint64_t> seed_words(words, 0);
+  for (VertexId v : seeds) {
+    if (snap.IsValidVertex(v) && snap.IsSubject(v)) {
+      seed_words[v >> 6] |= uint64_t{1} << (v & 63);
+    }
+  }
+  const BridgeEnumIndex index(snap);
+  const std::vector<uint64_t> closed =
+      index.SubjectClosureWords(subject_bits, std::move(seed_words), bridge_only);
+  std::vector<bool> in_set(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    in_set[v] = (closed[v >> 6] >> (v & 63)) & 1;
+  }
+  return in_set;
+}
+
+}  // namespace
+
 std::vector<bool> BridgeClosure(const ProtectionGraph& g, const std::vector<VertexId>& seeds) {
-  return SubjectClosure(tg::AnalysisSnapshot(g), seeds, tg::BridgeDfa());
+  return IndexSubjectClosure(tg::AnalysisSnapshot(g), seeds, /*bridge_only=*/true);
 }
 
 std::vector<bool> BridgeOrConnectionClosure(const ProtectionGraph& g,
                                             const std::vector<VertexId>& seeds) {
-  return SubjectClosure(tg::AnalysisSnapshot(g), seeds, tg::BridgeOrConnectionDfa());
+  return IndexSubjectClosure(tg::AnalysisSnapshot(g), seeds, /*bridge_only=*/false);
 }
 
 std::vector<bool> BridgeClosure(const tg::AnalysisSnapshot& snap,
                                 const std::vector<VertexId>& seeds) {
-  return SubjectClosure(snap, seeds, tg::BridgeDfa());
+  return IndexSubjectClosure(snap, seeds, /*bridge_only=*/true);
 }
 
 std::vector<bool> BridgeOrConnectionClosure(const tg::AnalysisSnapshot& snap,
                                             const std::vector<VertexId>& seeds) {
-  return SubjectClosure(snap, seeds, tg::BridgeOrConnectionDfa());
+  return IndexSubjectClosure(snap, seeds, /*bridge_only=*/false);
 }
 
 std::vector<bool> BridgeOrConnectionClosureTouched(const tg::AnalysisSnapshot& snap,

@@ -5,6 +5,7 @@
 #include <iterator>
 #include <map>
 
+#include "src/analysis/bridge_enum.h"
 #include "src/analysis/bridges.h"
 #include "src/analysis/can_know.h"
 #include "src/analysis/can_share.h"
@@ -187,6 +188,48 @@ QueryProvenance ExplainCanKnowF(const ProtectionGraph& g, VertexId x, VertexId y
   return p;
 }
 
+QueryProvenance ExplainChannel(const ProtectionGraph& g, VertexId u, VertexId v,
+                               AnalysisCache* cache) {
+  QueryProvenance p;
+  p.predicate = "channel";
+  p.args = {SafeName(g, u), SafeName(g, v)};
+  std::optional<TypedChannel> channel;
+  uint64_t types_reachable = 0;
+  uint64_t take_components = 0;
+  RunExplained(p, g, QueryKind::kCrossLevelChannels, [&] {
+    if (!g.IsValidVertex(u) || !g.IsValidVertex(v)) {
+      return false;
+    }
+    std::optional<tg::AnalysisSnapshot> local;
+    if (cache == nullptr) {
+      local.emplace(g);
+    }
+    const tg::AnalysisSnapshot& snap = cache != nullptr ? cache->Snapshot(g) : *local;
+    const BridgeEnumIndex index(snap);
+    take_components = index.take_quotient().component_count;
+    for (size_t t = 0; t < kChannelWordTypeCount; ++t) {
+      if (index.Reaches(u, v, static_cast<ChannelWordType>(t))) {
+        ++types_reachable;
+      }
+    }
+    channel = index.DescribeChannel(g, u, v, &snap);
+    return channel.has_value();
+  });
+  p.chain = {{"take_components", take_components}, {"word_types_reachable", types_reachable}};
+  if (channel.has_value()) {
+    p.channel_word = ChannelWordTypeName(channel->word_type);
+    if (channel->pivot_src != tg::kInvalidVertex) {
+      p.channel_pivot = SafeName(g, channel->pivot_src) + " -" +
+                        tg::RightName(tg::SymbolRight(channel->pivot_symbol)) + "-> " +
+                        SafeName(g, channel->pivot_dst);
+    }
+    p.has_witness = true;
+    p.witness_verified = channel->replay_verified;
+    p.witness_text = "    " + channel->path.ToString(g) + "\n";
+  }
+  return p;
+}
+
 QueryProvenance ExplainCanShare(const ProtectionGraph& g, tg::Right right, VertexId x,
                                 VertexId y) {
   QueryProvenance p;
@@ -291,10 +334,22 @@ std::string QueryProvenance::ToText() const {
       out += buf;
     }
   }
+  if (!channel_word.empty()) {
+    out += "  channel: word=" + channel_word;
+    if (!channel_pivot.empty()) {
+      out += " pivot=" + channel_pivot;
+    }
+    out += "\n";
+  }
   if (has_witness) {
-    std::snprintf(buf, sizeof(buf),
-                  "  witness: %zu de jure + %zu de facto rules, replay %s\n", witness_de_jure,
-                  witness_de_facto, witness_verified ? "VERIFIED" : "FAILED");
+    if (!channel_word.empty()) {
+      std::snprintf(buf, sizeof(buf), "  witness: path replay %s\n",
+                    witness_verified ? "VERIFIED" : "FAILED");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  witness: %zu de jure + %zu de facto rules, replay %s\n", witness_de_jure,
+                    witness_de_facto, witness_verified ? "VERIFIED" : "FAILED");
+    }
     out += buf;
     out += witness_text;
   } else if (verdict) {
@@ -346,6 +401,10 @@ std::string QueryProvenance::ToJson() const {
            ",\"arg0\":" + std::to_string(e.arg0) + ",\"arg1\":" + std::to_string(e.arg1) + "}";
   }
   out += "]";
+  if (!channel_word.empty()) {
+    out += ",\"channel\":{\"word\":\"" + tg_util::JsonEscape(channel_word) + "\",\"pivot\":\"" +
+           tg_util::JsonEscape(channel_pivot) + "\"}";
+  }
   if (has_witness) {
     out += ",\"witness\":{\"de_jure\":" + std::to_string(witness_de_jure) +
            ",\"de_facto\":" + std::to_string(witness_de_facto) + ",\"verified\":";

@@ -58,12 +58,22 @@ struct QueryProvenance {
 
   // Witness (only when verdict is true and a builder exists for the
   // predicate).  witness_verified means Replay succeeded on a copy of the
-  // graph AND the replayed graph exhibits the claimed edge/flow.
+  // graph AND the replayed graph exhibits the claimed edge/flow.  For
+  // channel records the witness is a typed word path instead of a rule
+  // listing, and witness_verified is the path replay verdict (every edge
+  // re-checked against the live graph, word re-accepted by the type DFA).
   bool has_witness = false;
   bool witness_verified = false;
   size_t witness_de_jure = 0;
   size_t witness_de_facto = 0;
   std::string witness_text;  // numbered rule listing ("" when absent)
+
+  // Channel identity (ExplainChannel only; empty otherwise).  channel_word
+  // is the Theorem 5.2 word type ("t>* g> t<*", ...); channel_pivot renders
+  // the pivot edge in graph direction ("p -grant-> q", "" for the
+  // segment-only words).
+  std::string channel_word;
+  std::string channel_pivot;
 
   // Multi-line human rendering, including an indented span tree.
   std::string ToText() const;
@@ -80,6 +90,14 @@ QueryProvenance ExplainCanKnow(const tg::ProtectionGraph& g, tg::VertexId x, tg:
 QueryProvenance ExplainCanKnowF(const tg::ProtectionGraph& g, tg::VertexId x, tg::VertexId y);
 QueryProvenance ExplainCanShare(const tg::ProtectionGraph& g, tg::Right right, tg::VertexId x,
                                 tg::VertexId y);
+
+// Explains the Theorem 5.2 channel predicate: "does a bridge or connection
+// word connect u to v, and which one?"  The verdict is per-word-type
+// reachability from the bridge-enum index; a true verdict carries the word
+// type, the pivot edge, and a replay-verified typed witness path.  A cache
+// routes the snapshot through the overlay machinery as usual.
+QueryProvenance ExplainChannel(const tg::ProtectionGraph& g, tg::VertexId u, tg::VertexId v,
+                               AnalysisCache* cache = nullptr);
 
 // Appends record.ToJson() (tagged type "provenance") to the process
 // flight recorder when it is enabled; no-op otherwise.

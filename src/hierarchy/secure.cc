@@ -1,6 +1,8 @@
 #include "src/hierarchy/secure.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 
 #include "src/analysis/batch.h"
 #include "src/analysis/can_know.h"
@@ -53,19 +55,23 @@ std::vector<VertexId> SecureCandidates(const ProtectionGraph& g,
   return candidates;
 }
 
-// kAuto engine selection, shared by both audits: shard when the scale
-// warrants it and there is level structure to shard by.
-AuditEngine ResolveEngine(AuditEngine engine, size_t vertex_count, size_t level_count) {
-  if (engine != AuditEngine::kAuto) {
-    return engine;
-  }
-  if (level_count < 2) {
-    return AuditEngine::kDense;
-  }
-  const bool over_cap =
-      tg::BitMatrix::AllocationBytes(vertex_count, vertex_count) > tg::BitMatrix::MaxBytes();
-  return (vertex_count >= kShardedAuditMinVertices || over_cap) ? AuditEngine::kSharded
-                                                                : AuditEngine::kDense;
+// Explicit take/grant edges between differently-leveled assigned vertices
+// — exactly the pivot edges a planted cross-level channel needs, so their
+// count is the kAuto density signal.
+size_t CrossLevelPivotEdges(const ProtectionGraph& g, const LevelAssignment& assignment) {
+  size_t count = 0;
+  g.ForEachEdge([&](const tg::Edge& edge) {
+    if (!edge.explicit_rights.Has(tg::Right::kTake) &&
+        !edge.explicit_rights.Has(tg::Right::kGrant)) {
+      return;
+    }
+    const LevelId src_level = assignment.LevelOf(edge.src);
+    const LevelId dst_level = assignment.LevelOf(edge.dst);
+    if (src_level != kNoLevel && dst_level != kNoLevel && src_level != dst_level) {
+      ++count;
+    }
+  });
+  return count;
 }
 
 // Phase 3 of CheckSecure (serial, in candidate order): emit violations
@@ -112,9 +118,11 @@ std::vector<VertexId> ChannelSources(const ProtectionGraph& g,
 // Serial scan in source order; witness reconstruction only runs for actual
 // channels, which are rare, so it stays serial (and the channel list keeps
 // the exact order of the old per-subject loop).  reaches(i, v) reads
-// source i's BOC reach row.
+// source i's BOC reach row.  Witness replay reuses the caller's snapshot —
+// one snapshot per audit, not one per reported channel.
 template <typename Reaches>
 std::vector<CrossLevelChannel> EmitChannels(const ProtectionGraph& g,
+                                            const tg::AnalysisSnapshot& snap,
                                             const LevelAssignment& assignment,
                                             const std::vector<VertexId>& sources,
                                             const Reaches& reaches, size_t max_channels) {
@@ -137,7 +145,7 @@ std::vector<CrossLevelChannel> EmitChannels(const ProtectionGraph& g,
       channel.from = u;
       channel.to = v;
       std::optional<tg::GraphPath> path =
-          FindWordPath(g, u, v, tg::BridgeOrConnectionDfa(), options);
+          FindWordPath(snap, u, v, tg::BridgeOrConnectionDfa(), options);
       channel.path = path.has_value() ? path->ToString(g) : "<path elided>";
       channels.push_back(std::move(channel));
       if (max_channels != 0 && channels.size() >= max_channels) {
@@ -203,7 +211,217 @@ SecurityReport CheckSecureSharded(const ProtectionGraph& g, const tg::AnalysisSn
   return report;
 }
 
+std::vector<uint64_t> DenseSubjectBits(const tg::AnalysisSnapshot& snap) {
+  std::vector<uint64_t> bits((snap.vertex_count() + 63) / 64, 0);
+  for (VertexId s : snap.Subjects()) {
+    bits[s >> 6] |= uint64_t{1} << (s & 63);
+  }
+  return bits;
+}
+
+inline void SetBit(std::vector<uint64_t>& words, VertexId v) {
+  words[v >> 6] |= uint64_t{1} << (v & 63);
+}
+
+inline bool TestBit(const std::vector<uint64_t>& words, VertexId v) {
+  return (words[v >> 6] >> (v & 63)) & 1;
+}
+
+// The scalar knowable pipeline (heads probe -> subject closure -> spans,
+// with the empty-heads short circuit) replayed as row ORs over the
+// bridge-enum index.  Bit-identical to KnowableMatrix's row for x.
+std::vector<uint64_t> BridgeKnowableWords(const tg::AnalysisSnapshot& snap,
+                                          const tg_analysis::BridgeEnumIndex& index,
+                                          const std::vector<uint64_t>& subject_bits,
+                                          VertexId x) {
+  const size_t words = subject_bits.size();
+  std::vector<uint64_t> knowable(words, 0);
+  SetBit(knowable, x);
+  std::vector<uint64_t> heads(words, 0);
+  index.OrWriterClosure(x, heads);
+  for (size_t w = 0; w < words; ++w) {
+    heads[w] &= subject_bits[w];
+  }
+  if (snap.IsSubject(x)) {
+    SetBit(heads, x);
+  }
+  const bool any_head =
+      std::any_of(heads.begin(), heads.end(), [](uint64_t w) { return w != 0; });
+  if (!any_head) {
+    return knowable;  // nothing can write toward x: knowable = {x}
+  }
+  const std::vector<uint64_t> closure =
+      index.SubjectClosureWords(subject_bits, std::move(heads));
+  index.OrReadSpanSet(closure, knowable);
+  for (size_t w = 0; w < words; ++w) {
+    knowable[w] |= closure[w];
+  }
+  return knowable;
+}
+
+// Bridge-enum shard summaries, reduced to the one bit that matters: which
+// levels are dirty (their members' union reach touches a strictly higher
+// level through a qualifying vertex).  Same dirty criterion as the sharded
+// engine's ShardSummary, computed from index row ORs instead of product
+// sweeps.  knowable=true runs the union knowable pipeline per level and
+// qualifies any assigned vertex; knowable=false uses the raw BOC reach and
+// qualifies assigned subjects only (the channel-scan criterion).
+std::vector<bool> BridgeDirtyLevels(const tg::AnalysisSnapshot& snap,
+                                    const tg_analysis::BridgeEnumIndex& index,
+                                    const LevelAssignment& assignment,
+                                    const std::vector<VertexId>& vertices, bool knowable,
+                                    bool* any_dirty) {
+  const size_t n = snap.vertex_count();
+  const size_t words = (n + 63) / 64;
+  std::vector<std::vector<VertexId>> by_level(assignment.LevelCount());
+  for (VertexId v : vertices) {
+    const LevelId level = assignment.LevelOf(v);
+    if (level != kNoLevel) {
+      by_level[level].push_back(v);
+    }
+  }
+  const std::vector<uint64_t> subject_bits = DenseSubjectBits(snap);
+  // Per-level dirty masks: the vertices whose presence in a level's reach
+  // set makes it dirty — assigned, strictly higher, and (for the channel
+  // scan) subjects.  One O(n) bucketing pass plus an O(L^2) mask union
+  // replaces a per-set-bit level lookup over every reached vertex.
+  const size_t level_count = assignment.LevelCount();
+  std::vector<std::vector<uint64_t>> level_bits(level_count,
+                                                std::vector<uint64_t>(words, 0));
+  for (VertexId v = 0; v < n; ++v) {
+    const LevelId level_v = assignment.LevelOf(v);
+    if (level_v == kNoLevel || (!knowable && !snap.IsSubject(v))) {
+      continue;
+    }
+    SetBit(level_bits[level_v], v);
+  }
+  std::vector<std::vector<uint64_t>> higher_mask(level_count,
+                                                 std::vector<uint64_t>(words, 0));
+  for (LevelId low = 0; low < level_count; ++low) {
+    for (LevelId high = 0; high < level_count; ++high) {
+      if (!assignment.Higher(high, low)) {
+        continue;
+      }
+      for (size_t w = 0; w < words; ++w) {
+        higher_mask[low][w] |= level_bits[high][w];
+      }
+    }
+  }
+  std::vector<bool> dirty(level_count, false);
+  *any_dirty = false;
+  std::vector<uint64_t> reached(words);
+  for (LevelId level = 0; level < by_level.size(); ++level) {
+    const std::vector<VertexId>& members = by_level[level];
+    if (members.empty()) {
+      continue;
+    }
+    std::fill(reached.begin(), reached.end(), 0);
+    if (knowable) {
+      // Union-distributivity: the union of per-member knowable sets is the
+      // pipeline run with all members as seeds (members with no heads
+      // contribute only themselves, which the member loop below adds).
+      std::vector<uint64_t> heads(words, 0);
+      index.OrWriterClosureMulti(members, heads);
+      for (size_t w = 0; w < words; ++w) {
+        heads[w] &= subject_bits[w];
+      }
+      for (VertexId x : members) {
+        if (snap.IsSubject(x)) {
+          SetBit(heads, x);
+        }
+      }
+      const bool any_head =
+          std::any_of(heads.begin(), heads.end(), [](uint64_t w) { return w != 0; });
+      if (any_head) {
+        const std::vector<uint64_t> closure =
+            index.SubjectClosureWords(subject_bits, std::move(heads));
+        index.OrReadSpanSet(closure, reached);
+        for (size_t w = 0; w < words; ++w) {
+          reached[w] |= closure[w];
+        }
+      }
+      for (VertexId x : members) {
+        SetBit(reached, x);
+      }
+    } else {
+      index.OrReachMulti(members, reached);
+    }
+    for (size_t w = 0; w < words && !dirty[level]; ++w) {
+      if ((reached[w] & higher_mask[level][w]) != 0) {
+        dirty[level] = true;
+        *any_dirty = true;
+      }
+    }
+  }
+  return dirty;
+}
+
+// Bridge-enum phase 2+3 of CheckSecure: the index builds once, level
+// summaries decide dirtiness from row ORs, and only dirty-level candidates
+// expand — one knowable word-row each, in global candidate order, through
+// the same EmitViolations as every other engine.
+SecurityReport CheckSecureBridgeEnum(const ProtectionGraph& g, const tg::AnalysisSnapshot& snap,
+                                     const LevelAssignment& assignment,
+                                     const std::vector<VertexId>& candidates,
+                                     size_t max_violations) {
+  const tg_analysis::BridgeEnumIndex index(snap);
+  bool any_dirty = false;
+  const std::vector<bool> dirty_level =
+      BridgeDirtyLevels(snap, index, assignment, candidates, /*knowable=*/true, &any_dirty);
+  SecurityReport report;
+  if (!any_dirty) {
+    return report;
+  }
+  const std::vector<uint64_t> subject_bits = DenseSubjectBits(snap);
+  for (VertexId x : candidates) {
+    if (!dirty_level[assignment.LevelOf(x)]) {
+      continue;
+    }
+    const std::vector<uint64_t> knowable = BridgeKnowableWords(snap, index, subject_bits, x);
+    const size_t remaining =
+        max_violations == 0 ? 0 : max_violations - report.violations.size();
+    const std::vector<VertexId> one{x};
+    SecurityReport part = EmitViolations(
+        g, assignment, one, [&](size_t, VertexId y) { return TestBit(knowable, y); },
+        remaining);
+    if (!part.secure) {
+      report.secure = false;
+    }
+    report.violations.insert(report.violations.end(),
+                             std::make_move_iterator(part.violations.begin()),
+                             std::make_move_iterator(part.violations.end()));
+    if (max_violations != 0 && report.violations.size() >= max_violations) {
+      break;
+    }
+  }
+  return report;
+}
+
 }  // namespace
+
+AuditEngine ResolveAuditEngine(const ProtectionGraph& g, const LevelAssignment& assignment,
+                               AuditEngine requested) {
+  if (requested != AuditEngine::kAuto) {
+    return requested;
+  }
+  if (assignment.LevelCount() < 2) {
+    return AuditEngine::kDense;
+  }
+  const size_t n = g.VertexCount();
+  const bool over_cap =
+      tg::BitMatrix::AllocationBytes(n, n) > tg::BitMatrix::MaxBytes();
+  if (n < kShardedAuditMinVertices && !over_cap) {
+    return AuditEngine::kDense;
+  }
+  // At scale the engines split on pivot density.  Few cross-level take or
+  // grant edges (the planted-channel regime) means few dirty shards and
+  // tiny pivot seeds, where the bridge-enum factorization collapses the
+  // audit; dense pivots erode that advantage and the shared product sweeps
+  // of the sharded engine win.
+  const size_t pivots = CrossLevelPivotEdges(g, assignment);
+  const size_t threshold = std::max<size_t>(16, n / 256);
+  return pivots <= threshold ? AuditEngine::kBridgeEnum : AuditEngine::kSharded;
+}
 
 SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assignment,
                            size_t max_violations, tg_util::ThreadPool* pool,
@@ -215,9 +433,11 @@ SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assi
   }
   tg::AnalysisSnapshot snap(g);
   SecurityReport report;
-  if (ResolveEngine(engine, g.VertexCount(), assignment.LevelCount()) ==
-      AuditEngine::kSharded) {
+  const AuditEngine resolved = ResolveAuditEngine(g, assignment, engine);
+  if (resolved == AuditEngine::kSharded) {
     report = CheckSecureSharded(g, snap, assignment, candidates, max_violations, pool);
+  } else if (resolved == AuditEngine::kBridgeEnum) {
+    report = CheckSecureBridgeEnum(g, snap, assignment, candidates, max_violations);
   } else {
     // One knowable bit row per candidate from the bit-parallel pipeline,
     // 64 candidates per product BFS.
@@ -238,14 +458,17 @@ SecurityReport CheckSecure(const ProtectionGraph& g, const LevelAssignment& assi
   if (candidates.empty()) {
     return SecurityReport{};
   }
-  if (ResolveEngine(engine, g.VertexCount(), assignment.LevelCount()) ==
-      AuditEngine::kSharded) {
-    // The sharded engine reuses the cache's overlay-patched snapshot (the
-    // expensive shared artifact); its per-shard summaries are cheap enough
+  const AuditEngine resolved = ResolveAuditEngine(g, assignment, engine);
+  if (resolved == AuditEngine::kSharded || resolved == AuditEngine::kBridgeEnum) {
+    // Both scaled engines reuse the cache's overlay-patched snapshot (the
+    // expensive shared artifact); their summaries / index are cheap enough
     // to recompute per audit, and the dense all-pairs matrix the cache
     // would otherwise pin never materializes.
-    SecurityReport report = CheckSecureSharded(g, cache.Snapshot(g), assignment, candidates,
-                                               max_violations, pool);
+    const tg::AnalysisSnapshot& snap = cache.Snapshot(g);
+    SecurityReport report =
+        resolved == AuditEngine::kSharded
+            ? CheckSecureSharded(g, snap, assignment, candidates, max_violations, pool)
+            : CheckSecureBridgeEnum(g, snap, assignment, candidates, max_violations);
     query.set_verdict(report.secure);
     return report;
   }
@@ -305,7 +528,98 @@ std::vector<CrossLevelChannel> FindCrossLevelChannelsSharded(
                                      tg::BridgeOrConnectionDfa(), snap_options, pool);
     const size_t remaining = max_channels == 0 ? 0 : max_channels - channels.size();
     std::vector<CrossLevelChannel> part = EmitChannels(
-        g, assignment, chunk, [&](size_t i, VertexId v) { return reach.Test(i, v); },
+        g, snap, assignment, chunk, [&](size_t i, VertexId v) { return reach.Test(i, v); },
+        remaining);
+    channels.insert(channels.end(), std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    if (max_channels != 0 && channels.size() >= max_channels) {
+      break;
+    }
+  }
+  return channels;
+}
+
+// Bridge-enum structural scan: the index's per-source union rows stand in
+// for the multi-source BOC sweeps (the word-type union equals the BOC
+// language), dirty levels gate the per-source expansion, and EmitChannels
+// replays the same witnesses — identical channel lists.
+std::vector<CrossLevelChannel> FindCrossLevelChannelsBridgeEnum(
+    const ProtectionGraph& g, const tg::AnalysisSnapshot& snap,
+    const LevelAssignment& assignment, const std::vector<VertexId>& sources,
+    size_t max_channels) {
+  const tg_analysis::BridgeEnumIndex index(snap);
+  bool any_dirty = false;
+  const std::vector<bool> dirty_level =
+      BridgeDirtyLevels(snap, index, assignment, sources, /*knowable=*/false, &any_dirty);
+  std::vector<CrossLevelChannel> channels;
+  if (!any_dirty) {
+    return channels;
+  }
+  const size_t n = snap.vertex_count();
+  const size_t words = (n + 63) / 64;
+  // Per-level mask of assigned subjects strictly higher than that level —
+  // exactly the vertices EmitChannels could report for a source at the
+  // level, so a zero intersection skips the source without entering the
+  // per-vertex emit loop.
+  const size_t level_count = assignment.LevelCount();
+  std::vector<std::vector<uint64_t>> level_subjects(level_count,
+                                                    std::vector<uint64_t>(words, 0));
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.IsSubject(v) && assignment.IsAssigned(v)) {
+      SetBit(level_subjects[assignment.LevelOf(v)], v);
+    }
+  }
+  std::vector<std::vector<uint64_t>> higher_subjects(level_count,
+                                                     std::vector<uint64_t>(words, 0));
+  for (LevelId low = 0; low < level_count; ++low) {
+    for (LevelId high = 0; high < level_count; ++high) {
+      if (!assignment.Higher(high, low)) {
+        continue;
+      }
+      for (size_t w = 0; w < words; ++w) {
+        higher_subjects[low][w] |= level_subjects[high][w];
+      }
+    }
+  }
+  // Sources arrive in ascending vertex order, so take-component runs are
+  // contiguous for the common cluster shapes; the component part of the
+  // reach row is shared by the whole run and computed once.  Only sources
+  // whose row intersects their level's mask pay the full emit scan.
+  std::vector<uint64_t> comp_row(words);
+  std::vector<uint64_t> row(words);
+  uint32_t cur_comp = std::numeric_limits<uint32_t>::max();
+  for (VertexId u : sources) {
+    if (!dirty_level[assignment.LevelOf(u)]) {
+      continue;
+    }
+    const uint32_t c = index.take_quotient().component[u];
+    if (c != cur_comp) {
+      std::fill(comp_row.begin(), comp_row.end(), 0);
+      index.OrComponentReach(u, comp_row);
+      cur_comp = c;
+    }
+    const std::vector<uint64_t>& mask = higher_subjects[assignment.LevelOf(u)];
+    bool hit = false;
+    for (size_t w = 0; w < words && !hit; ++w) {
+      hit = (comp_row[w] & mask[w]) != 0;
+    }
+    if (!hit && !index.HasWriterPivots(u)) {
+      continue;
+    }
+    std::copy(comp_row.begin(), comp_row.end(), row.begin());
+    index.OrWriterClosure(u, row);
+    if (!hit) {
+      for (size_t w = 0; w < words && !hit; ++w) {
+        hit = (row[w] & mask[w]) != 0;
+      }
+      if (!hit) {
+        continue;
+      }
+    }
+    const size_t remaining = max_channels == 0 ? 0 : max_channels - channels.size();
+    const std::vector<VertexId> one{u};
+    std::vector<CrossLevelChannel> part = EmitChannels(
+        g, snap, assignment, one, [&](size_t, VertexId v) { return TestBit(row, v); },
         remaining);
     channels.insert(channels.end(), std::make_move_iterator(part.begin()),
                     std::make_move_iterator(part.end()));
@@ -329,10 +643,12 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
     return {};
   }
   tg::AnalysisSnapshot snap(g);
-  if (ResolveEngine(engine, g.VertexCount(), assignment.LevelCount()) ==
-      AuditEngine::kSharded) {
+  const AuditEngine resolved = ResolveAuditEngine(g, assignment, engine);
+  if (resolved == AuditEngine::kSharded || resolved == AuditEngine::kBridgeEnum) {
     std::vector<CrossLevelChannel> channels =
-        FindCrossLevelChannelsSharded(g, snap, assignment, sources, max_channels, pool);
+        resolved == AuditEngine::kSharded
+            ? FindCrossLevelChannelsSharded(g, snap, assignment, sources, max_channels, pool)
+            : FindCrossLevelChannelsBridgeEnum(g, snap, assignment, sources, max_channels);
     query.set_result(channels.size());
     return channels;
   }
@@ -342,7 +658,7 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
       tg::SnapshotWordReachableAll(snap, std::span<const VertexId>(sources),
                                    tg::BridgeOrConnectionDfa(), snap_options, pool);
   std::vector<CrossLevelChannel> channels = EmitChannels(
-      g, assignment, sources, [&](size_t i, VertexId v) { return reach.Test(i, v); },
+      g, snap, assignment, sources, [&](size_t i, VertexId v) { return reach.Test(i, v); },
       max_channels);
   query.set_result(channels.size());
   return channels;
@@ -359,10 +675,13 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
   if (sources.empty()) {
     return {};
   }
-  if (ResolveEngine(engine, g.VertexCount(), assignment.LevelCount()) ==
-      AuditEngine::kSharded) {
-    std::vector<CrossLevelChannel> channels = FindCrossLevelChannelsSharded(
-        g, cache.Snapshot(g), assignment, sources, max_channels, pool);
+  const AuditEngine resolved = ResolveAuditEngine(g, assignment, engine);
+  if (resolved == AuditEngine::kSharded || resolved == AuditEngine::kBridgeEnum) {
+    const tg::AnalysisSnapshot& snap = cache.Snapshot(g);
+    std::vector<CrossLevelChannel> channels =
+        resolved == AuditEngine::kSharded
+            ? FindCrossLevelChannelsSharded(g, snap, assignment, sources, max_channels, pool)
+            : FindCrossLevelChannelsBridgeEnum(g, snap, assignment, sources, max_channels);
     query.set_result(channels.size());
     return channels;
   }
@@ -370,7 +689,7 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
       cache.ReachableAll(g, tg::BridgeOrConnectionDfa(), /*use_implicit=*/true,
                          /*min_steps=*/0, pool);
   std::vector<CrossLevelChannel> channels = EmitChannels(
-      g, assignment, sources,
+      g, cache.Snapshot(g), assignment, sources,
       [&](size_t i, VertexId v) { return reach.Test(sources[i], v); }, max_channels);
   query.set_result(channels.size());
   return channels;
@@ -378,6 +697,64 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const ProtectionGraph& g,
 
 bool SecureByTheorem52(const ProtectionGraph& g, const LevelAssignment& assignment) {
   return FindCrossLevelChannels(g, assignment, /*max_channels=*/1).empty();
+}
+
+namespace {
+
+// Same source loop, pair filter, order, and cutoff as EmitChannels — the
+// typed list pairs up one-to-one with the untyped channel list — but each
+// hit expands to a DescribeChannel record (word type, pivot, typed witness,
+// replay verdict).
+std::vector<TypedCrossLevelChannel> FindTypedCrossLevelChannelsImpl(
+    const ProtectionGraph& g, const tg::AnalysisSnapshot& snap,
+    const LevelAssignment& assignment, size_t max_channels) {
+  tg_util::QueryScope query(tg_util::QueryKind::kCrossLevelChannels);
+  const std::vector<VertexId> sources = ChannelSources(g, assignment);
+  std::vector<TypedCrossLevelChannel> channels;
+  if (sources.empty()) {
+    return channels;
+  }
+  const tg_analysis::BridgeEnumIndex index(snap);
+  const size_t n = g.VertexCount();
+  for (VertexId u : sources) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (v == u || !index.ReachesAny(u, v) || !g.IsSubject(v)) {
+        continue;
+      }
+      if (!assignment.HigherVertex(v, u)) {
+        continue;
+      }
+      std::optional<tg_analysis::TypedChannel> described = index.DescribeChannel(g, u, v, &snap);
+      if (!described.has_value()) {
+        continue;  // unreachable: ReachesAny just held
+      }
+      TypedCrossLevelChannel channel;
+      channel.channel = std::move(*described);
+      channel.from_level = assignment.LevelOf(u);
+      channel.to_level = assignment.LevelOf(v);
+      channels.push_back(std::move(channel));
+      if (max_channels != 0 && channels.size() >= max_channels) {
+        query.set_result(channels.size());
+        return channels;
+      }
+    }
+  }
+  query.set_result(channels.size());
+  return channels;
+}
+
+}  // namespace
+
+std::vector<TypedCrossLevelChannel> FindTypedCrossLevelChannels(
+    const ProtectionGraph& g, const LevelAssignment& assignment, size_t max_channels) {
+  tg::AnalysisSnapshot snap(g);
+  return FindTypedCrossLevelChannelsImpl(g, snap, assignment, max_channels);
+}
+
+std::vector<TypedCrossLevelChannel> FindTypedCrossLevelChannels(
+    const ProtectionGraph& g, const LevelAssignment& assignment,
+    tg_analysis::AnalysisCache& cache, size_t max_channels) {
+  return FindTypedCrossLevelChannelsImpl(g, cache.Snapshot(g), assignment, max_channels);
 }
 
 }  // namespace tg_hier

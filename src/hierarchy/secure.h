@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/bridge_enum.h"
 #include "src/hierarchy/levels.h"
 #include "src/tg/graph.h"
 #include "src/util/thread_pool.h"
@@ -42,11 +43,28 @@ struct SecurityReport {
 // stage (src/hierarchy/shard_audit.h), and only dirty shards expand to
 // per-candidate rows — identical reports (contents, order, cutoff), but
 // O(levels) sweeps instead of O(candidates) rows on clean hierarchies,
-// which is what scales past the dense matrix allocation cap.  kAuto picks
-// kSharded at or above kShardedAuditMinVertices vertices (or when the
-// dense matrix would exceed tg::BitMatrix::MaxBytes()) when the
-// assignment has at least two levels, and kDense otherwise.
-enum class AuditEngine { kAuto, kDense, kSharded };
+// which is what scales past the dense matrix allocation cap.  kBridgeEnum
+// is the bridge-first path: one tg_analysis::BridgeEnumIndex (take
+// condensation + per-word-type segment closures) replaces every product
+// sweep; shard summaries and dirty-shard per-row expansion come from row
+// ORs over the shared index, so nothing is rebuilt per shard or per
+// source.  All three produce bit-identical reports and channel lists.
+//
+// kAuto (ResolveAuditEngine): kDense below kShardedAuditMinVertices
+// vertices or under two levels; at scale, kBridgeEnum when the explicit
+// cross-level take/grant pivot density is low (the planted-channel regime,
+// where the word-type factorization collapses the work) and kSharded when
+// pivots are dense enough that the shared product sweeps win.
+enum class AuditEngine { kAuto, kDense, kSharded, kBridgeEnum };
+
+// The kAuto selection rule, exposed so callers (and tests) can see which
+// engine an audit will run on.  Returns `requested` unchanged unless it is
+// kAuto.  The density flip: at or past the sharded scale threshold, count
+// explicit take/grant edges between differently-leveled assigned vertices
+// (exactly the generator's planted channels); at most max(16, n / 256) of
+// them picks kBridgeEnum, more picks kSharded.
+AuditEngine ResolveAuditEngine(const tg::ProtectionGraph& g, const LevelAssignment& assignment,
+                               AuditEngine requested = AuditEngine::kAuto);
 
 // Decides the security definition for an explicit level assignment:
 // for every ordered pair with level(lower) < level(higher), can_know(lower,
@@ -101,6 +119,28 @@ std::vector<CrossLevelChannel> FindCrossLevelChannels(const tg::ProtectionGraph&
 // Theorem 5.2, decided structurally: secure iff FindCrossLevelChannels
 // returns nothing.
 bool SecureByTheorem52(const tg::ProtectionGraph& g, const LevelAssignment& assignment);
+
+// A cross-level channel with its full bridge-enum explanation attached:
+// the word type that carries it, the pivot edge, a replay-verified witness
+// path, and the endpoint levels.
+struct TypedCrossLevelChannel {
+  tg_analysis::TypedChannel channel;
+  LevelId from_level = kNoLevel;
+  LevelId to_level = kNoLevel;
+};
+
+// The typed counterpart of FindCrossLevelChannels: same (from, to) pairs in
+// the same order and under the same max_channels cutoff, but each channel
+// is a tg_analysis::BridgeEnumIndex::DescribeChannel record instead of a
+// rendered union-language path.  Always runs on the bridge-enum engine
+// (typing is what that engine exists for).
+std::vector<TypedCrossLevelChannel> FindTypedCrossLevelChannels(
+    const tg::ProtectionGraph& g, const LevelAssignment& assignment, size_t max_channels = 0);
+
+// Cache-aware overload: reuses the cache's overlay-patched snapshot.
+std::vector<TypedCrossLevelChannel> FindTypedCrossLevelChannels(
+    const tg::ProtectionGraph& g, const LevelAssignment& assignment,
+    tg_analysis::AnalysisCache& cache, size_t max_channels = 0);
 
 }  // namespace tg_hier
 

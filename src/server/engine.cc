@@ -7,6 +7,7 @@
 
 #include "src/analysis/can_know.h"
 #include "src/analysis/can_share.h"
+#include "src/analysis/provenance.h"
 #include "src/hierarchy/secure.h"
 #include "src/server/protocol.h"
 #include "src/util/metrics.h"
@@ -218,6 +219,44 @@ std::string PolicyEngine::ExecuteReadLine(const EpochState& state,
            << ",\"higher\":" << Quoted(g.NameOf(v.higher)) << "}";
     }
     body << "]";
+    return with_epoch();
+  }
+  if (verb == "channels") {
+    if (tok.size() > 2) {
+      return ErrorResponse("'channels' expects at most one argument (MAX)");
+    }
+    size_t max_channels = 8;
+    if (tok.size() == 2) {
+      max_channels = static_cast<size_t>(std::atol(std::string(tok[1]).c_str()));
+    }
+    const std::vector<tg_hier::TypedCrossLevelChannel> channels =
+        tg_hier::FindTypedCrossLevelChannels(g, state.levels, cache, max_channels);
+    body << "\"verb\":\"channels\",\"count\":" << channels.size() << ",\"channels\":[";
+    for (size_t i = 0; i < channels.size(); ++i) {
+      const tg_analysis::TypedChannel& c = channels[i].channel;
+      body << (i == 0 ? "" : ",") << "{\"from\":" << Quoted(g.NameOf(c.from))
+           << ",\"to\":" << Quoted(g.NameOf(c.to))
+           << ",\"word\":" << Quoted(tg_analysis::ChannelWordTypeName(c.word_type))
+           << ",\"bridge\":" << (tg_analysis::IsBridgeWordType(c.word_type) ? "true" : "false")
+           << ",\"from_level\":" << Quoted(state.levels.LevelName(channels[i].from_level))
+           << ",\"to_level\":" << Quoted(state.levels.LevelName(channels[i].to_level))
+           << ",\"witness\":" << Quoted(c.path.ToString(g))
+           << ",\"verified\":" << (c.replay_verified ? "true" : "false") << "}";
+    }
+    body << "]";
+    return with_epoch();
+  }
+  if (verb == "explain_channel") {
+    if (tok.size() != 3) {
+      return ErrorResponse("'explain_channel' expects U V");
+    }
+    auto u = ResolveName(g, tok[1]);
+    auto v = ResolveName(g, tok[2]);
+    if (!u.ok()) return ErrorResponse(u.status().message());
+    if (!v.ok()) return ErrorResponse(v.status().message());
+    tg_analysis::QueryProvenance record = tg_analysis::ExplainChannel(g, *u, *v, &cache);
+    tg_analysis::RecordProvenance(record);
+    body << "\"verb\":\"explain_channel\",\"record\":" << record.ToJson();
     return with_epoch();
   }
   return ErrorResponse("unknown verb '" + std::string(verb) + "'");

@@ -122,6 +122,41 @@ Dfa BuildBridgeOrConnection() {
   return dfa;
 }
 
+// t>* g> t<*
+Dfa BuildGrantFwdBridge() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(false);  // t>* prefix
+  Dfa::State f = dfa.AddState(true);   // after the g> pivot; t<* tail
+  dfa.AddTransition(s, kTf, s);
+  dfa.AddTransition(s, kGf, f);
+  dfa.AddTransition(f, kTb, f);
+  return dfa;
+}
+
+// t>* g< t<*
+Dfa BuildGrantBackBridge() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(false);  // t>* prefix
+  Dfa::State f = dfa.AddState(true);   // after the g< pivot; t<* tail
+  dfa.AddTransition(s, kTf, s);
+  dfa.AddTransition(s, kGb, f);
+  dfa.AddTransition(f, kTb, f);
+  return dfa;
+}
+
+// t>* r> w< t<*
+Dfa BuildFullConnection() {
+  Dfa dfa(kPathSymbolCount);
+  Dfa::State s = dfa.AddState(false);  // t>* prefix
+  Dfa::State r = dfa.AddState(false);  // ... r>
+  Dfa::State w = dfa.AddState(true);   // ... w< t<* tail
+  dfa.AddTransition(s, kTf, s);
+  dfa.AddTransition(s, kRf, r);
+  dfa.AddTransition(r, kWb, w);
+  dfa.AddTransition(w, kTb, w);
+  return dfa;
+}
+
 // t<*
 Dfa BuildReverseTerminalSpan() {
   Dfa dfa(kPathSymbolCount);
@@ -192,6 +227,18 @@ const Dfa& AdmissibleRwDfa() {
 }
 const Dfa& BridgeOrConnectionDfa() {
   static const Dfa dfa = BuildBridgeOrConnection();
+  return dfa;
+}
+const Dfa& GrantFwdBridgeDfa() {
+  static const Dfa dfa = BuildGrantFwdBridge();
+  return dfa;
+}
+const Dfa& GrantBackBridgeDfa() {
+  static const Dfa dfa = BuildGrantBackBridge();
+  return dfa;
+}
+const Dfa& FullConnectionDfa() {
+  static const Dfa dfa = BuildFullConnection();
   return dfa;
 }
 

@@ -35,6 +35,15 @@ const tg_util::Dfa& ConnectionDfa();
 const tg_util::Dfa& AdmissibleRwDfa();
 const tg_util::Dfa& BridgeOrConnectionDfa();
 
+// Single-word-type sublanguages of bridge / connection, for the per-type
+// channel enumeration (src/analysis/bridge_enum.h).  The remaining word
+// types reuse the DFAs above: t>* is TerminalSpanDfa, t<* is
+// ReverseTerminalSpanDfa, t>* r> is RwTerminalSpanDfa, and w< t<* is
+// ReverseRwInitialSpanDfa.
+const tg_util::Dfa& GrantFwdBridgeDfa();   // t>* g> t<*
+const tg_util::Dfa& GrantBackBridgeDfa();  // t>* g< t<*
+const tg_util::Dfa& FullConnectionDfa();   // t>* r> w< t<*
+
 // Reversed span languages.  A path from a to b with word w is the same path
 // from b to a with w reversed and every symbol's direction flipped, so "find
 // all u that <span> to x" is one search *from* x with the reversed language:

@@ -54,16 +54,15 @@ std::vector<PathSymbol> StepSymbols(const ProtectionGraph& g, VertexId u, Vertex
 
 namespace {
 
-// One shared implementation for the path-finding entry points: build a
-// snapshot, run the templated product BFS with the given step filter.
-// FindWordPath is a cold path compared to the batch analyses, so paying
-// one snapshot build per call is fine (it costs about as much as the
-// hash-map probes a single direct BFS used to make).
+// One shared implementation for the path-finding entry points: run the
+// templated product BFS over a snapshot with the given step filter.  The
+// graph-taking entry point builds the snapshot itself (fine for one-shot
+// queries); the snapshot-taking one lets batch callers amortize the build
+// across many witness replays.
 template <typename Filter>
-std::optional<GraphPath> FindWordPathImpl(const ProtectionGraph& g, VertexId from, VertexId to,
-                                          const tg_util::Dfa& dfa,
+std::optional<GraphPath> FindWordPathImpl(const AnalysisSnapshot& snap, VertexId from,
+                                          VertexId to, const tg_util::Dfa& dfa,
                                           const PathSearchOptions& options, Filter filter) {
-  AnalysisSnapshot snap(g);
   SnapshotBfsOptions bfs_options{options.use_implicit, options.min_steps};
   SnapshotProductBfs<Filter> bfs(snap, dfa, bfs_options, std::move(filter));
   bfs.Seed(from);
@@ -84,15 +83,24 @@ std::optional<GraphPath> FindWordPathImpl(const ProtectionGraph& g, VertexId fro
 
 std::optional<GraphPath> FindWordPath(const ProtectionGraph& g, VertexId from, VertexId to,
                                       const tg_util::Dfa& dfa, const PathSearchOptions& options) {
-  static tg_util::Counter& searches = tg_util::GetCounter("path.find_word");
-  searches.Add();
   if (!g.IsValidVertex(from) || !g.IsValidVertex(to)) {
     return std::nullopt;
   }
-  if (options.step_filter) {
-    return FindWordPathImpl(g, from, to, dfa, options, options.step_filter);
+  AnalysisSnapshot snap(g);
+  return FindWordPath(snap, from, to, dfa, options);
+}
+
+std::optional<GraphPath> FindWordPath(const AnalysisSnapshot& snap, VertexId from, VertexId to,
+                                      const tg_util::Dfa& dfa, const PathSearchOptions& options) {
+  static tg_util::Counter& searches = tg_util::GetCounter("path.find_word");
+  searches.Add();
+  if (from >= snap.vertex_count() || to >= snap.vertex_count()) {
+    return std::nullopt;
   }
-  return FindWordPathImpl(g, from, to, dfa, options, NoStepFilter{});
+  if (options.step_filter) {
+    return FindWordPathImpl(snap, from, to, dfa, options, options.step_filter);
+  }
+  return FindWordPathImpl(snap, from, to, dfa, options, NoStepFilter{});
 }
 
 std::vector<bool> WordReachable(const ProtectionGraph& g, VertexId from, const tg_util::Dfa& dfa,

@@ -23,6 +23,8 @@
 
 namespace tg {
 
+class AnalysisSnapshot;
+
 // One hop of a path: the vertex stepped to and the symbol used.
 struct PathStep {
   VertexId to = kInvalidVertex;
@@ -67,6 +69,16 @@ struct PathSearchOptions {
 // `from == to` only succeeds when min_steps == 0 and the DFA accepts v
 // (a length-0 path).
 std::optional<GraphPath> FindWordPath(const ProtectionGraph& g, VertexId from, VertexId to,
+                                      const tg_util::Dfa& dfa,
+                                      const PathSearchOptions& options = {});
+
+// Same search over a prebuilt snapshot (which must reflect the graph the
+// path will be rendered against).  The channel enumerators replay one
+// witness per reported channel against a single graph version; reusing
+// their snapshot turns the per-witness O(V + E) snapshot build into O(1),
+// which is the difference between the audit being enumeration-bound and
+// witness-bound at n = 65536.
+std::optional<GraphPath> FindWordPath(const AnalysisSnapshot& snap, VertexId from, VertexId to,
                                       const tg_util::Dfa& dfa,
                                       const PathSearchOptions& options = {});
 

@@ -43,6 +43,8 @@ const char* TraceKindName(TraceKind kind) {
       return "admission";
     case TraceKind::kServer:
       return "server";
+    case TraceKind::kBridgeEnum:
+      return "bridge_enum";
     case TraceKind::kQuery:
       return "query";
   }

@@ -63,6 +63,7 @@ enum class TraceKind : uint8_t {
   kServer,           // arg0 = requests in the dispatched batch (0 = one
                      //        serially executed write), arg1 = the epoch
                      //        the batch was pinned to
+  kBridgeEnum,       // arg0 = take components, arg1 = pivot edges found
   kQuery,            // arg0 = QueryKind, arg1 = verdict / result count
 };
 

@@ -45,6 +45,8 @@ ArgNames ArgNamesFor(TraceKind kind) {
       return {"admission_event", "sequence"};
     case TraceKind::kServer:
       return {"batch_requests", "epoch"};
+    case TraceKind::kBridgeEnum:
+      return {"take_components", "pivot_edges"};
     case TraceKind::kQuery:
       return {"query_kind", "result"};
   }

@@ -283,6 +283,15 @@ TEST(LanguageFuzzTest, DfasMatchReferenceMatchers) {
     EXPECT_EQ(tg::BridgeOrConnectionDfa().Accepts(tg::WordToIndices(w)),
               RefBridge(w) || RefConnection(w))
         << label;
+    // ... and the seven per-word-type sublanguage DFAs (the bridge-enum
+    // decomposition) partition it: their union accepts exactly the same
+    // words.
+    bool any_type = false;
+    for (size_t t = 0; t < tg_analysis::kChannelWordTypeCount; ++t) {
+      const auto type = static_cast<tg_analysis::ChannelWordType>(t);
+      any_type = any_type || tg_analysis::ChannelWordDfa(type).Accepts(tg::WordToIndices(w));
+    }
+    EXPECT_EQ(any_type, RefBridge(w) || RefConnection(w)) << label;
   }
 }
 
@@ -378,6 +387,9 @@ TEST(StressTest, HybridRowsMatchDenseAcrossAllDfasAndSizes) {
       {"rev_initial", &tg::ReverseInitialSpanDfa()},
       {"rev_rw_terminal", &tg::ReverseRwTerminalSpanDfa()},
       {"rev_rw_initial", &tg::ReverseRwInitialSpanDfa()},
+      {"grant_fwd_bridge", &tg::GrantFwdBridgeDfa()},
+      {"grant_back_bridge", &tg::GrantBackBridgeDfa()},
+      {"full_connection", &tg::FullConnectionDfa()},
   };
   tg_util::Prng prng(6060);
   for (size_t n : {size_t{63}, size_t{64}, size_t{65}, size_t{129}, size_t{1024}}) {
@@ -434,24 +446,31 @@ TEST(StressTest, ShardedAuditMatchesDenseOnRandomGraphs) {
     ASSERT_TRUE(levels.Finalize());
     tg_hier::SecurityReport dense =
         tg_hier::CheckSecure(g, levels, 0, nullptr, tg_hier::AuditEngine::kDense);
-    tg_hier::SecurityReport sharded =
-        tg_hier::CheckSecure(g, levels, 0, nullptr, tg_hier::AuditEngine::kSharded);
-    ASSERT_EQ(dense.secure, sharded.secure) << "trial " << trial;
-    ASSERT_EQ(dense.violations.size(), sharded.violations.size()) << "trial " << trial;
-    for (size_t i = 0; i < dense.violations.size(); ++i) {
-      EXPECT_EQ(dense.violations[i].lower, sharded.violations[i].lower) << "trial " << trial;
-      EXPECT_EQ(dense.violations[i].higher, sharded.violations[i].higher) << "trial " << trial;
-      EXPECT_EQ(dense.violations[i].detail, sharded.violations[i].detail) << "trial " << trial;
-    }
     auto dense_ch = tg_hier::FindCrossLevelChannels(g, levels, 0, nullptr,
                                                     tg_hier::AuditEngine::kDense);
-    auto sharded_ch = tg_hier::FindCrossLevelChannels(g, levels, 0, nullptr,
-                                                      tg_hier::AuditEngine::kSharded);
-    ASSERT_EQ(dense_ch.size(), sharded_ch.size()) << "trial " << trial;
-    for (size_t i = 0; i < dense_ch.size(); ++i) {
-      EXPECT_EQ(dense_ch[i].from, sharded_ch[i].from) << "trial " << trial;
-      EXPECT_EQ(dense_ch[i].to, sharded_ch[i].to) << "trial " << trial;
-      EXPECT_EQ(dense_ch[i].path, sharded_ch[i].path) << "trial " << trial;
+    // Both scaled engines — the level-sharded sweep and the per-word-type
+    // bridge-enum decomposition — must match the dense reference exactly.
+    for (tg_hier::AuditEngine engine :
+         {tg_hier::AuditEngine::kSharded, tg_hier::AuditEngine::kBridgeEnum}) {
+      const char* name = engine == tg_hier::AuditEngine::kSharded ? "sharded" : "bridge_enum";
+      tg_hier::SecurityReport scaled = tg_hier::CheckSecure(g, levels, 0, nullptr, engine);
+      ASSERT_EQ(dense.secure, scaled.secure) << name << " trial " << trial;
+      ASSERT_EQ(dense.violations.size(), scaled.violations.size()) << name << " trial " << trial;
+      for (size_t i = 0; i < dense.violations.size(); ++i) {
+        EXPECT_EQ(dense.violations[i].lower, scaled.violations[i].lower)
+            << name << " trial " << trial;
+        EXPECT_EQ(dense.violations[i].higher, scaled.violations[i].higher)
+            << name << " trial " << trial;
+        EXPECT_EQ(dense.violations[i].detail, scaled.violations[i].detail)
+            << name << " trial " << trial;
+      }
+      auto scaled_ch = tg_hier::FindCrossLevelChannels(g, levels, 0, nullptr, engine);
+      ASSERT_EQ(dense_ch.size(), scaled_ch.size()) << name << " trial " << trial;
+      for (size_t i = 0; i < dense_ch.size(); ++i) {
+        EXPECT_EQ(dense_ch[i].from, scaled_ch[i].from) << name << " trial " << trial;
+        EXPECT_EQ(dense_ch[i].to, scaled_ch[i].to) << name << " trial " << trial;
+        EXPECT_EQ(dense_ch[i].path, scaled_ch[i].path) << name << " trial " << trial;
+      }
     }
   }
 }

@@ -295,6 +295,117 @@ TEST_F(MetricsConsistencyTest, CondensationCountersDeterministicAcrossThreadCoun
   EXPECT_GT(one.at("row.sparse_hits") + one.at("row.dense_hits"), 0u);
 }
 
+// The bridge-enum engine's work tallies — segment closure rows, pivot
+// adjacency scans, typed channels emitted — are per-index sums of
+// deterministic values (the build is serial, emission is scan-ordered), so
+// they must be identical for any thread count.
+TEST_F(MetricsConsistencyTest, BridgeEnumCountersDeterministicAcrossThreadCounts) {
+  const char* kNames[] = {
+      "bridge_enum.segment_closures",
+      "bridge_enum.pivot_scans",
+      "bridge_enum.channels_emitted",
+  };
+  tg_util::Prng prng(404);
+  tg_sim::HierarchicalGraphOptions options;
+  options.levels = 3;
+  options.clusters_per_level = 2;
+  options.subjects_per_cluster = 5;
+  options.objects_per_cluster = 2;
+  options.planted_channels = 2;
+  tg_sim::GeneratedHierarchy h = tg_sim::HierarchicalGraph(options, prng);
+
+  auto run = [&](size_t threads) {
+    std::map<std::string, uint64_t> before;
+    for (const char* name : kNames) {
+      before[name] = CounterNow(name);
+    }
+    tg_util::ThreadPool pool(threads);
+    tg_hier::SecurityReport report =
+        tg_hier::CheckSecure(h.graph, h.levels, 0, &pool, tg_hier::AuditEngine::kBridgeEnum);
+    (void)report;
+    auto channels = tg_hier::FindCrossLevelChannels(h.graph, h.levels, 0, &pool,
+                                                    tg_hier::AuditEngine::kBridgeEnum);
+    (void)channels;
+    auto typed = tg_hier::FindTypedCrossLevelChannels(h.graph, h.levels);
+    (void)typed;
+    std::map<std::string, uint64_t> delta;
+    for (const char* name : kNames) {
+      delta[name] = CounterNow(name) - before[name];
+    }
+    return delta;
+  };
+
+  const std::map<std::string, uint64_t> one = run(1);
+  const std::map<std::string, uint64_t> four = run(4);
+  EXPECT_EQ(one, four);
+  EXPECT_GT(one.at("bridge_enum.segment_closures"), 0u);
+  EXPECT_GT(one.at("bridge_enum.pivot_scans"), 0u);
+  EXPECT_GT(one.at("bridge_enum.channels_emitted"), 0u);  // planted channels get typed
+}
+
+// The cache-threaded bridge-enum audit builds exactly one snapshot for an
+// unchanged secure graph, like the other engines (the index itself hangs
+// off the shared snapshot, not a private rebuild); and on an insecure
+// graph it adds no builds beyond dense — the only per-witness builds are
+// FindWordPath's own, identical across engines.
+TEST_F(MetricsConsistencyTest, BridgeEnumAuditBuildsOneSnapshot) {
+  tg_util::Prng prng(505);
+  tg_sim::HierarchicalGraphOptions options;
+  options.levels = 3;
+  options.clusters_per_level = 2;
+  options.subjects_per_cluster = 5;
+  options.objects_per_cluster = 2;
+  tg_sim::GeneratedHierarchy secure_h = tg_sim::HierarchicalGraph(options, prng);
+  {
+    tg_analysis::AnalysisCache cache;
+    const uint64_t builds_before = CounterNow("snapshot.builds");
+    tg_hier::SecurityReport report = tg_hier::CheckSecure(
+        secure_h.graph, secure_h.levels, cache, 0, nullptr, tg_hier::AuditEngine::kBridgeEnum);
+    auto channels = tg_hier::FindCrossLevelChannels(secure_h.graph, secure_h.levels, cache, 0,
+                                                    nullptr, tg_hier::AuditEngine::kBridgeEnum);
+    auto typed = tg_hier::FindTypedCrossLevelChannels(secure_h.graph, secure_h.levels, cache);
+    EXPECT_EQ(CounterNow("snapshot.builds") - builds_before, 1u);
+    EXPECT_TRUE(report.secure);
+    EXPECT_TRUE(channels.empty());
+    EXPECT_TRUE(typed.empty());
+  }
+  options.planted_channels = 2;
+  tg_sim::GeneratedHierarchy leaky = tg_sim::HierarchicalGraph(options, prng);
+  auto builds_for = [&](tg_hier::AuditEngine engine) {
+    tg_analysis::AnalysisCache cache;
+    const uint64_t before = CounterNow("snapshot.builds");
+    tg_hier::SecurityReport report =
+        tg_hier::CheckSecure(leaky.graph, leaky.levels, cache, 0, nullptr, engine);
+    EXPECT_FALSE(report.secure);
+    auto channels =
+        tg_hier::FindCrossLevelChannels(leaky.graph, leaky.levels, cache, 0, nullptr, engine);
+    EXPECT_FALSE(channels.empty());
+    return CounterNow("snapshot.builds") - before;
+  };
+  EXPECT_EQ(builds_for(tg_hier::AuditEngine::kBridgeEnum),
+            builds_for(tg_hier::AuditEngine::kDense));
+}
+
+// The bridge-enum audit leaves its own span kind in the trace ring.
+TEST_F(MetricsConsistencyTest, BridgeEnumAuditLeavesBridgeEnumSpans) {
+  tg_util::Prng prng(808);
+  tg_sim::HierarchicalGraphOptions options;
+  options.levels = 3;
+  options.clusters_per_level = 2;
+  options.subjects_per_cluster = 4;
+  options.objects_per_cluster = 2;
+  tg_sim::GeneratedHierarchy h = tg_sim::HierarchicalGraph(options, prng);
+  tg_util::TraceBuffer::Instance().Clear();
+  tg_hier::SecurityReport report =
+      tg_hier::CheckSecure(h.graph, h.levels, 0, nullptr, tg_hier::AuditEngine::kBridgeEnum);
+  (void)report;
+  bool saw_bridge_enum = false;
+  for (const tg_util::TraceEvent& e : tg_util::TraceBuffer::Instance().Events()) {
+    saw_bridge_enum |= e.kind == tg_util::TraceKind::kBridgeEnum;
+  }
+  EXPECT_TRUE(saw_bridge_enum);
+}
+
 // The sharded audit leaves its own span kinds in the trace ring.
 TEST_F(MetricsConsistencyTest, ShardedAuditLeavesCondenseAndShardSpans) {
   tg_util::Prng prng(808);

@@ -215,6 +215,36 @@ TEST(PolicyServerTest, AnswersReadVerbsOverUnixSocket) {
   EXPECT_FALSE(ExtractJsonField(stats, "published_epoch").empty());
 }
 
+TEST(PolicyServerTest, ChannelsAndExplainChannelVerbs) {
+  ServerHarness h("channels");
+
+  // The fixture assigns every vertex to one level, so the typed channel
+  // scan answers cleanly with zero channels.
+  const std::string channels = h.Call("channels");
+  EXPECT_TRUE(IsOk(channels)) << channels;
+  EXPECT_EQ(ExtractJsonField(channels, "count"), "0") << channels;
+
+  // alice -t-> bob is a t>* bridge: the explain verb must type it, carry
+  // the word in the embedded provenance record, and report a verified
+  // witness replay.
+  const std::string explain = h.Call("explain_channel alice bob");
+  EXPECT_TRUE(IsOk(explain)) << explain;
+  EXPECT_NE(explain.find("\"verdict\":true"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("\"word\":\"t>*\""), std::string::npos) << explain;
+  EXPECT_NE(explain.find("\"verified\":true"), std::string::npos) << explain;
+
+  // No bridge or connection word links bob to carol (their only relation
+  // routes through alice's grant, which needs alice as an endpoint).
+  const std::string none = h.Call("explain_channel bob carol");
+  EXPECT_TRUE(IsOk(none)) << none;
+  EXPECT_NE(none.find("\"verdict\":false"), std::string::npos) << none;
+
+  // Unknown names are errors, and the connection stays usable.
+  const std::string bad = h.Call("explain_channel alice nobody");
+  EXPECT_FALSE(IsOk(bad)) << bad;
+  EXPECT_EQ(ExtractJsonField(h.Call("ping"), "verb"), "\"ping\"");
+}
+
 TEST(PolicyServerTest, AnswersOverTcpLoopback) {
   OfficeFixture office;
   PolicyServer::Options options;
