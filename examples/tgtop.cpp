@@ -1,0 +1,190 @@
+// tgtop: a curses-free live dashboard for the policy server.
+//
+//   tgtop (--socket PATH | --port N [--host IP]) [--interval SEC]
+//         [--iterations N] [--once]
+//
+// Polls the server's `stats` verb (which embeds the full metrics-registry
+// JSON, including the rolling-window instruments) and redraws one screen
+// per interval: epoch / epoch-lag / queue depth up top, then a per-verb
+// table of rolling 10 s QPS and P50/P95/P99 latency.  No curses — the
+// screen is repainted with plain ANSI clear-home, so it works over any
+// terminal (and `--once` prints a single snapshot for scripts and smoke
+// tests).
+//
+//   $ tgtop --port 7411
+//   tgtop — policy server @ 127.0.0.1:7411   epoch 17 (lag 0)   conns 4
+//   requests 128934 total, 4312.5/s (10s)   queue 12   bytes in 12.1 MiB ...
+//   verb              qps(10s)       p50       p95       p99      total
+//   can_know            3911.2      16 us     33 us     66 us     101202
+//   ...
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/client.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "tgtop: %s\n", message.c_str());
+  return 1;
+}
+
+// The verbs the server exports per-verb telemetry for (the "other" bucket
+// collects everything else).  Mirrors the server's whitelist.
+constexpr const char* kVerbs[] = {
+    "ping",     "epoch",        "can_know", "can_knowf", "can_share", "knowable",
+    "levels",   "check_secure", "channels", "explain_channel",
+    "stats",    "metrics",      "slowlog",  "admit",     "txn",       "other"};
+
+// Finds `"key":` in our flat single-line JSON and parses the number after
+// it (handles the nested "metrics" object keys too — key lookup is by the
+// full quoted string, which is unique in the response).  Returns fallback
+// when absent.
+double FindNumber(const std::string& json, const std::string& key, double fallback = 0.0) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) {
+    return fallback;
+  }
+  return std::atof(json.c_str() + at + needle.size());
+}
+
+std::string FormatNs(double ns) {
+  char buf[32];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  }
+  return buf;
+}
+
+std::string FormatBytes(double b) {
+  char buf[32];
+  if (b >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f GiB", b / (1024.0 * 1024.0 * 1024.0));
+  } else if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB", b / (1024.0 * 1024.0));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", b);
+  }
+  return buf;
+}
+
+void RenderScreen(const std::string& stats, const std::string& where, bool clear) {
+  if (clear) {
+    std::fputs("\x1b[2J\x1b[H", stdout);
+  }
+  const double epoch = FindNumber(stats, "epoch");
+  const double published = FindNumber(stats, "published_epoch");
+  const double lag = FindNumber(stats, "server.epoch_lag", epoch - published);
+  std::printf("tgtop — policy server @ %s   epoch %.0f (lag %.0f)   conns %.0f   workers %.0f\n",
+              where.c_str(), epoch, lag, FindNumber(stats, "connections"),
+              FindNumber(stats, "worker_threads"));
+  std::printf(
+      "requests %.0f total, %.1f/s (10s)   queue %.0f   bytes in %s out %s   pauses %.0f\n",
+      FindNumber(stats, "requests"), FindNumber(stats, "server.requests.w10s_rate"),
+      FindNumber(stats, "server.queue_depth"),
+      FormatBytes(FindNumber(stats, "server.bytes_in")).c_str(),
+      FormatBytes(FindNumber(stats, "server.bytes_out")).c_str(),
+      FindNumber(stats, "server.backpressure_pauses"));
+  std::printf("%-17s %10s %9s %9s %9s %10s\n", "verb", "qps(10s)", "p50", "p95", "p99",
+              "total");
+  for (const char* verb : kVerbs) {
+    const std::string base = std::string("server.verb_ns{verb=") + verb + "}";
+    const double total = FindNumber(stats, base + ".count");
+    const double qps = FindNumber(stats, base + ".w10s_rate");
+    if (total == 0.0 && qps == 0.0) {
+      continue;  // never seen; keep the table to live verbs
+    }
+    std::printf("%-17s %10.1f %9s %9s %9s %10.0f\n", verb, qps,
+                FormatNs(FindNumber(stats, base + ".w10s_p50")).c_str(),
+                FormatNs(FindNumber(stats, base + ".w10s_p95")).c_str(),
+                FormatNs(FindNumber(stats, base + ".w10s_p99")).c_str(), total);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  double interval_sec = 2.0;
+  long iterations = 0;  // 0 = until interrupted
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tgtop: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = next("--socket");
+    } else if (arg == "--host") {
+      host = next("--host");
+    } else if (arg == "--port") {
+      port = std::atoi(next("--port"));
+    } else if (arg == "--interval") {
+      interval_sec = std::atof(next("--interval"));
+    } else if (arg == "--iterations") {
+      iterations = std::atol(next("--iterations"));
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      return Fail("unknown flag '" + arg + "'");
+    }
+  }
+  if (socket_path.empty() && port < 0) {
+    return Fail("need --socket PATH or --port N");
+  }
+  if (interval_sec <= 0.0) {
+    interval_sec = 2.0;
+  }
+  if (once) {
+    iterations = 1;
+  }
+
+  tg_server::PolicyClient client;
+  tg_util::Status status = socket_path.empty() ? client.ConnectTcp(host, port)
+                                               : client.ConnectUnix(socket_path);
+  if (!status.ok()) {
+    return Fail(status.ToString());
+  }
+  const std::string where =
+      socket_path.empty() ? host + ":" + std::to_string(port) : socket_path;
+
+  for (long n = 0; iterations == 0 || n < iterations; ++n) {
+    if (n != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long>(interval_sec * 1000.0)));
+    }
+    auto stats = client.Call("stats");
+    if (!stats.ok()) {
+      return Fail(stats.status().ToString());
+    }
+    if (tg_server::ExtractJsonField(*stats, "ok") != "true") {
+      return Fail("stats error: " + *stats);
+    }
+    RenderScreen(*stats, where, !once);
+  }
+  return 0;
+}

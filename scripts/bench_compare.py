@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json artifacts and flag performance regressions.
+
+    bench_compare.py OLD.json NEW.json [--threshold 0.20] [--strict]
+
+Both inputs are the JSONL files the bench binaries write: one JSON object
+per line, each with a "record" discriminator.  Rows are matched across the
+two files by their identity keys (record plus workload/name/engine-style
+fields), then every shared numeric field with a known direction is
+compared:
+
+  * higher-is-better: qps, *_rate, *_per_sec, speedup
+  * lower-is-better:  *_ns, *_ns_p50/p95/p99, *_us, *_ms, *_seconds
+
+A change past --threshold (default 20%) in the bad direction prints a
+WARNING line; improvements and neutral fields are reported only with -v.
+Environment rows (record == "env") are never compared — but a WARNING is
+printed when the two runs came from different thread counts, since their
+numbers are not comparable.
+
+Exit status: 0 normally (warnings are advisory — CI wires this in as a
+canary, not a gate); 1 with --strict when any regression was found; 2 on
+usage or parse errors.
+"""
+
+import json
+import sys
+
+HIGHER_BETTER_SUFFIXES = ("qps", "_rate", "_per_sec", "speedup")
+LOWER_BETTER_SUFFIXES = ("_ns", "_p50", "_p95", "_p99", "_us", "_ms", "_seconds")
+# Fields that look numeric but are identities or counts, not performance.
+SKIP_FIELDS = {
+    "write_pct", "connections", "pipeline", "requests", "write_lines",
+    "final_epoch", "batches", "hardware_concurrency", "threads", "reps",
+    "server_threads", "n", "vertices", "edges", "rules", "seed", "iters",
+}
+IDENTITY_KEYS = ("record", "workload", "name", "engine", "mode", "size", "shape")
+
+
+def direction(field):
+    if field in SKIP_FIELDS:
+        return None
+    for suffix in HIGHER_BETTER_SUFFIXES:
+        if field == suffix or field.endswith(suffix):
+            return +1
+    for suffix in LOWER_BETTER_SUFFIXES:
+        if field.endswith(suffix):
+            return -1
+    return None
+
+
+def row_key(row):
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+
+
+def load(path):
+    rows = {}
+    env = None
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit("bench_compare: %s:%d: %s" % (path, lineno, e))
+            if row.get("record") == "env":
+                env = row
+                continue
+            key = row_key(row)
+            if key in rows:
+                # Repeated key (e.g. several reps): keep the last row, the
+                # binaries already aggregate before writing.
+                pass
+            rows[key] = row
+    return env, rows
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    strict = "--strict" in argv
+    verbose = "-v" in argv or "--verbose" in argv
+    threshold = 0.20
+    for i, a in enumerate(argv):
+        if a == "--threshold" and i + 1 < len(argv):
+            threshold = float(argv[i + 1])
+            args = [x for x in args if x != argv[i + 1]]
+    if len(args) != 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: bench_compare.py OLD.json NEW.json [--threshold F] [--strict] [-v]",
+              file=sys.stderr)
+        return 2
+
+    old_env, old_rows = load(args[0])
+    new_env, new_rows = load(args[1])
+
+    warnings = 0
+    if old_env and new_env:
+        for k in ("threads", "hardware_concurrency"):
+            if old_env.get(k) != new_env.get(k):
+                print("WARNING: env.%s differs (%s -> %s); numbers are not comparable"
+                      % (k, old_env.get(k), new_env.get(k)))
+                warnings += 1
+
+    shared = sorted(set(old_rows) & set(new_rows))
+    missing = sorted(set(old_rows) - set(new_rows))
+    for key in missing:
+        print("WARNING: row %s present in %s but missing from %s"
+              % (dict(key), args[0], args[1]))
+        warnings += 1
+
+    compared = 0
+    for key in shared:
+        old_row, new_row = old_rows[key], new_rows[key]
+        label = " ".join("%s=%s" % (k, v) for k, v in key)
+        for field in sorted(set(old_row) & set(new_row)):
+            sign = direction(field)
+            if sign is None:
+                continue
+            try:
+                old_v, new_v = float(old_row[field]), float(new_row[field])
+            except (TypeError, ValueError):
+                continue
+            if old_v <= 0:
+                continue
+            compared += 1
+            change = (new_v - old_v) / old_v
+            regressed = sign * change < -threshold
+            if regressed:
+                print("WARNING: %s %s regressed %+.1f%% (%g -> %g)"
+                      % (label, field, change * 100.0, old_v, new_v))
+                warnings += 1
+            elif verbose:
+                print("  ok: %s %s %+.1f%% (%g -> %g)"
+                      % (label, field, change * 100.0, old_v, new_v))
+
+    print("bench_compare: %d rows, %d fields compared, %d warnings"
+          % (len(shared), compared, warnings))
+    if warnings and strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -38,7 +38,16 @@ if [ ! -f build/CMakeCache.txt ]; then
 fi
 cmake --build build -j "$jobs" \
   --target bench_allpairs bench_incremental bench_batch bench_scale bench_bridges \
-           bench_admission bench_server policy_server policy_client audit_tool >/dev/null
+           bench_admission bench_server policy_server policy_client tgtop \
+           audit_tool >/dev/null
+
+# Keep the previous run's server-bench artifact so bench_compare can diff
+# this run against it below.
+prev_server_bench=""
+if [ -f build/tests/BENCH_server_smoke.json ]; then
+  prev_server_bench="build/BENCH_server_smoke.prev.json"
+  cp build/tests/BENCH_server_smoke.json "$prev_server_bench"
+fi
 
 # Benchmark artifacts record the machine context; warn loudly when this
 # run's numbers would come from a single effective core (TG_THREADS=1 or a
@@ -55,8 +64,19 @@ if [ "$effective_threads" -le 1 ]; then
 fi
 
 ctest --test-dir build \
-  -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke|bench_scale_smoke|bench_bridges_smoke|bench_admission_smoke|bench_server_smoke|policy_server_roundtrip' \
+  -R 'bench_allpairs_smoke|bench_incremental_smoke|bench_batch_smoke|bench_scale_smoke|bench_bridges_smoke|bench_admission_smoke|bench_server_smoke|policy_server_roundtrip|metrics_roundtrip' \
   --output-on-failure
+
+# Bench-drift canary: diff this run's server-bench numbers against the
+# previous run's (kept above).  Advisory — prints WARNING lines on >20%
+# regressions but never fails the gate; a smoke run on a shared box is too
+# noisy for a hard cutoff.
+if [ -n "$prev_server_bench" ] && command -v python3 >/dev/null 2>&1 &&
+   [ -f build/tests/BENCH_server_smoke.json ]; then
+  echo "=== bench drift (server smoke, vs previous run) ==="
+  python3 scripts/bench_compare.py "$prev_server_bench" \
+    build/tests/BENCH_server_smoke.json || true
+fi
 
 # Trace-export gate: run the batch smoke with the Perfetto exporter on and
 # validate the trace_event JSON shape that chrome://tracing / Perfetto
@@ -83,4 +103,4 @@ else
   echo "validate_trace: python3 not found, skipping channel validation"
 fi
 
-echo "=== all sanitizer checks passed, bench smoke, trace and channel exports ok ==="
+echo "=== all sanitizer checks passed; bench smoke, telemetry roundtrip, trace and channel exports ok ==="

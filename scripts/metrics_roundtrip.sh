@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# End-to-end telemetry gate: start policy_server --demo with metrics on and
+# a 1 ns slow-query threshold, drive a burst of real queries through
+# policy_client, then assert the whole observability surface works:
+#
+#   * `tgtop --once` renders a dashboard snapshot from the stats verb
+#   * a plain HTTP GET /metrics on the TCP listener returns a Prometheus
+#     exposition that scripts/validate_metrics.py accepts
+#   * the `metrics` wire verb answers with a prometheus_0_0_4 body
+#   * `slowlog` has captured at least one query (threshold 1 ns => all)
+#   * `stats` embeds the full metrics registry JSON (incl. trace.dropped)
+#
+# Run by the metrics_roundtrip ctest and scripts/check.sh.  Skips (exit 0
+# with a notice) when python3 is unavailable, since the scrape and its
+# validation are the point of the test.
+#
+#   scripts/metrics_roundtrip.sh SERVER_BIN CLIENT_BIN TGTOP_BIN
+set -euo pipefail
+
+if [ $# -ne 3 ]; then
+  echo "usage: $0 SERVER_BIN CLIENT_BIN TGTOP_BIN" >&2
+  exit 1
+fi
+server_bin="$1"
+client_bin="$2"
+tgtop_bin="$3"
+script_dir="$(cd "$(dirname "$0")" && pwd)"
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "metrics_roundtrip: python3 not found, skipping"
+  exit 0
+fi
+
+sock="${TMPDIR:-/tmp}/tg_metrics_rt_$$.sock"
+log="${TMPDIR:-/tmp}/tg_metrics_rt_$$.log"
+server_pid=""
+
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -f "$sock" "$log"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -f "$log" ] && sed 's/^/  server: /' "$log" >&2
+  exit 1
+}
+
+client() { "$client_bin" --socket "$sock" "$@"; }
+
+# Metrics on, capture everything the engine serves (1 ns threshold), and
+# listen on both the unix socket (wire clients) and an ephemeral TCP port
+# (the HTTP scrape).
+TG_METRICS=1 TG_SLOW_QUERY_NS=1 \
+  "$server_bin" --demo --socket "$sock" --port 0 >"$log" 2>&1 &
+server_pid=$!
+
+ready_line=""
+for _ in $(seq 1 200); do
+  ready_line="$(grep "READY" "$log" 2>/dev/null || true)"
+  [ -n "$ready_line" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server exited before READY"
+  sleep 0.05
+done
+[ -n "$ready_line" ] || fail "server never printed READY"
+port="$(printf '%s\n' "$ready_line" | sed -n 's/.* port=\([0-9][0-9]*\).*/\1/p')"
+[ -n "$port" ] || fail "READY line carries no TCP port: $ready_line"
+
+# Drive a burst of real traffic: named predicate queries (the demo graph
+# names vertices l<level>s<i> / l<level>o<i>), plus the name-free read
+# verbs.  Every read clears the 1 ns threshold, so the slow-query log
+# fills with provenance-bearing entries.
+for i in 0 1 2; do
+  client can_know "l0s$i" l2o1 >/dev/null || fail "can_know l0s$i l2o1 errored"
+  client can_knowf "l0s$i" l2o0 >/dev/null || fail "can_knowf l0s$i l2o0 errored"
+  client can_share r "l1s$i" l2o1 >/dev/null || fail "can_share r l1s$i l2o1 errored"
+  client knowable l2o1 >/dev/null || fail "knowable l2o1 errored"
+done
+client levels >/dev/null || fail "levels errored"
+client check_secure >/dev/null || fail "check_secure errored"
+
+# 1. tgtop renders one dashboard snapshot and exits 0.
+"$tgtop_bin" --socket "$sock" --once >/dev/null || fail "tgtop --once failed"
+
+# 2. The HTTP shim serves a valid Prometheus exposition.
+python3 "$script_dir/validate_metrics.py" "http://127.0.0.1:$port/metrics" ||
+  fail "GET /metrics exposition failed validation"
+
+# 3. The wire verb reports the same format tag.
+metrics_out="$(client metrics)"
+case "$metrics_out" in
+  *'"format":"prometheus_0_0_4"'*) ;;
+  *) fail "metrics verb lacks format tag: ${metrics_out:0:200}" ;;
+esac
+
+# 4. The slow-query log captured entries, and they carry span trees.
+slowlog_out="$(client slowlog 4)"
+case "$slowlog_out" in
+  *'"captured":0'*) fail "slowlog captured nothing at a 1 ns threshold" ;;
+  *'"captured":'*) ;;
+  *) fail "slowlog response malformed: ${slowlog_out:0:200}" ;;
+esac
+case "$slowlog_out" in
+  *'"spans":'*) ;;
+  *) fail "slowlog entries carry no span trees: ${slowlog_out:0:200}" ;;
+esac
+
+# 5. stats embeds the registry JSON, trace.dropped included.
+stats_out="$(client stats)"
+case "$stats_out" in
+  *'"metrics":{'*) ;;
+  *) fail "stats response lacks the metrics registry: ${stats_out:0:200}" ;;
+esac
+case "$stats_out" in
+  *'trace.dropped'*) ;;
+  *) fail "stats metrics registry lacks trace.dropped: ${stats_out:0:200}" ;;
+esac
+
+# Clean shutdown.
+kill -TERM "$server_pid"
+wait "$server_pid" || fail "server exited nonzero on SIGTERM"
+server_pid=""
+
+echo "metrics_roundtrip: OK"

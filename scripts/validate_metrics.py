@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format exposition from the policy server.
+
+    validate_metrics.py http://127.0.0.1:PORT/metrics
+    validate_metrics.py metrics.txt
+    some_command | validate_metrics.py -
+
+Checks the exposition against the text format 0.0.4 rules the way a real
+scraper would reject violations, plus the invariants this repo's renderer
+promises (src/util/metrics.cc RenderPrometheus):
+
+  * every metric name and label name matches the Prometheus grammar
+  * `# TYPE` appears at most once per family, before any sample of it,
+    with a known type, and every sample belongs to a declared family
+    (histogram samples via the _bucket/_sum/_count suffixes)
+  * label values are properly quoted, with only \\\\, \\" and \\n escapes
+  * no duplicate samples (same name + label set twice)
+  * histograms: bucket counts are monotone in ascending `le`, the +Inf
+    bucket exists and equals `_count`, and `_sum`/`_count` are present
+  * when scraping a live server: the server.* request families exist
+
+Exit 0 and a one-line summary on success; exit 1 listing every violation.
+Stdlib only (urllib for http:// inputs).
+"""
+
+import re
+import sys
+import urllib.request
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One sample line: name, optional {labels}, value, optional timestamp.
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<ts>-?[0-9]+))?$"
+)
+# key="value" with only \\ \" \n escapes inside the quotes.
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\\\|\\"|\\n)*)"$')
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+# Families a live policy server must always export (the wire layer
+# registers them at startup, independent of traffic).
+REQUIRED_LIVE_FAMILIES = (
+    "tg_server_request_ns",       # cumulative per-request latency histogram
+    "tg_server_requests_rate",    # rolling-window request rate gauge
+    "tg_server_frames_received",
+    "tg_trace_dropped",           # registered on the first traced request
+)
+
+
+def split_labels(raw):
+    """Split a {…} body on commas that are not inside quoted values."""
+    parts = []
+    depth_quote = False
+    escaped = False
+    current = []
+    for ch in raw:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            depth_quote = not depth_quote
+            current.append(ch)
+            continue
+        if ch == "," and not depth_quote:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def family_of(name, types):
+    """Map a sample name to its declared family, honoring histogram suffixes."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(text)
+
+
+def validate(text, require_live=False):
+    errors = []
+    types = {}  # family -> type
+    samples_seen = set()  # (name, canonical label tuple)
+    sampled_families = set()
+    # histogram family -> {"buckets": [(le, count)], "sum": v, "count": v}
+    histograms = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+
+        def err(message):
+            errors.append("line %d: %s  [%s]" % (lineno, message, line[:120]))
+
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split(" ")
+            if len(parts) != 2:
+                err("malformed TYPE line")
+                continue
+            family, mtype = parts
+            if not NAME_RE.match(family):
+                err("invalid family name %r" % family)
+            if mtype not in KNOWN_TYPES:
+                err("unknown type %r" % mtype)
+            if family in types:
+                err("duplicate TYPE for family %r" % family)
+            elif family in sampled_families:
+                err("TYPE for %r after its first sample" % family)
+            types[family] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment: content is free-form
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err("unparseable sample line")
+            continue
+        name = m.group("name")
+        if not NAME_RE.match(name):
+            err("invalid metric name %r" % name)
+            continue
+        labels = {}
+        ok = True
+        if m.group("labels") is not None:
+            for part in split_labels(m.group("labels")):
+                lm = LABEL_RE.match(part)
+                if not lm:
+                    err("malformed label pair %r" % part)
+                    ok = False
+                    break
+                key = lm.group("key")
+                if not LABEL_NAME_RE.match(key):
+                    err("invalid label name %r" % key)
+                    ok = False
+                    break
+                if key in labels:
+                    err("duplicate label %r" % key)
+                    ok = False
+                    break
+                labels[key] = lm.group("val")
+        if not ok:
+            continue
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            err("unparseable value %r" % m.group("value"))
+            continue
+
+        family = family_of(name, types)
+        if family is None:
+            err("sample %r has no preceding TYPE declaration" % name)
+            continue
+        sampled_families.add(family)
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in samples_seen:
+            err("duplicate sample %r %r" % (name, labels))
+            continue
+        samples_seen.add(key)
+
+        mtype = types[family]
+        if mtype == "counter" and value < 0:
+            err("counter %r is negative" % name)
+        if mtype == "histogram":
+            slot = histograms.setdefault(
+                (family, tuple(sorted(kv for kv in labels.items() if kv[0] != "le"))),
+                {"buckets": [], "sum": None, "count": None},
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    err("histogram bucket %r lacks an le label" % name)
+                else:
+                    slot["buckets"].append((parse_value(labels["le"]), value))
+            elif name.endswith("_sum"):
+                slot["sum"] = value
+            elif name.endswith("_count"):
+                slot["count"] = value
+
+    for (family, labelset), slot in sorted(histograms.items()):
+        where = family + (str(dict(labelset)) if labelset else "")
+        if slot["sum"] is None or slot["count"] is None:
+            errors.append("histogram %s: missing _sum or _count" % where)
+        buckets = slot["buckets"]
+        if not buckets or buckets[-1][0] != float("inf"):
+            errors.append("histogram %s: no +Inf bucket" % where)
+            continue
+        les = [le for le, _ in buckets]
+        if les != sorted(les):
+            errors.append("histogram %s: buckets not in ascending le order" % where)
+        counts = [c for _, c in buckets]
+        if any(b > a for b, a in zip(counts, counts[1:])) or counts != sorted(counts):
+            errors.append("histogram %s: bucket counts not monotone" % where)
+        if slot["count"] is not None and buckets[-1][1] != slot["count"]:
+            errors.append(
+                "histogram %s: +Inf bucket %g != _count %g"
+                % (where, buckets[-1][1], slot["count"])
+            )
+
+    if require_live:
+        for family in REQUIRED_LIVE_FAMILIES:
+            if family not in sampled_families:
+                errors.append("live scrape lacks required family %r" % family)
+
+    return errors, len(samples_seen), len(types)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: validate_metrics.py URL|FILE|-", file=sys.stderr)
+        return 2
+    source = argv[1]
+    require_live = source.startswith("http://") or source.startswith("https://")
+    if require_live:
+        with urllib.request.urlopen(source, timeout=10) as resp:
+            if resp.status != 200:
+                print("validate_metrics: GET %s -> %d" % (source, resp.status), file=sys.stderr)
+                return 1
+            text = resp.read().decode("utf-8")
+    elif source == "-":
+        text = sys.stdin.read()
+    else:
+        with open(source, "r", encoding="utf-8") as f:
+            text = f.read()
+
+    errors, samples, families = validate(text, require_live=require_live)
+    if errors:
+        for e in errors:
+            print("validate_metrics: %s" % e, file=sys.stderr)
+        print("validate_metrics: FAIL (%d violations)" % len(errors), file=sys.stderr)
+        return 1
+    if samples == 0:
+        print("validate_metrics: FAIL (empty exposition)", file=sys.stderr)
+        return 1
+    print("validate_metrics: OK (%d families, %d samples)" % (families, samples))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -113,6 +113,9 @@ void RecordBuild(uint64_t start_ns, const BuildTallies& tallies, uint32_t compon
   static tg_util::Counter& scans = tg_util::GetCounter("bridge_enum.pivot_scans");
   closures.Add(tallies.segment_closures);
   scans.Add(tallies.pivot_scans);
+  if (start_ns == 0) {
+    return;  // this build's timing detail was sampled out
+  }
   const uint64_t end_ns = tg_util::TraceBuffer::NowNs();
   tg_util::TraceBuffer::Instance().Record(tg_util::TraceKind::kBridgeEnum, start_ns,
                                           end_ns - start_ns, components,
@@ -127,7 +130,12 @@ void SortUnique(std::vector<uint32_t>& v) {
 }  // namespace
 
 BridgeEnumIndex::BridgeEnumIndex(const AnalysisSnapshot& snap) {
-  const uint64_t start_ns = tg_util::MetricsEnabled() ? tg_util::TraceBuffer::NowNs() : 0;
+  // Built once per uncached predicate query, i.e. at request rate under
+  // server load: trace detail records only for sampled-in queries while
+  // the bridge_enum.* aggregates stay exact.
+  const uint64_t start_ns = tg_util::MetricsEnabled() && tg_util::TraceDetailArmed()
+                                ? tg_util::TraceBuffer::NowNs()
+                                : 0;
   vertex_count_ = snap.vertex_count();
   const size_t n = vertex_count_;
   BuildTallies tallies;

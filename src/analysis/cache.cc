@@ -359,7 +359,7 @@ const std::vector<bool>& AnalysisCache::Reachable(const tg::ProtectionGraph& g,
 }
 
 const std::vector<bool>& AnalysisCache::Knowable(const tg::ProtectionGraph& g, VertexId x) {
-  tg_util::QueryScope query(tg_util::QueryKind::kKnowable);
+  tg_util::QueryScope query(tg_util::QueryKind::kKnowable, 0, tg_util::QueryScope::kSampleable);
   Refresh(g);
   auto it = knowable_.find(x);
   if (it != knowable_.end()) {

@@ -42,7 +42,7 @@ PathSearchOptions AdmissibleOptions(const ProtectionGraph& g) {
 bool CanKnowF(const ProtectionGraph& g, VertexId x, VertexId y) {
   static tg_util::Counter& queries = tg_util::GetCounter("query.can_know_f");
   queries.Add();
-  tg_util::QueryScope query(tg_util::QueryKind::kCanKnowF);
+  tg_util::QueryScope query(tg_util::QueryKind::kCanKnowF, 0, tg_util::QueryScope::kSampleable);
   if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
     return false;
   }
@@ -67,7 +67,7 @@ std::optional<GraphPath> FindAdmissibleRwPath(const ProtectionGraph& g, VertexId
 bool CanKnow(const ProtectionGraph& g, VertexId x, VertexId y) {
   static tg_util::Counter& queries = tg_util::GetCounter("query.can_know");
   queries.Add();
-  tg_util::QueryScope query(tg_util::QueryKind::kCanKnow);
+  tg_util::QueryScope query(tg_util::QueryKind::kCanKnow, 0, tg_util::QueryScope::kSampleable);
   if (!g.IsValidVertex(x) || !g.IsValidVertex(y)) {
     return false;
   }

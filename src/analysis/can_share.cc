@@ -15,7 +15,7 @@ using tg::VertexId;
 bool CanShare(const ProtectionGraph& g, Right right, VertexId x, VertexId y) {
   static tg_util::Counter& queries = tg_util::GetCounter("query.can_share");
   queries.Add();
-  tg_util::QueryScope query(tg_util::QueryKind::kCanShare);
+  tg_util::QueryScope query(tg_util::QueryKind::kCanShare, 0, tg_util::QueryScope::kSampleable);
   if (!g.IsValidVertex(x) || !g.IsValidVertex(y) || x == y) {
     return false;
   }

@@ -10,8 +10,10 @@
 #include "src/analysis/provenance.h"
 #include "src/hierarchy/secure.h"
 #include "src/server/protocol.h"
+#include "src/util/flight_recorder.h"
 #include "src/util/metrics.h"
 #include "src/util/strings.h"
+#include "src/util/trace.h"
 
 namespace tg_server {
 
@@ -37,6 +39,69 @@ tg_util::StatusOr<tg::VertexId> ResolveName(const tg::ProtectionGraph& g,
     return tg_util::Status::NotFound("unknown vertex '" + std::string(name) + "'");
   }
   return v;
+}
+
+// JSON array of the trace spans recorded under `query_id` (oldest first);
+// "" when the query carried no id (tracing disabled).
+std::string HarvestSpansJson(uint64_t query_id) {
+  if (query_id == 0) {
+    return "";
+  }
+  std::string out = "[";
+  bool first = true;
+  for (const tg_util::TraceEvent& e : tg_util::TraceBuffer::Instance().Events()) {
+    if (e.query_id != query_id) {
+      continue;
+    }
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"kind\":\"" + std::string(tg_util::TraceKindName(e.kind)) +
+           "\",\"span\":" + std::to_string(e.span_id) +
+           ",\"parent\":" + std::to_string(e.parent_span) +
+           ",\"start_ns\":" + std::to_string(e.start_ns) +
+           ",\"duration_ns\":" + std::to_string(e.duration_ns) +
+           ",\"arg0\":" + std::to_string(e.arg0) + ",\"arg1\":" + std::to_string(e.arg1) +
+           "}";
+  }
+  out += "]";
+  return out;
+}
+
+// Builds and records one SlowQueryLog entry for a request that blew the
+// threshold.  The explainable predicates re-derive their provenance
+// record here — the query was already slow, so the extra explain cost is
+// paid only on the capture path.
+void CaptureSlowQuery(const tg::ProtectionGraph& g, tg_analysis::AnalysisCache* cache,
+                      std::string_view line, uint64_t query_id, uint64_t elapsed_ns,
+                      uint64_t epoch) {
+  tg_util::SlowQueryLog::Entry entry;
+  entry.query_id = query_id;
+  entry.elapsed_ns = elapsed_ns;
+  entry.epoch = epoch;
+  entry.request = std::string(tg_util::StripWhitespace(line));
+  std::vector<std::string_view> tok = tg_util::SplitWhitespace(line);
+  entry.verb = tok.empty() ? "" : std::string(tok[0]);
+  entry.spans_json = HarvestSpansJson(query_id);
+  if (tok.size() == 3 && (tok[0] == "can_know" || tok[0] == "can_knowf")) {
+    tg::VertexId x = g.FindVertex(tok[1]);
+    tg::VertexId y = g.FindVertex(tok[2]);
+    if (x != tg::kInvalidVertex && y != tg::kInvalidVertex) {
+      tg_analysis::QueryProvenance record = tok[0] == "can_know"
+                                                ? tg_analysis::ExplainCanKnow(g, x, y, cache)
+                                                : tg_analysis::ExplainCanKnowF(g, x, y);
+      entry.provenance_json = record.ToJson();
+    }
+  } else if (tok.size() == 4 && tok[0] == "can_share" && tok[1].size() == 1) {
+    std::optional<tg::Right> right = tg::RightFromChar(tok[1][0]);
+    tg::VertexId x = g.FindVertex(tok[2]);
+    tg::VertexId y = g.FindVertex(tok[3]);
+    if (right.has_value() && x != tg::kInvalidVertex && y != tg::kInvalidVertex) {
+      entry.provenance_json = tg_analysis::ExplainCanShare(g, *right, x, y).ToJson();
+    }
+  }
+  tg_util::SlowQueryLog::Instance().Record(std::move(entry));
 }
 
 }  // namespace
@@ -107,6 +172,28 @@ std::string PolicyEngine::ExecuteRead(const EpochState& state, const std::string
 std::string PolicyEngine::ExecuteReadLine(const EpochState& state,
                                           tg_analysis::AnalysisCache& cache,
                                           std::string_view line) {
+  const uint64_t threshold = tg_util::SlowQueryThresholdNs();
+  if (threshold == 0) {
+    return ExecuteReadLineImpl(state, cache, line);
+  }
+  const uint64_t t0 = tg_util::TraceBuffer::NowNs();
+  uint64_t query_id = 0;
+  std::string response;
+  {
+    tg_util::QueryScope scope(tg_util::QueryKind::kServerRequest);
+    query_id = scope.query_id();
+    response = ExecuteReadLineImpl(state, cache, line);
+  }
+  const uint64_t elapsed = tg_util::TraceBuffer::NowNs() - t0;
+  if (elapsed >= threshold) {
+    CaptureSlowQuery(state.graph, &cache, line, query_id, elapsed, state.epoch);
+  }
+  return response;
+}
+
+std::string PolicyEngine::ExecuteReadLineImpl(const EpochState& state,
+                                              tg_analysis::AnalysisCache& cache,
+                                              std::string_view line) {
   const tg::ProtectionGraph& g = state.graph;
   std::vector<std::string_view> tok = tg_util::SplitWhitespace(line);
   if (tok.empty()) {
@@ -263,6 +350,27 @@ std::string PolicyEngine::ExecuteReadLine(const EpochState& state,
 }
 
 std::string PolicyEngine::ExecuteWrite(const std::string& line, uint64_t conn_token) {
+  const uint64_t threshold = tg_util::SlowQueryThresholdNs();
+  if (threshold == 0) {
+    return ExecuteWriteImpl(line, conn_token);
+  }
+  const uint64_t t0 = tg_util::TraceBuffer::NowNs();
+  uint64_t query_id = 0;
+  std::string response;
+  {
+    tg_util::QueryScope scope(tg_util::QueryKind::kServerRequest);
+    query_id = scope.query_id();
+    response = ExecuteWriteImpl(line, conn_token);
+  }
+  const uint64_t elapsed = tg_util::TraceBuffer::NowNs() - t0;
+  if (elapsed >= threshold) {
+    CaptureSlowQuery(gate_->graph(), nullptr, line, query_id, elapsed,
+                     authoritative_epoch());
+  }
+  return response;
+}
+
+std::string PolicyEngine::ExecuteWriteImpl(const std::string& line, uint64_t conn_token) {
   std::vector<std::string_view> tok = tg_util::SplitWhitespace(line);
   if (tok.empty()) {
     return ErrorResponse("empty request");

@@ -99,8 +99,15 @@ class PolicyEngine {
   bool AbortTxnIfOwner(uint64_t conn_token);
 
  private:
+  // Slow-query wrapper: when SlowQueryThresholdNs() > 0, times the line
+  // under a kServerRequest QueryScope and captures query id + span tree +
+  // provenance into the SlowQueryLog when it exceeds the threshold.
+  // Threshold 0 falls straight through to the Impl (no clock reads).
   std::string ExecuteReadLine(const EpochState& state, tg_analysis::AnalysisCache& cache,
                               std::string_view line);
+  std::string ExecuteReadLineImpl(const EpochState& state,
+                                  tg_analysis::AnalysisCache& cache, std::string_view line);
+  std::string ExecuteWriteImpl(const std::string& line, uint64_t conn_token);
   std::string ExecuteAdmit(const std::vector<std::string_view>& tokens, uint64_t conn_token);
   std::string ExecuteTxn(const std::vector<std::string_view>& tokens, uint64_t conn_token);
 

@@ -13,8 +13,10 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <string_view>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "src/server/protocol.h"
+#include "src/util/flight_recorder.h"
 #include "src/util/metrics.h"
 #include "src/util/strings.h"
 #include "src/util/trace.h"
@@ -38,12 +41,79 @@ struct ServerMetrics {
   tg_util::Counter& slow_reader_closes = tg_util::GetCounter("server.slow_reader_closes");
   tg_util::Counter& txn_disconnect_aborts =
       tg_util::GetCounter("server.txn_disconnect_aborts");
+  tg_util::Counter& bytes_in = tg_util::GetCounter("server.bytes_in");
+  tg_util::Counter& bytes_out = tg_util::GetCounter("server.bytes_out");
+  tg_util::Counter& backpressure_pauses = tg_util::GetCounter("server.backpressure_pauses");
+  tg_util::Counter& http_requests = tg_util::GetCounter("server.http_requests");
+  tg_util::Gauge& epoch_lag = tg_util::GetGauge("server.epoch_lag");
+  tg_util::Gauge& queue_depth = tg_util::GetGauge("server.queue_depth");
+  tg_util::Gauge& outbuf_watermark = tg_util::GetGauge("server.outbuf_watermark_bytes");
   tg_util::Histogram& request_ns = tg_util::GetHistogram("server.request_ns");
+  tg_util::WindowedHistogram& request_ns_w =
+      tg_util::GetWindowedHistogram("server.request_ns");
+  tg_util::WindowedCounter& requests_rate = tg_util::GetWindowedCounter("server.requests");
 };
 
 ServerMetrics& Metrics() {
   static ServerMetrics metrics;
   return metrics;
+}
+
+// Per-verb decode->flush latency, cumulative + rolling-window.  Known
+// verbs get their own `server.verb_ns{verb=...}` family; anything else
+// folds into "other" so wire garbage cannot inflate metric cardinality.
+constexpr const char* kVerbKeys[] = {
+    "ping",     "epoch",        "can_know", "can_knowf", "can_share", "knowable",
+    "levels",   "check_secure", "channels", "explain_channel",
+    "stats",    "metrics",      "slowlog",  "admit",     "txn",       "other"};
+constexpr size_t kVerbCount = sizeof(kVerbKeys) / sizeof(kVerbKeys[0]);
+
+// Dispatch-relevant positions in kVerbKeys.  The event-loop verbs
+// (stats/metrics/slowlog) and the write verbs (admit/txn) sit in one
+// contiguous run, so "must execute serially" is a two-compare range test
+// on the precomputed index.
+constexpr uint8_t kVerbStatsIdx = 10;
+constexpr uint8_t kVerbMetricsIdx = 11;
+constexpr uint8_t kVerbSlowlogIdx = 12;
+constexpr uint8_t kVerbAdmitIdx = 13;
+constexpr uint8_t kVerbTxnIdx = 14;
+static_assert(std::string_view(kVerbKeys[kVerbStatsIdx]) == "stats");
+static_assert(std::string_view(kVerbKeys[kVerbMetricsIdx]) == "metrics");
+static_assert(std::string_view(kVerbKeys[kVerbSlowlogIdx]) == "slowlog");
+static_assert(std::string_view(kVerbKeys[kVerbAdmitIdx]) == "admit");
+static_assert(std::string_view(kVerbKeys[kVerbTxnIdx]) == "txn");
+
+struct VerbTelemetry {
+  tg_util::Histogram* cumulative[kVerbCount];
+  tg_util::WindowedHistogram* windowed[kVerbCount];
+  VerbTelemetry() {
+    for (size_t i = 0; i < kVerbCount; ++i) {
+      const std::string name = std::string("server.verb_ns{verb=") + kVerbKeys[i] + "}";
+      cumulative[i] = &tg_util::GetHistogram(name);
+      windowed[i] = &tg_util::GetWindowedHistogram(name);
+    }
+  }
+};
+
+VerbTelemetry& Verbs() {
+  static VerbTelemetry verbs;
+  return verbs;
+}
+
+std::string_view RequestVerb(std::string_view line) {
+  std::string_view trimmed = tg_util::StripWhitespace(line);
+  size_t space = trimmed.find_first_of(" \t");
+  return space == std::string_view::npos ? trimmed : trimmed.substr(0, space);
+}
+
+size_t VerbIndex(std::string_view line) {
+  const std::string_view verb = RequestVerb(line);
+  for (size_t i = 0; i + 1 < kVerbCount; ++i) {
+    if (verb == kVerbKeys[i]) {
+      return i;
+    }
+  }
+  return kVerbCount - 1;  // "other"
 }
 
 uint64_t NowNs() {
@@ -52,21 +122,25 @@ uint64_t NowNs() {
                                    .count());
 }
 
-bool IsStatsRequest(std::string_view line) {
-  std::string_view trimmed = tg_util::StripWhitespace(line);
-  size_t space = trimmed.find_first_of(" \t");
-  return (space == std::string_view::npos ? trimmed : trimmed.substr(0, space)) == "stats";
-}
-
 // One inbound frame and its (partially filled) responses.  Frames flush in
-// arrival order once every line has answered.
+// arrival order once every line has answered.  Verb indices are classified
+// once at decode; dispatch (serial-vs-batched, loop-local routing) and the
+// flush-time latency attribution both read the same byte instead of
+// re-tokenising every line two or three times.
 struct Frame {
   std::vector<std::string> lines;
+  std::vector<uint8_t> verbs;  // index into kVerbKeys, one per line
   std::vector<std::string> responses;
   size_t scheduled = 0;  // lines handed to execution
   size_t done = 0;       // responses filled
   uint64_t enqueue_ns = 0;
 };
+
+// How a connection speaks.  Decided by the first byte it sends: the
+// framed protocol always opens with an ASCII digit (the length prefix),
+// an HTTP request line with a method letter — so one loopback listener
+// serves both scrapers and framed clients.
+enum class ConnMode : uint8_t { kUnknown, kFramed, kHttp };
 
 struct Connection {
   int fd = -1;
@@ -81,6 +155,15 @@ struct Connection {
   bool paused_in = false;    // EPOLLIN dropped for backpressure
   bool close_after_flush = false;
   bool closed = false;  // fd gone; object may linger while inflight > 0
+
+  ConnMode mode = ConnMode::kUnknown;
+  std::string http_buf;  // request bytes while in kHttp mode
+
+  // Per-connection traffic counters (aggregated into the server.bytes_*
+  // and server.requests instruments as they grow).
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t requests = 0;
 
   size_t out_pending() const { return outbuf.size() - out_consumed; }
 };
@@ -152,7 +235,10 @@ struct PolicyServer::Impl {
   void FlushCompletedFrames(Connection& c);
   void MaybeDispatch();
   void OnBatchDone();
+  void HandleHttpBytes(Connection& c, std::string_view bytes);
   std::string BuildStatsResponse();
+  std::string BuildMetricsResponse();
+  std::string BuildSlowlogResponse(std::string_view line);
 };
 
 PolicyServer::PolicyServer(tg::ProtectionGraph graph, tg_hier::LevelAssignment levels,
@@ -189,6 +275,20 @@ tg_util::Status PolicyServer::Impl::Start() {
   if (options.unix_path.empty() && options.tcp_port < 0) {
     return tg_util::Status::InvalidArgument("no listener configured");
   }
+
+  // Under serving load the per-verb histograms carry the aggregate latency
+  // story; a full-fidelity kQuery trace event per request is measurable
+  // tax, so sample 1-in-64 by default.  TG_TRACE_SAMPLE=1 restores full
+  // tracing; slow-query capture and provenance scopes never sample.
+  uint64_t sample_period = 64;
+  if (const char* env = std::getenv("TG_TRACE_SAMPLE")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      sample_period = parsed;
+    }
+  }
+  tg_util::SetQuerySamplePeriod(sample_period);
 
   epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd < 0) {
@@ -444,7 +544,25 @@ void PolicyServer::Impl::HandleReadable(Connection& c) {
   while (!c.closed && !c.close_after_flush) {
     ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
     if (n > 0) {
-      c.decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      const std::string_view bytes(buf, static_cast<size_t>(n));
+      c.bytes_in += static_cast<uint64_t>(n);
+      Metrics().bytes_in.Add(static_cast<uint64_t>(n));
+      if (c.mode == ConnMode::kUnknown) {
+        const char first = bytes[0];
+        const bool http = (first >= 'A' && first <= 'Z') || (first >= 'a' && first <= 'z');
+        c.mode = http ? ConnMode::kHttp : ConnMode::kFramed;
+      }
+      if (c.mode == ConnMode::kHttp) {
+        HandleHttpBytes(c, bytes);
+        if (c.closed) {
+          return;
+        }
+        if (static_cast<size_t>(n) < sizeof(buf)) {
+          break;
+        }
+        continue;
+      }
+      c.decoder.Feed(bytes);
       std::string payload;
       while (true) {
         FrameDecoder::Result r = c.decoder.Next(&payload);
@@ -464,13 +582,19 @@ void PolicyServer::Impl::HandleReadable(Connection& c) {
         }
         Frame frame;
         frame.lines.assign(lines.begin(), lines.end());
+        frame.verbs.resize(frame.lines.size());
+        for (size_t i = 0; i < frame.lines.size(); ++i) {
+          frame.verbs[i] = static_cast<uint8_t>(VerbIndex(frame.lines[i]));
+        }
         frame.responses.resize(frame.lines.size());
         frame.enqueue_ns = tg_util::MetricsEnabled() ? NowNs() : 0;
+        c.requests += frame.lines.size();
         c.pending_lines += frame.lines.size();
         c.frames.push_back(std::move(frame));
       }
       if (c.pending_lines > options.max_pending_lines && !c.paused_in) {
         c.paused_in = true;
+        Metrics().backpressure_pauses.Add();
       }
       if (static_cast<size_t>(n) < sizeof(buf)) {
         break;  // drained the socket buffer
@@ -498,6 +622,8 @@ void PolicyServer::Impl::HandleWritable(Connection& c) {
         ::send(c.fd, c.outbuf.data() + c.out_consumed, c.out_pending(), MSG_NOSIGNAL);
     if (n > 0) {
       c.out_consumed += static_cast<size_t>(n);
+      c.bytes_out += static_cast<uint64_t>(n);
+      Metrics().bytes_out.Add(static_cast<uint64_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -525,6 +651,10 @@ void PolicyServer::Impl::Output(Connection& c, std::string_view frame_bytes) {
     return;
   }
   c.outbuf.append(frame_bytes.data(), frame_bytes.size());
+  if (c.out_pending() >
+      static_cast<size_t>(std::max<int64_t>(0, Metrics().outbuf_watermark.value()))) {
+    Metrics().outbuf_watermark.Set(static_cast<int64_t>(c.out_pending()));
+  }
   if (c.out_pending() > options.max_output_bytes) {
     Metrics().slow_reader_closes.Add();
     CloseConnection(c);
@@ -581,18 +711,28 @@ void PolicyServer::Impl::PumpConnection(Connection& c) {
         break;  // plenty queued; resume after the next dispatch completes
       }
       const std::string& line = f.lines[f.scheduled];
-      const bool serial = IsWriteRequest(line) || IsStatsRequest(line);
+      const uint8_t verb = f.verbs[f.scheduled];
+      // Writes (admit/txn) mutate authoritative state; stats/metrics/slowlog
+      // read server-local state rather than an epoch snapshot.  Both classes
+      // run on the event-loop thread, serialised behind earlier reads.
+      const bool serial = verb >= kVerbStatsIdx && verb <= kVerbTxnIdx;
       if (serial) {
         if (c.inflight > 0) {
           break;  // order: earlier reads must answer first
         }
         std::string response;
-        if (IsStatsRequest(line)) {
+        if (verb == kVerbStatsIdx) {
           response = BuildStatsResponse();
+        } else if (verb == kVerbMetricsIdx) {
+          response = BuildMetricsResponse();
+        } else if (verb == kVerbSlowlogIdx) {
+          response = BuildSlowlogResponse(line);
         } else {
           tg_util::TraceSpan span(tg_util::TraceKind::kServer, 0,
                                   engine.authoritative_epoch());
           response = engine.ExecuteWrite(line, c.token);
+          Metrics().epoch_lag.Set(static_cast<int64_t>(engine.authoritative_epoch() -
+                                                       engine.pinned()->epoch));
         }
         f.responses[f.scheduled] = std::move(response);
         ++f.scheduled;
@@ -629,9 +769,26 @@ void PolicyServer::Impl::FlushCompletedFrames(Connection& c) {
       payload += f.responses[i];
     }
     if (f.enqueue_ns != 0) {
-      for (size_t i = 0; i < f.lines.size(); ++i) {
-        Metrics().request_ns.Observe(now - f.enqueue_ns);
+      // Every line of the frame shares one decode-to-flush latency, so the
+      // whole frame costs a byte-count pass over the precomputed verb
+      // indices plus a handful of batched observations — not per-line
+      // atomics (a pipelined frame would otherwise pay the instrumentation
+      // 64 times over).
+      const uint64_t elapsed = now - f.enqueue_ns;
+      const uint64_t wnow = tg_util::WindowClockNs();
+      uint32_t verb_counts[kVerbCount] = {};
+      for (size_t i = 0; i < f.verbs.size(); ++i) {
+        ++verb_counts[f.verbs[i]];
       }
+      Metrics().request_ns.ObserveN(elapsed, f.lines.size());
+      Metrics().request_ns_w.ObserveAtN(elapsed, wnow, f.lines.size());
+      for (size_t v = 0; v < kVerbCount; ++v) {
+        if (verb_counts[v] != 0) {
+          Verbs().cumulative[v]->ObserveN(elapsed, verb_counts[v]);
+          Verbs().windowed[v]->ObserveAtN(elapsed, wnow, verb_counts[v]);
+        }
+      }
+      Metrics().requests_rate.AddAt(f.lines.size(), wnow);
     }
     c.pending_lines -= f.lines.size();
     c.frames.pop_front();
@@ -643,6 +800,7 @@ void PolicyServer::Impl::FlushCompletedFrames(Connection& c) {
 }
 
 void PolicyServer::Impl::MaybeDispatch() {
+  Metrics().queue_depth.Set(static_cast<int64_t>(accum_lines.size()));
   if (dispatcher_busy || accum_lines.empty()) {
     return;
   }
@@ -657,6 +815,9 @@ void PolicyServer::Impl::MaybeDispatch() {
   // Publish before pinning so every write admitted before this point is
   // visible to the batch (read-your-writes per connection).
   engine.PublishIfAdvanced();
+  Metrics().epoch_lag.Set(static_cast<int64_t>(engine.authoritative_epoch() -
+                                               engine.pinned()->epoch));
+  Metrics().queue_depth.Set(static_cast<int64_t>(accum_lines.size()));
   Metrics().batches.Add();
   {
     std::lock_guard<std::mutex> lock(mu);
@@ -727,7 +888,87 @@ std::string PolicyServer::Impl::BuildStatsResponse() {
   const tg_util::Histogram& h = Metrics().request_ns;
   body << ",\"requests\":" << h.count() << ",\"request_ns_p50\":" << h.P50()
        << ",\"request_ns_p95\":" << h.P95() << ",\"request_ns_p99\":" << h.P99();
+  // The full registry (every counter/gauge/histogram/windowed instrument,
+  // including trace.dropped), so operators never need a side channel to
+  // see an instrument the hand-picked fields above miss.
+  body << ",\"metrics\":" << tg_util::MetricsRegistry::Instance().RenderJson();
   return OkResponse(body.str());
+}
+
+std::string PolicyServer::Impl::BuildMetricsResponse() {
+  const std::string exposition = tg_util::MetricsRegistry::Instance().RenderPrometheus();
+  return OkResponse("\"verb\":\"metrics\",\"format\":\"prometheus_0_0_4\",\"body\":\"" +
+                    tg_util::JsonEscape(exposition) + "\"");
+}
+
+std::string PolicyServer::Impl::BuildSlowlogResponse(std::string_view line) {
+  std::vector<std::string_view> tok = tg_util::SplitWhitespace(line);
+  size_t limit = 8;
+  if (tok.size() >= 2) {
+    limit = static_cast<size_t>(std::atol(std::string(tok[1]).c_str()));
+  }
+  tg_util::SlowQueryLog& log = tg_util::SlowQueryLog::Instance();
+  std::ostringstream body;
+  body << "\"verb\":\"slowlog\",\"threshold_ns\":" << tg_util::SlowQueryThresholdNs()
+       << ",\"captured\":" << log.captured() << ",\"entries\":[";
+  const std::vector<tg_util::SlowQueryLog::Entry> entries = log.Latest(limit);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i != 0) {
+      body << ",";
+    }
+    body << tg_util::SlowQueryLog::RenderEntryJson(entries[i]);
+  }
+  body << "]";
+  return OkResponse(body.str());
+}
+
+void PolicyServer::Impl::HandleHttpBytes(Connection& c, std::string_view bytes) {
+  c.http_buf.append(bytes.data(), bytes.size());
+  if (c.http_buf.size() > kMaxFrameBytes) {
+    Metrics().protocol_errors.Add();
+    CloseConnection(c);
+    return;
+  }
+  // Any leading alphabetic byte lands here, so the first complete line must
+  // prove itself an HTTP request line ("METHOD TARGET HTTP/x").  Garbage like
+  // a malformed frame-length line gets the framed protocol error instead of
+  // hanging while we wait for headers that will never arrive.
+  const size_t line_end = c.http_buf.find_first_of("\r\n");
+  if (line_end == std::string::npos) {
+    return;  // request line incomplete; wait for more bytes
+  }
+  std::vector<std::string_view> tok =
+      tg_util::SplitWhitespace(std::string_view(c.http_buf).substr(0, line_end));
+  if (tok.size() < 3 || tok[2].substr(0, 5) != "HTTP/") {
+    ProtocolError(c, "malformed frame length line");
+    return;
+  }
+  // One request per connection, answered once the header block is in
+  // (bodies are ignored; the only supported requests carry none).
+  size_t header_end = c.http_buf.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    header_end = c.http_buf.find("\n\n");
+    if (header_end == std::string::npos) {
+      return;  // headers incomplete; wait for more bytes
+    }
+  }
+  Metrics().http_requests.Add();
+  std::string status = "404 Not Found";
+  std::string payload = "not found\n";
+  if (tok.size() >= 2 && tok[0] == "GET") {
+    const std::string_view target = tok[1];
+    if (target == "/metrics" || target.substr(0, 9) == "/metrics?") {
+      status = "200 OK";
+      payload = tg_util::MetricsRegistry::Instance().RenderPrometheus();
+    }
+  }
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+                         "\r\nContent-Length: " +
+                         std::to_string(payload.size()) + "\r\nConnection: close\r\n\r\n" +
+                         payload;
+  c.close_after_flush = true;  // scrape connections are one-shot
+  Output(c, response);
 }
 
 }  // namespace tg_server

@@ -17,6 +17,9 @@ void RecordQuotientBuild(uint64_t start_ns, const QuotientGraph& quotient) {
   static tg_util::Counter& edges = tg_util::GetCounter("condense.quotient_edges");
   components.Add(quotient.component_count);
   edges.Add(quotient.EdgeCount());
+  if (start_ns == 0) {
+    return;  // this build's timing detail was sampled out
+  }
   const uint64_t end_ns = tg_util::TraceBuffer::NowNs();
   tg_util::TraceBuffer::Instance().Record(tg_util::TraceKind::kCondense, start_ns,
                                           end_ns - start_ns, quotient.component_count,
@@ -26,8 +29,12 @@ void RecordQuotientBuild(uint64_t start_ns, const QuotientGraph& quotient) {
 }  // namespace
 
 QuotientGraph BuildQuotient(const std::vector<std::vector<VertexId>>& adjacency) {
-  const uint64_t start_ns =
-      tg_util::MetricsEnabled() ? tg_util::TraceBuffer::NowNs() : 0;
+  // Runs once per uncached predicate query, i.e. at request rate under
+  // server load: trace detail records only for sampled-in queries while
+  // the condense.* aggregates above stay exact.
+  const uint64_t start_ns = tg_util::MetricsEnabled() && tg_util::TraceDetailArmed()
+                                ? tg_util::TraceBuffer::NowNs()
+                                : 0;
   QuotientGraph quotient;
   quotient.component = StronglyConnectedComponents(adjacency);
   const size_t n = quotient.component.size();

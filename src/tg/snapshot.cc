@@ -30,7 +30,14 @@ void FillRecord(const ProtectionGraph& g, VertexId v, VertexId u,
 namespace internal {
 
 uint64_t BfsStartNs() {
-  return tg_util::MetricsEnabled() ? tg_util::TraceBuffer::NowNs() : 0;
+  // A hot query runs several BFS passes, and the two clock reads plus the
+  // trace-ring publish per pass are the single biggest per-query telemetry
+  // cost.  Timing detail records only for sampled-in queries (see
+  // TraceDetailArmed), so the bfs.run_ns distribution stays representative
+  // while the aggregates below stay exact.
+  return tg_util::MetricsEnabled() && tg_util::TraceDetailArmed()
+             ? tg_util::TraceBuffer::NowNs()
+             : 0;
 }
 
 void RecordBfsRun(uint64_t start_ns, uint64_t visits, uint64_t edge_scans) {
@@ -44,6 +51,9 @@ void RecordBfsRun(uint64_t start_ns, uint64_t visits, uint64_t edge_scans) {
   runs.Add();
   node_visits.Add(visits);
   scans.Add(edge_scans);
+  if (start_ns == 0) {
+    return;  // this run's timing detail was sampled out
+  }
   uint64_t end_ns = tg_util::TraceBuffer::NowNs();
   run_ns.Observe(end_ns - start_ns);
   tg_util::TraceBuffer::Instance().Record(tg_util::TraceKind::kProductBfs, start_ns,
@@ -55,10 +65,17 @@ void RecordBfsRun(uint64_t start_ns, uint64_t visits, uint64_t edge_scans) {
 AnalysisSnapshot::AnalysisSnapshot(const ProtectionGraph& g)
     : vertex_count_(g.VertexCount()), graph_epoch_(g.epoch()),
       base_vertex_count_(g.VertexCount()) {
-  tg_util::TraceSpan span(tg_util::TraceKind::kSnapshotBuild);
+  // The uncached predicates build a snapshot per query, so this runs at
+  // request rate under server load: span + build-time histogram detail is
+  // sampled; snapshot.builds stays exact.
+  tg_util::TraceSpan span(tg_util::TraceKind::kSnapshotBuild, 0, 0,
+                          tg_util::TraceSpan::kSampleable);
   static tg_util::Counter& builds = tg_util::GetCounter("snapshot.builds");
   static tg_util::Histogram& build_ns = tg_util::GetHistogram("snapshot.build_ns");
-  tg_util::ScopedTimer timer(build_ns);
+  std::optional<tg_util::ScopedTimer> timer;
+  if (span.armed()) {
+    timer.emplace(build_ns);
+  }
   subject_bits_.assign((vertex_count_ + 63) / 64, 0);
   for (VertexId v = 0; v < vertex_count_; ++v) {
     if (g.IsSubject(v)) {

@@ -1,6 +1,9 @@
 #include "src/util/flight_recorder.h"
 
+#include <atomic>
 #include <cstdlib>
+
+#include "src/util/strings.h"
 
 namespace tg_util {
 
@@ -23,6 +26,21 @@ void FlightRecorder::OpenFromEnvOnce() {
   const char* path = std::getenv("TG_FLIGHT_RECORDER");
   if (path != nullptr && path[0] != '\0') {
     file_ = std::fopen(path, "a");
+    if (file_ != nullptr) {
+      path_ = path;
+      long at = std::ftell(file_);
+      if (at < 0) {
+        at = 0;
+      }
+      bytes_ = static_cast<uint64_t>(at);
+    }
+  }
+  if (!max_bytes_set_) {
+    const char* cap = std::getenv("TG_FLIGHT_RECORDER_MAX_BYTES");
+    if (cap != nullptr && cap[0] != '\0') {
+      max_bytes_ = std::strtoull(cap, nullptr, 10);
+    }
+    max_bytes_set_ = true;
   }
 }
 
@@ -33,8 +51,19 @@ bool FlightRecorder::Open(const std::string& path) {
     std::fclose(file_);
     file_ = nullptr;
   }
+  path_.clear();
+  bytes_ = 0;
   file_ = std::fopen(path.c_str(), "a");
-  return file_ != nullptr;
+  if (file_ == nullptr) {
+    return false;
+  }
+  path_ = path;
+  long at = std::ftell(file_);
+  if (at < 0) {
+    at = 0;
+  }
+  bytes_ = static_cast<uint64_t>(at);
+  return true;
 }
 
 void FlightRecorder::Close() {
@@ -44,6 +73,8 @@ void FlightRecorder::Close() {
     std::fclose(file_);
     file_ = nullptr;
   }
+  path_.clear();
+  bytes_ = 0;
 }
 
 bool FlightRecorder::enabled() const {
@@ -52,21 +83,138 @@ bool FlightRecorder::enabled() const {
   return file_ != nullptr;
 }
 
+void FlightRecorder::SetMaxBytes(uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_bytes_ = max_bytes;
+  max_bytes_set_ = true;
+}
+
+uint64_t FlightRecorder::rotations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rotations_;
+}
+
+// Pre: mutex_ held, file_ open, path_ known.  Rotates the current stream
+// to path_ + ".1" (replacing any previous generation) and reopens a fresh
+// file at path_.  Called only between lines, so lines never tear.
+void FlightRecorder::RotateLocked() {
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::string old = path_ + ".1";
+  std::remove(old.c_str());
+  std::rename(path_.c_str(), old.c_str());
+  file_ = std::fopen(path_.c_str(), "w");
+  bytes_ = 0;
+  ++rotations_;
+}
+
 void FlightRecorder::Append(std::string_view json_object) {
   std::lock_guard<std::mutex> lock(mutex_);
   OpenFromEnvOnce();
   if (file_ == nullptr) {
     return;
   }
+  const uint64_t line_bytes = json_object.size() + 1;  // + '\n'
+  if (max_bytes_ > 0 && bytes_ > 0 && bytes_ + line_bytes > max_bytes_ &&
+      !path_.empty()) {
+    RotateLocked();
+    if (file_ == nullptr) {
+      return;
+    }
+  }
   std::fwrite(json_object.data(), 1, json_object.size(), file_);
   std::fputc('\n', file_);
   std::fflush(file_);
+  bytes_ += line_bytes;
   ++lines_;
 }
 
 uint64_t FlightRecorder::lines_written() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return lines_;
+}
+
+// --- Slow-query capture ----------------------------------------------------
+
+namespace {
+
+// -1 = not yet read from the environment.
+std::atomic<int64_t> g_slow_query_ns{-1};
+
+}  // namespace
+
+uint64_t SlowQueryThresholdNs() {
+  int64_t ns = g_slow_query_ns.load(std::memory_order_relaxed);
+  if (ns < 0) {
+    const char* env = std::getenv("TG_SLOW_QUERY_NS");
+    ns = 0;
+    if (env != nullptr && env[0] != '\0') {
+      ns = static_cast<int64_t>(std::strtoull(env, nullptr, 10));
+    }
+    g_slow_query_ns.store(ns, std::memory_order_relaxed);
+  }
+  return static_cast<uint64_t>(ns);
+}
+
+void SetSlowQueryThresholdNs(uint64_t ns) {
+  g_slow_query_ns.store(static_cast<int64_t>(ns), std::memory_order_relaxed);
+}
+
+SlowQueryLog& SlowQueryLog::Instance() {
+  static SlowQueryLog* log = new SlowQueryLog();
+  return *log;
+}
+
+std::string SlowQueryLog::RenderEntryJson(const Entry& entry) {
+  std::string out = "{\"type\":\"slow_query\",\"query_id\":" +
+                    std::to_string(entry.query_id) +
+                    ",\"elapsed_ns\":" + std::to_string(entry.elapsed_ns) +
+                    ",\"epoch\":" + std::to_string(entry.epoch) + ",\"verb\":\"" +
+                    JsonEscape(entry.verb) + "\",\"request\":\"" +
+                    JsonEscape(entry.request) + "\"";
+  out += ",\"spans\":";
+  out += entry.spans_json.empty() ? "[]" : entry.spans_json;
+  if (!entry.provenance_json.empty()) {
+    out += ",\"provenance\":" + entry.provenance_json;
+  }
+  out += "}";
+  return out;
+}
+
+void SlowQueryLog::Record(Entry entry) {
+  const std::string line = RenderEntryJson(entry);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < kCapacity) {
+      ring_.resize(kCapacity);
+    }
+    ring_[next_seq_ % kCapacity] = std::move(entry);
+    ++next_seq_;
+  }
+  FlightRecorder::Instance().Append(line);
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Latest(size_t n) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  const uint64_t have = next_seq_ < kCapacity ? next_seq_ : kCapacity;
+  const uint64_t want = n < have ? n : have;
+  out.reserve(want);
+  for (uint64_t i = 0; i < want; ++i) {
+    out.push_back(ring_[(next_seq_ - 1 - i) % kCapacity]);
+  }
+  return out;
+}
+
+uint64_t SlowQueryLog::captured() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_seq_ = 0;
 }
 
 }  // namespace tg_util

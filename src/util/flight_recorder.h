@@ -10,10 +10,20 @@
 //   * The provenance layer appends one record per explained query
 //     (type "provenance": the QueryProvenance JSON).
 //
+//   * The slow-query log (below) appends one record per captured slow
+//     query (type "slow_query": verb, elapsed, span tree, provenance).
+//
 // Recording is off until Open() succeeds, or automatically when the
 // TG_FLIGHT_RECORDER environment variable names a path at first use.
 // Appending when closed is a cheap no-op, so producers call Append
 // unconditionally.
+//
+// The stream is size-bounded: when TG_FLIGHT_RECORDER_MAX_BYTES (or
+// SetMaxBytes) is set and the next line would push the file past the cap,
+// the current file rotates to `<path>.1` (replacing any previous `.1`)
+// and a fresh file is opened.  Rotation happens only between lines, so no
+// line is ever torn across the boundary; at most cap bytes live in each
+// of the two generations.
 
 #ifndef SRC_UTIL_FLIGHT_RECORDER_H_
 #define SRC_UTIL_FLIGHT_RECORDER_H_
@@ -23,6 +33,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace tg_util {
 
@@ -46,16 +57,79 @@ class FlightRecorder {
   // counted).
   uint64_t lines_written() const;
 
+  // Size cap in bytes (0 = unbounded).  Overrides
+  // TG_FLIGHT_RECORDER_MAX_BYTES; takes effect from the next Append.
+  void SetMaxBytes(uint64_t max_bytes);
+
+  // Completed rotations since process start.
+  uint64_t rotations() const;
+
   ~FlightRecorder();
 
  private:
   FlightRecorder() = default;
   void OpenFromEnvOnce();
+  void RotateLocked();
 
   mutable std::mutex mutex_;
   std::FILE* file_ = nullptr;
   bool env_checked_ = false;
   uint64_t lines_ = 0;
+  std::string path_;        // current stream path ("" when opened failed)
+  uint64_t bytes_ = 0;      // bytes in the current generation
+  uint64_t max_bytes_ = 0;  // 0 = unbounded
+  bool max_bytes_set_ = false;
+  uint64_t rotations_ = 0;
+};
+
+// --- Slow-query capture ----------------------------------------------------
+//
+// Any server request (read verb or admission) whose wall time exceeds the
+// threshold captures its query id, harvested span tree, and provenance
+// record into a small in-memory ring, and mirrors the record to the
+// flight recorder.  Threshold 0 disables capture entirely (the server
+// skips even the QueryScope wrapping in that case).
+
+// Capture threshold in nanoseconds; 0 = disabled.  Read once from
+// TG_SLOW_QUERY_NS at first use; SetSlowQueryThresholdNs overrides.
+uint64_t SlowQueryThresholdNs();
+void SetSlowQueryThresholdNs(uint64_t ns);
+
+class SlowQueryLog {
+ public:
+  static constexpr size_t kCapacity = 128;
+
+  struct Entry {
+    uint64_t query_id = 0;
+    uint64_t elapsed_ns = 0;
+    uint64_t epoch = 0;
+    std::string verb;             // request verb ("can_know", "admit", ...)
+    std::string request;          // the raw request line
+    std::string spans_json;       // JSON array of harvested spans ("" = none)
+    std::string provenance_json;  // explain record ("" when not available)
+  };
+
+  static SlowQueryLog& Instance();
+
+  // Ring-bounded record; also appends a {"type":"slow_query",...} line to
+  // the flight recorder when it is open.
+  void Record(Entry entry);
+
+  // The most recent min(n, captured) entries, newest first.
+  std::vector<Entry> Latest(size_t n) const;
+
+  uint64_t captured() const;
+  void Clear();
+
+  // Renders `entry` as the flight-recorder / slowlog JSON object.
+  static std::string RenderEntryJson(const Entry& entry);
+
+ private:
+  SlowQueryLog() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> ring_;  // slot = seq % kCapacity
+  uint64_t next_seq_ = 0;
 };
 
 }  // namespace tg_util

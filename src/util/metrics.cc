@@ -7,6 +7,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace tg_util {
 
@@ -87,6 +91,167 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+uint64_t WindowClockNs() {
+  static const std::chrono::steady_clock::time_point base =
+      std::chrono::steady_clock::now();
+  auto elapsed = std::chrono::steady_clock::now() - base;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+namespace {
+
+// Smallest interval index still inside a window of `span` slabs ending at
+// `now_interval` (inclusive).
+uint64_t OldestInterval(uint64_t now_interval, uint64_t span) {
+  return now_interval + 1 >= span ? now_interval + 1 - span : 0;
+}
+
+uint64_t WindowSpanSlabs(uint64_t window_ns, uint64_t slab_ns, size_t slabs) {
+  uint64_t span = (window_ns + slab_ns - 1) / slab_ns;
+  if (span == 0) {
+    span = 1;
+  }
+  if (span > slabs) {
+    span = slabs;
+  }
+  return span;
+}
+
+uint64_t MergedPercentile(const uint64_t* buckets, uint64_t n, double p) {
+  if (n == 0) {
+    return 0;
+  }
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      return Histogram::BucketUpperBound(b);
+    }
+  }
+  return Histogram::BucketUpperBound(Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void WindowedCounter::AddAt(uint64_t delta, uint64_t now_ns) {
+  if (!MetricsEnabled()) {
+    return;
+  }
+  uint64_t interval = now_ns / kSlabNs;
+  Slab& slab = slabs_[interval % kSlabs];
+  uint64_t stamp = slab.stamp.load(std::memory_order_relaxed);
+  if (stamp != interval) {
+    if (slab.stamp.compare_exchange_strong(stamp, interval,
+                                           std::memory_order_relaxed)) {
+      slab.count.store(0, std::memory_order_relaxed);
+    } else if (stamp != interval) {
+      return;  // rotation race for a different interval: drop (benign)
+    }
+  }
+  slab.count.fetch_add(delta, std::memory_order_relaxed);
+}
+
+WindowedCounter::Snapshot WindowedCounter::WindowAt(uint64_t window_ns,
+                                                    uint64_t now_ns) const {
+  Snapshot snap;
+  snap.window_ns = window_ns;
+  if (window_ns == 0) {
+    return snap;
+  }
+  uint64_t now_interval = now_ns / kSlabNs;
+  uint64_t span = WindowSpanSlabs(window_ns, kSlabNs, kSlabs);
+  uint64_t oldest = OldestInterval(now_interval, span);
+  for (size_t i = 0; i < kSlabs; ++i) {
+    uint64_t stamp = slabs_[i].stamp.load(std::memory_order_relaxed);
+    if (stamp == UINT64_MAX || stamp < oldest || stamp > now_interval) {
+      continue;
+    }
+    snap.count += slabs_[i].count.load(std::memory_order_relaxed);
+  }
+  snap.rate_per_sec = static_cast<double>(snap.count) /
+                      (static_cast<double>(window_ns) / 1e9);
+  return snap;
+}
+
+void WindowedCounter::Reset() {
+  for (size_t i = 0; i < kSlabs; ++i) {
+    slabs_[i].count.store(0, std::memory_order_relaxed);
+    slabs_[i].stamp.store(UINT64_MAX, std::memory_order_relaxed);
+  }
+}
+
+void WindowedHistogram::ObserveAtN(uint64_t sample, uint64_t now_ns, uint64_t n) {
+  if (!MetricsEnabled() || n == 0) {
+    return;
+  }
+  uint64_t interval = now_ns / kSlabNs;
+  Slab& slab = slabs_[interval % kSlabs];
+  uint64_t stamp = slab.stamp.load(std::memory_order_relaxed);
+  if (stamp != interval) {
+    if (slab.stamp.compare_exchange_strong(stamp, interval,
+                                           std::memory_order_relaxed)) {
+      slab.count.store(0, std::memory_order_relaxed);
+      slab.sum.store(0, std::memory_order_relaxed);
+      for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+        slab.buckets[b].store(0, std::memory_order_relaxed);
+      }
+    } else if (stamp != interval) {
+      return;  // rotation race for a different interval: drop (benign)
+    }
+  }
+  slab.buckets[Histogram::BucketOf(sample)].fetch_add(static_cast<uint32_t>(n),
+                                                      std::memory_order_relaxed);
+  slab.count.fetch_add(n, std::memory_order_relaxed);
+  slab.sum.fetch_add(sample * n, std::memory_order_relaxed);
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::WindowAt(uint64_t window_ns,
+                                                        uint64_t now_ns) const {
+  Snapshot snap;
+  snap.window_ns = window_ns;
+  if (window_ns == 0) {
+    return snap;
+  }
+  uint64_t now_interval = now_ns / kSlabNs;
+  uint64_t span = WindowSpanSlabs(window_ns, kSlabNs, kSlabs);
+  uint64_t oldest = OldestInterval(now_interval, span);
+  uint64_t merged[Histogram::kBuckets] = {};
+  for (size_t i = 0; i < kSlabs; ++i) {
+    uint64_t stamp = slabs_[i].stamp.load(std::memory_order_relaxed);
+    if (stamp == UINT64_MAX || stamp < oldest || stamp > now_interval) {
+      continue;
+    }
+    snap.count += slabs_[i].count.load(std::memory_order_relaxed);
+    snap.sum += slabs_[i].sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      merged[b] += slabs_[i].buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  snap.rate_per_sec = static_cast<double>(snap.count) /
+                      (static_cast<double>(window_ns) / 1e9);
+  snap.p50 = MergedPercentile(merged, snap.count, 50.0);
+  snap.p95 = MergedPercentile(merged, snap.count, 95.0);
+  snap.p99 = MergedPercentile(merged, snap.count, 99.0);
+  return snap;
+}
+
+void WindowedHistogram::Reset() {
+  for (size_t i = 0; i < kSlabs; ++i) {
+    slabs_[i].count.store(0, std::memory_order_relaxed);
+    slabs_[i].sum.store(0, std::memory_order_relaxed);
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      slabs_[i].buckets[b].store(0, std::memory_order_relaxed);
+    }
+    slabs_[i].stamp.store(UINT64_MAX, std::memory_order_relaxed);
+  }
+}
+
 // std::map keeps render output sorted; node-based storage plus unique_ptr
 // keeps instrument addresses stable across rehashes and registrations.
 struct MetricsRegistry::Impl {
@@ -94,6 +259,8 @@ struct MetricsRegistry::Impl {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<WindowedCounter>, std::less<>> windowed_counters;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>> windowed_histograms;
 };
 
 MetricsRegistry& MetricsRegistry::Instance() {
@@ -136,6 +303,30 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return *it->second;
 }
 
+WindowedCounter& MetricsRegistry::windowed_counter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.windowed_counters.find(name);
+  if (it == i.windowed_counters.end()) {
+    it = i.windowed_counters
+             .emplace(std::string(name), std::make_unique<WindowedCounter>())
+             .first;
+  }
+  return *it->second;
+}
+
+WindowedHistogram& MetricsRegistry::windowed_histogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  auto it = i.windowed_histograms.find(name);
+  if (it == i.windowed_histograms.end()) {
+    it = i.windowed_histograms
+             .emplace(std::string(name), std::make_unique<WindowedHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
 uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mutex);
@@ -166,6 +357,26 @@ std::string MetricsRegistry::RenderText() const {
                   static_cast<unsigned long long>(h->P50()),
                   static_cast<unsigned long long>(h->P95()),
                   static_cast<unsigned long long>(h->P99()));
+    out += buf;
+  }
+  uint64_t now_ns = WindowClockNs();
+  for (const auto& [name, wc] : i.windowed_counters) {
+    std::snprintf(buf, sizeof(buf), "%s w1s=%.1f/s w10s=%.1f/s w60s=%.1f/s\n",
+                  name.c_str(),
+                  wc->WindowAt(1 * WindowedCounter::kSlabNs, now_ns).rate_per_sec,
+                  wc->WindowAt(10 * WindowedCounter::kSlabNs, now_ns).rate_per_sec,
+                  wc->WindowAt(60 * WindowedCounter::kSlabNs, now_ns).rate_per_sec);
+    out += buf;
+  }
+  for (const auto& [name, wh] : i.windowed_histograms) {
+    WindowedHistogram::Snapshot s =
+        wh->WindowAt(10 * WindowedHistogram::kSlabNs, now_ns);
+    std::snprintf(buf, sizeof(buf),
+                  "%s w10s count=%llu rate=%.1f/s p50<=%llu p95<=%llu p99<=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.rate_per_sec, static_cast<unsigned long long>(s.p50),
+                  static_cast<unsigned long long>(s.p95),
+                  static_cast<unsigned long long>(s.p99));
     out += buf;
   }
   return out;
@@ -200,7 +411,227 @@ std::string MetricsRegistry::RenderJson() const {
     add(name + ".p95", h->P95());
     add(name + ".p99", h->P99());
   }
+  auto addf = [&out, &first](const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\"" + key + "\":" + buf;
+  };
+  uint64_t now_ns = WindowClockNs();
+  for (const auto& [name, wc] : i.windowed_counters) {
+    addf(name + ".w10s_rate",
+         wc->WindowAt(10 * WindowedCounter::kSlabNs, now_ns).rate_per_sec);
+  }
+  for (const auto& [name, wh] : i.windowed_histograms) {
+    WindowedHistogram::Snapshot s =
+        wh->WindowAt(10 * WindowedHistogram::kSlabNs, now_ns);
+    addf(name + ".w10s_rate", s.rate_per_sec);
+    add(name + ".w10s_count", s.count);
+    add(name + ".w10s_p50", s.p50);
+    add(name + ".w10s_p95", s.p95);
+    add(name + ".w10s_p99", s.p99);
+  }
   out += "}";
+  return out;
+}
+
+namespace {
+
+// One registry name split into a Prometheus family plus label pairs.
+// Registry names may embed labels as a raw `{key=value,...}` suffix
+// (e.g. "server.verb_ns{verb=can_know}"); the renderer quotes and
+// escapes the values here, so instrumentation sites never worry about
+// exposition syntax.
+struct PromName {
+  std::string family;
+  std::vector<std::pair<std::string, std::string>> labels;
+};
+
+std::string SanitizeMetricName(std::string_view raw) {
+  std::string out = "tg_";
+  for (char c : raw) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string SanitizeLabelName(std::string_view raw) {
+  std::string out;
+  for (char c : raw) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view raw) {
+  std::string out;
+  for (char c : raw) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+PromName ParsePromName(const std::string& name) {
+  PromName parsed;
+  std::string base = name;
+  size_t brace = name.find('{');
+  if (brace != std::string::npos && !name.empty() && name.back() == '}') {
+    base = name.substr(0, brace);
+    std::string inner = name.substr(brace + 1, name.size() - brace - 2);
+    size_t pos = 0;
+    while (pos <= inner.size() && !inner.empty()) {
+      size_t comma = inner.find(',', pos);
+      size_t end = comma == std::string::npos ? inner.size() : comma;
+      std::string pair = inner.substr(pos, end - pos);
+      size_t eq = pair.find('=');
+      if (eq != std::string::npos) {
+        parsed.labels.emplace_back(SanitizeLabelName(pair.substr(0, eq)),
+                                   pair.substr(eq + 1));
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      pos = comma + 1;
+    }
+  }
+  parsed.family = SanitizeMetricName(base);
+  return parsed;
+}
+
+std::string RenderLabelSet(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::string out;
+  char buf[128];
+  // TYPE must appear exactly once per family, before its first sample.
+  // The sorted maps make same-family entries adjacent, but a set keeps
+  // this robust even across differently-labeled names of one family.
+  std::set<std::string> typed;
+  auto emit_type = [&out, &typed](const std::string& family, const char* type) {
+    if (typed.insert(family).second) {
+      out += "# TYPE " + family + " " + type + "\n";
+    }
+  };
+  for (const auto& [name, c] : i.counters) {
+    PromName p = ParsePromName(name);
+    emit_type(p.family, "counter");
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(c->value()));
+    out += p.family + RenderLabelSet(p.labels) + buf;
+  }
+  for (const auto& [name, g] : i.gauges) {
+    PromName p = ParsePromName(name);
+    emit_type(p.family, "gauge");
+    std::snprintf(buf, sizeof(buf), " %lld\n",
+                  static_cast<long long>(g->value()));
+    out += p.family + RenderLabelSet(p.labels) + buf;
+  }
+  for (const auto& [name, h] : i.histograms) {
+    PromName p = ParsePromName(name);
+    emit_type(p.family, "histogram");
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      cumulative += h->bucket(b);
+      auto labels = p.labels;
+      if (b + 1 < Histogram::kBuckets) {
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(
+                          Histogram::BucketUpperBound(b)));
+        labels.emplace_back("le", buf);
+      } else {
+        labels.emplace_back("le", "+Inf");
+      }
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(cumulative));
+      out += p.family + "_bucket" + RenderLabelSet(labels) + buf;
+    }
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(h->sum()));
+    out += p.family + "_sum" + RenderLabelSet(p.labels) + buf;
+    std::snprintf(buf, sizeof(buf), " %llu\n",
+                  static_cast<unsigned long long>(h->count()));
+    out += p.family + "_count" + RenderLabelSet(p.labels) + buf;
+  }
+  static constexpr struct {
+    uint64_t ns;
+    const char* label;
+  } kWindows[] = {{1 * WindowedCounter::kSlabNs, "1s"},
+                  {10 * WindowedCounter::kSlabNs, "10s"},
+                  {60 * WindowedCounter::kSlabNs, "60s"}};
+  uint64_t now_ns = WindowClockNs();
+  for (const auto& [name, wc] : i.windowed_counters) {
+    PromName p = ParsePromName(name);
+    emit_type(p.family + "_rate", "gauge");
+    for (const auto& w : kWindows) {
+      auto labels = p.labels;
+      labels.emplace_back("window", w.label);
+      std::snprintf(buf, sizeof(buf), " %.3f\n",
+                    wc->WindowAt(w.ns, now_ns).rate_per_sec);
+      out += p.family + "_rate" + RenderLabelSet(labels) + buf;
+    }
+  }
+  for (const auto& [name, wh] : i.windowed_histograms) {
+    PromName p = ParsePromName(name);
+    emit_type(p.family + "_rate", "gauge");
+    emit_type(p.family + "_p50", "gauge");
+    emit_type(p.family + "_p95", "gauge");
+    emit_type(p.family + "_p99", "gauge");
+    for (const auto& w : kWindows) {
+      auto labels = p.labels;
+      labels.emplace_back("window", w.label);
+      WindowedHistogram::Snapshot s = wh->WindowAt(w.ns, now_ns);
+      std::string suffix = RenderLabelSet(labels);
+      std::snprintf(buf, sizeof(buf), " %.3f\n", s.rate_per_sec);
+      out += p.family + "_rate" + suffix + buf;
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(s.p50));
+      out += p.family + "_p50" + suffix + buf;
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(s.p95));
+      out += p.family + "_p95" + suffix + buf;
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(s.p99));
+      out += p.family + "_p99" + suffix + buf;
+    }
+  }
   return out;
 }
 
@@ -218,6 +649,14 @@ void MetricsRegistry::ResetAll() {
   for (const auto& [name, h] : i.histograms) {
     (void)name;
     h->Reset();
+  }
+  for (const auto& [name, wc] : i.windowed_counters) {
+    (void)name;
+    wc->Reset();
+  }
+  for (const auto& [name, wh] : i.windowed_histograms) {
+    (void)name;
+    wh->Reset();
   }
 }
 

@@ -1,10 +1,20 @@
 // A low-overhead, thread-safe metrics registry for the analysis engine.
 //
-// Three instrument kinds, all safe to touch from ThreadPool workers:
+// Five instrument kinds, all safe to touch from ThreadPool workers:
 //  * Counter   — monotonic uint64 (relaxed atomic add)
 //  * Gauge     — last-written int64 (atomic store)
 //  * Histogram — fixed power-of-two buckets with atomic slots, for
 //                latencies in nanoseconds and other size-like samples
+//  * WindowedCounter / WindowedHistogram — the same counts/buckets kept in
+//                a lock-light ring of per-second slabs, so an operator can
+//                ask for *rolling* 1 s / 10 s / 60 s rates and percentile
+//                views instead of cumulative-since-start numbers.  A slab
+//                is claimed for the current second by a relaxed CAS on its
+//                interval stamp; readers sum only the slabs whose stamp
+//                falls inside the requested window.  Observations racing a
+//                slab rotation at an interval edge may be dropped — a
+//                benign, bounded loss the windowed views tolerate (the
+//                cumulative twin instrument never loses samples).
 //
 // Instrumentation sites look up their instrument once and cache the
 // reference in a function-local static:
@@ -104,17 +114,23 @@ class Histogram {
  public:
   static constexpr size_t kBuckets = 40;
 
-  void Observe(uint64_t sample) {
+  void Observe(uint64_t sample) { ObserveN(sample, 1); }
+
+  // Records `n` observations of the same sample with one bucket lookup and
+  // three atomic adds — the batch path for sites where many events share a
+  // measurement (e.g. every line of a pipelined frame has one latency).
+  void ObserveN(uint64_t sample, uint64_t n) {
 #if TG_METRICS
-    if (!MetricsEnabled()) {
+    if (!MetricsEnabled() || n == 0) {
       return;
     }
     size_t b = BucketOf(sample);
-    buckets_[b].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(sample, std::memory_order_relaxed);
+    buckets_[b].fetch_add(n, std::memory_order_relaxed);
+    count_.fetch_add(n, std::memory_order_relaxed);
+    sum_.fetch_add(sample * n, std::memory_order_relaxed);
 #else
     (void)sample;
+    (void)n;
 #endif
   }
 
@@ -159,6 +175,103 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
+// Monotonic nanoseconds since the first windowed-instrument use; the
+// shared clock behind WindowedCounter::Add / WindowedHistogram::Observe.
+// Exposed so callers that already read the clock can pass it through the
+// *At variants instead of reading it twice.
+uint64_t WindowClockNs();
+
+// Rolling-window counter: a ring of per-second event-count slabs.  Add()
+// lands in the slab of the current second; WindowAt() sums the slabs
+// covering the trailing `window_ns` and derives an events-per-second rate.
+// All slots are relaxed atomics — safe from any thread, no locks.
+class WindowedCounter {
+ public:
+  static constexpr uint64_t kSlabNs = 1000000000;  // one slab per second
+  static constexpr size_t kSlabs = 64;             // > 60 s of history
+
+  struct Snapshot {
+    uint64_t count = 0;        // events inside the window
+    uint64_t window_ns = 0;
+    double rate_per_sec = 0.0; // count / window seconds
+  };
+
+  void Add(uint64_t delta = 1) {
+#if TG_METRICS
+    if (MetricsEnabled()) {
+      AddAt(delta, WindowClockNs());
+    }
+#else
+    (void)delta;
+#endif
+  }
+
+  // Explicit-clock variant (tests, replay).  Still gated on MetricsEnabled.
+  void AddAt(uint64_t delta, uint64_t now_ns);
+
+  Snapshot Window(uint64_t window_ns) const { return WindowAt(window_ns, WindowClockNs()); }
+  Snapshot WindowAt(uint64_t window_ns, uint64_t now_ns) const;
+
+  void Reset();
+
+ private:
+  struct Slab {
+    std::atomic<uint64_t> stamp{UINT64_MAX};  // interval index; UINT64_MAX = empty
+    std::atomic<uint64_t> count{0};
+  };
+  Slab slabs_[kSlabs];
+};
+
+// Rolling-window histogram: the cumulative Histogram's power-of-two bucket
+// layout, kept in a ring of per-second slabs like WindowedCounter.
+// WindowAt() merges the in-window slabs into one bucket array and reports
+// count / sum / rate plus bucket-resolution P50/P95/P99 — the live view
+// behind `tgtop` and the Prometheus windowed gauges.
+class WindowedHistogram {
+ public:
+  static constexpr uint64_t kSlabNs = WindowedCounter::kSlabNs;
+  static constexpr size_t kSlabs = WindowedCounter::kSlabs;
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t window_ns = 0;
+    double rate_per_sec = 0.0;
+    uint64_t p50 = 0, p95 = 0, p99 = 0;  // bucket upper bounds, like Histogram
+  };
+
+  void Observe(uint64_t sample) {
+#if TG_METRICS
+    if (MetricsEnabled()) {
+      ObserveAt(sample, WindowClockNs());
+    }
+#else
+    (void)sample;
+#endif
+  }
+
+  // Explicit-clock variant (tests, replay).  Still gated on MetricsEnabled.
+  void ObserveAt(uint64_t sample, uint64_t now_ns) { ObserveAtN(sample, now_ns, 1); }
+
+  // Batch variant: `n` observations of the same sample into one slab —
+  // one stamp check however large the frame (see Histogram::ObserveN).
+  void ObserveAtN(uint64_t sample, uint64_t now_ns, uint64_t n);
+
+  Snapshot Window(uint64_t window_ns) const { return WindowAt(window_ns, WindowClockNs()); }
+  Snapshot WindowAt(uint64_t window_ns, uint64_t now_ns) const;
+
+  void Reset();
+
+ private:
+  struct Slab {
+    std::atomic<uint64_t> stamp{UINT64_MAX};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint32_t> buckets[Histogram::kBuckets] = {};
+  };
+  Slab slabs_[kSlabs];
+};
+
 // RAII nanosecond timer.  Arms only when metrics are enabled, so disabled
 // mode pays no clock reads.
 class ScopedTimer {
@@ -199,6 +312,8 @@ class MetricsRegistry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+  WindowedCounter& windowed_counter(std::string_view name);
+  WindowedHistogram& windowed_histogram(std::string_view name);
 
   // Value of a counter by name; 0 when it was never registered.  For
   // exporters and tests, so they need not create instruments as a side
@@ -210,8 +325,21 @@ class MetricsRegistry {
   std::string RenderText() const;
 
   // One flat JSON object: counters and gauges as integers, histograms
-  // expanded to <name>.count / .sum / .p50 / .p99 keys.
+  // expanded to <name>.count / .sum / .p50 / .p99 keys, windowed
+  // instruments to <name>.w10s_rate (plus percentile keys for windowed
+  // histograms) over the trailing 10 s.
   std::string RenderJson() const;
+
+  // Prometheus text exposition (format 0.0.4) of every instrument, ready
+  // for `GET /metrics`.  Registry names map to metric families as
+  // `tg_` + the name with every non-[a-zA-Z0-9_:] byte replaced by `_`;
+  // a name may carry a `{key=value,...}` suffix whose pairs become labels
+  // (values are escaped per the exposition rules).  Cumulative histograms
+  // render as native histogram families (cumulative `_bucket{le=...}`,
+  // `_sum`, `_count`); windowed instruments render as gauge families
+  // suffixed `_rate` / `_p50` / `_p95` / `_p99` with a `window` label for
+  // each of the 1 s / 10 s / 60 s trailing views.
+  std::string RenderPrometheus() const;
 
   // Zeroes every instrument (instruments stay registered; cached
   // references stay valid).
@@ -233,6 +361,12 @@ inline Gauge& GetGauge(std::string_view name) {
 }
 inline Histogram& GetHistogram(std::string_view name) {
   return MetricsRegistry::Instance().histogram(name);
+}
+inline WindowedCounter& GetWindowedCounter(std::string_view name) {
+  return MetricsRegistry::Instance().windowed_counter(name);
+}
+inline WindowedHistogram& GetWindowedHistogram(std::string_view name) {
+  return MetricsRegistry::Instance().windowed_histogram(name);
 }
 
 }  // namespace tg_util

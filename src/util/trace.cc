@@ -3,12 +3,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace tg_util {
 
 namespace {
-
-thread_local TraceContext t_trace_context;
 
 std::atomic<uint64_t> g_next_span_id{1};
 std::atomic<uint64_t> g_next_query_id{1};
@@ -77,17 +76,26 @@ const char* QueryKindName(QueryKind kind) {
       return "monitor_submit";
     case QueryKind::kAdmission:
       return "admission";
+    case QueryKind::kServerRequest:
+      return "server_request";
   }
   return "unknown";
 }
 
-TraceContext CurrentTraceContext() { return t_trace_context; }
-
-void SetCurrentTraceContext(TraceContext context) { t_trace_context = context; }
-
-TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
-  ring_.resize(capacity_);
+void SetQuerySamplePeriod(uint64_t period) {
+  uint64_t mask = 0;
+  if (period > 1) {
+    uint64_t pow2 = 1;
+    while (pow2 * 2 != 0 && pow2 * 2 <= period) {
+      pow2 *= 2;
+    }
+    mask = pow2 - 1;
+  }
+  internal::g_query_sample_mask.store(mask, std::memory_order_relaxed);
 }
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), ring_(capacity_) {}
 
 TraceBuffer& TraceBuffer::Instance() {
   static TraceBuffer* buffer = new TraceBuffer();
@@ -109,17 +117,6 @@ uint64_t TraceBuffer::NextQueryId() {
   return g_next_query_id.fetch_add(1, std::memory_order_relaxed);
 }
 
-void TraceBuffer::RecordLocked(TraceEvent& event) {
-  event.seq = next_seq_;
-  ring_[next_seq_ % capacity_] = event;
-  ++next_seq_;
-  if (this == &Instance()) {
-    static Gauge& dropped = GetGauge("trace.dropped");
-    dropped.Set(next_seq_ > capacity_ ? static_cast<int64_t>(next_seq_ - capacity_) : 0);
-    SpanHistogram(event.kind).Observe(event.duration_ns);
-  }
-}
-
 uint64_t TraceBuffer::Record(TraceKind kind, uint64_t start_ns, uint64_t duration_ns,
                              uint64_t arg0, uint64_t arg1) {
   TraceEvent event;
@@ -132,43 +129,69 @@ uint64_t TraceBuffer::Record(TraceKind kind, uint64_t start_ns, uint64_t duratio
   event.query_id = context.query_id;
   event.span_id = NextSpanId();
   event.parent_span = context.parent_span;
-  std::lock_guard<std::mutex> lock(mutex_);
-  RecordLocked(event);
+  RecordEvent(event);
   return event.span_id;
 }
 
 void TraceBuffer::RecordEvent(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  RecordLocked(event);
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.seq = seq;
+  Slot& slot = ring_[seq % capacity_];
+  // Un-publish, fill, re-publish.  Two writers can collide on one slot
+  // only when they are a full ring apart in seq; the stale writer's stamp
+  // then fails the readers' bracket check, so the worst case is one lost
+  // diagnostic event, never a torn one.
+  slot.ready.store(0, std::memory_order_relaxed);
+  slot.event = event;
+  slot.ready.store(seq + 1, std::memory_order_release);
+  if (this == &Instance()) {
+    static Gauge& lost = GetGauge("trace.dropped");
+    const uint64_t recorded = seq + 1;
+    lost.Set(recorded > capacity_ ? static_cast<int64_t>(recorded - capacity_) : 0);
+    SpanHistogram(event.kind).Observe(event.duration_ns);
+  }
 }
 
 std::vector<TraceEvent> TraceBuffer::Events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t next = next_seq_.load(std::memory_order_acquire);
+  const uint64_t retained = next < capacity_ ? next : capacity_;
   std::vector<TraceEvent> out;
-  uint64_t retained = next_seq_ < capacity_ ? next_seq_ : capacity_;
   out.reserve(retained);
   // Walk seq order directly rather than slot order, so the result is
-  // strictly oldest-first even mid-wraparound.
-  for (uint64_t seq = next_seq_ - retained; seq < next_seq_; ++seq) {
-    out.push_back(ring_[seq % capacity_]);
+  // strictly oldest-first even mid-wraparound.  The ready stamp is checked
+  // on both sides of the copy: a slot overwritten mid-copy fails the
+  // second check and is dropped instead of surfacing torn.
+  for (uint64_t seq = next - retained; seq < next; ++seq) {
+    const Slot& slot = ring_[seq % capacity_];
+    if (slot.ready.load(std::memory_order_acquire) != seq + 1) {
+      continue;  // claimed but unpublished, or already overwritten
+    }
+    TraceEvent copy = slot.event;
+    if (slot.ready.load(std::memory_order_acquire) != seq + 1) {
+      continue;
+    }
+    out.push_back(copy);
   }
   return out;
 }
 
 uint64_t TraceBuffer::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return next_seq_;
+  return next_seq_.load(std::memory_order_relaxed);
 }
 
 uint64_t TraceBuffer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return next_seq_ > capacity_ ? next_seq_ - capacity_ : 0;
+  const uint64_t next = next_seq_.load(std::memory_order_relaxed);
+  return next > capacity_ ? next - capacity_ : 0;
 }
 
 void TraceBuffer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  next_seq_ = 0;
-  ring_.assign(capacity_, TraceEvent{});
+  // Quiescent-state reset (tests, tool startup); not meant to race live
+  // writers, which would re-publish into the cleared ring.
+  for (Slot& slot : ring_) {
+    slot.ready.store(0, std::memory_order_relaxed);
+    slot.event = TraceEvent{};
+  }
+  next_seq_.store(0, std::memory_order_release);
   if (this == &Instance()) {
     GetGauge("trace.dropped").Set(0);
   }

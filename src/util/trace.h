@@ -23,10 +23,15 @@
 // overwritten (total_recorded() and dropped() tell you how many, and the
 // trace.dropped gauge mirrors the loss into the metrics registry so
 // RenderText/RenderJson exporters cannot silently under-report).
-// Recording takes a mutex: spans are per-phase, not per-edge, so
-// contention is negligible next to the work being traced.  Each Record
-// also feeds a per-kind duration histogram (span.<kind>_ns) backing the
-// `tgsh profile` percentile view.
+// Recording is lock-free: a writer claims a sequence number with one
+// relaxed fetch_add, fills its slot, and publishes it by storing seq + 1
+// into the slot's ready stamp (release).  Readers accept a slot only when
+// the stamp brackets a consistent copy, so an event being overwritten
+// mid-read is skipped rather than returned torn — the policy server's
+// per-request query spans record from every pool worker at once, and a
+// recording mutex would serialize exactly the path the server fans out.
+// Each Record also feeds a per-kind duration histogram (span.<kind>_ns)
+// backing the `tgsh profile` percentile view.
 //
 // Tracing shares the observability toggle with the metrics registry
 // (TG_METRICS env / compile-time flag; see src/util/metrics.h).  When
@@ -36,8 +41,8 @@
 #ifndef SRC_UTIL_TRACE_H_
 #define SRC_UTIL_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -89,9 +94,12 @@ enum class QueryKind : uint8_t {
   kCrossLevelChannels,
   kMonitorSubmit,      // one mediated rule application
   kAdmission,          // one admission-gate decision or group commit
+  kServerRequest,      // one wire request line executed by the policy
+                       // server (read verb or write), wrapped so slow
+                       // requests can be harvested by query id
 };
 
-inline constexpr size_t kQueryKindCount = static_cast<size_t>(QueryKind::kAdmission) + 1;
+inline constexpr size_t kQueryKindCount = static_cast<size_t>(QueryKind::kServerRequest) + 1;
 
 const char* QueryKindName(QueryKind kind);
 
@@ -103,8 +111,63 @@ struct TraceContext {
   uint64_t parent_span = 0;
 };
 
-TraceContext CurrentTraceContext();
-void SetCurrentTraceContext(TraceContext context);
+namespace internal {
+// TLS ambient context; inline here so CurrentTraceContext compiles to a
+// TLS load on the hot paths that gate per-operation detail on it.
+inline thread_local TraceContext g_trace_context;
+}  // namespace internal
+
+inline TraceContext CurrentTraceContext() { return internal::g_trace_context; }
+inline void SetCurrentTraceContext(TraceContext context) {
+  internal::g_trace_context = context;
+}
+
+// Sampling for high-rate query spans.  SetQuerySamplePeriod(p) rounds p
+// down to a power of two and keeps roughly 1 of every p *sampleable*
+// query scopes per thread (period 0 or 1 = keep all; the default).  Only
+// scopes opened with QueryScope::kSampleable participate — provenance
+// extraction, admission auditing, and the policy server's slow-query root
+// always record.  The policy server turns sampling on for the per-request
+// predicate scopes (TG_TRACE_SAMPLE, default 16): under serving load the
+// per-verb latency histograms already carry the aggregate story, and a
+// full-fidelity kQuery event per request is measurable tax.
+//
+// Per-operation detail (BFS runs, quotient builds, snapshot spans, ...)
+// does not tick its own counter: it records exactly when the enclosing
+// query was sampled in (TraceDetailArmed), so a kept query carries its
+// complete span tree and a skipped query costs nothing but the exact
+// aggregate counters.
+namespace internal {
+// 0 = record every sampleable scope (the default); otherwise a
+// power-of-two-minus-one mask applied to a per-thread tick counter.
+// Inline so the fast path is a single relaxed load, not a cross-TU call.
+inline std::atomic<uint64_t> g_query_sample_mask{0};
+}  // namespace internal
+
+inline uint64_t QuerySampleMask() {
+  return internal::g_query_sample_mask.load(std::memory_order_relaxed);
+}
+void SetQuerySamplePeriod(uint64_t period);
+
+inline bool QuerySampleTick() {
+  const uint64_t mask = QuerySampleMask();
+  if (mask == 0) {
+    return true;
+  }
+  // A query joining an already-recorded query inherits its fate rather
+  // than re-rolling, so nested sampleable scopes stay in one span tree.
+  if (internal::g_trace_context.query_id != 0) {
+    return true;
+  }
+  thread_local uint64_t counter = 0;
+  return (++counter & mask) == 0;
+}
+
+// Whether per-operation trace detail should record right now: sampling is
+// off entirely, or this thread is inside a query that was sampled in.
+inline bool TraceDetailArmed() {
+  return QuerySampleMask() == 0 || internal::g_trace_context.query_id != 0;
+}
 
 // Installs `context` for the current scope and restores the previous
 // context on exit.  ThreadPool workers use this to adopt the ParallelFor
@@ -162,7 +225,9 @@ class TraceBuffer {
   // construction, before the ambient context was restored.
   void RecordEvent(TraceEvent event);
 
-  // The retained events, strictly by seq, oldest first.
+  // The retained events, strictly by seq, oldest first.  Slots whose
+  // writer has claimed a seq but not yet published, and slots overwritten
+  // while being copied, are omitted (never returned torn).
   std::vector<TraceEvent> Events() const;
 
   // Events ever recorded, including ones the ring has since overwritten.
@@ -181,12 +246,17 @@ class TraceBuffer {
   std::string RenderText(size_t limit = 0) const;
 
  private:
-  void RecordLocked(TraceEvent& event);
+  // One ring slot.  `ready` holds seq + 1 once the event for `seq` is
+  // fully written (0 = empty or being written); writers store it with
+  // release order, readers load with acquire and re-check after copying.
+  struct Slot {
+    std::atomic<uint64_t> ready{0};
+    TraceEvent event;
+  };
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;  // slot = seq % capacity_
-  uint64_t next_seq_ = 0;
+  std::vector<Slot> ring_;  // slot = seq % capacity_
+  std::atomic<uint64_t> next_seq_{0};
 };
 
 // Per-kind duration aggregates (span.<kind>_ns histograms), fed by every
@@ -205,8 +275,18 @@ void ResetSpanProfile();
 // workers serving this thread's batches).
 class TraceSpan {
  public:
-  explicit TraceSpan(TraceKind kind, uint64_t arg0 = 0, uint64_t arg1 = 0)
-      : kind_(kind), arg0_(arg0), arg1_(arg1), armed_(MetricsEnabled()) {
+  // kSampleable spans are per-operation detail: they record exactly when
+  // the enclosing query was sampled in (or sampling is off entirely), so
+  // kept queries carry complete span trees.  Everything else records
+  // unconditionally.
+  enum Sampling : uint8_t { kAlways, kSampleable };
+
+  explicit TraceSpan(TraceKind kind, uint64_t arg0 = 0, uint64_t arg1 = 0,
+                     Sampling sampling = kAlways)
+      : kind_(kind),
+        arg0_(arg0),
+        arg1_(arg1),
+        armed_(MetricsEnabled() && (sampling == kAlways || TraceDetailArmed())) {
     if (armed_) {
       context_ = CurrentTraceContext();
       span_id_ = TraceBuffer::NextSpanId();
@@ -236,6 +316,10 @@ class TraceSpan {
     arg1_ = arg1;
   }
 
+  // Whether this span is recording; callers gate sibling per-op detail
+  // (timers, per-op histograms) on it so one sampling decision covers all.
+  bool armed() const { return armed_; }
+
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
@@ -256,8 +340,15 @@ class TraceSpan {
 // arg0 = QueryKind and arg1 = the verdict (set_verdict / set_result).
 class QueryScope {
  public:
-  explicit QueryScope(QueryKind what, uint64_t result = 0)
-      : what_(what), result_(result), armed_(MetricsEnabled()) {
+  // Whether this scope participates in query-span sampling (see
+  // SetQuerySamplePeriod).  Hot per-request predicate entry points pass
+  // kSampleable; everything else records unconditionally.
+  enum Sampling : uint8_t { kAlways, kSampleable };
+
+  explicit QueryScope(QueryKind what, uint64_t result = 0, Sampling sampling = kAlways)
+      : what_(what),
+        result_(result),
+        armed_(MetricsEnabled() && (sampling == kAlways || QuerySampleTick())) {
     if (armed_) {
       context_ = CurrentTraceContext();
       query_id_ = context_.query_id != 0 ? context_.query_id : TraceBuffer::NextQueryId();

@@ -9,6 +9,7 @@
 #include "src/server/server.h"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -21,6 +22,9 @@
 
 #include "src/server/client.h"
 #include "src/server/protocol.h"
+#include "src/util/flight_recorder.h"
+#include "src/util/metrics.h"
+#include "src/util/trace.h"
 
 namespace tg_server {
 namespace {
@@ -523,6 +527,159 @@ TEST(PolicyServerTest, StopWithConnectedClientsDoesNotHang) {
   ASSERT_TRUE(extra.ConnectUnix(h.server->unix_path()).ok());
   ASSERT_TRUE(IsOk(h.Call("ping")));
   h.server->Stop();  // clients still connected; must return promptly
+}
+
+// ---- Telemetry surface ----
+
+// Forces metrics on and full-fidelity tracing for the body of a telemetry
+// test, restoring both (and the slow-query machinery) afterwards so this
+// suite's global knobs cannot leak into other tests.  Server Start() sets
+// a 1-in-64 sample period, so the period must be re-zeroed after the
+// harness exists.
+class TelemetryGuard {
+ public:
+  TelemetryGuard()
+      : was_enabled_(tg_util::MetricsEnabled()),
+        threshold_(tg_util::SlowQueryThresholdNs()) {
+    tg_util::SetMetricsEnabled(true);
+  }
+  ~TelemetryGuard() {
+    tg_util::SetSlowQueryThresholdNs(threshold_);
+    tg_util::SetQuerySamplePeriod(0);
+    tg_util::SlowQueryLog::Instance().Clear();
+    tg_util::SetMetricsEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_;
+  uint64_t threshold_;
+};
+
+TEST(PolicyServerTest, StatsEmbedsTheFullMetricsRegistry) {
+  TelemetryGuard guard;
+  ServerHarness h("statsreg");
+  tg_util::SetQuerySamplePeriod(0);  // record every query's trace events
+  ASSERT_TRUE(IsOk(h.Call("can_know alice doc")));
+  const std::string stats = h.Call("stats");
+  ASSERT_TRUE(IsOk(stats));
+  // The hand-picked summary fields are still present...
+  EXPECT_FALSE(ExtractJsonField(stats, "connections").empty()) << stats;
+  EXPECT_FALSE(ExtractJsonField(stats, "requests").empty()) << stats;
+  // ...and the full registry JSON rides along: a superset holding every
+  // registered instrument, including the trace-ring loss gauge.
+  EXPECT_NE(stats.find("\"metrics\":{"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"trace.dropped\":"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"server.frames_received\":"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"server.request_ns.count\":"), std::string::npos) << stats;
+}
+
+TEST(PolicyServerTest, MetricsVerbReturnsPrometheusExposition) {
+  TelemetryGuard guard;
+  ServerHarness h("promverb");
+  ASSERT_TRUE(IsOk(h.Call("ping")));
+  const std::string response = h.Call("metrics");
+  ASSERT_TRUE(IsOk(response));
+  EXPECT_NE(response.find("\"format\":\"prometheus_0_0_4\""), std::string::npos)
+      << response.substr(0, 200);
+  // The exposition body is JSON-escaped into one field; spot-check that
+  // the server families made it through with TYPE headers.
+  EXPECT_NE(response.find("# TYPE tg_server_request_ns histogram"), std::string::npos);
+  EXPECT_NE(response.find("tg_server_request_ns_bucket{le="), std::string::npos);
+  EXPECT_NE(response.find("# TYPE tg_server_requests_rate gauge"), std::string::npos);
+  EXPECT_NE(response.find("window=\\\"10s\\\""), std::string::npos);
+}
+
+TEST(PolicyServerTest, SlowlogCapturesQueriesPastTheThreshold) {
+  TelemetryGuard guard;
+  tg_util::SetSlowQueryThresholdNs(1);  // every read is "slow"
+  tg_util::SlowQueryLog::Instance().Clear();
+  ServerHarness h("slowlog");
+  ASSERT_TRUE(IsOk(h.Call("can_know alice doc")));
+  ASSERT_TRUE(IsOk(h.Call("can_share r bob doc")));
+  const std::string response = h.Call("slowlog 2");
+  ASSERT_TRUE(IsOk(response));
+  EXPECT_EQ(ExtractJsonField(response, "verb"), "\"slowlog\"") << response;
+  EXPECT_EQ(ExtractJsonField(response, "threshold_ns"), "1") << response;
+  EXPECT_NE(ExtractJsonField(response, "captured"), "0") << response;
+  // Entries carry the request line, a span tree, and (for explainable
+  // predicates) the provenance record.
+  EXPECT_NE(response.find("\"request\":\"can_share r bob doc\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"spans\":["), std::string::npos) << response;
+  EXPECT_NE(response.find("\"provenance\":{"), std::string::npos) << response;
+}
+
+// Raw HTTP over the server's TCP listener: the first byte not looking
+// like a length line flips the connection into HTTP mode.
+std::string HttpGet(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "GET " + target + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(PolicyServerTest, HttpGetMetricsServesAPrometheusScrape) {
+  TelemetryGuard guard;
+  OfficeFixture office;
+  PolicyServer::Options options;
+  options.tcp_port = 0;  // ephemeral
+  PolicyServer server(std::move(office.graph), std::move(office.levels), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.tcp_port(), 0);
+
+  const std::string response = HttpGet(server.tcp_port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u) << response.substr(0, 120);
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  // The body is a real exposition and Content-Length covers it exactly
+  // (the server closes after one response, so the recv loop read it all).
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  const std::string length_key = "Content-Length: ";
+  const size_t length_at = response.find(length_key);
+  ASSERT_NE(length_at, std::string::npos);
+  EXPECT_EQ(std::stoull(response.substr(length_at + length_key.size())), body.size());
+  EXPECT_EQ(body.rfind("# TYPE ", 0), 0u) << body.substr(0, 120);
+  EXPECT_NE(body.find("\ntg_server_http_requests "), std::string::npos);
+
+  // A wire client still speaks the framed protocol on the same listener.
+  PolicyClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", server.tcp_port()).ok());
+  auto framed = client.Call("ping");
+  ASSERT_TRUE(framed.ok());
+  EXPECT_TRUE(IsOk(*framed));
+}
+
+TEST(PolicyServerTest, HttpUnknownTargetGets404AndCloses) {
+  TelemetryGuard guard;
+  OfficeFixture office;
+  PolicyServer::Options options;
+  options.tcp_port = 0;
+  PolicyServer server(std::move(office.graph), std::move(office.levels), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string response = HttpGet(server.tcp_port(), "/nope");
+  EXPECT_EQ(response.rfind("HTTP/1.0 404 Not Found", 0), 0u) << response.substr(0, 120);
+  // The server stays healthy for framed clients afterwards.
+  PolicyClient client;
+  ASSERT_TRUE(client.ConnectTcp("127.0.0.1", server.tcp_port()).ok());
+  auto framed = client.Call("ping");
+  ASSERT_TRUE(framed.ok());
+  EXPECT_TRUE(IsOk(*framed));
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+#include "src/util/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tg_util {
+namespace {
+
+// Reads a JSONL file back as lines (without the trailing newlines).
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+// Each test gets its own temp paths and restores the process-wide recorder
+// to closed/unbounded on exit, so ordering against the server/provenance
+// suites (which share FlightRecorder::Instance) cannot flip outcomes.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::string(::testing::TempDir()) + "fr_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".jsonl";
+    rotated_ = path_ + ".1";
+    std::remove(path_.c_str());
+    std::remove(rotated_.c_str());
+  }
+  void TearDown() override {
+    FlightRecorder::Instance().Close();
+    FlightRecorder::Instance().SetMaxBytes(0);
+    std::remove(path_.c_str());
+    std::remove(rotated_.c_str());
+  }
+
+  std::string path_;
+  std::string rotated_;
+};
+
+TEST_F(FlightRecorderTest, AppendWhileClosedIsANoOp) {
+  FlightRecorder& fr = FlightRecorder::Instance();
+  fr.Close();
+  const uint64_t before = fr.lines_written();
+  fr.Append("{\"type\":\"test\"}");
+  EXPECT_EQ(fr.lines_written(), before);
+}
+
+TEST_F(FlightRecorderTest, AppendsOneParseableLinePerRecord) {
+  FlightRecorder& fr = FlightRecorder::Instance();
+  ASSERT_TRUE(fr.Open(path_));
+  fr.Append("{\"type\":\"test\",\"n\":1}");
+  fr.Append("{\"type\":\"test\",\"n\":2}");
+  fr.Close();
+  const std::vector<std::string> lines = ReadLines(path_);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"type\":\"test\",\"n\":1}");
+  EXPECT_EQ(lines[1], "{\"type\":\"test\",\"n\":2}");
+}
+
+TEST_F(FlightRecorderTest, OverfillRotatesWithNoTornLines) {
+  FlightRecorder& fr = FlightRecorder::Instance();
+  ASSERT_TRUE(fr.Open(path_));
+  // Cap a few lines' worth, then write far past it: every line must land
+  // whole in exactly one of the two generations, and the live file must
+  // hold the newest records.
+  const std::string record = "{\"type\":\"test\",\"seq\":";  // + i + "}"
+  fr.SetMaxBytes(256);
+  const uint64_t rotations_before = fr.rotations();
+  for (int i = 0; i < 100; ++i) {
+    fr.Append(record + std::to_string(i) + "}");
+  }
+  fr.Close();
+  EXPECT_GT(fr.rotations(), rotations_before);
+
+  const std::vector<std::string> live = ReadLines(path_);
+  const std::vector<std::string> old = ReadLines(rotated_);
+  ASSERT_FALSE(live.empty());
+  ASSERT_FALSE(old.empty());
+  // No torn lines: every line in both generations parses back whole.
+  int last_seq = -1;
+  for (const std::vector<std::string>* gen : {&old, &live}) {
+    for (const std::string& line : *gen) {
+      ASSERT_TRUE(line.rfind(record, 0) == 0 && line.back() == '}') << line;
+      const int seq = std::atoi(line.c_str() + record.size());
+      EXPECT_GT(seq, last_seq) << "sequence broke at: " << line;
+      last_seq = seq;
+    }
+  }
+  // The final record survives in the live generation; only rotated-away
+  // history is gone.
+  EXPECT_EQ(live.back(), record + "99}");
+  // Both generations respect the cap (a line may straddle the threshold
+  // check, so allow one record of slack).
+  EXPECT_LE(old.size() * (record.size() + 4), 256u + record.size() + 4);
+}
+
+TEST_F(FlightRecorderTest, RotationReplacesThePreviousGeneration) {
+  FlightRecorder& fr = FlightRecorder::Instance();
+  ASSERT_TRUE(fr.Open(path_));
+  fr.SetMaxBytes(64);
+  for (int i = 0; i < 50; ++i) {
+    fr.Append("{\"type\":\"test\",\"gen\":" + std::to_string(i) + "}");
+  }
+  const uint64_t rotations = fr.rotations();
+  EXPECT_GT(rotations, 1u);  // rotated more than once => .1 was replaced
+  fr.Close();
+  // Exactly two generations ever exist.
+  std::ifstream second(path_ + ".2");
+  EXPECT_FALSE(second.good());
+}
+
+TEST_F(FlightRecorderTest, SlowQueryLogRingBoundsAndNewestFirst) {
+  SlowQueryLog& log = SlowQueryLog::Instance();
+  log.Clear();
+  for (uint64_t i = 0; i < SlowQueryLog::kCapacity + 10; ++i) {
+    SlowQueryLog::Entry entry;
+    entry.query_id = i;
+    entry.elapsed_ns = 1000 + i;
+    entry.verb = "can_know";
+    entry.request = "can_know a b";
+    log.Record(std::move(entry));
+  }
+  EXPECT_EQ(log.captured(), SlowQueryLog::kCapacity + 10);
+  // Latest(n) is newest-first and bounded by the ring capacity.
+  std::vector<SlowQueryLog::Entry> latest = log.Latest(4);
+  ASSERT_EQ(latest.size(), 4u);
+  EXPECT_EQ(latest[0].query_id, SlowQueryLog::kCapacity + 9);
+  EXPECT_EQ(latest[3].query_id, SlowQueryLog::kCapacity + 6);
+  std::vector<SlowQueryLog::Entry> all = log.Latest(SlowQueryLog::kCapacity * 2);
+  EXPECT_EQ(all.size(), SlowQueryLog::kCapacity);
+  log.Clear();
+  EXPECT_EQ(log.captured(), 0u);
+  EXPECT_TRUE(log.Latest(4).empty());
+}
+
+TEST_F(FlightRecorderTest, SlowQueryRecordMirrorsToTheRecorder) {
+  FlightRecorder& fr = FlightRecorder::Instance();
+  ASSERT_TRUE(fr.Open(path_));
+  SlowQueryLog& log = SlowQueryLog::Instance();
+  log.Clear();
+  SlowQueryLog::Entry entry;
+  entry.query_id = 42;
+  entry.elapsed_ns = 5000;
+  entry.epoch = 7;
+  entry.verb = "can_share";
+  entry.request = "can_share r a b";
+  entry.spans_json = "[{\"kind\":\"server.request\"}]";
+  log.Record(std::move(entry));
+  fr.Close();
+  const std::vector<std::string> lines = ReadLines(path_);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"type\":\"slow_query\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"query_id\":42"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"spans\":[{\"kind\":\"server.request\"}]"), std::string::npos)
+      << lines[0];
+  log.Clear();
+}
+
+TEST_F(FlightRecorderTest, SlowQueryThresholdOverrideWins) {
+  const uint64_t before = SlowQueryThresholdNs();
+  SetSlowQueryThresholdNs(12345);
+  EXPECT_EQ(SlowQueryThresholdNs(), 12345u);
+  SetSlowQueryThresholdNs(before);
+}
+
+}  // namespace
+}  // namespace tg_util

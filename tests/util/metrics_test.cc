@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "src/util/thread_pool.h"
@@ -237,6 +238,192 @@ TEST_F(MetricsTest, ResetAllZeroesButKeepsReferencesValid) {
   EXPECT_EQ(counter.value(), 0u);
   counter.Add(1);
   EXPECT_EQ(MetricsRegistry::Instance().CounterValue("test.metrics.reset_all"), 1u);
+}
+
+// --- Windowed instruments --------------------------------------------------
+//
+// All window tests drive the explicit-clock (*At) variants, so slab
+// rotation is exercised deterministically instead of depending on how
+// long the test takes to run.
+
+constexpr uint64_t kSlab = WindowedCounter::kSlabNs;
+
+TEST_F(MetricsTest, WindowedCounterCountsOnlyInsideTheWindow) {
+  WindowedCounter wc;
+  wc.AddAt(3, 1 * kSlab);
+  wc.AddAt(4, 5 * kSlab);
+  wc.AddAt(5, 9 * kSlab + kSlab / 2);
+
+  // A 10 s window at t=9.5 s spans back to t=-0.5 s: everything counts.
+  WindowedCounter::Snapshot s = wc.WindowAt(10 * kSlab, 9 * kSlab + kSlab / 2);
+  EXPECT_EQ(s.count, 12u);
+  EXPECT_DOUBLE_EQ(s.rate_per_sec, 1.2);
+
+  // A 1 s window sees only the slab in progress.
+  s = wc.WindowAt(1 * kSlab, 9 * kSlab + kSlab / 2);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST_F(MetricsTest, WindowedCounterSlabRotatesAtTheIntervalEdge) {
+  WindowedCounter wc;
+  // Writes one tick either side of a slab boundary land in different
+  // slabs: advancing the clock by a full window past the first write
+  // must age it out while keeping the second.
+  wc.AddAt(1, 2 * kSlab - 1);
+  wc.AddAt(10, 2 * kSlab);
+  EXPECT_EQ(wc.WindowAt(1 * kSlab, 2 * kSlab).count, 10u);
+  EXPECT_EQ(wc.WindowAt(2 * kSlab, 2 * kSlab).count, 11u);
+}
+
+TEST_F(MetricsTest, WindowedCounterReusedSlabDropsStaleCount) {
+  WindowedCounter wc;
+  wc.AddAt(7, 1 * kSlab);
+  // kSlabs intervals later the ring wraps onto the same slot; the stale
+  // count from the first generation must not leak into the new window.
+  const uint64_t later = (1 + WindowedCounter::kSlabs) * kSlab;
+  wc.AddAt(2, later);
+  EXPECT_EQ(wc.WindowAt(1 * kSlab, later).count, 2u);
+  EXPECT_EQ(wc.WindowAt(60 * kSlab, later).count, 2u);
+}
+
+TEST_F(MetricsTest, WindowedHistogramTracksCumulativeTotalsInWindow) {
+  // Every observation mirrored into both a cumulative Histogram and a
+  // WindowedHistogram whose window covers all of them must agree on
+  // count, sum, and percentile bucket bounds — the dashboard's rolling
+  // view is the same distribution, just time-scoped.
+  Histogram cumulative;
+  WindowedHistogram windowed;
+  uint64_t now = 3 * kSlab;
+  for (uint64_t sample : {1u, 9u, 100u, 4096u, 100000u, 100001u}) {
+    cumulative.Observe(sample);
+    windowed.ObserveAt(sample, now);
+  }
+  WindowedHistogram::Snapshot s = windowed.WindowAt(10 * kSlab, now);
+  EXPECT_EQ(s.count, cumulative.count());
+  EXPECT_EQ(s.sum, cumulative.sum());
+  EXPECT_EQ(s.p50, cumulative.P50());
+  EXPECT_EQ(s.p95, cumulative.P95());
+  EXPECT_EQ(s.p99, cumulative.P99());
+}
+
+TEST_F(MetricsTest, WindowedHistogramAgesOutOldSlabs) {
+  WindowedHistogram wh;
+  wh.ObserveAt(10, 1 * kSlab);
+  wh.ObserveAtN(1000, 30 * kSlab, 4);
+  WindowedHistogram::Snapshot recent = wh.WindowAt(10 * kSlab, 30 * kSlab);
+  EXPECT_EQ(recent.count, 4u);
+  EXPECT_EQ(recent.sum, 4000u);
+  WindowedHistogram::Snapshot all = wh.WindowAt(60 * kSlab, 30 * kSlab);
+  EXPECT_EQ(all.count, 5u);
+  EXPECT_EQ(all.sum, 4010u);
+}
+
+TEST_F(MetricsTest, WindowedDisabledModeIsNoOp) {
+  WindowedCounter& wc = GetWindowedCounter("test.metrics.windowed_disabled");
+  WindowedHistogram& wh = GetWindowedHistogram("test.metrics.windowed_disabled_h");
+  wc.Reset();
+  wh.Reset();
+  SetMetricsEnabled(false);
+  wc.Add(5);
+  wh.Observe(5);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(wc.Window(60 * kSlab).count, 0u);
+  EXPECT_EQ(wh.Window(60 * kSlab).count, 0u);
+}
+
+TEST_F(MetricsTest, ConcurrentWindowedAddsSumExactly) {
+  WindowedCounter wc;
+  WindowedHistogram wh;
+  const uint64_t now = 7 * kSlab;
+  ThreadPool pool(4);
+  pool.ParallelFor(4000, [&](size_t) {
+    wc.AddAt(1, now);
+    wh.ObserveAt(3, now);
+  });
+  EXPECT_EQ(wc.WindowAt(1 * kSlab, now).count, 4000u);
+  EXPECT_EQ(wh.WindowAt(1 * kSlab, now).count, 4000u);
+  EXPECT_EQ(wh.WindowAt(1 * kSlab, now).sum, 12000u);
+}
+
+// --- Prometheus exposition -------------------------------------------------
+
+TEST_F(MetricsTest, PrometheusRendersEveryInstrumentKindOnce) {
+  GetCounter("test.prom.counter").Add(3);
+  GetGauge("test.prom.gauge").Set(-4);
+  GetHistogram("test.prom.hist").Observe(100);
+  GetWindowedCounter("test.prom.wc").Add(2);
+  GetWindowedHistogram("test.prom.wh").Observe(50);
+  const std::string out = MetricsRegistry::Instance().RenderPrometheus();
+
+  auto count_of = [&out](const std::string& needle) {
+    size_t n = 0;
+    for (size_t at = out.find(needle); at != std::string::npos;
+         at = out.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("# TYPE tg_test_prom_counter counter"), 1u) << out;
+  EXPECT_EQ(count_of("\ntg_test_prom_counter 3\n"), 1u) << out;
+  EXPECT_EQ(count_of("# TYPE tg_test_prom_gauge gauge"), 1u) << out;
+  EXPECT_EQ(count_of("\ntg_test_prom_gauge -4\n"), 1u) << out;
+  EXPECT_EQ(count_of("# TYPE tg_test_prom_hist histogram"), 1u) << out;
+  EXPECT_EQ(count_of("tg_test_prom_hist_bucket{le=\"+Inf\"} 1\n"), 1u) << out;
+  EXPECT_EQ(count_of("\ntg_test_prom_hist_sum 100\n"), 1u) << out;
+  EXPECT_EQ(count_of("\ntg_test_prom_hist_count 1\n"), 1u) << out;
+  // Windowed instruments surface as one gauge family per statistic, one
+  // sample per window width.
+  EXPECT_EQ(count_of("# TYPE tg_test_prom_wc_rate gauge"), 1u) << out;
+  EXPECT_EQ(count_of("tg_test_prom_wc_rate{window=\"1s\"}"), 1u) << out;
+  EXPECT_EQ(count_of("tg_test_prom_wc_rate{window=\"10s\"}"), 1u) << out;
+  EXPECT_EQ(count_of("tg_test_prom_wc_rate{window=\"60s\"}"), 1u) << out;
+  EXPECT_EQ(count_of("# TYPE tg_test_prom_wh_p99 gauge"), 1u) << out;
+  EXPECT_EQ(count_of("tg_test_prom_wh_p99{window=\"10s\"}"), 1u) << out;
+}
+
+TEST_F(MetricsTest, PrometheusHistogramBucketsAreCumulativeAndMonotone) {
+  Histogram& h = GetHistogram("test.prom.cumulative");
+  h.Reset();
+  h.Observe(1);
+  h.Observe(1000);
+  h.Observe(1000000);
+  const std::string out = MetricsRegistry::Instance().RenderPrometheus();
+  // Walk this family's bucket lines in order; the rendered counts must be
+  // non-decreasing and end at the +Inf bucket == _count.
+  uint64_t last = 0;
+  size_t buckets_seen = 0;
+  size_t at = 0;
+  const std::string prefix = "tg_test_prom_cumulative_bucket{le=\"";
+  while ((at = out.find(prefix, at)) != std::string::npos) {
+    const size_t value_at = out.find("} ", at);
+    ASSERT_NE(value_at, std::string::npos);
+    const uint64_t value = std::strtoull(out.c_str() + value_at + 2, nullptr, 10);
+    EXPECT_GE(value, last) << out.substr(at, 80);
+    last = value;
+    ++buckets_seen;
+    at = value_at;
+  }
+  EXPECT_EQ(buckets_seen, Histogram::kBuckets);
+  EXPECT_EQ(last, 3u);  // +Inf bucket carries every observation
+  EXPECT_NE(out.find("tg_test_prom_cumulative_count 3\n"), std::string::npos) << out;
+}
+
+TEST_F(MetricsTest, PrometheusNamesAndLabelsAreWellFormed) {
+  // Dots sanitize to underscores; a {label="value"} suffix embedded in the
+  // registry name renders as a real label set with escaped quotes.
+  GetCounter("test.prom.labeled{verb=can_know,path=\"quoted\"}").Add(1);
+  const std::string out = MetricsRegistry::Instance().RenderPrometheus();
+  EXPECT_NE(out.find("tg_test_prom_labeled{verb=\"can_know\",path=\"\\\"quoted\\\"\"} 1"),
+            std::string::npos)
+      << out;
+  // No rendered family may retain a '.' (invalid in the exposition format).
+  for (size_t at = out.find("\ntg_"); at != std::string::npos;
+       at = out.find("\ntg_", at + 1)) {
+    const size_t end = out.find_first_of(" {", at + 1);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(out.substr(at + 1, end - at - 1).find('.'), std::string::npos)
+        << out.substr(at + 1, end - at - 1);
+  }
 }
 
 }  // namespace

@@ -287,5 +287,107 @@ TEST_F(TraceTest, SpanProfileAggregatesPerKindDurations) {
   EXPECT_EQ(SpanHistogram(TraceKind::kRuleApply).count(), 0u);
 }
 
+// --- Query-span sampling ---------------------------------------------------
+
+// Restores the sample period to 0 (record everything) even when an
+// assertion fails mid-test, so later suites keep full-fidelity tracing.
+class TraceSamplingTest : public TraceTest {
+ protected:
+  void TearDown() override {
+    SetQuerySamplePeriod(0);
+    TraceTest::TearDown();
+  }
+};
+
+TEST_F(TraceSamplingTest, PeriodRoundsDownToAPowerOfTwo) {
+  SetQuerySamplePeriod(0);
+  EXPECT_EQ(QuerySampleMask(), 0u);
+  SetQuerySamplePeriod(1);
+  EXPECT_EQ(QuerySampleMask(), 0u);  // every query records
+  SetQuerySamplePeriod(4);
+  EXPECT_EQ(QuerySampleMask(), 3u);
+  SetQuerySamplePeriod(6);  // not a power of two: rounds down to 4
+  EXPECT_EQ(QuerySampleMask(), 3u);
+  SetQuerySamplePeriod(64);
+  EXPECT_EQ(QuerySampleMask(), 63u);
+}
+
+TEST_F(TraceSamplingTest, SampleableScopesArmOneInPeriod) {
+  SetQuerySamplePeriod(4);
+  // The per-thread tick counter's phase depends on what ran before on
+  // this thread, so assert the rate over whole periods, not positions.
+  int armed = 0;
+  for (int i = 0; i < 8; ++i) {
+    QueryScope scope(QueryKind::kCanKnow, 0, QueryScope::kSampleable);
+    armed += scope.query_id() != 0 ? 1 : 0;
+  }
+  EXPECT_EQ(armed, 2);
+
+  // kAlways scopes ignore the period entirely.
+  for (int i = 0; i < 3; ++i) {
+    QueryScope scope(QueryKind::kServerRequest);
+    EXPECT_NE(scope.query_id(), 0u);
+  }
+}
+
+TEST_F(TraceSamplingTest, NestedScopesInheritTheEnclosingQueriesFate) {
+  SetQuerySamplePeriod(4);
+  // Inside an armed (kAlways) query, a kSampleable scope must arm and
+  // join the same query id regardless of the tick counter: a kept query
+  // carries its complete span tree, a dropped one records nothing.
+  for (int i = 0; i < 8; ++i) {
+    QueryScope root(QueryKind::kServerRequest);
+    ASSERT_NE(root.query_id(), 0u);
+    QueryScope nested(QueryKind::kCanKnow, 0, QueryScope::kSampleable);
+    EXPECT_EQ(nested.query_id(), root.query_id());
+    EXPECT_FALSE(nested.is_root());
+  }
+}
+
+TEST_F(TraceSamplingTest, TraceDetailArmsWithTheEnclosingQueryOnly) {
+  SetQuerySamplePeriod(0);
+  EXPECT_TRUE(TraceDetailArmed());  // no sampling: detail always on
+  SetQuerySamplePeriod(4);
+  EXPECT_FALSE(TraceDetailArmed());  // sampling, outside any query
+  {
+    QueryScope root(QueryKind::kServerRequest);
+    EXPECT_TRUE(TraceDetailArmed());  // inside a recorded query
+  }
+  EXPECT_FALSE(TraceDetailArmed());
+}
+
+TEST_F(TraceSamplingTest, SampledOutScopeRecordsNoEventAndNoContext) {
+  SetQuerySamplePeriod(1u << 30);  // effectively never tick
+  TraceBuffer::Instance().Clear();
+  {
+    QueryScope scope(QueryKind::kCanKnow, 0, QueryScope::kSampleable);
+    EXPECT_EQ(scope.query_id(), 0u);
+    EXPECT_FALSE(scope.is_root());
+    // A sampled-out scope must not leak a context that later spans would
+    // attach to.
+    EXPECT_EQ(CurrentTraceContext().query_id, 0u);
+    TraceSpan span(TraceKind::kProductBfs, 0, 0, TraceSpan::kSampleable);
+    EXPECT_FALSE(span.armed());
+  }
+  EXPECT_TRUE(TraceBuffer::Instance().Events().empty());
+}
+
+TEST_F(TraceSamplingTest, SampleableSpansRecordInsideRecordedQueries) {
+  SetQuerySamplePeriod(4);
+  TraceBuffer::Instance().Clear();
+  {
+    QueryScope root(QueryKind::kServerRequest);
+    ASSERT_NE(root.query_id(), 0u);
+    TraceSpan span(TraceKind::kSnapshotBuild, 0, 0, TraceSpan::kSampleable);
+    EXPECT_TRUE(span.armed());
+  }
+  // The span and the query event both landed, stamped with one query id.
+  std::vector<TraceEvent> events = TraceBuffer::Instance().Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceKind::kSnapshotBuild);
+  EXPECT_EQ(events[1].kind, TraceKind::kQuery);
+  EXPECT_EQ(events[0].query_id, events[1].query_id);
+}
+
 }  // namespace
 }  // namespace tg_util
